@@ -1,0 +1,305 @@
+// Package matview's root benchmarks regenerate every figure of the paper's
+// evaluation (§5) as testing.B benchmarks, plus ablations for the design
+// choices DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure-level metrics are attached with b.ReportMetric:
+//   - plans_with_views_pct   (Figure 4)
+//   - rule_time_pct          (Figure 3: share of optimization time in the rule)
+//   - candidate_frac_pct     (in-text filtering statistics)
+//   - subs_per_query         (in-text statistics)
+package matview
+
+import (
+	"fmt"
+	"testing"
+
+	"matview/internal/core"
+	"matview/internal/filtertree"
+	"matview/internal/harness"
+	"matview/internal/lattice"
+	"matview/internal/opt"
+	"matview/internal/spjg"
+	"matview/internal/tpch"
+	"matview/internal/workload"
+)
+
+// benchHarness caches workload construction across benchmarks.
+var benchHarness *harness.Harness
+
+func getHarness(b *testing.B) *harness.Harness {
+	b.Helper()
+	if benchHarness == nil {
+		cfg := harness.DefaultConfig(1)
+		cfg.NumViews = 1000
+		cfg.NumQueries = 200
+		benchHarness = harness.New(cfg)
+	}
+	return benchHarness
+}
+
+// optimizeBattery optimizes queries round-robin, b.N operations total, and
+// reports figure metrics.
+func optimizeBattery(b *testing.B, s harness.Setting, numViews int) {
+	h := getHarness(b)
+	o, err := newBenchOptimizer(h, s, numViews)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := h.Queries()
+	var stats opt.QueryStats
+	plansWithViews := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := o.Optimize(queries[i%len(queries)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats.Add(res.Stats)
+		if res.UsesView {
+			plansWithViews++
+		}
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(100*float64(plansWithViews)/float64(b.N), "plans_with_views_pct")
+		if stats.Invocations > 0 && numViews > 0 {
+			perInv := float64(stats.CandidatesChecked) / float64(stats.Invocations)
+			b.ReportMetric(100*perInv/float64(numViews), "candidate_frac_pct")
+		}
+		b.ReportMetric(float64(stats.SubstitutesProduced)/float64(b.N), "subs_per_query")
+		b.ReportMetric(100*stats.ViewMatchTime.Seconds()/b.Elapsed().Seconds(), "rule_time_pct")
+	}
+}
+
+func newBenchOptimizer(h *harness.Harness, s harness.Setting, numViews int) (*opt.Optimizer, error) {
+	opts := opt.DefaultOptions()
+	opts.UseFilterTree = s.FilterTree
+	opts.NoSubstitutes = !s.Substitutes
+	opts.Match = core.MatchOptions{} // paper-prototype matcher, as in the figures
+	o := opt.NewOptimizer(h.Catalog(), opts)
+	for i := 0; i < numViews && i < len(h.ViewDefs()); i++ {
+		if _, err := o.RegisterView(fmt.Sprintf("mv%04d", i), h.ViewDefs()[i]); err != nil {
+			return nil, err
+		}
+	}
+	return o, nil
+}
+
+// BenchmarkFigure2 reproduces Figure 2: per-query optimization time in the
+// four configurations, swept over view counts. The paper's curves are
+// ns/op as a function of views for each configuration.
+func BenchmarkFigure2(b *testing.B) {
+	for _, s := range harness.Settings {
+		for _, n := range []int{0, 100, 500, 1000} {
+			b.Run(fmt.Sprintf("%s/views=%d", s.Name, n), func(b *testing.B) {
+				optimizeBattery(b, s, n)
+			})
+		}
+	}
+}
+
+// BenchmarkFigure3 reproduces Figure 3: the rule_time_pct metric is the share
+// of optimization time spent inside the view-matching rule (the paper: about
+// half of the increase at 1000 views originates there).
+func BenchmarkFigure3_ViewMatchTime(b *testing.B) {
+	for _, n := range []int{100, 500, 1000} {
+		b.Run(fmt.Sprintf("views=%d", n), func(b *testing.B) {
+			optimizeBattery(b, harness.Settings[0], n)
+		})
+	}
+}
+
+// BenchmarkFigure4 reproduces Figure 4 via the plans_with_views_pct metric
+// (paper: ~60% at 200 views, ~87% at 1000).
+func BenchmarkFigure4_PlansUsingViews(b *testing.B) {
+	for _, n := range []int{200, 600, 1000} {
+		b.Run(fmt.Sprintf("views=%d", n), func(b *testing.B) {
+			optimizeBattery(b, harness.Settings[0], n)
+		})
+	}
+}
+
+// BenchmarkViewMatch isolates one view-matching invocation (§3's algorithm
+// alone, no filter tree, no optimizer).
+func BenchmarkViewMatch(b *testing.B) {
+	cat := tpch.NewCatalog(0.5)
+	gen := workload.New(cat, workload.DefaultConfig(1))
+	m := core.NewMatcher(cat, core.DefaultOptions())
+	var views []*core.View
+	for i := 0; i < 100; i++ {
+		v, err := m.NewView(i, fmt.Sprintf("v%d", i), gen.View(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		views = append(views, v)
+	}
+	var queries []*spjg.Query
+	for i := 0; i < 50; i++ {
+		queries = append(queries, gen.Query(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		v := views[i%len(views)]
+		m.Match(q, v)
+	}
+}
+
+// BenchmarkFilterTree isolates the candidate lookup: filter tree vs the
+// linear alternative it replaces (§4's contribution).
+func BenchmarkFilterTree(b *testing.B) {
+	cat := tpch.NewCatalog(0.5)
+	gen := workload.New(cat, workload.DefaultConfig(1))
+	m := core.NewMatcher(cat, core.DefaultOptions())
+	for _, n := range []int{100, 1000} {
+		tree := filtertree.New()
+		for i := 0; i < n; i++ {
+			v, err := m.NewView(i, fmt.Sprintf("v%d_%d", n, i), gen.View(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			tree.Insert(v)
+		}
+		var keys []core.QueryKeys
+		for i := 0; i < 50; i++ {
+			keys = append(keys, m.ComputeQueryKeys(gen.Query(i)))
+		}
+		b.Run(fmt.Sprintf("lookup/views=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tree.Candidates(&keys[i%len(keys)])
+			}
+		})
+	}
+}
+
+// BenchmarkLatticeIndex compares lattice-index superset search against the
+// linear scan it replaces inside a filter-tree node (§4.1 ablation).
+func BenchmarkLatticeIndex(b *testing.B) {
+	cat := tpch.NewCatalog(0.5)
+	gen := workload.New(cat, workload.DefaultConfig(1))
+	m := core.NewMatcher(cat, core.DefaultOptions())
+	const n = 500
+	idx := lattice.New[int]()
+	var allKeys [][]string
+	for i := 0; i < n; i++ {
+		v, err := m.NewView(i, fmt.Sprintf("v%d", i), gen.View(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		idx.Insert(v.Keys.SourceTables, i)
+		allKeys = append(allKeys, v.Keys.SourceTables)
+	}
+	var searches [][]string
+	for i := 0; i < 50; i++ {
+		searches = append(searches, gen.Query(i).SourceTableMultiset())
+	}
+	b.Run("lattice", func(b *testing.B) {
+		var buf []int
+		for i := 0; i < b.N; i++ {
+			buf = idx.Supersets(searches[i%len(searches)], buf[:0])
+		}
+	})
+	b.Run("linear", func(b *testing.B) {
+		var buf []int
+		for i := 0; i < b.N; i++ {
+			s := searches[i%len(searches)]
+			buf = buf[:0]
+			set := map[string]bool{}
+			for _, k := range s {
+				set[k] = true
+			}
+			for vi, k := range allKeys {
+				sup := map[string]bool{}
+				for _, e := range k {
+					sup[e] = true
+				}
+				all := true
+				for e := range set {
+					if !sup[e] {
+						all = false
+						break
+					}
+				}
+				if all {
+					buf = append(buf, vi)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAblations toggles each optional feature off against the full
+// configuration, at 500 views — the ablation study DESIGN.md calls out.
+// Compare ns/op (overhead of the feature) and plans_with_views_pct /
+// subs_per_query (benefit of the feature).
+func BenchmarkAblations(b *testing.B) {
+	h := getHarness(b)
+	type ablation struct {
+		name   string
+		mutate func(*opt.Options)
+	}
+	ablations := []ablation{
+		{"full", func(*opt.Options) {}},
+		{"no-preaggregation", func(o *opt.Options) { o.EnablePreAggregation = false }},
+		{"no-disjunctive-ranges", func(o *opt.Options) { o.Match.DisjunctiveRanges = false }},
+		{"no-subexpression-matching", func(o *opt.Options) { o.Match.SubexpressionMatching = false }},
+		{"no-check-constraints", func(o *opt.Options) { o.Match.UseCheckConstraints = false }},
+		{"no-backjoins", func(o *opt.Options) { o.Match.BackjoinSubstitutes = false }},
+		{"no-grouping-by-expression", func(o *opt.Options) { o.Match.GroupingByExpression = false }},
+		{"paper-prototype-matcher", func(o *opt.Options) { o.Match = core.MatchOptions{} }},
+	}
+	for _, a := range ablations {
+		b.Run(a.name, func(b *testing.B) {
+			opts := opt.DefaultOptions()
+			a.mutate(&opts)
+			o := opt.NewOptimizer(h.Catalog(), opts)
+			for i := 0; i < 500; i++ {
+				if _, err := o.RegisterView(fmt.Sprintf("mv%04d", i), h.ViewDefs()[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			queries := h.Queries()
+			var stats opt.QueryStats
+			plansWithViews := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := o.Optimize(queries[i%len(queries)])
+				if err != nil {
+					b.Fatal(err)
+				}
+				stats.Add(res.Stats)
+				if res.UsesView {
+					plansWithViews++
+				}
+			}
+			b.StopTimer()
+			if b.N > 0 {
+				b.ReportMetric(100*float64(plansWithViews)/float64(b.N), "plans_with_views_pct")
+				b.ReportMetric(float64(stats.SubstitutesProduced)/float64(b.N), "subs_per_query")
+			}
+		})
+	}
+}
+
+// BenchmarkViewRegistration measures analysis + key computation + filter-tree
+// insertion per view.
+func BenchmarkViewRegistration(b *testing.B) {
+	cat := tpch.NewCatalog(0.5)
+	gen := workload.New(cat, workload.DefaultConfig(1))
+	defs := make([]*spjg.Query, 200)
+	for i := range defs {
+		defs[i] = gen.View(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := opt.DefaultOptions()
+		o := opt.NewOptimizer(cat, opts)
+		for j, def := range defs {
+			if _, err := o.RegisterView(fmt.Sprintf("v%d", j), def); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

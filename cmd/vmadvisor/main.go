@@ -1,0 +1,92 @@
+// Command vmadvisor demonstrates the view-design side of the paper's problem
+// triple (§1): it generates (or takes) a query workload, derives candidate
+// materialized views from the queries' SPJG shapes, evaluates each candidate
+// with the real optimizer and cost model, and greedily recommends a set under
+// a storage budget.
+//
+//	vmadvisor [-queries 20] [-views 5] [-budget 0] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"matview/internal/advisor"
+	"matview/internal/opt"
+	"matview/internal/spjg"
+	"matview/internal/tpch"
+	"matview/internal/workload"
+)
+
+func main() {
+	nQueries := flag.Int("queries", 20, "number of workload queries to generate")
+	maxViews := flag.Int("views", 5, "maximum number of recommended views")
+	budget := flag.Float64("budget", 0, "total estimated view rows allowed (0 = unlimited)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	sf := flag.Float64("sf", 0.5, "TPC-H scale factor for statistics")
+	flag.Parse()
+
+	cat := tpch.NewCatalog(*sf)
+	gen := workload.New(cat, workload.DefaultConfig(*seed))
+	var queries []*spjg.Query
+	for i := 0; len(queries) < *nQueries; i++ {
+		q := gen.Query(i)
+		if q.Validate() == nil {
+			queries = append(queries, q)
+		}
+	}
+	fmt.Printf("workload: %d generated queries (seed %d, SF %g)\n\n", len(queries), *seed, *sf)
+
+	recs, err := advisor.Recommend(cat, queries, advisor.Config{
+		MaxViews:  *maxViews,
+		RowBudget: *budget,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vmadvisor:", err)
+		os.Exit(1)
+	}
+	if len(recs) == 0 {
+		fmt.Println("no beneficial views found")
+		return
+	}
+	fmt.Printf("recommended %d view(s):\n\n", len(recs))
+	totalBenefit, totalRows := 0.0, 0.0
+	for i, r := range recs {
+		fmt.Printf("%d. %s  (est. %.0f rows, benefit %.0f cost units, improves %d queries)\n",
+			i+1, r.Name, r.Rows, r.Benefit, len(r.Queries))
+		fmt.Printf("   CREATE VIEW %s WITH SCHEMABINDING AS %s\n\n", r.Name, r.Def.String())
+		totalBenefit += r.Benefit
+		totalRows += r.Rows
+	}
+
+	// Show the before/after workload cost.
+	base := opt.NewOptimizer(cat, opt.DefaultOptions())
+	with := opt.NewOptimizer(cat, opt.DefaultOptions())
+	for _, r := range recs {
+		if _, err := with.RegisterView(r.Name, r.Def); err != nil {
+			fmt.Fprintln(os.Stderr, "vmadvisor:", err)
+			os.Exit(1)
+		}
+	}
+	baseCost, withCost, usingViews := 0.0, 0.0, 0
+	for _, q := range queries {
+		rb, err := base.Optimize(q)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vmadvisor:", err)
+			os.Exit(1)
+		}
+		rw, err := with.Optimize(q)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vmadvisor:", err)
+			os.Exit(1)
+		}
+		baseCost += rb.Cost
+		withCost += rw.Cost
+		if rw.UsesView {
+			usingViews++
+		}
+	}
+	fmt.Printf("workload cost: %.0f -> %.0f (%.1fx); %d/%d plans now use views; %.0f view rows stored\n",
+		baseCost, withCost, baseCost/withCost, usingViews, len(queries), totalRows)
+}

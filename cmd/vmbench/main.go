@@ -1,0 +1,90 @@
+// Command vmbench regenerates the paper's evaluation (§5): Figure 2
+// (optimization time vs number of views in four configurations), Figure 3
+// (total increase vs time inside the view-matching rule), Figure 4 (final
+// plans using materialized views), and the in-text filtering statistics.
+//
+// Usage:
+//
+//	vmbench -experiment fig2|fig3|fig4|stats|all [-views N] [-queries N] [-seed S] [-step N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"matview/internal/harness"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "fig2, fig3, fig4, stats, or all")
+	views := flag.Int("views", 1000, "maximum number of materialized views")
+	queries := flag.Int("queries", 1000, "number of queries per measurement")
+	seed := flag.Int64("seed", 1, "workload seed")
+	step := flag.Int("step", 100, "view-count step for the sweep")
+	verbose := flag.Bool("v", false, "print per-point progress")
+	flag.Parse()
+
+	cfg := harness.DefaultConfig(*seed)
+	cfg.NumViews = *views
+	cfg.NumQueries = *queries
+	cfg.ViewCounts = nil
+	for n := 0; n <= *views; n += *step {
+		cfg.ViewCounts = append(cfg.ViewCounts, n)
+	}
+
+	fmt.Printf("Workload: %d views, %d queries, seed %d (TPC-H catalog, SF %.1f)\n\n",
+		cfg.NumViews, cfg.NumQueries, *seed, cfg.ScaleFactor)
+	h := harness.New(cfg)
+
+	var progress *os.File
+	if *verbose {
+		progress = os.Stderr
+	}
+
+	switch *experiment {
+	case "fig2":
+		ms, err := h.RunFigure2(progress)
+		check(err)
+		harness.ReportFigure2(os.Stdout, ms)
+	case "fig3":
+		ms, err := h.RunFigure34(progress)
+		check(err)
+		harness.ReportFigure3(os.Stdout, ms)
+	case "fig4":
+		ms, err := h.RunFigure34(progress)
+		check(err)
+		harness.ReportFigure4(os.Stdout, ms)
+	case "stats":
+		ms, err := h.RunFigure34(progress)
+		check(err)
+		harness.ReportStats(os.Stdout, ms)
+	case "all":
+		ms2, err := h.RunFigure2(progress)
+		check(err)
+		harness.ReportFigure2(os.Stdout, ms2)
+		fmt.Println()
+		// Reuse the Alt&Filter series for Figures 3–4 and the stats.
+		var full []harness.Measurement
+		for _, m := range ms2 {
+			if m.Setting == "Alt&Filter" {
+				full = append(full, m)
+			}
+		}
+		harness.ReportFigure3(os.Stdout, full)
+		fmt.Println()
+		harness.ReportFigure4(os.Stdout, full)
+		fmt.Println()
+		harness.ReportStats(os.Stdout, full)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vmbench:", err)
+		os.Exit(1)
+	}
+}

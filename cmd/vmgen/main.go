@@ -1,0 +1,43 @@
+// Command vmgen dumps the generated experiment workload (§5) as SQL-ish text
+// so the random views and queries can be inspected or replayed elsewhere.
+//
+//	vmgen -kind views -n 10 [-seed 1]
+//	vmgen -kind queries -n 10 [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"matview/internal/tpch"
+	"matview/internal/workload"
+)
+
+func main() {
+	kind := flag.String("kind", "views", "views or queries")
+	n := flag.Int("n", 10, "number of statements to generate")
+	seed := flag.Int64("seed", 1, "workload seed")
+	sf := flag.Float64("sf", 0.5, "TPC-H scale factor (affects cardinality targeting)")
+	flag.Parse()
+
+	cat := tpch.NewCatalog(*sf)
+	gen := workload.New(cat, workload.DefaultConfig(*seed))
+	switch *kind {
+	case "views":
+		for i := 0; i < *n; i++ {
+			v := gen.View(i)
+			fmt.Printf("-- view %d (%d tables, aggregate=%v)\n", i, len(v.Tables), v.IsAggregate())
+			fmt.Printf("CREATE VIEW mv%04d WITH SCHEMABINDING AS %s;\n\n", i, v.String())
+		}
+	case "queries":
+		for i := 0; i < *n; i++ {
+			q := gen.Query(i)
+			fmt.Printf("-- query %d (%d tables, aggregate=%v)\n", i, len(q.Tables), q.IsAggregate())
+			fmt.Printf("%s;\n\n", q.String())
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+}

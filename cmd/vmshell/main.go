@@ -1,0 +1,68 @@
+// Command vmshell is an interactive shell over the engine: it loads a
+// TPC-H-shaped database and accepts
+//
+//   - CREATE VIEW ... AS SELECT ...   (materialize + register + maintain)
+//   - CREATE [UNIQUE] INDEX ... ON view_or_table (cols)
+//   - SELECT ... / EXPLAIN SELECT ... (optimized; views used when cheaper)
+//   - INSERT INTO t VALUES (...)      (incremental view maintenance)
+//   - DELETE FROM t [WHERE ...]       (incremental view maintenance)
+//
+// Meta commands: \views, \stats, \quit. Statements end with ';'.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"matview/internal/shell"
+	"matview/internal/tpch"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.001, "TPC-H scale factor for generated data")
+	seed := flag.Int64("seed", 42, "data generator seed")
+	flag.Parse()
+
+	fmt.Printf("loading TPC-H data at SF %g (seed %d)...\n", *sf, *seed)
+	db, err := tpch.NewDatabase(*sf, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	s := shell.NewSession(db)
+
+	fmt.Println("ready. end statements with ';'. try: select l_partkey, sum(l_quantity) as q from lineitem group by l_partkey;")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() { fmt.Print("vm> ") }
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if !s.Meta(trimmed, os.Stdout) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			fmt.Print(" -> ")
+			continue
+		}
+		stmt := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(buf.String()), ";"))
+		buf.Reset()
+		if stmt != "" {
+			if err := s.Execute(stmt, os.Stdout); err != nil {
+				fmt.Println("error:", err)
+			}
+		}
+		prompt()
+	}
+}

@@ -1,0 +1,20 @@
+// Package matview is a from-scratch Go implementation of Goldstein &
+// Larson, "Optimizing Queries Using Materialized Views: A Practical,
+// Scalable Solution" (SIGMOD 2001): the SPJG view-matching algorithm, the
+// filter tree and lattice index that let it scale to a thousand views, a
+// transformation-based cost-driven optimizer hosting the view-matching rule,
+// and every substrate the paper's evaluation depends on.
+//
+// The public surface lives in the internal packages (this module is a
+// self-contained reproduction, not a semver-stable library); start with:
+//
+//   - internal/core       — the matching algorithm (§3) and substitutes
+//   - internal/filtertree — the candidate filter (§4)
+//   - internal/opt        — the optimizer integration (§1–2)
+//   - internal/harness    — the evaluation (§5, Figures 2–4)
+//
+// See README.md for a walkthrough, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The root-level bench_test.go regenerates every figure as a testing.B
+// benchmark.
+package matview

@@ -1,0 +1,3 @@
+module matview
+
+go 1.22

@@ -1,0 +1,346 @@
+// Package advisor implements a simple view-design advisor — the first of the
+// paper's three issues ("view design: determining what views to materialize",
+// §1) and the role of the syntax-driven candidate generation in its reference
+// [1] (Agrawal, Chaudhuri, Narasayya, VLDB 2000). Given a query workload, it
+// derives candidate view definitions from the queries' own SPJG shapes,
+// evaluates each candidate's benefit with the *actual* optimizer and cost
+// model (so view matching, compensation, and rollups all participate), and
+// greedily selects a set under a storage budget, re-evaluating marginal
+// benefit as views are chosen.
+package advisor
+
+import (
+	"fmt"
+	"sort"
+
+	"matview/internal/catalog"
+	"matview/internal/expr"
+	"matview/internal/opt"
+	"matview/internal/spjg"
+)
+
+// Candidate is one proposed materialized view.
+type Candidate struct {
+	Name string
+	Def  *spjg.Query
+	// Rows is the estimated materialized cardinality — the storage and
+	// maintenance cost proxy.
+	Rows float64
+	// Benefit is the estimated optimizer-cost reduction over the workload
+	// when this view is added to the already-selected set.
+	Benefit float64
+	// Queries lists workload indexes whose plans improved.
+	Queries []int
+}
+
+// Config bounds the recommendation.
+type Config struct {
+	// MaxViews caps the number of recommended views (default 5).
+	MaxViews int
+	// RowBudget caps the summed estimated cardinality of recommended views
+	// (0 = unbounded).
+	RowBudget float64
+	// Options configures the evaluation optimizer (zero value: defaults).
+	Options *opt.Options
+}
+
+// Recommend proposes materialized views for the workload, in selection order.
+func Recommend(cat *catalog.Catalog, workload []*spjg.Query, cfg Config) ([]Candidate, error) {
+	if cfg.MaxViews == 0 {
+		cfg.MaxViews = 5
+	}
+	options := opt.DefaultOptions()
+	if cfg.Options != nil {
+		options = *cfg.Options
+	}
+
+	for i, q := range workload {
+		if err := q.Validate(); err != nil {
+			return nil, fmt.Errorf("advisor: workload query %d: %w", i, err)
+		}
+	}
+
+	cands := generate(workload)
+	if len(cands) == 0 {
+		return nil, nil
+	}
+
+	// Baseline costs with the currently selected set (empty at first).
+	var selected []Candidate
+	usedRows := 0.0
+	for len(selected) < cfg.MaxViews && len(cands) > 0 {
+		base, err := workloadCosts(cat, options, workload, selected)
+		if err != nil {
+			return nil, err
+		}
+		bestIdx := -1
+		var best Candidate
+		for ci, cand := range cands {
+			if cfg.RowBudget > 0 && usedRows+cand.Rows > cfg.RowBudget {
+				continue
+			}
+			withCand, err := workloadCosts(cat, options, workload, append(selected[:len(selected):len(selected)], cand))
+			if err != nil {
+				return nil, err
+			}
+			benefit := 0.0
+			var improved []int
+			for qi := range workload {
+				if d := base[qi] - withCand[qi]; d > 1e-9 {
+					benefit += d
+					improved = append(improved, qi)
+				}
+			}
+			cand.Benefit = benefit
+			cand.Queries = improved
+			// Prefer higher benefit per stored row, then higher benefit.
+			if benefit > 0 && (bestIdx < 0 || perRow(cand) > perRow(best) ||
+				(perRow(cand) == perRow(best) && cand.Benefit > best.Benefit)) {
+				bestIdx = ci
+				best = cand
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		selected = append(selected, best)
+		usedRows += best.Rows
+		cands = append(cands[:bestIdx], cands[bestIdx+1:]...)
+	}
+	return selected, nil
+}
+
+func perRow(c Candidate) float64 {
+	rows := c.Rows
+	if rows < 1 {
+		rows = 1
+	}
+	return c.Benefit / rows
+}
+
+// workloadCosts optimizes the workload with the given views registered and
+// returns the per-query estimated costs.
+func workloadCosts(cat *catalog.Catalog, options opt.Options,
+	workload []*spjg.Query, views []Candidate) ([]float64, error) {
+	o := opt.NewOptimizer(cat, options)
+	for _, v := range views {
+		if _, err := o.RegisterView(v.Name, v.Def); err != nil {
+			return nil, fmt.Errorf("advisor: registering %s: %w", v.Name, err)
+		}
+	}
+	out := make([]float64, len(workload))
+	for i, q := range workload {
+		res, err := o.Optimize(q)
+		if err != nil {
+			return nil, fmt.Errorf("advisor: optimizing query %d: %w", i, err)
+		}
+		out[i] = res.Cost
+	}
+	return out, nil
+}
+
+// generate derives deduplicated candidates from the workload queries: the
+// query itself as an indexable view, its SPJ core with join predicates only
+// (serving sibling queries with different selections), and for aggregation
+// queries the unfiltered rollup grouped on the query's grouping columns.
+func generate(workload []*spjg.Query) []Candidate {
+	var out []Candidate
+	seen := map[string]bool{}
+	add := func(def *spjg.Query) {
+		if def == nil || def.ValidateAsView() != nil {
+			return
+		}
+		sig := signature(def)
+		if seen[sig] {
+			return
+		}
+		seen[sig] = true
+		out = append(out, Candidate{
+			Name: fmt.Sprintf("rec%02d", len(out)),
+			Def:  def,
+			Rows: opt.EstimateRows(def),
+		})
+	}
+	for _, q := range workload {
+		add(asView(q))
+		add(spjCore(q))
+		add(unfilteredRollup(q))
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Rows < out[j].Rows })
+	return out
+}
+
+// asView turns a query into an indexable-view definition: aggregation
+// queries gain a COUNT_BIG(*) and drop AVG in favour of SUM (the matcher
+// rebuilds AVG from SUM and the count, §3.3).
+func asView(q *spjg.Query) *spjg.Query {
+	def := &spjg.Query{
+		Tables:     q.Tables,
+		Where:      q.Where,
+		GroupBy:    q.GroupBy,
+		HasGroupBy: q.HasGroupBy,
+	}
+	if !q.IsAggregate() {
+		def.Outputs = q.Outputs
+		return def
+	}
+	if len(q.GroupBy) == 0 {
+		return nil // scalar aggregates cannot be indexed views
+	}
+	hasCount := false
+	sumSeen := map[string]bool{}
+	for _, o := range q.Outputs {
+		switch {
+		case o.Expr != nil:
+			def.Outputs = append(def.Outputs, o)
+		case o.Agg != nil && o.Agg.Kind == spjg.AggCountStar:
+			if !hasCount {
+				hasCount = true
+				def.Outputs = append(def.Outputs, spjg.OutputColumn{Name: "cnt", Agg: &spjg.Aggregate{Kind: spjg.AggCountStar}})
+			}
+		case o.Agg != nil:
+			fp := expr.NewFingerprint(expr.Normalize(o.Agg.Arg))
+			key := fp.Text + colsKey(fp.Cols)
+			if sumSeen[key] {
+				continue
+			}
+			sumSeen[key] = true
+			def.Outputs = append(def.Outputs, spjg.OutputColumn{
+				Name: "sum_" + o.Name,
+				Agg:  &spjg.Aggregate{Kind: spjg.AggSum, Arg: o.Agg.Arg},
+			})
+		}
+	}
+	if !hasCount {
+		def.Outputs = append(def.Outputs, spjg.OutputColumn{Name: "cnt", Agg: &spjg.Aggregate{Kind: spjg.AggCountStar}})
+	}
+	return def
+}
+
+// spjCore is the query's join skeleton without range or residual predicates,
+// outputting every referenced column — a wide view that can serve sibling
+// queries with different selections.
+func spjCore(q *spjg.Query) *spjg.Query {
+	pe, _, _ := expr.SplitPredicate(predOf(q))
+	var joins []expr.Expr
+	for _, eq := range pe {
+		joins = append(joins, expr.Eq(expr.ColE(eq.A), expr.ColE(eq.B)))
+	}
+	def := &spjg.Query{Tables: q.Tables}
+	if len(joins) > 0 {
+		def.Where = expr.NewAnd(joins...)
+	}
+	refs := referencedCols(q)
+	if len(refs) == 0 {
+		return nil
+	}
+	for _, r := range refs {
+		def.Outputs = append(def.Outputs, spjg.OutputColumn{
+			Name: q.Tables[r.Tab].Table.Columns[r.Col].Name,
+			Expr: expr.ColE(r),
+		})
+	}
+	return def
+}
+
+// unfilteredRollup keeps the aggregation shape but drops non-join predicates,
+// so one rollup serves every selection over the same grouping.
+func unfilteredRollup(q *spjg.Query) *spjg.Query {
+	if !q.IsAggregate() || len(q.GroupBy) == 0 {
+		return nil
+	}
+	core := asView(q)
+	if core == nil {
+		return nil
+	}
+	pe, _, _ := expr.SplitPredicate(predOf(q))
+	var joins []expr.Expr
+	for _, eq := range pe {
+		joins = append(joins, expr.Eq(expr.ColE(eq.A), expr.ColE(eq.B)))
+	}
+	def := &spjg.Query{
+		Tables:     core.Tables,
+		GroupBy:    core.GroupBy,
+		HasGroupBy: true,
+		Outputs:    core.Outputs,
+	}
+	if len(joins) > 0 {
+		def.Where = expr.NewAnd(joins...)
+	}
+	return def
+}
+
+func predOf(q *spjg.Query) expr.Expr {
+	if q.Where == nil {
+		return expr.NewAnd()
+	}
+	return q.Where
+}
+
+func referencedCols(q *spjg.Query) []expr.ColRef {
+	seen := map[expr.ColRef]bool{}
+	var out []expr.ColRef
+	touch := func(e expr.Expr) {
+		for _, r := range expr.Columns(e) {
+			if !seen[r] {
+				seen[r] = true
+				out = append(out, r)
+			}
+		}
+	}
+	if q.Where != nil {
+		touch(q.Where)
+	}
+	for _, o := range q.Outputs {
+		if o.Expr != nil {
+			touch(o.Expr)
+		} else if o.Agg != nil && o.Agg.Arg != nil {
+			touch(o.Agg.Arg)
+		}
+	}
+	for _, g := range q.GroupBy {
+		touch(g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// signature canonically identifies a candidate definition for deduplication.
+func signature(def *spjg.Query) string {
+	s := ""
+	for _, t := range def.SourceTableMultiset() {
+		s += t + ","
+	}
+	s += "|"
+	if def.Where != nil {
+		fp := expr.NewFingerprint(expr.Normalize(def.Where))
+		s += fp.Text + colsKey(fp.Cols)
+	}
+	s += "|"
+	for _, o := range def.Outputs {
+		switch {
+		case o.Expr != nil:
+			fp := expr.NewFingerprint(expr.Normalize(o.Expr))
+			s += fp.Text + colsKey(fp.Cols) + ";"
+		case o.Agg != nil && o.Agg.Arg != nil:
+			fp := expr.NewFingerprint(expr.Normalize(o.Agg.Arg))
+			s += o.Agg.Kind.String() + fp.Text + colsKey(fp.Cols) + ";"
+		case o.Agg != nil:
+			s += "COUNT;"
+		}
+	}
+	s += "|"
+	for _, g := range def.GroupBy {
+		fp := expr.NewFingerprint(expr.Normalize(g))
+		s += fp.Text + colsKey(fp.Cols) + ";"
+	}
+	return s
+}
+
+func colsKey(cols []expr.ColRef) string {
+	s := ""
+	for _, c := range cols {
+		s += fmt.Sprintf("@%d.%d", c.Tab, c.Col)
+	}
+	return s
+}

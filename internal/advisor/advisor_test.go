@@ -1,0 +1,196 @@
+package advisor
+
+import (
+	"testing"
+
+	"matview/internal/expr"
+	"matview/internal/opt"
+	"matview/internal/spjg"
+	"matview/internal/tpch"
+)
+
+var cat = tpch.NewCatalog(0.1)
+
+func tr(name string) spjg.TableRef { return spjg.TableRef{Table: cat.Table(name)} }
+
+// reportWorkload is a family of rollup queries over the same join with
+// different selections and groupings — the classic case where one rollup
+// view serves many reports.
+func reportWorkload() []*spjg.Query {
+	gross := expr.NewArith(expr.Mul, expr.Col(0, tpch.LQuantity), expr.Col(0, tpch.LExtendedprice))
+	mk := func(where expr.Expr) *spjg.Query {
+		return &spjg.Query{
+			Tables: []spjg.TableRef{tr("lineitem"), tr("orders")},
+			Where: expr.NewAnd(append([]expr.Expr{
+				expr.Eq(expr.Col(0, tpch.LOrderkey), expr.Col(1, tpch.OOrderkey)),
+			}, whereList(where)...)...),
+			GroupBy: []expr.Expr{expr.Col(1, tpch.OCustkey)},
+			Outputs: []spjg.OutputColumn{
+				{Name: "o_custkey", Expr: expr.Col(1, tpch.OCustkey)},
+				{Name: "rev", Agg: &spjg.Aggregate{Kind: spjg.AggSum, Arg: gross}},
+			},
+		}
+	}
+	return []*spjg.Query{
+		mk(nil),
+		mk(expr.NewCmp(expr.LE, expr.Col(1, tpch.OCustkey), expr.CInt(5000))),
+		mk(expr.NewCmp(expr.LE, expr.Col(1, tpch.OCustkey), expr.CInt(1000))),
+	}
+}
+
+func whereList(e expr.Expr) []expr.Expr {
+	if e == nil {
+		return nil
+	}
+	return []expr.Expr{e}
+}
+
+func TestRecommendFindsRollup(t *testing.T) {
+	recs, err := Recommend(cat, reportWorkload(), Config{MaxViews: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no recommendations")
+	}
+	top := recs[0]
+	if top.Benefit <= 0 {
+		t.Fatalf("top benefit = %v", top.Benefit)
+	}
+	// The top recommendation must be an aggregation view grouped on
+	// o_custkey covering all three reports.
+	if !top.Def.IsAggregate() {
+		t.Fatalf("top recommendation is not a rollup: %s", top.Def.String())
+	}
+	if len(top.Queries) != 3 {
+		t.Fatalf("top recommendation improves %v, want all 3", top.Queries)
+	}
+	if err := top.Def.ValidateAsView(); err != nil {
+		t.Fatalf("recommended view not indexable: %v", err)
+	}
+}
+
+// TestRecommendationsActuallyHelp registers the recommended views and checks
+// that every claimed query's plan now uses a view and costs less.
+func TestRecommendationsActuallyHelp(t *testing.T) {
+	workload := reportWorkload()
+	recs, err := Recommend(cat, workload, Config{MaxViews: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no recommendations")
+	}
+	baseOpt := opt.NewOptimizer(cat, opt.DefaultOptions())
+	withOpt := opt.NewOptimizer(cat, opt.DefaultOptions())
+	for _, r := range recs {
+		if _, err := withOpt.RegisterView(r.Name, r.Def); err != nil {
+			t.Fatal(err)
+		}
+	}
+	improvedTotal := 0.0
+	for qi, q := range workload {
+		base, err := baseOpt.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		with, err := withOpt.Optimize(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if with.Cost > base.Cost+1e-9 {
+			t.Fatalf("query %d got worse: %.1f -> %.1f", qi, base.Cost, with.Cost)
+		}
+		improvedTotal += base.Cost - with.Cost
+	}
+	if improvedTotal <= 0 {
+		t.Fatal("recommendations produced no workload improvement")
+	}
+}
+
+func TestRecommendRespectsBudget(t *testing.T) {
+	workload := reportWorkload()
+	// Find the unconstrained top pick's size.
+	all, err := Recommend(cat, workload, Config{MaxViews: 3})
+	if err != nil || len(all) == 0 {
+		t.Fatalf("baseline recommend: %v / %d recs", err, len(all))
+	}
+	total := 0.0
+	for _, r := range all {
+		total += r.Rows
+	}
+	// A budget below the smallest candidate yields nothing.
+	none, err := Recommend(cat, workload, Config{MaxViews: 3, RowBudget: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Fatalf("budget 0.5 rows returned %d views", len(none))
+	}
+	// A budget at the top pick's size allows at most that much storage.
+	limited, err := Recommend(cat, workload, Config{MaxViews: 3, RowBudget: all[0].Rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := 0.0
+	for _, r := range limited {
+		used += r.Rows
+	}
+	if used > all[0].Rows {
+		t.Fatalf("budget exceeded: %v > %v", used, all[0].Rows)
+	}
+}
+
+func TestRecommendMaxViews(t *testing.T) {
+	recs, err := Recommend(cat, reportWorkload(), Config{MaxViews: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) > 1 {
+		t.Fatalf("MaxViews ignored: %d", len(recs))
+	}
+}
+
+func TestCandidateGeneration(t *testing.T) {
+	q := reportWorkload()[1]
+	cands := generate([]*spjg.Query{q})
+	// Expect at least: the query as a view, its SPJ core, the unfiltered
+	// rollup — all distinct.
+	if len(cands) < 3 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	for _, c := range cands {
+		if err := c.Def.ValidateAsView(); err != nil {
+			t.Fatalf("candidate %s invalid: %v\n%s", c.Name, err, c.Def.String())
+		}
+		if c.Rows <= 0 {
+			t.Fatalf("candidate %s has no size estimate", c.Name)
+		}
+	}
+	// Duplicates collapse: generating from the same query twice adds nothing.
+	if got := len(generate([]*spjg.Query{q, q})); got != len(cands) {
+		t.Fatalf("dedup failed: %d vs %d", got, len(cands))
+	}
+}
+
+func TestScalarAggregateSkipped(t *testing.T) {
+	scalar := &spjg.Query{
+		Tables: []spjg.TableRef{tr("lineitem")},
+		Outputs: []spjg.OutputColumn{
+			{Name: "s", Agg: &spjg.Aggregate{Kind: spjg.AggSum, Arg: expr.Col(0, tpch.LQuantity)}},
+		},
+	}
+	cands := generate([]*spjg.Query{scalar})
+	for _, c := range cands {
+		if c.Def.IsAggregate() && len(c.Def.GroupBy) == 0 {
+			t.Fatal("scalar aggregate emitted as a view candidate")
+		}
+	}
+}
+
+func TestRecommendInvalidWorkload(t *testing.T) {
+	bad := &spjg.Query{Tables: []spjg.TableRef{tr("lineitem")}}
+	if _, err := Recommend(cat, []*spjg.Query{bad}, Config{}); err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+}

@@ -1,0 +1,218 @@
+// Package catalog defines the database schema metadata the view-matching
+// algorithm consumes. The paper's algorithm exploits exactly four kinds of
+// constraints — not-null constraints on columns, primary keys, uniqueness
+// constraints, and foreign keys (§3) — plus, as an extension, table-level
+// check constraints. All of them live here, together with the simple
+// statistics (row counts, per-column value ranges and distinct counts) that
+// feed the cost model and the workload generator.
+package catalog
+
+import (
+	"fmt"
+
+	"matview/internal/expr"
+	"matview/internal/sqlvalue"
+)
+
+// Column describes one column of a base table.
+type Column struct {
+	Name    string
+	Type    sqlvalue.Kind
+	NotNull bool
+
+	// Statistics for costing and workload generation. Min/Max bound the
+	// column's values (NULL when unknown); Distinct estimates the number of
+	// distinct values (0 when unknown).
+	Min, Max sqlvalue.Value
+	Distinct int64
+}
+
+// ForeignKey declares that the tuple of Columns in the owning table
+// references the tuple of RefColumns (which must form a unique key) in
+// RefTable. The view-matching algorithm uses foreign keys to recognize
+// cardinality-preserving joins (§3.2).
+type ForeignKey struct {
+	Name       string
+	Columns    []int // ordinals in the owning table
+	RefTable   string
+	RefColumns []int // ordinals in the referenced table
+}
+
+// CheckConstraint is a table-level predicate guaranteed to hold for every
+// row. Column references in Expr use Tab == 0 to denote the owning table.
+// Check constraints can be folded into the antecedent of the subsumption
+// implication (§3.1.2).
+type CheckConstraint struct {
+	Name string
+	Expr expr.Expr
+}
+
+// Table describes a base table.
+type Table struct {
+	Name       string
+	Columns    []Column
+	PrimaryKey []int   // column ordinals; empty if none
+	UniqueKeys [][]int // all unique keys, including the primary key
+	Foreign    []ForeignKey
+	Checks     []CheckConstraint
+
+	// RowCount is the (estimated) number of rows, used by the cost model.
+	RowCount int64
+}
+
+// ColumnIndex returns the ordinal of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i := range t.Columns {
+		if t.Columns[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// HasUniqueKey reports whether cols (a set of column ordinals) contains some
+// unique key of the table — i.e. whether rows are guaranteed distinct when
+// projected onto cols.
+func (t *Table) HasUniqueKey(cols map[int]bool) bool {
+	for _, uk := range t.UniqueKeys {
+		all := true
+		for _, c := range uk {
+			if !cols[c] {
+				all = false
+				break
+			}
+		}
+		if all && len(uk) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IsUniqueKey reports whether the exact ordinal list cols is declared as a
+// unique key (order-insensitively).
+func (t *Table) IsUniqueKey(cols []int) bool {
+	set := make(map[int]bool, len(cols))
+	for _, c := range cols {
+		set[c] = true
+	}
+	for _, uk := range t.UniqueKeys {
+		if len(uk) != len(set) {
+			continue
+		}
+		all := true
+		for _, c := range uk {
+			if !set[c] {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+// Catalog is a named collection of tables.
+type Catalog struct {
+	tables map[string]*Table
+	order  []string
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: map[string]*Table{}}
+}
+
+// Add registers a table. It returns an error on duplicate names or malformed
+// metadata (bad ordinals, foreign keys referencing unknown tables are checked
+// lazily by Validate since tables may be added in any order).
+func (c *Catalog) Add(t *Table) error {
+	if t.Name == "" {
+		return fmt.Errorf("catalog: table with empty name")
+	}
+	if _, dup := c.tables[t.Name]; dup {
+		return fmt.Errorf("catalog: duplicate table %q", t.Name)
+	}
+	for _, ord := range t.PrimaryKey {
+		if ord < 0 || ord >= len(t.Columns) {
+			return fmt.Errorf("catalog: table %q primary key ordinal %d out of range", t.Name, ord)
+		}
+	}
+	for _, uk := range t.UniqueKeys {
+		for _, ord := range uk {
+			if ord < 0 || ord >= len(t.Columns) {
+				return fmt.Errorf("catalog: table %q unique key ordinal %d out of range", t.Name, ord)
+			}
+		}
+	}
+	if len(t.PrimaryKey) > 0 && !t.IsUniqueKey(t.PrimaryKey) {
+		// The primary key is implicitly a unique key; register it.
+		t.UniqueKeys = append(t.UniqueKeys, append([]int(nil), t.PrimaryKey...))
+	}
+	c.tables[t.Name] = t
+	c.order = append(c.order, t.Name)
+	return nil
+}
+
+// Table returns the named table, or nil.
+func (c *Catalog) Table(name string) *Table { return c.tables[name] }
+
+// Tables returns all tables in registration order.
+func (c *Catalog) Tables() []*Table {
+	out := make([]*Table, len(c.order))
+	for i, n := range c.order {
+		out[i] = c.tables[n]
+	}
+	return out
+}
+
+// Validate checks cross-table invariants: every foreign key references an
+// existing table, ordinals are in range, the referenced columns form a
+// declared unique key, and the column counts agree.
+func (c *Catalog) Validate() error {
+	for _, name := range c.order {
+		t := c.tables[name]
+		for _, fk := range t.Foreign {
+			ref := c.tables[fk.RefTable]
+			if ref == nil {
+				return fmt.Errorf("catalog: table %q foreign key %q references unknown table %q",
+					t.Name, fk.Name, fk.RefTable)
+			}
+			if len(fk.Columns) != len(fk.RefColumns) || len(fk.Columns) == 0 {
+				return fmt.Errorf("catalog: table %q foreign key %q column count mismatch", t.Name, fk.Name)
+			}
+			for _, ord := range fk.Columns {
+				if ord < 0 || ord >= len(t.Columns) {
+					return fmt.Errorf("catalog: table %q foreign key %q ordinal %d out of range",
+						t.Name, fk.Name, ord)
+				}
+			}
+			for _, ord := range fk.RefColumns {
+				if ord < 0 || ord >= len(ref.Columns) {
+					return fmt.Errorf("catalog: table %q foreign key %q referenced ordinal %d out of range",
+						t.Name, fk.Name, ord)
+				}
+			}
+			if !ref.IsUniqueKey(fk.RefColumns) {
+				return fmt.Errorf("catalog: table %q foreign key %q: referenced columns are not a unique key of %q",
+					t.Name, fk.Name, fk.RefTable)
+			}
+		}
+	}
+	return nil
+}
+
+// FKAllNotNull reports whether every referencing column of the foreign key is
+// declared NOT NULL. Only such foreign keys guarantee a cardinality-
+// preserving join (§3.2); nullable ones need the null-rejecting-predicate
+// relaxation.
+func FKAllNotNull(t *Table, fk *ForeignKey) bool {
+	for _, ord := range fk.Columns {
+		if !t.Columns[ord].NotNull {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,193 @@
+package catalog
+
+import (
+	"testing"
+
+	"matview/internal/sqlvalue"
+)
+
+func twoTableCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	c := New()
+	orders := &Table{
+		Name: "orders",
+		Columns: []Column{
+			{Name: "o_orderkey", Type: sqlvalue.KindInt, NotNull: true},
+			{Name: "o_custkey", Type: sqlvalue.KindInt, NotNull: true},
+		},
+		PrimaryKey: []int{0},
+		RowCount:   1500,
+	}
+	lineitem := &Table{
+		Name: "lineitem",
+		Columns: []Column{
+			{Name: "l_orderkey", Type: sqlvalue.KindInt, NotNull: true},
+			{Name: "l_linenumber", Type: sqlvalue.KindInt, NotNull: true},
+			{Name: "l_quantity", Type: sqlvalue.KindFloat, NotNull: true},
+		},
+		PrimaryKey: []int{0, 1},
+		Foreign: []ForeignKey{
+			{Name: "fk_l_o", Columns: []int{0}, RefTable: "orders", RefColumns: []int{0}},
+		},
+		RowCount: 6000,
+	}
+	if err := c.Add(orders); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(lineitem); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestAddAndLookup(t *testing.T) {
+	c := twoTableCatalog(t)
+	if c.Table("orders") == nil || c.Table("lineitem") == nil {
+		t.Fatal("tables not found")
+	}
+	if c.Table("nope") != nil {
+		t.Fatal("unknown table found")
+	}
+	ts := c.Tables()
+	if len(ts) != 2 || ts[0].Name != "orders" || ts[1].Name != "lineitem" {
+		t.Fatalf("Tables() order wrong: %v", ts)
+	}
+}
+
+func TestDuplicateTableRejected(t *testing.T) {
+	c := New()
+	if err := c.Add(&Table{Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(&Table{Name: "x"}); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+	if err := c.Add(&Table{}); err == nil {
+		t.Fatal("empty-named table accepted")
+	}
+}
+
+func TestPrimaryKeyRegistersUniqueKey(t *testing.T) {
+	c := twoTableCatalog(t)
+	orders := c.Table("orders")
+	if !orders.IsUniqueKey([]int{0}) {
+		t.Error("primary key must register as unique key")
+	}
+	li := c.Table("lineitem")
+	if !li.IsUniqueKey([]int{1, 0}) { // order-insensitive
+		t.Error("composite PK must be a unique key regardless of order")
+	}
+	if li.IsUniqueKey([]int{0}) {
+		t.Error("prefix of composite key must not be a unique key")
+	}
+}
+
+func TestHasUniqueKey(t *testing.T) {
+	c := twoTableCatalog(t)
+	li := c.Table("lineitem")
+	if !li.HasUniqueKey(map[int]bool{0: true, 1: true, 2: true}) {
+		t.Error("superset of PK must contain a unique key")
+	}
+	if li.HasUniqueKey(map[int]bool{0: true, 2: true}) {
+		t.Error("non-superset must not contain a unique key")
+	}
+}
+
+func TestColumnIndex(t *testing.T) {
+	c := twoTableCatalog(t)
+	if got := c.Table("orders").ColumnIndex("o_custkey"); got != 1 {
+		t.Errorf("ColumnIndex(o_custkey) = %d", got)
+	}
+	if got := c.Table("orders").ColumnIndex("missing"); got != -1 {
+		t.Errorf("ColumnIndex(missing) = %d", got)
+	}
+}
+
+func TestValidateBadForeignKeys(t *testing.T) {
+	mk := func(fk ForeignKey) *Catalog {
+		c := New()
+		_ = c.Add(&Table{
+			Name:       "parent",
+			Columns:    []Column{{Name: "id", Type: sqlvalue.KindInt, NotNull: true}},
+			PrimaryKey: []int{0},
+		})
+		_ = c.Add(&Table{
+			Name:    "child",
+			Columns: []Column{{Name: "pid", Type: sqlvalue.KindInt}},
+			Foreign: []ForeignKey{fk},
+		})
+		return c
+	}
+	cases := []struct {
+		name string
+		fk   ForeignKey
+	}{
+		{"unknown ref table", ForeignKey{Columns: []int{0}, RefTable: "ghost", RefColumns: []int{0}}},
+		{"count mismatch", ForeignKey{Columns: []int{0}, RefTable: "parent", RefColumns: []int{0, 0}}},
+		{"empty columns", ForeignKey{RefTable: "parent"}},
+		{"bad local ordinal", ForeignKey{Columns: []int{5}, RefTable: "parent", RefColumns: []int{0}}},
+		{"bad ref ordinal", ForeignKey{Columns: []int{0}, RefTable: "parent", RefColumns: []int{7}}},
+	}
+	for _, tc := range cases {
+		if err := mk(tc.fk).Validate(); err == nil {
+			t.Errorf("%s: Validate accepted bad FK", tc.name)
+		}
+	}
+}
+
+func TestValidateFKMustReferenceUniqueKey(t *testing.T) {
+	c := New()
+	_ = c.Add(&Table{
+		Name: "parent",
+		Columns: []Column{
+			{Name: "id", Type: sqlvalue.KindInt},
+			{Name: "grp", Type: sqlvalue.KindInt},
+		},
+		PrimaryKey: []int{0},
+	})
+	_ = c.Add(&Table{
+		Name:    "child",
+		Columns: []Column{{Name: "pgrp", Type: sqlvalue.KindInt}},
+		Foreign: []ForeignKey{
+			{Columns: []int{0}, RefTable: "parent", RefColumns: []int{1}}, // grp is not unique
+		},
+	})
+	if err := c.Validate(); err == nil {
+		t.Fatal("FK to non-unique columns accepted")
+	}
+}
+
+func TestAddRejectsBadOrdinals(t *testing.T) {
+	c := New()
+	err := c.Add(&Table{
+		Name:       "t",
+		Columns:    []Column{{Name: "a"}},
+		PrimaryKey: []int{3},
+	})
+	if err == nil {
+		t.Fatal("out-of-range PK ordinal accepted")
+	}
+	err = c.Add(&Table{
+		Name:       "u",
+		Columns:    []Column{{Name: "a"}},
+		UniqueKeys: [][]int{{9}},
+	})
+	if err == nil {
+		t.Fatal("out-of-range unique key ordinal accepted")
+	}
+}
+
+func TestFKAllNotNull(t *testing.T) {
+	c := twoTableCatalog(t)
+	li := c.Table("lineitem")
+	if !FKAllNotNull(li, &li.Foreign[0]) {
+		t.Error("NOT NULL FK reported nullable")
+	}
+	li.Columns[0].NotNull = false
+	if FKAllNotNull(li, &li.Foreign[0]) {
+		t.Error("nullable FK reported NOT NULL")
+	}
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"testing"
+
+	"matview/internal/expr"
+	"matview/internal/spjg"
+	"matview/internal/tpch"
+)
+
+// aggView builds an aggregation view over lineitem grouped on the given
+// columns with COUNT_BIG(*) and SUM columns for each sum argument.
+func aggView(groupCols []int, sumCols []int, pred expr.Expr) *spjg.Query {
+	q := &spjg.Query{
+		Tables: []spjg.TableRef{tref("lineitem")},
+		Where:  pred,
+	}
+	for _, g := range groupCols {
+		q.GroupBy = append(q.GroupBy, expr.Col(0, g))
+		q.Outputs = append(q.Outputs, spjg.OutputColumn{
+			Name: tcat.Table("lineitem").Columns[g].Name,
+			Expr: expr.Col(0, g),
+		})
+	}
+	q.Outputs = append(q.Outputs, spjg.OutputColumn{Name: "cnt", Agg: &spjg.Aggregate{Kind: spjg.AggCountStar}})
+	for _, s := range sumCols {
+		q.Outputs = append(q.Outputs, spjg.OutputColumn{
+			Name: "sum_" + tcat.Table("lineitem").Columns[s].Name,
+			Agg:  &spjg.Aggregate{Kind: spjg.AggSum, Arg: expr.Col(0, s)},
+		})
+	}
+	return q
+}
+
+func TestAggOverAggEqualGrouping(t *testing.T) {
+	m := defaultMatcher()
+	v := mustView(t, m, 0, "v", aggView([]int{tpch.LPartkey}, []int{tpch.LQuantity}, nil))
+	q := mustValidate(t, aggView([]int{tpch.LPartkey}, []int{tpch.LQuantity}, nil))
+	sub := m.Match(q, v)
+	if sub == nil {
+		t.Fatal("identical aggregation not matched")
+	}
+	if sub.Regroup {
+		t.Error("equal grouping lists must not regroup")
+	}
+	// Outputs must be plain column refs: group col 0, cnt 1, sum 2.
+	for i, o := range sub.Outputs {
+		col, ok := o.Expr.(expr.Column)
+		if !ok || col.Ref.Col != i {
+			t.Errorf("output %d = %+v", i, o)
+		}
+	}
+}
+
+func TestAggOverAggRollup(t *testing.T) {
+	m := defaultMatcher()
+	// View grouped on (l_partkey, l_suppkey); query groups on l_partkey only.
+	v := mustView(t, m, 0, "v",
+		aggView([]int{tpch.LPartkey, tpch.LSuppkey}, []int{tpch.LQuantity}, nil))
+	q := mustValidate(t, aggView([]int{tpch.LPartkey}, []int{tpch.LQuantity}, nil))
+	sub := m.Match(q, v)
+	if sub == nil {
+		t.Fatal("rollup not matched")
+	}
+	if !sub.Regroup || len(sub.GroupBy) != 1 {
+		t.Fatalf("expected compensating group-by: %+v", sub)
+	}
+	// Group key references view output 0 (l_partkey).
+	if col, ok := sub.GroupBy[0].(expr.Column); !ok || col.Ref.Col != 0 {
+		t.Errorf("group key = %v", sub.GroupBy[0])
+	}
+	// COUNT(*) becomes SUM(cnt): view cnt is output ordinal 2.
+	cnt := sub.Outputs[1]
+	if cnt.Agg == nil || cnt.Agg.Kind != spjg.AggSum {
+		t.Fatalf("count output = %+v", cnt)
+	}
+	if col, ok := cnt.Agg.Arg.(expr.Column); !ok || col.Ref.Col != 2 {
+		t.Errorf("COUNT(*) must roll up over view cnt column: %v", cnt.Agg.Arg)
+	}
+	// SUM(l_quantity) becomes SUM over view sum column (ordinal 3).
+	sum := sub.Outputs[2]
+	if sum.Agg == nil || sum.Agg.Kind != spjg.AggSum {
+		t.Fatalf("sum output = %+v", sum)
+	}
+	if col, ok := sum.Agg.Arg.(expr.Column); !ok || col.Ref.Col != 3 {
+		t.Errorf("SUM must roll up over view sum column: %v", sum.Agg.Arg)
+	}
+}
+
+func TestAggGroupingNotSubsetRejected(t *testing.T) {
+	m := defaultMatcher()
+	// View grouped on l_partkey cannot answer query grouped on l_suppkey or
+	// on (l_partkey, l_suppkey) — the view is more aggregated.
+	v := mustView(t, m, 0, "v", aggView([]int{tpch.LPartkey}, []int{tpch.LQuantity}, nil))
+	q1 := mustValidate(t, aggView([]int{tpch.LSuppkey}, []int{tpch.LQuantity}, nil))
+	q2 := mustValidate(t, aggView([]int{tpch.LPartkey, tpch.LSuppkey}, []int{tpch.LQuantity}, nil))
+	if m.Match(q1, v) != nil || m.Match(q2, v) != nil {
+		t.Fatal("more-aggregated view must be rejected")
+	}
+}
+
+func TestAggMissingSumRejected(t *testing.T) {
+	m := defaultMatcher()
+	// View sums l_quantity; query wants SUM(l_extendedprice).
+	v := mustView(t, m, 0, "v", aggView([]int{tpch.LPartkey}, []int{tpch.LQuantity}, nil))
+	q := mustValidate(t, aggView([]int{tpch.LPartkey}, []int{tpch.LExtendedprice}, nil))
+	if m.Match(q, v) != nil {
+		t.Fatal("missing sum column must reject")
+	}
+}
+
+func TestSPJQueryOverAggViewRejected(t *testing.T) {
+	m := defaultMatcher()
+	v := mustView(t, m, 0, "v", aggView([]int{tpch.LPartkey}, nil, nil))
+	q := mustValidate(t, spjLineitemView(nil, tpch.LPartkey))
+	if m.Match(q, v) != nil {
+		t.Fatal("aggregation view cannot answer SPJ query (duplicates lost)")
+	}
+}
+
+func TestAggQueryOverSPJView(t *testing.T) {
+	m := defaultMatcher()
+	v := mustView(t, m, 0, "v",
+		spjLineitemView(expr.NewCmp(expr.GT, expr.Col(0, tpch.LPartkey), expr.CInt(10)),
+			tpch.LPartkey, tpch.LQuantity))
+	q := mustValidate(t, aggView([]int{tpch.LPartkey}, []int{tpch.LQuantity},
+		expr.NewCmp(expr.GT, expr.Col(0, tpch.LPartkey), expr.CInt(10))))
+	sub := m.Match(q, v)
+	if sub == nil {
+		t.Fatal("aggregation over SPJ view rejected")
+	}
+	if !sub.Regroup {
+		t.Fatal("aggregation over SPJ view must regroup")
+	}
+	// COUNT(*) stays COUNT(*) (counting view rows).
+	if sub.Outputs[1].Agg == nil || sub.Outputs[1].Agg.Kind != spjg.AggCountStar {
+		t.Errorf("count output = %+v", sub.Outputs[1])
+	}
+	// SUM(l_quantity) over view output 1.
+	if sub.Outputs[2].Agg == nil || sub.Outputs[2].Agg.Kind != spjg.AggSum {
+		t.Errorf("sum output = %+v", sub.Outputs[2])
+	}
+}
+
+func TestScalarAggregateQuery(t *testing.T) {
+	m := defaultMatcher()
+	scalarQ := mustValidate(t, &spjg.Query{
+		Tables: []spjg.TableRef{tref("lineitem")},
+		Outputs: []spjg.OutputColumn{
+			{Name: "total", Agg: &spjg.Aggregate{Kind: spjg.AggSum, Arg: expr.Col(0, tpch.LQuantity)}},
+		},
+	})
+	// Over an aggregation view: rejected (empty-input semantics differ).
+	aggV := mustView(t, m, 0, "aggv", aggView([]int{tpch.LPartkey}, []int{tpch.LQuantity}, nil))
+	if m.Match(scalarQ, aggV) != nil {
+		t.Fatal("scalar aggregate over aggregation view must be rejected")
+	}
+	// Over an SPJ view: fine.
+	spjV := mustView(t, m, 1, "spjv", spjLineitemView(nil, tpch.LQuantity))
+	sub := m.Match(scalarQ, spjV)
+	if sub == nil {
+		t.Fatal("scalar aggregate over SPJ view rejected")
+	}
+	if !sub.Regroup || len(sub.GroupBy) != 0 {
+		t.Errorf("scalar aggregate shape: %+v", sub)
+	}
+}
+
+func TestAvgRollup(t *testing.T) {
+	m := defaultMatcher()
+	avgQ := func(groups []int) *spjg.Query {
+		q := &spjg.Query{Tables: []spjg.TableRef{tref("lineitem")}}
+		for _, g := range groups {
+			q.GroupBy = append(q.GroupBy, expr.Col(0, g))
+			q.Outputs = append(q.Outputs, spjg.OutputColumn{
+				Name: tcat.Table("lineitem").Columns[g].Name, Expr: expr.Col(0, g)})
+		}
+		q.Outputs = append(q.Outputs, spjg.OutputColumn{
+			Name: "avg_qty", Agg: &spjg.Aggregate{Kind: spjg.AggAvg, Arg: expr.Col(0, tpch.LQuantity)}})
+		return q
+	}
+	v := mustView(t, m, 0, "v",
+		aggView([]int{tpch.LPartkey, tpch.LSuppkey}, []int{tpch.LQuantity}, nil))
+
+	// No-regroup case: AVG = sum_col / cnt_col as a scalar expression.
+	q1 := mustValidate(t, avgQ([]int{tpch.LPartkey, tpch.LSuppkey}))
+	sub1 := m.Match(q1, v)
+	if sub1 == nil {
+		t.Fatal("AVG over equal grouping rejected")
+	}
+	av := sub1.Outputs[len(sub1.Outputs)-1]
+	div, ok := av.Expr.(expr.Arith)
+	if !ok || div.Op != expr.Div {
+		t.Fatalf("AVG no-regroup output = %+v", av)
+	}
+
+	// Regroup case: AVG = SUM(sum_col) / SUM(cnt_col).
+	q2 := mustValidate(t, avgQ([]int{tpch.LPartkey}))
+	sub2 := m.Match(q2, v)
+	if sub2 == nil {
+		t.Fatal("AVG rollup rejected")
+	}
+	av2 := sub2.Outputs[len(sub2.Outputs)-1]
+	if av2.Agg == nil || av2.Agg.Kind != spjg.AggSum || av2.DivBy == nil || av2.DivBy.Kind != spjg.AggSum {
+		t.Fatalf("AVG regroup output = %+v", av2)
+	}
+}
+
+func TestGroupingByExpressionExtension(t *testing.T) {
+	on := defaultMatcher()
+	off := paperMatcher()
+	// View grouped on (l_partkey, l_suppkey); query groups on the expression
+	// l_partkey + l_suppkey — computable from the view's grouping columns.
+	mk := func(m *Matcher, id int) *View {
+		return mustView(t, m, id, "v",
+			aggView([]int{tpch.LPartkey, tpch.LSuppkey}, []int{tpch.LQuantity}, nil))
+	}
+	sumExpr := expr.NewArith(expr.Add, expr.Col(0, tpch.LPartkey), expr.Col(0, tpch.LSuppkey))
+	q := mustValidate(t, &spjg.Query{
+		Tables:  []spjg.TableRef{tref("lineitem")},
+		GroupBy: []expr.Expr{sumExpr},
+		Outputs: []spjg.OutputColumn{
+			{Name: "k", Expr: sumExpr},
+			{Name: "qty", Agg: &spjg.Aggregate{Kind: spjg.AggSum, Arg: expr.Col(0, tpch.LQuantity)}},
+		},
+	})
+	sub := on.Match(q, mk(on, 0))
+	if sub == nil {
+		t.Fatal("grouping-by-expression extension did not match")
+	}
+	if !sub.Regroup {
+		t.Error("computed grouping expression must force a regroup")
+	}
+	if off.Match(q, mk(off, 1)) != nil {
+		t.Error("extension disabled but expression grouping matched")
+	}
+}
+
+func TestAggViewCompensationOnlyOnGroupingColumns(t *testing.T) {
+	m := defaultMatcher()
+	// View grouped on l_partkey with no predicate. Query adds a range on
+	// l_suppkey, which is not a grouping column → compensation impossible.
+	v := mustView(t, m, 0, "v", aggView([]int{tpch.LPartkey}, []int{tpch.LQuantity}, nil))
+	q := mustValidate(t, aggView([]int{tpch.LPartkey}, []int{tpch.LQuantity},
+		expr.NewCmp(expr.GT, expr.Col(0, tpch.LSuppkey), expr.CInt(5))))
+	if m.Match(q, v) != nil {
+		t.Fatal("compensation on non-grouping column must reject")
+	}
+	// Compensation on the grouping column is fine.
+	q2 := mustValidate(t, aggView([]int{tpch.LPartkey}, []int{tpch.LQuantity},
+		expr.NewCmp(expr.GT, expr.Col(0, tpch.LPartkey), expr.CInt(5))))
+	sub := m.Match(q2, v)
+	if sub == nil || sub.Filter == nil {
+		t.Fatal("compensation on grouping column rejected")
+	}
+}
+
+func TestAggViewWithPredicateSubsumption(t *testing.T) {
+	m := defaultMatcher()
+	// View: grouped, with l_partkey > 100. Query: grouped, l_partkey > 200.
+	v := mustView(t, m, 0, "v", aggView([]int{tpch.LPartkey}, []int{tpch.LQuantity},
+		expr.NewCmp(expr.GT, expr.Col(0, tpch.LPartkey), expr.CInt(100))))
+	q := mustValidate(t, aggView([]int{tpch.LPartkey}, []int{tpch.LQuantity},
+		expr.NewCmp(expr.GT, expr.Col(0, tpch.LPartkey), expr.CInt(200))))
+	sub := m.Match(q, v)
+	if sub == nil || sub.Filter == nil {
+		t.Fatal("agg view SPJ-part subsumption failed")
+	}
+	// Reverse direction must reject.
+	if m.Match(mustValidate(t, aggView([]int{tpch.LPartkey}, []int{tpch.LQuantity},
+		expr.NewCmp(expr.GT, expr.Col(0, tpch.LPartkey), expr.CInt(50)))), v) != nil {
+		t.Fatal("narrower agg view accepted")
+	}
+}

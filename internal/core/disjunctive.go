@@ -1,0 +1,89 @@
+package core
+
+import (
+	"matview/internal/eqclass"
+	"matview/internal/expr"
+	"matview/internal/ranges"
+)
+
+// This file implements the disjunctive-range extension of §3.1.2 ("this
+// range coverage algorithm can be extended to support disjunctions (OR) of
+// range predicates"; the paper's prototype does not implement it). A residual
+// conjunct that is a disjunction of range predicates over a single column
+// equivalence class — (A < 5 OR A > 10), (A = 1 OR B = 7) with A ≡ B — is
+// interpreted as an interval set on that class instead of being matched
+// textually. Subsumption becomes interval-set containment; the compensating
+// predicate is the query's own disjunction re-routed to a view output column.
+
+// orRangeSet recognizes a conjunct as a disjunction of range predicates over
+// one equivalence class and returns the class representative and the union
+// of the disjunct intervals. A single range predicate also qualifies (it is
+// the one-disjunct case) but those never appear here: Classify routes them
+// to PR before the residual list is built.
+func orRangeSet(e expr.Expr, ec *eqclass.Classes) (expr.ColRef, ranges.IntervalSet, bool) {
+	or, ok := e.(expr.Or)
+	if !ok {
+		return expr.ColRef{}, ranges.IntervalSet{}, false
+	}
+	var rep expr.ColRef
+	var set ranges.IntervalSet
+	for i, d := range or.Args {
+		kind, _, rc := expr.Classify(d)
+		if kind != expr.KindRange {
+			return expr.ColRef{}, ranges.IntervalSet{}, false
+		}
+		r := ec.Find(rc.Col)
+		if i == 0 {
+			rep = r
+		} else if r != rep {
+			return expr.ColRef{}, ranges.IntervalSet{}, false
+		}
+		iv, ok := ranges.Universal().Apply(rc.Op, rc.Val)
+		if !ok {
+			return expr.ColRef{}, ranges.IntervalSet{}, false
+		}
+		set = set.Add(iv)
+	}
+	return rep, set, true
+}
+
+// disjunctiveInfo is the per-side result of scanning a residual list for
+// OR-of-range conjuncts.
+type disjunctiveInfo struct {
+	// sets maps a class representative to the intersection of all the OR
+	// conjuncts' interval sets on that class.
+	sets map[expr.ColRef]ranges.IntervalSet
+	// conjuncts maps a class representative to the original conjuncts, for
+	// compensating-predicate construction (query side only).
+	conjuncts map[expr.ColRef][]expr.Expr
+	// consumed marks residual indexes that were interpreted as ranges and
+	// must be excluded from shallow residual matching.
+	consumed map[int]bool
+}
+
+// scanDisjunctive extracts the disjunctive range structure of a residual
+// list. classOf maps each conjunct's own class representative into the
+// shared (query) class space.
+func scanDisjunctive(pu []expr.Expr, own *eqclass.Classes,
+	classOf func(expr.ColRef) expr.ColRef) disjunctiveInfo {
+	info := disjunctiveInfo{
+		sets:      map[expr.ColRef]ranges.IntervalSet{},
+		conjuncts: map[expr.ColRef][]expr.Expr{},
+		consumed:  map[int]bool{},
+	}
+	for i, c := range pu {
+		rep, set, ok := orRangeSet(c, own)
+		if !ok {
+			continue
+		}
+		key := classOf(rep)
+		if cur, exists := info.sets[key]; exists {
+			info.sets[key] = cur.IntersectSet(set)
+		} else {
+			info.sets[key] = set
+		}
+		info.conjuncts[key] = append(info.conjuncts[key], c)
+		info.consumed[i] = true
+	}
+	return info
+}

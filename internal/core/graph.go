@@ -1,0 +1,172 @@
+package core
+
+import (
+	"matview/internal/catalog"
+	"matview/internal/eqclass"
+	"matview/internal/expr"
+	"matview/internal/spjg"
+)
+
+// fkEdge is one edge of the foreign-key join graph (§3.2): the view joins
+// table instance From to table instance To through the foreign key FK of
+// From's base table, and the join satisfies the five requirements — equijoin,
+// all columns, non-null (or relaxed), foreign key, unique key. Such a join is
+// cardinality preserving: every row of From joins exactly one row of To.
+type fkEdge struct {
+	From, To int
+	FK       *catalog.ForeignKey
+}
+
+// buildFKGraph constructs the foreign-key join graph of a view definition.
+// Equijoin conditions are taken from the equivalence classes so transitive
+// equalities are captured ("to capture transitive equijoin conditions
+// correctly we must use the equivalence classes when adding edges"). The
+// nullable predicate, when non-nil, implements the null-rejecting relaxation:
+// a nullable foreign-key column is acceptable if nullable(col) returns true.
+func buildFKGraph(def *spjg.Query, ec *eqclass.Classes, nullableOK func(expr.ColRef) bool) []fkEdge {
+	var edges []fkEdge
+	for from := range def.Tables {
+		ft := def.Tables[from].Table
+		for fi := range ft.Foreign {
+			fk := &ft.Foreign[fi]
+			for to := range def.Tables {
+				if to == from || def.Tables[to].Table.Name != fk.RefTable {
+					continue
+				}
+				ok := true
+				for k := range fk.Columns {
+					fcol := expr.ColRef{Tab: from, Col: fk.Columns[k]}
+					rcol := expr.ColRef{Tab: to, Col: fk.RefColumns[k]}
+					if !ec.Same(fcol, rcol) {
+						ok = false
+						break
+					}
+					if !ft.Columns[fk.Columns[k]].NotNull {
+						if nullableOK == nil || !nullableOK(fcol) {
+							ok = false
+							break
+						}
+					}
+				}
+				if ok {
+					edges = append(edges, fkEdge{From: from, To: to, FK: fk})
+				}
+			}
+		}
+	}
+	return edges
+}
+
+// eliminate runs the node-deletion process of §3.2 on the graph: repeatedly
+// delete a candidate node that has no outgoing edges and exactly one incoming
+// edge (logically performing that cardinality-preserving join), until no more
+// candidates can be deleted. It returns the edges consumed by deletions, in
+// deletion order, and whether every candidate was eliminated.
+//
+// candidates marks the nodes that may be deleted: the view's extra tables
+// during matching, or every node when computing the hub.
+func eliminate(numNodes int, edges []fkEdge, candidates map[int]bool, blocked func(int) bool) (deleted []fkEdge, allGone bool) {
+	alive := make([]bool, numNodes)
+	for i := range alive {
+		alive[i] = true
+	}
+	edgeAlive := make([]bool, len(edges))
+	for i := range edgeAlive {
+		edgeAlive[i] = true
+	}
+	remaining := 0
+	for n := range candidates {
+		if candidates[n] {
+			remaining++
+		}
+	}
+	for {
+		progress := false
+		for n := 0; n < numNodes; n++ {
+			if !alive[n] || !candidates[n] {
+				continue
+			}
+			if blocked != nil && blocked(n) {
+				continue
+			}
+			out := 0
+			in := -1
+			inCount := 0
+			for i, e := range edges {
+				if !edgeAlive[i] || !alive[e.From] || !alive[e.To] {
+					continue
+				}
+				if e.From == n {
+					out++
+				}
+				if e.To == n {
+					in = i
+					inCount++
+				}
+			}
+			if out == 0 && inCount == 1 {
+				alive[n] = false
+				edgeAlive[in] = false
+				deleted = append(deleted, edges[in])
+				remaining--
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	return deleted, remaining == 0
+}
+
+// computeHub runs the elimination on the view itself until no further tables
+// can be removed; the remaining set is the view's hub (§4.2.2). The
+// refinement described there is applied: a table stays in the hub when one of
+// its columns in a trivial equivalence class is referenced by a range or
+// residual predicate — in that case the join is not guaranteed cardinality
+// preserving for the view's row set, and any query matching the predicate
+// must reference the table anyway.
+//
+// When the null-rejecting relaxation is enabled, nullable foreign-key edges
+// participate (a future query may supply the null-rejecting predicate), which
+// can only shrink the hub — keeping the hub condition conservative.
+func (m *Matcher) computeHub(v *View) []int {
+	constrained := make(map[int]bool)
+	mark := func(c expr.ColRef) {
+		if v.A.EC.IsTrivial(c) {
+			constrained[c.Tab] = true
+		}
+	}
+	for _, rc := range v.A.PR {
+		mark(rc.Col)
+	}
+	for _, pu := range v.A.PU {
+		for _, c := range expr.Columns(pu) {
+			mark(c)
+		}
+	}
+
+	var nullableOK func(expr.ColRef) bool
+	if m.opts.NullRejectingFKRelaxation {
+		nullableOK = func(expr.ColRef) bool { return true }
+	}
+	edges := buildFKGraph(v.Def, v.A.EC, nullableOK)
+	candidates := make(map[int]bool, len(v.Def.Tables))
+	for i := range v.Def.Tables {
+		candidates[i] = true
+	}
+	deleted, _ := eliminate(len(v.Def.Tables), edges, candidates, func(n int) bool {
+		return constrained[n]
+	})
+	gone := make(map[int]bool, len(deleted))
+	for _, e := range deleted {
+		gone[e.To] = true
+	}
+	var hub []int
+	for i := range v.Def.Tables {
+		if !gone[i] {
+			hub = append(hub, i)
+		}
+	}
+	return hub
+}

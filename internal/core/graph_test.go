@@ -1,0 +1,181 @@
+package core
+
+import (
+	"testing"
+
+	"matview/internal/eqclass"
+	"matview/internal/expr"
+	"matview/internal/spjg"
+	"matview/internal/tpch"
+)
+
+// graphFor builds the FK join graph of a definition with its own classes.
+func graphFor(def *spjg.Query) []fkEdge {
+	a := spjg.Analyze(def, false)
+	return buildFKGraph(def, a.EC, nil)
+}
+
+func TestBuildFKGraphDirectJoin(t *testing.T) {
+	def := &spjg.Query{
+		Tables:  []spjg.TableRef{tref("lineitem"), tref("orders")},
+		Where:   expr.Eq(expr.Col(0, tpch.LOrderkey), expr.Col(1, tpch.OOrderkey)),
+		Outputs: []spjg.OutputColumn{{Expr: expr.Col(0, 0)}},
+	}
+	edges := graphFor(def)
+	if len(edges) != 1 || edges[0].From != 0 || edges[0].To != 1 {
+		t.Fatalf("edges = %+v", edges)
+	}
+}
+
+func TestBuildFKGraphTransitiveEquality(t *testing.T) {
+	// The equijoin is expressed transitively: l_orderkey = o_orderkey is
+	// implied by l_orderkey = X and X = o_orderkey where X is a third column
+	// — here via two predicates through the same class. §3.2: "to capture
+	// transitive equijoin conditions correctly we must use the equivalence
+	// classes".
+	def := &spjg.Query{
+		Tables: []spjg.TableRef{tref("lineitem"), tref("orders"), tref("lineitem")},
+		Where: expr.NewAnd(
+			expr.Eq(expr.Col(0, tpch.LOrderkey), expr.Col(2, tpch.LOrderkey)),
+			expr.Eq(expr.Col(2, tpch.LOrderkey), expr.Col(1, tpch.OOrderkey)),
+		),
+		Outputs: []spjg.OutputColumn{{Expr: expr.Col(0, 0)}},
+	}
+	edges := graphFor(def)
+	// Both lineitem instances now have FK edges into orders.
+	froms := map[int]bool{}
+	for _, e := range edges {
+		if e.To == 1 {
+			froms[e.From] = true
+		}
+	}
+	if !froms[0] || !froms[2] {
+		t.Fatalf("transitive equivalence missed: %+v", edges)
+	}
+}
+
+func TestBuildFKGraphNoEdgeWithoutEquality(t *testing.T) {
+	def := &spjg.Query{
+		Tables:  []spjg.TableRef{tref("lineitem"), tref("orders")},
+		Outputs: []spjg.OutputColumn{{Expr: expr.Col(0, 0)}},
+	}
+	if edges := graphFor(def); len(edges) != 0 {
+		t.Fatalf("cartesian product produced edges: %+v", edges)
+	}
+}
+
+func TestEliminateChain(t *testing.T) {
+	// 0 → 1 → 2, eliminate {1, 2}.
+	edges := []fkEdge{{From: 0, To: 1}, {From: 1, To: 2}}
+	deleted, ok := eliminate(3, edges, map[int]bool{1: true, 2: true}, nil)
+	if !ok || len(deleted) != 2 {
+		t.Fatalf("deleted=%v ok=%v", deleted, ok)
+	}
+	// Order: 2 first (no outgoing), then 1.
+	if deleted[0].To != 2 || deleted[1].To != 1 {
+		t.Fatalf("deletion order = %+v", deleted)
+	}
+}
+
+func TestEliminateBlockedByOutgoingEdge(t *testing.T) {
+	// 0 → 1 → 2, try to eliminate only {1}: node 1 has an outgoing edge.
+	edges := []fkEdge{{From: 0, To: 1}, {From: 1, To: 2}}
+	_, ok := eliminate(3, edges, map[int]bool{1: true}, nil)
+	if ok {
+		t.Fatal("node with outgoing edge eliminated")
+	}
+}
+
+func TestEliminateBlockedByTwoIncoming(t *testing.T) {
+	// 0 → 2 and 1 → 2: two incoming edges, the paper requires exactly one.
+	edges := []fkEdge{{From: 0, To: 2}, {From: 1, To: 2}}
+	_, ok := eliminate(3, edges, map[int]bool{2: true}, nil)
+	if ok {
+		t.Fatal("node with two incoming edges eliminated")
+	}
+}
+
+func TestEliminateRespectsBlockedFn(t *testing.T) {
+	edges := []fkEdge{{From: 0, To: 1}}
+	_, ok := eliminate(2, edges, map[int]bool{1: true}, func(n int) bool { return n == 1 })
+	if ok {
+		t.Fatal("blocked node eliminated")
+	}
+}
+
+func TestEliminateCascade(t *testing.T) {
+	// Star: 0 → 1, 0 → 2; both 1 and 2 deletable independently.
+	edges := []fkEdge{{From: 0, To: 1}, {From: 0, To: 2}}
+	deleted, ok := eliminate(3, edges, map[int]bool{1: true, 2: true}, nil)
+	if !ok || len(deleted) != 2 {
+		t.Fatalf("star elimination failed: %+v", deleted)
+	}
+}
+
+func TestEliminateNothingToDo(t *testing.T) {
+	deleted, ok := eliminate(2, nil, map[int]bool{}, nil)
+	if !ok || len(deleted) != 0 {
+		t.Fatal("empty candidate set must succeed trivially")
+	}
+}
+
+func TestBuildFKGraphNullableColumns(t *testing.T) {
+	// Manufacture a class equality over a nullable FK by using the catalog
+	// from extratables_test.
+	c := nullableFKCatalog(t)
+	def := &spjg.Query{
+		Tables:  []spjg.TableRef{{Table: c.Table("t")}, {Table: c.Table("s")}},
+		Where:   expr.Eq(expr.Col(0, 1), expr.Col(1, 0)),
+		Outputs: []spjg.OutputColumn{{Expr: expr.Col(0, 0)}},
+	}
+	a := spjg.Analyze(def, false)
+	if edges := buildFKGraph(def, a.EC, nil); len(edges) != 0 {
+		t.Fatalf("nullable FK produced an edge without relaxation: %+v", edges)
+	}
+	relaxed := buildFKGraph(def, a.EC, func(expr.ColRef) bool { return true })
+	if len(relaxed) != 1 {
+		t.Fatalf("relaxation did not produce the edge: %+v", relaxed)
+	}
+}
+
+func TestBuildFKGraphCompositePartialEquality(t *testing.T) {
+	// Only half of the composite (l_partkey, l_suppkey) → partsupp key is
+	// equated: no edge.
+	def := &spjg.Query{
+		Tables:  []spjg.TableRef{tref("lineitem"), tref("partsupp")},
+		Where:   expr.Eq(expr.Col(0, tpch.LPartkey), expr.Col(1, tpch.PsPartkey)),
+		Outputs: []spjg.OutputColumn{{Expr: expr.Col(0, 0)}},
+	}
+	for _, e := range graphFor(def) {
+		if e.To == 1 && len(e.FK.Columns) == 2 {
+			t.Fatalf("partial composite FK edge built: %+v", e)
+		}
+	}
+}
+
+func TestOutputOrdinalHelpers(t *testing.T) {
+	def := &spjg.Query{
+		Tables:  []spjg.TableRef{tref("lineitem")},
+		GroupBy: []expr.Expr{expr.Col(0, tpch.LPartkey)},
+		Outputs: []spjg.OutputColumn{
+			{Name: "l_partkey", Expr: expr.Col(0, tpch.LPartkey)},
+			{Name: "cnt", Agg: &spjg.Aggregate{Kind: spjg.AggCountStar}},
+		},
+	}
+	ec := eqclass.New()
+	same := ec.Same
+	if got := OutputOrdinal(def, same, expr.ColRef{Tab: 0, Col: tpch.LPartkey}); got != 0 {
+		t.Errorf("OutputOrdinal = %d", got)
+	}
+	if got := OutputOrdinal(def, same, expr.ColRef{Tab: 0, Col: tpch.LSuppkey}); got != -1 {
+		t.Errorf("missing column ordinal = %d", got)
+	}
+	if got := GroupingOrdinal(def, same, expr.ColRef{Tab: 0, Col: tpch.LPartkey}); got != 0 {
+		t.Errorf("GroupingOrdinal = %d", got)
+	}
+	// Through an equivalence class.
+	ec.Union(expr.ColRef{Tab: 0, Col: tpch.LPartkey}, expr.ColRef{Tab: 0, Col: tpch.LSuppkey})
+	if got := OutputOrdinal(def, ec.Same, expr.ColRef{Tab: 0, Col: tpch.LSuppkey}); got != 0 {
+		t.Errorf("equivalence-routed ordinal = %d", got)
+	}
+}

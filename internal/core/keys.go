@@ -1,0 +1,306 @@
+package core
+
+import (
+	"sort"
+
+	"matview/internal/expr"
+	"matview/internal/spjg"
+)
+
+// ViewKeys are the precomputed per-view keys for the filter tree's
+// partitioning conditions (§4.2). All column-level keys use base-table column
+// names ("lineitem.l_partkey"); instance-level keys (source tables, hub) use
+// occurrence-numbered names ("nation#0") so multisets reduce to sets.
+type ViewKeys struct {
+	// SourceTables is the view's table multiset (§4.2.1: view sources must be
+	// a superset of the query's).
+	SourceTables []string
+	// Hub is the multiset key of the view's hub (§4.2.2: hub must be a subset
+	// of the query's sources).
+	Hub []string
+	// OutputCols is the extended output column list (§4.2.3): every column
+	// equivalent to a simple output column.
+	OutputCols []string
+	// OutputExprs holds the fingerprint texts of complex scalar outputs, and,
+	// for aggregation views, "SUM:"-prefixed texts of the sum arguments
+	// (§4.2.7; used only against aggregation-view candidates).
+	OutputExprs []string
+	// Residuals holds the fingerprint texts of the view's residual predicates
+	// (§4.2.6: must be a subset of the query's).
+	Residuals []string
+	// RangeColsReduced is the reduced range constraint list (§4.2.5): names
+	// of constrained columns in trivial equivalence classes only.
+	RangeColsReduced []string
+	// RangeClasses lists, for every constrained view class, the names of all
+	// its member columns — the complete constraint list used by the strong
+	// range-constraint check.
+	RangeClasses [][]string
+	// GroupingCols is the extended grouping column list (§4.2.4), aggregation
+	// views only.
+	GroupingCols []string
+	// GroupingExprs holds the fingerprint texts of complex grouping
+	// expressions (§4.2.8), aggregation views only.
+	GroupingExprs []string
+	// IsAggregate routes the view into the aggregation subtree.
+	IsAggregate bool
+}
+
+// QueryKeys are the per-invocation search keys derived from a query
+// expression, mirroring ViewKeys on the query side of each condition.
+type QueryKeys struct {
+	SourceTables []string
+	// OutputClasses holds, per simple scalar output, the names of every
+	// column in its equivalence class (the condition: the view's extended
+	// output list must intersect each class).
+	OutputClasses [][]string
+	// OutputExprsSPJ holds complex scalar output texts, matched against SPJ
+	// views; OutputExprsAgg additionally carries "SUM:" keys, matched against
+	// aggregation views.
+	OutputExprsSPJ []string
+	OutputExprsAgg []string
+	Residuals      []string
+	// ExtRangeCols is the extended range constraint list (§4.2.5): names of
+	// every column in every constrained query class.
+	ExtRangeCols []string
+	// GroupingClasses and GroupingExprs mirror the output-side keys for the
+	// query's group-by list (aggregation queries only).
+	GroupingClasses [][]string
+	GroupingExprs   []string
+	IsAggregate     bool
+	// ScalarAggregate marks an aggregate query with no GROUP BY; such queries
+	// never match aggregation views (see Match).
+	ScalarAggregate bool
+}
+
+// colName renders a column as "basetable.column".
+func colName(def *spjg.Query, c expr.ColRef) string {
+	t := def.Tables[c.Tab].Table
+	return t.Name + "." + t.Columns[c.Col].Name
+}
+
+// classNames returns the deduplicated, sorted names of all columns equivalent
+// to c under the analysis' classes.
+func classNames(a *spjg.Analysis, c expr.ColRef) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, m := range a.EC.Members(c) {
+		n := colName(a.Q, m)
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedSet(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// computeViewKeys derives the filter-tree keys for a registered view.
+func (m *Matcher) computeViewKeys(v *View) ViewKeys {
+	def, a := v.Def, v.A
+	k := ViewKeys{
+		SourceTables: def.SourceTableMultiset(),
+		IsAggregate:  def.IsAggregate(),
+	}
+	// Hub multiset keys.
+	src := k.SourceTables
+	for _, ti := range v.Hub {
+		k.Hub = append(k.Hub, src[ti])
+	}
+	sort.Strings(k.Hub)
+
+	// Extended output columns and complex output expressions.
+	var outCols, outExprs []string
+	for _, o := range def.Outputs {
+		switch {
+		case o.Expr != nil:
+			if col, ok := o.Expr.(expr.Column); ok {
+				outCols = append(outCols, classNames(a, col.Ref)...)
+			} else if _, isConst := o.Expr.(expr.Const); !isConst {
+				outExprs = append(outExprs, expr.NewFingerprint(expr.Normalize(o.Expr)).Text)
+			}
+		case o.Agg != nil && o.Agg.Kind == spjg.AggSum:
+			outExprs = append(outExprs, "SUM:"+expr.NewFingerprint(expr.Normalize(o.Agg.Arg)).Text)
+		}
+	}
+	// Backjoinable closure: if a table instance's unique key is fully
+	// available among the (grouping) output columns, every column of that
+	// table is recoverable through a backjoin (§7), so the filter tree's
+	// output- and grouping-column conditions must treat them as available.
+	if m.opts.BackjoinSubstitutes {
+		outCols = append(outCols, m.backjoinClosure(v, outCols)...)
+	}
+	k.OutputCols = sortedSet(outCols)
+	k.OutputExprs = sortedSet(outExprs)
+
+	// Disjunctive OR-of-range residuals count as range constraints, not as
+	// textual residuals, when the extension is enabled.
+	dis := disjunctiveInfo{consumed: map[int]bool{}}
+	if m.opts.DisjunctiveRanges {
+		dis = scanDisjunctive(a.PU, a.EC, a.EC.Find)
+	}
+
+	// Residual texts.
+	var res []string
+	for i, fp := range a.ResidualFPs {
+		if dis.consumed[i] {
+			continue
+		}
+		res = append(res, fp.Text)
+	}
+	k.Residuals = sortedSet(res)
+
+	// Range constraint lists (plain ranges plus disjunctive classes).
+	constrainedReps := map[expr.ColRef]bool{}
+	for rep := range a.Ranges {
+		constrainedReps[a.EC.Find(rep)] = true
+	}
+	for rep := range dis.sets {
+		constrainedReps[a.EC.Find(rep)] = true
+	}
+	var reduced []string
+	for rep := range constrainedReps {
+		names := classNames(a, rep)
+		k.RangeClasses = append(k.RangeClasses, names)
+		if len(a.EC.Members(rep)) == 1 {
+			reduced = append(reduced, names[0])
+		}
+	}
+	sort.Slice(k.RangeClasses, func(i, j int) bool { return k.RangeClasses[i][0] < k.RangeClasses[j][0] })
+	k.RangeColsReduced = sortedSet(reduced)
+
+	// Grouping keys for aggregation views.
+	if k.IsAggregate {
+		var gcols, gexprs []string
+		for _, g := range def.GroupBy {
+			if col, ok := g.(expr.Column); ok {
+				gcols = append(gcols, classNames(a, col.Ref)...)
+			} else {
+				gexprs = append(gexprs, expr.NewFingerprint(expr.Normalize(g)).Text)
+			}
+		}
+		if m.opts.BackjoinSubstitutes {
+			// On aggregation views the backjoin key must consist of grouping
+			// columns, so the closure over the grouping list is the right
+			// extension for the grouping-column condition too.
+			gcols = append(gcols, m.backjoinClosure(v, gcols)...)
+		}
+		k.GroupingCols = sortedSet(gcols)
+		k.GroupingExprs = sortedSet(gexprs)
+	}
+	return k
+}
+
+// backjoinClosure returns the column names of every table instance whose
+// unique key is fully contained (by name) in the available set — the columns
+// a backjoin can recover. Name-level checking is slightly looser than the
+// matcher's instance-level test, which keeps the filter conservative.
+func (m *Matcher) backjoinClosure(v *View, available []string) []string {
+	set := map[string]bool{}
+	for _, s := range available {
+		set[s] = true
+	}
+	var out []string
+	seenTable := map[string]bool{}
+	for _, tref := range v.Def.Tables {
+		t := tref.Table
+		if seenTable[t.Name] {
+			continue
+		}
+		for _, uk := range t.UniqueKeys {
+			if len(uk) == 0 {
+				continue
+			}
+			all := true
+			for _, kc := range uk {
+				if !set[t.Name+"."+t.Columns[kc].Name] {
+					all = false
+					break
+				}
+			}
+			if all {
+				seenTable[t.Name] = true
+				for _, col := range t.Columns {
+					out = append(out, t.Name+"."+col.Name)
+				}
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ComputeQueryKeys derives the search keys for a query expression. The
+// analysis is computed with the matcher's options so check-constraint folding
+// matches registration-time behaviour.
+func (m *Matcher) ComputeQueryKeys(q *spjg.Query) QueryKeys {
+	a := spjg.Analyze(q, m.opts.UseCheckConstraints)
+	k := QueryKeys{
+		SourceTables:    q.SourceTableMultiset(),
+		IsAggregate:     q.IsAggregate(),
+		ScalarAggregate: q.IsAggregate() && len(q.GroupBy) == 0,
+	}
+	var exprsSPJ, exprsAgg []string
+	for _, o := range q.Outputs {
+		switch {
+		case o.Expr != nil:
+			if col, ok := o.Expr.(expr.Column); ok {
+				k.OutputClasses = append(k.OutputClasses, classNames(a, col.Ref))
+			} else if _, isConst := o.Expr.(expr.Const); !isConst {
+				t := expr.NewFingerprint(expr.Normalize(o.Expr)).Text
+				exprsSPJ = append(exprsSPJ, t)
+				exprsAgg = append(exprsAgg, t)
+			}
+		case o.Agg != nil && (o.Agg.Kind == spjg.AggSum || o.Agg.Kind == spjg.AggAvg):
+			exprsAgg = append(exprsAgg, "SUM:"+expr.NewFingerprint(expr.Normalize(o.Agg.Arg)).Text)
+		}
+	}
+	k.OutputExprsSPJ = sortedSet(exprsSPJ)
+	k.OutputExprsAgg = sortedSet(exprsAgg)
+
+	dis := disjunctiveInfo{consumed: map[int]bool{}}
+	if m.opts.DisjunctiveRanges {
+		dis = scanDisjunctive(a.PU, a.EC, a.EC.Find)
+	}
+	var res []string
+	for i, fp := range a.ResidualFPs {
+		if dis.consumed[i] {
+			continue
+		}
+		res = append(res, fp.Text)
+	}
+	k.Residuals = sortedSet(res)
+
+	var ext []string
+	for rep := range a.Ranges {
+		ext = append(ext, classNames(a, rep)...)
+	}
+	for rep := range dis.sets {
+		ext = append(ext, classNames(a, rep)...)
+	}
+	k.ExtRangeCols = sortedSet(ext)
+
+	if k.IsAggregate {
+		for _, g := range q.GroupBy {
+			if col, ok := g.(expr.Column); ok {
+				k.GroupingClasses = append(k.GroupingClasses, classNames(a, col.Ref))
+			} else {
+				k.GroupingExprs = append(k.GroupingExprs, expr.NewFingerprint(expr.Normalize(g)).Text)
+			}
+		}
+		k.GroupingExprs = sortedSet(k.GroupingExprs)
+	}
+	return k
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+
+	"matview/internal/expr"
+	"matview/internal/spjg"
+	"matview/internal/tpch"
+)
+
+func hasKey(keys []string, k string) bool {
+	for _, s := range keys {
+		if s == k {
+			return true
+		}
+	}
+	return false
+}
+
+func TestViewKeysSPJ(t *testing.T) {
+	m := defaultMatcher()
+	v := mustView(t, m, 0, "v", example3View())
+	k := v.Keys
+	if k.IsAggregate {
+		t.Error("SPJ view flagged aggregate")
+	}
+	// Source tables multiset.
+	want := []string{"lineitem#0", "orders#0", "customer#0"}
+	for _, w := range want {
+		if !hasKey(k.SourceTables, w) {
+			t.Errorf("SourceTables missing %s: %v", w, k.SourceTables)
+		}
+	}
+	// Hub reduces to lineitem.
+	if len(k.Hub) != 1 || k.Hub[0] != "lineitem#0" {
+		t.Errorf("Hub = %v", k.Hub)
+	}
+	// Extended output columns include equivalents: the view outputs
+	// l_orderkey whose class contains o_orderkey.
+	for _, w := range []string{"lineitem.l_orderkey", "orders.o_orderkey",
+		"customer.c_custkey", "orders.o_custkey", "lineitem.l_quantity"} {
+		if !hasKey(k.OutputCols, w) {
+			t.Errorf("OutputCols missing %s: %v", w, k.OutputCols)
+		}
+	}
+	// Range constraint classes: {l_orderkey, o_orderkey} is constrained and
+	// non-trivial → not in the reduced list, but in RangeClasses.
+	if len(k.RangeColsReduced) != 0 {
+		t.Errorf("RangeColsReduced = %v, want empty", k.RangeColsReduced)
+	}
+	if len(k.RangeClasses) != 1 || !hasKey(k.RangeClasses[0], "orders.o_orderkey") {
+		t.Errorf("RangeClasses = %v", k.RangeClasses)
+	}
+}
+
+func TestViewKeysReducedRangeList(t *testing.T) {
+	m := defaultMatcher()
+	// o_totalprice is range constrained and in a trivial class → reduced
+	// list contains it.
+	def := example3View()
+	def.Where = expr.NewAnd(def.Where,
+		expr.NewCmp(expr.GT, expr.Col(1, tpch.OTotalprice), expr.CInt(1000)))
+	v := mustView(t, m, 0, "v", def)
+	if !hasKey(v.Keys.RangeColsReduced, "orders.o_totalprice") {
+		t.Errorf("RangeColsReduced = %v", v.Keys.RangeColsReduced)
+	}
+}
+
+func TestViewKeysAggregate(t *testing.T) {
+	m := defaultMatcher()
+	v := mustView(t, m, 0, "v", aggView([]int{tpch.LPartkey}, []int{tpch.LQuantity}, nil))
+	k := v.Keys
+	if !k.IsAggregate {
+		t.Fatal("aggregation view not flagged")
+	}
+	if !hasKey(k.GroupingCols, "lineitem.l_partkey") {
+		t.Errorf("GroupingCols = %v", k.GroupingCols)
+	}
+	if !hasKey(k.OutputExprs, "SUM:?") {
+		t.Errorf("OutputExprs = %v, want SUM:? key", k.OutputExprs)
+	}
+}
+
+func TestViewKeysResiduals(t *testing.T) {
+	m := defaultMatcher()
+	v := mustView(t, m, 0, "v", spjLineitemView(
+		expr.Like{E: expr.Col(0, tpch.LComment), Pattern: expr.CStr("%x%")},
+		tpch.LOrderkey, tpch.LComment))
+	if len(v.Keys.Residuals) != 1 || v.Keys.Residuals[0] != "(? LIKE '%x%')" {
+		t.Errorf("Residuals = %v", v.Keys.Residuals)
+	}
+}
+
+func TestQueryKeys(t *testing.T) {
+	m := defaultMatcher()
+	q := mustValidate(t, example3Query())
+	k := m.ComputeQueryKeys(q)
+	if k.IsAggregate || k.ScalarAggregate {
+		t.Error("SPJ query flagged aggregate")
+	}
+	if len(k.SourceTables) != 1 || k.SourceTables[0] != "lineitem#0" {
+		t.Errorf("SourceTables = %v", k.SourceTables)
+	}
+	// Output classes: three simple outputs, each a (trivial) class.
+	if len(k.OutputClasses) != 3 {
+		t.Errorf("OutputClasses = %v", k.OutputClasses)
+	}
+	// Extended range cols: l_orderkey is constrained; its class is trivial in
+	// the query (l_shipdate=l_commitdate is the non-trivial one, not ranged).
+	if !hasKey(k.ExtRangeCols, "lineitem.l_orderkey") || len(k.ExtRangeCols) != 1 {
+		t.Errorf("ExtRangeCols = %v", k.ExtRangeCols)
+	}
+}
+
+func TestQueryKeysAggregate(t *testing.T) {
+	m := defaultMatcher()
+	q := mustValidate(t, aggView([]int{tpch.LPartkey}, []int{tpch.LQuantity}, nil))
+	k := m.ComputeQueryKeys(q)
+	if !k.IsAggregate || k.ScalarAggregate {
+		t.Errorf("flags = %+v", k)
+	}
+	if len(k.GroupingClasses) != 1 || !hasKey(k.GroupingClasses[0], "lineitem.l_partkey") {
+		t.Errorf("GroupingClasses = %v", k.GroupingClasses)
+	}
+	if !hasKey(k.OutputExprsAgg, "SUM:?") {
+		t.Errorf("OutputExprsAgg = %v", k.OutputExprsAgg)
+	}
+	if len(k.OutputExprsSPJ) != 0 {
+		t.Errorf("OutputExprsSPJ = %v, want empty (SUM keys are agg-only)", k.OutputExprsSPJ)
+	}
+
+	scalar := mustValidate(t, &spjg.Query{
+		Tables: []spjg.TableRef{tref("lineitem")},
+		Outputs: []spjg.OutputColumn{
+			{Name: "c", Agg: &spjg.Aggregate{Kind: spjg.AggCountStar}},
+		},
+	})
+	if sk := m.ComputeQueryKeys(scalar); !sk.ScalarAggregate {
+		t.Error("scalar aggregate not flagged")
+	}
+}
+
+func TestQueryKeysExtendedRangeThroughEquivalence(t *testing.T) {
+	m := defaultMatcher()
+	// Query: l_orderkey = o_orderkey AND o_orderkey > 5 — the extended range
+	// list must contain both columns.
+	q := mustValidate(t, &spjg.Query{
+		Tables: []spjg.TableRef{tref("lineitem"), tref("orders")},
+		Where: expr.NewAnd(
+			expr.Eq(expr.Col(0, tpch.LOrderkey), expr.Col(1, tpch.OOrderkey)),
+			expr.NewCmp(expr.GT, expr.Col(1, tpch.OOrderkey), expr.CInt(5)),
+		),
+		Outputs: []spjg.OutputColumn{{Name: "k", Expr: expr.Col(0, tpch.LOrderkey)}},
+	})
+	k := m.ComputeQueryKeys(q)
+	if !hasKey(k.ExtRangeCols, "lineitem.l_orderkey") || !hasKey(k.ExtRangeCols, "orders.o_orderkey") {
+		t.Errorf("ExtRangeCols = %v", k.ExtRangeCols)
+	}
+}

@@ -1,0 +1,693 @@
+package core
+
+import (
+	"matview/internal/eqclass"
+	"matview/internal/expr"
+	"matview/internal/ranges"
+	"matview/internal/spjg"
+	"matview/internal/sqlvalue"
+)
+
+// Match decides whether the query expression can be computed from the view
+// and, if so, returns the substitute expression; it returns nil otherwise.
+// The query must have passed spjg validation. When the same base table occurs
+// several times, every table-instance alignment is tried (up to the
+// configured cap) and the first one that matches wins.
+func (m *Matcher) Match(q *spjg.Query, v *View) *Substitute {
+	// Requirement 3 of §3.3 in contrapositive: a view with aggregation can
+	// never produce the rows of a non-aggregate query (duplicates have been
+	// collapsed), and a scalar aggregate (no group-by) over an aggregation
+	// view would return zero rows instead of one when the view is empty, so
+	// both are rejected outright.
+	if v.Def.IsAggregate() {
+		if !q.IsAggregate() {
+			return nil
+		}
+		if len(q.GroupBy) == 0 {
+			return nil
+		}
+	}
+	for _, mp := range instanceMappings(q, v.Def, m.opts.MaxInstanceMappings) {
+		if sub := m.matchMapped(q, v, mp); sub != nil {
+			return sub
+		}
+	}
+	return nil
+}
+
+// matchMapped runs the full §3 test pipeline for one table-instance
+// alignment.
+func (m *Matcher) matchMapped(orig *spjg.Query, v *View, mapping []int) *Substitute {
+	q := remapQuery(orig, v.Def.Tables, mapping)
+	qa := spjg.Analyze(q, m.opts.UseCheckConstraints)
+
+	// --- §3.2: eliminate the view's extra tables through cardinality-
+	// preserving joins.
+	mapped := make([]bool, len(v.Def.Tables))
+	for _, vt := range mapping {
+		mapped[vt] = true
+	}
+	extras := map[int]bool{}
+	for i := range v.Def.Tables {
+		if !mapped[i] {
+			extras[i] = true
+		}
+	}
+	var deleted []fkEdge
+	if len(extras) > 0 {
+		var nullableOK func(expr.ColRef) bool
+		if m.opts.NullRejectingFKRelaxation {
+			nullableOK = func(c expr.ColRef) bool { return nullRejectedByQuery(qa, c) }
+		}
+		edges := buildFKGraph(v.Def, v.A.EC, nullableOK)
+		var ok bool
+		deleted, ok = eliminate(len(v.Def.Tables), edges, extras, nil)
+		if !ok {
+			return nil
+		}
+	}
+
+	// Conceptually add the extra tables and their foreign-key join conditions
+	// to the query: new trivial classes for every extra-table column, then
+	// the join conditions of the deleted edges merge classes (§3.2).
+	qec := qa.EC.Clone()
+	for ti := range extras {
+		for ci := range v.Def.Tables[ti].Table.Columns {
+			qec.Touch(expr.ColRef{Tab: ti, Col: ci})
+		}
+	}
+	for _, e := range deleted {
+		for k := range e.FK.Columns {
+			qec.Union(
+				expr.ColRef{Tab: e.From, Col: e.FK.Columns[k]},
+				expr.ColRef{Tab: e.To, Col: e.FK.RefColumns[k]},
+			)
+		}
+	}
+
+	// Re-key the query's class ranges by the extended classes; merged classes
+	// intersect their ranges.
+	qRanges := map[expr.ColRef]ranges.Range{}
+	for rep, rg := range qa.Ranges {
+		nrep := qec.Find(rep)
+		if cur, ok := qRanges[nrep]; ok {
+			merged, ok2 := cur.Intersect(rg)
+			if !ok2 {
+				return nil
+			}
+			qRanges[nrep] = merged
+		} else {
+			qRanges[nrep] = rg
+		}
+	}
+
+	// --- Equijoin subsumption test (§3.1.2): every nontrivial view
+	// equivalence class must be a subset of some query equivalence class.
+	if !v.A.EC.SubsetOf(qec) {
+		return nil
+	}
+
+	viewIsAgg := v.Def.IsAggregate()
+	// ordView maps a column to a view output ordinal using the view's
+	// equivalence classes — used only for the compensating column-equality
+	// predicates (§3.1.3 point 1). cm maps through the query's (extended)
+	// classes and may create backjoins — used everywhere else. On aggregation
+	// views only grouping output columns are usable, since compensation
+	// filters whole groups.
+	ordView := func(c expr.ColRef) int {
+		if viewIsAgg {
+			return GroupingOrdinal(v.Def, v.A.EC.Same, c)
+		}
+		return OutputOrdinal(v.Def, v.A.EC.Same, c)
+	}
+	cm := &colMapper{m: m, v: v, qec: qec, viewIsAgg: viewIsAgg}
+
+	var compPreds []expr.Expr
+
+	// --- Compensating column-equality predicates: whenever several view
+	// equivalence classes map to the same query class, equate one (output-
+	// mappable) column from each (§3.1.2, §3.1.3 point 1).
+	for _, qClass := range qec.All() {
+		groupOf := map[expr.ColRef]bool{}
+		var reps []expr.ColRef
+		var repMember []expr.ColRef
+		for _, mcol := range qClass {
+			vrep := v.A.EC.Find(mcol)
+			if !groupOf[vrep] {
+				groupOf[vrep] = true
+				reps = append(reps, vrep)
+				repMember = append(repMember, mcol)
+			}
+		}
+		if len(reps) < 2 {
+			continue
+		}
+		ords := make([]int, len(reps))
+		for i := range reps {
+			o := ordView(repMember[i])
+			if o < 0 {
+				return nil
+			}
+			ords[i] = o
+		}
+		for i := 0; i+1 < len(ords); i++ {
+			compPreds = append(compPreds, expr.Eq(expr.Col(0, ords[i]), expr.Col(0, ords[i+1])))
+		}
+	}
+
+	// --- Disjunctive ranges extension: interpret OR-of-range residuals as
+	// interval sets keyed by query class (sound even across view classes:
+	// the query's needed rows have all class members equal, and on those
+	// rows the disjunction is exactly a set membership test).
+	var vDis, qDis disjunctiveInfo
+	if m.opts.DisjunctiveRanges {
+		vDis = scanDisjunctive(v.A.PU, qec, qec.Find)
+		qDis = scanDisjunctive(qa.PU, qec, qec.Find)
+	} else {
+		vDis = disjunctiveInfo{consumed: map[int]bool{}}
+		qDis = disjunctiveInfo{consumed: map[int]bool{}}
+	}
+
+	// --- Range subsumption test (§3.1.2): fold the view's class ranges into
+	// query-class space, require every view range to contain the query range,
+	// and emit compensating bounds where they differ (§3.1.3 point 2).
+	vRangesByQ := map[expr.ColRef]ranges.Range{}
+	for vrep, rg := range v.A.Ranges {
+		qrep := qec.Find(vrep)
+		if cur, ok := vRangesByQ[qrep]; ok {
+			merged, ok2 := cur.Intersect(rg)
+			if !ok2 {
+				return nil
+			}
+			vRangesByQ[qrep] = merged
+		} else {
+			vRangesByQ[qrep] = rg
+		}
+	}
+	repSet := map[expr.ColRef]bool{}
+	for rep := range vRangesByQ {
+		repSet[rep] = true
+	}
+	for rep := range qRanges {
+		repSet[rep] = true
+	}
+	for rep := range vDis.sets {
+		repSet[rep] = true
+	}
+	for rep := range qDis.sets {
+		repSet[rep] = true
+	}
+	// Deterministic iteration keeps substitutes stable across runs.
+	reps := make([]expr.ColRef, 0, len(repSet))
+	for rep := range repSet {
+		reps = append(reps, rep)
+	}
+	sortColRefs(reps)
+	for _, rep := range reps {
+		vr, ok := vRangesByQ[rep]
+		if !ok {
+			vr = ranges.Universal()
+		}
+		qr, ok := qRanges[rep]
+		if !ok {
+			qr = ranges.Universal()
+		}
+		vOr, hasVOr := vDis.sets[rep]
+		qOr, hasQOr := qDis.sets[rep]
+
+		emitScalarComp := func() bool {
+			comp := ranges.CompensationFor(vr, qr)
+			if !comp.NeedLo && !comp.NeedHi {
+				return true
+			}
+			ref, ok := cm.mapCol(rep)
+			if !ok {
+				return false
+			}
+			col := expr.ColE(ref)
+			if comp.NeedLo && comp.NeedHi && comp.LoOp == expr.GE && comp.HiOp == expr.LE &&
+				sqlEqual(comp.LoVal, comp.HiVal) {
+				compPreds = append(compPreds, expr.Eq(col, expr.C(comp.LoVal)))
+				return true
+			}
+			if comp.NeedLo {
+				compPreds = append(compPreds, expr.NewCmp(comp.LoOp, col, expr.C(comp.LoVal)))
+			}
+			if comp.NeedHi {
+				compPreds = append(compPreds, expr.NewCmp(comp.HiOp, col, expr.C(comp.HiVal)))
+			}
+			return true
+		}
+
+		if !hasVOr && !hasQOr {
+			contains, cok := vr.Contains(qr)
+			if !cok || !contains {
+				return nil
+			}
+			if !emitScalarComp() {
+				return nil
+			}
+			continue
+		}
+
+		// Interval-set path: containment of the combined (plain ∩
+		// disjunctive) sets, with the query's own disjunctions re-applied
+		// only when the plain-bound compensation does not already reduce the
+		// view's set to the query's.
+		vSet := ranges.NewIntervalSet(vr)
+		if hasVOr {
+			vSet = vSet.IntersectSet(vOr)
+		}
+		qSet := ranges.NewIntervalSet(qr)
+		if hasQOr {
+			qSet = qSet.IntersectSet(qOr)
+		}
+		if !vSet.ContainsSet(qSet) {
+			return nil
+		}
+		if !emitScalarComp() {
+			return nil
+		}
+		afterPlain := vSet.IntersectSet(ranges.NewIntervalSet(qr))
+		if !qSet.ContainsSet(afterPlain) {
+			for _, c := range qDis.conjuncts[rep] {
+				rw, ok := m.computeScalar(c, cm)
+				if !ok {
+					return nil
+				}
+				compPreds = append(compPreds, rw)
+			}
+		}
+	}
+
+	// --- Residual subsumption test (§3.1.2): every view residual conjunct
+	// must match a query residual conjunct under the shallow matching
+	// algorithm (equal text, position-wise query-equivalent columns). Query
+	// residuals left unmatched become compensating predicates (§3.1.3 point
+	// 3) and must be computable from simple view output columns.
+	used := make([]bool, len(qa.PU))
+	for j := range used {
+		// Conjuncts absorbed by the disjunctive-range test are spoken for.
+		used[j] = qDis.consumed[j]
+	}
+	for i, vfp := range v.A.ResidualFPs {
+		if vDis.consumed[i] {
+			continue
+		}
+		found := -1
+		for j, qfp := range qa.ResidualFPs {
+			if used[j] || qfp.Text != vfp.Text || len(qfp.Cols) != len(vfp.Cols) {
+				continue
+			}
+			all := true
+			for k := range vfp.Cols {
+				if !qec.Same(vfp.Cols[k], qfp.Cols[k]) {
+					all = false
+					break
+				}
+			}
+			if all {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			return nil
+		}
+		used[found] = true
+	}
+	for j, pu := range qa.PU {
+		if used[j] {
+			continue
+		}
+		rewritten, ok := m.computeScalar(pu, cm)
+		if !ok {
+			return nil
+		}
+		compPreds = append(compPreds, rewritten)
+	}
+
+	sub := &Substitute{View: v}
+	if len(compPreds) > 0 {
+		sub.Filter = expr.NewAnd(compPreds...)
+	}
+
+	// --- Output expressions (§3.1.4) and aggregation rollup (§3.3).
+	if !q.IsAggregate() {
+		for _, o := range q.Outputs {
+			se, ok := m.computeScalar(o.Expr, cm)
+			if !ok {
+				return nil
+			}
+			sub.Outputs = append(sub.Outputs, SubstituteOutput{Name: o.Name, Expr: se})
+		}
+		sub.Backjoins = cm.backjoins
+		return sub
+	}
+	var result *Substitute
+	if !viewIsAgg {
+		result = m.finishAggOverSPJ(q, v, cm, sub)
+	} else {
+		result = m.finishAggOverAgg(q, v, cm, sub)
+	}
+	if result != nil {
+		result.Backjoins = cm.backjoins
+	}
+	return result
+}
+
+// finishAggOverSPJ builds the substitute for an aggregation query over an SPJ
+// view: a compensating group-by over the view's rows with the query's
+// aggregates computed from view output columns.
+func (m *Matcher) finishAggOverSPJ(q *spjg.Query, v *View, cm *colMapper, sub *Substitute) *Substitute {
+	sub.Regroup = true
+	for _, g := range q.GroupBy {
+		ge, ok := m.computeScalar(g, cm)
+		if !ok {
+			return nil
+		}
+		sub.GroupBy = append(sub.GroupBy, ge)
+	}
+	for _, o := range q.Outputs {
+		if o.Agg == nil {
+			se, ok := m.computeScalar(o.Expr, cm)
+			if !ok {
+				return nil
+			}
+			sub.Outputs = append(sub.Outputs, SubstituteOutput{Name: o.Name, Expr: se})
+			continue
+		}
+		agg := &spjg.Aggregate{Kind: o.Agg.Kind}
+		if o.Agg.Arg != nil {
+			arg, ok := m.computeScalar(o.Agg.Arg, cm)
+			if !ok {
+				return nil
+			}
+			agg.Arg = arg
+		}
+		sub.Outputs = append(sub.Outputs, SubstituteOutput{Name: o.Name, Agg: agg})
+	}
+	return sub
+}
+
+// finishAggOverAgg builds the substitute for an aggregation query over an
+// aggregation view (§3.3): the query's group-by list must be a subset of the
+// view's (each expression matching under shallow matching with query
+// equivalences); a strict subset requires a compensating group-by, in which
+// case COUNT(*) becomes SUM(count_big), SUM(E) becomes SUM over the view's
+// matching sum column, and AVG(E) becomes SUM(sum_E)/SUM(count_big).
+func (m *Matcher) finishAggOverAgg(q *spjg.Query, v *View, cm *colMapper, sub *Substitute) *Substitute {
+	// View grouping outputs with their ordinals and fingerprints.
+	type vGroup struct {
+		ord int
+		fp  expr.Fingerprint
+	}
+	var vGroups []vGroup
+	cntOrd := -1
+	for i, vo := range v.Def.Outputs {
+		switch {
+		case vo.Expr != nil && isGroupingExpr(v.Def, vo.Expr):
+			vGroups = append(vGroups, vGroup{i, expr.NewFingerprint(expr.Normalize(vo.Expr))})
+		case vo.Agg != nil && vo.Agg.Kind == spjg.AggCountStar:
+			cntOrd = i
+		}
+	}
+	if cntOrd < 0 {
+		return nil // not a legal aggregation view; defensive
+	}
+
+	matchGrouping := func(g expr.Expr) int {
+		fp := expr.NewFingerprint(expr.Normalize(g))
+		for _, vg := range vGroups {
+			if vg.fp.Text != fp.Text || len(vg.fp.Cols) != len(fp.Cols) {
+				continue
+			}
+			all := true
+			for k := range fp.Cols {
+				if !cm.qec.Same(vg.fp.Cols[k], fp.Cols[k]) {
+					all = false
+					break
+				}
+			}
+			if all {
+				return vg.ord
+			}
+		}
+		return -1
+	}
+
+	matchedViewOrds := map[int]bool{}
+	forceRegroup := false
+	var groupKeys []expr.Expr
+	for _, g := range q.GroupBy {
+		if o := matchGrouping(g); o >= 0 {
+			matchedViewOrds[o] = true
+			groupKeys = append(groupKeys, expr.Col(0, o))
+			continue
+		}
+		if !m.opts.GroupingByExpression {
+			return nil
+		}
+		// Extension: a grouping expression computable from the view's
+		// grouping output columns is acceptable — the view's grouping
+		// expressions then functionally determine the query's, so the
+		// query's groups are unions of view groups (§3.3, [16]).
+		ge, ok := m.computeScalar(g, cm)
+		if !ok {
+			return nil
+		}
+		forceRegroup = true
+		groupKeys = append(groupKeys, ge)
+	}
+	needRegroup := forceRegroup
+	if !needRegroup {
+		for _, vg := range vGroups {
+			if !matchedViewOrds[vg.ord] {
+				needRegroup = true
+				break
+			}
+		}
+	}
+
+	findViewSum := func(arg expr.Expr) int {
+		fp := expr.NewFingerprint(expr.Normalize(arg))
+		for i, vo := range v.Def.Outputs {
+			if vo.Agg == nil || vo.Agg.Kind != spjg.AggSum {
+				continue
+			}
+			vfp := expr.NewFingerprint(expr.Normalize(vo.Agg.Arg))
+			if vfp.Text != fp.Text || len(vfp.Cols) != len(fp.Cols) {
+				continue
+			}
+			all := true
+			for k := range fp.Cols {
+				if !cm.qec.Same(vfp.Cols[k], fp.Cols[k]) {
+					all = false
+					break
+				}
+			}
+			if all {
+				return i
+			}
+		}
+		return -1
+	}
+
+	for _, o := range q.Outputs {
+		if o.Agg == nil {
+			se, ok := m.computeScalar(o.Expr, cm)
+			if !ok {
+				return nil
+			}
+			sub.Outputs = append(sub.Outputs, SubstituteOutput{Name: o.Name, Expr: se})
+			continue
+		}
+		switch o.Agg.Kind {
+		case spjg.AggCountStar:
+			if needRegroup {
+				sub.Outputs = append(sub.Outputs, SubstituteOutput{
+					Name: o.Name,
+					Agg:  &spjg.Aggregate{Kind: spjg.AggSum, Arg: expr.Col(0, cntOrd)},
+				})
+			} else {
+				sub.Outputs = append(sub.Outputs, SubstituteOutput{Name: o.Name, Expr: expr.Col(0, cntOrd)})
+			}
+		case spjg.AggSum:
+			so := findViewSum(o.Agg.Arg)
+			if so < 0 {
+				return nil
+			}
+			if needRegroup {
+				sub.Outputs = append(sub.Outputs, SubstituteOutput{
+					Name: o.Name,
+					Agg:  &spjg.Aggregate{Kind: spjg.AggSum, Arg: expr.Col(0, so)},
+				})
+			} else {
+				sub.Outputs = append(sub.Outputs, SubstituteOutput{Name: o.Name, Expr: expr.Col(0, so)})
+			}
+		case spjg.AggAvg:
+			so := findViewSum(o.Agg.Arg)
+			if so < 0 {
+				return nil
+			}
+			if needRegroup {
+				sub.Outputs = append(sub.Outputs, SubstituteOutput{
+					Name:  o.Name,
+					Agg:   &spjg.Aggregate{Kind: spjg.AggSum, Arg: expr.Col(0, so)},
+					DivBy: &spjg.Aggregate{Kind: spjg.AggSum, Arg: expr.Col(0, cntOrd)},
+				})
+			} else {
+				sub.Outputs = append(sub.Outputs, SubstituteOutput{
+					Name: o.Name,
+					Expr: expr.NewArith(expr.Div, expr.Col(0, so), expr.Col(0, cntOrd)),
+				})
+			}
+		default:
+			return nil
+		}
+	}
+	sub.Regroup = needRegroup
+	if needRegroup {
+		sub.GroupBy = groupKeys
+	}
+	return sub
+}
+
+// computeScalar rewrites a scalar query expression over the view's output
+// columns (§3.1.4): constants copy through; simple columns map through the
+// query equivalence classes; other expressions first look for an exact
+// matching view output expression (shallow matching) and otherwise are
+// recomputed from simple output columns.
+func (m *Matcher) computeScalar(e expr.Expr, cm *colMapper) (expr.Expr, bool) {
+	if c, ok := expr.ConstOf(e); ok {
+		return expr.C(c), true
+	}
+	if col, ok := e.(expr.Column); ok {
+		ref, ok := cm.mapCol(col.Ref)
+		if !ok {
+			return nil, false
+		}
+		return expr.ColE(ref), true
+	}
+	if i := matchOutputExpr(e, cm.v, cm.qec); i >= 0 {
+		return expr.Col(0, i), true
+	}
+	if m.opts.SubexpressionMatching {
+		// §7 extension: compute the expression piecewise, replacing any
+		// subexpression that exactly matches a view output expression.
+		ok := true
+		var rec func(expr.Expr) expr.Expr
+		rec = func(sub expr.Expr) expr.Expr {
+			if !ok {
+				return sub
+			}
+			if c, isC := expr.ConstOf(sub); isC {
+				return expr.C(c)
+			}
+			if col, isCol := sub.(expr.Column); isCol {
+				ref, mok := cm.mapCol(col.Ref)
+				if !mok {
+					ok = false
+					return sub
+				}
+				return expr.ColE(ref)
+			}
+			if i := matchOutputExpr(sub, cm.v, cm.qec); i >= 0 {
+				return expr.Col(0, i)
+			}
+			return expr.MapChildren(sub, rec)
+		}
+		out := rec(e)
+		if !ok {
+			return nil, false
+		}
+		return out, true
+	}
+	return rewriteOverOutputs(e, cm)
+}
+
+// matchOutputExpr returns the ordinal of a complex view output expression
+// that exactly matches e under shallow matching (equal normalized fingerprint
+// text, position-wise equivalent columns), or -1. Only grouping expressions
+// qualify on aggregation views, which holds by construction since every
+// scalar output of an aggregation view is a grouping expression.
+func matchOutputExpr(e expr.Expr, v *View, qec *eqclass.Classes) int {
+	fp := expr.NewFingerprint(expr.Normalize(e))
+	for i, vo := range v.Def.Outputs {
+		if vo.Expr == nil {
+			continue
+		}
+		if _, isCol := vo.Expr.(expr.Column); isCol {
+			continue
+		}
+		vfp := expr.NewFingerprint(expr.Normalize(vo.Expr))
+		if vfp.Text != fp.Text || len(vfp.Cols) != len(fp.Cols) {
+			continue
+		}
+		all := true
+		for k := range fp.Cols {
+			if !qec.Same(vfp.Cols[k], fp.Cols[k]) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return i
+		}
+	}
+	return -1
+}
+
+// rewriteOverOutputs maps every column reference in e to an available column
+// (view output or backjoined base column); ok is false if any reference
+// cannot be mapped.
+func rewriteOverOutputs(e expr.Expr, cm *colMapper) (expr.Expr, bool) {
+	ok := true
+	out := expr.RewriteColumns(e, func(r expr.ColRef) expr.Expr {
+		ref, mok := cm.mapCol(r)
+		if !mok {
+			ok = false
+			return expr.ColE(r)
+		}
+		return expr.ColE(ref)
+	})
+	if !ok {
+		return nil, false
+	}
+	return out, true
+}
+
+// nullRejectedByQuery reports whether the query analysis carries a
+// null-rejecting predicate on c's equivalence class beyond the equijoin: a
+// constrained range, or an IS NOT NULL residual (end of §3.2).
+func nullRejectedByQuery(qa *spjg.Analysis, c expr.ColRef) bool {
+	if qa.RangeFor(c).Constrained() {
+		return true
+	}
+	for _, pu := range qa.PU {
+		isn, ok := pu.(expr.IsNull)
+		if !ok || !isn.Negate {
+			continue
+		}
+		col, ok := isn.E.(expr.Column)
+		if !ok {
+			continue
+		}
+		if qa.EC.Same(col.Ref, c) {
+			return true
+		}
+	}
+	return false
+}
+
+func sqlEqual(a, b sqlvalue.Value) bool {
+	return sqlvalue.Equal(a, b)
+}
+
+func sortColRefs(s []expr.ColRef) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].Less(s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

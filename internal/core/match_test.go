@@ -1,0 +1,411 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"matview/internal/expr"
+	"matview/internal/spjg"
+	"matview/internal/tpch"
+)
+
+// spjLineitemView builds "SELECT cols FROM lineitem WHERE l_partkey op bound".
+func spjLineitemView(pred expr.Expr, cols ...int) *spjg.Query {
+	q := &spjg.Query{
+		Tables: []spjg.TableRef{tref("lineitem")},
+		Where:  pred,
+	}
+	for _, c := range cols {
+		q.Outputs = append(q.Outputs, spjg.OutputColumn{
+			Name: tcat.Table("lineitem").Columns[c].Name,
+			Expr: expr.Col(0, c),
+		})
+	}
+	return q
+}
+
+func TestMatchIdenticalSPJ(t *testing.T) {
+	m := defaultMatcher()
+	pred := expr.NewCmp(expr.GT, expr.Col(0, tpch.LPartkey), expr.CInt(100))
+	v := mustView(t, m, 0, "v", spjLineitemView(pred, tpch.LOrderkey, tpch.LPartkey))
+	q := mustValidate(t, spjLineitemView(pred, tpch.LOrderkey, tpch.LPartkey))
+	sub := m.Match(q, v)
+	if sub == nil {
+		t.Fatal("identical query/view did not match")
+	}
+	if sub.Filter != nil {
+		t.Errorf("no compensation expected, got filter %s", expr.Render(sub.Filter, expr.PositionalResolver))
+	}
+	if len(sub.Outputs) != 2 || sub.Regroup {
+		t.Errorf("substitute shape wrong: %s", sub)
+	}
+	// Outputs must be positional references to view outputs 0 and 1.
+	for i, o := range sub.Outputs {
+		col, ok := o.Expr.(expr.Column)
+		if !ok || col.Ref != (expr.ColRef{Tab: 0, Col: i}) {
+			t.Errorf("output %d = %v", i, o.Expr)
+		}
+	}
+}
+
+func TestMatchRangeCompensation(t *testing.T) {
+	m := defaultMatcher()
+	// View: l_partkey > 100. Query: l_partkey > 100 AND l_partkey <= 500.
+	v := mustView(t, m, 0, "v",
+		spjLineitemView(expr.NewCmp(expr.GT, expr.Col(0, tpch.LPartkey), expr.CInt(100)),
+			tpch.LOrderkey, tpch.LPartkey))
+	q := mustValidate(t, spjLineitemView(expr.NewAnd(
+		expr.NewCmp(expr.GT, expr.Col(0, tpch.LPartkey), expr.CInt(100)),
+		expr.NewCmp(expr.LE, expr.Col(0, tpch.LPartkey), expr.CInt(500)),
+	), tpch.LOrderkey))
+	sub := m.Match(q, v)
+	if sub == nil {
+		t.Fatal("wider view did not match narrower query")
+	}
+	if sub.Filter == nil {
+		t.Fatal("expected compensating range predicate")
+	}
+	// The compensation must be l_partkey <= 500 over view output ordinal 1.
+	cmp, ok := sub.Filter.(expr.Cmp)
+	if !ok || cmp.Op != expr.LE {
+		t.Fatalf("filter = %s", expr.Render(sub.Filter, expr.PositionalResolver))
+	}
+	if col, ok := cmp.L.(expr.Column); !ok || col.Ref.Col != 1 {
+		t.Errorf("compensation references wrong output: %s", expr.Render(sub.Filter, expr.PositionalResolver))
+	}
+}
+
+func TestMatchRejectsNarrowerView(t *testing.T) {
+	m := defaultMatcher()
+	// View: l_partkey > 200 misses rows of query l_partkey > 100.
+	v := mustView(t, m, 0, "v",
+		spjLineitemView(expr.NewCmp(expr.GT, expr.Col(0, tpch.LPartkey), expr.CInt(200)),
+			tpch.LOrderkey, tpch.LPartkey))
+	q := mustValidate(t, spjLineitemView(
+		expr.NewCmp(expr.GT, expr.Col(0, tpch.LPartkey), expr.CInt(100)), tpch.LOrderkey))
+	if m.Match(q, v) != nil {
+		t.Fatal("narrower view must be rejected")
+	}
+}
+
+func TestMatchOpenClosedBoundary(t *testing.T) {
+	m := defaultMatcher()
+	gt := mustView(t, m, 0, "gt",
+		spjLineitemView(expr.NewCmp(expr.GT, expr.Col(0, tpch.LPartkey), expr.CInt(150)),
+			tpch.LOrderkey, tpch.LPartkey))
+	ge := mustView(t, m, 1, "ge",
+		spjLineitemView(expr.NewCmp(expr.GE, expr.Col(0, tpch.LPartkey), expr.CInt(150)),
+			tpch.LOrderkey, tpch.LPartkey))
+	qGE := mustValidate(t, spjLineitemView(
+		expr.NewCmp(expr.GE, expr.Col(0, tpch.LPartkey), expr.CInt(150)), tpch.LOrderkey))
+	qGT := mustValidate(t, spjLineitemView(
+		expr.NewCmp(expr.GT, expr.Col(0, tpch.LPartkey), expr.CInt(150)), tpch.LOrderkey))
+
+	if m.Match(qGE, gt) != nil {
+		t.Error("view (150,∞) must not answer query [150,∞)")
+	}
+	sub := m.Match(qGT, ge)
+	if sub == nil {
+		t.Fatal("view [150,∞) must answer query (150,∞)")
+	}
+	if sub.Filter == nil {
+		t.Fatal("compensating strict bound expected")
+	}
+	if cmp, ok := sub.Filter.(expr.Cmp); !ok || cmp.Op != expr.GT {
+		t.Errorf("filter = %s", expr.Render(sub.Filter, expr.PositionalResolver))
+	}
+	if m.Match(qGT, gt).Filter != nil {
+		t.Error("identical strict bounds need no compensation")
+	}
+}
+
+func TestMatchPointRangeCompensation(t *testing.T) {
+	m := defaultMatcher()
+	v := mustView(t, m, 0, "v",
+		spjLineitemView(expr.NewCmp(expr.GE, expr.Col(0, tpch.LPartkey), expr.CInt(1)),
+			tpch.LOrderkey, tpch.LPartkey))
+	q := mustValidate(t, spjLineitemView(
+		expr.Eq(expr.Col(0, tpch.LPartkey), expr.CInt(42)), tpch.LOrderkey))
+	sub := m.Match(q, v)
+	if sub == nil {
+		t.Fatal("point query must match ranged view")
+	}
+	cmp, ok := sub.Filter.(expr.Cmp)
+	if !ok || cmp.Op != expr.EQ {
+		t.Fatalf("point compensation should be one equality, got %s",
+			expr.Render(sub.Filter, expr.PositionalResolver))
+	}
+}
+
+func TestMatchRejectsMissingOutputColumn(t *testing.T) {
+	m := defaultMatcher()
+	// View outputs only l_orderkey; query needs l_suppkey.
+	v := mustView(t, m, 0, "v", spjLineitemView(nil, tpch.LOrderkey))
+	q := mustValidate(t, spjLineitemView(nil, tpch.LSuppkey))
+	if m.Match(q, v) != nil {
+		t.Fatal("view missing output column must be rejected")
+	}
+}
+
+func TestMatchRejectsWhenCompensationColumnMissing(t *testing.T) {
+	m := defaultMatcher()
+	// View has no predicate and outputs only l_orderkey; the query's range on
+	// l_partkey cannot be enforced because l_partkey is not in the output.
+	v := mustView(t, m, 0, "v", spjLineitemView(nil, tpch.LOrderkey))
+	q := mustValidate(t, spjLineitemView(
+		expr.NewCmp(expr.GT, expr.Col(0, tpch.LPartkey), expr.CInt(10)), tpch.LOrderkey))
+	if m.Match(q, v) != nil {
+		t.Fatal("uncomputable range compensation must reject the view")
+	}
+}
+
+func TestMatchColumnEquivalenceRerouting(t *testing.T) {
+	m := defaultMatcher()
+	// View over lineitem ⋈ orders outputs o_orderkey; query wants
+	// l_orderkey — same equivalence class, so the reference reroutes.
+	join := expr.Eq(expr.Col(0, tpch.LOrderkey), expr.Col(1, tpch.OOrderkey))
+	v := mustView(t, m, 0, "v", &spjg.Query{
+		Tables:  []spjg.TableRef{tref("lineitem"), tref("orders")},
+		Where:   join,
+		Outputs: []spjg.OutputColumn{{Name: "o_orderkey", Expr: expr.Col(1, tpch.OOrderkey)}},
+	})
+	q := mustValidate(t, &spjg.Query{
+		Tables:  []spjg.TableRef{tref("lineitem"), tref("orders")},
+		Where:   join,
+		Outputs: []spjg.OutputColumn{{Name: "l_orderkey", Expr: expr.Col(0, tpch.LOrderkey)}},
+	})
+	sub := m.Match(q, v)
+	if sub == nil {
+		t.Fatal("equivalent output column not rerouted")
+	}
+	col, ok := sub.Outputs[0].Expr.(expr.Column)
+	if !ok || col.Ref.Col != 0 {
+		t.Errorf("output = %v", sub.Outputs[0].Expr)
+	}
+}
+
+func TestMatchEquijoinSubsumption(t *testing.T) {
+	m := defaultMatcher()
+	// View equates l_shipdate = l_commitdate; the query does not. The view
+	// is missing rows → reject.
+	v := mustView(t, m, 0, "v",
+		spjLineitemView(expr.Eq(expr.Col(0, tpch.LShipdate), expr.Col(0, tpch.LCommitdate)),
+			tpch.LOrderkey))
+	q := mustValidate(t, spjLineitemView(nil, tpch.LOrderkey))
+	if m.Match(q, v) != nil {
+		t.Fatal("view with extra column equality must be rejected")
+	}
+
+	// Reverse: query equates, view doesn't → compensating equality predicate.
+	v2 := mustView(t, m, 1, "v2",
+		spjLineitemView(nil, tpch.LOrderkey, tpch.LShipdate, tpch.LCommitdate))
+	q2 := mustValidate(t, spjLineitemView(
+		expr.Eq(expr.Col(0, tpch.LShipdate), expr.Col(0, tpch.LCommitdate)), tpch.LOrderkey))
+	sub := m.Match(q2, v2)
+	if sub == nil {
+		t.Fatal("compensable column equality rejected")
+	}
+	cmp, ok := sub.Filter.(expr.Cmp)
+	if !ok || cmp.Op != expr.EQ {
+		t.Fatalf("filter = %v", sub.Filter)
+	}
+	// Both sides must reference view outputs 1 and 2 (shipdate, commitdate).
+	lc := cmp.L.(expr.Column).Ref.Col
+	rc := cmp.R.(expr.Column).Ref.Col
+	if !(lc == 1 && rc == 2 || lc == 2 && rc == 1) {
+		t.Errorf("compensating equality over wrong outputs: %d = %d", lc, rc)
+	}
+
+	// Same query but the view does not output l_commitdate → reject.
+	v3 := mustView(t, m, 2, "v3", spjLineitemView(nil, tpch.LOrderkey, tpch.LShipdate))
+	if m.Match(q2, v3) != nil {
+		t.Fatal("uncomputable compensating equality must reject")
+	}
+}
+
+func TestMatchResidualSubsumption(t *testing.T) {
+	m := defaultMatcher()
+	like := func(pat string) expr.Expr {
+		return expr.Like{E: expr.Col(0, tpch.LComment), Pattern: expr.CStr(pat)}
+	}
+	// View has residual the query lacks → reject.
+	v := mustView(t, m, 0, "v", spjLineitemView(like("%a%"), tpch.LOrderkey, tpch.LComment))
+	q := mustValidate(t, spjLineitemView(nil, tpch.LOrderkey))
+	if m.Match(q, v) != nil {
+		t.Fatal("view with extra residual must be rejected")
+	}
+	// Query has residual the view lacks → compensation over output column.
+	v2 := mustView(t, m, 1, "v2", spjLineitemView(nil, tpch.LOrderkey, tpch.LComment))
+	q2 := mustValidate(t, spjLineitemView(like("%a%"), tpch.LOrderkey))
+	sub := m.Match(q2, v2)
+	if sub == nil || sub.Filter == nil {
+		t.Fatal("residual compensation missing")
+	}
+	if _, ok := sub.Filter.(expr.Like); !ok {
+		t.Errorf("filter = %v", sub.Filter)
+	}
+	// Same, but view lacks l_comment in output → reject.
+	v3 := mustView(t, m, 2, "v3", spjLineitemView(nil, tpch.LOrderkey))
+	if m.Match(q2, v3) != nil {
+		t.Fatal("uncomputable residual compensation must reject")
+	}
+	// Same residual on both sides → no compensation.
+	v4 := mustView(t, m, 3, "v4", spjLineitemView(like("%a%"), tpch.LOrderkey, tpch.LComment))
+	sub4 := m.Match(q2, v4)
+	if sub4 == nil || sub4.Filter != nil {
+		t.Fatalf("matching residuals should need no compensation: %v", sub4)
+	}
+	// Different pattern constants must not match.
+	q3 := mustValidate(t, spjLineitemView(like("%b%"), tpch.LOrderkey))
+	if m.Match(q3, v) != nil {
+		t.Fatal("different residual constants matched")
+	}
+}
+
+func TestMatchResidualCommutativity(t *testing.T) {
+	m := defaultMatcher()
+	lq := expr.Col(0, tpch.LQuantity)
+	lp := expr.Col(0, tpch.LExtendedprice)
+	// View: l_quantity*l_extendedprice > 100; query: 100 < l_extendedprice*l_quantity.
+	v := mustView(t, m, 0, "v",
+		spjLineitemView(expr.NewCmp(expr.GT, expr.NewArith(expr.Mul, lq, lp), expr.CInt(100)),
+			tpch.LOrderkey))
+	q := mustValidate(t, spjLineitemView(
+		expr.NewCmp(expr.LT, expr.CInt(100), expr.NewArith(expr.Mul, lp, lq)), tpch.LOrderkey))
+	if m.Match(q, v) == nil {
+		t.Fatal("commutative residual variants did not match")
+	}
+}
+
+func TestMatchComplexOutputExactMatch(t *testing.T) {
+	m := defaultMatcher()
+	prod := expr.NewArith(expr.Mul, expr.Col(0, tpch.LQuantity), expr.Col(0, tpch.LExtendedprice))
+	v := mustView(t, m, 0, "v", &spjg.Query{
+		Tables: []spjg.TableRef{tref("lineitem")},
+		Outputs: []spjg.OutputColumn{
+			{Name: "l_orderkey", Expr: expr.Col(0, tpch.LOrderkey)},
+			{Name: "gross", Expr: prod},
+		},
+	})
+	// Query asks for the same product (commuted) but the view does NOT output
+	// the source columns — only the precomputed expression.
+	q := mustValidate(t, &spjg.Query{
+		Tables: []spjg.TableRef{tref("lineitem")},
+		Outputs: []spjg.OutputColumn{
+			{Name: "gross", Expr: expr.NewArith(expr.Mul, expr.Col(0, tpch.LExtendedprice), expr.Col(0, tpch.LQuantity))},
+		},
+	})
+	sub := m.Match(q, v)
+	if sub == nil {
+		t.Fatal("exact output expression not matched")
+	}
+	col, ok := sub.Outputs[0].Expr.(expr.Column)
+	if !ok || col.Ref.Col != 1 {
+		t.Errorf("output should reference view column 1: %v", sub.Outputs[0].Expr)
+	}
+}
+
+func TestMatchComplexOutputFromSourceColumns(t *testing.T) {
+	m := defaultMatcher()
+	v := mustView(t, m, 0, "v", spjLineitemView(nil, tpch.LQuantity, tpch.LExtendedprice))
+	q := mustValidate(t, &spjg.Query{
+		Tables: []spjg.TableRef{tref("lineitem")},
+		Outputs: []spjg.OutputColumn{
+			{Name: "gross", Expr: expr.NewArith(expr.Mul, expr.Col(0, tpch.LQuantity), expr.Col(0, tpch.LExtendedprice))},
+		},
+	})
+	sub := m.Match(q, v)
+	if sub == nil {
+		t.Fatal("expression computable from source columns rejected")
+	}
+	ar, ok := sub.Outputs[0].Expr.(expr.Arith)
+	if !ok || ar.Op != expr.Mul {
+		t.Errorf("output = %v", sub.Outputs[0].Expr)
+	}
+}
+
+func TestMatchConstantOutput(t *testing.T) {
+	m := defaultMatcher()
+	v := mustView(t, m, 0, "v", spjLineitemView(nil, tpch.LOrderkey))
+	q := mustValidate(t, &spjg.Query{
+		Tables: []spjg.TableRef{tref("lineitem")},
+		Outputs: []spjg.OutputColumn{
+			{Name: "c", Expr: expr.CInt(7)},
+			{Name: "k", Expr: expr.Col(0, tpch.LOrderkey)},
+		},
+	})
+	sub := m.Match(q, v)
+	if sub == nil {
+		t.Fatal("constant output rejected")
+	}
+	if c, ok := expr.ConstOf(sub.Outputs[0].Expr); !ok || c.Int() != 7 {
+		t.Errorf("constant output = %v", sub.Outputs[0].Expr)
+	}
+}
+
+func TestMatchViewWithFewerTablesRejected(t *testing.T) {
+	m := defaultMatcher()
+	v := mustView(t, m, 0, "v", spjLineitemView(nil, tpch.LOrderkey))
+	q := mustValidate(t, &spjg.Query{
+		Tables: []spjg.TableRef{tref("lineitem"), tref("orders")},
+		Where:  expr.Eq(expr.Col(0, tpch.LOrderkey), expr.Col(1, tpch.OOrderkey)),
+		Outputs: []spjg.OutputColumn{
+			{Name: "k", Expr: expr.Col(0, tpch.LOrderkey)},
+		},
+	})
+	if m.Match(q, v) != nil {
+		t.Fatal("view with fewer tables than query must be rejected")
+	}
+}
+
+func TestMatchContradictoryViewRange(t *testing.T) {
+	m := defaultMatcher()
+	// View and query both l_partkey in [10, 20]; then query [30, 40] vs view
+	// [10, 20]: disjoint → reject.
+	v := mustView(t, m, 0, "v",
+		spjLineitemView(expr.NewAnd(
+			expr.NewCmp(expr.GE, expr.Col(0, tpch.LPartkey), expr.CInt(10)),
+			expr.NewCmp(expr.LE, expr.Col(0, tpch.LPartkey), expr.CInt(20)),
+		), tpch.LOrderkey, tpch.LPartkey))
+	q := mustValidate(t, spjLineitemView(expr.NewAnd(
+		expr.NewCmp(expr.GE, expr.Col(0, tpch.LPartkey), expr.CInt(30)),
+		expr.NewCmp(expr.LE, expr.Col(0, tpch.LPartkey), expr.CInt(40)),
+	), tpch.LOrderkey))
+	if m.Match(q, v) != nil {
+		t.Fatal("disjoint ranges must reject")
+	}
+}
+
+func TestMatchRangeConstrainedViewColumnNotInQuery(t *testing.T) {
+	m := defaultMatcher()
+	// View constrains l_suppkey; the query has no predicate there, so the
+	// view is missing rows → reject.
+	v := mustView(t, m, 0, "v",
+		spjLineitemView(expr.NewCmp(expr.LT, expr.Col(0, tpch.LSuppkey), expr.CInt(10)),
+			tpch.LOrderkey, tpch.LSuppkey))
+	q := mustValidate(t, spjLineitemView(nil, tpch.LOrderkey))
+	if m.Match(q, v) != nil {
+		t.Fatal("view with extra range constraint must be rejected")
+	}
+}
+
+func TestSubstituteStringRendering(t *testing.T) {
+	m := defaultMatcher()
+	v := mustView(t, m, 0, "rev_by_part",
+		spjLineitemView(expr.NewCmp(expr.GT, expr.Col(0, tpch.LPartkey), expr.CInt(100)),
+			tpch.LOrderkey, tpch.LPartkey))
+	q := mustValidate(t, spjLineitemView(expr.NewAnd(
+		expr.NewCmp(expr.GT, expr.Col(0, tpch.LPartkey), expr.CInt(100)),
+		expr.NewCmp(expr.LE, expr.Col(0, tpch.LPartkey), expr.CInt(500)),
+	), tpch.LOrderkey))
+	sub := m.Match(q, v)
+	if sub == nil {
+		t.Fatal("no match")
+	}
+	s := sub.String()
+	for _, frag := range []string{"FROM rev_by_part", "WHERE", "l_partkey"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() missing %q: %s", frag, s)
+		}
+	}
+}

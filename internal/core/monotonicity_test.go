@@ -1,0 +1,75 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"matview/internal/core"
+	"matview/internal/spjg"
+	"matview/internal/tpch"
+	"matview/internal/workload"
+)
+
+var monoCat = tpch.NewCatalog(0.5)
+
+// TestExtensionsAreMonotone checks that enabling this repo's extensions never
+// loses a match the paper-prototype matcher finds: on a random workload,
+// every (query, view) pair the prototype accepts must also be accepted by the
+// fully-extended matcher. (The converse obviously does not hold — extensions
+// exist to accept more.)
+func TestExtensionsAreMonotone(t *testing.T) {
+	wcfg := workload.DefaultConfig(321)
+	wcfg.ViewOutputColProb = 0.85
+	wcfg.OneSidedRangeProb = 0.8
+	wcfg.RangePaletteSize = 1
+	gen := workload.New(monoCat, wcfg)
+
+	proto := core.NewMatcher(monoCat, core.MatchOptions{})
+	ext := core.NewMatcher(monoCat, core.DefaultOptions())
+
+	var protoViews, extViews []*core.View
+	var defs []*spjg.Query
+	for i := 0; len(defs) < 150; i++ {
+		def := gen.View(i)
+		if def.ValidateAsView() != nil {
+			continue
+		}
+		defs = append(defs, def)
+		pv, err := proto.NewView(len(protoViews), fmt.Sprintf("p%d", i), def)
+		if err != nil {
+			t.Fatal(err)
+		}
+		protoViews = append(protoViews, pv)
+		ev, err := ext.NewView(len(extViews), fmt.Sprintf("e%d", i), def)
+		if err != nil {
+			t.Fatal(err)
+		}
+		extViews = append(extViews, ev)
+	}
+
+	protoMatches, extOnly := 0, 0
+	for qi := 0; qi < 120; qi++ {
+		q := gen.Query(qi)
+		if q.Validate() != nil {
+			continue
+		}
+		for vi := range defs {
+			p := proto.Match(q, protoViews[vi])
+			e := ext.Match(q, extViews[vi])
+			if p != nil {
+				protoMatches++
+				if e == nil {
+					t.Fatalf("query %d view %d: prototype matches but extended rejects\nquery: %s\nview: %s",
+						qi, vi, q.String(), defs[vi].String())
+				}
+			}
+			if p == nil && e != nil {
+				extOnly++
+			}
+		}
+	}
+	if protoMatches == 0 {
+		t.Fatal("no prototype matches; vacuous")
+	}
+	t.Logf("prototype matches: %d; extension-only matches: %d", protoMatches, extOnly)
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"matview/internal/spjg"
+	"matview/internal/tpch"
+)
+
+var tcat = tpch.NewCatalog(0.1)
+
+func tref(name string) spjg.TableRef {
+	t := tcat.Table(name)
+	if t == nil {
+		panic("unknown table " + name)
+	}
+	return spjg.TableRef{Table: t}
+}
+
+func trefAs(name, alias string) spjg.TableRef {
+	r := tref(name)
+	r.Alias = alias
+	return r
+}
+
+func defaultMatcher() *Matcher {
+	return NewMatcher(tcat, DefaultOptions())
+}
+
+func paperMatcher() *Matcher {
+	// The paper prototype's behaviour: no extensions.
+	return NewMatcher(tcat, MatchOptions{})
+}
+
+func mustView(t *testing.T, m *Matcher, id int, name string, def *spjg.Query) *View {
+	t.Helper()
+	v, err := m.NewView(id, name, def)
+	if err != nil {
+		t.Fatalf("NewView(%s): %v", name, err)
+	}
+	return v
+}
+
+func mustValidate(t *testing.T, q *spjg.Query) *spjg.Query {
+	t.Helper()
+	if err := q.Validate(); err != nil {
+		t.Fatalf("invalid query: %v\n%s", err, q.String())
+	}
+	return q
+}

@@ -1,0 +1,193 @@
+// Package core implements the paper's primary contribution: the view-matching
+// algorithm of §3. Given a normalized SPJG query expression and a registered
+// materialized view, Matcher.Match decides whether the query can be computed
+// from the view alone and, if so, constructs the substitute expression — a
+// scan of the view plus compensating predicates, an optional compensating
+// group-by, and rewritten output expressions.
+//
+// The algorithm applies, in order: instance alignment between query and view
+// FROM lists; elimination of the view's extra tables through
+// cardinality-preserving foreign-key joins (§3.2); the equijoin, range, and
+// residual subsumption tests (§3.1.2); computability checks and compensating
+// predicate construction (§3.1.3–3.1.4); and aggregation rollup (§3.3).
+package core
+
+import (
+	"fmt"
+
+	"matview/internal/catalog"
+	"matview/internal/expr"
+	"matview/internal/spjg"
+)
+
+// View is a registered materialized view: its definition, the precomputed
+// analysis (equivalence classes, ranges, residual fingerprints), the hub
+// (§4.2.2), and the filter-tree keys (§4.2).
+type View struct {
+	ID   int
+	Name string
+	Def  *spjg.Query
+	A    *spjg.Analysis
+
+	// Hub is the set of table instances (indexes into Def.Tables) that
+	// remain after running the cardinality-preserving join elimination to a
+	// fixed point on the view itself.
+	Hub []int
+
+	// Keys holds the precomputed filter-tree keys.
+	Keys ViewKeys
+}
+
+// MatchOptions configures optional extensions of the algorithm.
+type MatchOptions struct {
+	// UseCheckConstraints folds table check constraints into the antecedent
+	// of the subsumption implication (§3.1.2).
+	UseCheckConstraints bool
+
+	// NullRejectingFKRelaxation accepts cardinality-preserving joins over
+	// nullable foreign-key columns when the query carries a null-rejecting
+	// predicate on the column (end of §3.2; "not yet implemented" in the
+	// paper's prototype).
+	NullRejectingFKRelaxation bool
+
+	// SubexpressionMatching lets compensating predicates and output
+	// expressions be computed from view output *expressions*, not only simple
+	// output columns: any subexpression that exactly matches a view output
+	// expression (under shallow matching) is replaced by a reference to that
+	// output. This is the "improved reasoning about when a scalar expression
+	// can be computed from other scalar expressions" extension of §7; the
+	// paper's prototype "ignores this possibility" (§3.1.3).
+	SubexpressionMatching bool
+
+	// DisjunctiveRanges interprets residual conjuncts that are disjunctions
+	// of range predicates over one equivalence class — (A < 5 OR A > 10) —
+	// as interval sets and tests them with set containment instead of
+	// shallow text matching (§3.1.2's "extended to support disjunctions";
+	// unimplemented in the paper's prototype).
+	DisjunctiveRanges bool
+
+	// BackjoinSubstitutes lets a substitute re-attach a base table through a
+	// unique-key equijoin when the view lacks some of that table's columns
+	// but outputs one of its unique keys — §7's "base table backjoins cover
+	// the case when a view contains all tables and rows needed but some
+	// columns are missing".
+	BackjoinSubstitutes bool
+
+	// GroupingByExpression relaxes the grouping subset test: a query grouping
+	// expression that is not in the view's grouping list is still accepted if
+	// it is computable from the view's grouping output columns (the view's
+	// grouping expressions then functionally determine the query's, §3.3).
+	GroupingByExpression bool
+
+	// MaxInstanceMappings caps the number of query-to-view table-instance
+	// alignments tried when the same table appears several times (self-joins
+	// through shared dimensions). 0 means the default of 16.
+	MaxInstanceMappings int
+}
+
+// DefaultOptions enables the extensions this reproduction implements by
+// default; the paper's prototype corresponds to the zero value.
+func DefaultOptions() MatchOptions {
+	return MatchOptions{
+		UseCheckConstraints:       true,
+		NullRejectingFKRelaxation: false,
+		SubexpressionMatching:     true,
+		DisjunctiveRanges:         true,
+		BackjoinSubstitutes:       true,
+		GroupingByExpression:      true,
+	}
+}
+
+// Matcher holds the catalog and options shared across match invocations.
+type Matcher struct {
+	cat  *catalog.Catalog
+	opts MatchOptions
+}
+
+// NewMatcher returns a Matcher over the given catalog.
+func NewMatcher(cat *catalog.Catalog, opts MatchOptions) *Matcher {
+	if opts.MaxInstanceMappings == 0 {
+		opts.MaxInstanceMappings = 16
+	}
+	return &Matcher{cat: cat, opts: opts}
+}
+
+// Options returns the matcher's options.
+func (m *Matcher) Options() MatchOptions { return m.opts }
+
+// Catalog returns the catalog the matcher resolves constraints against.
+func (m *Matcher) Catalog() *catalog.Catalog { return m.cat }
+
+// NewView analyzes and registers a view definition. The definition must
+// satisfy the indexable-view restrictions (§2); id is the caller's identifier
+// (e.g. an index into a view list).
+func (m *Matcher) NewView(id int, name string, def *spjg.Query) (*View, error) {
+	if err := def.ValidateAsView(); err != nil {
+		return nil, fmt.Errorf("core: view %s: %w", name, err)
+	}
+	a := spjg.Analyze(def, m.opts.UseCheckConstraints)
+	v := &View{ID: id, Name: name, Def: def, A: a}
+	v.Hub = m.computeHub(v)
+	v.Keys = m.computeViewKeys(v)
+	return v, nil
+}
+
+// OutputOrdinal returns the ordinal of a view output column whose expression
+// is the simple column c, or a column equivalent to it under the given
+// equivalence test. Returns -1 when no output column qualifies. This is the
+// paper's "extended output list" lookup (§4.2.3): each simple output column
+// stands in for its whole equivalence class.
+func OutputOrdinal(def *spjg.Query, same func(a, b expr.ColRef) bool, c expr.ColRef) int {
+	for i, o := range def.Outputs {
+		if o.Expr == nil {
+			continue
+		}
+		col, ok := o.Expr.(expr.Column)
+		if !ok {
+			continue
+		}
+		if same(col.Ref, c) {
+			return i
+		}
+	}
+	return -1
+}
+
+// GroupingOrdinal is like OutputOrdinal but only admits output columns that
+// are also grouping expressions — required when compensating predicates must
+// be applied to an aggregation view, where filtering is only sound on
+// grouping columns.
+func GroupingOrdinal(def *spjg.Query, same func(a, b expr.ColRef) bool, c expr.ColRef) int {
+	for i, o := range def.Outputs {
+		if o.Expr == nil {
+			continue
+		}
+		col, ok := o.Expr.(expr.Column)
+		if !ok {
+			continue
+		}
+		if !isGroupingExpr(def, o.Expr) {
+			continue
+		}
+		if same(col.Ref, c) {
+			return i
+		}
+	}
+	return -1
+}
+
+// isGroupingExpr reports whether e appears in the query's grouping list
+// (structurally). For SPJ views every output is trivially usable, so callers
+// only consult this for aggregate definitions.
+func isGroupingExpr(def *spjg.Query, e expr.Expr) bool {
+	if !def.IsAggregate() {
+		return true
+	}
+	ne := expr.Normalize(e)
+	for _, g := range def.GroupBy {
+		if expr.Equal(ne, expr.Normalize(g)) {
+			return true
+		}
+	}
+	return false
+}

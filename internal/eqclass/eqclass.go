@@ -1,0 +1,184 @@
+// Package eqclass implements column equivalence classes (§3.1.1): sets of
+// columns known to be equal because of column-equality predicates. The
+// implementation is a union-find over expr.ColRef with path compression and
+// union by size; classes support enumeration, which the matching tests and
+// the filter-tree key construction both need.
+package eqclass
+
+import (
+	"sort"
+
+	"matview/internal/expr"
+)
+
+// Classes is a collection of column equivalence classes. The zero value is
+// not usable; call New.
+type Classes struct {
+	parent map[expr.ColRef]expr.ColRef
+	size   map[expr.ColRef]int
+}
+
+// New returns an empty equivalence-class collection. Columns are added
+// implicitly on first touch, each in its own trivial class.
+func New() *Classes {
+	return &Classes{
+		parent: map[expr.ColRef]expr.ColRef{},
+		size:   map[expr.ColRef]int{},
+	}
+}
+
+// Clone returns a deep copy; used when a matching attempt needs to extend the
+// query's classes without disturbing the shared originals (§3.2).
+func (c *Classes) Clone() *Classes {
+	n := &Classes{
+		parent: make(map[expr.ColRef]expr.ColRef, len(c.parent)),
+		size:   make(map[expr.ColRef]int, len(c.size)),
+	}
+	for k, v := range c.parent {
+		n.parent[k] = v
+	}
+	for k, v := range c.size {
+		n.size[k] = v
+	}
+	return n
+}
+
+// add ensures the column is tracked.
+func (c *Classes) add(r expr.ColRef) {
+	if _, ok := c.parent[r]; !ok {
+		c.parent[r] = r
+		c.size[r] = 1
+	}
+}
+
+// Find returns the canonical representative of r's class. Untracked columns
+// represent themselves.
+func (c *Classes) Find(r expr.ColRef) expr.ColRef {
+	if _, ok := c.parent[r]; !ok {
+		return r
+	}
+	root := r
+	for c.parent[root] != root {
+		root = c.parent[root]
+	}
+	for c.parent[r] != root { // path compression
+		c.parent[r], r = root, c.parent[r]
+	}
+	return root
+}
+
+// Union merges the classes of a and b (adding them if untracked).
+func (c *Classes) Union(a, b expr.ColRef) {
+	c.add(a)
+	c.add(b)
+	ra, rb := c.Find(a), c.Find(b)
+	if ra == rb {
+		return
+	}
+	if c.size[ra] < c.size[rb] {
+		ra, rb = rb, ra
+	}
+	c.parent[rb] = ra
+	c.size[ra] += c.size[rb]
+}
+
+// Same reports whether a and b are known-equal. A column is always Same as
+// itself, tracked or not.
+func (c *Classes) Same(a, b expr.ColRef) bool {
+	if a == b {
+		return true
+	}
+	_, okA := c.parent[a]
+	_, okB := c.parent[b]
+	if !okA || !okB {
+		return false
+	}
+	return c.Find(a) == c.Find(b)
+}
+
+// AddEqualities applies a list of column-equality conjuncts (the PE component
+// of a predicate).
+func (c *Classes) AddEqualities(pe []expr.EqualityConjunct) {
+	for _, eq := range pe {
+		c.Union(eq.A, eq.B)
+	}
+}
+
+// Members returns every column in r's class, sorted; for an untracked column
+// it returns just {r}.
+func (c *Classes) Members(r expr.ColRef) []expr.ColRef {
+	if _, ok := c.parent[r]; !ok {
+		return []expr.ColRef{r}
+	}
+	root := c.Find(r)
+	var out []expr.ColRef
+	for col := range c.parent {
+		if c.Find(col) == root {
+			out = append(out, col)
+		}
+	}
+	sortRefs(out)
+	return out
+}
+
+// All returns every class with at least one tracked member, as sorted member
+// slices, in a deterministic order.
+func (c *Classes) All() [][]expr.ColRef {
+	byRoot := map[expr.ColRef][]expr.ColRef{}
+	for col := range c.parent {
+		root := c.Find(col)
+		byRoot[root] = append(byRoot[root], col)
+	}
+	out := make([][]expr.ColRef, 0, len(byRoot))
+	for _, members := range byRoot {
+		sortRefs(members)
+		out = append(out, members)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0].Less(out[j][0]) })
+	return out
+}
+
+// NonTrivial returns every class with two or more members, in a deterministic
+// order. The equijoin subsumption test only examines non-trivial view
+// classes (§3.1.2).
+func (c *Classes) NonTrivial() [][]expr.ColRef {
+	var out [][]expr.ColRef
+	for _, cls := range c.All() {
+		if len(cls) > 1 {
+			out = append(out, cls)
+		}
+	}
+	return out
+}
+
+// IsTrivial reports whether r's class has no other member.
+func (c *Classes) IsTrivial(r expr.ColRef) bool {
+	if _, ok := c.parent[r]; !ok {
+		return true
+	}
+	return c.size[c.Find(r)] == 1
+}
+
+// SubsetOf reports whether every class of c is contained in some class of
+// other — the core of the equijoin subsumption test (§3.1.2): "every
+// nontrivial view equivalence class is a subset of some query equivalence
+// class". Trivial classes are vacuously contained.
+func (c *Classes) SubsetOf(other *Classes) bool {
+	for _, cls := range c.NonTrivial() {
+		first := cls[0]
+		for _, m := range cls[1:] {
+			if !other.Same(first, m) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Touch ensures r is tracked (in a trivial class if new). Used when extra
+// view tables are conceptually added to a query (§3.2).
+func (c *Classes) Touch(r expr.ColRef) { c.add(r) }
+
+func sortRefs(s []expr.ColRef) {
+	sort.Slice(s, func(i, j int) bool { return s[i].Less(s[j]) })
+}

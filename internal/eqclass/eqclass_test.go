@@ -1,0 +1,183 @@
+package eqclass
+
+import (
+	"math/rand"
+	"testing"
+
+	"matview/internal/expr"
+)
+
+func ref(t, c int) expr.ColRef { return expr.ColRef{Tab: t, Col: c} }
+
+func TestUnionFindBasics(t *testing.T) {
+	c := New()
+	a, b, d := ref(0, 0), ref(1, 0), ref(2, 0)
+	if !c.Same(a, a) {
+		t.Error("column must equal itself")
+	}
+	if c.Same(a, b) {
+		t.Error("distinct untracked columns must not be Same")
+	}
+	c.Union(a, b)
+	if !c.Same(a, b) || !c.Same(b, a) {
+		t.Error("union failed")
+	}
+	if c.Same(a, d) {
+		t.Error("d should be separate")
+	}
+	c.Union(b, d)
+	if !c.Same(a, d) {
+		t.Error("transitivity through union failed")
+	}
+}
+
+func TestTransitivityMatchesPaper(t *testing.T) {
+	// §3.1.2: view has (A=B and B=C), query has (A=C and C=B); both imply
+	// A=B=C and must produce identical classes.
+	A, B, C := ref(0, 0), ref(0, 1), ref(0, 2)
+	view := New()
+	view.Union(A, B)
+	view.Union(B, C)
+	query := New()
+	query.Union(A, C)
+	query.Union(C, B)
+	if !view.SubsetOf(query) || !query.SubsetOf(view) {
+		t.Error("logically equivalent equality sets must be mutual subsets")
+	}
+}
+
+func TestMembersSortedAndComplete(t *testing.T) {
+	c := New()
+	c.Union(ref(1, 5), ref(0, 2))
+	c.Union(ref(0, 2), ref(1, 1))
+	m := c.Members(ref(1, 1))
+	want := []expr.ColRef{ref(0, 2), ref(1, 1), ref(1, 5)}
+	if len(m) != 3 {
+		t.Fatalf("members = %v", m)
+	}
+	for i := range want {
+		if m[i] != want[i] {
+			t.Errorf("members[%d] = %v, want %v", i, m[i], want[i])
+		}
+	}
+	if got := c.Members(ref(9, 9)); len(got) != 1 || got[0] != ref(9, 9) {
+		t.Errorf("untracked Members = %v", got)
+	}
+}
+
+func TestAllAndNonTrivial(t *testing.T) {
+	c := New()
+	c.Union(ref(0, 0), ref(1, 0))
+	c.Touch(ref(2, 0))
+	all := c.All()
+	if len(all) != 2 {
+		t.Fatalf("All() = %v", all)
+	}
+	nt := c.NonTrivial()
+	if len(nt) != 1 || len(nt[0]) != 2 {
+		t.Fatalf("NonTrivial() = %v", nt)
+	}
+	if !c.IsTrivial(ref(2, 0)) || c.IsTrivial(ref(0, 0)) {
+		t.Error("IsTrivial wrong")
+	}
+	if !c.IsTrivial(ref(8, 8)) {
+		t.Error("untracked column must be trivial")
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	// View classes {A,B} ⊆ query class {A,B,C}: pass.
+	A, B, C := ref(0, 0), ref(0, 1), ref(0, 2)
+	view := New()
+	view.Union(A, B)
+	query := New()
+	query.Union(A, B)
+	query.Union(B, C)
+	if !view.SubsetOf(query) {
+		t.Error("subset classes rejected")
+	}
+	// Reverse direction must fail: query class {A,B,C} ⊄ view {A,B}.
+	if query.SubsetOf(view) {
+		t.Error("superset classes accepted")
+	}
+	// Disjoint merge in view not present in query: fail.
+	view2 := New()
+	view2.Union(A, C)
+	if view2.SubsetOf(New()) {
+		t.Error("nontrivial view class vs empty query accepted")
+	}
+	// Trivial-only view always passes.
+	view3 := New()
+	view3.Touch(A)
+	if !view3.SubsetOf(New()) {
+		t.Error("trivial view class rejected")
+	}
+}
+
+func TestAddEqualities(t *testing.T) {
+	c := New()
+	c.AddEqualities([]expr.EqualityConjunct{
+		{A: ref(0, 0), B: ref(1, 0)},
+		{A: ref(1, 0), B: ref(2, 0)},
+	})
+	if !c.Same(ref(0, 0), ref(2, 0)) {
+		t.Error("AddEqualities transitivity failed")
+	}
+}
+
+func TestClone(t *testing.T) {
+	c := New()
+	c.Union(ref(0, 0), ref(1, 0))
+	cl := c.Clone()
+	cl.Union(ref(1, 0), ref(2, 0))
+	if c.Same(ref(0, 0), ref(2, 0)) {
+		t.Error("Clone shares state with original")
+	}
+	if !cl.Same(ref(0, 0), ref(2, 0)) {
+		t.Error("Clone lost merge")
+	}
+}
+
+// Property: union-find agrees with a naive partition model under random
+// operations.
+func TestUnionFindAgainstModel(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		c := New()
+		model := map[expr.ColRef]int{} // column -> model class id
+		next := 0
+		cols := make([]expr.ColRef, 12)
+		for i := range cols {
+			cols[i] = ref(i/4, i%4)
+			model[cols[i]] = next
+			next++
+		}
+		for op := 0; op < 60; op++ {
+			a, b := cols[r.Intn(len(cols))], cols[r.Intn(len(cols))]
+			c.Union(a, b)
+			// Merge in model.
+			ida, idb := model[a], model[b]
+			if ida != idb {
+				for k, v := range model {
+					if v == idb {
+						model[k] = ida
+					}
+				}
+			}
+			// Spot-check agreement.
+			x, y := cols[r.Intn(len(cols))], cols[r.Intn(len(cols))]
+			if c.Same(x, y) != (model[x] == model[y]) {
+				t.Fatalf("trial %d op %d: Same(%v,%v)=%v disagrees with model",
+					trial, op, x, y, c.Same(x, y))
+			}
+		}
+		// Class count agreement.
+		ids := map[int]bool{}
+		for _, v := range model {
+			ids[v] = true
+		}
+		if got := len(c.All()); got != len(ids) {
+			t.Fatalf("trial %d: %d classes, model has %d", trial, got, len(ids))
+		}
+	}
+}

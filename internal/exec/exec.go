@@ -1,0 +1,638 @@
+// Package exec is the row-at-a-time execution engine. It runs physical plan
+// trees produced by the optimizer (or assembled directly), evaluates SPJG
+// queries naively for reference, and executes view substitutes — which is how
+// materialized views are populated and how tests verify that a substitute
+// returns exactly the rows of the original query.
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"matview/internal/expr"
+	"matview/internal/spjg"
+	"matview/internal/sqlvalue"
+	"matview/internal/storage"
+)
+
+// Node is a physical plan operator. Run produces the operator's full output.
+// Expressions inside a node reference the node's input row with Tab == 0 and
+// Col == the flat column offset.
+type Node interface {
+	Run(db *storage.Database) ([]storage.Row, error)
+	// Width is the number of output columns.
+	Width() int
+	// Describe renders one line for EXPLAIN output.
+	Describe() string
+	// Children returns input operators.
+	Children() []Node
+}
+
+func bindRow(r storage.Row) expr.Binding {
+	return func(c expr.ColRef) sqlvalue.Value {
+		if c.Tab != 0 || c.Col < 0 || c.Col >= len(r) {
+			return sqlvalue.Null
+		}
+		return r[c.Col]
+	}
+}
+
+// TableScan reads a base table, applying an optional filter over the table's
+// columns.
+type TableScan struct {
+	Table  string
+	Filter expr.Expr // may be nil
+	NCols  int
+}
+
+// Run implements Node.
+func (s *TableScan) Run(db *storage.Database) ([]storage.Row, error) {
+	t := db.Table(s.Table)
+	if t == nil {
+		return nil, fmt.Errorf("exec: unknown table %q", s.Table)
+	}
+	if s.Filter == nil {
+		return t.Rows, nil
+	}
+	var out []storage.Row
+	for _, r := range t.Rows {
+		ok, err := expr.EvalPredicate(s.Filter, bindRow(r))
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// Width implements Node.
+func (s *TableScan) Width() int { return s.NCols }
+
+// Describe implements Node.
+func (s *TableScan) Describe() string {
+	if s.Filter == nil {
+		return "TableScan(" + s.Table + ")"
+	}
+	return "TableScan(" + s.Table + ", filter)"
+}
+
+// Children implements Node.
+func (s *TableScan) Children() []Node { return nil }
+
+// ViewScan reads a materialized view, applying an optional filter over the
+// view's output columns. When EqCols/EqVals are set (point compensating
+// predicates), a secondary index on those columns is probed if one exists —
+// this is how "any secondary indexes defined on a materialized view are
+// automatically considered" (§1, §2) manifests at execution time; without an
+// index the equality degrades to a scan predicate.
+type ViewScan struct {
+	View   string
+	Filter expr.Expr
+	NCols  int
+
+	EqCols []int
+	EqVals []sqlvalue.Value
+}
+
+// Run implements Node.
+func (s *ViewScan) Run(db *storage.Database) ([]storage.Row, error) {
+	v := db.View(s.View)
+	if v == nil {
+		return nil, fmt.Errorf("exec: view %q not materialized", s.View)
+	}
+	emit := func(rows []storage.Row) ([]storage.Row, error) {
+		if s.Filter == nil {
+			return rows, nil
+		}
+		var out []storage.Row
+		for _, r := range rows {
+			ok, err := expr.EvalPredicate(s.Filter, bindRow(r))
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, r)
+			}
+		}
+		return out, nil
+	}
+	if len(s.EqCols) == 0 {
+		return emit(v.Rows)
+	}
+	if idx := v.LookupIndex(s.EqCols); idx != nil {
+		var rows []storage.Row
+		for _, ord := range idx.Probe(s.EqVals) {
+			rows = append(rows, v.Rows[ord])
+		}
+		return emit(rows)
+	}
+	// No index built: evaluate the equalities as a scan predicate.
+	var rows []storage.Row
+	for _, r := range v.Rows {
+		match := true
+		for i, c := range s.EqCols {
+			if !sqlvalue.Identical(r[c], s.EqVals[i]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			rows = append(rows, r)
+		}
+	}
+	return emit(rows)
+}
+
+// Width implements Node.
+func (s *ViewScan) Width() int { return s.NCols }
+
+// Describe implements Node.
+func (s *ViewScan) Describe() string {
+	switch {
+	case len(s.EqCols) > 0:
+		return fmt.Sprintf("ViewSeek(%s, cols %v)", s.View, s.EqCols)
+	case s.Filter != nil:
+		return "ViewScan(" + s.View + ", filter)"
+	default:
+		return "ViewScan(" + s.View + ")"
+	}
+}
+
+// Children implements Node.
+func (s *ViewScan) Children() []Node { return nil }
+
+// HashJoin equijoins its inputs on LCols = RCols (offsets into the left and
+// right rows respectively), applying an optional residual predicate over the
+// concatenated row. NULL join keys never match, per SQL semantics.
+type HashJoin struct {
+	L, R     Node
+	LCols    []int
+	RCols    []int
+	Residual expr.Expr // over concat(left, right); may be nil
+}
+
+// Run implements Node.
+func (j *HashJoin) Run(db *storage.Database) ([]storage.Row, error) {
+	lrows, err := j.L.Run(db)
+	if err != nil {
+		return nil, err
+	}
+	rrows, err := j.R.Run(db)
+	if err != nil {
+		return nil, err
+	}
+	key := func(r storage.Row, cols []int) (string, bool) {
+		var sb strings.Builder
+		for _, c := range cols {
+			if r[c].IsNull() {
+				return "", false
+			}
+			sb.WriteString(r[c].Key())
+			sb.WriteByte('\x1f')
+		}
+		return sb.String(), true
+	}
+	ht := make(map[string][]storage.Row, len(lrows))
+	for _, lr := range lrows {
+		if k, ok := key(lr, j.LCols); ok {
+			ht[k] = append(ht[k], lr)
+		}
+	}
+	var out []storage.Row
+	for _, rr := range rrows {
+		k, ok := key(rr, j.RCols)
+		if !ok {
+			continue
+		}
+		for _, lr := range ht[k] {
+			joined := make(storage.Row, 0, len(lr)+len(rr))
+			joined = append(joined, lr...)
+			joined = append(joined, rr...)
+			if j.Residual != nil {
+				pass, err := expr.EvalPredicate(j.Residual, bindRow(joined))
+				if err != nil {
+					return nil, err
+				}
+				if !pass {
+					continue
+				}
+			}
+			out = append(out, joined)
+		}
+	}
+	return out, nil
+}
+
+// Width implements Node.
+func (j *HashJoin) Width() int { return j.L.Width() + j.R.Width() }
+
+// Describe implements Node.
+func (j *HashJoin) Describe() string {
+	return fmt.Sprintf("HashJoin(on %v=%v)", j.LCols, j.RCols)
+}
+
+// Children implements Node.
+func (j *HashJoin) Children() []Node { return []Node{j.L, j.R} }
+
+// NestedLoopJoin joins its inputs with an arbitrary predicate; used when no
+// equijoin columns are available.
+type NestedLoopJoin struct {
+	L, R Node
+	Pred expr.Expr // over concat(left, right); may be nil (cross join)
+}
+
+// Run implements Node.
+func (j *NestedLoopJoin) Run(db *storage.Database) ([]storage.Row, error) {
+	lrows, err := j.L.Run(db)
+	if err != nil {
+		return nil, err
+	}
+	rrows, err := j.R.Run(db)
+	if err != nil {
+		return nil, err
+	}
+	var out []storage.Row
+	for _, lr := range lrows {
+		for _, rr := range rrows {
+			joined := make(storage.Row, 0, len(lr)+len(rr))
+			joined = append(joined, lr...)
+			joined = append(joined, rr...)
+			if j.Pred != nil {
+				pass, err := expr.EvalPredicate(j.Pred, bindRow(joined))
+				if err != nil {
+					return nil, err
+				}
+				if !pass {
+					continue
+				}
+			}
+			out = append(out, joined)
+		}
+	}
+	return out, nil
+}
+
+// Width implements Node.
+func (j *NestedLoopJoin) Width() int { return j.L.Width() + j.R.Width() }
+
+// Describe implements Node.
+func (j *NestedLoopJoin) Describe() string { return "NestedLoopJoin" }
+
+// Children implements Node.
+func (j *NestedLoopJoin) Children() []Node { return []Node{j.L, j.R} }
+
+// Filter applies a predicate over its input rows.
+type Filter struct {
+	In   Node
+	Pred expr.Expr
+}
+
+// Run implements Node.
+func (f *Filter) Run(db *storage.Database) ([]storage.Row, error) {
+	rows, err := f.In.Run(db)
+	if err != nil {
+		return nil, err
+	}
+	var out []storage.Row
+	for _, r := range rows {
+		ok, err := expr.EvalPredicate(f.Pred, bindRow(r))
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// Width implements Node.
+func (f *Filter) Width() int { return f.In.Width() }
+
+// Describe implements Node.
+func (f *Filter) Describe() string { return "Filter" }
+
+// Children implements Node.
+func (f *Filter) Children() []Node { return []Node{f.In} }
+
+// Project evaluates one expression per output column.
+type Project struct {
+	In    Node
+	Exprs []expr.Expr
+}
+
+// Run implements Node.
+func (p *Project) Run(db *storage.Database) ([]storage.Row, error) {
+	rows, err := p.In.Run(db)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]storage.Row, len(rows))
+	for i, r := range rows {
+		bind := bindRow(r)
+		nr := make(storage.Row, len(p.Exprs))
+		for c, e := range p.Exprs {
+			v, err := expr.Eval(e, bind)
+			if err != nil {
+				return nil, err
+			}
+			nr[c] = v
+		}
+		out[i] = nr
+	}
+	return out, nil
+}
+
+// Width implements Node.
+func (p *Project) Width() int { return len(p.Exprs) }
+
+// Describe implements Node.
+func (p *Project) Describe() string { return fmt.Sprintf("Project(%d cols)", len(p.Exprs)) }
+
+// Children implements Node.
+func (p *Project) Children() []Node { return []Node{p.In} }
+
+// SimpleAgg is one aggregation function over input rows.
+type SimpleAgg struct {
+	Kind spjg.AggKind
+	Arg  expr.Expr // nil for COUNT(*)
+}
+
+// AggSpec is one aggregate output: Num, optionally divided by Den — the form
+// AVG rollups take (SUM(sum_E) / SUM(count_big), §3.3).
+type AggSpec struct {
+	Num SimpleAgg
+	Den *SimpleAgg
+}
+
+// HashAgg groups its input by the GroupBy expressions and computes the
+// aggregate specs. Output columns are the group keys followed by the
+// aggregates. With no grouping expressions the aggregation is scalar: exactly
+// one output row, even for empty input (COUNT = 0, SUM/AVG = NULL).
+type HashAgg struct {
+	In      Node
+	GroupBy []expr.Expr
+	Aggs    []AggSpec
+}
+
+// aggState accumulates one SimpleAgg.
+type aggState struct {
+	count int64
+	sum   sqlvalue.Value // running sum; Null until first non-null input
+}
+
+func (st *aggState) add(kind spjg.AggKind, arg expr.Expr, bind expr.Binding) error {
+	st.count++
+	if kind == spjg.AggCountStar {
+		return nil
+	}
+	v, err := expr.Eval(arg, bind)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil
+	}
+	if st.sum.IsNull() {
+		st.sum = v
+		return nil
+	}
+	s, err := sqlvalue.Add(st.sum, v)
+	if err != nil {
+		return err
+	}
+	st.sum = s
+	return nil
+}
+
+func (st *aggState) result(kind spjg.AggKind) sqlvalue.Value {
+	switch kind {
+	case spjg.AggCountStar:
+		return sqlvalue.NewInt(st.count)
+	case spjg.AggSum:
+		return st.sum
+	case spjg.AggAvg:
+		// Per the paper's conversion AVG(E) = SUM(E)/COUNT_BIG(*) (§3.3).
+		if st.sum.IsNull() || st.count == 0 {
+			return sqlvalue.Null
+		}
+		v, err := sqlvalue.Div(st.sum, sqlvalue.NewInt(st.count))
+		if err != nil {
+			return sqlvalue.Null
+		}
+		return v
+	default:
+		return sqlvalue.Null
+	}
+}
+
+// Run implements Node.
+func (a *HashAgg) Run(db *storage.Database) ([]storage.Row, error) {
+	rows, err := a.In.Run(db)
+	if err != nil {
+		return nil, err
+	}
+	type group struct {
+		keys storage.Row
+		num  []aggState
+		den  []aggState
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, r := range rows {
+		bind := bindRow(r)
+		keys := make(storage.Row, len(a.GroupBy))
+		var kb strings.Builder
+		for i, g := range a.GroupBy {
+			v, err := expr.Eval(g, bind)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = v
+			kb.WriteString(v.Key())
+			kb.WriteByte('\x1f')
+		}
+		k := kb.String()
+		grp, ok := groups[k]
+		if !ok {
+			grp = &group{keys: keys, num: make([]aggState, len(a.Aggs)), den: make([]aggState, len(a.Aggs))}
+			groups[k] = grp
+			order = append(order, k)
+		}
+		for i, spec := range a.Aggs {
+			if err := grp.num[i].add(spec.Num.Kind, spec.Num.Arg, bind); err != nil {
+				return nil, err
+			}
+			if spec.Den != nil {
+				if err := grp.den[i].add(spec.Den.Kind, spec.Den.Arg, bind); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if len(a.GroupBy) == 0 && len(groups) == 0 {
+		// Scalar aggregation over empty input: one row.
+		out := make(storage.Row, len(a.Aggs))
+		for i, spec := range a.Aggs {
+			st := aggState{sum: sqlvalue.Null}
+			out[i] = st.result(spec.Num.Kind)
+			if spec.Den != nil {
+				out[i] = sqlvalue.Null
+			}
+		}
+		return []storage.Row{out}, nil
+	}
+	result := make([]storage.Row, 0, len(groups))
+	for _, k := range order {
+		grp := groups[k]
+		row := make(storage.Row, 0, len(a.GroupBy)+len(a.Aggs))
+		row = append(row, grp.keys...)
+		for i, spec := range a.Aggs {
+			v := grp.num[i].result(spec.Num.Kind)
+			if spec.Den != nil {
+				d := grp.den[i].result(spec.Den.Kind)
+				if v.IsNull() || d.IsNull() {
+					v = sqlvalue.Null
+				} else {
+					q, err := sqlvalue.Div(v, d)
+					if err != nil {
+						return nil, err
+					}
+					v = q
+				}
+			}
+			row = append(row, v)
+		}
+		result = append(result, row)
+	}
+	return result, nil
+}
+
+// Width implements Node.
+func (a *HashAgg) Width() int { return len(a.GroupBy) + len(a.Aggs) }
+
+// Describe implements Node.
+func (a *HashAgg) Describe() string {
+	return fmt.Sprintf("HashAgg(%d keys, %d aggs)", len(a.GroupBy), len(a.Aggs))
+}
+
+// Children implements Node.
+func (a *HashAgg) Children() []Node { return []Node{a.In} }
+
+// Explain renders a plan tree as indented text.
+func Explain(n Node) string {
+	var sb strings.Builder
+	var walk func(n Node, depth int)
+	walk = func(n Node, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(n.Describe())
+		sb.WriteByte('\n')
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(n, 0)
+	return sb.String()
+}
+
+// NormalizeRows sorts rows into a canonical order and renders each as a
+// string — a bag-equality helper for tests comparing substitute output
+// against the original query. Floats are rendered with 9 significant digits
+// so alternative evaluation orders (e.g. rolled-up sums, whose floating-point
+// error differs from a direct sum) compare equal.
+func NormalizeRows(rows []storage.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = normalizeRow(r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func normalizeRow(r storage.Row) string {
+	var sb strings.Builder
+	for _, v := range r {
+		if v.Kind() == sqlvalue.KindFloat {
+			fmt.Fprintf(&sb, "%.9g|", v.Float())
+		} else {
+			sb.WriteString(v.String())
+			sb.WriteByte('|')
+		}
+	}
+	return sb.String()
+}
+
+// SameRows reports whether two row bags are equal up to row order and small
+// floating-point differences (relative tolerance 1e-9), the comparison
+// examples and equivalence tests need when one side sums partial aggregates
+// and the other sums raw rows.
+func SameRows(a, b []storage.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sa := append([]storage.Row(nil), a...)
+	sb := append([]storage.Row(nil), b...)
+	key := func(r storage.Row) string {
+		var out strings.Builder
+		for _, v := range r {
+			if v.Kind() == sqlvalue.KindFloat {
+				fmt.Fprintf(&out, "%.6g|", v.Float()) // coarse sort key
+			} else {
+				out.WriteString(v.String())
+				out.WriteByte('|')
+			}
+		}
+		return out.String()
+	}
+	sort.Slice(sa, func(i, j int) bool { return key(sa[i]) < key(sa[j]) })
+	sort.Slice(sb, func(i, j int) bool { return key(sb[i]) < key(sb[j]) })
+	const relTol = 1e-9
+	for i := range sa {
+		ra, rb := sa[i], sb[i]
+		if len(ra) != len(rb) {
+			return false
+		}
+		for c := range ra {
+			va, vb := ra[c], rb[c]
+			if va.Kind() == sqlvalue.KindFloat || vb.Kind() == sqlvalue.KindFloat {
+				fa, okA := va.AsFloat()
+				fb, okB := vb.AsFloat()
+				if !okA || !okB {
+					if !sqlvalue.Identical(va, vb) {
+						return false
+					}
+					continue
+				}
+				diff := fa - fb
+				if diff < 0 {
+					diff = -diff
+				}
+				scale := 1.0
+				if x := abs(fa); x > scale {
+					scale = x
+				}
+				if x := abs(fb); x > scale {
+					scale = x
+				}
+				if diff > relTol*scale {
+					return false
+				}
+				continue
+			}
+			if !sqlvalue.Identical(va, vb) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}

@@ -1,0 +1,97 @@
+package exec_test
+
+import (
+	"fmt"
+	"testing"
+
+	"matview/internal/core"
+	"matview/internal/exec"
+	"matview/internal/storage"
+	"matview/internal/tpch"
+	"matview/internal/workload"
+)
+
+// TestRandomWorkloadEquivalence is the repository's broadest soundness check:
+// every (generated view, generated query) pair where the matcher produces a
+// substitute is executed both ways over generated TPC-H data, and the row
+// bags must agree. A single disagreement means the matching tests of §3
+// accepted an unsound rewrite.
+func TestRandomWorkloadEquivalence(t *testing.T) {
+	const (
+		numViews   = 60
+		numQueries = 250
+	)
+	db, err := tpch.NewDatabase(0.001, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := db.Catalog
+	// Crank the workload's overlap knobs so many pairs match: the point here
+	// is verifying soundness of accepted rewrites, not measuring match rates.
+	wcfg := workload.DefaultConfig(21)
+	wcfg.ViewOutputColProb = 0.9
+	wcfg.OneSidedRangeProb = 0.9
+	wcfg.RangePaletteSize = 1
+	gen := workload.New(cat, wcfg)
+	m := core.NewMatcher(cat, core.DefaultOptions())
+
+	type mview struct {
+		v   *core.View
+		def int
+	}
+	var views []mview
+	for i := 0; len(views) < numViews; i++ {
+		def := gen.View(i)
+		if def.ValidateAsView() != nil {
+			continue
+		}
+		name := fmt.Sprintf("mv%d", i)
+		v, err := m.NewView(len(views), name, def)
+		if err != nil {
+			t.Fatalf("view %d: %v", i, err)
+		}
+		if _, err := exec.Materialize(db, name, def); err != nil {
+			t.Fatalf("materialize %d: %v", i, err)
+		}
+		views = append(views, mview{v, i})
+	}
+
+	matched, verified := 0, 0
+	for qi := 0; qi < numQueries; qi++ {
+		q := gen.Query(qi)
+		if q.Validate() != nil {
+			continue
+		}
+		var want []storage.Row
+		haveWant := false
+		for _, mv := range views {
+			sub := m.Match(q, mv.v)
+			if sub == nil {
+				continue
+			}
+			matched++
+			if !haveWant {
+				rows, err := exec.RunQuery(db, q)
+				if err != nil {
+					t.Fatalf("query %d: %v", qi, err)
+				}
+				want = rows
+				haveWant = true
+			}
+			got, err := exec.RunSubstitute(db, sub)
+			if err != nil {
+				t.Fatalf("query %d via view %s: %v\nsubstitute: %s", qi, mv.v.Name, err, sub)
+			}
+			if !exec.SameRows(got, want) {
+				t.Fatalf("query %d via view %s: results differ (%d vs %d rows)\nquery: %s\nview: %s\nsubstitute: %s",
+					qi, mv.v.Name, len(got), len(want), q.String(), mv.v.Def.String(), sub)
+			}
+			verified++
+		}
+	}
+	if matched == 0 {
+		t.Fatal("no matches in the random workload; the check is vacuous")
+	}
+	t.Logf("verified %d/%d substitutes across %d queries × %d views",
+		verified, matched, numQueries, numViews)
+}

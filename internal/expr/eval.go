@@ -1,0 +1,222 @@
+package expr
+
+import (
+	"fmt"
+
+	"matview/internal/sqlvalue"
+)
+
+// Binding supplies the value of each column reference during evaluation.
+type Binding func(ColRef) sqlvalue.Value
+
+// Eval evaluates e under the binding with SQL three-valued logic: comparisons
+// and boolean connectives over NULL yield NULL (represented as the NULL
+// value), which predicates treat as "not satisfied".
+func Eval(e Expr, bind Binding) (sqlvalue.Value, error) {
+	switch n := e.(type) {
+	case Const:
+		return n.Val, nil
+	case Column:
+		return bind(n.Ref), nil
+	case Cmp:
+		l, err := Eval(n.L, bind)
+		if err != nil {
+			return sqlvalue.Null, err
+		}
+		r, err := Eval(n.R, bind)
+		if err != nil {
+			return sqlvalue.Null, err
+		}
+		cmp, ok := sqlvalue.Compare(l, r)
+		if !ok {
+			return sqlvalue.Null, nil
+		}
+		return sqlvalue.NewBool(cmpSatisfies(n.Op, cmp)), nil
+	case Arith:
+		l, err := Eval(n.L, bind)
+		if err != nil {
+			return sqlvalue.Null, err
+		}
+		r, err := Eval(n.R, bind)
+		if err != nil {
+			return sqlvalue.Null, err
+		}
+		switch n.Op {
+		case Add:
+			return sqlvalue.Add(l, r)
+		case Sub:
+			return sqlvalue.Sub(l, r)
+		case Mul:
+			return sqlvalue.Mul(l, r)
+		case Div:
+			return sqlvalue.Div(l, r)
+		}
+		return sqlvalue.Null, fmt.Errorf("expr: unknown arith op %v", n.Op)
+	case Neg:
+		v, err := Eval(n.E, bind)
+		if err != nil {
+			return sqlvalue.Null, err
+		}
+		return sqlvalue.Neg(v)
+	case Not:
+		v, err := Eval(n.E, bind)
+		if err != nil {
+			return sqlvalue.Null, err
+		}
+		if v.IsNull() {
+			return sqlvalue.Null, nil
+		}
+		return sqlvalue.NewBool(!v.Bool()), nil
+	case And:
+		// SQL AND: FALSE dominates NULL.
+		sawNull := false
+		for _, a := range n.Args {
+			v, err := Eval(a, bind)
+			if err != nil {
+				return sqlvalue.Null, err
+			}
+			if v.IsNull() {
+				sawNull = true
+			} else if !v.Bool() {
+				return sqlvalue.NewBool(false), nil
+			}
+		}
+		if sawNull {
+			return sqlvalue.Null, nil
+		}
+		return sqlvalue.NewBool(true), nil
+	case Or:
+		// SQL OR: TRUE dominates NULL.
+		sawNull := false
+		for _, a := range n.Args {
+			v, err := Eval(a, bind)
+			if err != nil {
+				return sqlvalue.Null, err
+			}
+			if v.IsNull() {
+				sawNull = true
+			} else if v.Bool() {
+				return sqlvalue.NewBool(true), nil
+			}
+		}
+		if sawNull {
+			return sqlvalue.Null, nil
+		}
+		return sqlvalue.NewBool(false), nil
+	case Like:
+		s, err := Eval(n.E, bind)
+		if err != nil {
+			return sqlvalue.Null, err
+		}
+		p, err := Eval(n.Pattern, bind)
+		if err != nil {
+			return sqlvalue.Null, err
+		}
+		m, ok := sqlvalue.Like(s, p)
+		if !ok {
+			return sqlvalue.Null, nil
+		}
+		return sqlvalue.NewBool(m), nil
+	case IsNull:
+		v, err := Eval(n.E, bind)
+		if err != nil {
+			return sqlvalue.Null, err
+		}
+		return sqlvalue.NewBool(v.IsNull() != n.Negate), nil
+	case Func:
+		return evalFunc(n, bind)
+	default:
+		return sqlvalue.Null, fmt.Errorf("expr: cannot evaluate %T", e)
+	}
+}
+
+func cmpSatisfies(op CmpOp, cmp int) bool {
+	switch op {
+	case EQ:
+		return cmp == 0
+	case NE:
+		return cmp != 0
+	case LT:
+		return cmp < 0
+	case LE:
+		return cmp <= 0
+	case GT:
+		return cmp > 0
+	case GE:
+		return cmp >= 0
+	default:
+		return false
+	}
+}
+
+// evalFunc evaluates the small set of scalar functions the workloads use.
+func evalFunc(f Func, bind Binding) (sqlvalue.Value, error) {
+	args := make([]sqlvalue.Value, len(f.Args))
+	for i, a := range f.Args {
+		v, err := Eval(a, bind)
+		if err != nil {
+			return sqlvalue.Null, err
+		}
+		args[i] = v
+	}
+	switch name := f.Name; name {
+	case "ABS", "abs":
+		if len(args) != 1 {
+			return sqlvalue.Null, fmt.Errorf("expr: ABS takes 1 argument")
+		}
+		v := args[0]
+		if v.IsNull() {
+			return sqlvalue.Null, nil
+		}
+		switch v.Kind() {
+		case sqlvalue.KindInt:
+			if v.Int() < 0 {
+				return sqlvalue.NewInt(-v.Int()), nil
+			}
+			return v, nil
+		case sqlvalue.KindFloat:
+			if v.Float() < 0 {
+				return sqlvalue.NewFloat(-v.Float()), nil
+			}
+			return v, nil
+		default:
+			return sqlvalue.Null, fmt.Errorf("expr: ABS on %s", v.Kind())
+		}
+	case "UPPER", "upper":
+		if len(args) != 1 {
+			return sqlvalue.Null, fmt.Errorf("expr: UPPER takes 1 argument")
+		}
+		if args[0].IsNull() {
+			return sqlvalue.Null, nil
+		}
+		return sqlvalue.NewString(upperASCII(args[0].Str())), nil
+	default:
+		return sqlvalue.Null, fmt.Errorf("expr: unknown function %q", f.Name)
+	}
+}
+
+func upperASCII(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if 'a' <= c && c <= 'z' {
+			b[i] = c - 'a' + 'A'
+		}
+	}
+	return string(b)
+}
+
+// EvalPredicate evaluates a predicate expression and reports whether the row
+// qualifies: NULL (unknown) counts as not qualifying, per SQL semantics.
+func EvalPredicate(e Expr, bind Binding) (bool, error) {
+	v, err := Eval(e, bind)
+	if err != nil {
+		return false, err
+	}
+	if v.IsNull() {
+		return false, nil
+	}
+	if v.Kind() != sqlvalue.KindBool {
+		return false, fmt.Errorf("expr: predicate evaluated to %s", v.Kind())
+	}
+	return v.Bool(), nil
+}

@@ -1,0 +1,407 @@
+// Package expr implements the scalar-expression framework underlying both
+// query execution and view matching: expression trees, three-valued-logic
+// evaluation, conversion of predicates to conjunctive normal form (CNF),
+// classification of conjuncts into the paper's PE / PR / PU components, and
+// the shallow-matching fingerprint of §3.1.2 (the textual form of an
+// expression with column references omitted, plus the ordered list of
+// referenced columns).
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"matview/internal/sqlvalue"
+)
+
+// ColRef identifies a column as (table instance, column ordinal). The table
+// instance index is relative to the FROM list of the enclosing query or view
+// expression; the column ordinal indexes the columns of that table instance's
+// base table.
+type ColRef struct {
+	Tab int // index into the expression's table-instance list
+	Col int // column ordinal within the base table
+}
+
+// String renders the reference positionally (for debugging; use a Resolver
+// for named rendering).
+func (c ColRef) String() string { return fmt.Sprintf("t%d.c%d", c.Tab, c.Col) }
+
+// Less orders column references lexicographically, used for canonical forms.
+func (c ColRef) Less(o ColRef) bool {
+	if c.Tab != o.Tab {
+		return c.Tab < o.Tab
+	}
+	return c.Col < o.Col
+}
+
+// CmpOp is a comparison operator.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+// String returns the SQL spelling of the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case EQ:
+		return "="
+	case NE:
+		return "<>"
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	default:
+		return fmt.Sprintf("CmpOp(%d)", uint8(op))
+	}
+}
+
+// Flip returns the operator with its operand order reversed (A op B ==
+// B op.Flip() A).
+func (op CmpOp) Flip() CmpOp {
+	switch op {
+	case LT:
+		return GT
+	case LE:
+		return GE
+	case GT:
+		return LT
+	case GE:
+		return LE
+	default: // EQ, NE are symmetric
+		return op
+	}
+}
+
+// Negate returns the logical complement of the operator (NOT (A op B) ==
+// A op.Negate() B) under two-valued logic; NULL handling is done by the
+// evaluator.
+func (op CmpOp) Negate() CmpOp {
+	switch op {
+	case EQ:
+		return NE
+	case NE:
+		return EQ
+	case LT:
+		return GE
+	case LE:
+		return GT
+	case GT:
+		return LE
+	case GE:
+		return LT
+	default:
+		return op
+	}
+}
+
+// ArithOp is an arithmetic operator.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	Add ArithOp = iota
+	Sub
+	Mul
+	Div
+)
+
+// String returns the SQL spelling of the operator.
+func (op ArithOp) String() string {
+	switch op {
+	case Add:
+		return "+"
+	case Sub:
+		return "-"
+	case Mul:
+		return "*"
+	case Div:
+		return "/"
+	default:
+		return fmt.Sprintf("ArithOp(%d)", uint8(op))
+	}
+}
+
+// Commutative reports whether operand order is irrelevant.
+func (op ArithOp) Commutative() bool { return op == Add || op == Mul }
+
+// Expr is a scalar expression tree node. Implementations are immutable;
+// rewrites build new trees.
+type Expr interface {
+	// isExpr restricts implementations to this package.
+	isExpr()
+}
+
+// Const is a literal value.
+type Const struct {
+	Val sqlvalue.Value
+}
+
+// Column is a column reference.
+type Column struct {
+	Ref ColRef
+}
+
+// Cmp is a binary comparison.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// Arith is a binary arithmetic expression.
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+// Neg is unary minus.
+type Neg struct {
+	E Expr
+}
+
+// Not is logical negation.
+type Not struct {
+	E Expr
+}
+
+// And is a conjunction of two or more predicates.
+type And struct {
+	Args []Expr
+}
+
+// Or is a disjunction of two or more predicates.
+type Or struct {
+	Args []Expr
+}
+
+// Like is the SQL LIKE predicate; Pattern is typically a Const string.
+type Like struct {
+	E, Pattern Expr
+}
+
+// IsNull tests a value for NULL; with Negate it is IS NOT NULL.
+type IsNull struct {
+	E      Expr
+	Negate bool
+}
+
+// Func is a scalar function application (e.g. ABS, SUBSTRING). Functions are
+// uninterpreted by the matcher beyond their fingerprint.
+type Func struct {
+	Name string
+	Args []Expr
+}
+
+func (Const) isExpr()  {}
+func (Column) isExpr() {}
+func (Cmp) isExpr()    {}
+func (Arith) isExpr()  {}
+func (Neg) isExpr()    {}
+func (Not) isExpr()    {}
+func (And) isExpr()    {}
+func (Or) isExpr()     {}
+func (Like) isExpr()   {}
+func (IsNull) isExpr() {}
+func (Func) isExpr()   {}
+
+// C returns a constant expression.
+func C(v sqlvalue.Value) Expr { return Const{Val: v} }
+
+// CInt returns an integer constant expression.
+func CInt(i int64) Expr { return Const{Val: sqlvalue.NewInt(i)} }
+
+// CFloat returns a float constant expression.
+func CFloat(f float64) Expr { return Const{Val: sqlvalue.NewFloat(f)} }
+
+// CStr returns a string constant expression.
+func CStr(s string) Expr { return Const{Val: sqlvalue.NewString(s)} }
+
+// Col returns a column-reference expression.
+func Col(tab, col int) Expr { return Column{Ref: ColRef{Tab: tab, Col: col}} }
+
+// ColE returns a column-reference expression from a ColRef.
+func ColE(r ColRef) Expr { return Column{Ref: r} }
+
+// NewCmp returns a comparison expression.
+func NewCmp(op CmpOp, l, r Expr) Expr { return Cmp{Op: op, L: l, R: r} }
+
+// Eq returns l = r.
+func Eq(l, r Expr) Expr { return Cmp{Op: EQ, L: l, R: r} }
+
+// NewArith returns an arithmetic expression.
+func NewArith(op ArithOp, l, r Expr) Expr { return Arith{Op: op, L: l, R: r} }
+
+// NewAnd conjoins predicates, flattening nested Ands; it returns TRUE for an
+// empty argument list and the sole argument for a singleton.
+func NewAnd(args ...Expr) Expr {
+	flat := make([]Expr, 0, len(args))
+	for _, a := range args {
+		if inner, ok := a.(And); ok {
+			flat = append(flat, inner.Args...)
+		} else {
+			flat = append(flat, a)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return Const{Val: sqlvalue.NewBool(true)}
+	case 1:
+		return flat[0]
+	default:
+		return And{Args: flat}
+	}
+}
+
+// NewOr disjoins predicates, flattening nested Ors; it returns FALSE for an
+// empty argument list and the sole argument for a singleton.
+func NewOr(args ...Expr) Expr {
+	flat := make([]Expr, 0, len(args))
+	for _, a := range args {
+		if inner, ok := a.(Or); ok {
+			flat = append(flat, inner.Args...)
+		} else {
+			flat = append(flat, a)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return Const{Val: sqlvalue.NewBool(false)}
+	case 1:
+		return flat[0]
+	default:
+		return Or{Args: flat}
+	}
+}
+
+// Children returns the direct sub-expressions of e in left-to-right order.
+func Children(e Expr) []Expr {
+	switch n := e.(type) {
+	case Const, Column:
+		return nil
+	case Cmp:
+		return []Expr{n.L, n.R}
+	case Arith:
+		return []Expr{n.L, n.R}
+	case Neg:
+		return []Expr{n.E}
+	case Not:
+		return []Expr{n.E}
+	case And:
+		return n.Args
+	case Or:
+		return n.Args
+	case Like:
+		return []Expr{n.E, n.Pattern}
+	case IsNull:
+		return []Expr{n.E}
+	case Func:
+		return n.Args
+	default:
+		panic(fmt.Sprintf("expr: unknown node %T", e))
+	}
+}
+
+// Columns returns every column reference in e, in the left-to-right order
+// they occur in the textual form of the expression. This order is what the
+// paper's shallow-matching algorithm relies on.
+func Columns(e Expr) []ColRef {
+	var out []ColRef
+	var walk func(Expr)
+	walk = func(e Expr) {
+		if c, ok := e.(Column); ok {
+			out = append(out, c.Ref)
+			return
+		}
+		for _, ch := range Children(e) {
+			walk(ch)
+		}
+	}
+	walk(e)
+	return out
+}
+
+// TablesUsed returns the set of table-instance indexes referenced by e.
+func TablesUsed(e Expr) map[int]bool {
+	out := map[int]bool{}
+	for _, c := range Columns(e) {
+		out[c.Tab] = true
+	}
+	return out
+}
+
+// Equal reports structural equality of two expression trees.
+func Equal(a, b Expr) bool {
+	switch x := a.(type) {
+	case Const:
+		y, ok := b.(Const)
+		return ok && sqlvalue.Identical(x.Val, y.Val)
+	case Column:
+		y, ok := b.(Column)
+		return ok && x.Ref == y.Ref
+	case Cmp:
+		y, ok := b.(Cmp)
+		return ok && x.Op == y.Op && Equal(x.L, y.L) && Equal(x.R, y.R)
+	case Arith:
+		y, ok := b.(Arith)
+		return ok && x.Op == y.Op && Equal(x.L, y.L) && Equal(x.R, y.R)
+	case Neg:
+		y, ok := b.(Neg)
+		return ok && Equal(x.E, y.E)
+	case Not:
+		y, ok := b.(Not)
+		return ok && Equal(x.E, y.E)
+	case And:
+		y, ok := b.(And)
+		return ok && equalSlices(x.Args, y.Args)
+	case Or:
+		y, ok := b.(Or)
+		return ok && equalSlices(x.Args, y.Args)
+	case Like:
+		y, ok := b.(Like)
+		return ok && Equal(x.E, y.E) && Equal(x.Pattern, y.Pattern)
+	case IsNull:
+		y, ok := b.(IsNull)
+		return ok && x.Negate == y.Negate && Equal(x.E, y.E)
+	case Func:
+		y, ok := b.(Func)
+		return ok && strings.EqualFold(x.Name, y.Name) && equalSlices(x.Args, y.Args)
+	default:
+		panic(fmt.Sprintf("expr: unknown node %T", a))
+	}
+}
+
+func equalSlices(a, b []Expr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsTrue reports whether e is the constant TRUE.
+func IsTrue(e Expr) bool {
+	c, ok := e.(Const)
+	return ok && c.Val.Kind() == sqlvalue.KindBool && c.Val.Bool()
+}
+
+// IsFalse reports whether e is the constant FALSE.
+func IsFalse(e Expr) bool {
+	c, ok := e.(Const)
+	return ok && c.Val.Kind() == sqlvalue.KindBool && !c.Val.Bool()
+}

@@ -1,0 +1,511 @@
+package expr
+
+import (
+	"testing"
+
+	"matview/internal/sqlvalue"
+)
+
+func TestNewAndFlattening(t *testing.T) {
+	a, b, c := Col(0, 0), Col(0, 1), Col(0, 2)
+	e := NewAnd(Eq(a, b), NewAnd(Eq(b, c), Eq(a, c)))
+	and, ok := e.(And)
+	if !ok || len(and.Args) != 3 {
+		t.Fatalf("expected flattened 3-way AND, got %#v", e)
+	}
+	if !IsTrue(NewAnd()) {
+		t.Error("empty AND must be TRUE")
+	}
+	if !Equal(NewAnd(Eq(a, b)), Eq(a, b)) {
+		t.Error("singleton AND must unwrap")
+	}
+}
+
+func TestNewOrFlattening(t *testing.T) {
+	a, b := Col(0, 0), Col(0, 1)
+	e := NewOr(Eq(a, b), NewOr(Eq(b, a), Eq(a, a)))
+	or, ok := e.(Or)
+	if !ok || len(or.Args) != 3 {
+		t.Fatalf("expected flattened 3-way OR, got %#v", e)
+	}
+	if !IsFalse(NewOr()) {
+		t.Error("empty OR must be FALSE")
+	}
+}
+
+func TestColumnsOrder(t *testing.T) {
+	// (t0.c1 + t1.c0) * t0.c2 — textual order of refs.
+	e := NewArith(Mul, NewArith(Add, Col(0, 1), Col(1, 0)), Col(0, 2))
+	cols := Columns(e)
+	want := []ColRef{{0, 1}, {1, 0}, {0, 2}}
+	if len(cols) != len(want) {
+		t.Fatalf("got %v", cols)
+	}
+	for i := range want {
+		if cols[i] != want[i] {
+			t.Errorf("cols[%d] = %v, want %v", i, cols[i], want[i])
+		}
+	}
+}
+
+func TestEqualStructural(t *testing.T) {
+	a := NewCmp(GT, Col(0, 0), CInt(5))
+	b := NewCmp(GT, Col(0, 0), CInt(5))
+	c := NewCmp(GE, Col(0, 0), CInt(5))
+	if !Equal(a, b) {
+		t.Error("identical trees must be Equal")
+	}
+	if Equal(a, c) {
+		t.Error("different operators must not be Equal")
+	}
+	if Equal(a, Col(0, 0)) {
+		t.Error("different shapes must not be Equal")
+	}
+}
+
+func bindRow(vals map[ColRef]sqlvalue.Value) Binding {
+	return func(r ColRef) sqlvalue.Value {
+		if v, ok := vals[r]; ok {
+			return v
+		}
+		return sqlvalue.Null
+	}
+}
+
+func TestEvalComparisonsAndArith(t *testing.T) {
+	bind := bindRow(map[ColRef]sqlvalue.Value{
+		{0, 0}: sqlvalue.NewInt(10),
+		{0, 1}: sqlvalue.NewInt(3),
+	})
+	tests := []struct {
+		e    Expr
+		want bool
+	}{
+		{NewCmp(GT, Col(0, 0), Col(0, 1)), true},
+		{NewCmp(LT, Col(0, 0), Col(0, 1)), false},
+		{NewCmp(EQ, NewArith(Add, Col(0, 1), CInt(7)), Col(0, 0)), true},
+		{NewCmp(NE, Col(0, 0), Col(0, 1)), true},
+		{NewCmp(LE, Col(0, 0), CInt(10)), true},
+		{NewCmp(GE, Col(0, 1), CInt(4)), false},
+	}
+	for _, tc := range tests {
+		got, err := EvalPredicate(tc.e, bind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("%s = %v, want %v", Render(tc.e, PositionalResolver), got, tc.want)
+		}
+	}
+}
+
+func TestEvalThreeValuedLogic(t *testing.T) {
+	bind := bindRow(map[ColRef]sqlvalue.Value{
+		{0, 0}: sqlvalue.NewInt(1),
+		// {0,1} is NULL
+	})
+	// NULL comparison yields NULL.
+	v, err := Eval(NewCmp(EQ, Col(0, 1), CInt(1)), bind)
+	if err != nil || !v.IsNull() {
+		t.Errorf("NULL = 1 evaluated to %v", v)
+	}
+	// FALSE AND NULL = FALSE.
+	v, _ = Eval(NewAnd(NewCmp(EQ, Col(0, 0), CInt(2)), NewCmp(EQ, Col(0, 1), CInt(1))), bind)
+	if v.IsNull() || v.Bool() {
+		t.Errorf("FALSE AND NULL = %v, want FALSE", v)
+	}
+	// TRUE AND NULL = NULL.
+	v, _ = Eval(NewAnd(NewCmp(EQ, Col(0, 0), CInt(1)), NewCmp(EQ, Col(0, 1), CInt(1))), bind)
+	if !v.IsNull() {
+		t.Errorf("TRUE AND NULL = %v, want NULL", v)
+	}
+	// TRUE OR NULL = TRUE.
+	v, _ = Eval(NewOr(NewCmp(EQ, Col(0, 0), CInt(1)), NewCmp(EQ, Col(0, 1), CInt(1))), bind)
+	if v.IsNull() || !v.Bool() {
+		t.Errorf("TRUE OR NULL = %v, want TRUE", v)
+	}
+	// FALSE OR NULL = NULL.
+	v, _ = Eval(NewOr(NewCmp(EQ, Col(0, 0), CInt(2)), NewCmp(EQ, Col(0, 1), CInt(1))), bind)
+	if !v.IsNull() {
+		t.Errorf("FALSE OR NULL = %v, want NULL", v)
+	}
+	// NOT NULL = NULL.
+	v, _ = Eval(Not{E: NewCmp(EQ, Col(0, 1), CInt(1))}, bind)
+	if !v.IsNull() {
+		t.Errorf("NOT NULL = %v, want NULL", v)
+	}
+	// IS NULL / IS NOT NULL are two-valued.
+	got, _ := EvalPredicate(IsNull{E: Col(0, 1)}, bind)
+	if !got {
+		t.Error("NULL IS NULL must be TRUE")
+	}
+	got, _ = EvalPredicate(IsNull{E: Col(0, 0), Negate: true}, bind)
+	if !got {
+		t.Error("1 IS NOT NULL must be TRUE")
+	}
+}
+
+func TestEvalLike(t *testing.T) {
+	bind := bindRow(map[ColRef]sqlvalue.Value{
+		{0, 0}: sqlvalue.NewString("economy steel bolt"),
+	})
+	got, err := EvalPredicate(Like{E: Col(0, 0), Pattern: CStr("%steel%")}, bind)
+	if err != nil || !got {
+		t.Errorf("LIKE %%steel%% = %v (%v)", got, err)
+	}
+}
+
+func TestEvalFunc(t *testing.T) {
+	bind := bindRow(map[ColRef]sqlvalue.Value{
+		{0, 0}: sqlvalue.NewInt(-4),
+		{0, 1}: sqlvalue.NewString("abc"),
+	})
+	v, err := Eval(Func{Name: "ABS", Args: []Expr{Col(0, 0)}}, bind)
+	if err != nil || v.Int() != 4 {
+		t.Errorf("ABS(-4) = %v (%v)", v, err)
+	}
+	v, err = Eval(Func{Name: "UPPER", Args: []Expr{Col(0, 1)}}, bind)
+	if err != nil || v.Str() != "ABC" {
+		t.Errorf("UPPER('abc') = %v (%v)", v, err)
+	}
+	if _, err := Eval(Func{Name: "NOPE"}, bind); err == nil {
+		t.Error("unknown function must error")
+	}
+}
+
+func TestToCNFSimple(t *testing.T) {
+	a := NewCmp(GT, Col(0, 0), CInt(1))
+	b := NewCmp(LT, Col(0, 1), CInt(2))
+	c := NewCmp(EQ, Col(0, 2), CInt(3))
+	// a AND (b AND c) -> 3 conjuncts
+	conj := ToCNF(NewAnd(a, NewAnd(b, c)))
+	if len(conj) != 3 {
+		t.Fatalf("got %d conjuncts", len(conj))
+	}
+}
+
+func TestToCNFDistribution(t *testing.T) {
+	a := NewCmp(GT, Col(0, 0), CInt(1))
+	b := NewCmp(LT, Col(0, 1), CInt(2))
+	c := NewCmp(EQ, Col(0, 2), CInt(3))
+	// a OR (b AND c) -> (a OR b) AND (a OR c)
+	conj := ToCNF(NewOr(a, NewAnd(b, c)))
+	if len(conj) != 2 {
+		t.Fatalf("got %d conjuncts: %v", len(conj), conj)
+	}
+	for _, cj := range conj {
+		if _, ok := cj.(Or); !ok {
+			t.Errorf("conjunct %v is not a disjunction", Render(cj, PositionalResolver))
+		}
+	}
+}
+
+func TestToCNFNotPushdown(t *testing.T) {
+	a := NewCmp(GT, Col(0, 0), CInt(1))
+	b := NewCmp(LT, Col(0, 1), CInt(2))
+	// NOT (a OR b) -> (NOT a) AND (NOT b) -> (<=) AND (>=)
+	conj := ToCNF(Not{E: NewOr(a, b)})
+	if len(conj) != 2 {
+		t.Fatalf("got %d conjuncts", len(conj))
+	}
+	c0, ok0 := conj[0].(Cmp)
+	c1, ok1 := conj[1].(Cmp)
+	if !ok0 || !ok1 || c0.Op != LE || c1.Op != GE {
+		t.Errorf("NOT pushdown produced %v, %v", conj[0], conj[1])
+	}
+}
+
+func TestToCNFDoubleNegation(t *testing.T) {
+	a := NewCmp(EQ, Col(0, 0), CInt(1))
+	conj := ToCNF(Not{E: Not{E: a}})
+	if len(conj) != 1 || !Equal(conj[0], a) {
+		t.Errorf("double negation: %v", conj)
+	}
+}
+
+func TestToCNFBlowupCap(t *testing.T) {
+	// A disjunction of many conjunctions whose CNF would exceed the cap must
+	// be kept atomic rather than exploded.
+	var disjuncts []Expr
+	for i := 0; i < 4; i++ {
+		var cs []Expr
+		for j := 0; j < 4; j++ {
+			cs = append(cs, NewCmp(EQ, Col(0, i*4+j), CInt(int64(j))))
+		}
+		disjuncts = append(disjuncts, NewAnd(cs...))
+	}
+	conj := ToCNF(NewOr(disjuncts...))
+	// 4^4 = 256 > 64 cap, so we keep 1 atomic conjunct.
+	if len(conj) != 1 {
+		t.Fatalf("expected capped CNF to produce 1 conjunct, got %d", len(conj))
+	}
+}
+
+func TestToCNFTrueFalseConstants(t *testing.T) {
+	if got := ToCNF(C(sqlvalue.NewBool(true))); len(got) != 0 {
+		t.Errorf("CNF(TRUE) = %v, want empty", got)
+	}
+	got := ToCNF(C(sqlvalue.NewBool(false)))
+	if len(got) != 1 || !IsFalse(got[0]) {
+		t.Errorf("CNF(FALSE) = %v", got)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	colEq := NewCmp(EQ, Col(0, 1), Col(1, 2))
+	k, eq, _ := Classify(colEq)
+	if k != KindColumnEquality || eq.A != (ColRef{0, 1}) || eq.B != (ColRef{1, 2}) {
+		t.Errorf("Classify(col=col) = %v, %v", k, eq)
+	}
+
+	rng := NewCmp(LT, Col(0, 1), CInt(100))
+	k, _, r := Classify(rng)
+	if k != KindRange || r.Op != LT || r.Col != (ColRef{0, 1}) || r.Val.Int() != 100 {
+		t.Errorf("Classify(col<100) = %v, %v", k, r)
+	}
+
+	// Flipped: 100 > col is the same range predicate.
+	flipped := NewCmp(GT, CInt(100), Col(0, 1))
+	k, _, r = Classify(flipped)
+	if k != KindRange || r.Op != LT || r.Col != (ColRef{0, 1}) {
+		t.Errorf("Classify(100>col) = %v, %v", k, r)
+	}
+
+	// NE is residual, not range.
+	k, _, _ = Classify(NewCmp(NE, Col(0, 1), CInt(5)))
+	if k != KindResidual {
+		t.Errorf("Classify(col<>5) = %v, want residual", k)
+	}
+
+	// col = NULL constant stays residual.
+	k, _, _ = Classify(NewCmp(EQ, Col(0, 1), C(sqlvalue.Null)))
+	if k != KindResidual {
+		t.Errorf("Classify(col=NULL) = %v, want residual", k)
+	}
+
+	// LIKE is residual.
+	k, _, _ = Classify(Like{E: Col(0, 1), Pattern: CStr("%x%")})
+	if k != KindResidual {
+		t.Errorf("Classify(LIKE) = %v, want residual", k)
+	}
+
+	// expr op const where expr is not a simple column is residual.
+	k, _, _ = Classify(NewCmp(GT, NewArith(Mul, Col(0, 1), Col(0, 2)), CInt(100)))
+	if k != KindResidual {
+		t.Errorf("Classify(a*b>100) = %v, want residual", k)
+	}
+}
+
+func TestSplitPredicate(t *testing.T) {
+	// Query predicate from paper Example 2 (simplified):
+	// l_orderkey = o_orderkey AND l_partkey = p_partkey AND
+	// l_partkey > 150 AND o_custkey = 123 AND
+	// l_quantity * l_extendedprice > 100
+	w := NewAnd(
+		NewCmp(EQ, Col(0, 0), Col(1, 0)),
+		NewCmp(EQ, Col(0, 1), Col(2, 0)),
+		NewCmp(GT, Col(0, 1), CInt(150)),
+		NewCmp(EQ, Col(1, 1), CInt(123)),
+		NewCmp(GT, NewArith(Mul, Col(0, 4), Col(0, 5)), CInt(100)),
+	)
+	pe, pr, pu := SplitPredicate(w)
+	if len(pe) != 2 || len(pr) != 2 || len(pu) != 1 {
+		t.Fatalf("split = %d PE, %d PR, %d PU", len(pe), len(pr), len(pu))
+	}
+}
+
+func TestFingerprintOmitsColumns(t *testing.T) {
+	e := NewCmp(GT, NewArith(Mul, Col(0, 4), Col(0, 5)), CInt(100))
+	fp := NewFingerprint(e)
+	if fp.Text != "((?*?)>100)" {
+		t.Errorf("fingerprint text = %q", fp.Text)
+	}
+	if len(fp.Cols) != 2 || fp.Cols[0] != (ColRef{0, 4}) || fp.Cols[1] != (ColRef{0, 5}) {
+		t.Errorf("fingerprint cols = %v", fp.Cols)
+	}
+}
+
+func TestFingerprintDistinguishesConstants(t *testing.T) {
+	a := NewFingerprint(NewCmp(GT, Col(0, 0), CInt(100)))
+	b := NewFingerprint(NewCmp(GT, Col(0, 0), CInt(200)))
+	if a.Text == b.Text {
+		t.Error("different constants must yield different fingerprints")
+	}
+}
+
+func TestNormalizeCommutativity(t *testing.T) {
+	// (A > B) and (B < A) must normalize identically (§3.1.2's example).
+	a, b := Col(0, 0), Col(0, 1)
+	n1 := Normalize(NewCmp(GT, a, b))
+	n2 := Normalize(NewCmp(LT, b, a))
+	if !Equal(n1, n2) {
+		t.Errorf("(A>B) and (B<A) normalize differently: %v vs %v",
+			Render(n1, PositionalResolver), Render(n2, PositionalResolver))
+	}
+	// (A+B) and (B+A) must normalize identically.
+	m1 := Normalize(NewArith(Add, a, b))
+	m2 := Normalize(NewArith(Add, b, a))
+	if !Equal(m1, m2) {
+		t.Error("(A+B) and (B+A) normalize differently")
+	}
+	// Subtraction must NOT commute.
+	s1 := Normalize(NewArith(Sub, a, b))
+	s2 := Normalize(NewArith(Sub, b, a))
+	if Equal(s1, s2) {
+		t.Error("(A-B) and (B-A) must stay different")
+	}
+}
+
+func TestNormalizeConstantToRight(t *testing.T) {
+	n := Normalize(NewCmp(LT, CInt(5), Col(0, 0)))
+	cmp, ok := n.(Cmp)
+	if !ok || cmp.Op != GT {
+		t.Fatalf("5 < A normalized to %v", n)
+	}
+	if _, isCol := cmp.L.(Column); !isCol {
+		t.Errorf("column should be on the left after normalization: %v", n)
+	}
+}
+
+func TestNormalizeAndOrdering(t *testing.T) {
+	a := NewCmp(EQ, Col(0, 0), CInt(1))
+	b := NewCmp(EQ, Col(0, 1), CInt(2))
+	n1 := Normalize(NewAnd(a, b))
+	n2 := Normalize(NewAnd(b, a))
+	if !Equal(n1, n2) {
+		t.Error("AND argument order must not matter after normalization")
+	}
+}
+
+func TestMapColumns(t *testing.T) {
+	e := NewCmp(GT, NewArith(Mul, Col(0, 4), Col(1, 5)), CInt(100))
+	mapped := MapColumns(e, func(r ColRef) ColRef {
+		return ColRef{Tab: r.Tab + 10, Col: r.Col}
+	})
+	cols := Columns(mapped)
+	if cols[0].Tab != 10 || cols[1].Tab != 11 {
+		t.Errorf("mapped cols = %v", cols)
+	}
+	// Original is unchanged (immutability).
+	if Columns(e)[0].Tab != 0 {
+		t.Error("MapColumns mutated its input")
+	}
+}
+
+func TestRewriteColumnsToExpression(t *testing.T) {
+	// Replace t0.c0 with (t5.c1 + 1).
+	e := NewCmp(EQ, Col(0, 0), CInt(9))
+	re := RewriteColumns(e, func(r ColRef) Expr {
+		return NewArith(Add, Col(5, 1), CInt(1))
+	})
+	want := NewCmp(EQ, NewArith(Add, Col(5, 1), CInt(1)), CInt(9))
+	if !Equal(re, want) {
+		t.Errorf("rewrite = %v", Render(re, PositionalResolver))
+	}
+}
+
+func TestShiftTables(t *testing.T) {
+	e := Eq(Col(0, 1), Col(2, 3))
+	s := ShiftTables(e, 4)
+	cols := Columns(s)
+	if cols[0] != (ColRef{4, 1}) || cols[1] != (ColRef{6, 3}) {
+		t.Errorf("shifted cols = %v", cols)
+	}
+}
+
+func TestRender(t *testing.T) {
+	e := NewAnd(
+		NewCmp(EQ, Col(0, 0), Col(1, 0)),
+		Like{E: Col(0, 1), Pattern: CStr("%x%")},
+	)
+	got := Render(e, PositionalResolver)
+	want := "((t0.c0 = t1.c0) AND t0.c1 LIKE '%x%')"
+	if got != want {
+		t.Errorf("Render = %q, want %q", got, want)
+	}
+}
+
+// Property: ToCNF preserves predicate semantics on random expressions and
+// random bindings.
+func TestCNFSemanticsPreserved(t *testing.T) {
+	exprs := []Expr{
+		NewOr(
+			NewAnd(NewCmp(GT, Col(0, 0), CInt(3)), NewCmp(LT, Col(0, 1), CInt(7))),
+			NewCmp(EQ, Col(0, 2), CInt(5)),
+		),
+		Not{E: NewOr(NewCmp(GE, Col(0, 0), CInt(2)), Not{E: NewCmp(EQ, Col(0, 1), CInt(4))})},
+		NewAnd(
+			NewOr(NewCmp(EQ, Col(0, 0), CInt(1)), NewCmp(EQ, Col(0, 1), CInt(1))),
+			Not{E: NewAnd(NewCmp(NE, Col(0, 2), CInt(0)), NewCmp(LT, Col(0, 0), CInt(9)))},
+		),
+	}
+	for _, orig := range exprs {
+		cnf := NewAnd(ToCNF(orig)...)
+		for v0 := int64(0); v0 < 10; v0++ {
+			for v1 := int64(0); v1 < 10; v1 += 3 {
+				for v2 := int64(0); v2 < 10; v2 += 5 {
+					bind := bindRow(map[ColRef]sqlvalue.Value{
+						{0, 0}: sqlvalue.NewInt(v0),
+						{0, 1}: sqlvalue.NewInt(v1),
+						{0, 2}: sqlvalue.NewInt(v2),
+					})
+					a, err1 := EvalPredicate(orig, bind)
+					b, err2 := EvalPredicate(cnf, bind)
+					if err1 != nil || err2 != nil {
+						t.Fatal(err1, err2)
+					}
+					if a != b {
+						t.Fatalf("CNF changed semantics at (%d,%d,%d): %v vs %v\norig: %s\ncnf:  %s",
+							v0, v1, v2, a, b,
+							Render(orig, PositionalResolver), Render(cnf, PositionalResolver))
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: Normalize preserves evaluation semantics.
+func TestNormalizeSemanticsPreserved(t *testing.T) {
+	exprs := []Expr{
+		NewCmp(LT, Col(0, 1), Col(0, 0)),
+		NewCmp(GE, CInt(5), Col(0, 0)),
+		NewArith(Add, Col(0, 1), NewArith(Mul, Col(0, 2), Col(0, 0))),
+		NewOr(NewCmp(EQ, Col(0, 2), CInt(5)), NewCmp(GT, Col(0, 0), Col(0, 1))),
+	}
+	for _, orig := range exprs {
+		norm := Normalize(orig)
+		for v0 := int64(0); v0 < 8; v0++ {
+			for v1 := int64(0); v1 < 8; v1 += 2 {
+				for v2 := int64(0); v2 < 8; v2 += 3 {
+					bind := bindRow(map[ColRef]sqlvalue.Value{
+						{0, 0}: sqlvalue.NewInt(v0),
+						{0, 1}: sqlvalue.NewInt(v1),
+						{0, 2}: sqlvalue.NewInt(v2),
+					})
+					a, _ := Eval(orig, bind)
+					b, _ := Eval(norm, bind)
+					if !sqlvalue.Identical(a, b) {
+						t.Fatalf("Normalize changed semantics: %v vs %v for %s",
+							a, b, Render(orig, PositionalResolver))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	exprs := []Expr{
+		NewCmp(LT, Col(0, 1), Col(0, 0)),
+		NewAnd(NewCmp(EQ, Col(0, 1), CInt(2)), NewCmp(EQ, Col(0, 0), CInt(1))),
+		NewArith(Mul, NewArith(Add, Col(0, 2), Col(0, 1)), Col(0, 0)),
+	}
+	for _, e := range exprs {
+		n1 := Normalize(e)
+		n2 := Normalize(n1)
+		if !Equal(n1, n2) {
+			t.Errorf("Normalize not idempotent on %s", Render(e, PositionalResolver))
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"matview/internal/sqlvalue"
+)
+
+// Fingerprint is the paper's shallow-matching representation of an expression
+// (§3.1.2): the textual form of the expression with column references
+// omitted, together with every column reference in the order it would occur
+// in the text. Two expressions match iff their Text fields are equal and the
+// column references in corresponding positions are equivalent under the
+// relevant equivalence classes.
+type Fingerprint struct {
+	Text string
+	Cols []ColRef
+}
+
+// NewFingerprint computes the fingerprint of a normalized expression. Callers
+// that want commutativity-insensitive matching should Normalize first.
+func NewFingerprint(e Expr) Fingerprint {
+	var sb strings.Builder
+	var cols []ColRef
+	writeFP(&sb, &cols, e)
+	return Fingerprint{Text: sb.String(), Cols: cols}
+}
+
+// writeFP renders e into sb using a fully parenthesized canonical syntax,
+// emitting '?' for each column reference and recording it in cols.
+func writeFP(sb *strings.Builder, cols *[]ColRef, e Expr) {
+	switch n := e.(type) {
+	case Const:
+		sb.WriteString(n.Val.String())
+	case Column:
+		sb.WriteByte('?')
+		*cols = append(*cols, n.Ref)
+	case Cmp:
+		sb.WriteByte('(')
+		writeFP(sb, cols, n.L)
+		sb.WriteString(n.Op.String())
+		writeFP(sb, cols, n.R)
+		sb.WriteByte(')')
+	case Arith:
+		sb.WriteByte('(')
+		writeFP(sb, cols, n.L)
+		sb.WriteString(n.Op.String())
+		writeFP(sb, cols, n.R)
+		sb.WriteByte(')')
+	case Neg:
+		sb.WriteString("(-")
+		writeFP(sb, cols, n.E)
+		sb.WriteByte(')')
+	case Not:
+		sb.WriteString("(NOT ")
+		writeFP(sb, cols, n.E)
+		sb.WriteByte(')')
+	case And:
+		sb.WriteByte('(')
+		for i, a := range n.Args {
+			if i > 0 {
+				sb.WriteString(" AND ")
+			}
+			writeFP(sb, cols, a)
+		}
+		sb.WriteByte(')')
+	case Or:
+		sb.WriteByte('(')
+		for i, a := range n.Args {
+			if i > 0 {
+				sb.WriteString(" OR ")
+			}
+			writeFP(sb, cols, a)
+		}
+		sb.WriteByte(')')
+	case Like:
+		sb.WriteByte('(')
+		writeFP(sb, cols, n.E)
+		sb.WriteString(" LIKE ")
+		writeFP(sb, cols, n.Pattern)
+		sb.WriteByte(')')
+	case IsNull:
+		sb.WriteByte('(')
+		writeFP(sb, cols, n.E)
+		if n.Negate {
+			sb.WriteString(" IS NOT NULL")
+		} else {
+			sb.WriteString(" IS NULL")
+		}
+		sb.WriteByte(')')
+	case Func:
+		sb.WriteString(strings.ToUpper(n.Name))
+		sb.WriteByte('(')
+		for i, a := range n.Args {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			writeFP(sb, cols, a)
+		}
+		sb.WriteByte(')')
+	default:
+		panic(fmt.Sprintf("expr: cannot fingerprint %T", e))
+	}
+}
+
+// Normalize returns a canonical form of e that removes the inessential
+// syntactic variation the paper calls out: (B < A) becomes (A > B) when A
+// orders before B, constants move to the right of comparisons, and operands
+// of commutative operators (+, *, AND, OR) are sorted by fingerprint. This is
+// the "simple function that understands (A+B) = (B+A)" level of matching
+// sophistication from §3.1.2.
+func Normalize(e Expr) Expr {
+	switch n := e.(type) {
+	case Const, Column:
+		return e
+	case Cmp:
+		l, r := Normalize(n.L), Normalize(n.R)
+		op := n.Op
+		// Constant on the left: flip so the column/expression is on the left.
+		_, lConst := l.(Const)
+		_, rConst := r.(Const)
+		if lConst && !rConst {
+			l, r = r, l
+			op = op.Flip()
+		} else if !lConst && !rConst {
+			// Order the two operands canonically, flipping the comparison.
+			if fpLess(r, l) {
+				l, r = r, l
+				op = op.Flip()
+			}
+		}
+		return Cmp{Op: op, L: l, R: r}
+	case Arith:
+		l, r := Normalize(n.L), Normalize(n.R)
+		if n.Op.Commutative() && fpLess(r, l) {
+			l, r = r, l
+		}
+		return Arith{Op: n.Op, L: l, R: r}
+	case Neg:
+		return Neg{E: Normalize(n.E)}
+	case Not:
+		return Not{E: Normalize(n.E)}
+	case And:
+		args := normalizeAll(n.Args)
+		sortByFP(args)
+		return NewAnd(args...)
+	case Or:
+		args := normalizeAll(n.Args)
+		sortByFP(args)
+		return NewOr(args...)
+	case Like:
+		return Like{E: Normalize(n.E), Pattern: Normalize(n.Pattern)}
+	case IsNull:
+		return IsNull{E: Normalize(n.E), Negate: n.Negate}
+	case Func:
+		return Func{Name: strings.ToUpper(n.Name), Args: normalizeAll(n.Args)}
+	default:
+		panic(fmt.Sprintf("expr: cannot normalize %T", e))
+	}
+}
+
+func normalizeAll(args []Expr) []Expr {
+	out := make([]Expr, len(args))
+	for i, a := range args {
+		out[i] = Normalize(a)
+	}
+	return out
+}
+
+// fpKey is a total order key for canonical operand ordering: the fingerprint
+// text plus the column list rendered positionally. Two distinct expressions
+// can share a key only if they are equal up to column identity, in which case
+// either order is canonical.
+func fpKey(e Expr) string {
+	fp := NewFingerprint(e)
+	var sb strings.Builder
+	sb.WriteString(fp.Text)
+	for _, c := range fp.Cols {
+		fmt.Fprintf(&sb, "|%d.%d", c.Tab, c.Col)
+	}
+	return sb.String()
+}
+
+func fpLess(a, b Expr) bool { return fpKey(a) < fpKey(b) }
+
+func sortByFP(args []Expr) {
+	// Insertion sort: argument lists are tiny.
+	for i := 1; i < len(args); i++ {
+		for j := i; j > 0 && fpLess(args[j], args[j-1]); j-- {
+			args[j], args[j-1] = args[j-1], args[j]
+		}
+	}
+}
+
+// Resolver maps a column reference to its display name (e.g.
+// "lineitem.l_partkey") when rendering expressions as SQL text.
+type Resolver func(ColRef) string
+
+// Render formats e as SQL text using the resolver for column names.
+func Render(e Expr, resolve Resolver) string {
+	var sb strings.Builder
+	writeSQL(&sb, e, resolve)
+	return sb.String()
+}
+
+func writeSQL(sb *strings.Builder, e Expr, resolve Resolver) {
+	switch n := e.(type) {
+	case Const:
+		sb.WriteString(n.Val.String())
+	case Column:
+		sb.WriteString(resolve(n.Ref))
+	case Cmp:
+		sb.WriteByte('(')
+		writeSQL(sb, n.L, resolve)
+		sb.WriteString(" " + n.Op.String() + " ")
+		writeSQL(sb, n.R, resolve)
+		sb.WriteByte(')')
+	case Arith:
+		sb.WriteByte('(')
+		writeSQL(sb, n.L, resolve)
+		sb.WriteString(" " + n.Op.String() + " ")
+		writeSQL(sb, n.R, resolve)
+		sb.WriteByte(')')
+	case Neg:
+		sb.WriteString("(-")
+		writeSQL(sb, n.E, resolve)
+		sb.WriteByte(')')
+	case Not:
+		sb.WriteString("NOT (")
+		writeSQL(sb, n.E, resolve)
+		sb.WriteByte(')')
+	case And:
+		sb.WriteByte('(')
+		for i, a := range n.Args {
+			if i > 0 {
+				sb.WriteString(" AND ")
+			}
+			writeSQL(sb, a, resolve)
+		}
+		sb.WriteByte(')')
+	case Or:
+		sb.WriteByte('(')
+		for i, a := range n.Args {
+			if i > 0 {
+				sb.WriteString(" OR ")
+			}
+			writeSQL(sb, a, resolve)
+		}
+		sb.WriteByte(')')
+	case Like:
+		writeSQL(sb, n.E, resolve)
+		sb.WriteString(" LIKE ")
+		writeSQL(sb, n.Pattern, resolve)
+	case IsNull:
+		writeSQL(sb, n.E, resolve)
+		if n.Negate {
+			sb.WriteString(" IS NOT NULL")
+		} else {
+			sb.WriteString(" IS NULL")
+		}
+	case Func:
+		sb.WriteString(strings.ToUpper(n.Name))
+		sb.WriteByte('(')
+		for i, a := range n.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeSQL(sb, a, resolve)
+		}
+		sb.WriteByte(')')
+	default:
+		panic(fmt.Sprintf("expr: cannot render %T", e))
+	}
+}
+
+// PositionalResolver renders references as tN.cM; useful in tests and debug
+// output.
+func PositionalResolver(r ColRef) string { return r.String() }
+
+// ConstOf returns the constant value of e if it is a literal.
+func ConstOf(e Expr) (sqlvalue.Value, bool) {
+	c, ok := e.(Const)
+	if !ok {
+		return sqlvalue.Null, false
+	}
+	return c.Val, true
+}

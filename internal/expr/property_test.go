@@ -1,0 +1,182 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"matview/internal/sqlvalue"
+)
+
+// randTree generates a random predicate tree over integer columns t0.c0..c3.
+func randTree(r *rand.Rand, depth int) Expr {
+	if depth <= 0 || r.Intn(4) == 0 {
+		// Leaf predicate.
+		col := Col(0, r.Intn(4))
+		switch r.Intn(5) {
+		case 0:
+			return NewCmp(CmpOp(r.Intn(6)), col, CInt(int64(r.Intn(10))))
+		case 1:
+			return NewCmp(CmpOp(r.Intn(6)), col, Col(0, r.Intn(4)))
+		case 2:
+			return IsNull{E: col, Negate: r.Intn(2) == 0}
+		case 3:
+			return NewCmp(CmpOp(r.Intn(6)),
+				NewArith(ArithOp(r.Intn(4)), col, CInt(int64(1+r.Intn(5)))),
+				CInt(int64(r.Intn(20))))
+		default:
+			return C(sqlvalue.NewBool(r.Intn(2) == 0))
+		}
+	}
+	switch r.Intn(3) {
+	case 0:
+		return Not{E: randTree(r, depth-1)}
+	case 1:
+		n := 2 + r.Intn(2)
+		args := make([]Expr, n)
+		for i := range args {
+			args[i] = randTree(r, depth-1)
+		}
+		return NewAnd(args...)
+	default:
+		n := 2 + r.Intn(2)
+		args := make([]Expr, n)
+		for i := range args {
+			args[i] = randTree(r, depth-1)
+		}
+		return NewOr(args...)
+	}
+}
+
+func randBinding(r *rand.Rand) Binding {
+	vals := make([]sqlvalue.Value, 4)
+	for i := range vals {
+		if r.Intn(8) == 0 {
+			vals[i] = sqlvalue.Null
+		} else {
+			vals[i] = sqlvalue.NewInt(int64(r.Intn(10)))
+		}
+	}
+	return func(c ColRef) sqlvalue.Value {
+		if c.Tab == 0 && c.Col >= 0 && c.Col < 4 {
+			return vals[c.Col]
+		}
+		return sqlvalue.Null
+	}
+}
+
+// TestCNFPreservesSemanticsRandom: CNF conversion must preserve three-valued
+// evaluation on random trees and bindings, including NULLs.
+func TestCNFPreservesSemanticsRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 400; trial++ {
+		orig := randTree(r, 3)
+		cnf := NewAnd(ToCNF(orig)...)
+		for b := 0; b < 12; b++ {
+			bind := randBinding(r)
+			v1, err1 := Eval(orig, bind)
+			v2, err2 := Eval(cnf, bind)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("trial %d: error mismatch %v vs %v\norig: %s",
+					trial, err1, err2, Render(orig, PositionalResolver))
+			}
+			if err1 != nil {
+				continue
+			}
+			// CNF may turn NULL into FALSE only never; require identical
+			// three-valued results.
+			if !sqlvalue.Identical(v1, v2) {
+				t.Fatalf("trial %d: %v vs %v\norig: %s\ncnf:  %s",
+					trial, v1, v2,
+					Render(orig, PositionalResolver), Render(cnf, PositionalResolver))
+			}
+		}
+	}
+}
+
+// TestNormalizePreservesSemanticsRandom: canonical normalization must not
+// change evaluation.
+func TestNormalizePreservesSemanticsRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 400; trial++ {
+		orig := randTree(r, 3)
+		norm := Normalize(orig)
+		for b := 0; b < 10; b++ {
+			bind := randBinding(r)
+			v1, _ := Eval(orig, bind)
+			v2, _ := Eval(norm, bind)
+			if !sqlvalue.Identical(v1, v2) {
+				t.Fatalf("trial %d: %v vs %v\norig: %s\nnorm: %s",
+					trial, v1, v2,
+					Render(orig, PositionalResolver), Render(norm, PositionalResolver))
+			}
+		}
+	}
+}
+
+// TestNormalizeIdempotentRandom: Normalize(Normalize(e)) == Normalize(e).
+func TestNormalizeIdempotentRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		e := randTree(r, 3)
+		n1 := Normalize(e)
+		n2 := Normalize(n1)
+		if !Equal(n1, n2) {
+			t.Fatalf("not idempotent:\n e: %s\nn1: %s\nn2: %s",
+				Render(e, PositionalResolver), Render(n1, PositionalResolver),
+				Render(n2, PositionalResolver))
+		}
+	}
+}
+
+// TestFingerprintStableUnderColumnRenaming: the fingerprint text must not
+// change when column identities change (only the Cols list does).
+func TestFingerprintStableUnderColumnRenaming(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		e := randTree(r, 3)
+		fp1 := NewFingerprint(e)
+		shifted := MapColumns(e, func(c ColRef) ColRef {
+			return ColRef{Tab: c.Tab + 3, Col: c.Col}
+		})
+		fp2 := NewFingerprint(shifted)
+		if fp1.Text != fp2.Text {
+			t.Fatalf("fingerprint text depends on column identity:\n%s\n%s", fp1.Text, fp2.Text)
+		}
+		if len(fp1.Cols) != len(fp2.Cols) {
+			t.Fatal("column counts differ")
+		}
+		for i := range fp1.Cols {
+			if fp1.Cols[i].Tab+3 != fp2.Cols[i].Tab {
+				t.Fatal("column order not preserved")
+			}
+		}
+	}
+}
+
+// TestSplitPredicateRoundTrip: recombining PE ∧ PR ∧ PU must be equivalent
+// to the CNF of the original predicate.
+func TestSplitPredicateRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 300; trial++ {
+		orig := randTree(r, 3)
+		pe, pr, pu := SplitPredicate(orig)
+		var parts []Expr
+		for _, e := range pe {
+			parts = append(parts, Eq(ColE(e.A), ColE(e.B)))
+		}
+		for _, rc := range pr {
+			parts = append(parts, NewCmp(rc.Op, ColE(rc.Col), C(rc.Val)))
+		}
+		parts = append(parts, pu...)
+		recombined := NewAnd(parts...)
+		for b := 0; b < 10; b++ {
+			bind := randBinding(r)
+			v1, _ := Eval(orig, bind)
+			v2, _ := Eval(recombined, bind)
+			if !sqlvalue.Identical(v1, v2) {
+				t.Fatalf("trial %d: split changed semantics (%v vs %v)\norig: %s",
+					trial, v1, v2, Render(orig, PositionalResolver))
+			}
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+
+	"matview/internal/sqlvalue"
+)
+
+func TestRenderAllNodeKinds(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{NewOr(Eq(Col(0, 0), CInt(1)), Eq(Col(0, 1), CInt(2))),
+			"((t0.c0 = 1) OR (t0.c1 = 2))"},
+		{Not{E: Eq(Col(0, 0), CInt(1))}, "NOT ((t0.c0 = 1))"},
+		{Neg{E: Col(0, 0)}, "(-t0.c0)"},
+		{IsNull{E: Col(0, 0)}, "t0.c0 IS NULL"},
+		{IsNull{E: Col(0, 0), Negate: true}, "t0.c0 IS NOT NULL"},
+		{Func{Name: "abs", Args: []Expr{Col(0, 0)}}, "ABS(t0.c0)"},
+		{Func{Name: "f", Args: []Expr{Col(0, 0), CInt(2)}}, "F(t0.c0, 2)"},
+		{NewArith(Div, Col(0, 0), CInt(2)), "(t0.c0 / 2)"},
+		{NewArith(Sub, Col(0, 0), CInt(2)), "(t0.c0 - 2)"},
+		{C(sqlvalue.Null), "NULL"},
+	}
+	for _, tc := range cases {
+		if got := Render(tc.e, PositionalResolver); got != tc.want {
+			t.Errorf("Render = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestFingerprintAllNodeKinds(t *testing.T) {
+	// Every node kind must fingerprint without panicking and with '?' for
+	// each column reference.
+	exprs := []Expr{
+		NewOr(Eq(Col(0, 0), CInt(1)), Not{E: IsNull{E: Col(0, 1)}}),
+		Neg{E: NewArith(Sub, Col(0, 0), Col(0, 1))},
+		Func{Name: "upper", Args: []Expr{Col(0, 2)}},
+		Like{E: Col(0, 3), Pattern: CStr("%a%")},
+		NewAnd(IsNull{E: Col(0, 0), Negate: true}, Eq(Col(1, 1), CInt(2))),
+	}
+	for _, e := range exprs {
+		fp := NewFingerprint(e)
+		if strings.Contains(fp.Text, "t0") || strings.Contains(fp.Text, "c0") {
+			t.Errorf("fingerprint leaked column identity: %q", fp.Text)
+		}
+		if len(fp.Cols) != len(Columns(e)) {
+			t.Errorf("fingerprint col count mismatch for %s", Render(e, PositionalResolver))
+		}
+	}
+}
+
+func TestChildrenAndTablesUsed(t *testing.T) {
+	e := NewAnd(
+		Eq(Col(0, 0), Col(2, 1)),
+		Like{E: Col(5, 3), Pattern: CStr("%x%")},
+	)
+	if got := len(Children(e)); got != 2 {
+		t.Errorf("Children = %d", got)
+	}
+	used := TablesUsed(e)
+	for _, tb := range []int{0, 2, 5} {
+		if !used[tb] {
+			t.Errorf("TablesUsed missing %d: %v", tb, used)
+		}
+	}
+	if len(used) != 3 {
+		t.Errorf("TablesUsed = %v", used)
+	}
+	if Children(CInt(1)) != nil {
+		t.Error("constants have no children")
+	}
+}
+
+func TestColRefLess(t *testing.T) {
+	a, b, c := ColRef{0, 5}, ColRef{1, 0}, ColRef{0, 7}
+	if !a.Less(b) || b.Less(a) {
+		t.Error("table ordering wrong")
+	}
+	if !a.Less(c) || c.Less(a) {
+		t.Error("column ordering wrong")
+	}
+	if a.Less(a) {
+		t.Error("irreflexivity violated")
+	}
+}
+
+func TestMapChildren(t *testing.T) {
+	// Replace each child with TRUE in an AND.
+	e := NewAnd(Eq(Col(0, 0), CInt(1)), Eq(Col(0, 1), CInt(2)))
+	mapped := MapChildren(e, func(Expr) Expr { return C(sqlvalue.NewBool(true)) })
+	and, ok := mapped.(And)
+	if !ok || len(and.Args) != 2 || !IsTrue(and.Args[0]) || !IsTrue(and.Args[1]) {
+		t.Fatalf("MapChildren = %v", mapped)
+	}
+	// Leaves map to themselves.
+	if !Equal(MapChildren(Col(0, 0), func(Expr) Expr { return nil }), Col(0, 0)) {
+		t.Error("leaf changed")
+	}
+}
+
+func TestConstOf(t *testing.T) {
+	if v, ok := ConstOf(CInt(7)); !ok || v.Int() != 7 {
+		t.Error("ConstOf(CInt) failed")
+	}
+	if _, ok := ConstOf(Col(0, 0)); ok {
+		t.Error("ConstOf(Column) succeeded")
+	}
+}
+
+func TestOpStringsAndFlips(t *testing.T) {
+	ops := map[CmpOp][3]string{
+		EQ: {"=", "=", "<>"},
+		NE: {"<>", "<>", "="},
+		LT: {"<", ">", ">="},
+		LE: {"<=", ">=", ">"},
+		GT: {">", "<", "<="},
+		GE: {">=", "<=", "<"},
+	}
+	for op, want := range ops {
+		if op.String() != want[0] {
+			t.Errorf("%v.String() = %q", op, op.String())
+		}
+		if op.Flip().String() != want[1] {
+			t.Errorf("%v.Flip() = %q", op, op.Flip().String())
+		}
+		if op.Negate().String() != want[2] {
+			t.Errorf("%v.Negate() = %q", op, op.Negate().String())
+		}
+	}
+	if Add.String() != "+" || Sub.String() != "-" || Mul.String() != "*" || Div.String() != "/" {
+		t.Error("arith op strings wrong")
+	}
+	if !Add.Commutative() || Sub.Commutative() || !Mul.Commutative() || Div.Commutative() {
+		t.Error("commutativity flags wrong")
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	bind := func(ColRef) sqlvalue.Value { return sqlvalue.NewString("s") }
+	// Arithmetic on strings errors.
+	if _, err := Eval(NewArith(Add, Col(0, 0), Col(0, 1)), bind); err == nil {
+		t.Error("string arithmetic succeeded")
+	}
+	// Negating a string errors.
+	if _, err := Eval(Neg{E: Col(0, 0)}, bind); err == nil {
+		t.Error("string negation succeeded")
+	}
+	// Predicate over a non-boolean expression errors.
+	if _, err := EvalPredicate(CInt(3), bind); err == nil {
+		t.Error("non-boolean predicate accepted")
+	}
+}

@@ -1,0 +1,94 @@
+package expr
+
+import "fmt"
+
+// MapColumns rewrites every column reference in e through f, returning a new
+// tree. It is the mechanism by which view matching reroutes column references
+// to equivalent columns and, ultimately, to view output columns.
+func MapColumns(e Expr, f func(ColRef) ColRef) Expr {
+	return RewriteColumns(e, func(r ColRef) Expr { return Column{Ref: f(r)} })
+}
+
+// RewriteColumns rewrites every column reference in e into an arbitrary
+// replacement expression.
+func RewriteColumns(e Expr, f func(ColRef) Expr) Expr {
+	switch n := e.(type) {
+	case Const:
+		return n
+	case Column:
+		return f(n.Ref)
+	case Cmp:
+		return Cmp{Op: n.Op, L: RewriteColumns(n.L, f), R: RewriteColumns(n.R, f)}
+	case Arith:
+		return Arith{Op: n.Op, L: RewriteColumns(n.L, f), R: RewriteColumns(n.R, f)}
+	case Neg:
+		return Neg{E: RewriteColumns(n.E, f)}
+	case Not:
+		return Not{E: RewriteColumns(n.E, f)}
+	case And:
+		return And{Args: rewriteAll(n.Args, f)}
+	case Or:
+		return Or{Args: rewriteAll(n.Args, f)}
+	case Like:
+		return Like{E: RewriteColumns(n.E, f), Pattern: RewriteColumns(n.Pattern, f)}
+	case IsNull:
+		return IsNull{E: RewriteColumns(n.E, f), Negate: n.Negate}
+	case Func:
+		return Func{Name: n.Name, Args: rewriteAll(n.Args, f)}
+	default:
+		panic(fmt.Sprintf("expr: cannot rewrite %T", e))
+	}
+}
+
+func rewriteAll(args []Expr, f func(ColRef) Expr) []Expr {
+	out := make([]Expr, len(args))
+	for i, a := range args {
+		out[i] = RewriteColumns(a, f)
+	}
+	return out
+}
+
+// MapChildren rebuilds e with every direct child replaced by f(child).
+// Leaves (constants, columns) are returned unchanged.
+func MapChildren(e Expr, f func(Expr) Expr) Expr {
+	switch n := e.(type) {
+	case Const, Column:
+		return e
+	case Cmp:
+		return Cmp{Op: n.Op, L: f(n.L), R: f(n.R)}
+	case Arith:
+		return Arith{Op: n.Op, L: f(n.L), R: f(n.R)}
+	case Neg:
+		return Neg{E: f(n.E)}
+	case Not:
+		return Not{E: f(n.E)}
+	case And:
+		return And{Args: mapAll(n.Args, f)}
+	case Or:
+		return Or{Args: mapAll(n.Args, f)}
+	case Like:
+		return Like{E: f(n.E), Pattern: f(n.Pattern)}
+	case IsNull:
+		return IsNull{E: f(n.E), Negate: n.Negate}
+	case Func:
+		return Func{Name: n.Name, Args: mapAll(n.Args, f)}
+	default:
+		panic(fmt.Sprintf("expr: cannot map children of %T", e))
+	}
+}
+
+func mapAll(args []Expr, f func(Expr) Expr) []Expr {
+	out := make([]Expr, len(args))
+	for i, a := range args {
+		out[i] = f(a)
+	}
+	return out
+}
+
+// ShiftTables adds delta to every table-instance index in e. Used when
+// splicing an expression written against one FROM list into another.
+func ShiftTables(e Expr, delta int) Expr {
+	return MapColumns(e, func(r ColRef) ColRef {
+		return ColRef{Tab: r.Tab + delta, Col: r.Col}
+	})
+}

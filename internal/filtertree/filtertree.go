@@ -1,0 +1,320 @@
+// Package filtertree implements the filter tree of §4: an in-memory index
+// over view *descriptions* that quickly discards views that cannot possibly
+// answer a query, so the full view-matching tests run on a small candidate
+// set. The tree subdivides the views into non-overlapping partitions at each
+// level, one partitioning condition per level, with a lattice index inside
+// each node for subset/superset searching.
+//
+// The level order follows §4.3: hubs, source tables, output expressions,
+// output columns, residual predicates, range-constrained columns, and — for
+// aggregation views, which live in their own subtree — grouping expressions
+// and grouping columns.
+package filtertree
+
+import (
+	"sort"
+
+	"matview/internal/core"
+	"matview/internal/lattice"
+)
+
+// level is one partitioning condition.
+type level struct {
+	name string
+	// key extracts the view-side key for this level.
+	key func(v *core.View) []string
+	// search runs the level's condition against an index of child nodes.
+	search func(idx *lattice.Index[*node], qk *core.QueryKeys, out []*node) []*node
+}
+
+// node is one partition at some level: an internal node carries a lattice
+// index of children keyed by the next level's condition; a leaf carries the
+// views of the partition.
+type node struct {
+	idx      *lattice.Index[*node]
+	children map[string]*node // canonical key → child (same payloads as idx)
+	views    []*core.View
+}
+
+// Tree is the filter tree over a set of registered views.
+type Tree struct {
+	spj  *subtree
+	agg  *subtree
+	size int
+}
+
+type subtree struct {
+	levels []level
+	root   *node
+}
+
+// intersectsAll reports whether key intersects every class in classes — the
+// §4.2.3/§4.2.4 condition ("for each equivalence class …, at least one of its
+// columns is available in the …extended list"). Failure is downward closed,
+// as lattice.Qualify requires.
+func intersectsAll(key map[string]bool, classes [][]string) bool {
+	for _, cls := range classes {
+		hit := false
+		for _, c := range cls {
+			if key[c] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return false
+		}
+	}
+	return true
+}
+
+func commonLevels(aggTree bool) []level {
+	return []level{
+		{
+			// Hub condition (§4.2.2): hub ⊆ query's source tables.
+			name: "hub",
+			key:  func(v *core.View) []string { return v.Keys.Hub },
+			search: func(idx *lattice.Index[*node], qk *core.QueryKeys, out []*node) []*node {
+				return idx.Subsets(qk.SourceTables, out)
+			},
+		},
+		{
+			// Source table condition (§4.2.1): view sources ⊇ query sources.
+			name: "sources",
+			key:  func(v *core.View) []string { return v.Keys.SourceTables },
+			search: func(idx *lattice.Index[*node], qk *core.QueryKeys, out []*node) []*node {
+				return idx.Supersets(qk.SourceTables, out)
+			},
+		},
+		{
+			// Output expression condition (§4.2.7): query's textual output
+			// expression list ⊆ view's. Aggregation views additionally carry
+			// "SUM:" keys matched by the query's aggregate arguments.
+			name: "outexprs",
+			key:  func(v *core.View) []string { return v.Keys.OutputExprs },
+			search: func(idx *lattice.Index[*node], qk *core.QueryKeys, out []*node) []*node {
+				q := qk.OutputExprsSPJ
+				if aggTree {
+					q = qk.OutputExprsAgg
+				}
+				return idx.Supersets(q, out)
+			},
+		},
+		{
+			// Output column condition (§4.2.3): each query output class must
+			// intersect the view's extended output list.
+			name: "outcols",
+			key:  func(v *core.View) []string { return v.Keys.OutputCols },
+			search: func(idx *lattice.Index[*node], qk *core.QueryKeys, out []*node) []*node {
+				return idx.Qualify(func(key map[string]bool) bool {
+					return intersectsAll(key, qk.OutputClasses)
+				}, out)
+			},
+		},
+		{
+			// Residual predicate condition (§4.2.6): view residual list ⊆
+			// query residual list.
+			name: "residuals",
+			key:  func(v *core.View) []string { return v.Keys.Residuals },
+			search: func(idx *lattice.Index[*node], qk *core.QueryKeys, out []*node) []*node {
+				return idx.Subsets(qk.Residuals, out)
+			},
+		},
+		{
+			// Weak range constraint condition (§4.2.5): the view's reduced
+			// range constraint list ⊆ the query's extended range constraint
+			// list. The strong check runs per view at collection time.
+			name: "ranges",
+			key:  func(v *core.View) []string { return v.Keys.RangeColsReduced },
+			search: func(idx *lattice.Index[*node], qk *core.QueryKeys, out []*node) []*node {
+				return idx.Subsets(qk.ExtRangeCols, out)
+			},
+		},
+	}
+}
+
+func aggLevels() []level {
+	return append(commonLevels(true),
+		level{
+			// Grouping expression condition (§4.2.8).
+			name: "groupexprs",
+			key:  func(v *core.View) []string { return v.Keys.GroupingExprs },
+			search: func(idx *lattice.Index[*node], qk *core.QueryKeys, out []*node) []*node {
+				return idx.Supersets(qk.GroupingExprs, out)
+			},
+		},
+		level{
+			// Grouping column condition (§4.2.4).
+			name: "groupcols",
+			key:  func(v *core.View) []string { return v.Keys.GroupingCols },
+			search: func(idx *lattice.Index[*node], qk *core.QueryKeys, out []*node) []*node {
+				return idx.Qualify(func(key map[string]bool) bool {
+					return intersectsAll(key, qk.GroupingClasses)
+				}, out)
+			},
+		},
+	)
+}
+
+// New returns an empty filter tree.
+func New() *Tree {
+	return &Tree{
+		spj: &subtree{levels: commonLevels(false), root: &node{}},
+		agg: &subtree{levels: aggLevels(), root: &node{}},
+	}
+}
+
+// Len returns the number of views in the tree.
+func (t *Tree) Len() int { return t.size }
+
+// Insert registers a view's description in the tree.
+func (t *Tree) Insert(v *core.View) {
+	st := t.spj
+	if v.Keys.IsAggregate {
+		st = t.agg
+	}
+	st.insert(v)
+	t.size++
+}
+
+// Delete removes a view (matched by ID); it reports whether the view was
+// found. Empty partitions are pruned so later searches do not visit them.
+func (t *Tree) Delete(v *core.View) bool {
+	st := t.spj
+	if v.Keys.IsAggregate {
+		st = t.agg
+	}
+	if !st.delete(v) {
+		return false
+	}
+	t.size--
+	return true
+}
+
+func (st *subtree) insert(v *core.View) {
+	cur := st.root
+	for _, lv := range st.levels {
+		key := lv.key(v)
+		canon := lattice.Canon(key)
+		if cur.children == nil {
+			cur.children = map[string]*node{}
+			cur.idx = lattice.New[*node]()
+		}
+		child, ok := cur.children[canon]
+		if !ok {
+			child = &node{}
+			cur.children[canon] = child
+			cur.idx.Insert(key, child)
+		}
+		cur = child
+	}
+	cur.views = append(cur.views, v)
+}
+
+func (st *subtree) delete(v *core.View) bool {
+	type step struct {
+		n     *node
+		key   []string
+		canon string
+	}
+	cur := st.root
+	var path []step
+	for _, lv := range st.levels {
+		key := lv.key(v)
+		canon := lattice.Canon(key)
+		if cur.children == nil {
+			return false
+		}
+		child, ok := cur.children[canon]
+		if !ok {
+			return false
+		}
+		path = append(path, step{cur, key, canon})
+		cur = child
+	}
+	idx := -1
+	for i, w := range cur.views {
+		if w.ID == v.ID {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	cur.views = append(cur.views[:idx], cur.views[idx+1:]...)
+	// Prune empty partitions bottom-up.
+	for i := len(path) - 1; i >= 0; i-- {
+		parent := path[i]
+		child := parent.n.children[parent.canon]
+		if len(child.views) > 0 || len(child.children) > 0 {
+			break
+		}
+		delete(parent.n.children, parent.canon)
+		parent.n.idx.Delete(parent.key, func(p *node) bool { return p == child })
+	}
+	return true
+}
+
+// Candidates returns the views that survive every partitioning condition for
+// the given query keys, sorted by view ID. SPJ queries search only the SPJ
+// subtree (an aggregation view can never answer them); aggregation queries
+// search both subtrees, except scalar aggregates which skip the aggregation
+// subtree (see core.Matcher.Match).
+func (t *Tree) Candidates(qk *core.QueryKeys) []*core.View {
+	var out []*core.View
+	out = t.spj.candidates(qk, out)
+	if qk.IsAggregate && !qk.ScalarAggregate {
+		out = t.agg.candidates(qk, out)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (st *subtree) candidates(qk *core.QueryKeys, out []*core.View) []*core.View {
+	frontier := []*node{st.root}
+	for _, lv := range st.levels {
+		var next []*node
+		for _, n := range frontier {
+			if n.idx == nil {
+				continue
+			}
+			next = lv.search(n.idx, qk, next)
+		}
+		if len(next) == 0 {
+			return out
+		}
+		frontier = next
+	}
+	ext := make(map[string]bool, len(qk.ExtRangeCols))
+	for _, c := range qk.ExtRangeCols {
+		ext[c] = true
+	}
+	for _, n := range frontier {
+		for _, v := range n.views {
+			// Strong range constraint condition (§4.2.5): every constrained
+			// view class must have at least one column in the query's
+			// extended range constraint list.
+			if passesStrongRangeCheck(v, ext) {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+func passesStrongRangeCheck(v *core.View, ext map[string]bool) bool {
+	for _, cls := range v.Keys.RangeClasses {
+		hit := false
+		for _, c := range cls {
+			if ext[c] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,426 @@
+package filtertree
+
+import (
+	"testing"
+
+	"matview/internal/core"
+	"matview/internal/expr"
+	"matview/internal/spjg"
+	"matview/internal/tpch"
+)
+
+var tcat = tpch.NewCatalog(0.1)
+
+func tref(name string) spjg.TableRef {
+	return spjg.TableRef{Table: tcat.Table(name)}
+}
+
+func colOut(tab, col int) spjg.OutputColumn {
+	return spjg.OutputColumn{Name: "c", Expr: expr.Col(tab, col)}
+}
+
+func mkView(t *testing.T, m *core.Matcher, id int, def *spjg.Query) *core.View {
+	t.Helper()
+	v, err := m.NewView(id, "v", def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func ids(vs []*core.View) []int {
+	out := make([]int, len(vs))
+	for i, v := range vs {
+		out[i] = v.ID
+	}
+	return out
+}
+
+func contains(vs []*core.View, id int) bool {
+	for _, v := range vs {
+		if v.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSourceTableCondition(t *testing.T) {
+	m := core.NewMatcher(tcat, core.DefaultOptions())
+	tr := New()
+	// View 0: lineitem only. View 1: lineitem ⋈ orders.
+	tr.Insert(mkView(t, m, 0, &spjg.Query{
+		Tables:  []spjg.TableRef{tref("lineitem")},
+		Outputs: []spjg.OutputColumn{colOut(0, tpch.LOrderkey)},
+	}))
+	tr.Insert(mkView(t, m, 1, &spjg.Query{
+		Tables: []spjg.TableRef{tref("lineitem"), tref("orders")},
+		Where:  expr.Eq(expr.Col(0, tpch.LOrderkey), expr.Col(1, tpch.OOrderkey)),
+		Outputs: []spjg.OutputColumn{
+			colOut(0, tpch.LOrderkey), colOut(1, tpch.OCustkey),
+		},
+	}))
+	// Query over lineitem+orders: only view 1 has enough source tables.
+	q := &spjg.Query{
+		Tables:  []spjg.TableRef{tref("lineitem"), tref("orders")},
+		Where:   expr.Eq(expr.Col(0, tpch.LOrderkey), expr.Col(1, tpch.OOrderkey)),
+		Outputs: []spjg.OutputColumn{colOut(0, tpch.LOrderkey)},
+	}
+	got := tr.Candidates(ptr(m.ComputeQueryKeys(q)))
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("candidates = %v", ids(got))
+	}
+	// Query over lineitem only: view 0 qualifies; view 1's hub is {lineitem}
+	// (orders is FK-joined) so it also qualifies.
+	q2 := &spjg.Query{
+		Tables:  []spjg.TableRef{tref("lineitem")},
+		Outputs: []spjg.OutputColumn{colOut(0, tpch.LOrderkey)},
+	}
+	got = tr.Candidates(ptr(m.ComputeQueryKeys(q2)))
+	if len(got) != 2 {
+		t.Fatalf("candidates = %v, want both views", ids(got))
+	}
+}
+
+func ptr(k core.QueryKeys) *core.QueryKeys { return &k }
+
+func TestHubCondition(t *testing.T) {
+	m := core.NewMatcher(tcat, core.DefaultOptions())
+	tr := New()
+	// View: orders ⋈ customer joined on a NON-FK column pair → customer not
+	// eliminable → hub = {orders, customer}.
+	tr.Insert(mkView(t, m, 0, &spjg.Query{
+		Tables:  []spjg.TableRef{tref("orders"), tref("customer")},
+		Where:   expr.Eq(expr.Col(0, tpch.OCustkey), expr.Col(1, tpch.CNationkey)),
+		Outputs: []spjg.OutputColumn{colOut(0, tpch.OOrderkey)},
+	}))
+	// Query over orders alone: hub ⊄ {orders} → filtered out.
+	q := &spjg.Query{
+		Tables:  []spjg.TableRef{tref("orders")},
+		Outputs: []spjg.OutputColumn{colOut(0, tpch.OOrderkey)},
+	}
+	if got := tr.Candidates(ptr(m.ComputeQueryKeys(q))); len(got) != 0 {
+		t.Fatalf("hub condition failed to filter: %v", ids(got))
+	}
+}
+
+func TestOutputColumnCondition(t *testing.T) {
+	m := core.NewMatcher(tcat, core.DefaultOptions())
+	tr := New()
+	tr.Insert(mkView(t, m, 0, &spjg.Query{
+		Tables:  []spjg.TableRef{tref("lineitem")},
+		Outputs: []spjg.OutputColumn{colOut(0, tpch.LOrderkey)},
+	}))
+	tr.Insert(mkView(t, m, 1, &spjg.Query{
+		Tables:  []spjg.TableRef{tref("lineitem")},
+		Outputs: []spjg.OutputColumn{colOut(0, tpch.LOrderkey), colOut(0, tpch.LSuppkey)},
+	}))
+	q := &spjg.Query{
+		Tables:  []spjg.TableRef{tref("lineitem")},
+		Outputs: []spjg.OutputColumn{colOut(0, tpch.LSuppkey)},
+	}
+	got := tr.Candidates(ptr(m.ComputeQueryKeys(q)))
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("output column condition: %v", ids(got))
+	}
+}
+
+func TestOutputColumnEquivalenceExtension(t *testing.T) {
+	m := core.NewMatcher(tcat, core.DefaultOptions())
+	tr := New()
+	// View outputs o_orderkey but its class contains l_orderkey: a query
+	// needing l_orderkey must keep it (Example 6).
+	tr.Insert(mkView(t, m, 0, &spjg.Query{
+		Tables:  []spjg.TableRef{tref("lineitem"), tref("orders")},
+		Where:   expr.Eq(expr.Col(0, tpch.LOrderkey), expr.Col(1, tpch.OOrderkey)),
+		Outputs: []spjg.OutputColumn{colOut(1, tpch.OOrderkey)},
+	}))
+	q := &spjg.Query{
+		Tables:  []spjg.TableRef{tref("lineitem"), tref("orders")},
+		Where:   expr.Eq(expr.Col(0, tpch.LOrderkey), expr.Col(1, tpch.OOrderkey)),
+		Outputs: []spjg.OutputColumn{colOut(0, tpch.LOrderkey)},
+	}
+	if got := tr.Candidates(ptr(m.ComputeQueryKeys(q))); len(got) != 1 {
+		t.Fatalf("extended output list not honoured: %v", ids(got))
+	}
+}
+
+func TestResidualCondition(t *testing.T) {
+	m := core.NewMatcher(tcat, core.DefaultOptions())
+	tr := New()
+	like := func(pat string) expr.Expr {
+		return expr.Like{E: expr.Col(0, tpch.LComment), Pattern: expr.CStr(pat)}
+	}
+	tr.Insert(mkView(t, m, 0, &spjg.Query{ // residual %a%
+		Tables:  []spjg.TableRef{tref("lineitem")},
+		Where:   like("%a%"),
+		Outputs: []spjg.OutputColumn{colOut(0, tpch.LOrderkey), colOut(0, tpch.LComment)},
+	}))
+	tr.Insert(mkView(t, m, 1, &spjg.Query{ // no residual
+		Tables:  []spjg.TableRef{tref("lineitem")},
+		Outputs: []spjg.OutputColumn{colOut(0, tpch.LOrderkey), colOut(0, tpch.LComment)},
+	}))
+	// Query without residuals: only view 1 (view residuals ⊆ query's).
+	q := &spjg.Query{
+		Tables:  []spjg.TableRef{tref("lineitem")},
+		Outputs: []spjg.OutputColumn{colOut(0, tpch.LOrderkey)},
+	}
+	got := tr.Candidates(ptr(m.ComputeQueryKeys(q)))
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("residual condition: %v", ids(got))
+	}
+	// Query with the %a% residual: both views qualify.
+	q2 := &spjg.Query{
+		Tables:  []spjg.TableRef{tref("lineitem")},
+		Where:   like("%a%"),
+		Outputs: []spjg.OutputColumn{colOut(0, tpch.LOrderkey)},
+	}
+	if got := tr.Candidates(ptr(m.ComputeQueryKeys(q2))); len(got) != 2 {
+		t.Fatalf("residual condition: %v", ids(got))
+	}
+}
+
+func TestRangeConditions(t *testing.T) {
+	m := core.NewMatcher(tcat, core.DefaultOptions())
+	tr := New()
+	// View 0 constrains l_partkey (trivial class → reduced list).
+	tr.Insert(mkView(t, m, 0, &spjg.Query{
+		Tables:  []spjg.TableRef{tref("lineitem")},
+		Where:   expr.NewCmp(expr.GT, expr.Col(0, tpch.LPartkey), expr.CInt(100)),
+		Outputs: []spjg.OutputColumn{colOut(0, tpch.LOrderkey), colOut(0, tpch.LPartkey)},
+	}))
+	// View 1 unconstrained.
+	tr.Insert(mkView(t, m, 1, &spjg.Query{
+		Tables:  []spjg.TableRef{tref("lineitem")},
+		Outputs: []spjg.OutputColumn{colOut(0, tpch.LOrderkey), colOut(0, tpch.LPartkey)},
+	}))
+	// Query without range: view 0 must be filtered (it constrains a column
+	// the query does not).
+	q := &spjg.Query{
+		Tables:  []spjg.TableRef{tref("lineitem")},
+		Outputs: []spjg.OutputColumn{colOut(0, tpch.LOrderkey)},
+	}
+	got := tr.Candidates(ptr(m.ComputeQueryKeys(q)))
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("range condition: %v", ids(got))
+	}
+	// Query constraining l_partkey: both pass the filter.
+	q2 := &spjg.Query{
+		Tables:  []spjg.TableRef{tref("lineitem")},
+		Where:   expr.NewCmp(expr.GT, expr.Col(0, tpch.LPartkey), expr.CInt(500)),
+		Outputs: []spjg.OutputColumn{colOut(0, tpch.LOrderkey)},
+	}
+	if got := tr.Candidates(ptr(m.ComputeQueryKeys(q2))); len(got) != 2 {
+		t.Fatalf("range condition: %v", ids(got))
+	}
+}
+
+func TestStrongRangeCheckOnNonTrivialClass(t *testing.T) {
+	m := core.NewMatcher(tcat, core.DefaultOptions())
+	tr := New()
+	// The view's range sits on a non-trivial class {l_orderkey, o_orderkey}:
+	// it is absent from the reduced list (weak condition vacuous), so only
+	// the strong per-view check can filter it.
+	tr.Insert(mkView(t, m, 0, &spjg.Query{
+		Tables: []spjg.TableRef{tref("lineitem"), tref("orders")},
+		Where: expr.NewAnd(
+			expr.Eq(expr.Col(0, tpch.LOrderkey), expr.Col(1, tpch.OOrderkey)),
+			expr.NewCmp(expr.GE, expr.Col(1, tpch.OOrderkey), expr.CInt(500)),
+		),
+		Outputs: []spjg.OutputColumn{colOut(0, tpch.LOrderkey), colOut(0, tpch.LPartkey)},
+	}))
+	// Query with no range on the class: strong check rejects.
+	q := &spjg.Query{
+		Tables:  []spjg.TableRef{tref("lineitem"), tref("orders")},
+		Where:   expr.Eq(expr.Col(0, tpch.LOrderkey), expr.Col(1, tpch.OOrderkey)),
+		Outputs: []spjg.OutputColumn{colOut(0, tpch.LPartkey)},
+	}
+	if got := tr.Candidates(ptr(m.ComputeQueryKeys(q))); len(got) != 0 {
+		t.Fatalf("strong range check failed: %v", ids(got))
+	}
+	// Query constraining l_orderkey (equivalent column): passes.
+	q2 := &spjg.Query{
+		Tables: []spjg.TableRef{tref("lineitem"), tref("orders")},
+		Where: expr.NewAnd(
+			expr.Eq(expr.Col(0, tpch.LOrderkey), expr.Col(1, tpch.OOrderkey)),
+			expr.NewCmp(expr.GE, expr.Col(0, tpch.LOrderkey), expr.CInt(1000)),
+		),
+		Outputs: []spjg.OutputColumn{colOut(0, tpch.LPartkey)},
+	}
+	if got := tr.Candidates(ptr(m.ComputeQueryKeys(q2))); len(got) != 1 {
+		t.Fatalf("strong range check over-filtered: %v", ids(got))
+	}
+}
+
+func aggDef(groups []int, sums []int) *spjg.Query {
+	q := &spjg.Query{Tables: []spjg.TableRef{tref("lineitem")}}
+	for _, g := range groups {
+		q.GroupBy = append(q.GroupBy, expr.Col(0, g))
+		q.Outputs = append(q.Outputs, spjg.OutputColumn{
+			Name: tcat.Table("lineitem").Columns[g].Name, Expr: expr.Col(0, g)})
+	}
+	q.Outputs = append(q.Outputs, spjg.OutputColumn{Name: "cnt", Agg: &spjg.Aggregate{Kind: spjg.AggCountStar}})
+	for _, s := range sums {
+		q.Outputs = append(q.Outputs, spjg.OutputColumn{
+			Name: "s", Agg: &spjg.Aggregate{Kind: spjg.AggSum, Arg: expr.Col(0, s)}})
+	}
+	return q
+}
+
+func TestAggregationSubtree(t *testing.T) {
+	m := core.NewMatcher(tcat, core.DefaultOptions())
+	tr := New()
+	tr.Insert(mkView(t, m, 0, aggDef([]int{tpch.LPartkey, tpch.LSuppkey}, []int{tpch.LQuantity})))
+	tr.Insert(mkView(t, m, 1, aggDef([]int{tpch.LPartkey}, []int{tpch.LQuantity})))
+	tr.Insert(mkView(t, m, 2, &spjg.Query{ // SPJ view with the needed columns
+		Tables: []spjg.TableRef{tref("lineitem")},
+		Outputs: []spjg.OutputColumn{
+			colOut(0, tpch.LPartkey), colOut(0, tpch.LSuppkey), colOut(0, tpch.LQuantity),
+		},
+	}))
+
+	// SPJ query: aggregation views must not be candidates at all.
+	spjQ := &spjg.Query{
+		Tables:  []spjg.TableRef{tref("lineitem")},
+		Outputs: []spjg.OutputColumn{colOut(0, tpch.LPartkey)},
+	}
+	got := tr.Candidates(ptr(m.ComputeQueryKeys(spjQ)))
+	if len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("SPJ query candidates = %v", ids(got))
+	}
+
+	// Aggregation query grouped on (l_partkey, l_suppkey): view 1 (coarser
+	// grouping) must be filtered by the grouping column condition; view 0 and
+	// the SPJ view remain.
+	aggQ := aggDef([]int{tpch.LPartkey, tpch.LSuppkey}, []int{tpch.LQuantity})
+	got = tr.Candidates(ptr(m.ComputeQueryKeys(aggQ)))
+	if !contains(got, 0) || !contains(got, 2) || contains(got, 1) {
+		t.Fatalf("agg query candidates = %v", ids(got))
+	}
+
+	// Aggregation query wanting SUM(l_extendedprice): the textual output
+	// expression condition cannot distinguish SUM(l_quantity) from
+	// SUM(l_extendedprice) — both fingerprints are "SUM:?" because column
+	// references are omitted from the text (§4.2.7). The views survive the
+	// filter; the matcher must reject every one of them.
+	aggQ2 := aggDef([]int{tpch.LPartkey}, []int{tpch.LExtendedprice})
+	cands := tr.Candidates(ptr(m.ComputeQueryKeys(aggQ2)))
+	for _, v := range cands {
+		if m.Match(aggQ2, v) != nil {
+			t.Fatalf("view %d must not match SUM(l_extendedprice) query", v.ID)
+		}
+	}
+
+	// Scalar aggregate: agg subtree skipped; SPJ view 2 is the only
+	// candidate.
+	scalar := &spjg.Query{
+		Tables: []spjg.TableRef{tref("lineitem")},
+		Outputs: []spjg.OutputColumn{
+			{Name: "s", Agg: &spjg.Aggregate{Kind: spjg.AggSum, Arg: expr.Col(0, tpch.LQuantity)}},
+		},
+	}
+	got = tr.Candidates(ptr(m.ComputeQueryKeys(scalar)))
+	if len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("scalar agg candidates = %v", ids(got))
+	}
+}
+
+func TestDeleteFromTree(t *testing.T) {
+	m := core.NewMatcher(tcat, core.DefaultOptions())
+	tr := New()
+	v0 := mkView(t, m, 0, &spjg.Query{
+		Tables:  []spjg.TableRef{tref("lineitem")},
+		Outputs: []spjg.OutputColumn{colOut(0, tpch.LOrderkey)},
+	})
+	v1 := mkView(t, m, 1, &spjg.Query{
+		Tables:  []spjg.TableRef{tref("lineitem")},
+		Outputs: []spjg.OutputColumn{colOut(0, tpch.LOrderkey)},
+	})
+	tr.Insert(v0)
+	tr.Insert(v1)
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if !tr.Delete(v0) {
+		t.Fatal("delete failed")
+	}
+	if tr.Delete(v0) {
+		t.Fatal("double delete succeeded")
+	}
+	q := &spjg.Query{
+		Tables:  []spjg.TableRef{tref("lineitem")},
+		Outputs: []spjg.OutputColumn{colOut(0, tpch.LOrderkey)},
+	}
+	got := tr.Candidates(ptr(m.ComputeQueryKeys(q)))
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("after delete: %v", ids(got))
+	}
+	if !tr.Delete(v1) || tr.Len() != 0 {
+		t.Fatal("final delete failed")
+	}
+	if got := tr.Candidates(ptr(m.ComputeQueryKeys(q))); len(got) != 0 {
+		t.Fatalf("empty tree returned %v", ids(got))
+	}
+}
+
+// TestFilterNeverDropsMatchingView is the critical soundness property: any
+// view the matcher accepts must survive the filter tree.
+func TestFilterNeverDropsMatchingView(t *testing.T) {
+	m := core.NewMatcher(tcat, core.DefaultOptions())
+	tr := New()
+
+	views := []*spjg.Query{
+		{ // 0: wide lineitem view
+			Tables: []spjg.TableRef{tref("lineitem")},
+			Where:  expr.NewCmp(expr.GT, expr.Col(0, tpch.LPartkey), expr.CInt(100)),
+			Outputs: []spjg.OutputColumn{
+				colOut(0, tpch.LOrderkey), colOut(0, tpch.LPartkey), colOut(0, tpch.LQuantity),
+			},
+		},
+		{ // 1: join view with extra table
+			Tables: []spjg.TableRef{tref("lineitem"), tref("orders")},
+			Where:  expr.Eq(expr.Col(0, tpch.LOrderkey), expr.Col(1, tpch.OOrderkey)),
+			Outputs: []spjg.OutputColumn{
+				colOut(0, tpch.LOrderkey), colOut(0, tpch.LPartkey), colOut(1, tpch.OCustkey),
+			},
+		},
+		aggDef([]int{tpch.LPartkey}, []int{tpch.LQuantity}),                // 2
+		aggDef([]int{tpch.LPartkey, tpch.LSuppkey}, []int{tpch.LQuantity}), // 3
+	}
+	var reg []*core.View
+	for i, def := range views {
+		v := mkView(t, m, i, def)
+		tr.Insert(v)
+		reg = append(reg, v)
+	}
+
+	queries := []*spjg.Query{
+		{
+			Tables: []spjg.TableRef{tref("lineitem")},
+			Where: expr.NewAnd(
+				expr.NewCmp(expr.GT, expr.Col(0, tpch.LPartkey), expr.CInt(100)),
+				expr.NewCmp(expr.LT, expr.Col(0, tpch.LPartkey), expr.CInt(200)),
+			),
+			Outputs: []spjg.OutputColumn{colOut(0, tpch.LOrderkey)},
+		},
+		aggDef([]int{tpch.LPartkey}, []int{tpch.LQuantity}),
+		aggDef([]int{tpch.LPartkey, tpch.LSuppkey}, []int{tpch.LQuantity}),
+		{
+			Tables:  []spjg.TableRef{tref("lineitem")},
+			Outputs: []spjg.OutputColumn{colOut(0, tpch.LPartkey), colOut(0, tpch.LQuantity)},
+		},
+	}
+	for qi, q := range queries {
+		qk := m.ComputeQueryKeys(q)
+		cands := tr.Candidates(&qk)
+		inCands := map[int]bool{}
+		for _, c := range cands {
+			inCands[c.ID] = true
+		}
+		for _, v := range reg {
+			if m.Match(q, v) != nil && !inCands[v.ID] {
+				t.Errorf("query %d: view %d matches but was filtered out", qi, v.ID)
+			}
+		}
+	}
+}

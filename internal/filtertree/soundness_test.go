@@ -1,0 +1,81 @@
+package filtertree_test
+
+import (
+	"fmt"
+	"testing"
+
+	"matview/internal/core"
+	"matview/internal/filtertree"
+	"matview/internal/tpch"
+	"matview/internal/workload"
+)
+
+// TestFilterSoundnessRandomWorkload checks §4's cardinal invariant on a
+// large random workload: the filter tree never discards a view the matcher
+// would accept, in both the paper-prototype and the fully-extended matcher
+// configurations (whose filter keys differ — e.g. the backjoinable closure).
+func TestFilterSoundnessRandomWorkload(t *testing.T) {
+	cat := tpch.NewCatalog(0.5)
+	wcfg := workload.DefaultConfig(123)
+	wcfg.ViewOutputColProb = 0.85
+	wcfg.OneSidedRangeProb = 0.8
+	wcfg.RangePaletteSize = 1
+	gen := workload.New(cat, wcfg)
+
+	configs := []struct {
+		name string
+		opts core.MatchOptions
+	}{
+		{"prototype", core.MatchOptions{}},
+		{"extended", core.DefaultOptions()},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			m := core.NewMatcher(cat, cfg.opts)
+			tree := filtertree.New()
+			var views []*core.View
+			for i := 0; len(views) < 200; i++ {
+				def := gen.View(i)
+				if def.ValidateAsView() != nil {
+					continue
+				}
+				v, err := m.NewView(len(views), fmt.Sprintf("v%d", i), def)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tree.Insert(v)
+				views = append(views, v)
+			}
+			matches, kept := 0, 0
+			for qi := 0; qi < 150; qi++ {
+				q := gen.Query(qi)
+				if q.Validate() != nil {
+					continue
+				}
+				qk := m.ComputeQueryKeys(q)
+				cands := tree.Candidates(&qk)
+				inCands := map[int]bool{}
+				for _, c := range cands {
+					inCands[c.ID] = true
+				}
+				for _, v := range views {
+					if m.Match(q, v) == nil {
+						continue
+					}
+					matches++
+					if inCands[v.ID] {
+						kept++
+					} else {
+						t.Fatalf("query %d: view %s matches but was filtered out\nquery: %s\nview: %s",
+							qi, v.Name, q.String(), v.Def.String())
+					}
+				}
+			}
+			if matches == 0 {
+				t.Fatal("workload produced no matches; the soundness check is vacuous")
+			}
+			t.Logf("%s: %d/%d matching views survived the filter", cfg.name, kept, matches)
+		})
+	}
+}

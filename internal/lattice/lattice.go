@@ -1,0 +1,429 @@
+// Package lattice implements the lattice index of §4.1: a collection of set
+// keys organized in the partial order induced by set inclusion, supporting
+// the two searches the filter tree needs — all keys that are subsets of a
+// search key and all keys that are supersets — without scanning every key.
+//
+// Each node carries superset pointers (to minimal supersets) and subset
+// pointers (to maximal subsets); nodes without supersets are tops, nodes
+// without subsets are roots. A superset search starts from the tops and
+// follows subset pointers, pruning any node that is not itself a superset of
+// the search key (no subset of it can be). A subset search is the mirror
+// image, starting from the roots.
+package lattice
+
+import (
+	"sort"
+	"strings"
+)
+
+// node is one key set in the lattice with its payloads.
+type node[P any] struct {
+	key      map[string]bool
+	canon    string // canonical sorted-joined key, map lookup handle
+	payloads []P
+	supers   []*node[P] // minimal supersets
+	subs     []*node[P] // maximal subsets
+}
+
+// Index is a lattice index over string-set keys with payloads of type P. The
+// zero value is not usable; call New.
+type Index[P any] struct {
+	nodes map[string]*node[P]
+	tops  []*node[P]
+	roots []*node[P]
+	size  int // total payload count
+}
+
+// New returns an empty lattice index.
+func New[P any]() *Index[P] {
+	return &Index[P]{nodes: map[string]*node[P]{}}
+}
+
+// Canon returns the canonical form of a key (sorted, deduplicated, joined);
+// exported for tests and diagnostics.
+func Canon(key []string) string {
+	s := append([]string(nil), key...)
+	sort.Strings(s)
+	out := s[:0]
+	var prev string
+	for i, v := range s {
+		if i == 0 || v != prev {
+			out = append(out, v)
+		}
+		prev = v
+	}
+	return strings.Join(out, "\x00")
+}
+
+func toSet(key []string) map[string]bool {
+	m := make(map[string]bool, len(key))
+	for _, k := range key {
+		m[k] = true
+	}
+	return m
+}
+
+// isSubset reports a ⊆ b.
+func isSubset(a, b map[string]bool) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of distinct keys in the index.
+func (x *Index[P]) Len() int { return len(x.nodes) }
+
+// Size returns the total number of payloads stored.
+func (x *Index[P]) Size() int { return x.size }
+
+// Keys returns every distinct key (as sorted member slices), for diagnostics.
+func (x *Index[P]) Keys() [][]string {
+	out := make([][]string, 0, len(x.nodes))
+	for _, n := range x.nodes {
+		out = append(out, n.members())
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i], "\x00") < strings.Join(out[j], "\x00")
+	})
+	return out
+}
+
+func (n *node[P]) members() []string {
+	out := make([]string, 0, len(n.key))
+	for k := range n.key {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Insert adds a payload under the given key set, creating and wiring a new
+// lattice node if the key is new.
+func (x *Index[P]) Insert(key []string, payload P) {
+	canon := Canon(key)
+	if n, ok := x.nodes[canon]; ok {
+		n.payloads = append(n.payloads, payload)
+		x.size++
+		return
+	}
+	n := &node[P]{key: toSet(key), canon: canon, payloads: []P{payload}}
+
+	// Find the minimal supersets and maximal subsets of the new key by a
+	// pruned walk from the tops / roots.
+	supers := x.minimalSupersets(n.key)
+	subs := x.maximalSubsets(n.key)
+
+	// Any existing super→sub edge that now passes through n is removed.
+	for _, s := range supers {
+		for _, b := range subs {
+			removeEdge(s, b)
+		}
+	}
+	for _, s := range supers {
+		s.subs = append(s.subs, n)
+		n.supers = append(n.supers, s)
+	}
+	for _, b := range subs {
+		b.supers = append(b.supers, n)
+		n.subs = append(n.subs, b)
+	}
+
+	// Maintain the top and root arrays.
+	if len(supers) == 0 {
+		x.tops = append(x.tops, n)
+	}
+	// Former tops that are now below n stop being tops.
+	x.tops = filterNodes(x.tops, func(t *node[P]) bool { return len(t.supers) == 0 })
+	if len(subs) == 0 {
+		x.roots = append(x.roots, n)
+	}
+	x.roots = filterNodes(x.roots, func(r *node[P]) bool { return len(r.subs) == 0 })
+
+	x.nodes[canon] = n
+	x.size++
+}
+
+// minimalSupersets returns the nodes with key ⊇ k that have no other superset
+// node of k below them.
+func (x *Index[P]) minimalSupersets(k map[string]bool) []*node[P] {
+	var result []*node[P]
+	visited := map[*node[P]]bool{}
+	var walk func(n *node[P]) bool // returns true if n or a descendant is a superset
+	walk = func(n *node[P]) bool {
+		if visited[n] {
+			return isSubset(k, n.key)
+		}
+		visited[n] = true
+		if !isSubset(k, n.key) {
+			return false
+		}
+		childIs := false
+		for _, c := range n.subs {
+			if walk(c) {
+				childIs = true
+			}
+		}
+		if !childIs {
+			result = append(result, n)
+		}
+		return true
+	}
+	for _, t := range x.tops {
+		walk(t)
+	}
+	return dedupNodes(result)
+}
+
+// maximalSubsets returns the nodes with key ⊆ k that have no other subset
+// node of k above them.
+func (x *Index[P]) maximalSubsets(k map[string]bool) []*node[P] {
+	var result []*node[P]
+	visited := map[*node[P]]bool{}
+	var walk func(n *node[P]) bool
+	walk = func(n *node[P]) bool {
+		if visited[n] {
+			return isSubset(n.key, k)
+		}
+		visited[n] = true
+		if !isSubset(n.key, k) {
+			return false
+		}
+		parentIs := false
+		for _, p := range n.supers {
+			if walk(p) {
+				parentIs = true
+			}
+		}
+		if !parentIs {
+			result = append(result, n)
+		}
+		return true
+	}
+	for _, r := range x.roots {
+		walk(r)
+	}
+	return dedupNodes(result)
+}
+
+// Delete removes one payload (selected by match) under the given key; when
+// the node's payload list empties, the node is unlinked and its neighbours
+// are re-wired to preserve reachability. It returns whether a payload was
+// removed.
+func (x *Index[P]) Delete(key []string, match func(P) bool) bool {
+	canon := Canon(key)
+	n, ok := x.nodes[canon]
+	if !ok {
+		return false
+	}
+	idx := -1
+	for i, p := range n.payloads {
+		if match(p) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	n.payloads = append(n.payloads[:idx], n.payloads[idx+1:]...)
+	x.size--
+	if len(n.payloads) > 0 {
+		return true
+	}
+
+	// Unlink the empty node. Snapshot the neighbour lists first: removeEdge
+	// mutates them.
+	delete(x.nodes, canon)
+	supers := append([]*node[P](nil), n.supers...)
+	subs := append([]*node[P](nil), n.subs...)
+	for _, s := range supers {
+		removeEdge(s, n)
+	}
+	for _, b := range subs {
+		removeEdgeUp(b, n)
+	}
+	// Restore reachability between n's former supers and subs.
+	for _, s := range supers {
+		for _, b := range subs {
+			if !x.reachable(s, b) {
+				s.subs = append(s.subs, b)
+				b.supers = append(b.supers, s)
+			}
+		}
+	}
+	// Former subs with no supersets become tops; former supers with no
+	// subsets become roots.
+	x.tops = filterNodes(x.tops, func(t *node[P]) bool { return t != n })
+	x.roots = filterNodes(x.roots, func(r *node[P]) bool { return r != n })
+	for _, b := range subs {
+		if len(b.supers) == 0 && !containsNode(x.tops, b) {
+			x.tops = append(x.tops, b)
+		}
+	}
+	for _, s := range supers {
+		if len(s.subs) == 0 && !containsNode(x.roots, s) {
+			x.roots = append(x.roots, s)
+		}
+	}
+	return true
+}
+
+// reachable reports whether b is reachable from s along subset pointers.
+func (x *Index[P]) reachable(s, b *node[P]) bool {
+	if s == b {
+		return true
+	}
+	visited := map[*node[P]]bool{}
+	var walk func(n *node[P]) bool
+	walk = func(n *node[P]) bool {
+		if n == b {
+			return true
+		}
+		if visited[n] {
+			return false
+		}
+		visited[n] = true
+		// Prune: b's key must be a subset of every node on the path.
+		if !isSubset(b.key, n.key) {
+			return false
+		}
+		for _, c := range n.subs {
+			if walk(c) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(s)
+}
+
+// Supersets appends to out the payloads of every node whose key is a superset
+// of (or equal to) the search key, and returns out.
+func (x *Index[P]) Supersets(search []string, out []P) []P {
+	k := toSet(search)
+	visited := map[*node[P]]bool{}
+	var walk func(n *node[P])
+	walk = func(n *node[P]) {
+		if visited[n] {
+			return
+		}
+		visited[n] = true
+		if !isSubset(k, n.key) {
+			return // no subset of n can be a superset of k
+		}
+		out = append(out, n.payloads...)
+		for _, c := range n.subs {
+			walk(c)
+		}
+	}
+	for _, t := range x.tops {
+		walk(t)
+	}
+	return out
+}
+
+// Subsets appends to out the payloads of every node whose key is a subset of
+// (or equal to) the search key, and returns out.
+func (x *Index[P]) Subsets(search []string, out []P) []P {
+	k := toSet(search)
+	visited := map[*node[P]]bool{}
+	var walk func(n *node[P])
+	walk = func(n *node[P]) {
+		if visited[n] {
+			return
+		}
+		visited[n] = true
+		if !isSubset(n.key, k) {
+			return // no superset of n can be a subset of k
+		}
+		out = append(out, n.payloads...)
+		for _, p := range n.supers {
+			walk(p)
+		}
+	}
+	for _, r := range x.roots {
+		walk(r)
+	}
+	return out
+}
+
+// Qualify appends the payloads of every node whose key satisfies pred, where
+// pred must be downward closed in failure: if a key fails, every subset of it
+// fails. This generalizes the superset search to the output-column and
+// grouping-column conditions of §4.2.3–4.2.4.
+func (x *Index[P]) Qualify(pred func(key map[string]bool) bool, out []P) []P {
+	visited := map[*node[P]]bool{}
+	var walk func(n *node[P])
+	walk = func(n *node[P]) {
+		if visited[n] {
+			return
+		}
+		visited[n] = true
+		if !pred(n.key) {
+			return
+		}
+		out = append(out, n.payloads...)
+		for _, c := range n.subs {
+			walk(c)
+		}
+	}
+	for _, t := range x.tops {
+		walk(t)
+	}
+	return out
+}
+
+// All appends every payload in the index to out and returns it.
+func (x *Index[P]) All(out []P) []P {
+	for _, n := range x.nodes {
+		out = append(out, n.payloads...)
+	}
+	return out
+}
+
+func removeEdge[P any](parent, child *node[P]) {
+	parent.subs = filterNodes(parent.subs, func(n *node[P]) bool { return n != child })
+	child.supers = filterNodes(child.supers, func(n *node[P]) bool { return n != parent })
+}
+
+func removeEdgeUp[P any](child, parent *node[P]) {
+	child.supers = filterNodes(child.supers, func(n *node[P]) bool { return n != parent })
+	parent.subs = filterNodes(parent.subs, func(n *node[P]) bool { return n != child })
+}
+
+func filterNodes[P any](in []*node[P], keep func(*node[P]) bool) []*node[P] {
+	out := in[:0]
+	for _, n := range in {
+		if keep(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func dedupNodes[P any](in []*node[P]) []*node[P] {
+	seen := map[*node[P]]bool{}
+	out := in[:0]
+	for _, n := range in {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func containsNode[P any](in []*node[P], n *node[P]) bool {
+	for _, m := range in {
+		if m == n {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,347 @@
+package maintain_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"matview/internal/exec"
+	"matview/internal/expr"
+	"matview/internal/maintain"
+	"matview/internal/spjg"
+	"matview/internal/sqlvalue"
+	"matview/internal/storage"
+	"matview/internal/tpch"
+)
+
+// checkAgainstRecompute asserts a maintained view equals a fresh evaluation
+// of its definition.
+func checkAgainstRecompute(t *testing.T, db *storage.Database, v *maintain.View) {
+	t.Helper()
+	fresh, err := exec.RunQuery(db, v.Def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored := db.View(v.Name)
+	if stored == nil {
+		t.Fatalf("view %s missing", v.Name)
+	}
+	if !exec.SameRows(stored.Rows, fresh) {
+		t.Fatalf("view %s diverged: stored %d rows, recompute %d rows",
+			v.Name, len(stored.Rows), len(fresh))
+	}
+}
+
+func newOrderRow(db *storage.Database, key, cust int64, price float64) storage.Row {
+	return storage.Row{
+		sqlvalue.NewInt(key),
+		sqlvalue.NewInt(cust),
+		sqlvalue.NewString("O"),
+		sqlvalue.NewFloat(price),
+		sqlvalue.NewDateYMD(1995, 6, 1),
+		sqlvalue.NewString("3-MEDIUM"),
+		sqlvalue.NewString("Clerk#000000001"),
+		sqlvalue.NewInt(0),
+		sqlvalue.NewString("maintained row"),
+	}
+}
+
+func TestSPJViewMaintenance(t *testing.T) {
+	db, err := tpch.NewDatabase(0.001, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := db.Catalog
+	m := maintain.New(db)
+	def := &spjg.Query{
+		Tables: []spjg.TableRef{{Table: cat.Table("orders")}},
+		Where:  expr.NewCmp(expr.GE, expr.Col(0, tpch.OTotalprice), expr.CInt(100000)),
+		Outputs: []spjg.OutputColumn{
+			{Name: "o_orderkey", Expr: expr.Col(0, tpch.OOrderkey)},
+			{Name: "o_custkey", Expr: expr.Col(0, tpch.OCustkey)},
+			{Name: "o_totalprice", Expr: expr.Col(0, tpch.OTotalprice)},
+		},
+	}
+	v, err := m.Register("big_orders", def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := db.View("big_orders").RowCount
+
+	// Insert: one row above the threshold, one below.
+	err = m.Insert("orders", []storage.Row{
+		newOrderRow(db, 9_000_001, 1, 250_000),
+		newOrderRow(db, 9_000_002, 1, 50_000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.View("big_orders").RowCount; got != before+1 {
+		t.Fatalf("after insert: %d rows, want %d", got, before+1)
+	}
+	checkAgainstRecompute(t, db, v)
+
+	// Delete the inserted qualifying row.
+	n, err := m.Delete("orders", func(r storage.Row) bool {
+		return r[tpch.OOrderkey].Int() >= 9_000_001
+	})
+	if err != nil || n != 2 {
+		t.Fatalf("deleted %d (%v), want 2", n, err)
+	}
+	if got := db.View("big_orders").RowCount; got != before {
+		t.Fatalf("after delete: %d rows, want %d", got, before)
+	}
+	checkAgainstRecompute(t, db, v)
+}
+
+func TestAggViewMaintenanceCountBig(t *testing.T) {
+	db, err := tpch.NewDatabase(0.001, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := db.Catalog
+	m := maintain.New(db)
+	def := &spjg.Query{
+		Tables:  []spjg.TableRef{{Table: cat.Table("orders")}},
+		GroupBy: []expr.Expr{expr.Col(0, tpch.OCustkey)},
+		Outputs: []spjg.OutputColumn{
+			{Name: "o_custkey", Expr: expr.Col(0, tpch.OCustkey)},
+			{Name: "cnt", Agg: &spjg.Aggregate{Kind: spjg.AggCountStar}},
+			{Name: "total", Agg: &spjg.Aggregate{Kind: spjg.AggSum, Arg: expr.Col(0, tpch.OTotalprice)}},
+		},
+	}
+	v, err := m.Register("cust_totals", def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groupsBefore := db.View("cust_totals").RowCount
+
+	// Insert three orders for a brand-new customer key (group birth) and two
+	// for an existing one (group update).
+	const freshCust = 900_001
+	rows := []storage.Row{
+		newOrderRow(db, 9_100_001, freshCust, 1000),
+		newOrderRow(db, 9_100_002, freshCust, 2000),
+		newOrderRow(db, 9_100_003, freshCust, 3000),
+		newOrderRow(db, 9_100_004, 1, 500),
+		newOrderRow(db, 9_100_005, 1, 700),
+	}
+	if err := m.Insert("orders", rows); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.View("cust_totals").RowCount; got != groupsBefore+1 {
+		t.Fatalf("groups after insert = %d, want %d", got, groupsBefore+1)
+	}
+	checkAgainstRecompute(t, db, v)
+	// The new group's count and sum are exact.
+	var fresh storage.Row
+	for _, r := range db.View("cust_totals").Rows {
+		if r[0].Int() == freshCust {
+			fresh = r
+			break
+		}
+	}
+	if fresh == nil || fresh[1].Int() != 3 || fresh[2].Float() != 6000 {
+		t.Fatalf("fresh group = %v", fresh)
+	}
+
+	// Delete two of the three fresh orders: count drops to 1.
+	if _, err := m.Delete("orders", func(r storage.Row) bool {
+		k := r[tpch.OOrderkey].Int()
+		return k == 9_100_001 || k == 9_100_002
+	}); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstRecompute(t, db, v)
+
+	// Delete the last fresh order: COUNT_BIG reaches zero and the group row
+	// must disappear — the §2 incremental-deletion rule.
+	if _, err := m.Delete("orders", func(r storage.Row) bool {
+		return r[tpch.OOrderkey].Int() == 9_100_003
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range db.View("cust_totals").Rows {
+		if r[0].Int() == freshCust {
+			t.Fatal("empty group not removed when count reached zero")
+		}
+	}
+	if got := db.View("cust_totals").RowCount; got != groupsBefore {
+		t.Fatalf("groups after full delete = %d, want %d", got, groupsBefore)
+	}
+	checkAgainstRecompute(t, db, v)
+}
+
+func TestJoinViewMaintenance(t *testing.T) {
+	db, err := tpch.NewDatabase(0.001, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := db.Catalog
+	m := maintain.New(db)
+	def := &spjg.Query{
+		Tables: []spjg.TableRef{
+			{Table: cat.Table("lineitem")},
+			{Table: cat.Table("orders")},
+		},
+		Where:   expr.Eq(expr.Col(0, tpch.LOrderkey), expr.Col(1, tpch.OOrderkey)),
+		GroupBy: []expr.Expr{expr.Col(1, tpch.OCustkey)},
+		Outputs: []spjg.OutputColumn{
+			{Name: "o_custkey", Expr: expr.Col(1, tpch.OCustkey)},
+			{Name: "cnt", Agg: &spjg.Aggregate{Kind: spjg.AggCountStar}},
+			{Name: "qty", Agg: &spjg.Aggregate{Kind: spjg.AggSum, Arg: expr.Col(0, tpch.LQuantity)}},
+		},
+	}
+	v, err := m.Register("cust_rev", def)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Delete some lineitems of existing orders: the join delta updates the
+	// affected customer groups only.
+	if _, err := m.Delete("lineitem", func(r storage.Row) bool {
+		return r[tpch.LPartkey].Int() <= 20
+	}); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstRecompute(t, db, v)
+
+	// Insert lineitems for an existing order.
+	okey := db.Table("orders").Rows[0][tpch.OOrderkey]
+	li := db.Table("lineitem").Rows[0].Clone()
+	li[tpch.LOrderkey] = okey
+	li[tpch.LLinenumber] = sqlvalue.NewInt(7)
+	if err := m.Insert("lineitem", []storage.Row{li}); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstRecompute(t, db, v)
+}
+
+func TestSelfJoinFallsBackToRecompute(t *testing.T) {
+	db, err := tpch.NewDatabase(0.001, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := db.Catalog
+	m := maintain.New(db)
+	// nation appears twice (self-join via region equality).
+	def := &spjg.Query{
+		Tables: []spjg.TableRef{
+			{Table: cat.Table("nation"), Alias: "a"},
+			{Table: cat.Table("nation"), Alias: "b"},
+		},
+		Where: expr.Eq(expr.Col(0, tpch.NRegionkey), expr.Col(1, tpch.NRegionkey)),
+		Outputs: []spjg.OutputColumn{
+			{Name: "a_name", Expr: expr.Col(0, tpch.NName)},
+			{Name: "b_name", Expr: expr.Col(1, tpch.NName)},
+		},
+	}
+	v, err := m.Register("nation_pairs", def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Insert("nation", []storage.Row{{
+		sqlvalue.NewInt(25), sqlvalue.NewString("NATION_25"),
+		sqlvalue.NewInt(0), sqlvalue.NewString("new"),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstRecompute(t, db, v)
+	if _, err := m.Delete("nation", func(r storage.Row) bool {
+		return r[tpch.NNationkey].Int() == 25
+	}); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstRecompute(t, db, v)
+}
+
+func TestMaintainErrors(t *testing.T) {
+	db, err := tpch.NewDatabase(0.001, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := maintain.New(db)
+	if err := m.Insert("ghost", nil); err == nil {
+		t.Error("insert into unknown table accepted")
+	}
+	if _, err := m.Delete("ghost", func(storage.Row) bool { return false }); err == nil {
+		t.Error("delete from unknown table accepted")
+	}
+	// A view without COUNT_BIG is rejected at registration (ValidateAsView).
+	bad := &spjg.Query{
+		Tables:  []spjg.TableRef{{Table: db.Catalog.Table("orders")}},
+		GroupBy: []expr.Expr{expr.Col(0, tpch.OCustkey)},
+		Outputs: []spjg.OutputColumn{
+			{Name: "k", Expr: expr.Col(0, tpch.OCustkey)},
+			{Name: "s", Agg: &spjg.Aggregate{Kind: spjg.AggSum, Arg: expr.Col(0, tpch.OTotalprice)}},
+		},
+	}
+	if _, err := m.Register("bad", bad); err == nil {
+		t.Error("aggregation view without COUNT_BIG registered")
+	}
+}
+
+// TestMaintenanceRandomChurn applies random insert/delete batches and checks
+// the maintained views never diverge from recomputation.
+func TestMaintenanceRandomChurn(t *testing.T) {
+	db, err := tpch.NewDatabase(0.001, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := db.Catalog
+	m := maintain.New(db)
+	defs := []*spjg.Query{
+		{
+			Tables:  []spjg.TableRef{{Table: cat.Table("orders")}},
+			GroupBy: []expr.Expr{expr.Col(0, tpch.OCustkey)},
+			Outputs: []spjg.OutputColumn{
+				{Name: "o_custkey", Expr: expr.Col(0, tpch.OCustkey)},
+				{Name: "cnt", Agg: &spjg.Aggregate{Kind: spjg.AggCountStar}},
+				{Name: "total", Agg: &spjg.Aggregate{Kind: spjg.AggSum, Arg: expr.Col(0, tpch.OTotalprice)}},
+			},
+		},
+		{
+			Tables: []spjg.TableRef{{Table: cat.Table("orders")}},
+			Where:  expr.NewCmp(expr.GE, expr.Col(0, tpch.OTotalprice), expr.CInt(200000)),
+			Outputs: []spjg.OutputColumn{
+				{Name: "o_orderkey", Expr: expr.Col(0, tpch.OOrderkey)},
+				{Name: "o_totalprice", Expr: expr.Col(0, tpch.OTotalprice)},
+			},
+		},
+	}
+	var views []*maintain.View
+	for i, def := range defs {
+		v, err := m.Register(fmt.Sprintf("churn%d", i), def)
+		if err != nil {
+			t.Fatal(err)
+		}
+		views = append(views, v)
+	}
+	r := rand.New(rand.NewSource(88))
+	nextKey := int64(10_000_000)
+	for round := 0; round < 12; round++ {
+		if r.Intn(2) == 0 {
+			var batch []storage.Row
+			for i := 0; i < 1+r.Intn(20); i++ {
+				nextKey++
+				batch = append(batch, newOrderRow(db, nextKey,
+					1+r.Int63n(100), float64(1000+r.Intn(500000))))
+			}
+			if err := m.Insert("orders", batch); err != nil {
+				t.Fatalf("round %d insert: %v", round, err)
+			}
+		} else {
+			lo := r.Int63n(600_000)
+			hi := lo + r.Int63n(50_000)
+			if _, err := m.Delete("orders", func(row storage.Row) bool {
+				k := row[tpch.OOrderkey].Int()
+				return k >= lo && k <= hi
+			}); err != nil {
+				t.Fatalf("round %d delete: %v", round, err)
+			}
+		}
+		for _, v := range views {
+			checkAgainstRecompute(t, db, v)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package opt
+
+import (
+	"testing"
+
+	"matview/internal/expr"
+	"matview/internal/spjg"
+	"matview/internal/tpch"
+)
+
+func estQuery(t *testing.T, tables []string, where expr.Expr) *spjg.Query {
+	t.Helper()
+	q := &spjg.Query{Where: where,
+		Outputs: []spjg.OutputColumn{{Expr: expr.Col(0, 0)}}}
+	for _, n := range tables {
+		q.Tables = append(q.Tables, tr(t, n))
+	}
+	return q
+}
+
+func TestEstimateBaseTable(t *testing.T) {
+	q := estQuery(t, []string{"lineitem"}, nil)
+	rows := EstimateRows(q)
+	want := float64(db(t).Catalog.Table("lineitem").RowCount)
+	if rows != want {
+		t.Fatalf("EstimateRows = %v, want %v", rows, want)
+	}
+}
+
+func TestEstimateRangeSelectivity(t *testing.T) {
+	cat := db(t).Catalog
+	li := float64(cat.Table("lineitem").RowCount)
+	nP := float64(cat.Table("part").RowCount)
+	// l_partkey <= half the domain → about half the rows.
+	half := int64(nP / 2)
+	q := estQuery(t, []string{"lineitem"},
+		expr.NewCmp(expr.LE, expr.Col(0, tpch.LPartkey), expr.CInt(half)))
+	rows := EstimateRows(q)
+	if rows < li*0.3 || rows > li*0.7 {
+		t.Fatalf("half-domain estimate = %v of %v rows", rows, li)
+	}
+	// Point predicate → about rows/NDV.
+	q2 := estQuery(t, []string{"lineitem"},
+		expr.Eq(expr.Col(0, tpch.LPartkey), expr.CInt(5)))
+	rows2 := EstimateRows(q2)
+	if rows2 < li/nP*0.5 || rows2 > li/nP*2 {
+		t.Fatalf("point estimate = %v, want ≈%v", rows2, li/nP)
+	}
+}
+
+func TestEstimateEquijoin(t *testing.T) {
+	cat := db(t).Catalog
+	li := float64(cat.Table("lineitem").RowCount)
+	// lineitem ⋈ orders on the FK: about one orders row per lineitem row.
+	q := estQuery(t, []string{"lineitem", "orders"},
+		expr.Eq(expr.Col(0, tpch.LOrderkey), expr.Col(1, tpch.OOrderkey)))
+	rows := EstimateRows(q)
+	if rows < li*0.3 || rows > li*3 {
+		t.Fatalf("FK join estimate = %v, want ≈%v", rows, li)
+	}
+}
+
+func TestEstimateGroupBy(t *testing.T) {
+	cat := db(t).Catalog
+	q := estQuery(t, []string{"lineitem"}, nil)
+	q.HasGroupBy = true
+	q.GroupBy = []expr.Expr{expr.Col(0, tpch.LPartkey)}
+	q.Outputs = []spjg.OutputColumn{
+		{Name: "k", Expr: expr.Col(0, tpch.LPartkey)},
+		{Name: "c", Agg: &spjg.Aggregate{Kind: spjg.AggCountStar}},
+	}
+	groups := EstimateRows(q)
+	nP := float64(cat.Table("part").RowCount)
+	if groups < nP*0.5 || groups > nP*1.5 {
+		t.Fatalf("group estimate = %v, want ≈%v", groups, nP)
+	}
+	// Scalar aggregate: exactly one group.
+	q.GroupBy = nil
+	q.Outputs = q.Outputs[1:]
+	if got := EstimateRows(q); got != 1 {
+		t.Fatalf("scalar agg estimate = %v", got)
+	}
+}
+
+func TestEstimateResidualDefaults(t *testing.T) {
+	li := float64(db(t).Catalog.Table("lineitem").RowCount)
+	q := estQuery(t, []string{"lineitem"},
+		expr.Like{E: expr.Col(0, tpch.LComment), Pattern: expr.CStr("%x%")})
+	if rows := EstimateRows(q); rows >= li || rows <= 0 {
+		t.Fatalf("LIKE estimate = %v", rows)
+	}
+	q2 := estQuery(t, []string{"lineitem"},
+		expr.IsNull{E: expr.Col(0, tpch.LComment)})
+	if rows := EstimateRows(q2); rows >= li*0.5 {
+		t.Fatalf("IS NULL estimate too high: %v", rows)
+	}
+	q3 := estQuery(t, []string{"lineitem"},
+		expr.NewCmp(expr.NE, expr.Col(0, tpch.LPartkey), expr.CInt(5)))
+	if rows := EstimateRows(q3); rows < li*0.5 {
+		t.Fatalf("<> estimate too low: %v", rows)
+	}
+}
+
+func TestEstimateContradictionFloor(t *testing.T) {
+	q := estQuery(t, []string{"lineitem"}, expr.NewAnd(
+		expr.NewCmp(expr.GT, expr.Col(0, tpch.LPartkey), expr.CInt(100)),
+		expr.NewCmp(expr.LT, expr.Col(0, tpch.LPartkey), expr.CInt(50)),
+	))
+	if rows := EstimateRows(q); rows < 1 {
+		t.Fatalf("estimates must stay >= 1, got %v", rows)
+	}
+}
+
+func TestEstimateOrSelectivity(t *testing.T) {
+	li := float64(db(t).Catalog.Table("lineitem").RowCount)
+	or := expr.NewOr(
+		expr.Eq(expr.Col(0, tpch.LPartkey), expr.CInt(1)),
+		expr.Eq(expr.Col(0, tpch.LPartkey), expr.CInt(2)),
+	)
+	q := estQuery(t, []string{"lineitem"}, or)
+	rows := EstimateRows(q)
+	if rows <= 0 || rows > li*0.5 {
+		t.Fatalf("OR estimate = %v", rows)
+	}
+}

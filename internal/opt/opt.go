@@ -1,0 +1,189 @@
+package opt
+
+import (
+	"fmt"
+	"time"
+
+	"matview/internal/catalog"
+	"matview/internal/core"
+	"matview/internal/exec"
+	"matview/internal/filtertree"
+	"matview/internal/spjg"
+)
+
+// Options selects the optimizer configurations the paper's experiments
+// compare (§5).
+type Options struct {
+	// UseViews enables the view-matching transformation rule.
+	UseViews bool
+	// UseFilterTree routes candidate lookup through the filter tree; when
+	// false every registered view is checked on each invocation (the "No
+	// Filter" configuration of Figure 2).
+	UseFilterTree bool
+	// NoSubstitutes runs the view-matching analysis but discards the
+	// substitutes it produces (the "No Alt" configuration of Figure 2),
+	// isolating matching cost from substitute-processing cost.
+	NoSubstitutes bool
+	// EnablePreAggregation adds the eager group-by alternatives that let
+	// aggregation views match below a join (Example 4).
+	EnablePreAggregation bool
+	// Match configures the view-matching algorithm itself.
+	Match core.MatchOptions
+}
+
+// DefaultOptions is the full configuration: views, filter tree, substitutes
+// and pre-aggregation all on.
+func DefaultOptions() Options {
+	return Options{
+		UseViews:             true,
+		UseFilterTree:        true,
+		EnablePreAggregation: true,
+		Match:                core.DefaultOptions(),
+	}
+}
+
+// QueryStats instruments one (or a batch of) Optimize calls the way the
+// paper's experiments require (§5): rule invocation counts, candidate-set
+// sizes after filtering, substitutes produced, and time spent inside the
+// view-matching rule.
+type QueryStats struct {
+	Invocations         int64
+	CandidatesChecked   int64
+	SubstitutesProduced int64
+	ViewMatchTime       time.Duration
+}
+
+// Add accumulates other into s.
+func (s *QueryStats) Add(other QueryStats) {
+	s.Invocations += other.Invocations
+	s.CandidatesChecked += other.CandidatesChecked
+	s.SubstitutesProduced += other.SubstitutesProduced
+	s.ViewMatchTime += other.ViewMatchTime
+}
+
+// Result is the outcome of optimizing one query.
+type Result struct {
+	Plan     exec.Node
+	Cost     float64
+	Rows     float64
+	UsesView bool
+	Stats    QueryStats
+}
+
+// Optimizer owns the registered views, the filter tree, and the matcher, and
+// optimizes SPJG queries into executable plans.
+type Optimizer struct {
+	cat     *catalog.Catalog
+	matcher *core.Matcher
+	opts    Options
+
+	views       []*core.View
+	byName      map[string]*core.View
+	tree        *filtertree.Tree
+	viewRows    map[int]float64 // estimated materialized cardinality by view ID
+	viewIndexes map[int][][]int // declared secondary indexes by view ID
+	nextID      int
+}
+
+// NewOptimizer returns an optimizer over the catalog.
+func NewOptimizer(cat *catalog.Catalog, opts Options) *Optimizer {
+	return &Optimizer{
+		cat:      cat,
+		matcher:  core.NewMatcher(cat, opts.Match),
+		opts:     opts,
+		byName:   map[string]*core.View{},
+		tree:     filtertree.New(),
+		viewRows: map[int]float64{},
+	}
+}
+
+// Matcher exposes the underlying view matcher.
+func (o *Optimizer) Matcher() *core.Matcher { return o.matcher }
+
+// Options returns the optimizer's configuration.
+func (o *Optimizer) Options() Options { return o.opts }
+
+// NumViews returns the number of registered views.
+func (o *Optimizer) NumViews() int { return len(o.views) }
+
+// Views returns the registered views (shared slice; do not mutate).
+func (o *Optimizer) Views() []*core.View { return o.views }
+
+// ViewByName returns a registered view, or nil.
+func (o *Optimizer) ViewByName(name string) *core.View { return o.byName[name] }
+
+// RegisterView validates, analyzes, and indexes a materialized view
+// definition. The view's materialized cardinality is estimated from catalog
+// statistics; SetViewRowCount overrides it once actual data exists.
+func (o *Optimizer) RegisterView(name string, def *spjg.Query) (*core.View, error) {
+	if _, dup := o.byName[name]; dup {
+		return nil, fmt.Errorf("opt: duplicate view %q", name)
+	}
+	v, err := o.matcher.NewView(o.nextID, name, def)
+	if err != nil {
+		return nil, err
+	}
+	o.nextID++
+	o.views = append(o.views, v)
+	o.byName[name] = v
+	o.tree.Insert(v)
+	o.viewRows[v.ID] = EstimateRows(def)
+	return v, nil
+}
+
+// DropView removes a view by name; it reports whether it existed.
+func (o *Optimizer) DropView(name string) bool {
+	v, ok := o.byName[name]
+	if !ok {
+		return false
+	}
+	delete(o.byName, name)
+	o.tree.Delete(v)
+	delete(o.viewRows, v.ID)
+	delete(o.viewIndexes, v.ID)
+	for i, w := range o.views {
+		if w.ID == v.ID {
+			o.views = append(o.views[:i], o.views[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// SetViewRowCount overrides the estimated cardinality of a view (e.g. with
+// the actual materialized row count).
+func (o *Optimizer) SetViewRowCount(name string, rows int64) {
+	if v, ok := o.byName[name]; ok {
+		o.viewRows[v.ID] = float64(rows)
+	}
+}
+
+// matchViews is the view-matching transformation rule: find candidate views
+// (through the filter tree or by scanning all descriptions), run the matching
+// tests on each, and return the substitutes. Instrumentation mirrors §5.
+func (o *Optimizer) matchViews(q *spjg.Query, stats *QueryStats) []*core.Substitute {
+	if !o.opts.UseViews || len(o.views) == 0 {
+		return nil
+	}
+	start := time.Now()
+	stats.Invocations++
+	var cands []*core.View
+	if o.opts.UseFilterTree {
+		qk := o.matcher.ComputeQueryKeys(q)
+		cands = o.tree.Candidates(&qk)
+	} else {
+		cands = o.views
+	}
+	stats.CandidatesChecked += int64(len(cands))
+	var subs []*core.Substitute
+	for _, v := range cands {
+		if sub := o.matcher.Match(q, v); sub != nil {
+			stats.SubstitutesProduced++
+			if !o.opts.NoSubstitutes {
+				subs = append(subs, sub)
+			}
+		}
+	}
+	stats.ViewMatchTime += time.Since(start)
+	return subs
+}

@@ -1,0 +1,374 @@
+package opt
+
+import (
+	"math/bits"
+
+	"matview/internal/exec"
+	"matview/internal/expr"
+	"matview/internal/spjg"
+)
+
+// preaggAlternatives generates the eager-aggregation plans of Example 4: for
+// each table t joined at the top, group the remaining tables S1 first
+// (keyed by the S1-side grouping expressions plus the join columns), join
+// with t, and re-aggregate. The pre-aggregated block is itself an SPJG
+// expression, so the view-matching rule fires on it — which is exactly how
+// view v4 answers the c_nationkey rollup in the paper.
+//
+// Correctness: every S1 row in a pre-group shares the join key, so each
+// group joins the same t rows as its member rows did, and SUM/COUNT over the
+// partial aggregates reproduce the original aggregates.
+func (c *optCtx) preaggAlternatives(best map[uint64]*planInfo, full uint64) (*planInfo, error) {
+	q := c.q
+	n := len(q.Tables)
+	var bestAlt *planInfo
+	for t := 0; t < n; t++ {
+		s1 := full &^ (1 << t)
+		if bits.OnesCount64(s1) == 0 {
+			continue
+		}
+		left, ok := best[s1]
+		if !ok || !c.linked(s1, t) {
+			continue
+		}
+		alt, err := c.preaggWith(left, s1, t)
+		if err != nil {
+			return nil, err
+		}
+		if alt != nil && (bestAlt == nil || alt.cost < bestAlt.cost) {
+			bestAlt = alt
+		}
+	}
+	return bestAlt, nil
+}
+
+func (c *optCtx) preaggWith(left *planInfo, s1 uint64, t int) (*planInfo, error) {
+	q := c.q
+	onS1 := func(e expr.Expr) bool {
+		for tb := range expr.TablesUsed(e) {
+			if s1&(1<<tb) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	onT := func(e expr.Expr) bool {
+		for tb := range expr.TablesUsed(e) {
+			if tb != t {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Every aggregate argument must live entirely on the S1 side.
+	var sums []sumArg
+	sumPos := map[string]int{}
+	for _, o := range q.Outputs {
+		if o.Agg == nil || o.Agg.Kind == spjg.AggCountStar {
+			continue
+		}
+		if !onS1(o.Agg.Arg) {
+			return nil, nil
+		}
+		fp := fingerprintKey(o.Agg.Arg)
+		if _, dup := sumPos[fp]; !dup {
+			sumPos[fp] = len(sums)
+			sums = append(sums, sumArg{arg: o.Agg.Arg, fp: fp})
+		}
+	}
+
+	// Grouping expressions must each live on exactly one side.
+	var g1 []expr.Expr
+	for _, g := range q.GroupBy {
+		switch {
+		case onS1(g):
+			g1 = append(g1, g)
+		case onT(g):
+		default:
+			return nil, nil
+		}
+	}
+
+	// Spanning conjuncts: their S1-side columns join the pre-agg keys.
+	type hashPair struct{ l, r expr.ColRef } // l on S1, r on t
+	var hashPairs []hashPair
+	var residuals []expr.Expr
+	joinSel := 1.0
+	for i, cj := range c.conjuncts {
+		tabs := c.conjTabs[i]
+		if len(tabs) < 2 || !tabs[t] {
+			continue
+		}
+		spanning := false
+		for tb := range tabs {
+			if tb != t && s1&(1<<tb) != 0 {
+				spanning = true
+			}
+			if tb != t && s1&(1<<tb) == 0 {
+				return nil, nil // references a table outside S1∪{t}; impossible at top
+			}
+		}
+		if !spanning {
+			continue
+		}
+		joinSel *= c.est.conjunctSelectivity(cj)
+		if cmp, ok := cj.(expr.Cmp); ok && cmp.Op == expr.EQ {
+			lc, lok := cmp.L.(expr.Column)
+			rc, rok := cmp.R.(expr.Column)
+			if lok && rok {
+				switch {
+				case lc.Ref.Tab != t && rc.Ref.Tab == t:
+					hashPairs = append(hashPairs, hashPair{lc.Ref, rc.Ref})
+					continue
+				case rc.Ref.Tab != t && lc.Ref.Tab == t:
+					hashPairs = append(hashPairs, hashPair{rc.Ref, lc.Ref})
+					continue
+				}
+			}
+		}
+		residuals = append(residuals, cj)
+	}
+	if len(hashPairs) == 0 && len(residuals) == 0 {
+		return nil, nil
+	}
+
+	// Pre-agg keys: S1-side grouping expressions plus every S1 column the
+	// spanning conjuncts reference.
+	var keys []expr.Expr
+	keyPos := map[string]int{}
+	addKey := func(e expr.Expr) int {
+		fp := fingerprintKey(e)
+		if p, ok := keyPos[fp]; ok {
+			return p
+		}
+		keyPos[fp] = len(keys)
+		keys = append(keys, e)
+		return len(keys) - 1
+	}
+	for _, g := range g1 {
+		addKey(g)
+	}
+	for _, hp := range hashPairs {
+		addKey(expr.ColE(hp.l))
+	}
+	for _, r := range residuals {
+		for _, col := range expr.Columns(r) {
+			if col.Tab != t {
+				addKey(expr.ColE(col))
+			}
+		}
+	}
+
+	// Build the pre-aggregation block: either a HashAgg over best(S1) or a
+	// view substitute for the block's SPJG expression.
+	blockWidth := len(keys) + 1 + len(sums) // keys, count, partial sums
+	cntPos := len(keys)
+
+	groupBy := make([]expr.Expr, len(keys))
+	for i, k := range keys {
+		e, err := left.rewriteTo(k)
+		if err != nil {
+			return nil, err
+		}
+		groupBy[i] = e
+	}
+	aggs := []exec.AggSpec{{Num: exec.SimpleAgg{Kind: spjg.AggCountStar}}}
+	for _, s := range sums {
+		e, err := left.rewriteTo(s.arg)
+		if err != nil {
+			return nil, err
+		}
+		aggs = append(aggs, exec.AggSpec{Num: exec.SimpleAgg{Kind: spjg.AggSum, Arg: e}})
+	}
+	preGroups := estimateGroups(c.est, keys, left.rows)
+	block := &planInfo{
+		node: &exec.HashAgg{In: left.node, GroupBy: groupBy, Aggs: aggs},
+		cost: left.cost + left.rows + preGroups,
+		rows: preGroups, usesView: left.usesView,
+	}
+
+	// View-matching rule on the block's SPJG expression.
+	blockExpr := c.preaggExpr(s1, keys, sums)
+	for _, sub := range c.o.matchViews(blockExpr, &c.stats) {
+		node, cost, filtered := c.buildSubstitute(sub)
+		rows := filtered
+		if sub.Regroup {
+			rows = estimateGroups(c.est, keys, filtered)
+			cost += rows
+		}
+		if cost < block.cost {
+			block = &planInfo{node: node, cost: cost, rows: rows, usesView: true}
+		}
+	}
+
+	// Join the block with t.
+	scan := c.scanInfo(t)
+	var lcols, rcols []int
+	for _, hp := range hashPairs {
+		lcols = append(lcols, keyPos[fingerprintKey(expr.ColE(hp.l))])
+		rcols = append(rcols, hp.r.Col)
+	}
+	var resid expr.Expr
+	if len(residuals) > 0 {
+		rw := make([]expr.Expr, len(residuals))
+		for i, r := range residuals {
+			rw[i] = expr.MapColumns(r, func(col expr.ColRef) expr.ColRef {
+				if col.Tab == t {
+					return expr.ColRef{Tab: 0, Col: blockWidth + col.Col}
+				}
+				return expr.ColRef{Tab: 0, Col: keyPos[fingerprintKey(expr.ColE(col))]}
+			})
+		}
+		resid = expr.NewAnd(rw...)
+	}
+	var joinNode exec.Node
+	if len(lcols) > 0 {
+		joinNode = &exec.HashJoin{L: block.node, R: scan.node, LCols: lcols, RCols: rcols, Residual: resid}
+	} else {
+		joinNode = &exec.NestedLoopJoin{L: block.node, R: scan.node, Pred: resid}
+	}
+	joinRows := block.rows * scan.rows * joinSel
+	if joinRows < 1 {
+		joinRows = 1
+	}
+	joinCost := block.cost + scan.cost + block.rows + scan.rows + joinRows
+
+	// Final aggregation over the joined rows.
+	finalKeys := make([]expr.Expr, len(q.GroupBy))
+	for i, g := range q.GroupBy {
+		if onS1(g) {
+			finalKeys[i] = expr.Col(0, keyPos[fingerprintKey(g)])
+		} else {
+			finalKeys[i] = expr.MapColumns(g, func(col expr.ColRef) expr.ColRef {
+				return expr.ColRef{Tab: 0, Col: blockWidth + col.Col}
+			})
+		}
+	}
+	var finalAggs []exec.AggSpec
+	var projExprs []expr.Expr
+	for _, o := range q.Outputs {
+		if o.Agg == nil {
+			pos, err := groupKeyPos(q.GroupBy, o.Expr)
+			if err != nil {
+				return nil, err
+			}
+			projExprs = append(projExprs, expr.Col(0, pos))
+			continue
+		}
+		var spec exec.AggSpec
+		switch o.Agg.Kind {
+		case spjg.AggCountStar:
+			spec = exec.AggSpec{Num: exec.SimpleAgg{Kind: spjg.AggSum, Arg: expr.Col(0, cntPos)}}
+		case spjg.AggSum:
+			sp := len(keys) + 1 + sumPos[fingerprintKey(o.Agg.Arg)]
+			spec = exec.AggSpec{Num: exec.SimpleAgg{Kind: spjg.AggSum, Arg: expr.Col(0, sp)}}
+		case spjg.AggAvg:
+			sp := len(keys) + 1 + sumPos[fingerprintKey(o.Agg.Arg)]
+			spec = exec.AggSpec{
+				Num: exec.SimpleAgg{Kind: spjg.AggSum, Arg: expr.Col(0, sp)},
+				Den: &exec.SimpleAgg{Kind: spjg.AggSum, Arg: expr.Col(0, cntPos)},
+			}
+		default:
+			return nil, nil
+		}
+		finalAggs = append(finalAggs, spec)
+		projExprs = append(projExprs, expr.Col(0, len(finalKeys)+len(finalAggs)-1))
+	}
+	finalGroups := estimateGroups(c.est, q.GroupBy, joinRows)
+	node := &exec.Project{
+		In:    &exec.HashAgg{In: joinNode, GroupBy: finalKeys, Aggs: finalAggs},
+		Exprs: projExprs,
+	}
+	cost := joinCost + joinRows + finalGroups
+	return newPlanInfo(node, nil, cost, finalGroups, block.usesView), nil
+}
+
+// preaggExpr builds the SPJG expression of the pre-aggregated block: tables
+// S1, the conjuncts inside S1, grouped on the keys, outputting the keys, a
+// COUNT_BIG, and the partial sums — the inner query block of Example 4.
+// sumArg is a deduplicated partial-sum argument.
+type sumArg struct {
+	arg expr.Expr
+	fp  string
+}
+
+func (c *optCtx) preaggExpr(s1 uint64, keys []expr.Expr, sums []sumArg) *spjg.Query {
+	var tabs []int
+	local := map[int]int{}
+	for t := 0; t < len(c.q.Tables); t++ {
+		if s1&(1<<t) != 0 {
+			local[t] = len(tabs)
+			tabs = append(tabs, t)
+		}
+	}
+	sub := &spjg.Query{}
+	for _, t := range tabs {
+		sub.Tables = append(sub.Tables, c.q.Tables[t])
+	}
+	remap := func(e expr.Expr) expr.Expr {
+		return expr.MapColumns(e, func(r expr.ColRef) expr.ColRef {
+			return expr.ColRef{Tab: local[r.Tab], Col: r.Col}
+		})
+	}
+	var preds []expr.Expr
+	for i, cj := range c.conjuncts {
+		inside := true
+		for tb := range c.conjTabs[i] {
+			if s1&(1<<tb) == 0 {
+				inside = false
+				break
+			}
+		}
+		if inside {
+			preds = append(preds, remap(cj))
+		}
+	}
+	if len(preds) > 0 {
+		sub.Where = expr.NewAnd(preds...)
+	}
+	for i, k := range keys {
+		rk := remap(k)
+		sub.GroupBy = append(sub.GroupBy, rk)
+		sub.Outputs = append(sub.Outputs, spjg.OutputColumn{Name: keyName(c.q, k, i), Expr: rk})
+	}
+	sub.Outputs = append(sub.Outputs, spjg.OutputColumn{
+		Name: "cnt", Agg: &spjg.Aggregate{Kind: spjg.AggCountStar}})
+	for i, s := range sums {
+		sub.Outputs = append(sub.Outputs, spjg.OutputColumn{
+			Name: "sum" + itoa(i), Agg: &spjg.Aggregate{Kind: spjg.AggSum, Arg: remap(s.arg)}})
+	}
+	return sub
+}
+
+// keyName names a pre-agg key column for diagnostics.
+func keyName(q *spjg.Query, k expr.Expr, i int) string {
+	if col, ok := k.(expr.Column); ok {
+		return q.Tables[col.Ref.Tab].Table.Columns[col.Ref.Col].Name
+	}
+	return "k" + itoa(i)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}
+
+// fingerprintKey is a total identity key for a query-space expression.
+func fingerprintKey(e expr.Expr) string {
+	fp := expr.NewFingerprint(expr.Normalize(e))
+	out := fp.Text
+	for _, c := range fp.Cols {
+		out += "|" + itoa(c.Tab) + "." + itoa(c.Col)
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package opt
+
+import (
+	"fmt"
+
+	"matview/internal/core"
+	"matview/internal/exec"
+	"matview/internal/expr"
+	"matview/internal/sqlvalue"
+)
+
+// RegisterViewIndex declares a secondary index over a view's output columns
+// (by ordinal), the optimizer-side counterpart of "CREATE INDEX ... ON view"
+// in Example 1. Substitutes whose compensating filter pins every index column
+// to a constant are planned as index seeks and costed accordingly — this is
+// how "any secondary indexes defined on a materialized view will be
+// considered automatically in the same way as for base tables" (§2) plays
+// out. The caller is responsible for building the matching storage index on
+// the materialized rows (storage.MaterializedView.BuildIndex).
+func (o *Optimizer) RegisterViewIndex(name string, cols []int) error {
+	v, ok := o.byName[name]
+	if !ok {
+		return fmt.Errorf("opt: unknown view %q", name)
+	}
+	for _, c := range cols {
+		if c < 0 || c >= len(v.Def.Outputs) {
+			return fmt.Errorf("opt: view %q has no output ordinal %d", name, c)
+		}
+	}
+	if o.viewIndexes == nil {
+		o.viewIndexes = map[int][][]int{}
+	}
+	o.viewIndexes[v.ID] = append(o.viewIndexes[v.ID], append([]int(nil), cols...))
+	return nil
+}
+
+// seekAccess tries to convert a substitute's compensating filter into an
+// index seek: if some registered index's columns are all pinned by equality
+// conjuncts, those conjuncts move into the scan's EqCols/EqVals and the rest
+// stays as the residual filter. Returns nil when no index applies.
+func (o *Optimizer) seekAccess(sub *core.Substitute) *exec.ViewScan {
+	idxs := o.viewIndexes[sub.View.ID]
+	if len(idxs) == 0 || sub.Filter == nil {
+		return nil
+	}
+	conjuncts := expr.ToCNF(sub.Filter)
+	points := map[int]sqlvalue.Value{} // output ordinal → pinned constant
+	pointConj := map[int]int{}         // output ordinal → conjunct index
+	for ci, c := range conjuncts {
+		cmp, ok := c.(expr.Cmp)
+		if !ok || cmp.Op != expr.EQ {
+			continue
+		}
+		col, lok := cmp.L.(expr.Column)
+		val, rok := cmp.R.(expr.Const)
+		if !lok || !rok {
+			if col2, ok2 := cmp.R.(expr.Column); ok2 {
+				if val2, ok3 := cmp.L.(expr.Const); ok3 {
+					col, val = col2, val2
+					lok, rok = true, true
+				}
+			}
+		}
+		if !lok || !rok || col.Ref.Tab != 0 || val.Val.IsNull() {
+			continue
+		}
+		if _, dup := points[col.Ref.Col]; !dup {
+			points[col.Ref.Col] = val.Val
+			pointConj[col.Ref.Col] = ci
+		}
+	}
+	// Pick the longest fully-pinned index.
+	var best []int
+	for _, cols := range idxs {
+		all := true
+		for _, c := range cols {
+			if _, ok := points[c]; !ok {
+				all = false
+				break
+			}
+		}
+		if all && len(cols) > len(best) {
+			best = cols
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	used := map[int]bool{}
+	vals := make([]sqlvalue.Value, len(best))
+	for i, c := range best {
+		vals[i] = points[c]
+		used[pointConj[c]] = true
+	}
+	var rest []expr.Expr
+	for ci, c := range conjuncts {
+		if !used[ci] {
+			rest = append(rest, c)
+		}
+	}
+	scan := &exec.ViewScan{
+		View:   sub.View.Name,
+		NCols:  len(sub.View.Def.Outputs),
+		EqCols: best,
+		EqVals: vals,
+	}
+	if len(rest) > 0 {
+		scan.Filter = expr.NewAnd(rest...)
+	}
+	return scan
+}
+
+// seekCost is the access cost of an index probe producing outRows rows: the
+// probe itself plus the matched rows, instead of scanning the whole view.
+func seekCost(outRows float64) float64 { return 1 + outRows }

@@ -1,0 +1,178 @@
+package ranges
+
+import (
+	"sort"
+	"strings"
+
+	"matview/internal/sqlvalue"
+)
+
+// IntervalSet is a union of ranges, used by the disjunctive-range extension
+// (§3.1.2 mentions that the range coverage algorithm "can be extended to
+// support disjunctions (OR) of range predicates"; the paper's prototype does
+// not implement it, this reproduction does behind an option). The set is kept
+// normalized: intervals sorted by lower bound, non-empty, and non-adjacent
+// where mergeable.
+type IntervalSet struct {
+	parts []Range
+}
+
+// NewIntervalSet returns the union of the given ranges, normalized.
+func NewIntervalSet(rs ...Range) IntervalSet {
+	var s IntervalSet
+	for _, r := range rs {
+		s = s.Add(r)
+	}
+	return s
+}
+
+// UniversalSet returns the set covering every value.
+func UniversalSet() IntervalSet { return IntervalSet{parts: []Range{Universal()}} }
+
+// Parts returns the normalized interval list (read-only).
+func (s IntervalSet) Parts() []Range { return s.parts }
+
+// Empty reports whether the set admits no value.
+func (s IntervalSet) Empty() bool { return len(s.parts) == 0 }
+
+// Add unions a range into the set, merging overlapping intervals. Ranges over
+// incomparable domains are kept side by side conservatively.
+func (s IntervalSet) Add(r Range) IntervalSet {
+	if r.Empty() {
+		return s
+	}
+	merged := r
+	var rest []Range
+	for _, p := range s.parts {
+		if m, ok := tryMerge(merged, p); ok {
+			merged = m
+		} else {
+			rest = append(rest, p)
+		}
+	}
+	rest = append(rest, merged)
+	sort.SliceStable(rest, func(i, j int) bool { return loLess(rest[i].Lo, rest[j].Lo) })
+	// A merge may enable further merges; iterate to a fixed point (small n).
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i+1 < len(rest); i++ {
+			if m, ok := tryMerge(rest[i], rest[i+1]); ok {
+				rest[i] = m
+				rest = append(rest[:i+1], rest[i+2:]...)
+				changed = true
+				break
+			}
+		}
+	}
+	return IntervalSet{parts: rest}
+}
+
+// tryMerge merges two ranges when they overlap or touch at a closed bound.
+func tryMerge(a, b Range) (Range, bool) {
+	if !a.Overlaps(b) && !touch(a, b) && !touch(b, a) {
+		return a, false
+	}
+	out := a
+	if weaker, ok := loWeakerOrEqual(b.Lo, a.Lo); ok && weaker {
+		out.Lo = b.Lo
+	} else if !ok {
+		return a, false
+	}
+	if weaker, ok := hiWeakerOrEqual(b.Hi, a.Hi); ok && weaker {
+		out.Hi = b.Hi
+	} else if !ok {
+		return a, false
+	}
+	return out, true
+}
+
+// touch reports whether a's upper bound meets b's lower bound with at least
+// one side closed (so the union is contiguous).
+func touch(a, b Range) bool {
+	if !a.Hi.Set || !b.Lo.Set {
+		return false
+	}
+	cmp, ok := sqlvalue.Compare(a.Hi.Val, b.Lo.Val)
+	if !ok || cmp != 0 {
+		return false
+	}
+	return !a.Hi.Open || !b.Lo.Open
+}
+
+func loLess(a, b Bound) bool {
+	if !a.Set {
+		return b.Set
+	}
+	if !b.Set {
+		return false
+	}
+	cmp, ok := sqlvalue.Compare(a.Val, b.Val)
+	if !ok {
+		return false
+	}
+	if cmp != 0 {
+		return cmp < 0
+	}
+	return !a.Open && b.Open
+}
+
+// IntersectSet returns the set of values admitted by both s and o: the
+// pairwise intersections of their parts, renormalized.
+func (s IntervalSet) IntersectSet(o IntervalSet) IntervalSet {
+	var out IntervalSet
+	for _, a := range s.parts {
+		for _, b := range o.parts {
+			if x, ok := a.Intersect(b); ok && !x.Empty() {
+				out = out.Add(x)
+			}
+		}
+	}
+	return out
+}
+
+// ContainsSet reports whether every value admitted by q is admitted by s.
+// Conservative on incomparable domains (returns false).
+func (s IntervalSet) ContainsSet(q IntervalSet) bool {
+	for _, qp := range q.parts {
+		covered := false
+		for _, sp := range s.parts {
+			if c, ok := sp.Contains(qp); ok && c {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			// The query interval might be covered by several overlapping
+			// view intervals; after normalization view intervals are
+			// disjoint and non-adjacent, so single-interval coverage is
+			// complete.
+			return false
+		}
+	}
+	return true
+}
+
+// Admits reports whether v lies in the set.
+func (s IntervalSet) Admits(v sqlvalue.Value) bool {
+	for _, p := range s.parts {
+		if p.Admits(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the set for diagnostics.
+func (s IntervalSet) String() string {
+	if len(s.parts) == 0 {
+		return "{}"
+	}
+	var sb strings.Builder
+	for i, p := range s.parts {
+		if i > 0 {
+			sb.WriteString(" ∪ ")
+		}
+		sb.WriteString(p.String())
+	}
+	return sb.String()
+}

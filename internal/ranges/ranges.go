@@ -1,0 +1,344 @@
+// Package ranges implements the interval arithmetic behind the range
+// subsumption test (§3.1.2). A Range is a lower and upper bound on the value
+// of a column equivalence class, each bound possibly absent (unbounded) and
+// possibly open (strict). Ranges are built by folding range predicates
+// (column op constant) one at a time, exactly as the paper describes, and
+// compared for containment to decide subsumption and derive compensating
+// predicates.
+package ranges
+
+import (
+	"fmt"
+	"strings"
+
+	"matview/internal/expr"
+	"matview/internal/sqlvalue"
+)
+
+// Bound is one end of a range.
+type Bound struct {
+	Set  bool           // false => unbounded on this side
+	Val  sqlvalue.Value // meaningful only when Set
+	Open bool           // true => strict inequality
+}
+
+// Range is a (possibly unbounded, possibly empty) interval over a SQL value
+// domain. The zero value is the universal range (-∞, +∞).
+type Range struct {
+	Lo, Hi Bound
+}
+
+// Universal returns the unconstrained range.
+func Universal() Range { return Range{} }
+
+// Point returns the degenerate range [v, v].
+func Point(v sqlvalue.Value) Range {
+	return Range{
+		Lo: Bound{Set: true, Val: v},
+		Hi: Bound{Set: true, Val: v},
+	}
+}
+
+// Constrained reports whether at least one bound has been set — the paper's
+// criterion for including an equivalence class in the range constraint list
+// (§4.2.5).
+func (r Range) Constrained() bool { return r.Lo.Set || r.Hi.Set }
+
+// IsPoint reports whether the range admits exactly one value (both bounds
+// set, closed, and equal).
+func (r Range) IsPoint() bool {
+	if !r.Lo.Set || !r.Hi.Set || r.Lo.Open || r.Hi.Open {
+		return false
+	}
+	cmp, ok := sqlvalue.Compare(r.Lo.Val, r.Hi.Val)
+	return ok && cmp == 0
+}
+
+// Apply intersects the range with the predicate (col op val) and returns the
+// narrowed range. ok is false when the value is incomparable with an existing
+// bound (type mismatch), in which case callers should treat the predicate as
+// residual instead.
+func (r Range) Apply(op expr.CmpOp, val sqlvalue.Value) (Range, bool) {
+	switch op {
+	case expr.EQ:
+		r2, ok := r.tightenLo(Bound{Set: true, Val: val})
+		if !ok {
+			return r, false
+		}
+		r3, ok := r2.tightenHi(Bound{Set: true, Val: val})
+		if !ok {
+			return r, false
+		}
+		return r3, true
+	case expr.LT:
+		return r.tightenHi(Bound{Set: true, Val: val, Open: true})
+	case expr.LE:
+		return r.tightenHi(Bound{Set: true, Val: val})
+	case expr.GT:
+		return r.tightenLo(Bound{Set: true, Val: val, Open: true})
+	case expr.GE:
+		return r.tightenLo(Bound{Set: true, Val: val})
+	default:
+		return r, false
+	}
+}
+
+// tightenLo raises the lower bound to b if b is tighter.
+func (r Range) tightenLo(b Bound) (Range, bool) {
+	if !b.Set {
+		return r, true
+	}
+	if !r.Lo.Set {
+		if r.Hi.Set {
+			if _, ok := sqlvalue.Compare(b.Val, r.Hi.Val); !ok {
+				return r, false
+			}
+		}
+		r.Lo = b
+		return r, true
+	}
+	cmp, ok := sqlvalue.Compare(b.Val, r.Lo.Val)
+	if !ok {
+		return r, false
+	}
+	if cmp > 0 || (cmp == 0 && b.Open && !r.Lo.Open) {
+		r.Lo = b
+	}
+	return r, true
+}
+
+// tightenHi lowers the upper bound to b if b is tighter.
+func (r Range) tightenHi(b Bound) (Range, bool) {
+	if !b.Set {
+		return r, true
+	}
+	if !r.Hi.Set {
+		if r.Lo.Set {
+			if _, ok := sqlvalue.Compare(b.Val, r.Lo.Val); !ok {
+				return r, false
+			}
+		}
+		r.Hi = b
+		return r, true
+	}
+	cmp, ok := sqlvalue.Compare(b.Val, r.Hi.Val)
+	if !ok {
+		return r, false
+	}
+	if cmp < 0 || (cmp == 0 && b.Open && !r.Hi.Open) {
+		r.Hi = b
+	}
+	return r, true
+}
+
+// Empty reports whether no value can satisfy the range (a contradictory
+// predicate). Incomparable bounds report non-empty (conservative).
+func (r Range) Empty() bool {
+	if !r.Lo.Set || !r.Hi.Set {
+		return false
+	}
+	cmp, ok := sqlvalue.Compare(r.Lo.Val, r.Hi.Val)
+	if !ok {
+		return false
+	}
+	if cmp > 0 {
+		return true
+	}
+	if cmp == 0 && (r.Lo.Open || r.Hi.Open) {
+		return true
+	}
+	return false
+}
+
+// loWeakerOrEqual reports whether lower bound a admits every value lower
+// bound b admits (a ≤ b as lower bounds).
+func loWeakerOrEqual(a, b Bound) (bool, bool) {
+	if !a.Set {
+		return true, true
+	}
+	if !b.Set {
+		return false, true // a constrains, b doesn't
+	}
+	cmp, ok := sqlvalue.Compare(a.Val, b.Val)
+	if !ok {
+		return false, false
+	}
+	if cmp != 0 {
+		return cmp < 0, true
+	}
+	// Equal values: a is weaker-or-equal unless a is open and b closed.
+	return !a.Open || b.Open, true
+}
+
+// hiWeakerOrEqual reports whether upper bound a admits every value upper
+// bound b admits (a ≥ b as upper bounds).
+func hiWeakerOrEqual(a, b Bound) (bool, bool) {
+	if !a.Set {
+		return true, true
+	}
+	if !b.Set {
+		return false, true
+	}
+	cmp, ok := sqlvalue.Compare(a.Val, b.Val)
+	if !ok {
+		return false, false
+	}
+	if cmp != 0 {
+		return cmp > 0, true
+	}
+	return !a.Open || b.Open, true
+}
+
+// Contains reports whether r contains q: every value admitted by q is also
+// admitted by r. This is the per-class check of the range subsumption test
+// ("check that every view range contains the corresponding query range").
+// ok is false when the ranges are over incomparable domains.
+func (r Range) Contains(q Range) (contains bool, ok bool) {
+	lo, ok := loWeakerOrEqual(r.Lo, q.Lo)
+	if !ok {
+		return false, false
+	}
+	hi, ok2 := hiWeakerOrEqual(r.Hi, q.Hi)
+	if !ok2 {
+		return false, false
+	}
+	return lo && hi, true
+}
+
+// BoundsEqual reports whether the two bounds are identical constraints.
+func BoundsEqual(a, b Bound) bool {
+	if a.Set != b.Set {
+		return false
+	}
+	if !a.Set {
+		return true
+	}
+	if a.Open != b.Open {
+		return false
+	}
+	cmp, ok := sqlvalue.Compare(a.Val, b.Val)
+	return ok && cmp == 0
+}
+
+// Compensation describes the predicates that must be applied on top of a view
+// to narrow its range to the query's range (§3.1.2): for each differing
+// bound, one comparison against the query's bound value.
+type Compensation struct {
+	NeedLo bool
+	LoOp   expr.CmpOp // GT if the query's lower bound is open, else GE
+	LoVal  sqlvalue.Value
+	NeedHi bool
+	HiOp   expr.CmpOp // LT if the query's upper bound is open, else LE
+	HiVal  sqlvalue.Value
+}
+
+// CompensationFor returns the compensating bounds needed to reduce the view
+// range to the query range. Callers must have already established
+// containment. If the bounds match, no predicate is needed for that side; if
+// the query range is a point, a single equality is produced.
+func CompensationFor(view, query Range) Compensation {
+	var c Compensation
+	if query.IsPoint() && !view.IsPoint() {
+		// Equality predicate: expressed as both bounds with EQ folded by the
+		// caller; we mark both sides with the same value and closed ops.
+		c.NeedLo = true
+		c.LoOp = expr.GE
+		c.LoVal = query.Lo.Val
+		c.NeedHi = true
+		c.HiOp = expr.LE
+		c.HiVal = query.Hi.Val
+		return c
+	}
+	if !BoundsEqual(view.Lo, query.Lo) && query.Lo.Set {
+		c.NeedLo = true
+		c.LoVal = query.Lo.Val
+		if query.Lo.Open {
+			c.LoOp = expr.GT
+		} else {
+			c.LoOp = expr.GE
+		}
+	}
+	if !BoundsEqual(view.Hi, query.Hi) && query.Hi.Set {
+		c.NeedHi = true
+		c.HiVal = query.Hi.Val
+		if query.Hi.Open {
+			c.HiOp = expr.LT
+		} else {
+			c.HiOp = expr.LE
+		}
+	}
+	return c
+}
+
+// String renders the range in interval notation for diagnostics.
+func (r Range) String() string {
+	var sb strings.Builder
+	if r.Lo.Set {
+		if r.Lo.Open {
+			sb.WriteByte('(')
+		} else {
+			sb.WriteByte('[')
+		}
+		sb.WriteString(r.Lo.Val.String())
+	} else {
+		sb.WriteString("(-inf")
+	}
+	sb.WriteString(", ")
+	if r.Hi.Set {
+		sb.WriteString(r.Hi.Val.String())
+		if r.Hi.Open {
+			sb.WriteByte(')')
+		} else {
+			sb.WriteByte(']')
+		}
+	} else {
+		sb.WriteString("+inf)")
+	}
+	return sb.String()
+}
+
+// Admits reports whether value v lies within the range. Incomparable values
+// are not admitted.
+func (r Range) Admits(v sqlvalue.Value) bool {
+	if r.Lo.Set {
+		cmp, ok := sqlvalue.Compare(v, r.Lo.Val)
+		if !ok || cmp < 0 || (cmp == 0 && r.Lo.Open) {
+			return false
+		}
+	}
+	if r.Hi.Set {
+		cmp, ok := sqlvalue.Compare(v, r.Hi.Val)
+		if !ok || cmp > 0 || (cmp == 0 && r.Hi.Open) {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns the intersection of two ranges; ok is false on
+// incomparable domains.
+func (r Range) Intersect(q Range) (Range, bool) {
+	out, ok := r.tightenLo(q.Lo)
+	if !ok {
+		return r, false
+	}
+	out, ok = out.tightenHi(q.Hi)
+	if !ok {
+		return r, false
+	}
+	return out, true
+}
+
+// Overlaps reports whether the two ranges share at least one value.
+func (r Range) Overlaps(q Range) bool {
+	x, ok := r.Intersect(q)
+	return ok && !x.Empty()
+}
+
+// GoString aids debugging in test failures.
+func (b Bound) GoString() string {
+	if !b.Set {
+		return "∅"
+	}
+	return fmt.Sprintf("{%s open=%v}", b.Val, b.Open)
+}

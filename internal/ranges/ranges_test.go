@@ -1,0 +1,462 @@
+package ranges
+
+import (
+	"math/rand"
+	"testing"
+
+	"matview/internal/expr"
+	"matview/internal/sqlvalue"
+)
+
+func vi(i int64) sqlvalue.Value { return sqlvalue.NewInt(i) }
+
+func mustApply(t *testing.T, r Range, op expr.CmpOp, v int64) Range {
+	t.Helper()
+	out, ok := r.Apply(op, vi(v))
+	if !ok {
+		t.Fatalf("Apply(%v, %d) failed", op, v)
+	}
+	return out
+}
+
+func TestApplyBuildsInterval(t *testing.T) {
+	// o_custkey >= 50 AND o_custkey <= 500 (Example 2's view range [50,500]).
+	r := Universal()
+	r = mustApply(t, r, expr.GE, 50)
+	r = mustApply(t, r, expr.LE, 500)
+	if !r.Lo.Set || r.Lo.Val.Int() != 50 || r.Lo.Open {
+		t.Errorf("lo = %#v", r.Lo)
+	}
+	if !r.Hi.Set || r.Hi.Val.Int() != 500 || r.Hi.Open {
+		t.Errorf("hi = %#v", r.Hi)
+	}
+	if r.Empty() || r.IsPoint() || !r.Constrained() {
+		t.Error("flags wrong")
+	}
+}
+
+func TestApplyEquality(t *testing.T) {
+	// o_custkey = 123 yields point range [123,123].
+	r := mustApply(t, Universal(), expr.EQ, 123)
+	if !r.IsPoint() {
+		t.Fatalf("= 123 should be a point, got %v", r)
+	}
+	if !r.Admits(vi(123)) || r.Admits(vi(124)) {
+		t.Error("point admission wrong")
+	}
+}
+
+func TestApplyTightensNotLoosens(t *testing.T) {
+	r := mustApply(t, Universal(), expr.GT, 150)
+	r = mustApply(t, r, expr.GT, 100) // weaker: no effect
+	if r.Lo.Val.Int() != 150 || !r.Lo.Open {
+		t.Errorf("lo = %#v, want strict 150", r.Lo)
+	}
+	r = mustApply(t, r, expr.GE, 150) // same value, weaker openness: no effect
+	if !r.Lo.Open {
+		t.Error("GE 150 must not loosen GT 150")
+	}
+	r = mustApply(t, r, expr.LT, 160)
+	r = mustApply(t, r, expr.LE, 200) // weaker: no effect
+	if r.Hi.Val.Int() != 160 || !r.Hi.Open {
+		t.Errorf("hi = %#v", r.Hi)
+	}
+}
+
+func TestOpenClosedTightening(t *testing.T) {
+	// x >= 5 then x > 5: open wins at same value.
+	r := mustApply(t, Universal(), expr.GE, 5)
+	r = mustApply(t, r, expr.GT, 5)
+	if !r.Lo.Open {
+		t.Error("GT 5 must tighten GE 5")
+	}
+	// x <= 9 then x < 9.
+	r2 := mustApply(t, Universal(), expr.LE, 9)
+	r2 = mustApply(t, r2, expr.LT, 9)
+	if !r2.Hi.Open {
+		t.Error("LT 9 must tighten LE 9")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	cases := []struct {
+		build func(t *testing.T) Range
+		empty bool
+	}{
+		{func(t *testing.T) Range {
+			r := mustApply(t, Universal(), expr.GT, 10)
+			return mustApply(t, r, expr.LT, 5)
+		}, true},
+		{func(t *testing.T) Range {
+			r := mustApply(t, Universal(), expr.GE, 10)
+			return mustApply(t, r, expr.LE, 10)
+		}, false}, // [10,10] is a point
+		{func(t *testing.T) Range {
+			r := mustApply(t, Universal(), expr.GT, 10)
+			return mustApply(t, r, expr.LE, 10)
+		}, true}, // (10,10]
+		{func(t *testing.T) Range { return Universal() }, false},
+	}
+	for i, tc := range cases {
+		if got := tc.build(t).Empty(); got != tc.empty {
+			t.Errorf("case %d: Empty() = %v, want %v", i, got, tc.empty)
+		}
+	}
+}
+
+func TestContainsPaperExample2(t *testing.T) {
+	// View: {l_partkey} ∈ (150, +inf), {o_custkey} ∈ [50, 500]
+	// Query: {l_partkey} ∈ (150, 160), {o_custkey} = [123,123]
+	viewPK := mustApply(t, Universal(), expr.GT, 150)
+	queryPK := mustApply(t, mustApply(t, Universal(), expr.GT, 150), expr.LT, 160)
+	if c, ok := viewPK.Contains(queryPK); !ok || !c {
+		t.Error("view (150,+inf) must contain query (150,160)")
+	}
+	if c, _ := queryPK.Contains(viewPK); c {
+		t.Error("query range must not contain wider view range")
+	}
+	viewCK := mustApply(t, mustApply(t, Universal(), expr.GE, 50), expr.LE, 500)
+	queryCK := mustApply(t, Universal(), expr.EQ, 123)
+	if c, ok := viewCK.Contains(queryCK); !ok || !c {
+		t.Error("view [50,500] must contain query [123,123]")
+	}
+}
+
+func TestContainsBoundaryOpenness(t *testing.T) {
+	// View x > 150 does NOT contain query x >= 150 (value 150 missing).
+	view := mustApply(t, Universal(), expr.GT, 150)
+	query := mustApply(t, Universal(), expr.GE, 150)
+	if c, _ := view.Contains(query); c {
+		t.Error("(150,∞) must not contain [150,∞)")
+	}
+	// View x >= 150 contains query x > 150.
+	if c, _ := query.Contains(view); !c {
+		t.Error("[150,∞) must contain (150,∞)")
+	}
+}
+
+func TestContainsUnbounded(t *testing.T) {
+	u := Universal()
+	q := mustApply(t, Universal(), expr.EQ, 5)
+	if c, _ := u.Contains(q); !c {
+		t.Error("universal must contain everything")
+	}
+	if c, _ := q.Contains(u); c {
+		t.Error("point must not contain universal")
+	}
+	if c, _ := u.Contains(u); !c {
+		t.Error("universal must contain itself")
+	}
+}
+
+func TestCompensationFor(t *testing.T) {
+	// Example 2: view (150, +inf) vs query (150, 160): only upper bound
+	// compensation l_partkey < 160.
+	view := mustApply(t, Universal(), expr.GT, 150)
+	query := mustApply(t, mustApply(t, Universal(), expr.GT, 150), expr.LT, 160)
+	c := CompensationFor(view, query)
+	if c.NeedLo {
+		t.Error("lower bounds equal: no compensation expected")
+	}
+	if !c.NeedHi || c.HiOp != expr.LT || c.HiVal.Int() != 160 {
+		t.Errorf("hi compensation = %+v", c)
+	}
+
+	// Example 2: view [50,500] vs query point 123: equality both sides.
+	viewCK := mustApply(t, mustApply(t, Universal(), expr.GE, 50), expr.LE, 500)
+	queryCK := mustApply(t, Universal(), expr.EQ, 123)
+	c2 := CompensationFor(viewCK, queryCK)
+	if !c2.NeedLo || !c2.NeedHi || c2.LoVal.Int() != 123 || c2.HiVal.Int() != 123 {
+		t.Errorf("point compensation = %+v", c2)
+	}
+
+	// Identical ranges: nothing needed.
+	c3 := CompensationFor(view, view)
+	if c3.NeedLo || c3.NeedHi {
+		t.Errorf("identical ranges need no compensation: %+v", c3)
+	}
+
+	// Closed query lower bound produces GE.
+	view4 := Universal()
+	query4 := mustApply(t, Universal(), expr.GE, 10)
+	c4 := CompensationFor(view4, query4)
+	if !c4.NeedLo || c4.LoOp != expr.GE {
+		t.Errorf("GE compensation = %+v", c4)
+	}
+}
+
+func TestIncomparableDomains(t *testing.T) {
+	r := mustApply(t, Universal(), expr.GE, 10)
+	if _, ok := r.Apply(expr.LE, sqlvalue.NewString("zzz")); ok {
+		t.Error("string bound on int range must fail")
+	}
+	sview := Range{Lo: Bound{Set: true, Val: sqlvalue.NewString("a")}}
+	if _, ok := sview.Contains(r); ok {
+		t.Error("containment across domains must report not-ok")
+	}
+}
+
+func TestAdmits(t *testing.T) {
+	r := mustApply(t, mustApply(t, Universal(), expr.GT, 10), expr.LE, 20)
+	cases := map[int64]bool{10: false, 11: true, 20: true, 21: false}
+	for v, want := range cases {
+		if got := r.Admits(vi(v)); got != want {
+			t.Errorf("Admits(%d) = %v, want %v", v, got, want)
+		}
+	}
+	if r.Admits(sqlvalue.NewString("x")) {
+		t.Error("incomparable value must not be admitted")
+	}
+}
+
+func TestIntersectAndOverlaps(t *testing.T) {
+	a := mustApply(t, mustApply(t, Universal(), expr.GE, 0), expr.LE, 10)
+	b := mustApply(t, mustApply(t, Universal(), expr.GE, 5), expr.LE, 15)
+	x, ok := a.Intersect(b)
+	if !ok || x.Lo.Val.Int() != 5 || x.Hi.Val.Int() != 10 {
+		t.Errorf("intersect = %v", x)
+	}
+	if !a.Overlaps(b) {
+		t.Error("overlapping ranges reported disjoint")
+	}
+	c := mustApply(t, Universal(), expr.GT, 20)
+	if a.Overlaps(c) {
+		t.Error("disjoint ranges reported overlapping")
+	}
+}
+
+func TestRangeString(t *testing.T) {
+	r := mustApply(t, mustApply(t, Universal(), expr.GT, 150), expr.LE, 160)
+	if got := r.String(); got != "(150, 160]" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := Universal().String(); got != "(-inf, +inf)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// Property: Contains(q) agrees with pointwise admission on a sampled domain.
+func TestContainsAgreesWithAdmits(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	randRange := func() Range {
+		out := Universal()
+		if r.Intn(3) > 0 {
+			op := []expr.CmpOp{expr.GT, expr.GE}[r.Intn(2)]
+			out, _ = out.Apply(op, vi(int64(r.Intn(20))))
+		}
+		if r.Intn(3) > 0 {
+			op := []expr.CmpOp{expr.LT, expr.LE}[r.Intn(2)]
+			out, _ = out.Apply(op, vi(int64(r.Intn(20))))
+		}
+		return out
+	}
+	for trial := 0; trial < 500; trial++ {
+		a, b := randRange(), randRange()
+		contains, ok := a.Contains(b)
+		if !ok {
+			t.Fatal("int ranges must be comparable")
+		}
+		// Check against pointwise semantics on integers 0..19. Open integer
+		// bounds admit no integers strictly between consecutive ints, so
+		// pointwise containment can hold when bound containment doesn't —
+		// only test the sound direction: if Contains, then pointwise holds.
+		if contains {
+			for v := int64(-1); v <= 20; v++ {
+				if b.Admits(vi(v)) && !a.Admits(vi(v)) {
+					t.Fatalf("a=%v claims to contain b=%v but misses %d", a, b, v)
+				}
+			}
+		} else if !b.Empty() {
+			// If not contains and b non-empty over a dense domain, there must
+			// be a rational witness; check half-integer grid.
+			found := false
+			for v := -10; v <= 410; v++ {
+				f := sqlvalue.NewFloat(float64(v) / 20)
+				if b.Admits(f) && !a.Admits(f) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("a=%v does not contain b=%v but no witness found", a, b)
+			}
+		}
+	}
+}
+
+// Property: Apply never widens a range.
+func TestApplyMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	cur := Universal()
+	ops := []expr.CmpOp{expr.EQ, expr.LT, expr.LE, expr.GT, expr.GE}
+	for i := 0; i < 300; i++ {
+		next, ok := cur.Apply(ops[r.Intn(len(ops))], vi(int64(r.Intn(50))))
+		if !ok {
+			t.Fatal("int apply failed")
+		}
+		if c, ok := cur.Contains(next); !ok || !c {
+			t.Fatalf("Apply widened %v to %v", cur, next)
+		}
+		cur = next
+		if cur.Empty() {
+			cur = Universal() // restart after contradiction
+		}
+	}
+}
+
+func TestIntervalSetMerging(t *testing.T) {
+	a := mustApply(t, mustApply(t, Universal(), expr.GE, 0), expr.LE, 10)
+	b := mustApply(t, mustApply(t, Universal(), expr.GE, 5), expr.LE, 15)
+	s := NewIntervalSet(a, b)
+	if len(s.Parts()) != 1 {
+		t.Fatalf("overlapping intervals should merge: %v", s)
+	}
+	merged := s.Parts()[0]
+	if merged.Lo.Val.Int() != 0 || merged.Hi.Val.Int() != 15 {
+		t.Errorf("merged = %v", merged)
+	}
+
+	c := mustApply(t, mustApply(t, Universal(), expr.GE, 20), expr.LE, 30)
+	s2 := NewIntervalSet(a, c)
+	if len(s2.Parts()) != 2 {
+		t.Fatalf("disjoint intervals should stay separate: %v", s2)
+	}
+}
+
+func TestIntervalSetTouching(t *testing.T) {
+	// [0,10] and (10,20] touch at a closed/open boundary: contiguous.
+	a := mustApply(t, mustApply(t, Universal(), expr.GE, 0), expr.LE, 10)
+	b := mustApply(t, mustApply(t, Universal(), expr.GT, 10), expr.LE, 20)
+	s := NewIntervalSet(a, b)
+	if len(s.Parts()) != 1 {
+		t.Fatalf("touching intervals should merge: %v", s)
+	}
+	// (0,10) and (10,20) do NOT touch (10 missing from both).
+	c := mustApply(t, mustApply(t, Universal(), expr.GT, 0), expr.LT, 10)
+	d := mustApply(t, mustApply(t, Universal(), expr.GT, 10), expr.LT, 20)
+	s2 := NewIntervalSet(c, d)
+	if len(s2.Parts()) != 2 {
+		t.Fatalf("open-open boundary must not merge: %v", s2)
+	}
+}
+
+func TestIntervalSetContainsSet(t *testing.T) {
+	view := NewIntervalSet(
+		mustApply(t, mustApply(t, Universal(), expr.GE, 0), expr.LE, 100),
+		mustApply(t, mustApply(t, Universal(), expr.GE, 200), expr.LE, 300),
+	)
+	q1 := NewIntervalSet(mustApply(t, mustApply(t, Universal(), expr.GE, 10), expr.LE, 20))
+	q2 := NewIntervalSet(mustApply(t, mustApply(t, Universal(), expr.GE, 150), expr.LE, 160))
+	q3 := NewIntervalSet(
+		mustApply(t, mustApply(t, Universal(), expr.GE, 10), expr.LE, 20),
+		mustApply(t, mustApply(t, Universal(), expr.GE, 250), expr.LE, 260),
+	)
+	if !view.ContainsSet(q1) {
+		t.Error("q1 should be contained")
+	}
+	if view.ContainsSet(q2) {
+		t.Error("q2 in the gap should not be contained")
+	}
+	if !view.ContainsSet(q3) {
+		t.Error("q3 split across both parts should be contained")
+	}
+	if UniversalSet().Empty() || !NewIntervalSet().Empty() {
+		t.Error("emptiness flags wrong")
+	}
+}
+
+func TestIntervalSetAdmits(t *testing.T) {
+	s := NewIntervalSet(
+		mustApply(t, mustApply(t, Universal(), expr.GE, 0), expr.LE, 10),
+		mustApply(t, mustApply(t, Universal(), expr.GE, 20), expr.LE, 30),
+	)
+	for v, want := range map[int64]bool{5: true, 15: false, 25: true, 35: false} {
+		if got := s.Admits(vi(v)); got != want {
+			t.Errorf("Admits(%d) = %v", v, got)
+		}
+	}
+}
+
+func TestPointConstructor(t *testing.T) {
+	p := Point(vi(7))
+	if !p.IsPoint() || !p.Admits(vi(7)) || p.Admits(vi(8)) {
+		t.Fatalf("Point(7) = %v", p)
+	}
+	if c, ok := p.Contains(Point(vi(7))); !ok || !c {
+		t.Error("point must contain itself")
+	}
+}
+
+func TestBoundGoString(t *testing.T) {
+	var unset Bound
+	if unset.GoString() != "∅" {
+		t.Errorf("unset bound = %q", unset.GoString())
+	}
+	b := Bound{Set: true, Val: vi(3), Open: true}
+	if got := b.GoString(); got != "{3 open=true}" {
+		t.Errorf("bound = %q", got)
+	}
+}
+
+func TestIntervalSetString(t *testing.T) {
+	if got := NewIntervalSet().String(); got != "{}" {
+		t.Errorf("empty set = %q", got)
+	}
+	a := mustApply(t, mustApply(t, Universal(), expr.GE, 0), expr.LE, 1)
+	b := mustApply(t, Universal(), expr.GT, 5)
+	s := NewIntervalSet(a, b)
+	if got := s.String(); got != "[0, 1] ∪ (5, +inf)" {
+		t.Errorf("set = %q", got)
+	}
+}
+
+func TestIntervalSetAddEmptyRangeIgnored(t *testing.T) {
+	empty := mustApply(t, mustApply(t, Universal(), expr.GT, 5), expr.LT, 3)
+	s := NewIntervalSet(empty)
+	if !s.Empty() {
+		t.Fatalf("adding an empty range produced parts: %v", s)
+	}
+}
+
+func TestIntervalSetChainMerge(t *testing.T) {
+	// Three intervals that merge only once the middle one arrives.
+	a := mustApply(t, mustApply(t, Universal(), expr.GE, 0), expr.LE, 3)
+	c := mustApply(t, mustApply(t, Universal(), expr.GE, 6), expr.LE, 9)
+	b := mustApply(t, mustApply(t, Universal(), expr.GE, 2), expr.LE, 7)
+	s := NewIntervalSet(a, c)
+	if len(s.Parts()) != 2 {
+		t.Fatalf("setup: %v", s)
+	}
+	s = s.Add(b)
+	if len(s.Parts()) != 1 {
+		t.Fatalf("chain merge failed: %v", s)
+	}
+	if got := s.Parts()[0]; got.Lo.Val.Int() != 0 || got.Hi.Val.Int() != 9 {
+		t.Fatalf("merged = %v", got)
+	}
+}
+
+func TestIntersectWithUnbounded(t *testing.T) {
+	a := mustApply(t, Universal(), expr.GE, 5)
+	x, ok := a.Intersect(Universal())
+	if !ok || !x.Lo.Set || x.Hi.Set {
+		t.Fatalf("intersect with universal = %v", x)
+	}
+	// Incomparable domains report not-ok.
+	s := Range{Lo: Bound{Set: true, Val: sqlvalue.NewString("a")}}
+	if _, ok := a.Intersect(s); ok {
+		t.Error("cross-domain intersect reported ok")
+	}
+}
+
+func TestIntervalSetIntersectEdge(t *testing.T) {
+	u := UniversalSet()
+	a := NewIntervalSet(mustApply(t, mustApply(t, Universal(), expr.GE, 1), expr.LE, 2))
+	x := u.IntersectSet(a)
+	if len(x.Parts()) != 1 || !x.Admits(vi(1)) || x.Admits(vi(3)) {
+		t.Fatalf("universal ∩ [1,2] = %v", x)
+	}
+	if !a.IntersectSet(NewIntervalSet()).Empty() {
+		t.Error("intersection with empty set must be empty")
+	}
+}

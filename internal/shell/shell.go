@@ -1,0 +1,291 @@
+// Package shell implements the interactive session behind cmd/vmshell: SQL
+// statements are parsed, views are materialized and registered with the
+// optimizer and the incremental maintainer, indexes are declared to both the
+// optimizer and storage, and DML flows through the maintainer so every
+// materialized view stays consistent while queries keep being answered from
+// views.
+package shell
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"matview/internal/advisor"
+	"matview/internal/exec"
+	"matview/internal/expr"
+	"matview/internal/maintain"
+	"matview/internal/opt"
+	"matview/internal/spjg"
+	"matview/internal/sqlparser"
+	"matview/internal/sqlvalue"
+	"matview/internal/storage"
+)
+
+// Session is one interactive session over a database.
+type Session struct {
+	DB    *storage.Database
+	Opt   *opt.Optimizer
+	Maint *maintain.Maintainer
+
+	// Stats accumulates view-matching statistics across queries.
+	Stats opt.QueryStats
+
+	// MaxRows caps printed result rows.
+	MaxRows int
+
+	// history records executed SELECT statements for \advise.
+	history []*spjg.Query
+}
+
+// NewSession builds a session with default options.
+func NewSession(db *storage.Database) *Session {
+	return &Session{
+		DB:      db,
+		Opt:     opt.NewOptimizer(db.Catalog, opt.DefaultOptions()),
+		Maint:   maintain.New(db),
+		MaxRows: 25,
+	}
+}
+
+// Execute runs one statement (without trailing semicolon) and writes its
+// output to w. EXPLAIN <select> prints the plan instead of executing.
+func (s *Session) Execute(stmt string, w io.Writer) error {
+	explain := false
+	if lower := strings.ToLower(strings.TrimSpace(stmt)); strings.HasPrefix(lower, "explain") {
+		explain = true
+		stmt = strings.TrimSpace(stmt)[len("explain"):]
+	}
+	st, err := sqlparser.Parse(s.DB.Catalog, stmt)
+	if err != nil {
+		return err
+	}
+	switch {
+	case st.Insert != nil:
+		return s.execInsert(st.Insert, w)
+	case st.Delete != nil:
+		return s.execDelete(st.Delete, w)
+	case st.CreateIndex != nil:
+		return s.execCreateIndex(st.CreateIndex, w)
+	case st.ViewName != "":
+		return s.execCreateView(st, w)
+	default:
+		return s.execSelect(st, explain, w)
+	}
+}
+
+func (s *Session) execCreateView(st *sqlparser.Statement, w io.Writer) error {
+	if _, err := s.Opt.RegisterView(st.ViewName, st.Query); err != nil {
+		return err
+	}
+	if _, err := s.Maint.Register(st.ViewName, st.Query); err != nil {
+		s.Opt.DropView(st.ViewName)
+		return err
+	}
+	mv := s.DB.View(st.ViewName)
+	s.Opt.SetViewRowCount(st.ViewName, mv.RowCount)
+	fmt.Fprintf(w, "materialized view %s: %d rows\n", st.ViewName, mv.RowCount)
+	return nil
+}
+
+func (s *Session) execCreateIndex(ci *sqlparser.CreateIndexStatement, w io.Writer) error {
+	// Index on a materialized view: resolve output names against the view
+	// definition, register with the optimizer, build on storage.
+	if v := s.Opt.ViewByName(ci.Target); v != nil {
+		var ords []int
+		for _, name := range ci.Columns {
+			ord := -1
+			for i, o := range v.Def.Outputs {
+				if o.Name == name {
+					ord = i
+					break
+				}
+			}
+			if ord < 0 {
+				return fmt.Errorf("shell: view %s has no output %q", ci.Target, name)
+			}
+			ords = append(ords, ord)
+		}
+		if err := s.Opt.RegisterViewIndex(ci.Target, ords); err != nil {
+			return err
+		}
+		mv := s.DB.View(ci.Target)
+		if mv == nil {
+			return fmt.Errorf("shell: view %s not materialized", ci.Target)
+		}
+		if _, err := mv.BuildIndex(ords, ci.Unique); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "created index %s on view %s%v\n", ci.Name, ci.Target, ci.Columns)
+		return nil
+	}
+	// Index on a base table.
+	t := s.DB.Table(ci.Target)
+	if t == nil {
+		return fmt.Errorf("shell: unknown table or view %q", ci.Target)
+	}
+	var ords []int
+	for _, name := range ci.Columns {
+		ord := t.Meta.ColumnIndex(name)
+		if ord < 0 {
+			return fmt.Errorf("shell: table %s has no column %q", ci.Target, name)
+		}
+		ords = append(ords, ord)
+	}
+	if _, err := t.BuildIndex(ords, ci.Unique); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "created index %s on table %s%v\n", ci.Name, ci.Target, ci.Columns)
+	return nil
+}
+
+func (s *Session) execInsert(ins *sqlparser.InsertStatement, w io.Writer) error {
+	rows := make([]storage.Row, len(ins.Rows))
+	for i, r := range ins.Rows {
+		rows[i] = storage.Row(r)
+	}
+	if err := s.Maint.Insert(ins.Table, rows); err != nil {
+		return err
+	}
+	s.DB.RefreshStats()
+	fmt.Fprintf(w, "inserted %d row(s) into %s (views maintained)\n", len(rows), ins.Table)
+	return nil
+}
+
+func (s *Session) execDelete(del *sqlparser.DeleteStatement, w io.Writer) error {
+	pred := func(storage.Row) bool { return true }
+	if del.Where != nil {
+		pred = func(r storage.Row) bool {
+			ok, err := expr.EvalPredicate(del.Where, func(c expr.ColRef) sqlvalue.Value {
+				if c.Tab != 0 || c.Col < 0 || c.Col >= len(r) {
+					return sqlvalue.Null
+				}
+				return r[c.Col]
+			})
+			return err == nil && ok
+		}
+	}
+	n, err := s.Maint.Delete(del.Table, pred)
+	if err != nil {
+		return err
+	}
+	s.DB.RefreshStats()
+	fmt.Fprintf(w, "deleted %d row(s) from %s (views maintained)\n", n, del.Table)
+	return nil
+}
+
+func (s *Session) execSelect(st *sqlparser.Statement, explain bool, w io.Writer) error {
+	res, err := s.Opt.Optimize(st.Query)
+	if err != nil {
+		return err
+	}
+	s.Stats.Add(res.Stats)
+	s.history = append(s.history, st.Query)
+	if explain {
+		fmt.Fprintf(w, "estimated cost %.0f, rows %.0f, uses views: %v\n", res.Cost, res.Rows, res.UsesView)
+		fmt.Fprint(w, exec.Explain(res.Plan))
+		return nil
+	}
+	t0 := time.Now()
+	rows, err := res.Plan.Run(s.DB)
+	if err != nil {
+		return err
+	}
+	s.printRows(st, rows, w)
+	note := ""
+	if res.UsesView {
+		note = " (used materialized views)"
+	}
+	fmt.Fprintf(w, "%d rows in %v%s\n", len(rows), time.Since(t0).Round(time.Microsecond), note)
+	return nil
+}
+
+func (s *Session) printRows(st *sqlparser.Statement, rows []storage.Row, w io.Writer) {
+	var headers []string
+	for i, oc := range st.Query.Outputs {
+		name := oc.Name
+		if name == "" {
+			name = fmt.Sprintf("col%d", i)
+		}
+		headers = append(headers, name)
+	}
+	fmt.Fprintln(w, strings.Join(headers, " | "))
+	limit := len(rows)
+	if s.MaxRows > 0 && limit > s.MaxRows {
+		limit = s.MaxRows
+	}
+	for _, r := range rows[:limit] {
+		parts := make([]string, len(r))
+		for i, v := range r {
+			if v.Kind() == sqlvalue.KindFloat {
+				parts[i] = fmt.Sprintf("%.2f", v.Float())
+			} else {
+				parts[i] = strings.Trim(v.String(), "'")
+			}
+		}
+		fmt.Fprintln(w, strings.Join(parts, " | "))
+	}
+	if limit < len(rows) {
+		fmt.Fprintf(w, "... (%d more rows)\n", len(rows)-limit)
+	}
+}
+
+// Meta executes a backslash command; it reports false when the session
+// should end (\quit).
+func (s *Session) Meta(cmd string, w io.Writer) bool {
+	switch strings.Fields(cmd)[0] {
+	case "\\quit", "\\q":
+		return false
+	case "\\views":
+		for _, v := range s.Opt.Views() {
+			rows := int64(-1)
+			if mv := s.DB.View(v.Name); mv != nil {
+				rows = mv.RowCount
+			}
+			fmt.Fprintf(w, "  %-20s %8d rows   %s\n", v.Name, rows, v.Def.String())
+		}
+		if s.Opt.NumViews() == 0 {
+			fmt.Fprintln(w, "  (no materialized views)")
+		}
+	case "\\advise":
+		s.advise(w)
+	case "\\stats":
+		fmt.Fprintf(w, "  view-matching invocations: %d\n", s.Stats.Invocations)
+		fmt.Fprintf(w, "  candidates checked:        %d\n", s.Stats.CandidatesChecked)
+		fmt.Fprintf(w, "  substitutes produced:      %d\n", s.Stats.SubstitutesProduced)
+		fmt.Fprintf(w, "  time in view matching:     %v\n", s.Stats.ViewMatchTime)
+	default:
+		fmt.Fprintln(w, "  commands: \\views \\stats \\advise \\quit")
+	}
+	return true
+}
+
+// advise recommends materialized views for the queries run so far.
+func (s *Session) advise(w io.Writer) {
+	if len(s.history) == 0 {
+		fmt.Fprintln(w, "  no queries yet; run some SELECTs first")
+		return
+	}
+	recs, err := advisor.Recommend(s.DB.Catalog, s.history, advisor.Config{MaxViews: 3})
+	if err != nil {
+		fmt.Fprintln(w, "  error:", err)
+		return
+	}
+	if len(recs) == 0 {
+		fmt.Fprintln(w, "  no beneficial views found for this session's queries")
+		return
+	}
+	for _, r := range recs {
+		fmt.Fprintf(w, "  -- est. %.0f rows, saves %.0f cost units over %d quer%s\n",
+			r.Rows, r.Benefit, len(r.Queries), plural(len(r.Queries)))
+		fmt.Fprintf(w, "  CREATE VIEW %s WITH SCHEMABINDING AS %s;\n", r.Name, r.Def.String())
+	}
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return "y"
+	}
+	return "ies"
+}

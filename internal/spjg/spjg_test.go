@@ -1,0 +1,393 @@
+package spjg
+
+import (
+	"strings"
+	"testing"
+
+	"matview/internal/catalog"
+	"matview/internal/expr"
+	"matview/internal/sqlvalue"
+	"matview/internal/tpch"
+)
+
+var cat = tpch.NewCatalog(0.5)
+
+func tref(name string) TableRef {
+	t := cat.Table(name)
+	if t == nil {
+		panic("unknown table " + name)
+	}
+	return TableRef{Table: t}
+}
+
+// example2Query builds the paper's Example 2 query:
+//
+//	SELECT l_orderkey, o_custkey, l_partkey, l_quantity*l_extendedprice
+//	FROM lineitem, orders, part
+//	WHERE l_orderkey = o_orderkey AND l_partkey = p_partkey
+//	  AND l_partkey >= 150 AND l_partkey <= 160
+//	  AND o_custkey = 123 AND o_orderdate = l_shipdate
+//	  AND p_name LIKE '%abc%'
+//	  AND l_quantity*l_extendedprice > 100
+//
+// Table instances: 0 = lineitem, 1 = orders, 2 = part.
+func example2Query() *Query {
+	l, o, p := 0, 1, 2
+	where := expr.NewAnd(
+		expr.Eq(expr.Col(l, tpch.LOrderkey), expr.Col(o, tpch.OOrderkey)),
+		expr.Eq(expr.Col(l, tpch.LPartkey), expr.Col(p, tpch.PPartkey)),
+		expr.NewCmp(expr.GE, expr.Col(l, tpch.LPartkey), expr.CInt(150)),
+		expr.NewCmp(expr.LE, expr.Col(l, tpch.LPartkey), expr.CInt(160)),
+		expr.Eq(expr.Col(o, tpch.OCustkey), expr.CInt(123)),
+		expr.Eq(expr.Col(o, tpch.OOrderdate), expr.Col(l, tpch.LShipdate)),
+		expr.Like{E: expr.Col(p, tpch.PName), Pattern: expr.CStr("%abc%")},
+		expr.NewCmp(expr.GT,
+			expr.NewArith(expr.Mul, expr.Col(l, tpch.LQuantity), expr.Col(l, tpch.LExtendedprice)),
+			expr.CInt(100)),
+	)
+	return &Query{
+		Tables: []TableRef{tref("lineitem"), tref("orders"), tref("part")},
+		Where:  where,
+		Outputs: []OutputColumn{
+			{Name: "l_orderkey", Expr: expr.Col(l, tpch.LOrderkey)},
+			{Name: "o_custkey", Expr: expr.Col(o, tpch.OCustkey)},
+			{Name: "l_partkey", Expr: expr.Col(l, tpch.LPartkey)},
+			{Name: "gross", Expr: expr.NewArith(expr.Mul, expr.Col(l, tpch.LQuantity), expr.Col(l, tpch.LExtendedprice))},
+		},
+	}
+}
+
+func TestValidateGood(t *testing.T) {
+	q := example2Query()
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if q.IsAggregate() {
+		t.Error("SPJ query reported aggregate")
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	base := example2Query()
+
+	q := *base
+	q.Tables = nil
+	if err := q.Validate(); err == nil {
+		t.Error("empty FROM accepted")
+	}
+
+	q = *base
+	q.Outputs = nil
+	if err := q.Validate(); err == nil {
+		t.Error("empty output list accepted")
+	}
+
+	q = *base
+	q.Outputs = []OutputColumn{{Expr: expr.Col(9, 0)}}
+	if err := q.Validate(); err == nil {
+		t.Error("out-of-range table index accepted")
+	}
+
+	q = *base
+	q.Outputs = []OutputColumn{{Expr: expr.Col(0, 99)}}
+	if err := q.Validate(); err == nil {
+		t.Error("out-of-range column index accepted")
+	}
+
+	q = *base
+	q.Outputs = []OutputColumn{{}}
+	if err := q.Validate(); err == nil {
+		t.Error("empty output column accepted")
+	}
+
+	q = *base
+	q.Outputs = []OutputColumn{{Expr: expr.Col(0, 0), Agg: &Aggregate{Kind: AggCountStar}}}
+	if err := q.Validate(); err == nil {
+		t.Error("both-scalar-and-aggregate output accepted")
+	}
+
+	q = *base
+	q.Outputs = []OutputColumn{
+		{Name: "k", Expr: expr.Col(0, tpch.LOrderkey)},
+		{Name: "s", Agg: &Aggregate{Kind: AggSum, Arg: expr.Col(0, tpch.LQuantity)}},
+	}
+	q.GroupBy = nil
+	q.HasGroupBy = false
+	// Scalar output not in (empty) GROUP BY of an aggregate query.
+	if err := q.Validate(); err == nil {
+		t.Error("non-grouped scalar output in aggregate query accepted")
+	}
+
+	q = *base
+	q.Outputs = []OutputColumn{{Name: "s", Agg: &Aggregate{Kind: AggSum}}}
+	if err := q.Validate(); err == nil {
+		t.Error("SUM without argument accepted")
+	}
+}
+
+func TestValidateAsView(t *testing.T) {
+	l := 0
+	groupCol := expr.Col(l, tpch.LPartkey)
+	good := &Query{
+		Tables:  []TableRef{tref("lineitem")},
+		GroupBy: []expr.Expr{groupCol},
+		Outputs: []OutputColumn{
+			{Name: "l_partkey", Expr: groupCol},
+			{Name: "cnt", Agg: &Aggregate{Kind: AggCountStar}},
+			{Name: "qty", Agg: &Aggregate{Kind: AggSum, Arg: expr.Col(l, tpch.LQuantity)}},
+		},
+	}
+	if err := good.ValidateAsView(); err != nil {
+		t.Fatal(err)
+	}
+
+	noCount := &Query{
+		Tables:  []TableRef{tref("lineitem")},
+		GroupBy: []expr.Expr{groupCol},
+		Outputs: []OutputColumn{
+			{Name: "l_partkey", Expr: groupCol},
+			{Name: "qty", Agg: &Aggregate{Kind: AggSum, Arg: expr.Col(l, tpch.LQuantity)}},
+		},
+	}
+	if err := noCount.ValidateAsView(); err == nil {
+		t.Error("aggregation view without COUNT_BIG(*) accepted")
+	}
+
+	avgView := &Query{
+		Tables:  []TableRef{tref("lineitem")},
+		GroupBy: []expr.Expr{groupCol},
+		Outputs: []OutputColumn{
+			{Name: "l_partkey", Expr: groupCol},
+			{Name: "cnt", Agg: &Aggregate{Kind: AggCountStar}},
+			{Name: "a", Agg: &Aggregate{Kind: AggAvg, Arg: expr.Col(l, tpch.LQuantity)}},
+		},
+	}
+	if err := avgView.ValidateAsView(); err == nil {
+		t.Error("AVG in view accepted")
+	}
+
+	missingGroup := &Query{
+		Tables:  []TableRef{tref("lineitem")},
+		GroupBy: []expr.Expr{groupCol, expr.Col(l, tpch.LSuppkey)},
+		Outputs: []OutputColumn{
+			{Name: "l_partkey", Expr: groupCol},
+			{Name: "cnt", Agg: &Aggregate{Kind: AggCountStar}},
+		},
+	}
+	if err := missingGroup.ValidateAsView(); err == nil {
+		t.Error("grouping expression missing from output accepted")
+	}
+
+	// SPJ views need no count column.
+	spj := &Query{
+		Tables:  []TableRef{tref("lineitem")},
+		Outputs: []OutputColumn{{Name: "k", Expr: expr.Col(l, tpch.LOrderkey)}},
+	}
+	if err := spj.ValidateAsView(); err != nil {
+		t.Errorf("SPJ view rejected: %v", err)
+	}
+}
+
+func TestAnalyzeExample2(t *testing.T) {
+	q := example2Query()
+	a := Analyze(q, false)
+
+	// PE: two equijoins + o_orderdate = l_shipdate = 3 column equalities.
+	if len(a.PE) != 3 {
+		t.Errorf("PE count = %d, want 3", len(a.PE))
+	}
+	// PR: l_partkey >= 150, <= 160, o_custkey = 123.
+	if len(a.PR) != 3 {
+		t.Errorf("PR count = %d, want 3", len(a.PR))
+	}
+	// PU: LIKE and the product predicate.
+	if len(a.PU) != 2 {
+		t.Errorf("PU count = %d, want 2", len(a.PU))
+	}
+
+	// Query equivalence classes per the paper: {l_orderkey, o_orderkey},
+	// {l_partkey, p_partkey}, {o_orderdate, l_shipdate}.
+	lOrder := expr.ColRef{Tab: 0, Col: tpch.LOrderkey}
+	oOrder := expr.ColRef{Tab: 1, Col: tpch.OOrderkey}
+	lPart := expr.ColRef{Tab: 0, Col: tpch.LPartkey}
+	pPart := expr.ColRef{Tab: 2, Col: tpch.PPartkey}
+	oDate := expr.ColRef{Tab: 1, Col: tpch.OOrderdate}
+	lShip := expr.ColRef{Tab: 0, Col: tpch.LShipdate}
+	if !a.EC.Same(lOrder, oOrder) || !a.EC.Same(lPart, pPart) || !a.EC.Same(oDate, lShip) {
+		t.Error("expected equivalence classes missing")
+	}
+	if a.EC.Same(lOrder, lPart) {
+		t.Error("spurious equivalence")
+	}
+
+	// Ranges: {l_partkey,p_partkey} ∈ [150,160]; both members see it.
+	rg := a.RangeFor(pPart)
+	if !rg.Lo.Set || rg.Lo.Val.Int() != 150 || !rg.Hi.Set || rg.Hi.Val.Int() != 160 {
+		t.Errorf("partkey range = %v", rg)
+	}
+	// o_custkey = 123 point range.
+	if rg := a.RangeFor(expr.ColRef{Tab: 1, Col: tpch.OCustkey}); !rg.IsPoint() {
+		t.Errorf("custkey range = %v, want point", rg)
+	}
+	// Unconstrained column: universal.
+	if rg := a.RangeFor(expr.ColRef{Tab: 0, Col: tpch.LTax}); rg.Constrained() {
+		t.Errorf("l_tax range = %v, want universal", rg)
+	}
+	if a.Contradiction {
+		t.Error("no contradiction expected")
+	}
+	if len(a.ResidualFPs) != len(a.PU) {
+		t.Error("fingerprints not aligned with PU")
+	}
+}
+
+func TestAnalyzeContradiction(t *testing.T) {
+	q := &Query{
+		Tables: []TableRef{tref("lineitem")},
+		Where: expr.NewAnd(
+			expr.NewCmp(expr.GT, expr.Col(0, tpch.LPartkey), expr.CInt(100)),
+			expr.NewCmp(expr.LT, expr.Col(0, tpch.LPartkey), expr.CInt(50)),
+		),
+		Outputs: []OutputColumn{{Expr: expr.Col(0, tpch.LOrderkey)}},
+	}
+	if a := Analyze(q, false); !a.Contradiction {
+		t.Error("contradictory ranges not detected")
+	}
+}
+
+func TestAnalyzeRangeThroughEquivalence(t *testing.T) {
+	// l_partkey = p_partkey AND p_partkey < 100: the class range applies to
+	// both columns.
+	q := &Query{
+		Tables: []TableRef{tref("lineitem"), tref("part")},
+		Where: expr.NewAnd(
+			expr.Eq(expr.Col(0, tpch.LPartkey), expr.Col(1, tpch.PPartkey)),
+			expr.NewCmp(expr.LT, expr.Col(1, tpch.PPartkey), expr.CInt(100)),
+		),
+		Outputs: []OutputColumn{{Expr: expr.Col(0, tpch.LOrderkey)}},
+	}
+	a := Analyze(q, false)
+	rg := a.RangeFor(expr.ColRef{Tab: 0, Col: tpch.LPartkey})
+	if !rg.Hi.Set || rg.Hi.Val.Int() != 100 || !rg.Hi.Open {
+		t.Errorf("range through equivalence = %v", rg)
+	}
+}
+
+func TestAnalyzeWithCheckConstraints(t *testing.T) {
+	// Clone a tiny catalog with a check constraint p_size <= 50 and verify it
+	// becomes part of the analysis when enabled.
+	c := catalog.New()
+	tbl := &catalog.Table{
+		Name: "t",
+		Columns: []catalog.Column{
+			{Name: "a", Type: sqlvalue.KindInt, NotNull: true},
+		},
+		PrimaryKey: []int{0},
+		Checks: []catalog.CheckConstraint{
+			{Name: "ck", Expr: expr.NewCmp(expr.LE, expr.Col(0, 0), expr.CInt(50))},
+		},
+		RowCount: 10,
+	}
+	if err := c.Add(tbl); err != nil {
+		t.Fatal(err)
+	}
+	q := &Query{
+		Tables:  []TableRef{{Table: tbl}},
+		Outputs: []OutputColumn{{Expr: expr.Col(0, 0)}},
+	}
+	withChecks := Analyze(q, true)
+	if rg := withChecks.RangeFor(expr.ColRef{Tab: 0, Col: 0}); !rg.Hi.Set || rg.Hi.Val.Int() != 50 {
+		t.Errorf("check constraint not folded into range: %v", rg)
+	}
+	without := Analyze(q, false)
+	if rg := without.RangeFor(expr.ColRef{Tab: 0, Col: 0}); rg.Constrained() {
+		t.Errorf("check constraint applied when disabled: %v", rg)
+	}
+}
+
+func TestIncomparableRangePredicateBecomesResidual(t *testing.T) {
+	// l_partkey > 5 AND l_partkey < 'zzz': the string bound degrades to a
+	// residual conjunct instead of corrupting the range.
+	q := &Query{
+		Tables: []TableRef{tref("lineitem")},
+		Where: expr.NewAnd(
+			expr.NewCmp(expr.GT, expr.Col(0, tpch.LPartkey), expr.CInt(5)),
+			expr.NewCmp(expr.LT, expr.Col(0, tpch.LPartkey), expr.CStr("zzz")),
+		),
+		Outputs: []OutputColumn{{Expr: expr.Col(0, tpch.LOrderkey)}},
+	}
+	a := Analyze(q, false)
+	if len(a.PU) != 1 {
+		t.Errorf("PU = %d conjuncts, want 1 (degraded range)", len(a.PU))
+	}
+	rg := a.RangeFor(expr.ColRef{Tab: 0, Col: tpch.LPartkey})
+	if !rg.Lo.Set || rg.Hi.Set {
+		t.Errorf("range = %v, want only lower bound", rg)
+	}
+}
+
+func TestResolverAndString(t *testing.T) {
+	q := example2Query()
+	res := q.Resolver()
+	if got := res(expr.ColRef{Tab: 0, Col: tpch.LOrderkey}); got != "lineitem.l_orderkey" {
+		t.Errorf("resolver = %q", got)
+	}
+	if got := res(expr.ColRef{Tab: 99, Col: 0}); got != "t99.c0" {
+		t.Errorf("out-of-range resolver = %q", got)
+	}
+	s := q.String()
+	for _, frag := range []string{"SELECT", "FROM lineitem, orders, part", "WHERE", "LIKE"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() missing %q: %s", frag, s)
+		}
+	}
+}
+
+func TestStringWithGroupBy(t *testing.T) {
+	l := 0
+	q := &Query{
+		Tables:  []TableRef{tref("lineitem")},
+		GroupBy: []expr.Expr{expr.Col(l, tpch.LPartkey)},
+		Outputs: []OutputColumn{
+			{Name: "l_partkey", Expr: expr.Col(l, tpch.LPartkey)},
+			{Name: "cnt", Agg: &Aggregate{Kind: AggCountStar}},
+			{Name: "s", Agg: &Aggregate{Kind: AggSum, Arg: expr.Col(l, tpch.LQuantity)}},
+		},
+	}
+	s := q.String()
+	for _, frag := range []string{"GROUP BY lineitem.l_partkey", "COUNT_BIG(*)", "SUM(lineitem.l_quantity)"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() missing %q: %s", frag, s)
+		}
+	}
+}
+
+func TestSourceTableMultiset(t *testing.T) {
+	q := &Query{
+		Tables: []TableRef{
+			tref("customer"), tref("nation"),
+			{Table: cat.Table("nation"), Alias: "n2"},
+		},
+		Outputs: []OutputColumn{{Expr: expr.Col(0, 0)}},
+	}
+	got := q.SourceTableMultiset()
+	want := []string{"customer#0", "nation#0", "nation#1"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("multiset[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIsAggregateScalarAgg(t *testing.T) {
+	q := &Query{
+		Tables:  []TableRef{tref("lineitem")},
+		Outputs: []OutputColumn{{Name: "c", Agg: &Aggregate{Kind: AggCountStar}}},
+	}
+	if !q.IsAggregate() {
+		t.Error("scalar aggregate query not detected")
+	}
+	if err := q.Validate(); err != nil {
+		t.Errorf("scalar aggregate invalid: %v", err)
+	}
+}

@@ -1,0 +1,98 @@
+package sqlparser
+
+import (
+	"testing"
+
+	"matview/internal/expr"
+	"matview/internal/sqlvalue"
+)
+
+func TestParseInsert(t *testing.T) {
+	st := mustParse(t, `
+		INSERT INTO region VALUES
+			(7, 'ATLANTIS', 'sunken'),
+			(8, 'LEMURIA', NULL)`)
+	if st.Insert == nil || st.Query != nil {
+		t.Fatalf("statement = %+v", st)
+	}
+	ins := st.Insert
+	if ins.Table != "region" || len(ins.Rows) != 2 {
+		t.Fatalf("insert = %+v", ins)
+	}
+	if ins.Rows[0][0].Int() != 7 || ins.Rows[0][1].Str() != "ATLANTIS" {
+		t.Fatalf("row 0 = %v", ins.Rows[0])
+	}
+	if !ins.Rows[1][2].IsNull() {
+		t.Fatalf("row 1 comment = %v, want NULL", ins.Rows[1][2])
+	}
+}
+
+func TestParseInsertExpressionsAndDates(t *testing.T) {
+	st := mustParse(t, `INSERT INTO region VALUES (2+3, 'X', 'y')`)
+	if st.Insert.Rows[0][0].Int() != 5 {
+		t.Fatalf("computed literal = %v", st.Insert.Rows[0][0])
+	}
+	st2 := mustParse(t, `
+		INSERT INTO orders VALUES
+		(1, 2, 'O', 100.5, DATE '1995-01-01', '1-URGENT', 'Clerk#1', 0, 'c')`)
+	if st2.Insert.Rows[0][4].Kind() != sqlvalue.KindDate {
+		t.Fatalf("date literal kind = %v", st2.Insert.Rows[0][4].Kind())
+	}
+}
+
+func TestParseInsertErrors(t *testing.T) {
+	mustFail(t, "INSERT INTO ghost VALUES (1)", "unknown table")
+	mustFail(t, "INSERT INTO region VALUES (1, 'x')", "3 columns")
+	mustFail(t, "INSERT INTO region VALUES (r_name, 'x', 'y')", "unknown column")
+	mustFail(t, "INSERT region VALUES (1, 'x', 'y')", "expected INTO")
+}
+
+func TestParseDelete(t *testing.T) {
+	st := mustParse(t, "DELETE FROM orders WHERE o_totalprice > 1000 AND o_custkey = 5")
+	if st.Delete == nil || st.Delete.Table != "orders" {
+		t.Fatalf("statement = %+v", st)
+	}
+	and, ok := st.Delete.Where.(expr.And)
+	if !ok || len(and.Args) != 2 {
+		t.Fatalf("where = %v", st.Delete.Where)
+	}
+	// Column resolution is against the target table, Tab 0.
+	for _, c := range expr.Columns(st.Delete.Where) {
+		if c.Tab != 0 {
+			t.Fatalf("delete predicate column = %v", c)
+		}
+	}
+	// Unconditional delete.
+	st2 := mustParse(t, "DELETE FROM region")
+	if st2.Delete.Where != nil {
+		t.Fatalf("where = %v", st2.Delete.Where)
+	}
+}
+
+func TestParseDeleteErrors(t *testing.T) {
+	mustFail(t, "DELETE FROM ghost", "unknown table")
+	mustFail(t, "DELETE orders", "expected FROM")
+	mustFail(t, "DELETE FROM orders WHERE nope = 1", "unknown column")
+}
+
+func TestParseCreateIndex(t *testing.T) {
+	st := mustParse(t, "CREATE INDEX idx1 ON my_view (l_partkey, l_suppkey)")
+	ci := st.CreateIndex
+	if ci == nil || ci.Name != "idx1" || ci.Target != "my_view" || ci.Unique {
+		t.Fatalf("statement = %+v", ci)
+	}
+	if len(ci.Columns) != 2 || ci.Columns[0] != "l_partkey" {
+		t.Fatalf("columns = %v", ci.Columns)
+	}
+	st2 := mustParse(t, "CREATE UNIQUE INDEX pk ON v (k)")
+	if !st2.CreateIndex.Unique {
+		t.Fatal("UNIQUE not parsed")
+	}
+}
+
+func TestParseCreateIndexErrors(t *testing.T) {
+	mustFail(t, "CREATE INDEX ON v (k)", "expected ON")
+	mustFail(t, "CREATE INDEX i v (k)", "expected ON")
+	mustFail(t, "CREATE INDEX i ON v ()", "expected column name")
+	mustFail(t, "CREATE UNIQUE VIEW v AS SELECT r_name FROM region", "expected INDEX")
+}

@@ -1,0 +1,126 @@
+// Package sqlparser parses the SQL subset the system supports — single-block
+// SELECT statements with selections, inner joins expressed in the WHERE
+// clause, an optional GROUP BY, and CREATE VIEW wrappers (§2's indexable-view
+// class) — into normalized spjg queries. It exists so that examples, the
+// shell, and tests can express views and queries as SQL text the way the
+// paper does.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol  // ( ) , * + - / .
+	tokCompare // = <> < <= > >=
+)
+
+type token struct {
+	kind tokKind
+	text string // identifiers lowercased; keywords matched case-insensitively
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(c):
+			for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokIdent, text: strings.ToLower(l.src[start:l.pos]), pos: start})
+		case c >= '0' && c <= '9':
+			for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+		case c == '\'':
+			l.pos++
+			var sb strings.Builder
+			for {
+				if l.pos >= len(l.src) {
+					return nil, fmt.Errorf("sqlparser: unterminated string at %d", start)
+				}
+				if l.src[l.pos] == '\'' {
+					if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+						sb.WriteByte('\'')
+						l.pos += 2
+						continue
+					}
+					l.pos++
+					break
+				}
+				sb.WriteByte(l.src[l.pos])
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokString, text: sb.String(), pos: start})
+		case c == '<' || c == '>' || c == '=' || c == '!':
+			l.pos++
+			op := string(c)
+			if l.pos < len(l.src) && (l.src[l.pos] == '=' || (c == '<' && l.src[l.pos] == '>')) {
+				op += string(l.src[l.pos])
+				l.pos++
+			}
+			if op == "!=" {
+				op = "<>"
+			}
+			if op == "!" {
+				return nil, fmt.Errorf("sqlparser: unexpected '!' at %d", start)
+			}
+			l.toks = append(l.toks, token{kind: tokCompare, text: op, pos: start})
+		case strings.ContainsRune("(),*+-/.", rune(c)):
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: start})
+		default:
+			return nil, fmt.Errorf("sqlparser: unexpected character %q at %d", c, start)
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// -- line comments
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

@@ -1,0 +1,364 @@
+// Package sqlvalue defines the SQL value domain used throughout the system:
+// typed scalar values with NULL, three-valued comparison, and arithmetic.
+//
+// The view-matching algorithm itself never evaluates values at run time, but
+// the execution engine (used to validate that substitute plans produce the
+// same result as the original query), the range-subsumption test (which
+// compares predicate constants), and the data generator all do.
+package sqlvalue
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind identifies the runtime type of a Value.
+type Kind uint8
+
+// The supported value kinds. Dates are stored as days since the Unix epoch,
+// which is sufficient for TPC-H-style workloads and keeps comparison integral.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindDate
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		return "BOOLEAN"
+	case KindInt:
+		return "BIGINT"
+	case KindFloat:
+		return "DOUBLE"
+	case KindString:
+		return "VARCHAR"
+	case KindDate:
+		return "DATE"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single SQL scalar value. The zero value is SQL NULL.
+type Value struct {
+	kind Kind
+	i    int64   // KindBool (0/1), KindInt, KindDate (days since epoch)
+	f    float64 // KindFloat
+	s    string  // KindString
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// NewBool returns a boolean value.
+func NewBool(b bool) Value {
+	v := Value{kind: KindBool}
+	if b {
+		v.i = 1
+	}
+	return v
+}
+
+// NewInt returns a BIGINT value.
+func NewInt(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// NewFloat returns a DOUBLE value.
+func NewFloat(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// NewString returns a VARCHAR value.
+func NewString(s string) Value { return Value{kind: KindString, s: s} }
+
+// NewDate returns a DATE value holding the given number of days since
+// 1970-01-01.
+func NewDate(days int64) Value { return Value{kind: KindDate, i: days} }
+
+// NewDateYMD returns a DATE value for the given calendar date.
+func NewDateYMD(year int, month time.Month, day int) Value {
+	t := time.Date(year, month, day, 0, 0, 0, 0, time.UTC)
+	return NewDate(t.Unix() / 86400)
+}
+
+// Kind reports the value's runtime type.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Bool returns the boolean payload. It panics if the value is not a boolean.
+func (v Value) Bool() bool {
+	v.mustBe(KindBool)
+	return v.i != 0
+}
+
+// Int returns the integer payload. It panics if the value is not an integer.
+func (v Value) Int() int64 {
+	v.mustBe(KindInt)
+	return v.i
+}
+
+// Float returns the float payload. It panics if the value is not a float.
+func (v Value) Float() float64 {
+	v.mustBe(KindFloat)
+	return v.f
+}
+
+// Str returns the string payload. It panics if the value is not a string.
+func (v Value) Str() string {
+	v.mustBe(KindString)
+	return v.s
+}
+
+// DateDays returns the date payload as days since the epoch. It panics if the
+// value is not a date.
+func (v Value) DateDays() int64 {
+	v.mustBe(KindDate)
+	return v.i
+}
+
+func (v Value) mustBe(k Kind) {
+	if v.kind != k {
+		panic(fmt.Sprintf("sqlvalue: %s used as %s", v.kind, k))
+	}
+}
+
+// AsFloat converts a numeric value to float64. ok is false for non-numeric
+// values (including NULL).
+func (v Value) AsFloat() (f float64, ok bool) {
+	switch v.kind {
+	case KindInt, KindDate:
+		return float64(v.i), true
+	case KindFloat:
+		return v.f, true
+	default:
+		return 0, false
+	}
+}
+
+// IsNumeric reports whether the value is of a numeric kind (INT, FLOAT or
+// DATE; dates compare and subtract as integers).
+func (v Value) IsNumeric() bool {
+	return v.kind == KindInt || v.kind == KindFloat || v.kind == KindDate
+}
+
+// String renders the value as SQL literal text.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		if v.i != 0 {
+			return "TRUE"
+		}
+		return "FALSE"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+	case KindDate:
+		t := time.Unix(v.i*86400, 0).UTC()
+		return t.Format("'2006-01-02'")
+	default:
+		return fmt.Sprintf("Value(kind=%d)", v.kind)
+	}
+}
+
+// Compare returns -1, 0 or +1 ordering a before, equal to, or after b, and
+// ok=false when the two values are incomparable (either is NULL, or the kinds
+// are incompatible). Int, Float and Date values compare numerically with the
+// usual coercions; strings compare lexicographically; booleans order
+// FALSE < TRUE.
+func Compare(a, b Value) (cmp int, ok bool) {
+	if a.kind == KindNull || b.kind == KindNull {
+		return 0, false
+	}
+	if a.IsNumeric() && b.IsNumeric() {
+		// Pure-integer comparison avoids float rounding on big keys.
+		if a.kind != KindFloat && b.kind != KindFloat {
+			return cmpOrdered(a.i, b.i), true
+		}
+		af, _ := a.AsFloat()
+		bf, _ := b.AsFloat()
+		return cmpOrdered(af, bf), true
+	}
+	if a.kind != b.kind {
+		return 0, false
+	}
+	switch a.kind {
+	case KindString:
+		return strings.Compare(a.s, b.s), true
+	case KindBool:
+		return cmpOrdered(a.i, b.i), true
+	default:
+		return 0, false
+	}
+}
+
+func cmpOrdered[T int64 | float64](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether two values are equal under SQL comparison semantics
+// (NULL is equal to nothing, including NULL).
+func Equal(a, b Value) bool {
+	c, ok := Compare(a, b)
+	return ok && c == 0
+}
+
+// Identical reports whether two values are the same value, treating NULL as
+// identical to NULL. This is grouping/key semantics, not predicate semantics.
+func Identical(a, b Value) bool {
+	if a.kind == KindNull || b.kind == KindNull {
+		return a.kind == b.kind
+	}
+	c, ok := Compare(a, b)
+	return ok && c == 0
+}
+
+// Key returns a string usable as a hash key such that Identical(a, b) iff
+// a.Key() == b.Key() for values of the same kind family. Used by hash joins
+// and hash aggregation.
+func (v Value) Key() string {
+	switch v.kind {
+	case KindNull:
+		return "\x00N"
+	case KindBool, KindInt, KindDate:
+		return "\x01" + strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		if v.f == math.Trunc(v.f) && math.Abs(v.f) < 1e15 {
+			// Integral floats share keys with ints so mixed-type join
+			// columns group correctly.
+			return "\x01" + strconv.FormatInt(int64(v.f), 10)
+		}
+		return "\x02" + strconv.FormatFloat(v.f, 'b', -1, 64)
+	case KindString:
+		return "\x03" + v.s
+	default:
+		return "\x04"
+	}
+}
+
+// Arithmetic errors.
+var errNonNumeric = fmt.Errorf("sqlvalue: arithmetic on non-numeric value")
+
+// Add returns a + b with SQL NULL propagation.
+func Add(a, b Value) (Value, error) { return arith(a, b, '+') }
+
+// Sub returns a - b with SQL NULL propagation.
+func Sub(a, b Value) (Value, error) { return arith(a, b, '-') }
+
+// Mul returns a * b with SQL NULL propagation.
+func Mul(a, b Value) (Value, error) { return arith(a, b, '*') }
+
+// Div returns a / b with SQL NULL propagation. Division by zero yields NULL
+// (rather than an error) to match the forgiving behaviour needed by random
+// workloads.
+func Div(a, b Value) (Value, error) { return arith(a, b, '/') }
+
+func arith(a, b Value, op byte) (Value, error) {
+	if a.kind == KindNull || b.kind == KindNull {
+		return Null, nil
+	}
+	if !a.IsNumeric() || !b.IsNumeric() {
+		return Null, errNonNumeric
+	}
+	if a.kind == KindInt && b.kind == KindInt && op != '/' {
+		switch op {
+		case '+':
+			return NewInt(a.i + b.i), nil
+		case '-':
+			return NewInt(a.i - b.i), nil
+		case '*':
+			return NewInt(a.i * b.i), nil
+		}
+	}
+	af, _ := a.AsFloat()
+	bf, _ := b.AsFloat()
+	switch op {
+	case '+':
+		return NewFloat(af + bf), nil
+	case '-':
+		return NewFloat(af - bf), nil
+	case '*':
+		return NewFloat(af * bf), nil
+	case '/':
+		if bf == 0 {
+			return Null, nil
+		}
+		return NewFloat(af / bf), nil
+	}
+	return Null, fmt.Errorf("sqlvalue: unknown operator %q", op)
+}
+
+// Neg returns -a with SQL NULL propagation.
+func Neg(a Value) (Value, error) {
+	switch a.kind {
+	case KindNull:
+		return Null, nil
+	case KindInt:
+		return NewInt(-a.i), nil
+	case KindFloat:
+		return NewFloat(-a.f), nil
+	default:
+		return Null, errNonNumeric
+	}
+}
+
+// Like implements the SQL LIKE operator with % and _ wildcards. NULL inputs
+// yield unknown (ok=false).
+func Like(s, pattern Value) (match bool, ok bool) {
+	if s.kind == KindNull || pattern.kind == KindNull {
+		return false, false
+	}
+	if s.kind != KindString || pattern.kind != KindString {
+		return false, false
+	}
+	return likeMatch(s.s, pattern.s), true
+}
+
+// likeMatch matches str against a SQL LIKE pattern using an iterative
+// two-pointer algorithm (the classic wildcard-matching approach), linear in
+// the common case.
+func likeMatch(str, pat string) bool {
+	si, pi := 0, 0
+	starIdx, matchIdx := -1, 0
+	for si < len(str) {
+		switch {
+		case pi < len(pat) && (pat[pi] == '_' || pat[pi] == str[si]):
+			si++
+			pi++
+		case pi < len(pat) && pat[pi] == '%':
+			starIdx = pi
+			matchIdx = si
+			pi++
+		case starIdx >= 0:
+			pi = starIdx + 1
+			matchIdx++
+			si = matchIdx
+		default:
+			return false
+		}
+	}
+	for pi < len(pat) && pat[pi] == '%' {
+		pi++
+	}
+	return pi == len(pat)
+}

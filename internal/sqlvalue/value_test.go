@@ -1,0 +1,296 @@
+package sqlvalue
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull:   "NULL",
+		KindBool:   "BOOLEAN",
+		KindInt:    "BIGINT",
+		KindFloat:  "DOUBLE",
+		KindString: "VARCHAR",
+		KindDate:   "DATE",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestZeroValueIsNull(t *testing.T) {
+	var v Value
+	if !v.IsNull() {
+		t.Fatal("zero Value must be NULL")
+	}
+	if v.Kind() != KindNull {
+		t.Fatalf("zero Value kind = %v", v.Kind())
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if !NewBool(true).Bool() || NewBool(false).Bool() {
+		t.Error("bool round trip failed")
+	}
+	if NewInt(-42).Int() != -42 {
+		t.Error("int round trip failed")
+	}
+	if NewFloat(3.25).Float() != 3.25 {
+		t.Error("float round trip failed")
+	}
+	if NewString("abc").Str() != "abc" {
+		t.Error("string round trip failed")
+	}
+	if NewDate(100).DateDays() != 100 {
+		t.Error("date round trip failed")
+	}
+}
+
+func TestNewDateYMD(t *testing.T) {
+	if d := NewDateYMD(1970, time.January, 1).DateDays(); d != 0 {
+		t.Errorf("epoch = %d days, want 0", d)
+	}
+	if d := NewDateYMD(1970, time.January, 2).DateDays(); d != 1 {
+		t.Errorf("epoch+1 = %d days, want 1", d)
+	}
+	// TPC-H date range sanity.
+	lo := NewDateYMD(1992, time.January, 1).DateDays()
+	hi := NewDateYMD(1998, time.December, 31).DateDays()
+	if hi-lo != 2556 {
+		t.Errorf("1992-01-01..1998-12-31 = %d days, want 2556", hi-lo)
+	}
+}
+
+func TestAccessorPanicsOnWrongKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic using string as int")
+		}
+	}()
+	_ = NewString("x").Int()
+}
+
+func TestCompare(t *testing.T) {
+	tests := []struct {
+		a, b Value
+		cmp  int
+		ok   bool
+	}{
+		{NewInt(1), NewInt(2), -1, true},
+		{NewInt(2), NewInt(2), 0, true},
+		{NewInt(3), NewInt(2), 1, true},
+		{NewInt(2), NewFloat(2.5), -1, true},
+		{NewFloat(2.5), NewInt(2), 1, true},
+		{NewFloat(2.0), NewInt(2), 0, true},
+		{NewDate(10), NewDate(20), -1, true},
+		{NewDate(10), NewInt(10), 0, true}, // dates are integral
+		{NewString("a"), NewString("b"), -1, true},
+		{NewString("b"), NewString("b"), 0, true},
+		{NewBool(false), NewBool(true), -1, true},
+		{Null, NewInt(1), 0, false},
+		{NewInt(1), Null, 0, false},
+		{Null, Null, 0, false},
+		{NewString("1"), NewInt(1), 0, false},
+	}
+	for _, tc := range tests {
+		cmp, ok := Compare(tc.a, tc.b)
+		if ok != tc.ok || (ok && cmp != tc.cmp) {
+			t.Errorf("Compare(%v, %v) = (%d, %v), want (%d, %v)",
+				tc.a, tc.b, cmp, ok, tc.cmp, tc.ok)
+		}
+	}
+}
+
+func TestCompareBigIntegersExact(t *testing.T) {
+	// Values beyond float64's integer precision must still compare exactly.
+	a := NewInt(1 << 60)
+	b := NewInt(1<<60 + 1)
+	if cmp, ok := Compare(a, b); !ok || cmp != -1 {
+		t.Errorf("Compare(2^60, 2^60+1) = (%d, %v), want (-1, true)", cmp, ok)
+	}
+}
+
+func TestEqualAndIdentical(t *testing.T) {
+	if Equal(Null, Null) {
+		t.Error("NULL must not Equal NULL")
+	}
+	if !Identical(Null, Null) {
+		t.Error("NULL must be Identical to NULL")
+	}
+	if !Equal(NewInt(5), NewFloat(5)) {
+		t.Error("5 must Equal 5.0")
+	}
+	if Identical(NewInt(5), Null) {
+		t.Error("5 must not be Identical to NULL")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	tests := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "NULL"},
+		{NewBool(true), "TRUE"},
+		{NewBool(false), "FALSE"},
+		{NewInt(7), "7"},
+		{NewFloat(1.5), "1.5"},
+		{NewString("o'brien"), "'o''brien'"},
+		{NewDateYMD(1995, time.March, 15), "'1995-03-15'"},
+	}
+	for _, tc := range tests {
+		if got := tc.v.String(); got != tc.want {
+			t.Errorf("%#v.String() = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestKeySemantics(t *testing.T) {
+	// Identical values must share keys; int/float integral values unify.
+	if NewInt(3).Key() != NewFloat(3).Key() {
+		t.Error("3 and 3.0 must share a hash key")
+	}
+	if NewInt(3).Key() == NewInt(4).Key() {
+		t.Error("3 and 4 must not share a hash key")
+	}
+	if Null.Key() == NewInt(0).Key() {
+		t.Error("NULL and 0 must not share a hash key")
+	}
+	if NewString("3").Key() == NewInt(3).Key() {
+		t.Error("'3' and 3 must not share a hash key")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	mustV := func(v Value, err error) Value {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if got := mustV(Add(NewInt(2), NewInt(3))); got.Int() != 5 {
+		t.Errorf("2+3 = %v", got)
+	}
+	if got := mustV(Sub(NewInt(2), NewInt(3))); got.Int() != -1 {
+		t.Errorf("2-3 = %v", got)
+	}
+	if got := mustV(Mul(NewInt(4), NewFloat(2.5))); got.Float() != 10 {
+		t.Errorf("4*2.5 = %v", got)
+	}
+	if got := mustV(Div(NewInt(7), NewInt(2))); got.Float() != 3.5 {
+		t.Errorf("7/2 = %v", got)
+	}
+	if got := mustV(Div(NewInt(7), NewInt(0))); !got.IsNull() {
+		t.Errorf("7/0 = %v, want NULL", got)
+	}
+	if got := mustV(Add(Null, NewInt(1))); !got.IsNull() {
+		t.Errorf("NULL+1 = %v, want NULL", got)
+	}
+	if _, err := Add(NewString("a"), NewInt(1)); err == nil {
+		t.Error("'a'+1 should error")
+	}
+	if got := mustV(Neg(NewInt(5))); got.Int() != -5 {
+		t.Errorf("-5 = %v", got)
+	}
+	if got := mustV(Neg(Null)); !got.IsNull() {
+		t.Errorf("-NULL = %v, want NULL", got)
+	}
+}
+
+func TestLike(t *testing.T) {
+	tests := []struct {
+		s, p  string
+		match bool
+	}{
+		{"steel", "%steel%", true},
+		{"stainless steel rod", "%steel%", true},
+		{"iron", "%steel%", false},
+		{"abc", "abc", true},
+		{"abc", "a_c", true},
+		{"abc", "a_d", false},
+		{"abc", "%", true},
+		{"", "%", true},
+		{"", "_", false},
+		{"abc", "ab", false},
+		{"abcdef", "a%c%f", true},
+		{"abcdef", "a%c%g", false},
+		{"aaa", "a%a", true},
+		{"mississippi", "%iss%ppi", true},
+	}
+	for _, tc := range tests {
+		got, ok := Like(NewString(tc.s), NewString(tc.p))
+		if !ok || got != tc.match {
+			t.Errorf("Like(%q, %q) = (%v, %v), want (%v, true)", tc.s, tc.p, got, ok, tc.match)
+		}
+	}
+	if _, ok := Like(Null, NewString("%")); ok {
+		t.Error("LIKE with NULL input must be unknown")
+	}
+}
+
+// Property: Compare is antisymmetric and Equal implies shared Key.
+func TestCompareProperties(t *testing.T) {
+	gen := func(r *rand.Rand) Value {
+		switch r.Intn(4) {
+		case 0:
+			return NewInt(int64(r.Intn(20) - 10))
+		case 1:
+			return NewFloat(float64(r.Intn(40))/4 - 5)
+		case 2:
+			return NewString(string(rune('a' + r.Intn(3))))
+		default:
+			return Null
+		}
+	}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a, b := gen(r), gen(r)
+		ab, okAB := Compare(a, b)
+		ba, okBA := Compare(b, a)
+		if okAB != okBA {
+			t.Fatalf("comparability not symmetric: %v vs %v", a, b)
+		}
+		if okAB && ab != -ba {
+			t.Fatalf("Compare not antisymmetric: %v vs %v: %d, %d", a, b, ab, ba)
+		}
+		if okAB && ab == 0 && a.Key() != b.Key() {
+			t.Fatalf("equal values with different keys: %v vs %v", a, b)
+		}
+	}
+}
+
+// Property: likeMatch('%'+s+'%') always matches any superstring of s.
+func TestLikeProperty(t *testing.T) {
+	f := func(pre, mid, post string) bool {
+		return likeMatch(pre+mid+post, "%"+escapeFree(mid)+"%") || hasWildcard(mid)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func hasWildcard(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '%' || s[i] == '_' {
+			return false // wildcards in mid make the property trivially true anyway
+		}
+	}
+	return false
+}
+
+func escapeFree(s string) string { return s }
+
+func TestArithNullPropagation(t *testing.T) {
+	for _, f := range []func(a, b Value) (Value, error){Add, Sub, Mul, Div} {
+		v, err := f(Null, Null)
+		if err != nil || !v.IsNull() {
+			t.Errorf("op(NULL,NULL) = (%v, %v), want (NULL, nil)", v, err)
+		}
+	}
+}

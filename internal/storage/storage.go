@@ -1,0 +1,269 @@
+// Package storage provides the in-memory storage engine: heap tables of
+// rows, hash indexes (the moral equivalent of SQL Server's unique clustered
+// index on a materialized view, §2), and materialized-view storage. The
+// view-matching algorithm itself never reads rows; storage exists so the
+// executor can run both original queries and substitutes and so tests can
+// verify that substitutes return identical results.
+package storage
+
+import (
+	"fmt"
+	"strings"
+
+	"matview/internal/catalog"
+	"matview/internal/sqlvalue"
+)
+
+// Row is one tuple.
+type Row []sqlvalue.Value
+
+// Clone returns a copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Table is a heap of rows conforming to a catalog table.
+type Table struct {
+	Meta *catalog.Table
+	Rows []Row
+
+	// indexes by a canonical column-list key.
+	indexes map[string]*Index
+}
+
+// Index is a hash index over a column list. Unique indexes reject duplicate
+// keys at build time.
+type Index struct {
+	Cols   []int
+	Unique bool
+	m      map[string][]int // key → row ordinals
+}
+
+func indexKey(cols []int) string {
+	var sb strings.Builder
+	for i, c := range cols {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", c)
+	}
+	return sb.String()
+}
+
+func rowKey(r Row, cols []int) string {
+	var sb strings.Builder
+	for _, c := range cols {
+		sb.WriteString(r[c].Key())
+		sb.WriteByte('\x1f')
+	}
+	return sb.String()
+}
+
+// Insert appends a row (which must have the right arity) and updates indexes.
+func (t *Table) Insert(r Row) error {
+	if len(r) != len(t.Meta.Columns) {
+		return fmt.Errorf("storage: row arity %d != %d columns of %s",
+			len(r), len(t.Meta.Columns), t.Meta.Name)
+	}
+	for i, col := range t.Meta.Columns {
+		if col.NotNull && r[i].IsNull() {
+			return fmt.Errorf("storage: NULL in NOT NULL column %s.%s", t.Meta.Name, col.Name)
+		}
+	}
+	ord := len(t.Rows)
+	t.Rows = append(t.Rows, r)
+	for _, idx := range t.indexes {
+		k := rowKey(r, idx.Cols)
+		if idx.Unique && len(idx.m[k]) > 0 {
+			t.Rows = t.Rows[:ord]
+			return fmt.Errorf("storage: duplicate key in unique index on %s", t.Meta.Name)
+		}
+		idx.m[k] = append(idx.m[k], ord)
+	}
+	return nil
+}
+
+// BuildIndex creates (or rebuilds) a hash index over cols.
+func (t *Table) BuildIndex(cols []int, unique bool) (*Index, error) {
+	idx := &Index{Cols: append([]int(nil), cols...), Unique: unique, m: map[string][]int{}}
+	for ord, r := range t.Rows {
+		k := rowKey(r, cols)
+		if unique && len(idx.m[k]) > 0 {
+			return nil, fmt.Errorf("storage: duplicate key building unique index on %s", t.Meta.Name)
+		}
+		idx.m[k] = append(idx.m[k], ord)
+	}
+	if t.indexes == nil {
+		t.indexes = map[string]*Index{}
+	}
+	t.indexes[indexKey(cols)] = idx
+	return idx, nil
+}
+
+// LookupIndex returns the index on exactly cols, or nil.
+func (t *Table) LookupIndex(cols []int) *Index {
+	if t.indexes == nil {
+		return nil
+	}
+	return t.indexes[indexKey(cols)]
+}
+
+// Probe returns the ordinals of rows whose cols equal the given values.
+func (idx *Index) Probe(vals Row) []int {
+	var sb strings.Builder
+	for _, v := range vals {
+		sb.WriteString(v.Key())
+		sb.WriteByte('\x1f')
+	}
+	return idx.m[sb.String()]
+}
+
+// MaterializedView stores the materialized rows of a view: one column per
+// view output, in output order, analogous to the clustered index that
+// materializes an indexed view (§2). Secondary indexes over output columns
+// can be added, mirroring SQL Server's CREATE INDEX on a view (Example 1).
+type MaterializedView struct {
+	Name     string
+	NumCols  int
+	Rows     []Row
+	RowCount int64 // convenience mirror of len(Rows)
+
+	indexes map[string]*Index
+}
+
+// BuildIndex creates (or rebuilds) a hash index over the view's output
+// columns.
+func (mv *MaterializedView) BuildIndex(cols []int, unique bool) (*Index, error) {
+	idx := &Index{Cols: append([]int(nil), cols...), Unique: unique, m: map[string][]int{}}
+	for ord, r := range mv.Rows {
+		k := rowKey(r, cols)
+		if unique && len(idx.m[k]) > 0 {
+			return nil, fmt.Errorf("storage: duplicate key building unique index on view %s", mv.Name)
+		}
+		idx.m[k] = append(idx.m[k], ord)
+	}
+	if mv.indexes == nil {
+		mv.indexes = map[string]*Index{}
+	}
+	mv.indexes[indexKey(cols)] = idx
+	return idx, nil
+}
+
+// LookupIndex returns the view index on exactly cols, or nil.
+func (mv *MaterializedView) LookupIndex(cols []int) *Index {
+	if mv.indexes == nil {
+		return nil
+	}
+	return mv.indexes[indexKey(cols)]
+}
+
+// RebuildIndexes refreshes every index after the view's rows changed (e.g.
+// incremental maintenance).
+func (mv *MaterializedView) RebuildIndexes() error {
+	for key, idx := range mv.indexes {
+		rebuilt, err := mv.BuildIndex(idx.Cols, idx.Unique)
+		if err != nil {
+			return fmt.Errorf("storage: rebuilding view index %s: %w", key, err)
+		}
+		mv.indexes[key] = rebuilt
+	}
+	return nil
+}
+
+// Database is a catalog plus table and view storage.
+type Database struct {
+	Catalog *catalog.Catalog
+	tables  map[string]*Table
+	views   map[string]*MaterializedView
+}
+
+// NewDatabase creates empty storage for every table in the catalog.
+func NewDatabase(cat *catalog.Catalog) *Database {
+	db := &Database{Catalog: cat, tables: map[string]*Table{}, views: map[string]*MaterializedView{}}
+	for _, t := range cat.Tables() {
+		db.tables[t.Name] = &Table{Meta: t}
+	}
+	return db
+}
+
+// Table returns the named table's storage, or nil.
+func (db *Database) Table(name string) *Table { return db.tables[name] }
+
+// PutView stores (or replaces) a materialized view's rows. Indexes declared
+// on a previous materialization of the same view are rebuilt over the new
+// rows.
+func (db *Database) PutView(name string, numCols int, rows []Row) *MaterializedView {
+	mv := &MaterializedView{Name: name, NumCols: numCols, Rows: rows, RowCount: int64(len(rows))}
+	if prev, ok := db.views[name]; ok {
+		for _, idx := range prev.indexes {
+			// A failing unique rebuild is a definition-level inconsistency;
+			// surface it lazily by dropping the index.
+			_, _ = mv.BuildIndex(idx.Cols, idx.Unique)
+		}
+	}
+	db.views[name] = mv
+	return mv
+}
+
+// View returns the named materialized view, or nil.
+func (db *Database) View(name string) *MaterializedView { return db.views[name] }
+
+// DropView removes a materialized view; it reports whether it existed.
+func (db *Database) DropView(name string) bool {
+	if _, ok := db.views[name]; !ok {
+		return false
+	}
+	delete(db.views, name)
+	return true
+}
+
+// DeleteWhere removes every row satisfying pred, returning the deleted rows.
+// Indexes are rebuilt afterwards.
+func (t *Table) DeleteWhere(pred func(Row) bool) ([]Row, error) {
+	var kept, deleted []Row
+	for _, r := range t.Rows {
+		if pred(r) {
+			deleted = append(deleted, r)
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	if len(deleted) == 0 {
+		return nil, nil
+	}
+	t.Rows = kept
+	for key, idx := range t.indexes {
+		rebuilt, err := t.BuildIndex(idx.Cols, idx.Unique)
+		if err != nil {
+			return nil, fmt.Errorf("storage: rebuilding index %s: %w", key, err)
+		}
+		t.indexes[key] = rebuilt
+	}
+	return deleted, nil
+}
+
+// Shadow returns a database that shares every table and view with db except
+// that the named table is replaced by a transient table holding only rows —
+// the standard trick for evaluating a view's delta query Q(T ← Δ) during
+// incremental maintenance.
+func (db *Database) Shadow(table string, rows []Row) *Database {
+	out := &Database{Catalog: db.Catalog, tables: map[string]*Table{}, views: db.views}
+	for name, t := range db.tables {
+		if name == table {
+			out.tables[name] = &Table{Meta: t.Meta, Rows: rows}
+		} else {
+			out.tables[name] = t
+		}
+	}
+	return out
+}
+
+// RefreshStats updates each catalog table's RowCount to the stored row count,
+// so the cost model sees actual sizes after loading.
+func (db *Database) RefreshStats() {
+	for name, t := range db.tables {
+		db.Catalog.Table(name).RowCount = int64(len(t.Rows))
+	}
+}

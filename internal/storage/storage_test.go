@@ -1,0 +1,230 @@
+package storage
+
+import (
+	"testing"
+
+	"matview/internal/catalog"
+	"matview/internal/sqlvalue"
+)
+
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	c := catalog.New()
+	if err := c.Add(&catalog.Table{
+		Name: "t",
+		Columns: []catalog.Column{
+			{Name: "id", Type: sqlvalue.KindInt, NotNull: true},
+			{Name: "grp", Type: sqlvalue.KindInt, NotNull: true},
+			{Name: "note", Type: sqlvalue.KindString},
+		},
+		PrimaryKey: []int{0},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestInsertAndArity(t *testing.T) {
+	db := NewDatabase(testCatalog(t))
+	tb := db.Table("t")
+	if err := tb.Insert(Row{sqlvalue.NewInt(1), sqlvalue.NewInt(10), sqlvalue.NewString("a")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Insert(Row{sqlvalue.NewInt(1)}); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if err := tb.Insert(Row{sqlvalue.Null, sqlvalue.NewInt(1), sqlvalue.Null}); err == nil {
+		t.Fatal("NULL in NOT NULL column accepted")
+	}
+	if err := tb.Insert(Row{sqlvalue.NewInt(2), sqlvalue.NewInt(10), sqlvalue.Null}); err != nil {
+		t.Fatalf("NULL in nullable column rejected: %v", err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestUniqueIndex(t *testing.T) {
+	db := NewDatabase(testCatalog(t))
+	tb := db.Table("t")
+	for i := int64(1); i <= 3; i++ {
+		if err := tb.Insert(Row{sqlvalue.NewInt(i), sqlvalue.NewInt(i % 2), sqlvalue.Null}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	idx, err := tb.BuildIndex([]int{0}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := idx.Probe(Row{sqlvalue.NewInt(2)}); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("probe = %v", got)
+	}
+	if got := idx.Probe(Row{sqlvalue.NewInt(99)}); len(got) != 0 {
+		t.Fatalf("probe(99) = %v", got)
+	}
+	// Duplicate key now rejected on insert.
+	if err := tb.Insert(Row{sqlvalue.NewInt(2), sqlvalue.NewInt(0), sqlvalue.Null}); err == nil {
+		t.Fatal("duplicate key accepted by unique index")
+	}
+	// Failed insert must not leave the row behind.
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows after failed insert = %d", len(tb.Rows))
+	}
+	// Building a unique index over duplicate data fails.
+	if _, err := tb.BuildIndex([]int{1}, true); err == nil {
+		t.Fatal("unique index over duplicates built")
+	}
+	// Non-unique index over the same data is fine.
+	gidx, err := tb.BuildIndex([]int{1}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := gidx.Probe(Row{sqlvalue.NewInt(1)}); len(got) != 2 {
+		t.Fatalf("grp=1 probe = %v", got)
+	}
+	if tb.LookupIndex([]int{1}) != gidx {
+		t.Fatal("LookupIndex failed")
+	}
+	if tb.LookupIndex([]int{2}) != nil {
+		t.Fatal("LookupIndex invented an index")
+	}
+}
+
+func TestIndexMaintainedOnInsert(t *testing.T) {
+	db := NewDatabase(testCatalog(t))
+	tb := db.Table("t")
+	if _, err := tb.BuildIndex([]int{0}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Insert(Row{sqlvalue.NewInt(7), sqlvalue.NewInt(1), sqlvalue.Null}); err != nil {
+		t.Fatal(err)
+	}
+	idx := tb.LookupIndex([]int{0})
+	if got := idx.Probe(Row{sqlvalue.NewInt(7)}); len(got) != 1 {
+		t.Fatalf("index not maintained: %v", got)
+	}
+}
+
+func TestViews(t *testing.T) {
+	db := NewDatabase(testCatalog(t))
+	mv := db.PutView("v", 2, []Row{{sqlvalue.NewInt(1), sqlvalue.NewInt(2)}})
+	if db.View("v") != mv || mv.RowCount != 1 || mv.NumCols != 2 {
+		t.Fatal("view storage broken")
+	}
+	if db.View("missing") != nil {
+		t.Fatal("phantom view")
+	}
+	if !db.DropView("v") || db.DropView("v") {
+		t.Fatal("drop semantics wrong")
+	}
+}
+
+func TestRefreshStats(t *testing.T) {
+	db := NewDatabase(testCatalog(t))
+	tb := db.Table("t")
+	for i := int64(0); i < 5; i++ {
+		if err := tb.Insert(Row{sqlvalue.NewInt(i), sqlvalue.NewInt(0), sqlvalue.Null}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.RefreshStats()
+	if got := db.Catalog.Table("t").RowCount; got != 5 {
+		t.Fatalf("RowCount = %d", got)
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{sqlvalue.NewInt(1)}
+	c := r.Clone()
+	c[0] = sqlvalue.NewInt(2)
+	if r[0].Int() != 1 {
+		t.Fatal("Clone aliased")
+	}
+}
+
+func TestViewIndexes(t *testing.T) {
+	db := NewDatabase(testCatalog(t))
+	mv := db.PutView("v", 2, []Row{
+		{sqlvalue.NewInt(1), sqlvalue.NewInt(10)},
+		{sqlvalue.NewInt(2), sqlvalue.NewInt(20)},
+	})
+	idx, err := mv.BuildIndex([]int{0}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := idx.Probe(Row{sqlvalue.NewInt(2)}); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("probe = %v", got)
+	}
+	if mv.LookupIndex([]int{0}) == nil || mv.LookupIndex([]int{1}) != nil {
+		t.Fatal("LookupIndex wrong")
+	}
+	// Mutate rows then rebuild: the index must see the change.
+	mv.Rows = append(mv.Rows, Row{sqlvalue.NewInt(3), sqlvalue.NewInt(30)})
+	if err := mv.RebuildIndexes(); err != nil {
+		t.Fatal(err)
+	}
+	if got := mv.LookupIndex([]int{0}).Probe(Row{sqlvalue.NewInt(3)}); len(got) != 1 {
+		t.Fatalf("rebuilt probe = %v", got)
+	}
+	// Re-materialization preserves declared indexes.
+	mv2 := db.PutView("v", 2, []Row{{sqlvalue.NewInt(9), sqlvalue.NewInt(90)}})
+	if mv2.LookupIndex([]int{0}) == nil {
+		t.Fatal("PutView dropped the declared index")
+	}
+	if got := mv2.LookupIndex([]int{0}).Probe(Row{sqlvalue.NewInt(9)}); len(got) != 1 {
+		t.Fatalf("replacement probe = %v", got)
+	}
+}
+
+func TestDeleteWhere(t *testing.T) {
+	db := NewDatabase(testCatalog(t))
+	tb := db.Table("t")
+	for i := int64(0); i < 6; i++ {
+		if err := tb.Insert(Row{sqlvalue.NewInt(i), sqlvalue.NewInt(i % 2), sqlvalue.Null}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tb.BuildIndex([]int{0}, true); err != nil {
+		t.Fatal(err)
+	}
+	deleted, err := tb.DeleteWhere(func(r Row) bool { return r[1].Int() == 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deleted) != 3 || len(tb.Rows) != 3 {
+		t.Fatalf("deleted %d, kept %d", len(deleted), len(tb.Rows))
+	}
+	// Index rebuilt: deleted keys gone, survivors probe correctly.
+	idx := tb.LookupIndex([]int{0})
+	if got := idx.Probe(Row{sqlvalue.NewInt(0)}); len(got) != 0 {
+		t.Fatalf("deleted key still indexed: %v", got)
+	}
+	if got := idx.Probe(Row{sqlvalue.NewInt(1)}); len(got) != 1 {
+		t.Fatalf("surviving key lost: %v", got)
+	}
+	// No matches: no-op.
+	if d, err := tb.DeleteWhere(func(Row) bool { return false }); err != nil || d != nil {
+		t.Fatalf("no-op delete = %v, %v", d, err)
+	}
+}
+
+func TestShadow(t *testing.T) {
+	db := NewDatabase(testCatalog(t))
+	tb := db.Table("t")
+	if err := tb.Insert(Row{sqlvalue.NewInt(1), sqlvalue.NewInt(0), sqlvalue.Null}); err != nil {
+		t.Fatal(err)
+	}
+	shadowRows := []Row{{sqlvalue.NewInt(99), sqlvalue.NewInt(9), sqlvalue.Null}}
+	sh := db.Shadow("t", shadowRows)
+	if len(sh.Table("t").Rows) != 1 || sh.Table("t").Rows[0][0].Int() != 99 {
+		t.Fatal("shadow table wrong")
+	}
+	// The original is untouched and views are shared.
+	if len(db.Table("t").Rows) != 1 || db.Table("t").Rows[0][0].Int() != 1 {
+		t.Fatal("shadow mutated the original")
+	}
+	db.PutView("v", 1, nil)
+	if sh.View("v") == nil {
+		t.Fatal("shadow must share views")
+	}
+}

@@ -1,0 +1,226 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"matview/internal/sqlvalue"
+	"matview/internal/storage"
+)
+
+// Generate populates a database with deterministic pseudo-random data shaped
+// like TPC-H at the catalog's scale: every foreign key references an existing
+// parent row, numeric columns stay within the catalog's min/max statistics,
+// and text columns embed keywords so LIKE predicates are selective but not
+// empty. It stands in for dbgen (see DESIGN.md, substitutions).
+func Generate(db *storage.Database, seed int64) error {
+	r := rand.New(rand.NewSource(seed))
+	cat := db.Catalog
+
+	nR := cat.Table("region").RowCount
+	nN := cat.Table("nation").RowCount
+	nS := cat.Table("supplier").RowCount
+	nP := cat.Table("part").RowCount
+	nPS := cat.Table("partsupp").RowCount
+	nC := cat.Table("customer").RowCount
+	nO := cat.Table("orders").RowCount
+	nL := cat.Table("lineitem").RowCount
+
+	words := []string{"steel", "copper", "brass", "linen", "silk", "tin", "nickel", "pearl", "ivory", "navy"}
+	word := func() string { return words[r.Intn(len(words))] }
+	comment := func(prefix string) sqlvalue.Value {
+		return sqlvalue.NewString(fmt.Sprintf("%s %s %s notes", prefix, word(), word()))
+	}
+	dlo, dhi := dateLo.DateDays(), dateHi.DateDays()
+	randDate := func() sqlvalue.Value {
+		return sqlvalue.NewDate(dlo + r.Int63n(dhi-dlo+1))
+	}
+	money := func(lo, hi float64) sqlvalue.Value {
+		v := lo + r.Float64()*(hi-lo)
+		return sqlvalue.NewFloat(float64(int64(v*100)) / 100)
+	}
+
+	ins := func(name string, row storage.Row) error {
+		if err := db.Table(name).Insert(row); err != nil {
+			return fmt.Errorf("tpch: %s: %w", name, err)
+		}
+		return nil
+	}
+
+	regionNames := []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	for i := int64(0); i < nR; i++ {
+		if err := ins("region", storage.Row{
+			sqlvalue.NewInt(i),
+			sqlvalue.NewString(regionNames[i%int64(len(regionNames))]),
+			comment("region"),
+		}); err != nil {
+			return err
+		}
+	}
+	for i := int64(0); i < nN; i++ {
+		if err := ins("nation", storage.Row{
+			sqlvalue.NewInt(i),
+			sqlvalue.NewString(fmt.Sprintf("NATION_%02d", i)),
+			sqlvalue.NewInt(i % nR),
+			comment("nation"),
+		}); err != nil {
+			return err
+		}
+	}
+	for i := int64(1); i <= nS; i++ {
+		if err := ins("supplier", storage.Row{
+			sqlvalue.NewInt(i),
+			sqlvalue.NewString(fmt.Sprintf("Supplier#%09d", i)),
+			sqlvalue.NewString(fmt.Sprintf("addr %s %d", word(), i)),
+			sqlvalue.NewInt(r.Int63n(nN)),
+			sqlvalue.NewString(fmt.Sprintf("27-%07d", i)),
+			money(-999.99, 9999.99),
+			comment("supplier"),
+		}); err != nil {
+			return err
+		}
+	}
+	containers := []string{"SM CASE", "LG BOX", "MED BAG", "JUMBO JAR", "WRAP PACK"}
+	types := []string{"ECONOMY", "STANDARD", "PROMO", "SMALL", "LARGE"}
+	for i := int64(1); i <= nP; i++ {
+		if err := ins("part", storage.Row{
+			sqlvalue.NewInt(i),
+			sqlvalue.NewString(fmt.Sprintf("%s %s part %d", word(), word(), i)),
+			sqlvalue.NewString(fmt.Sprintf("Manufacturer#%d", 1+i%5)),
+			sqlvalue.NewString(fmt.Sprintf("Brand#%d%d", 1+i%5, 1+(i/5)%5)),
+			sqlvalue.NewString(fmt.Sprintf("%s %s", types[r.Intn(len(types))], word())),
+			sqlvalue.NewInt(1 + r.Int63n(50)),
+			sqlvalue.NewString(containers[r.Intn(len(containers))]),
+			money(900, 2100),
+			comment("part"),
+		}); err != nil {
+			return err
+		}
+	}
+	// partsupp: each part gets nPS/nP suppliers (dedup within a part).
+	perPart := nPS / nP
+	if perPart < 1 {
+		perPart = 1
+	}
+	for p := int64(1); p <= nP; p++ {
+		seen := map[int64]bool{}
+		for k := int64(0); k < perPart; k++ {
+			s := 1 + r.Int63n(nS)
+			if seen[s] {
+				continue
+			}
+			seen[s] = true
+			if err := ins("partsupp", storage.Row{
+				sqlvalue.NewInt(p),
+				sqlvalue.NewInt(s),
+				sqlvalue.NewInt(1 + r.Int63n(9999)),
+				money(1, 1000),
+				comment("partsupp"),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	segments := []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	for i := int64(1); i <= nC; i++ {
+		if err := ins("customer", storage.Row{
+			sqlvalue.NewInt(i),
+			sqlvalue.NewString(fmt.Sprintf("Customer#%09d", i)),
+			sqlvalue.NewString(fmt.Sprintf("addr %s %d", word(), i)),
+			sqlvalue.NewInt(r.Int63n(nN)),
+			sqlvalue.NewString(fmt.Sprintf("13-%07d", i)),
+			money(-999.99, 9999.99),
+			sqlvalue.NewString(segments[r.Intn(len(segments))]),
+			comment("customer"),
+		}); err != nil {
+			return err
+		}
+	}
+	statuses := []string{"O", "F", "P"}
+	priorities := []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	orderKeys := make([]int64, 0, nO)
+	for i := int64(1); i <= nO; i++ {
+		// Sparse order keys as in TPC-H (keys up to 4x the count).
+		key := i*4 - r.Int63n(4)
+		orderKeys = append(orderKeys, key)
+		if err := ins("orders", storage.Row{
+			sqlvalue.NewInt(key),
+			sqlvalue.NewInt(1 + r.Int63n(nC)),
+			sqlvalue.NewString(statuses[r.Intn(len(statuses))]),
+			money(800, 600000),
+			randDate(),
+			sqlvalue.NewString(priorities[r.Intn(len(priorities))]),
+			sqlvalue.NewString(fmt.Sprintf("Clerk#%09d", 1+r.Int63n(1000))),
+			sqlvalue.NewInt(0),
+			comment("orders"),
+		}); err != nil {
+			return err
+		}
+	}
+	modes := []string{"AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB", "REG AIR"}
+	flags := []string{"R", "A", "N"}
+	instr := []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+	// Suppliers valid for a part (to respect the composite partsupp FK).
+	psTable := db.Table("partsupp")
+	suppliersOf := map[int64][]int64{}
+	for _, row := range psTable.Rows {
+		p := row[PsPartkey].Int()
+		suppliersOf[p] = append(suppliersOf[p], row[PsSuppkey].Int())
+	}
+	perOrder := nL / nO
+	if perOrder < 1 {
+		perOrder = 1
+	}
+	line := int64(0)
+	for oi := 0; line < nL; oi = (oi + 1) % len(orderKeys) {
+		okey := orderKeys[oi]
+		n := 1 + r.Int63n(2*perOrder)
+		if n > 7 {
+			n = 7 // TPC-H orders carry 1..7 lineitems
+		}
+		for j := int64(1); j <= n && line < nL; j++ {
+			p := 1 + r.Int63n(nP)
+			ss := suppliersOf[p]
+			if len(ss) == 0 {
+				continue
+			}
+			s := ss[r.Intn(len(ss))]
+			ship := randDate()
+			if err := ins("lineitem", storage.Row{
+				sqlvalue.NewInt(okey),
+				sqlvalue.NewInt(p),
+				sqlvalue.NewInt(s),
+				sqlvalue.NewInt(j),
+				sqlvalue.NewFloat(float64(1 + r.Intn(50))),
+				money(900, 105000),
+				sqlvalue.NewFloat(float64(r.Intn(11)) / 100),
+				sqlvalue.NewFloat(float64(r.Intn(9)) / 100),
+				sqlvalue.NewString(flags[r.Intn(len(flags))]),
+				sqlvalue.NewString([]string{"O", "F"}[r.Intn(2)]),
+				ship,
+				sqlvalue.NewDate(ship.DateDays() + r.Int63n(30)),
+				sqlvalue.NewDate(ship.DateDays() + r.Int63n(60)),
+				sqlvalue.NewString(instr[r.Intn(len(instr))]),
+				sqlvalue.NewString(modes[r.Intn(len(modes))]),
+				comment("lineitem"),
+			}); err != nil {
+				return err
+			}
+			line++
+		}
+	}
+
+	db.RefreshStats()
+	return nil
+}
+
+// NewDatabase builds catalog plus generated data in one call; the usual entry
+// point for examples and tests.
+func NewDatabase(sf float64, seed int64) (*storage.Database, error) {
+	cat := NewCatalog(sf)
+	db := storage.NewDatabase(cat)
+	if err := Generate(db, seed); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

@@ -1,0 +1,337 @@
+// Package tpch provides the TPC-H-style database substrate the paper's
+// experiments run against (§5): the eight-table schema with primary keys,
+// foreign keys and not-null constraints declared (the experiments use "TPC-H
+// at scale factor 0.5 … with primary keys and foreign keys defined"), and a
+// deterministic data generator standing in for dbgen.
+package tpch
+
+import (
+	"fmt"
+	"time"
+
+	"matview/internal/catalog"
+	"matview/internal/sqlvalue"
+)
+
+// Scale factors translate to row counts exactly as in the TPC-H
+// specification; SF 1 is 6 M lineitem rows.
+const (
+	RegionRows = 5
+	NationRows = 25
+)
+
+// Column ordinals for each table, in schema order. Exported so tests and
+// examples can build expressions without string lookups.
+const (
+	// region
+	RRegionkey = iota
+	RName
+	RComment
+)
+
+// nation column ordinals.
+const (
+	NNationkey = iota
+	NName
+	NRegionkey
+	NComment
+)
+
+// supplier column ordinals.
+const (
+	SSuppkey = iota
+	SName
+	SAddress
+	SNationkey
+	SPhone
+	SAcctbal
+	SComment
+)
+
+// part column ordinals.
+const (
+	PPartkey = iota
+	PName
+	PMfgr
+	PBrand
+	PType
+	PSize
+	PContainer
+	PRetailprice
+	PComment
+)
+
+// partsupp column ordinals.
+const (
+	PsPartkey = iota
+	PsSuppkey
+	PsAvailqty
+	PsSupplycost
+	PsComment
+)
+
+// customer column ordinals.
+const (
+	CCustkey = iota
+	CName
+	CAddress
+	CNationkey
+	CPhone
+	CAcctbal
+	CMktsegment
+	CComment
+)
+
+// orders column ordinals.
+const (
+	OOrderkey = iota
+	OCustkey
+	OOrderstatus
+	OTotalprice
+	OOrderdate
+	OOrderpriority
+	OClerk
+	OShippriority
+	OComment
+)
+
+// lineitem column ordinals.
+const (
+	LOrderkey = iota
+	LPartkey
+	LSuppkey
+	LLinenumber
+	LQuantity
+	LExtendedprice
+	LDiscount
+	LTax
+	LReturnflag
+	LLinestatus
+	LShipdate
+	LCommitdate
+	LReceiptdate
+	LShipinstruct
+	LShipmode
+	LComment
+)
+
+// Rows returns the TPC-H row counts for the given scale factor.
+func Rows(sf float64) map[string]int64 {
+	scale := func(n float64) int64 {
+		v := int64(n * sf)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	return map[string]int64{
+		"region":   RegionRows,
+		"nation":   NationRows,
+		"supplier": scale(10_000),
+		"part":     scale(200_000),
+		"partsupp": scale(800_000),
+		"customer": scale(150_000),
+		"orders":   scale(1_500_000),
+		"lineitem": scale(6_000_000),
+	}
+}
+
+// dateLo/dateHi bound the order/ship date domain (1992-01-01 .. 1998-12-31).
+var (
+	dateLo = sqlvalue.NewDateYMD(1992, time.January, 1)
+	dateHi = sqlvalue.NewDateYMD(1998, time.December, 31)
+)
+
+// NewCatalog builds the TPC-H catalog at the given scale factor. Statistics
+// (row counts, column min/max/distinct) are populated so the cost model and
+// the workload generator's cardinality targeting work without scanning data.
+func NewCatalog(sf float64) *catalog.Catalog {
+	rows := Rows(sf)
+	c := catalog.New()
+
+	intCol := func(name string, notNull bool, lo, hi, distinct int64) catalog.Column {
+		return catalog.Column{
+			Name: name, Type: sqlvalue.KindInt, NotNull: notNull,
+			Min: sqlvalue.NewInt(lo), Max: sqlvalue.NewInt(hi), Distinct: distinct,
+		}
+	}
+	fltCol := func(name string, notNull bool, lo, hi float64, distinct int64) catalog.Column {
+		return catalog.Column{
+			Name: name, Type: sqlvalue.KindFloat, NotNull: notNull,
+			Min: sqlvalue.NewFloat(lo), Max: sqlvalue.NewFloat(hi), Distinct: distinct,
+		}
+	}
+	strCol := func(name string, notNull bool, distinct int64) catalog.Column {
+		return catalog.Column{Name: name, Type: sqlvalue.KindString, NotNull: notNull, Distinct: distinct}
+	}
+	dateCol := func(name string, notNull bool) catalog.Column {
+		return catalog.Column{
+			Name: name, Type: sqlvalue.KindDate, NotNull: notNull,
+			Min: dateLo, Max: dateHi, Distinct: dateHi.DateDays() - dateLo.DateDays() + 1,
+		}
+	}
+	// Commit and receipt dates trail the ship date by up to 30/60 days, so
+	// their domains extend past the order-date ceiling (as in real TPC-H).
+	lateDateCol := func(name string, slack int64) catalog.Column {
+		c := dateCol(name, true)
+		c.Max = sqlvalue.NewDate(dateHi.DateDays() + slack)
+		c.Distinct += slack
+		return c
+	}
+
+	add := func(t *catalog.Table) {
+		if err := c.Add(t); err != nil {
+			panic(fmt.Sprintf("tpch: %v", err))
+		}
+	}
+
+	nR, nN := int64(RegionRows), int64(NationRows)
+	nS, nP := rows["supplier"], rows["part"]
+	nPS, nC := rows["partsupp"], rows["customer"]
+	nO, nL := rows["orders"], rows["lineitem"]
+
+	add(&catalog.Table{
+		Name: "region",
+		Columns: []catalog.Column{
+			intCol("r_regionkey", true, 0, nR-1, nR),
+			strCol("r_name", true, nR),
+			strCol("r_comment", false, nR),
+		},
+		PrimaryKey: []int{RRegionkey},
+		RowCount:   nR,
+	})
+	add(&catalog.Table{
+		Name: "nation",
+		Columns: []catalog.Column{
+			intCol("n_nationkey", true, 0, nN-1, nN),
+			strCol("n_name", true, nN),
+			intCol("n_regionkey", true, 0, nR-1, nR),
+			strCol("n_comment", false, nN),
+		},
+		PrimaryKey: []int{NNationkey},
+		Foreign: []catalog.ForeignKey{
+			{Name: "fk_n_r", Columns: []int{NRegionkey}, RefTable: "region", RefColumns: []int{RRegionkey}},
+		},
+		RowCount: nN,
+	})
+	add(&catalog.Table{
+		Name: "supplier",
+		Columns: []catalog.Column{
+			intCol("s_suppkey", true, 1, nS, nS),
+			strCol("s_name", true, nS),
+			strCol("s_address", true, nS),
+			intCol("s_nationkey", true, 0, nN-1, nN),
+			strCol("s_phone", true, nS),
+			fltCol("s_acctbal", true, -999.99, 9999.99, nS),
+			strCol("s_comment", false, nS),
+		},
+		PrimaryKey: []int{SSuppkey},
+		Foreign: []catalog.ForeignKey{
+			{Name: "fk_s_n", Columns: []int{SNationkey}, RefTable: "nation", RefColumns: []int{NNationkey}},
+		},
+		RowCount: nS,
+	})
+	add(&catalog.Table{
+		Name: "part",
+		Columns: []catalog.Column{
+			intCol("p_partkey", true, 1, nP, nP),
+			strCol("p_name", true, nP),
+			strCol("p_mfgr", true, 5),
+			strCol("p_brand", true, 25),
+			strCol("p_type", true, 150),
+			intCol("p_size", true, 1, 50, 50),
+			strCol("p_container", true, 40),
+			fltCol("p_retailprice", true, 900, 2100, nP/10+1),
+			strCol("p_comment", false, nP),
+		},
+		PrimaryKey: []int{PPartkey},
+		RowCount:   nP,
+	})
+	add(&catalog.Table{
+		Name: "partsupp",
+		Columns: []catalog.Column{
+			intCol("ps_partkey", true, 1, nP, nP),
+			intCol("ps_suppkey", true, 1, nS, nS),
+			intCol("ps_availqty", true, 1, 9999, 9999),
+			fltCol("ps_supplycost", true, 1, 1000, 1000),
+			strCol("ps_comment", false, nPS),
+		},
+		PrimaryKey: []int{PsPartkey, PsSuppkey},
+		Foreign: []catalog.ForeignKey{
+			{Name: "fk_ps_p", Columns: []int{PsPartkey}, RefTable: "part", RefColumns: []int{PPartkey}},
+			{Name: "fk_ps_s", Columns: []int{PsSuppkey}, RefTable: "supplier", RefColumns: []int{SSuppkey}},
+		},
+		RowCount: nPS,
+	})
+	add(&catalog.Table{
+		Name: "customer",
+		Columns: []catalog.Column{
+			intCol("c_custkey", true, 1, nC, nC),
+			strCol("c_name", true, nC),
+			strCol("c_address", true, nC),
+			intCol("c_nationkey", true, 0, nN-1, nN),
+			strCol("c_phone", true, nC),
+			fltCol("c_acctbal", true, -999.99, 9999.99, nC),
+			strCol("c_mktsegment", true, 5),
+			strCol("c_comment", false, nC),
+		},
+		PrimaryKey: []int{CCustkey},
+		Foreign: []catalog.ForeignKey{
+			{Name: "fk_c_n", Columns: []int{CNationkey}, RefTable: "nation", RefColumns: []int{NNationkey}},
+		},
+		RowCount: nC,
+	})
+	add(&catalog.Table{
+		Name: "orders",
+		Columns: []catalog.Column{
+			intCol("o_orderkey", true, 1, nO*4, nO),
+			intCol("o_custkey", true, 1, nC, nC),
+			strCol("o_orderstatus", true, 3),
+			fltCol("o_totalprice", true, 800, 600000, nO/4+1),
+			dateCol("o_orderdate", true),
+			strCol("o_orderpriority", true, 5),
+			strCol("o_clerk", true, 1000),
+			intCol("o_shippriority", true, 0, 0, 1),
+			strCol("o_comment", false, nO),
+		},
+		PrimaryKey: []int{OOrderkey},
+		Foreign: []catalog.ForeignKey{
+			{Name: "fk_o_c", Columns: []int{OCustkey}, RefTable: "customer", RefColumns: []int{CCustkey}},
+		},
+		RowCount: nO,
+	})
+	add(&catalog.Table{
+		Name: "lineitem",
+		Columns: []catalog.Column{
+			intCol("l_orderkey", true, 1, nO*4, nO),
+			intCol("l_partkey", true, 1, nP, nP),
+			intCol("l_suppkey", true, 1, nS, nS),
+			intCol("l_linenumber", true, 1, 7, 7),
+			fltCol("l_quantity", true, 1, 50, 50),
+			fltCol("l_extendedprice", true, 900, 105000, nL/10+1),
+			fltCol("l_discount", true, 0, 0.10, 11),
+			fltCol("l_tax", true, 0, 0.08, 9),
+			strCol("l_returnflag", true, 3),
+			strCol("l_linestatus", true, 2),
+			dateCol("l_shipdate", true),
+			lateDateCol("l_commitdate", 30),
+			lateDateCol("l_receiptdate", 60),
+			strCol("l_shipinstruct", true, 4),
+			strCol("l_shipmode", true, 7),
+			strCol("l_comment", false, nL),
+		},
+		PrimaryKey: []int{LOrderkey, LLinenumber},
+		Foreign: []catalog.ForeignKey{
+			{Name: "fk_l_o", Columns: []int{LOrderkey}, RefTable: "orders", RefColumns: []int{OOrderkey}},
+			{Name: "fk_l_p", Columns: []int{LPartkey}, RefTable: "part", RefColumns: []int{PPartkey}},
+			{Name: "fk_l_s", Columns: []int{LSuppkey}, RefTable: "supplier", RefColumns: []int{SSuppkey}},
+			{Name: "fk_l_ps", Columns: []int{LPartkey, LSuppkey}, RefTable: "partsupp", RefColumns: []int{PsPartkey, PsSuppkey}},
+		},
+		RowCount: nL,
+	})
+
+	if err := c.Validate(); err != nil {
+		panic(fmt.Sprintf("tpch: invalid catalog: %v", err))
+	}
+	return c
+}

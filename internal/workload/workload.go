@@ -1,0 +1,387 @@
+// Package workload generates the random SPJG views and queries of the
+// paper's experiments (§5): each view starts from a randomly selected table,
+// joins in additional tables through foreign-key equijoins, receives range
+// predicates on randomly selected columns until the estimated cardinality of
+// its SPJ part falls inside a target fraction band of the largest table
+// involved (25–75 % for views, 8–12 % for queries), and gets randomly
+// selected output columns. About 75 % of the views are aggregation views
+// grouped on randomly selected output columns, with every remaining
+// numerical output column used as a SUM argument. Queries follow the paper's
+// table-count distribution: 40 % reference two tables, 20 % three, 17 % four,
+// 13 % five, 8 % six, and 2 % seven.
+package workload
+
+import (
+	"math/rand"
+
+	"matview/internal/catalog"
+	"matview/internal/expr"
+	"matview/internal/opt"
+	"matview/internal/spjg"
+	"matview/internal/sqlvalue"
+)
+
+// Config parameterizes generation, mirroring the paper's parameter file
+// ("the frequency with which a table was chosen as the initial table, … a
+// foreign key was selected for a join, … a column received a range
+// predicate, and … a column was chosen as an output column").
+type Config struct {
+	Seed int64
+
+	// AggFraction is the fraction of aggregation views/queries (paper: 0.75).
+	AggFraction float64
+	// ViewCardBand and QueryCardBand bound the target result fraction
+	// relative to the largest table involved (paper: views 0.25–0.75,
+	// queries 0.08–0.12).
+	ViewCardBand  [2]float64
+	QueryCardBand [2]float64
+	// ViewFKFollowProb is the chance each available foreign-key join is taken
+	// while growing a view's table set.
+	ViewFKFollowProb float64
+	// MaxViewTables caps a view's table count.
+	MaxViewTables int
+	// ViewOutputColProb and QueryOutputColProb are the chances each candidate
+	// column becomes an output. Views output generously (so they can answer
+	// many queries), queries reference few columns — the asymmetry the
+	// paper's parameter file encodes as per-column output frequencies.
+	ViewOutputColProb  float64
+	QueryOutputColProb float64
+	// RangePaletteSize bounds the per-table set of columns that receive range
+	// predicates (the paper's per-column range-predicate frequencies
+	// concentrate ranges on a few columns, which is what makes view ranges
+	// contain query ranges often enough to matter).
+	RangePaletteSize int
+	// OneSidedRangeProb is the chance a range predicate is anchored at the
+	// column minimum (a one-sided "col <= cutoff"), which nests across
+	// expressions much more often than a floating interval.
+	OneSidedRangeProb float64
+	// QueryTableWeights[k] is the relative weight of queries with k+2 tables.
+	QueryTableWeights []float64
+	// MaxRangePreds caps the predicates added while narrowing cardinality.
+	MaxRangePreds int
+}
+
+// DefaultConfig reproduces the paper's setup.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:               seed,
+		AggFraction:        0.75,
+		ViewCardBand:       [2]float64{0.25, 0.75},
+		QueryCardBand:      [2]float64{0.08, 0.12},
+		ViewFKFollowProb:   0.5,
+		MaxViewTables:      5,
+		ViewOutputColProb:  0.75,
+		QueryOutputColProb: 0.2,
+		RangePaletteSize:   2,
+		OneSidedRangeProb:  0.6,
+		QueryTableWeights:  []float64{0.40, 0.20, 0.17, 0.13, 0.08, 0.02},
+		MaxRangePreds:      6,
+	}
+}
+
+// Generator produces deterministic views and queries: item i is a pure
+// function of (Config.Seed, kind, i), independent of generation order.
+type Generator struct {
+	cat *catalog.Catalog
+	cfg Config
+}
+
+// New returns a generator over the catalog.
+func New(cat *catalog.Catalog, cfg Config) *Generator {
+	return &Generator{cat: cat, cfg: cfg}
+}
+
+// View generates the i-th view definition.
+func (g *Generator) View(i int) *spjg.Query {
+	r := rand.New(rand.NewSource(g.cfg.Seed*1_000_003 + int64(i)*2 + 1))
+	nTables := 1
+	for nTables < g.cfg.MaxViewTables && r.Float64() < g.cfg.ViewFKFollowProb {
+		nTables++
+	}
+	q := g.generate(r, nTables, g.cfg.ViewCardBand, true)
+	return q
+}
+
+// Query generates the i-th query.
+func (g *Generator) Query(i int) *spjg.Query {
+	r := rand.New(rand.NewSource(g.cfg.Seed*1_000_003 + int64(i)*2))
+	nTables := g.sampleQueryTables(r)
+	return g.generate(r, nTables, g.cfg.QueryCardBand, false)
+}
+
+func (g *Generator) sampleQueryTables(r *rand.Rand) int {
+	total := 0.0
+	for _, w := range g.cfg.QueryTableWeights {
+		total += w
+	}
+	x := r.Float64() * total
+	for i, w := range g.cfg.QueryTableWeights {
+		x -= w
+		if x <= 0 {
+			return i + 2
+		}
+	}
+	return len(g.cfg.QueryTableWeights) + 1
+}
+
+// fkJoin is an available expansion edge: an equijoin along a foreign key
+// between a table already in the set and a new table.
+type fkJoin struct {
+	inSet    int // table instance index already chosen
+	newTable *catalog.Table
+	// cols pairs (column in inSet's table, column in newTable); direction
+	// encoded by fkOnSet.
+	setCols []int
+	newCols []int
+}
+
+// generate builds one SPJG expression with nTables tables, range predicates
+// narrowing estimated cardinality into band, and random outputs. isView
+// applies the indexable-view constraints (count_big, grouping ⊆ outputs).
+func (g *Generator) generate(r *rand.Rand, nTables int, band [2]float64, isView bool) *spjg.Query {
+	tables := g.cat.Tables()
+	q := &spjg.Query{}
+	start := tables[r.Intn(len(tables))]
+	q.Tables = append(q.Tables, spjg.TableRef{Table: start})
+	var joins []expr.Expr
+
+	for len(q.Tables) < nTables {
+		cands := g.expansions(q)
+		if len(cands) == 0 {
+			break
+		}
+		e := cands[r.Intn(len(cands))]
+		newIdx := len(q.Tables)
+		q.Tables = append(q.Tables, spjg.TableRef{Table: e.newTable})
+		for k := range e.setCols {
+			joins = append(joins, expr.Eq(
+				expr.Col(e.inSet, e.setCols[k]),
+				expr.Col(newIdx, e.newCols[k]),
+			))
+		}
+	}
+	where := joins
+
+	// Largest table in the set.
+	largest := 0.0
+	for _, t := range q.Tables {
+		if f := float64(t.Table.RowCount); f > largest {
+			largest = f
+		}
+	}
+	targetFrac := band[0] + r.Float64()*(band[1]-band[0])
+	target := targetFrac * largest
+	if target < 1 {
+		target = 1
+	}
+
+	// Add range predicates on randomly selected columns until the estimated
+	// SPJ cardinality drops to the target.
+	constrained := map[expr.ColRef]bool{}
+	for attempt := 0; attempt < g.cfg.MaxRangePreds; attempt++ {
+		q.Where = expr.NewAnd(where...)
+		if len(where) == 0 {
+			q.Where = nil
+		}
+		probe := &spjg.Query{Tables: q.Tables, Where: q.Where,
+			Outputs: []spjg.OutputColumn{{Expr: expr.Col(0, 0)}}}
+		est := opt.EstimateRows(probe)
+		if est <= target {
+			break
+		}
+		col, rangePred, ok := g.randomRangePred(r, q, constrained, target/est, isView)
+		if !ok {
+			break
+		}
+		constrained[col] = true
+		where = append(where, rangePred...)
+	}
+	q.Where = nil
+	if len(where) > 0 {
+		q.Where = expr.NewAnd(where...)
+	}
+
+	// Random output columns.
+	type cand struct {
+		ref     expr.ColRef
+		name    string
+		numeric bool
+	}
+	var cands []cand
+	for ti, t := range q.Tables {
+		for ci, col := range t.Table.Columns {
+			numeric := col.Type == sqlvalue.KindInt || col.Type == sqlvalue.KindFloat
+			cands = append(cands, cand{expr.ColRef{Tab: ti, Col: ci}, col.Name, numeric})
+		}
+	}
+	outProb := g.cfg.QueryOutputColProb
+	if isView {
+		outProb = g.cfg.ViewOutputColProb
+	}
+	var chosen []cand
+	for _, c := range cands {
+		if r.Float64() < outProb {
+			chosen = append(chosen, c)
+		}
+	}
+	if len(chosen) == 0 {
+		chosen = append(chosen, cands[r.Intn(len(cands))])
+	}
+
+	if r.Float64() >= g.cfg.AggFraction {
+		// SPJ expression.
+		for _, c := range chosen {
+			q.Outputs = append(q.Outputs, spjg.OutputColumn{Name: c.name, Expr: expr.ColE(c.ref)})
+		}
+		return q
+	}
+
+	// Aggregation expression: group on randomly selected output columns; any
+	// remaining numerical column becomes a SUM argument (§5); non-numeric
+	// leftovers join the grouping list to stay expressible.
+	q.HasGroupBy = true
+	var sums []cand
+	for _, c := range chosen {
+		if c.numeric && r.Float64() < 0.5 {
+			sums = append(sums, c)
+			continue
+		}
+		q.GroupBy = append(q.GroupBy, expr.ColE(c.ref))
+		q.Outputs = append(q.Outputs, spjg.OutputColumn{Name: c.name, Expr: expr.ColE(c.ref)})
+	}
+	if len(q.GroupBy) == 0 {
+		// Grouping must be non-empty for views (scalar-aggregate views are
+		// pointless) — promote one sum column or fall back to column 0.
+		if len(sums) > 0 {
+			c := sums[0]
+			sums = sums[1:]
+			q.GroupBy = append(q.GroupBy, expr.ColE(c.ref))
+			q.Outputs = append(q.Outputs, spjg.OutputColumn{Name: c.name, Expr: expr.ColE(c.ref)})
+		} else {
+			c := cands[0]
+			q.GroupBy = append(q.GroupBy, expr.ColE(c.ref))
+			q.Outputs = append(q.Outputs, spjg.OutputColumn{Name: c.name, Expr: expr.ColE(c.ref)})
+		}
+	}
+	q.Outputs = append(q.Outputs, spjg.OutputColumn{Name: "cnt", Agg: &spjg.Aggregate{Kind: spjg.AggCountStar}})
+	for _, c := range sums {
+		q.Outputs = append(q.Outputs, spjg.OutputColumn{
+			Name: "sum_" + c.name,
+			Agg:  &spjg.Aggregate{Kind: spjg.AggSum, Arg: expr.ColE(c.ref)},
+		})
+	}
+	return q
+}
+
+// expansions lists the foreign-key joins that can grow the table set, in
+// both directions (a chosen table's FK to a new table, or a new table's FK
+// into a chosen one).
+func (g *Generator) expansions(q *spjg.Query) []fkJoin {
+	var out []fkJoin
+	inSet := map[string]bool{}
+	for _, t := range q.Tables {
+		inSet[t.Table.Name] = true
+	}
+	for ti, t := range q.Tables {
+		// FKs from the chosen table outward.
+		for fi := range t.Table.Foreign {
+			fk := &t.Table.Foreign[fi]
+			if inSet[fk.RefTable] {
+				continue
+			}
+			out = append(out, fkJoin{
+				inSet: ti, newTable: g.cat.Table(fk.RefTable),
+				setCols: fk.Columns, newCols: fk.RefColumns,
+			})
+		}
+	}
+	// FKs from outside tables into chosen tables.
+	for _, cand := range g.cat.Tables() {
+		if inSet[cand.Name] {
+			continue
+		}
+		for fi := range cand.Foreign {
+			fk := &cand.Foreign[fi]
+			for ti, t := range q.Tables {
+				if t.Table.Name == fk.RefTable {
+					out = append(out, fkJoin{
+						inSet: ti, newTable: cand,
+						setCols: fk.RefColumns, newCols: fk.Columns,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// randomRangePred builds a range predicate on a random unconstrained column
+// from the table's range palette, sized so the conjunct's selectivity is
+// roughly frac (with a floor so narrowing takes several predicates instead of
+// one sliver). With probability OneSidedRangeProb the interval is anchored at
+// the column minimum ("col <= cutoff"), which makes view/query range
+// containment common — the property the range-subsumption test feeds on.
+func (g *Generator) randomRangePred(r *rand.Rand, q *spjg.Query,
+	constrained map[expr.ColRef]bool, frac float64, isView bool) (expr.ColRef, []expr.Expr, bool) {
+	type cand struct {
+		ref      expr.ColRef
+		min, max float64
+		isInt    bool
+		isDate   bool
+	}
+	var cands []cand
+	for ti, t := range q.Tables {
+		taken := 0
+		for ci, col := range t.Table.Columns {
+			if taken >= g.cfg.RangePaletteSize {
+				break
+			}
+			lo, okLo := col.Min.AsFloat()
+			hi, okHi := col.Max.AsFloat()
+			if !okLo || !okHi || hi <= lo {
+				continue
+			}
+			taken++ // palette membership is positional: the first k stats-bearing columns
+			ref := expr.ColRef{Tab: ti, Col: ci}
+			if constrained[ref] {
+				continue
+			}
+			cands = append(cands, cand{ref, lo, hi,
+				col.Type == sqlvalue.KindInt, col.Type == sqlvalue.KindDate})
+		}
+	}
+	if len(cands) == 0 {
+		return expr.ColRef{}, nil, false
+	}
+	c := cands[r.Intn(len(cands))]
+	keep := frac
+	if keep < 0.02 {
+		keep = 0.02 + r.Float64()*0.2
+	}
+	if keep > 0.9 {
+		keep = 0.9
+	}
+	mk := func(f float64) expr.Expr {
+		switch {
+		case c.isDate:
+			return expr.C(sqlvalue.NewDate(int64(f)))
+		case c.isInt:
+			return expr.CInt(int64(f))
+		default:
+			return expr.CFloat(f)
+		}
+	}
+	width := (c.max - c.min) * keep
+	if r.Float64() < g.cfg.OneSidedRangeProb {
+		cutoff := c.min + width
+		return c.ref, []expr.Expr{
+			expr.NewCmp(expr.LE, expr.ColE(c.ref), mk(cutoff)),
+		}, true
+	}
+	lo := c.min + r.Float64()*(c.max-c.min-width)
+	hi := lo + width
+	return c.ref, []expr.Expr{
+		expr.NewCmp(expr.GE, expr.ColE(c.ref), mk(lo)),
+		expr.NewCmp(expr.LE, expr.ColE(c.ref), mk(hi)),
+	}, true
+}

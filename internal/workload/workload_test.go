@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"testing"
+
+	"matview/internal/core"
+	"matview/internal/opt"
+	"matview/internal/tpch"
+)
+
+var cat = tpch.NewCatalog(0.5)
+
+func TestViewsAreValidIndexableViews(t *testing.T) {
+	g := New(cat, DefaultConfig(1))
+	aggCount := 0
+	for i := 0; i < 200; i++ {
+		v := g.View(i)
+		if err := v.ValidateAsView(); err != nil {
+			t.Fatalf("view %d invalid: %v\n%s", i, err, v.String())
+		}
+		if v.IsAggregate() {
+			aggCount++
+		}
+	}
+	// ~75% aggregation views.
+	if aggCount < 120 || aggCount > 180 {
+		t.Errorf("aggregation views = %d/200, want ≈150", aggCount)
+	}
+}
+
+func TestQueriesAreValid(t *testing.T) {
+	g := New(cat, DefaultConfig(2))
+	dist := map[int]int{}
+	for i := 0; i < 300; i++ {
+		q := g.Query(i)
+		if err := q.Validate(); err != nil {
+			t.Fatalf("query %d invalid: %v\n%s", i, err, q.String())
+		}
+		dist[len(q.Tables)]++
+	}
+	// The requested distribution starts at 2 tables; FK availability may
+	// truncate occasionally, but 2-table queries must dominate.
+	if dist[2] < 80 {
+		t.Errorf("2-table queries = %d/300, want ≈120", dist[2])
+	}
+	if dist[1] > 30 {
+		t.Errorf("too many degenerate 1-table queries: %d", dist[1])
+	}
+}
+
+func TestGenerationIsDeterministic(t *testing.T) {
+	g1 := New(cat, DefaultConfig(7))
+	g2 := New(cat, DefaultConfig(7))
+	for i := 0; i < 20; i++ {
+		if g1.View(i).String() != g2.View(i).String() {
+			t.Fatalf("view %d not deterministic", i)
+		}
+		if g1.Query(i).String() != g2.Query(i).String() {
+			t.Fatalf("query %d not deterministic", i)
+		}
+	}
+	// Order independence: generating query 5 before view 5 changes nothing.
+	g3 := New(cat, DefaultConfig(7))
+	q5 := g3.Query(5)
+	v5 := g3.View(5)
+	if q5.String() != g1.Query(5).String() || v5.String() != g1.View(5).String() {
+		t.Fatal("generation depends on call order")
+	}
+}
+
+func TestSeedsProduceDifferentWorkloads(t *testing.T) {
+	a := New(cat, DefaultConfig(1)).View(0)
+	b := New(cat, DefaultConfig(2)).View(0)
+	if a.String() == b.String() {
+		t.Fatal("different seeds produced identical views")
+	}
+}
+
+func TestCardinalityTargeting(t *testing.T) {
+	g := New(cat, DefaultConfig(3))
+	withinBand := 0
+	const n = 100
+	for i := 0; i < n; i++ {
+		v := g.View(i)
+		largest := 0.0
+		for _, tref := range v.Tables {
+			if f := float64(tref.Table.RowCount); f > largest {
+				largest = f
+			}
+		}
+		spj := v
+		if v.IsAggregate() {
+			spj = &(*v)
+		}
+		probe := *spj
+		probe.GroupBy = nil
+		probe.HasGroupBy = false
+		probe.Outputs = nil
+		est := opt.EstimateRows(&probe)
+		frac := est / largest
+		// The generator aims for ≤ 0.75; a minority may stop early when it
+		// runs out of range-predicate attempts.
+		if frac <= 0.80 {
+			withinBand++
+		}
+	}
+	if withinBand < n*3/4 {
+		t.Errorf("only %d/%d views within the cardinality band", withinBand, n)
+	}
+}
+
+// TestWorkloadProducesMatches checks the statistical property the whole
+// evaluation depends on: with many views, some views match some queries.
+func TestWorkloadProducesMatches(t *testing.T) {
+	g := New(cat, DefaultConfig(11))
+	m := core.NewMatcher(cat, core.DefaultOptions())
+	var views []*core.View
+	for i := 0; i < 150; i++ {
+		def := g.View(i)
+		v, err := m.NewView(i, "v", def)
+		if err != nil {
+			t.Fatalf("view %d: %v", i, err)
+		}
+		views = append(views, v)
+	}
+	matches := 0
+	for i := 0; i < 40; i++ {
+		q := g.Query(i)
+		for _, v := range views {
+			if m.Match(q, v) != nil {
+				matches++
+			}
+		}
+	}
+	if matches == 0 {
+		t.Fatal("no query matched any view; workload cannot reproduce Figure 4")
+	}
+	t.Logf("matches across 40 queries × 150 views: %d", matches)
+}

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Reproduce everything: build, test, run every example, regenerate the
+# paper's evaluation, and run the benchmarks. Outputs land in the repo root
+# (test_output.txt, bench_output.txt, results_full.txt).
+set -eu
+
+echo "== build & vet =="
+go build ./...
+go vet ./...
+
+echo "== tests =="
+go test ./... 2>&1 | tee test_output.txt
+
+echo "== examples =="
+for ex in quickstart tpch_reporting viewcache scalability maintenance; do
+    echo "-- examples/$ex"
+    go run "./examples/$ex"
+done
+
+echo "== paper evaluation (Figures 2-4 + statistics) =="
+go run ./cmd/vmbench -experiment all -views 1000 -queries 1000 -step 100 \
+    2>&1 | tee results_full.txt
+
+echo "== benchmarks =="
+go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+echo "== advisor demo =="
+go run ./cmd/vmadvisor -queries 15 -views 3

@@ -1,0 +1,23 @@
+# Convenience targets; repro.sh is the full reproduction pipeline.
+
+.PHONY: build test race bench vet repro
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+# race runs the whole test suite under the race detector, including the
+# concurrent register/optimize and search/insert stress tests.
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+repro:
+	./repro.sh

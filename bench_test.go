@@ -13,6 +13,7 @@ package matview
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"matview/internal/core"
@@ -25,17 +26,22 @@ import (
 	"matview/internal/workload"
 )
 
-// benchHarness caches workload construction across benchmarks.
-var benchHarness *harness.Harness
+// benchHarness caches workload construction across benchmarks. The sync.Once
+// makes construction safe for benchmarks that call getHarness from
+// b.RunParallel goroutines (a bare nil check would race).
+var (
+	benchHarness     *harness.Harness
+	benchHarnessOnce sync.Once
+)
 
 func getHarness(b *testing.B) *harness.Harness {
 	b.Helper()
-	if benchHarness == nil {
+	benchHarnessOnce.Do(func() {
 		cfg := harness.DefaultConfig(1)
 		cfg.NumViews = 1000
 		cfg.NumQueries = 200
 		benchHarness = harness.New(cfg)
-	}
+	})
 	return benchHarness
 }
 
@@ -121,6 +127,55 @@ func BenchmarkFigure4_PlansUsingViews(b *testing.B) {
 	}
 }
 
+// BenchmarkOptimizeParallel runs the full configuration at 1000 views with
+// concurrent optimizer goroutines (one per GOMAXPROCS via b.RunParallel),
+// exercising the shared-read lock and pooled scratch under contention.
+// Compare qps (queries/sec) against BenchmarkOptimizeAll/workers=1.
+func BenchmarkOptimizeParallel(b *testing.B) {
+	h := getHarness(b)
+	o, err := newBenchOptimizer(h, harness.Settings[0], 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := h.Queries()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := o.Optimize(queries[i%len(queries)]); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+}
+
+// BenchmarkOptimizeAll measures batch throughput via the worker pool: one op
+// is the whole 200-query batch, so ns/op shrinking with workers is the
+// speedup, and the qps metric gives queries/sec directly.
+func BenchmarkOptimizeAll(b *testing.B) {
+	h := getHarness(b)
+	o, err := newBenchOptimizer(h, harness.Settings[0], 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := h.Queries()
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := o.OptimizeAll(queries, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)*float64(len(queries))/b.Elapsed().Seconds(), "qps")
+		})
+	}
+}
+
 // BenchmarkViewMatch isolates one view-matching invocation (§3's algorithm
 // alone, no filter tree, no optimizer).
 func BenchmarkViewMatch(b *testing.B) {
@@ -172,6 +227,70 @@ func BenchmarkFilterTree(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkFilterTreeSearch isolates one Candidates call on the allocation-
+// lean hot path, serial and under parallel search contention. Run with
+// -benchmem: B/op here is dominated by the copied result slice; traversal
+// scratch is pooled.
+func BenchmarkFilterTreeSearch(b *testing.B) {
+	cat := tpch.NewCatalog(0.5)
+	gen := workload.New(cat, workload.DefaultConfig(1))
+	m := core.NewMatcher(cat, core.DefaultOptions())
+	tree := filtertree.New()
+	for i := 0; i < 1000; i++ {
+		v, err := m.NewView(i, fmt.Sprintf("v%d", i), gen.View(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		tree.Insert(v)
+	}
+	var keys []core.QueryKeys
+	for i := 0; i < 50; i++ {
+		keys = append(keys, m.ComputeQueryKeys(gen.Query(i)))
+	}
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tree.Candidates(&keys[i%len(keys)])
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				tree.Candidates(&keys[i%len(keys)])
+				i++
+			}
+		})
+	})
+}
+
+// BenchmarkComputeQueryKeys measures query-key derivation, comparing the
+// allocating entry point against the scratch-reusing Into variant the
+// optimizer's hot path uses. Run with -benchmem.
+func BenchmarkComputeQueryKeys(b *testing.B) {
+	cat := tpch.NewCatalog(0.5)
+	gen := workload.New(cat, workload.DefaultConfig(1))
+	m := core.NewMatcher(cat, core.DefaultOptions())
+	var queries []*spjg.Query
+	for i := 0; i < 50; i++ {
+		queries = append(queries, gen.Query(i))
+	}
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.ComputeQueryKeys(queries[i%len(queries)])
+		}
+	})
+	b.Run("into", func(b *testing.B) {
+		b.ReportAllocs()
+		var k core.QueryKeys
+		for i := 0; i < b.N; i++ {
+			m.ComputeQueryKeysInto(queries[i%len(queries)], &k)
+		}
+	})
 }
 
 // BenchmarkLatticeIndex compares lattice-index superset search against the

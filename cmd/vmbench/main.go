@@ -6,12 +6,20 @@
 // Usage:
 //
 //	vmbench -experiment fig2|fig3|fig4|stats|all [-views N] [-queries N] [-seed S] [-step N]
+//	        [-workers N] [-cpuprofile FILE] [-memprofile FILE]
+//
+// -workers fans each measurement's queries out over N optimizer goroutines
+// (0 = GOMAXPROCS, 1 = serial as in the paper); plan choices and aggregate
+// statistics are unaffected, only wall-clock time changes. -cpuprofile and
+// -memprofile write pprof profiles of the run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"matview/internal/harness"
 )
@@ -22,20 +30,50 @@ func main() {
 	queries := flag.Int("queries", 1000, "number of queries per measurement")
 	seed := flag.Int64("seed", 1, "workload seed")
 	step := flag.Int("step", 100, "view-count step for the sweep")
+	workers := flag.Int("workers", 1, "optimizer goroutines per measurement (0 = GOMAXPROCS, 1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	verbose := flag.Bool("v", false, "print per-point progress")
 	flag.Parse()
 
 	cfg := harness.DefaultConfig(*seed)
 	cfg.NumViews = *views
 	cfg.NumQueries = *queries
+	cfg.Workers = *workers
+	if cfg.Workers == 0 {
+		cfg.Workers = -1 // harness: negative selects GOMAXPROCS
+	}
 	cfg.ViewCounts = nil
 	for n := 0; n <= *views; n += *step {
 		cfg.ViewCounts = append(cfg.ViewCounts, n)
 	}
 
-	fmt.Printf("Workload: %d views, %d queries, seed %d (TPC-H catalog, SF %.1f)\n\n",
-		cfg.NumViews, cfg.NumQueries, *seed, cfg.ScaleFactor)
+	effectiveWorkers := cfg.Workers
+	if effectiveWorkers < 0 {
+		effectiveWorkers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("Workload: %d views, %d queries, seed %d, %d worker(s) (TPC-H catalog, SF %.1f)\n\n",
+		cfg.NumViews, cfg.NumQueries, *seed, effectiveWorkers, cfg.ScaleFactor)
 	h := harness.New(cfg)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			check(err)
+			runtime.GC()
+			check(pprof.WriteHeapProfile(f))
+			f.Close()
+		}()
+	}
 
 	var progress *os.File
 	if *verbose {

@@ -58,6 +58,21 @@ type Table struct {
 
 	// RowCount is the (estimated) number of rows, used by the cost model.
 	RowCount int64
+
+	// qualNames caches "table.column" strings per ordinal. Populated by
+	// Catalog.Add; QualifiedColumn falls back to concatenation for tables
+	// never added to a catalog.
+	qualNames []string
+}
+
+// QualifiedColumn returns "table.column" for the given ordinal. For tables
+// registered in a catalog the string is built once and shared, so hot-path
+// key computation does not re-concatenate names per probe.
+func (t *Table) QualifiedColumn(i int) string {
+	if t.qualNames != nil {
+		return t.qualNames[i]
+	}
+	return t.Name + "." + t.Columns[i].Name
 }
 
 // ColumnIndex returns the ordinal of the named column, or -1.
@@ -150,6 +165,12 @@ func (c *Catalog) Add(t *Table) error {
 	if len(t.PrimaryKey) > 0 && !t.IsUniqueKey(t.PrimaryKey) {
 		// The primary key is implicitly a unique key; register it.
 		t.UniqueKeys = append(t.UniqueKeys, append([]int(nil), t.PrimaryKey...))
+	}
+	if t.qualNames == nil {
+		t.qualNames = make([]string, len(t.Columns))
+		for i := range t.Columns {
+			t.qualNames[i] = t.Name + "." + t.Columns[i].Name
+		}
 	}
 	c.tables[t.Name] = t
 	c.order = append(c.order, t.Name)

@@ -23,18 +23,18 @@ type colMapper struct {
 // equivalence classes (grouping outputs only on aggregation views), or -1.
 func (cm *colMapper) ordinal(c expr.ColRef) int {
 	if cm.viewIsAgg {
-		return GroupingOrdinal(cm.v.Def, cm.qec.Same, c)
+		return cm.v.groupingOrdinal(cm.qec.Same, c)
 	}
-	return OutputOrdinal(cm.v.Def, cm.qec.Same, c)
+	return cm.v.outputOrdinal(cm.qec.Same, c)
 }
 
 // keyOrdinal is like ordinal but routes through the view's own equivalence
 // classes; used for backjoin keys (see mapCol).
 func (cm *colMapper) keyOrdinal(c expr.ColRef) int {
 	if cm.viewIsAgg {
-		return GroupingOrdinal(cm.v.Def, cm.v.A.EC.Same, c)
+		return cm.v.groupingOrdinal(cm.v.A.EC.Same, c)
 	}
-	return OutputOrdinal(cm.v.Def, cm.v.A.EC.Same, c)
+	return cm.v.outputOrdinal(cm.v.A.EC.Same, c)
 }
 
 // mapCol resolves c to an available column, creating a backjoin if necessary

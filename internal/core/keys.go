@@ -72,10 +72,10 @@ type QueryKeys struct {
 	ScalarAggregate bool
 }
 
-// colName renders a column as "basetable.column".
+// colName renders a column as "basetable.column", sharing the catalog's
+// precomputed qualified-name strings.
 func colName(def *spjg.Query, c expr.ColRef) string {
-	t := def.Tables[c.Tab].Table
-	return t.Name + "." + t.Columns[c.Col].Name
+	return def.Tables[c.Tab].Table.QualifiedColumn(c.Col)
 }
 
 // classNames returns the deduplicated, sorted names of all columns equivalent
@@ -104,6 +104,21 @@ func sortedSet(in []string) []string {
 		}
 	}
 	sort.Strings(out)
+	return out
+}
+
+// sortDedupInPlace sorts s and drops adjacent duplicates without allocating;
+// same result as sortedSet but reusing s's backing array.
+func sortDedupInPlace(s []string) []string {
+	sort.Strings(s)
+	out := s[:0]
+	var prev string
+	for i, v := range s {
+		if i == 0 || v != prev {
+			out = append(out, v)
+		}
+		prev = v
+	}
 	return out
 }
 
@@ -246,13 +261,29 @@ func (m *Matcher) backjoinClosure(v *View, available []string) []string {
 // analysis is computed with the matcher's options so check-constraint folding
 // matches registration-time behaviour.
 func (m *Matcher) ComputeQueryKeys(q *spjg.Query) QueryKeys {
+	var k QueryKeys
+	m.ComputeQueryKeysInto(q, &k)
+	return k
+}
+
+// ComputeQueryKeysInto is ComputeQueryKeys writing into an existing QueryKeys,
+// reusing its slice capacity. The optimizer's hot path recycles QueryKeys
+// values through a sync.Pool so the per-invocation key computation does not
+// re-grow its slices every probe.
+func (m *Matcher) ComputeQueryKeysInto(q *spjg.Query, k *QueryKeys) {
 	a := spjg.Analyze(q, m.opts.UseCheckConstraints)
-	k := QueryKeys{
+	*k = QueryKeys{
 		SourceTables:    q.SourceTableMultiset(),
+		OutputClasses:   k.OutputClasses[:0],
+		OutputExprsSPJ:  k.OutputExprsSPJ[:0],
+		OutputExprsAgg:  k.OutputExprsAgg[:0],
+		Residuals:       k.Residuals[:0],
+		ExtRangeCols:    k.ExtRangeCols[:0],
+		GroupingClasses: k.GroupingClasses[:0],
+		GroupingExprs:   k.GroupingExprs[:0],
 		IsAggregate:     q.IsAggregate(),
 		ScalarAggregate: q.IsAggregate() && len(q.GroupBy) == 0,
 	}
-	var exprsSPJ, exprsAgg []string
 	for _, o := range q.Outputs {
 		switch {
 		case o.Expr != nil:
@@ -260,37 +291,35 @@ func (m *Matcher) ComputeQueryKeys(q *spjg.Query) QueryKeys {
 				k.OutputClasses = append(k.OutputClasses, classNames(a, col.Ref))
 			} else if _, isConst := o.Expr.(expr.Const); !isConst {
 				t := expr.NewFingerprint(expr.Normalize(o.Expr)).Text
-				exprsSPJ = append(exprsSPJ, t)
-				exprsAgg = append(exprsAgg, t)
+				k.OutputExprsSPJ = append(k.OutputExprsSPJ, t)
+				k.OutputExprsAgg = append(k.OutputExprsAgg, t)
 			}
 		case o.Agg != nil && (o.Agg.Kind == spjg.AggSum || o.Agg.Kind == spjg.AggAvg):
-			exprsAgg = append(exprsAgg, "SUM:"+expr.NewFingerprint(expr.Normalize(o.Agg.Arg)).Text)
+			k.OutputExprsAgg = append(k.OutputExprsAgg, "SUM:"+expr.NewFingerprint(expr.Normalize(o.Agg.Arg)).Text)
 		}
 	}
-	k.OutputExprsSPJ = sortedSet(exprsSPJ)
-	k.OutputExprsAgg = sortedSet(exprsAgg)
+	k.OutputExprsSPJ = sortDedupInPlace(k.OutputExprsSPJ)
+	k.OutputExprsAgg = sortDedupInPlace(k.OutputExprsAgg)
 
 	dis := disjunctiveInfo{consumed: map[int]bool{}}
 	if m.opts.DisjunctiveRanges {
 		dis = scanDisjunctive(a.PU, a.EC, a.EC.Find)
 	}
-	var res []string
 	for i, fp := range a.ResidualFPs {
 		if dis.consumed[i] {
 			continue
 		}
-		res = append(res, fp.Text)
+		k.Residuals = append(k.Residuals, fp.Text)
 	}
-	k.Residuals = sortedSet(res)
+	k.Residuals = sortDedupInPlace(k.Residuals)
 
-	var ext []string
 	for rep := range a.Ranges {
-		ext = append(ext, classNames(a, rep)...)
+		k.ExtRangeCols = append(k.ExtRangeCols, classNames(a, rep)...)
 	}
 	for rep := range dis.sets {
-		ext = append(ext, classNames(a, rep)...)
+		k.ExtRangeCols = append(k.ExtRangeCols, classNames(a, rep)...)
 	}
-	k.ExtRangeCols = sortedSet(ext)
+	k.ExtRangeCols = sortDedupInPlace(k.ExtRangeCols)
 
 	if k.IsAggregate {
 		for _, g := range q.GroupBy {
@@ -300,7 +329,6 @@ func (m *Matcher) ComputeQueryKeys(q *spjg.Query) QueryKeys {
 				k.GroupingExprs = append(k.GroupingExprs, expr.NewFingerprint(expr.Normalize(g)).Text)
 			}
 		}
-		k.GroupingExprs = sortedSet(k.GroupingExprs)
+		k.GroupingExprs = sortDedupInPlace(k.GroupingExprs)
 	}
-	return k
 }

@@ -116,9 +116,9 @@ func (m *Matcher) matchMapped(orig *spjg.Query, v *View, mapping []int) *Substit
 	// filters whole groups.
 	ordView := func(c expr.ColRef) int {
 		if viewIsAgg {
-			return GroupingOrdinal(v.Def, v.A.EC.Same, c)
+			return v.groupingOrdinal(v.A.EC.Same, c)
 		}
-		return OutputOrdinal(v.Def, v.A.EC.Same, c)
+		return v.outputOrdinal(v.A.EC.Same, c)
 	}
 	cm := &colMapper{m: m, v: v, qec: qec, viewIsAgg: viewIsAgg}
 
@@ -397,40 +397,29 @@ func (m *Matcher) finishAggOverSPJ(q *spjg.Query, v *View, cm *colMapper, sub *S
 // case COUNT(*) becomes SUM(count_big), SUM(E) becomes SUM over the view's
 // matching sum column, and AVG(E) becomes SUM(sum_E)/SUM(count_big).
 func (m *Matcher) finishAggOverAgg(q *spjg.Query, v *View, cm *colMapper, sub *Substitute) *Substitute {
-	// View grouping outputs with their ordinals and fingerprints.
-	type vGroup struct {
-		ord int
-		fp  expr.Fingerprint
-	}
-	var vGroups []vGroup
-	cntOrd := -1
-	for i, vo := range v.Def.Outputs {
-		switch {
-		case vo.Expr != nil && isGroupingExpr(v.Def, vo.Expr):
-			vGroups = append(vGroups, vGroup{i, expr.NewFingerprint(expr.Normalize(vo.Expr))})
-		case vo.Agg != nil && vo.Agg.Kind == spjg.AggCountStar:
-			cntOrd = i
-		}
-	}
+	// View grouping outputs with their ordinals and fingerprints, cached at
+	// registration time (NewView).
+	d := v.der()
+	cntOrd := d.cntOrd
 	if cntOrd < 0 {
 		return nil // not a legal aggregation view; defensive
 	}
 
 	matchGrouping := func(g expr.Expr) int {
 		fp := expr.NewFingerprint(expr.Normalize(g))
-		for _, vg := range vGroups {
-			if vg.fp.Text != fp.Text || len(vg.fp.Cols) != len(fp.Cols) {
+		for gi, vfp := range d.groupFPs {
+			if vfp.Text != fp.Text || len(vfp.Cols) != len(fp.Cols) {
 				continue
 			}
 			all := true
 			for k := range fp.Cols {
-				if !cm.qec.Same(vg.fp.Cols[k], fp.Cols[k]) {
+				if !cm.qec.Same(vfp.Cols[k], fp.Cols[k]) {
 					all = false
 					break
 				}
 			}
 			if all {
-				return vg.ord
+				return d.groupOrds[gi]
 			}
 		}
 		return -1
@@ -461,8 +450,8 @@ func (m *Matcher) finishAggOverAgg(q *spjg.Query, v *View, cm *colMapper, sub *S
 	}
 	needRegroup := forceRegroup
 	if !needRegroup {
-		for _, vg := range vGroups {
-			if !matchedViewOrds[vg.ord] {
+		for _, ord := range d.groupOrds {
+			if !matchedViewOrds[ord] {
 				needRegroup = true
 				break
 			}
@@ -471,11 +460,7 @@ func (m *Matcher) finishAggOverAgg(q *spjg.Query, v *View, cm *colMapper, sub *S
 
 	findViewSum := func(arg expr.Expr) int {
 		fp := expr.NewFingerprint(expr.Normalize(arg))
-		for i, vo := range v.Def.Outputs {
-			if vo.Agg == nil || vo.Agg.Kind != spjg.AggSum {
-				continue
-			}
-			vfp := expr.NewFingerprint(expr.Normalize(vo.Agg.Arg))
+		for si, vfp := range d.sumFPs {
 			if vfp.Text != fp.Text || len(vfp.Cols) != len(fp.Cols) {
 				continue
 			}
@@ -487,7 +472,7 @@ func (m *Matcher) finishAggOverAgg(q *spjg.Query, v *View, cm *colMapper, sub *S
 				}
 			}
 			if all {
-				return i
+				return d.sumOrds[si]
 			}
 		}
 		return -1
@@ -613,14 +598,10 @@ func (m *Matcher) computeScalar(e expr.Expr, cm *colMapper) (expr.Expr, bool) {
 // scalar output of an aggregation view is a grouping expression.
 func matchOutputExpr(e expr.Expr, v *View, qec *eqclass.Classes) int {
 	fp := expr.NewFingerprint(expr.Normalize(e))
-	for i, vo := range v.Def.Outputs {
-		if vo.Expr == nil {
+	for i, vfp := range v.der().outFPs {
+		if vfp == nil {
 			continue
 		}
-		if _, isCol := vo.Expr.(expr.Column); isCol {
-			continue
-		}
-		vfp := expr.NewFingerprint(expr.Normalize(vo.Expr))
 		if vfp.Text != fp.Text || len(vfp.Cols) != len(fp.Cols) {
 			continue
 		}

@@ -36,6 +36,126 @@ type View struct {
 
 	// Keys holds the precomputed filter-tree keys.
 	Keys ViewKeys
+
+	// derived caches per-view structures the matcher would otherwise
+	// recompute on every probe: normalized grouping expressions, shallow-
+	// matching fingerprints of complex outputs and SUM arguments, and the
+	// ordinal lists the output-mapping lookups scan. Precomputed by NewView;
+	// a View must not be mutated after registration, which makes the cache
+	// (and the View as a whole) safe to share across matching goroutines.
+	derived *viewDerived
+}
+
+// viewDerived holds the register-time caches. All fields are immutable after
+// construction.
+type viewDerived struct {
+	// outFPs has one entry per output ordinal: the fingerprint of the
+	// normalized output expression when it is complex (non-column) scalar,
+	// nil otherwise. Scanned by matchOutputExpr.
+	outFPs []*expr.Fingerprint
+	// outColOrds/outColRefs list the ordinals and column refs of simple
+	// column outputs, in output order (OutputOrdinal's scan set).
+	outColOrds []int
+	outColRefs []expr.ColRef
+	// normGroupBy is Normalize applied to each grouping expression.
+	normGroupBy []expr.Expr
+	// groupColOrds/groupColRefs restrict outColOrds to outputs that are also
+	// grouping expressions (GroupingOrdinal's scan set, aggregation views).
+	groupColOrds []int
+	groupColRefs []expr.ColRef
+	// groupOrds/groupFPs list every scalar grouping output with its
+	// fingerprint (finishAggOverAgg's vGroups).
+	groupOrds []int
+	groupFPs  []expr.Fingerprint
+	// sumOrds/sumFPs list the SUM outputs with the fingerprints of their
+	// normalized arguments (findViewSum's scan set).
+	sumOrds []int
+	sumFPs  []expr.Fingerprint
+	// cntOrd is the COUNT(*) output ordinal, -1 when absent.
+	cntOrd int
+}
+
+// der returns the view's derived caches, computing them on first use for
+// views not built by NewView (lazy initialization is not concurrency-safe;
+// NewView precomputes so shared views never hit this path).
+func (v *View) der() *viewDerived {
+	if v.derived == nil {
+		v.derived = computeDerived(v)
+	}
+	return v.derived
+}
+
+func computeDerived(v *View) *viewDerived {
+	def := v.Def
+	d := &viewDerived{cntOrd: -1}
+	d.normGroupBy = make([]expr.Expr, len(def.GroupBy))
+	for i, g := range def.GroupBy {
+		d.normGroupBy[i] = expr.Normalize(g)
+	}
+	isAgg := def.IsAggregate()
+	d.outFPs = make([]*expr.Fingerprint, len(def.Outputs))
+	for i, o := range def.Outputs {
+		switch {
+		case o.Expr != nil:
+			if col, isCol := o.Expr.(expr.Column); isCol {
+				d.outColOrds = append(d.outColOrds, i)
+				d.outColRefs = append(d.outColRefs, col.Ref)
+				if isAgg && d.inGroupBy(o.Expr) {
+					d.groupColOrds = append(d.groupColOrds, i)
+					d.groupColRefs = append(d.groupColRefs, col.Ref)
+				}
+			} else {
+				fp := expr.NewFingerprint(expr.Normalize(o.Expr))
+				d.outFPs[i] = &fp
+			}
+			if isAgg && d.inGroupBy(o.Expr) {
+				d.groupOrds = append(d.groupOrds, i)
+				d.groupFPs = append(d.groupFPs, expr.NewFingerprint(expr.Normalize(o.Expr)))
+			}
+		case o.Agg != nil:
+			switch o.Agg.Kind {
+			case spjg.AggCountStar:
+				d.cntOrd = i
+			case spjg.AggSum:
+				d.sumOrds = append(d.sumOrds, i)
+				d.sumFPs = append(d.sumFPs, expr.NewFingerprint(expr.Normalize(o.Agg.Arg)))
+			}
+		}
+	}
+	return d
+}
+
+// inGroupBy reports whether e normalizes to some grouping expression.
+func (d *viewDerived) inGroupBy(e expr.Expr) bool {
+	ne := expr.Normalize(e)
+	for _, g := range d.normGroupBy {
+		if expr.Equal(ne, g) {
+			return true
+		}
+	}
+	return false
+}
+
+// outputOrdinal is OutputOrdinal over the cached simple-output list.
+func (v *View) outputOrdinal(same func(a, b expr.ColRef) bool, c expr.ColRef) int {
+	d := v.der()
+	for k, ref := range d.outColRefs {
+		if same(ref, c) {
+			return d.outColOrds[k]
+		}
+	}
+	return -1
+}
+
+// groupingOrdinal is GroupingOrdinal over the cached grouping-output list.
+func (v *View) groupingOrdinal(same func(a, b expr.ColRef) bool, c expr.ColRef) int {
+	d := v.der()
+	for k, ref := range d.groupColRefs {
+		if same(ref, c) {
+			return d.groupColOrds[k]
+		}
+	}
+	return -1
 }
 
 // MatchOptions configures optional extensions of the algorithm.
@@ -129,6 +249,7 @@ func (m *Matcher) NewView(id int, name string, def *spjg.Query) (*View, error) {
 	v := &View{ID: id, Name: name, Def: def, A: a}
 	v.Hub = m.computeHub(v)
 	v.Keys = m.computeViewKeys(v)
+	v.derived = computeDerived(v)
 	return v, nil
 }
 

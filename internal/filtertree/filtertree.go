@@ -9,10 +9,21 @@
 // output columns, residual predicates, range-constrained columns, and — for
 // aggregation views, which live in their own subtree — grouping expressions
 // and grouping columns.
+//
+// # Concurrency
+//
+// A Tree is safe for concurrent use. Insert and Delete take an exclusive
+// lock; Candidates takes a shared (read) lock, performs no writes to the
+// tree or the lattice indexes — per-search state lives in pooled scratch
+// buffers — and returns a freshly allocated slice that never aliases
+// internal storage. Once a view is published by Insert, any number of
+// goroutines may run Candidates concurrently; on a quiescent tree (no
+// concurrent registrations) searches never block one another.
 package filtertree
 
 import (
 	"sort"
+	"sync"
 
 	"matview/internal/core"
 	"matview/internal/lattice"
@@ -38,9 +49,30 @@ type node struct {
 
 // Tree is the filter tree over a set of registered views.
 type Tree struct {
+	mu   sync.RWMutex
 	spj  *subtree
 	agg  *subtree
 	size int
+	// scratch pools per-search frontier buffers, the candidate accumulator,
+	// and the extended-range-column set, so a steady-state Candidates call
+	// allocates only its result slice.
+	scratch sync.Pool // *candScratch
+}
+
+// candScratch is the per-search working state handed out by Tree.scratch.
+type candScratch struct {
+	frontier []*node
+	next     []*node
+	views    []*core.View
+	ext      map[string]bool
+}
+
+func (t *Tree) getScratch() *candScratch {
+	sc, _ := t.scratch.Get().(*candScratch)
+	if sc == nil {
+		sc = &candScratch{ext: make(map[string]bool, 8)}
+	}
+	return sc
 }
 
 type subtree struct {
@@ -165,10 +197,17 @@ func New() *Tree {
 }
 
 // Len returns the number of views in the tree.
-func (t *Tree) Len() int { return t.size }
+func (t *Tree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
 
-// Insert registers a view's description in the tree.
+// Insert registers a view's description in the tree. The view's Keys must
+// not be mutated after insertion.
 func (t *Tree) Insert(v *core.View) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	st := t.spj
 	if v.Keys.IsAggregate {
 		st = t.agg
@@ -180,6 +219,8 @@ func (t *Tree) Insert(v *core.View) {
 // Delete removes a view (matched by ID); it reports whether the view was
 // found. Empty partitions are pruned so later searches do not visit them.
 func (t *Tree) Delete(v *core.View) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	st := t.spj
 	if v.Keys.IsAggregate {
 		st = t.agg
@@ -261,20 +302,34 @@ func (st *subtree) delete(v *core.View) bool {
 // subtree (an aggregation view can never answer them); aggregation queries
 // search both subtrees, except scalar aggregates which skip the aggregation
 // subtree (see core.Matcher.Match).
+//
+// The returned slice is freshly allocated — it never aliases the tree's
+// pooled scratch buffers, so callers may retain or mutate it freely.
 func (t *Tree) Candidates(qk *core.QueryKeys) []*core.View {
-	var out []*core.View
-	out = t.spj.candidates(qk, out)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	sc := t.getScratch()
+	buf := t.spj.candidates(qk, sc, sc.views[:0])
 	if qk.IsAggregate && !qk.ScalarAggregate {
-		out = t.agg.candidates(qk, out)
+		buf = t.agg.candidates(qk, sc, buf)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	sort.Slice(buf, func(i, j int) bool { return buf[i].ID < buf[j].ID })
+	var out []*core.View
+	if len(buf) > 0 {
+		out = make([]*core.View, len(buf))
+		copy(out, buf)
+	}
+	sc.views = buf[:0]
+	t.scratch.Put(sc)
 	return out
 }
 
-func (st *subtree) candidates(qk *core.QueryKeys, out []*core.View) []*core.View {
-	frontier := []*node{st.root}
+func (st *subtree) candidates(qk *core.QueryKeys, sc *candScratch, out []*core.View) []*core.View {
+	frontier := append(sc.frontier[:0], st.root)
+	next := sc.next[:0]
+	defer func() { sc.frontier, sc.next = frontier[:0], next[:0] }()
 	for _, lv := range st.levels {
-		var next []*node
+		next = next[:0]
 		for _, n := range frontier {
 			if n.idx == nil {
 				continue
@@ -284,9 +339,10 @@ func (st *subtree) candidates(qk *core.QueryKeys, out []*core.View) []*core.View
 		if len(next) == 0 {
 			return out
 		}
-		frontier = next
+		frontier, next = next, frontier
 	}
-	ext := make(map[string]bool, len(qk.ExtRangeCols))
+	ext := sc.ext
+	clear(ext)
 	for _, c := range qk.ExtRangeCols {
 		ext[c] = true
 	}

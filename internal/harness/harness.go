@@ -35,6 +35,12 @@ type Config struct {
 	NumQueries int
 	// ViewCounts are the x-axis points of Figures 2–4.
 	ViewCounts []int
+	// Workers is the number of goroutines RunPoint fans queries out over via
+	// opt.Optimizer.OptimizeAll. 0 or 1 runs serially (the paper's setup);
+	// negative selects GOMAXPROCS. Aggregate stats are identical to a serial
+	// run either way, but RuleTime sums CPU time across workers, so under
+	// parallelism it can exceed TotalTime (which stays wall-clock).
+	Workers int
 	// Workload overrides the generator configuration (zero value: defaults).
 	Workload *workload.Config
 }
@@ -179,25 +185,32 @@ func (h *Harness) newOptimizer(s Setting, numViews int) (*opt.Optimizer, error) 
 }
 
 // RunPoint optimizes every query under one setting with numViews views and
-// returns the measurement.
+// returns the measurement. With cfg.Workers > 1 (or negative for
+// GOMAXPROCS) the queries are fanned out over OptimizeAll's worker pool;
+// plan choices and aggregate counts are identical to the serial run, only
+// TotalTime (wall-clock) changes.
 func (h *Harness) RunPoint(s Setting, numViews int) (Measurement, error) {
 	o, err := h.newOptimizer(s, numViews)
 	if err != nil {
 		return Measurement{}, err
 	}
+	workers := h.cfg.Workers
+	if workers == 0 {
+		workers = 1
+	}
 	m := Measurement{Setting: s.Name, NumViews: numViews, Queries: len(h.queries)}
 	start := time.Now()
-	for _, q := range h.queries {
-		res, err := o.Optimize(q)
-		if err != nil {
-			return Measurement{}, fmt.Errorf("harness: optimizing %s: %w", q, err)
-		}
-		m.Stats.Add(res.Stats)
+	results, stats, err := o.OptimizeAll(h.queries, workers)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("harness: %w", err)
+	}
+	m.TotalTime = time.Since(start)
+	m.Stats = stats
+	for _, res := range results {
 		if res.UsesView {
 			m.PlansWithViews++
 		}
 	}
-	m.TotalTime = time.Since(start)
 	m.RuleTime = m.Stats.ViewMatchTime
 	return m, nil
 }

@@ -1,0 +1,33 @@
+// Package intern provides a process-wide string intern table. The filter
+// tree and lattice index build many identical canonical key strings — one
+// per level per view, with heavy duplication across views that share source
+// tables, output columns, or residual predicates — and registrations keep
+// those strings alive for the life of the optimizer. Interning collapses the
+// duplicates to a single backing allocation.
+//
+// The table only grows (entries are never evicted); callers should intern
+// strings whose universe is bounded, such as canonical filter-tree keys, not
+// arbitrary per-query text. All functions are safe for concurrent use.
+package intern
+
+import "sync"
+
+var table sync.Map // string → string
+
+// String returns a canonical copy of s: the first caller's s is stored and
+// every later call with an equal string returns the stored copy.
+func String(s string) string {
+	if v, ok := table.Load(s); ok {
+		return v.(string)
+	}
+	v, _ := table.LoadOrStore(s, s)
+	return v.(string)
+}
+
+// Strings interns every element of s in place and returns s.
+func Strings(s []string) []string {
+	for i, v := range s {
+		s[i] = String(v)
+	}
+	return s
+}

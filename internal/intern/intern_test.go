@@ -1,0 +1,48 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+func TestStringCanonicalizes(t *testing.T) {
+	a := String(string([]byte("hello.world")))
+	b := String(string([]byte("hello.world")))
+	if a != b {
+		t.Fatalf("interned strings differ: %q vs %q", a, b)
+	}
+	if unsafe.StringData(a) != unsafe.StringData(b) {
+		t.Fatalf("interned strings do not share backing data")
+	}
+}
+
+func TestStringsInPlace(t *testing.T) {
+	s := []string{string([]byte("x")), string([]byte("x")), "y"}
+	out := Strings(s)
+	if &out[0] != &s[0] {
+		t.Fatalf("Strings did not intern in place")
+	}
+	if unsafe.StringData(out[0]) != unsafe.StringData(out[1]) {
+		t.Fatalf("equal elements not canonicalized")
+	}
+}
+
+func TestStringConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s := String(fmt.Sprintf("key-%d", i%64))
+				if s == "" {
+					t.Error("empty intern result")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -9,15 +9,26 @@
 // follows subset pointers, pruning any node that is not itself a superset of
 // the search key (no subset of it can be). A subset search is the mirror
 // image, starting from the roots.
+//
+// Concurrency: the search methods (Supersets, Subsets, Qualify, All, Len,
+// Size) never mutate the index — node visit tracking lives in pooled
+// per-search scratch, not on the nodes — so any number of goroutines may
+// search concurrently. Insert and Delete mutate the graph and require
+// external synchronization against each other and against searches (the
+// filter tree provides it with an RWMutex).
 package lattice
 
 import (
 	"sort"
 	"strings"
+	"sync"
+
+	"matview/internal/intern"
 )
 
 // node is one key set in the lattice with its payloads.
 type node[P any] struct {
+	id       int // dense per-index ordinal, indexes searchScratch.marks
 	key      map[string]bool
 	canon    string // canonical sorted-joined key, map lookup handle
 	payloads []P
@@ -28,10 +39,63 @@ type node[P any] struct {
 // Index is a lattice index over string-set keys with payloads of type P. The
 // zero value is not usable; call New.
 type Index[P any] struct {
-	nodes map[string]*node[P]
-	tops  []*node[P]
-	roots []*node[P]
-	size  int // total payload count
+	nodes  map[string]*node[P]
+	tops   []*node[P]
+	roots  []*node[P]
+	size   int // total payload count
+	nextID int
+	// scratch pools per-search visit marks and the search-key set, keeping
+	// the read path allocation-free in steady state.
+	scratch sync.Pool // *searchScratch
+}
+
+// searchScratch is per-search state: an epoch-stamped visited array indexed
+// by node id (bumping the epoch invalidates all marks in O(1)) and a
+// reusable string-set for the search key.
+type searchScratch struct {
+	marks []uint32
+	epoch uint32
+	set   map[string]bool
+}
+
+func (x *Index[P]) getScratch() *searchScratch {
+	sc, _ := x.scratch.Get().(*searchScratch)
+	if sc == nil {
+		sc = &searchScratch{set: make(map[string]bool, 8)}
+	}
+	sc.epoch++
+	if sc.epoch == 0 { // wrapped: stale marks could collide, reset them
+		for i := range sc.marks {
+			sc.marks[i] = 0
+		}
+		sc.epoch = 1
+	}
+	return sc
+}
+
+func (x *Index[P]) putScratch(sc *searchScratch) { x.scratch.Put(sc) }
+
+// visit marks the node visited and reports whether it already was.
+func (sc *searchScratch) visit(id int) bool {
+	if id >= len(sc.marks) {
+		grown := make([]uint32, id+1+len(sc.marks))
+		copy(grown, sc.marks)
+		sc.marks = grown
+	}
+	if sc.marks[id] == sc.epoch {
+		return true
+	}
+	sc.marks[id] = sc.epoch
+	return false
+}
+
+// searchSet fills the reusable set with the search key's members.
+func (sc *searchScratch) searchSet(key []string) map[string]bool {
+	clear(sc.set)
+	for _, k := range key {
+		sc.set[k] = true
+	}
+	return sc.set
 }
 
 // New returns an empty lattice index.
@@ -40,7 +104,8 @@ func New[P any]() *Index[P] {
 }
 
 // Canon returns the canonical form of a key (sorted, deduplicated, joined);
-// exported for tests and diagnostics.
+// exported for tests and diagnostics. The result is interned: equal keys
+// share one backing string across indexes and filter-tree levels.
 func Canon(key []string) string {
 	s := append([]string(nil), key...)
 	sort.Strings(s)
@@ -52,7 +117,7 @@ func Canon(key []string) string {
 		}
 		prev = v
 	}
-	return strings.Join(out, "\x00")
+	return intern.String(strings.Join(out, "\x00"))
 }
 
 func toSet(key []string) map[string]bool {
@@ -112,7 +177,8 @@ func (x *Index[P]) Insert(key []string, payload P) {
 		x.size++
 		return
 	}
-	n := &node[P]{key: toSet(key), canon: canon, payloads: []P{payload}}
+	n := &node[P]{id: x.nextID, key: toSet(key), canon: canon, payloads: []P{payload}}
+	x.nextID++
 
 	// Find the minimal supersets and maximal subsets of the new key by a
 	// pruned walk from the tops / roots.
@@ -306,14 +372,14 @@ func (x *Index[P]) reachable(s, b *node[P]) bool {
 // Supersets appends to out the payloads of every node whose key is a superset
 // of (or equal to) the search key, and returns out.
 func (x *Index[P]) Supersets(search []string, out []P) []P {
-	k := toSet(search)
-	visited := map[*node[P]]bool{}
+	sc := x.getScratch()
+	defer x.putScratch(sc)
+	k := sc.searchSet(search)
 	var walk func(n *node[P])
 	walk = func(n *node[P]) {
-		if visited[n] {
+		if sc.visit(n.id) {
 			return
 		}
-		visited[n] = true
 		if !isSubset(k, n.key) {
 			return // no subset of n can be a superset of k
 		}
@@ -331,14 +397,14 @@ func (x *Index[P]) Supersets(search []string, out []P) []P {
 // Subsets appends to out the payloads of every node whose key is a subset of
 // (or equal to) the search key, and returns out.
 func (x *Index[P]) Subsets(search []string, out []P) []P {
-	k := toSet(search)
-	visited := map[*node[P]]bool{}
+	sc := x.getScratch()
+	defer x.putScratch(sc)
+	k := sc.searchSet(search)
 	var walk func(n *node[P])
 	walk = func(n *node[P]) {
-		if visited[n] {
+		if sc.visit(n.id) {
 			return
 		}
-		visited[n] = true
 		if !isSubset(n.key, k) {
 			return // no superset of n can be a subset of k
 		}
@@ -358,13 +424,13 @@ func (x *Index[P]) Subsets(search []string, out []P) []P {
 // fails. This generalizes the superset search to the output-column and
 // grouping-column conditions of §4.2.3–4.2.4.
 func (x *Index[P]) Qualify(pred func(key map[string]bool) bool, out []P) []P {
-	visited := map[*node[P]]bool{}
+	sc := x.getScratch()
+	defer x.putScratch(sc)
 	var walk func(n *node[P])
 	walk = func(n *node[P]) {
-		if visited[n] {
+		if sc.visit(n.id) {
 			return
 		}
-		visited[n] = true
 		if !pred(n.key) {
 			return
 		}

@@ -1,0 +1,193 @@
+// Package opt_test (external) so the tests can drive the optimizer through
+// the workload generator, which itself depends on opt.
+package opt_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"matview/internal/exec"
+	"matview/internal/opt"
+	"matview/internal/spjg"
+	"matview/internal/tpch"
+	"matview/internal/workload"
+)
+
+// batchWorkload generates a realistic view set and query batch off the TPC-H
+// catalog, mirroring the harness but small enough for unit tests.
+func batchWorkload(t *testing.T, numViews, numQueries int) ([]*spjg.Query, []*spjg.Query) {
+	t.Helper()
+	cat := tpch.NewCatalog(0.1)
+	gen := workload.New(cat, workload.DefaultConfig(7))
+	views := make([]*spjg.Query, 0, numViews)
+	for i := 0; len(views) < numViews; i++ {
+		def := gen.View(i)
+		if def.ValidateAsView() == nil {
+			views = append(views, def)
+		}
+	}
+	queries := make([]*spjg.Query, 0, numQueries)
+	for i := 0; len(queries) < numQueries; i++ {
+		q := gen.Query(i)
+		if q.Validate() == nil {
+			queries = append(queries, q)
+		}
+	}
+	return views, queries
+}
+
+func newBatchOptimizer(t *testing.T, views []*spjg.Query) *opt.Optimizer {
+	t.Helper()
+	o := opt.NewOptimizer(tpch.NewCatalog(0.1), opt.DefaultOptions())
+	for i, def := range views {
+		if _, err := o.RegisterView(fmt.Sprintf("mv%03d", i), def); err != nil {
+			t.Fatalf("registering view %d: %v", i, err)
+		}
+	}
+	return o
+}
+
+// TestOptimizeAllMatchesSerial is the determinism guarantee: a parallel
+// OptimizeAll run produces byte-identical plan choices and identical
+// aggregate counts to the serial path (ViewMatchTime is wall-clock and is
+// deliberately excluded).
+func TestOptimizeAllMatchesSerial(t *testing.T) {
+	views, queries := batchWorkload(t, 60, 80)
+	o := newBatchOptimizer(t, views)
+
+	serial, serialStats, err := o.OptimizeAll(queries, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, parStats, err := o.OptimizeAll(queries, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(serial) != len(par) {
+		t.Fatalf("result counts differ: serial %d, parallel %d", len(serial), len(par))
+	}
+	usesSerial, usesPar := 0, 0
+	for i := range serial {
+		sp, pp := exec.Explain(serial[i].Plan), exec.Explain(par[i].Plan)
+		if sp != pp {
+			t.Errorf("query %d: plans differ\nserial:\n%s\nparallel:\n%s", i, sp, pp)
+		}
+		if serial[i].Cost != par[i].Cost {
+			t.Errorf("query %d: cost %v (serial) vs %v (parallel)", i, serial[i].Cost, par[i].Cost)
+		}
+		if serial[i].UsesView != par[i].UsesView {
+			t.Errorf("query %d: UsesView %v (serial) vs %v (parallel)", i, serial[i].UsesView, par[i].UsesView)
+		}
+		if serial[i].UsesView {
+			usesSerial++
+		}
+		if par[i].UsesView {
+			usesPar++
+		}
+	}
+	if usesSerial != usesPar {
+		t.Errorf("plans with views: %d (serial) vs %d (parallel)", usesSerial, usesPar)
+	}
+	if usesSerial == 0 {
+		t.Error("workload produced no plans using views; test is vacuous")
+	}
+	if serialStats.Invocations != parStats.Invocations ||
+		serialStats.CandidatesChecked != parStats.CandidatesChecked ||
+		serialStats.SubstitutesProduced != parStats.SubstitutesProduced {
+		t.Errorf("aggregate stats differ:\nserial:   %+v\nparallel: %+v", serialStats, parStats)
+	}
+}
+
+// TestQueryStatsShardMerge proves the sharding model: distributing per-query
+// stats over any number of worker shards and merging with Add yields exactly
+// the serial totals, independent of how queries landed on shards.
+func TestQueryStatsShardMerge(t *testing.T) {
+	views, queries := batchWorkload(t, 40, 50)
+	o := newBatchOptimizer(t, views)
+
+	results, _, err := o.OptimizeAll(queries, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serial opt.QueryStats
+	for _, res := range results {
+		serial.Add(res.Stats)
+	}
+	if serial.Invocations == 0 || serial.CandidatesChecked == 0 {
+		t.Fatal("workload produced no matching activity; test is vacuous")
+	}
+
+	for _, workers := range []int{2, 3, 7} {
+		shards := make([]opt.QueryStats, workers)
+		for i, res := range results {
+			// Deliberately uneven assignment (not round-robin): shard by a
+			// hash-ish function of the index.
+			shards[(i*i+3*i)%workers].Add(res.Stats)
+		}
+		var merged opt.QueryStats
+		for i := range shards {
+			merged.Add(shards[i])
+		}
+		if merged != serial {
+			t.Errorf("workers=%d: merged shards %+v != serial %+v", workers, merged, serial)
+		}
+	}
+}
+
+// TestConcurrentRegisterOptimize stresses the optimizer's locking: goroutines
+// register and drop views while others optimize the same query batch. Run
+// with -race; correctness here is "no race, no panic, every Optimize
+// succeeds".
+func TestConcurrentRegisterOptimize(t *testing.T) {
+	views, queries := batchWorkload(t, 40, 30)
+	o := newBatchOptimizer(t, views[:20])
+
+	var wg sync.WaitGroup
+	// Writers: register the remaining views, then drop a few.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 20; i < len(views); i++ {
+			if _, err := o.RegisterView(fmt.Sprintf("mv%03d", i), views[i]); err != nil {
+				t.Errorf("RegisterView: %v", err)
+				return
+			}
+		}
+		for i := 0; i < 5; i++ {
+			o.DropView(fmt.Sprintf("mv%03d", i))
+		}
+	}()
+	// Readers: optimize the batch repeatedly, serially and via OptimizeAll.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				if w%2 == 0 {
+					if _, _, err := o.OptimizeAll(queries, 2); err != nil {
+						t.Errorf("OptimizeAll: %v", err)
+						return
+					}
+					continue
+				}
+				for _, q := range queries {
+					if _, err := o.Optimize(q); err != nil {
+						t.Errorf("Optimize: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// The optimizer must still be consistent after the churn.
+	if n := o.NumViews(); n != len(views)-5 {
+		t.Errorf("NumViews = %d, want %d", n, len(views)-5)
+	}
+	if _, _, err := o.OptimizeAll(queries, 4); err != nil {
+		t.Errorf("OptimizeAll after churn: %v", err)
+	}
+}

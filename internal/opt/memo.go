@@ -68,6 +68,10 @@ func (o *Optimizer) Optimize(q *spjg.Query) (*Result, error) {
 	if n > 20 {
 		return nil, fmt.Errorf("opt: %d tables exceeds the supported join size", n)
 	}
+	// Planning only reads the view catalog; hold the shared lock for the
+	// whole pass so registrations cannot splice the catalog mid-plan.
+	o.mu.RLock()
+	defer o.mu.RUnlock()
 	c := &optCtx{o: o, q: q, est: &estimator{q: q}}
 	c.prepare()
 

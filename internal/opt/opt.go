@@ -2,6 +2,9 @@ package opt
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"matview/internal/catalog"
@@ -46,6 +49,12 @@ func DefaultOptions() Options {
 // paper's experiments require (§5): rule invocation counts, candidate-set
 // sizes after filtering, substitutes produced, and time spent inside the
 // view-matching rule.
+//
+// A QueryStats value is not itself synchronized. The concurrency model is
+// sharding: each Optimize call accumulates into its own private value (the
+// hot path touches no shared counters), and batch APIs like OptimizeAll give
+// every worker its own shard, merging them with Add once the workers have
+// finished. All fields are sums, so merge order does not affect the totals.
 type QueryStats struct {
 	Invocations         int64
 	CandidatesChecked   int64
@@ -53,7 +62,8 @@ type QueryStats struct {
 	ViewMatchTime       time.Duration
 }
 
-// Add accumulates other into s.
+// Add accumulates other into s. It must not be called concurrently with
+// other writes to s; merge per-worker shards after joining the workers.
 func (s *QueryStats) Add(other QueryStats) {
 	s.Invocations += other.Invocations
 	s.CandidatesChecked += other.CandidatesChecked
@@ -72,17 +82,31 @@ type Result struct {
 
 // Optimizer owns the registered views, the filter tree, and the matcher, and
 // optimizes SPJG queries into executable plans.
+//
+// An Optimizer is safe for concurrent use: RegisterView, DropView,
+// SetViewRowCount, and RegisterViewIndex take an exclusive lock, while
+// Optimize (and OptimizeAll's workers) take a shared lock for the duration
+// of planning, so any number of goroutines may optimize concurrently. Views
+// are immutable once published; per-query state lives on the stack or in
+// pooled scratch, never in shared mutable fields.
 type Optimizer struct {
 	cat     *catalog.Catalog
 	matcher *core.Matcher
 	opts    Options
 
+	// mu guards the view catalog below. Optimize holds it in read mode for
+	// the whole planning pass; registration paths hold it in write mode.
+	mu          sync.RWMutex
 	views       []*core.View
 	byName      map[string]*core.View
 	tree        *filtertree.Tree
 	viewRows    map[int]float64 // estimated materialized cardinality by view ID
 	viewIndexes map[int][][]int // declared secondary indexes by view ID
 	nextID      int
+
+	// qkPool recycles QueryKeys values across matchViews invocations so the
+	// per-invocation key computation reuses slice capacity.
+	qkPool sync.Pool // *core.QueryKeys
 }
 
 // NewOptimizer returns an optimizer over the catalog.
@@ -104,18 +128,32 @@ func (o *Optimizer) Matcher() *core.Matcher { return o.matcher }
 func (o *Optimizer) Options() Options { return o.opts }
 
 // NumViews returns the number of registered views.
-func (o *Optimizer) NumViews() int { return len(o.views) }
+func (o *Optimizer) NumViews() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return len(o.views)
+}
 
-// Views returns the registered views (shared slice; do not mutate).
-func (o *Optimizer) Views() []*core.View { return o.views }
+// Views returns a snapshot of the registered views.
+func (o *Optimizer) Views() []*core.View {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return append([]*core.View(nil), o.views...)
+}
 
 // ViewByName returns a registered view, or nil.
-func (o *Optimizer) ViewByName(name string) *core.View { return o.byName[name] }
+func (o *Optimizer) ViewByName(name string) *core.View {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.byName[name]
+}
 
 // RegisterView validates, analyzes, and indexes a materialized view
 // definition. The view's materialized cardinality is estimated from catalog
 // statistics; SetViewRowCount overrides it once actual data exists.
 func (o *Optimizer) RegisterView(name string, def *spjg.Query) (*core.View, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	if _, dup := o.byName[name]; dup {
 		return nil, fmt.Errorf("opt: duplicate view %q", name)
 	}
@@ -133,6 +171,8 @@ func (o *Optimizer) RegisterView(name string, def *spjg.Query) (*core.View, erro
 
 // DropView removes a view by name; it reports whether it existed.
 func (o *Optimizer) DropView(name string) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	v, ok := o.byName[name]
 	if !ok {
 		return false
@@ -153,6 +193,8 @@ func (o *Optimizer) DropView(name string) bool {
 // SetViewRowCount overrides the estimated cardinality of a view (e.g. with
 // the actual materialized row count).
 func (o *Optimizer) SetViewRowCount(name string, rows int64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	if v, ok := o.byName[name]; ok {
 		o.viewRows[v.ID] = float64(rows)
 	}
@@ -169,8 +211,13 @@ func (o *Optimizer) matchViews(q *spjg.Query, stats *QueryStats) []*core.Substit
 	stats.Invocations++
 	var cands []*core.View
 	if o.opts.UseFilterTree {
-		qk := o.matcher.ComputeQueryKeys(q)
-		cands = o.tree.Candidates(&qk)
+		qk, _ := o.qkPool.Get().(*core.QueryKeys)
+		if qk == nil {
+			qk = new(core.QueryKeys)
+		}
+		o.matcher.ComputeQueryKeysInto(q, qk)
+		cands = o.tree.Candidates(qk)
+		o.qkPool.Put(qk)
 	} else {
 		cands = o.views
 	}
@@ -186,4 +233,76 @@ func (o *Optimizer) matchViews(q *spjg.Query, stats *QueryStats) []*core.Substit
 	}
 	stats.ViewMatchTime += time.Since(start)
 	return subs
+}
+
+// OptimizeAll optimizes a batch of queries over a pool of workers and
+// returns the per-query results (aligned with queries) plus the aggregate
+// stats. workers <= 0 selects GOMAXPROCS. Each worker accumulates stats in
+// its own shard; shards are merged with QueryStats.Add after the workers
+// join, so the aggregate counts are identical to a serial run over the same
+// queries regardless of scheduling (ViewMatchTime sums CPU time across
+// workers and therefore exceeds wall-clock time under parallelism).
+//
+// Optimization is a read-only operation on the optimizer, so OptimizeAll
+// may run concurrently with itself; registrations are serialized against it
+// by the optimizer's lock.
+func (o *Optimizer) OptimizeAll(queries []*spjg.Query, workers int) ([]*Result, QueryStats, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	results := make([]*Result, len(queries))
+	if workers <= 1 {
+		var agg QueryStats
+		for i, q := range queries {
+			res, err := o.Optimize(q)
+			if err != nil {
+				return nil, QueryStats{}, fmt.Errorf("opt: optimizing query %d: %w", i, err)
+			}
+			results[i] = res
+			agg.Add(res.Stats)
+		}
+		return results, agg, nil
+	}
+
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	shards := make([]QueryStats, workers)
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				res, err := o.Optimize(queries[i])
+				if err != nil {
+					errs[w] = fmt.Errorf("opt: optimizing query %d: %w", i, err)
+					failed.Store(true)
+					return
+				}
+				results[i] = res
+				shards[w].Add(res.Stats)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, QueryStats{}, err
+		}
+	}
+	var agg QueryStats
+	for w := range shards {
+		agg.Add(shards[w])
+	}
+	return results, agg, nil
 }

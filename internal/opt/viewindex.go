@@ -18,6 +18,8 @@ import (
 // out. The caller is responsible for building the matching storage index on
 // the materialized rows (storage.MaterializedView.BuildIndex).
 func (o *Optimizer) RegisterViewIndex(name string, cols []int) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	v, ok := o.byName[name]
 	if !ok {
 		return fmt.Errorf("opt: unknown view %q", name)

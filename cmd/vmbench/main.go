@@ -7,21 +7,32 @@
 //
 //	vmbench -experiment fig2|fig3|fig4|stats|all [-views N] [-queries N] [-seed S] [-step N]
 //	        [-workers N] [-cpuprofile FILE] [-memprofile FILE]
+//	vmbench -experiment load [-server URL] [-clients N] [-duration D] [-sf F] [-seed S]
 //
 // -workers fans each measurement's queries out over N optimizer goroutines
 // (0 = GOMAXPROCS, 1 = serial as in the paper); plan choices and aggregate
 // statistics are unaffected, only wall-clock time changes. -cpuprofile and
 // -memprofile write pprof profiles of the run.
+//
+// The load experiment drives a vmserver instance with concurrent /query
+// traffic and reports throughput, latency percentiles, and the plan-cache
+// hit rate. With no -server URL it starts an in-process server over a fresh
+// TPC-H database on a loopback port first.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"matview/internal/harness"
+	"matview/internal/server"
+	"matview/internal/tpch"
 )
 
 func main() {
@@ -34,7 +45,16 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	verbose := flag.Bool("v", false, "print per-point progress")
+	serverURL := flag.String("server", "", "load: base URL of a running vmserver ('' = start one in-process)")
+	clients := flag.Int("clients", 8, "load: concurrent client goroutines")
+	duration := flag.Duration("duration", 3*time.Second, "load: how long to drive traffic")
+	sf := flag.Float64("sf", 0.01, "load: TPC-H scale factor for the in-process server")
 	flag.Parse()
+
+	if *experiment == "load" {
+		check(runLoad(*serverURL, *clients, *duration, *sf, *seed))
+		return
+	}
 
 	cfg := harness.DefaultConfig(*seed)
 	cfg.NumViews = *views
@@ -118,6 +138,73 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		os.Exit(2)
 	}
+}
+
+// loadStatements builds the canonical load mix: two rollup views plus an
+// index, then a pool of point-rollup SELECTs over a rotating constant set.
+// The pool repeats quickly, so after one warm pass nearly every request is
+// a plan-cache hit — the serve-many-similar-queries regime the cache is
+// built for.
+func loadStatements() (optional, setup, queries []string) {
+	optional = []string{"drop view load_pq", "drop view load_ord"}
+	setup = []string{
+		`create view load_pq with schemabinding as
+			select l_partkey, count_big(*) as cnt, sum(l_quantity) as qty
+			from lineitem group by l_partkey`,
+		`create unique index load_pq_idx on load_pq (l_partkey)`,
+		`create view load_ord with schemabinding as
+			select o_custkey, count_big(*) as cnt, sum(o_totalprice) as total
+			from orders group by o_custkey`,
+	}
+	for k := 1; k <= 32; k++ {
+		queries = append(queries, fmt.Sprintf(
+			"select l_partkey, sum(l_quantity) as qty from lineitem where l_partkey = %d group by l_partkey", k))
+	}
+	for k := 1; k <= 16; k++ {
+		queries = append(queries, fmt.Sprintf(
+			"select o_custkey, sum(o_totalprice) as total from orders where o_custkey = %d group by o_custkey", k))
+	}
+	queries = append(queries,
+		"select count_big(*) as n from lineitem",
+		"select l_partkey, count_big(*) as cnt from lineitem group by l_partkey")
+	return optional, setup, queries
+}
+
+func runLoad(url string, clients int, duration time.Duration, sf float64, seed int64) error {
+	if url == "" {
+		fmt.Printf("starting in-process vmserver (sf=%g, seed=%d)...\n", sf, seed)
+		db, err := tpch.NewDatabase(sf, seed)
+		if err != nil {
+			return err
+		}
+		srv := server.New(db, server.Config{})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		go func() { _ = http.Serve(ln, srv.Handler()) }()
+		url = "http://" + ln.Addr().String()
+	}
+	optional, setup, queries := loadStatements()
+	fmt.Printf("driving %s: %d clients, %d query shapes, %v\n", url, clients, len(queries), duration)
+	res, err := server.RunLoad(server.LoadOptions{
+		URL:           url,
+		Clients:       clients,
+		Duration:      duration,
+		SetupOptional: optional,
+		Setup:         setup,
+		Queries:       queries,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nrequests:        %d (%d errors, %d rejected 503s)\n", res.Requests, res.Errors, res.Rejected)
+	fmt.Printf("elapsed:         %v\n", res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput:      %.0f qps\n", res.QPS)
+	fmt.Printf("latency p50/p99: %v / %v\n", res.P50.Round(time.Microsecond), res.P99.Round(time.Microsecond))
+	fmt.Printf("plan cache:      %d hits, %d misses (%.1f%% hit rate)\n",
+		res.CacheHits, res.CacheMisses, 100*res.CacheHitRate)
+	return nil
 }
 
 func check(err error) {

@@ -1,0 +1,84 @@
+// Command vmserver serves the full materialized-view stack over HTTP/JSON:
+// a TPC-H database with the optimizer, plan cache, executor, and
+// incremental maintainer behind four endpoints.
+//
+//	POST /query   {"sql": "select ...", "explain": false}  — plan-cached SELECTs
+//	POST /exec    {"sql": "insert ... | delete ... | create view ... | create index ... | drop view ..."}
+//	GET  /healthz — liveness (503 while draining)
+//	GET  /metrics — counters: queries, plan-cache hit/miss/eviction, latency percentiles, optimizer stats
+//
+// Usage:
+//
+//	vmserver [-addr :8080] [-sf 0.01] [-seed 1] [-max-concurrent 64]
+//	         [-timeout 5s] [-cache-size 1024] [-max-rows 10000]
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: new requests get 503 while
+// in-flight requests drain (up to 10s).
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"matview/internal/server"
+	"matview/internal/tpch"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for the backing database")
+	seed := flag.Int64("seed", 1, "data generation seed")
+	maxConcurrent := flag.Int("max-concurrent", 64, "admission-control slots; excess requests get 503")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request optimization timeout")
+	cacheSize := flag.Int("cache-size", 1024, "plan cache capacity (entries)")
+	maxRows := flag.Int("max-rows", 10000, "max rows returned per query (0 = unlimited)")
+	flag.Parse()
+
+	log.SetPrefix("vmserver: ")
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+
+	log.Printf("generating TPC-H database (sf=%g, seed=%d)...", *sf, *seed)
+	db, err := tpch.NewDatabase(*sf, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := server.New(db, server.Config{
+		MaxConcurrent:  *maxConcurrent,
+		RequestTimeout: *timeout,
+		CacheSize:      *cacheSize,
+		MaxRows:        *maxRows,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-stop
+		log.Printf("received %v, draining...", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+		}
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("serving on %s (max-concurrent=%d, timeout=%v, cache-size=%d)",
+		*addr, *maxConcurrent, *timeout, *cacheSize)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	log.Println("shut down cleanly")
+}

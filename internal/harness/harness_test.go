@@ -3,6 +3,7 @@ package harness
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 // smallConfig keeps unit-test runtime low while exercising every code path.
@@ -194,6 +195,24 @@ func TestRunFigure34AndAccessors(t *testing.T) {
 	for _, m := range ms {
 		if m.Setting != "Alt&Filter" {
 			t.Errorf("setting = %s", m.Setting)
+		}
+	}
+}
+
+func TestPctIncrease(t *testing.T) {
+	cases := []struct {
+		base, now time.Duration
+		want      string
+	}{
+		{0, time.Second, "n/a"},           // zero base: ratio undefined
+		{-time.Second, time.Second, "n/a"}, // negative base: clock skew
+		{time.Second, 2 * time.Second, "100%"},
+		{time.Second, time.Second, "0%"},
+		{2 * time.Second, time.Second, "-50%"},
+	}
+	for _, c := range cases {
+		if got := pctIncrease(c.base, c.now); got != c.want {
+			t.Errorf("pctIncrease(%v, %v) = %q, want %q", c.base, c.now, got, c.want)
 		}
 	}
 }

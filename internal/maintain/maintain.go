@@ -89,6 +89,19 @@ func (m *Maintainer) Register(name string, def *spjg.Query) (*View, error) {
 // Views returns the maintained views.
 func (m *Maintainer) Views() []*View { return m.views }
 
+// Drop stops maintaining a view and removes its materialized rows from
+// storage; it reports whether the view was registered.
+func (m *Maintainer) Drop(name string) bool {
+	for i, v := range m.views {
+		if v.Name == name {
+			m.views = append(m.views[:i], m.views[i+1:]...)
+			m.db.DropView(name)
+			return true
+		}
+	}
+	return false
+}
+
 // instancesOf counts how many times the view references the table.
 func instancesOf(def *spjg.Query, table string) int {
 	n := 0

@@ -1,0 +1,97 @@
+package opt
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"matview/internal/expr"
+	"matview/internal/spjg"
+	"matview/internal/tpch"
+)
+
+func TestOptimizeCtxCancelled(t *testing.T) {
+	o := NewOptimizer(db(t).Catalog, DefaultOptions())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := o.OptimizeCtx(ctx, joinQuery(t)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("OptimizeCtx on cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+func TestOptimizeCtxBackgroundMatchesOptimize(t *testing.T) {
+	o := NewOptimizer(db(t).Catalog, DefaultOptions())
+	q := joinQuery(t)
+	a, err := o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := o.OptimizeCtx(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost != b.Cost || a.UsesView != b.UsesView {
+		t.Fatalf("Optimize and OptimizeCtx disagree: %+v vs %+v", a, b)
+	}
+}
+
+func TestOptimizeAllCtxCancelled(t *testing.T) {
+	o := NewOptimizer(db(t).Catalog, DefaultOptions())
+	queries := []*spjg.Query{joinQuery(t), joinQuery(t), joinQuery(t), joinQuery(t)}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 2} {
+		if _, _, err := o.OptimizeAllCtx(ctx, queries, workers); !errors.Is(err, context.Canceled) {
+			t.Fatalf("OptimizeAllCtx(workers=%d) on cancelled ctx = %v, want context.Canceled",
+				workers, err)
+		}
+	}
+}
+
+func TestCatalogEpochBumpsOnDDL(t *testing.T) {
+	o := NewOptimizer(db(t).Catalog, DefaultOptions())
+	vdef := &spjg.Query{
+		Tables: []spjg.TableRef{tr(t, "lineitem")},
+		Outputs: []spjg.OutputColumn{
+			{Name: "l_partkey", Expr: expr.Col(0, tpch.LPartkey)},
+			{Name: "l_quantity", Expr: expr.Col(0, tpch.LQuantity)},
+		},
+	}
+	e := o.CatalogEpoch()
+	if _, err := o.RegisterView("epoch_v", vdef); err != nil {
+		t.Fatal(err)
+	}
+	if o.CatalogEpoch() <= e {
+		t.Fatal("RegisterView did not bump the epoch")
+	}
+	e = o.CatalogEpoch()
+	if err := o.RegisterViewIndex("epoch_v", []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if o.CatalogEpoch() <= e {
+		t.Fatal("RegisterViewIndex did not bump the epoch")
+	}
+	e = o.CatalogEpoch()
+	o.SetViewRowCount("epoch_v", 123)
+	if o.CatalogEpoch() <= e {
+		t.Fatal("SetViewRowCount did not bump the epoch")
+	}
+	e = o.CatalogEpoch()
+	o.SetViewRowCount("no_such_view", 123)
+	if o.CatalogEpoch() != e {
+		t.Fatal("SetViewRowCount on an unknown view bumped the epoch")
+	}
+	if !o.DropView("epoch_v") {
+		t.Fatal("DropView failed")
+	}
+	if o.CatalogEpoch() <= e {
+		t.Fatal("DropView did not bump the epoch")
+	}
+	e = o.CatalogEpoch()
+	if o.DropView("epoch_v") {
+		t.Fatal("double drop succeeded")
+	}
+	if o.CatalogEpoch() != e {
+		t.Fatal("failed DropView bumped the epoch")
+	}
+}

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"sort"
@@ -61,6 +62,17 @@ type optCtx struct {
 // aggregation placement, and (for aggregation queries over joins) the eager
 // pre-aggregation alternatives of Example 4. It returns the cheapest plan.
 func (o *Optimizer) Optimize(q *spjg.Query) (*Result, error) {
+	return o.OptimizeCtx(context.Background(), q)
+}
+
+// OptimizeCtx is Optimize with cancellation: the memo loop polls ctx every
+// few subexpressions, so a server can abandon planning when a request times
+// out or the client disconnects. A cancelled call returns ctx's error
+// (context.Canceled or context.DeadlineExceeded) unwrapped.
+func (o *Optimizer) OptimizeCtx(ctx context.Context, q *spjg.Query) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -93,7 +105,14 @@ func (o *Optimizer) Optimize(q *spjg.Query) (*Result, error) {
 	})
 
 	isAgg := q.IsAggregate()
-	for _, mask := range masks {
+	for mi, mask := range masks {
+		// Poll for cancellation cheaply: the per-mask work is microseconds,
+		// so a stride of 64 bounds the overrun after a timeout fires.
+		if mi&63 == 0 && mi > 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		var alt *planInfo
 		if bits.OnesCount64(mask) == 1 {
 			alt = c.scanInfo(bits.TrailingZeros64(mask))
@@ -168,6 +187,9 @@ func (o *Optimizer) Optimize(q *spjg.Query) (*Result, error) {
 		}
 	}
 	// Top-level view matching on the real query expression.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, sub := range o.matchViews(q, &c.stats) {
 		vp := c.topSubstitutePlan(sub)
 		if vp.cost < final.cost {

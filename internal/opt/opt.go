@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -107,6 +108,12 @@ type Optimizer struct {
 	// qkPool recycles QueryKeys values across matchViews invocations so the
 	// per-invocation key computation reuses slice capacity.
 	qkPool sync.Pool // *core.QueryKeys
+
+	// epoch counts catalog mutations (view registration and drop, index
+	// declaration, row-count overrides). External plan caches stamp entries
+	// with the epoch observed before planning; any DDL bumps it, so a plan
+	// computed against an older catalog shape is never served again.
+	epoch atomic.Uint64
 }
 
 // NewOptimizer returns an optimizer over the catalog.
@@ -123,6 +130,14 @@ func NewOptimizer(cat *catalog.Catalog, opts Options) *Optimizer {
 
 // Matcher exposes the underlying view matcher.
 func (o *Optimizer) Matcher() *core.Matcher { return o.matcher }
+
+// CatalogEpoch returns the current catalog version. It increases on every
+// catalog mutation (RegisterView, DropView, RegisterViewIndex,
+// SetViewRowCount). Plan caches snapshot it before planning and must treat
+// entries stamped with an older epoch as stale: reading the epoch first and
+// planning second guarantees a plan can only be cached under an epoch at
+// least as old as the catalog it was planned against.
+func (o *Optimizer) CatalogEpoch() uint64 { return o.epoch.Load() }
 
 // Options returns the optimizer's configuration.
 func (o *Optimizer) Options() Options { return o.opts }
@@ -166,6 +181,7 @@ func (o *Optimizer) RegisterView(name string, def *spjg.Query) (*core.View, erro
 	o.byName[name] = v
 	o.tree.Insert(v)
 	o.viewRows[v.ID] = EstimateRows(def)
+	o.epoch.Add(1)
 	return v, nil
 }
 
@@ -187,6 +203,7 @@ func (o *Optimizer) DropView(name string) bool {
 			break
 		}
 	}
+	o.epoch.Add(1)
 	return true
 }
 
@@ -197,6 +214,7 @@ func (o *Optimizer) SetViewRowCount(name string, rows int64) {
 	defer o.mu.Unlock()
 	if v, ok := o.byName[name]; ok {
 		o.viewRows[v.ID] = float64(rows)
+		o.epoch.Add(1)
 	}
 }
 
@@ -237,16 +255,27 @@ func (o *Optimizer) matchViews(q *spjg.Query, stats *QueryStats) []*core.Substit
 
 // OptimizeAll optimizes a batch of queries over a pool of workers and
 // returns the per-query results (aligned with queries) plus the aggregate
+// stats. It is OptimizeAllCtx without cancellation.
+func (o *Optimizer) OptimizeAll(queries []*spjg.Query, workers int) ([]*Result, QueryStats, error) {
+	return o.OptimizeAllCtx(context.Background(), queries, workers)
+}
+
+// OptimizeAllCtx optimizes a batch of queries over a pool of workers and
+// returns the per-query results (aligned with queries) plus the aggregate
 // stats. workers <= 0 selects GOMAXPROCS. Each worker accumulates stats in
 // its own shard; shards are merged with QueryStats.Add after the workers
 // join, so the aggregate counts are identical to a serial run over the same
 // queries regardless of scheduling (ViewMatchTime sums CPU time across
 // workers and therefore exceeds wall-clock time under parallelism).
 //
-// Optimization is a read-only operation on the optimizer, so OptimizeAll
+// Cancelling ctx stops the batch: workers check the context between queries
+// (and Optimize checks it during planning), so a cancelled batch returns
+// ctx's error promptly instead of draining the remaining queries.
+//
+// Optimization is a read-only operation on the optimizer, so OptimizeAllCtx
 // may run concurrently with itself; registrations are serialized against it
 // by the optimizer's lock.
-func (o *Optimizer) OptimizeAll(queries []*spjg.Query, workers int) ([]*Result, QueryStats, error) {
+func (o *Optimizer) OptimizeAllCtx(ctx context.Context, queries []*spjg.Query, workers int) ([]*Result, QueryStats, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -257,7 +286,7 @@ func (o *Optimizer) OptimizeAll(queries []*spjg.Query, workers int) ([]*Result, 
 	if workers <= 1 {
 		var agg QueryStats
 		for i, q := range queries {
-			res, err := o.Optimize(q)
+			res, err := o.OptimizeCtx(ctx, q)
 			if err != nil {
 				return nil, QueryStats{}, fmt.Errorf("opt: optimizing query %d: %w", i, err)
 			}
@@ -279,11 +308,16 @@ func (o *Optimizer) OptimizeAll(queries []*spjg.Query, workers int) ([]*Result, 
 		go func(w int) {
 			defer wg.Done()
 			for !failed.Load() {
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					failed.Store(true)
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(queries) {
 					return
 				}
-				res, err := o.Optimize(queries[i])
+				res, err := o.OptimizeCtx(ctx, queries[i])
 				if err != nil {
 					errs[w] = fmt.Errorf("opt: optimizing query %d: %w", i, err)
 					failed.Store(true)

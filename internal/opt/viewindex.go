@@ -33,6 +33,7 @@ func (o *Optimizer) RegisterViewIndex(name string, cols []int) error {
 		o.viewIndexes = map[int][][]int{}
 	}
 	o.viewIndexes[v.ID] = append(o.viewIndexes[v.ID], append([]int(nil), cols...))
+	o.epoch.Add(1)
 	return nil
 }
 

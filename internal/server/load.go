@@ -1,0 +1,188 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadOptions configures RunLoad, the HTTP load client used by
+// `vmbench -experiment load` and the end-to-end benchmark.
+type LoadOptions struct {
+	// URL is the server base URL, e.g. "http://127.0.0.1:8080".
+	URL string
+	// Clients is the number of concurrent client goroutines (default 8).
+	Clients int
+	// Duration is how long to drive load (default 3s).
+	Duration time.Duration
+	// SetupOptional statements are POSTed to /exec before Setup with
+	// failures ignored — e.g. DROP VIEW cleanup so a load can be re-run
+	// against a warm server.
+	SetupOptional []string
+	// Setup statements are POSTed to /exec once before the run; a failure
+	// aborts the load.
+	Setup []string
+	// Queries is the SELECT pool; each client walks it round-robin from a
+	// distinct offset.
+	Queries []string
+}
+
+// LoadResult summarizes a load run. Cache counters are the server-side
+// deltas over the run, so a warm server still reports the run's own rate.
+type LoadResult struct {
+	Requests int64
+	Errors   int64
+	Rejected int64
+	Elapsed  time.Duration
+	QPS      float64
+	P50      time.Duration
+	P99      time.Duration
+
+	CacheHits    int64
+	CacheMisses  int64
+	CacheHitRate float64 // hits / (hits+misses), 0 when idle
+}
+
+// RunLoad drives the server with concurrent /query traffic and reports
+// throughput, client-side latency percentiles, and the server's plan-cache
+// hit rate over the run.
+func RunLoad(opts LoadOptions) (*LoadResult, error) {
+	if opts.URL == "" {
+		return nil, fmt.Errorf("server: load needs a URL")
+	}
+	if len(opts.Queries) == 0 {
+		return nil, fmt.Errorf("server: load needs at least one query")
+	}
+	if opts.Clients <= 0 {
+		opts.Clients = 8
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = 3 * time.Second
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	for _, stmt := range opts.SetupOptional {
+		_, _ = postJSON(client, opts.URL+"/exec", &ExecRequest{SQL: stmt}, http.StatusOK)
+	}
+	for _, stmt := range opts.Setup {
+		if _, err := postJSON(client, opts.URL+"/exec", &ExecRequest{SQL: stmt}, http.StatusOK); err != nil {
+			return nil, fmt.Errorf("server: load setup %q: %w", stmt, err)
+		}
+	}
+	before, err := fetchMetrics(client, opts.URL)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		requests, errCount, rejected atomic.Int64
+		wg                           sync.WaitGroup
+	)
+	latencies := make([][]time.Duration, opts.Clients)
+	deadline := time.Now().Add(opts.Duration)
+	start := time.Now()
+	for c := 0; c < opts.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; time.Now().Before(deadline); i++ {
+				q := opts.Queries[i%len(opts.Queries)]
+				t0 := time.Now()
+				code, err := postJSONCode(client, opts.URL+"/query", &QueryRequest{SQL: q})
+				requests.Add(1)
+				switch {
+				case err != nil:
+					errCount.Add(1)
+				case code == http.StatusServiceUnavailable:
+					rejected.Add(1)
+				case code != http.StatusOK:
+					errCount.Add(1)
+				default:
+					latencies[c] = append(latencies[c], time.Since(t0))
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := fetchMetrics(client, opts.URL)
+	if err != nil {
+		return nil, err
+	}
+	res := &LoadResult{
+		Requests:    requests.Load(),
+		Errors:      errCount.Load(),
+		Rejected:    rejected.Load(),
+		Elapsed:     elapsed,
+		QPS:         float64(requests.Load()) / elapsed.Seconds(),
+		CacheHits:   after.PlanCache.Hits - before.PlanCache.Hits,
+		CacheMisses: after.PlanCache.Misses - before.PlanCache.Misses,
+	}
+	if total := res.CacheHits + res.CacheMisses; total > 0 {
+		res.CacheHitRate = float64(res.CacheHits) / float64(total)
+	}
+	var all []time.Duration
+	for _, ls := range latencies {
+		all = append(all, ls...)
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		res.P50 = all[len(all)/2]
+		res.P99 = all[int(0.99*float64(len(all)-1))]
+	}
+	return res, nil
+}
+
+// fetchMetrics reads the server's /metrics snapshot.
+func fetchMetrics(client *http.Client, baseURL string) (*Metrics, error) {
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("server: fetching metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("server: /metrics returned %s", resp.Status)
+	}
+	var m Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, fmt.Errorf("server: decoding metrics: %w", err)
+	}
+	return &m, nil
+}
+
+func postJSON(client *http.Client, url string, body any, wantCode int) ([]byte, error) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantCode {
+		return data, fmt.Errorf("status %s: %s", resp.Status, bytes.TrimSpace(data))
+	}
+	return data, nil
+}
+
+func postJSONCode(client *http.Client, url string, body any) (int, error) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}

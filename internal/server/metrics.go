@@ -1,0 +1,97 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyRecorder keeps a sliding window of request latencies for
+// percentile estimates. Observations overwrite the oldest once the window
+// is full, so /metrics reports recent behavior rather than lifetime
+// averages.
+type latencyRecorder struct {
+	mu   sync.Mutex
+	buf  []time.Duration
+	next int
+	full bool
+}
+
+func newLatencyRecorder(window int) *latencyRecorder {
+	if window < 1 {
+		window = 1
+	}
+	return &latencyRecorder{buf: make([]time.Duration, window)}
+}
+
+func (l *latencyRecorder) observe(d time.Duration) {
+	l.mu.Lock()
+	l.buf[l.next] = d
+	l.next++
+	if l.next == len(l.buf) {
+		l.next = 0
+		l.full = true
+	}
+	l.mu.Unlock()
+}
+
+// quantiles returns the given quantiles (0..1) over the current window,
+// plus the sample count. With no samples it returns zeros.
+func (l *latencyRecorder) quantiles(qs ...float64) ([]time.Duration, int) {
+	l.mu.Lock()
+	n := l.next
+	if l.full {
+		n = len(l.buf)
+	}
+	window := append([]time.Duration(nil), l.buf[:n]...)
+	l.mu.Unlock()
+	out := make([]time.Duration, len(qs))
+	if n == 0 {
+		return out, 0
+	}
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	for i, q := range qs {
+		idx := int(q * float64(n-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= n {
+			idx = n - 1
+		}
+		out[i] = window[idx]
+	}
+	return out, n
+}
+
+// OptimizerMetrics aggregates opt.QueryStats across every plan-cache miss
+// the server has optimized. Cache hits skip the view-matching rule, so
+// Invocations not advancing across a request is the observable proof of a
+// hit.
+type OptimizerMetrics struct {
+	Invocations         int64 `json:"invocations"`
+	CandidatesChecked   int64 `json:"candidates_checked"`
+	SubstitutesProduced int64 `json:"substitutes_produced"`
+	ViewMatchMicros     int64 `json:"view_match_micros"`
+}
+
+// LatencyMetrics reports percentiles over the recent-latency window.
+type LatencyMetrics struct {
+	P50Micros int64 `json:"p50_micros"`
+	P99Micros int64 `json:"p99_micros"`
+	Samples   int   `json:"samples"`
+}
+
+// Metrics is the /metrics response.
+type Metrics struct {
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Queries       int64            `json:"queries"`
+	Execs         int64            `json:"execs"`
+	Errors        int64            `json:"errors"`
+	Rejected      int64            `json:"rejected"`
+	Timeouts      int64            `json:"timeouts"`
+	Views         int              `json:"views"`
+	CatalogEpoch  uint64           `json:"catalog_epoch"`
+	PlanCache     CacheStats       `json:"plan_cache"`
+	Latency       LatencyMetrics   `json:"latency"`
+	Optimizer     OptimizerMetrics `json:"optimizer"`
+}

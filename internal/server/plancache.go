@@ -1,0 +1,154 @@
+// Package server exposes the full stack — storage, parser, optimizer,
+// executor, incremental maintainer — as a concurrent HTTP/JSON query
+// service. Its core piece is a plan cache keyed by the statement-level
+// shallow-match fingerprint of §3.1.2 and versioned by the optimizer's
+// catalog epoch: repeated query shapes skip parsing and view matching
+// entirely, and any DDL bumps the epoch so a stale plan is never served.
+//
+// Concurrency model: SELECT requests run under a shared read lock (the
+// optimizer and executor are read-only over the database), while /exec
+// statements (DML and DDL) take the write lock, so queries parallelize
+// freely and writers serialize. An admission semaphore bounds concurrent
+// requests with fast-fail 503s, and Shutdown drains in-flight requests
+// before returning.
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"matview/internal/opt"
+)
+
+// CachedPlan is one plan-cache payload: the optimizer's result for a
+// statement shape plus the response metadata the server needs to answer a
+// hit without re-parsing the statement.
+type CachedPlan struct {
+	Res     *opt.Result
+	Columns []string
+}
+
+// CacheStats is a point-in-time snapshot of plan-cache counters.
+type CacheStats struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
+	Size          int   `json:"size"`
+	Capacity      int   `json:"capacity"`
+}
+
+// PlanCache is an LRU of optimized plans keyed by the shallow-match
+// fingerprint of the statement text (sqlparser.Fingerprint). Every entry is
+// stamped with the catalog epoch observed before its plan was computed; Get
+// treats an entry from an older epoch as stale and drops it, which is how
+// CREATE VIEW / CREATE INDEX / DROP VIEW invalidate cached plans without
+// the cache knowing anything about the catalog.
+//
+// A PlanCache is safe for concurrent use. The cached opt.Result values are
+// shared across requests; that is sound because physical plan trees are
+// immutable and carry no run state.
+type PlanCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List               // front = most recently used
+	entries map[string]*list.Element // fingerprint -> element holding *cacheEntry
+
+	hits          int64
+	misses        int64
+	evictions     int64
+	invalidations int64
+}
+
+type cacheEntry struct {
+	key   string
+	epoch uint64
+	plan  *CachedPlan
+}
+
+// NewPlanCache returns a cache bounded to capacity entries (minimum 1).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &PlanCache{
+		cap:     capacity,
+		ll:      list.New(),
+		entries: map[string]*list.Element{},
+	}
+}
+
+// Get returns the plan cached under key if it was stamped with exactly the
+// given epoch. An entry from a different epoch is removed and counted as an
+// invalidation; both that case and a missing key count as misses.
+func (c *PlanCache) Get(key string, epoch uint64) (*CachedPlan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.epoch != epoch {
+		c.ll.Remove(el)
+		delete(c.entries, key)
+		c.invalidations++
+		c.misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return e.plan, true
+}
+
+// Put stores plan under key, stamped with the epoch that was current before
+// the plan was computed. An existing entry for the key is replaced; when the
+// cache is full the least-recently-used entry is evicted.
+func (c *PlanCache) Put(key string, epoch uint64, plan *CachedPlan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		e.epoch = epoch
+		e.plan = plan
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, epoch: epoch, plan: plan})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Purge drops every entry, leaving the counters intact.
+func (c *PlanCache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.entries)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *PlanCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		Size:          c.ll.Len(),
+		Capacity:      c.cap,
+	}
+}

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"matview/internal/opt"
+)
+
+func plan(cost float64) *CachedPlan {
+	return &CachedPlan{Res: &opt.Result{Cost: cost}}
+}
+
+func TestPlanCacheHitMiss(t *testing.T) {
+	c := NewPlanCache(4)
+	if _, ok := c.Get("a", 1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", 1, plan(10))
+	got, ok := c.Get("a", 1)
+	if !ok || got.Res.Cost != 10 {
+		t.Fatalf("Get = %+v, %v", got, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPlanCacheEpochInvalidation(t *testing.T) {
+	c := NewPlanCache(4)
+	c.Put("a", 1, plan(10))
+	if _, ok := c.Get("a", 2); ok {
+		t.Fatal("stale entry served across epochs")
+	}
+	st := c.Stats()
+	if st.Invalidations != 1 || st.Size != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The stale entry is gone; a re-put under the new epoch hits again.
+	c.Put("a", 2, plan(20))
+	if got, ok := c.Get("a", 2); !ok || got.Res.Cost != 20 {
+		t.Fatalf("Get after re-put = %+v, %v", got, ok)
+	}
+}
+
+func TestPlanCacheLRUEviction(t *testing.T) {
+	c := NewPlanCache(3)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprint("k", i), 1, plan(float64(i)))
+	}
+	// Touch k0 so k1 becomes the LRU victim.
+	if _, ok := c.Get("k0", 1); !ok {
+		t.Fatal("k0 missing")
+	}
+	c.Put("k3", 1, plan(3))
+	if _, ok := c.Get("k1", 1); ok {
+		t.Fatal("LRU victim k1 still cached")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(k, 1); !ok {
+			t.Fatalf("%s evicted unexpectedly", k)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Size != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPlanCacheReplaceAndPurge(t *testing.T) {
+	c := NewPlanCache(2)
+	c.Put("a", 1, plan(1))
+	c.Put("a", 2, plan(2))
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after replacing put", c.Len())
+	}
+	if got, ok := c.Get("a", 2); !ok || got.Res.Cost != 2 {
+		t.Fatalf("replaced entry = %+v, %v", got, ok)
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after purge", c.Len())
+	}
+	if st := c.Stats(); st.Hits != 1 {
+		t.Fatalf("purge reset counters: %+v", st)
+	}
+}

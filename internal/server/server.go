@@ -1,0 +1,449 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"matview/internal/exec"
+	"matview/internal/opt"
+	"matview/internal/shell"
+	"matview/internal/sqlparser"
+	"matview/internal/sqlvalue"
+	"matview/internal/storage"
+)
+
+// Config tunes the service. Zero fields take the DefaultConfig values.
+type Config struct {
+	// MaxConcurrent bounds in-flight /query and /exec requests; excess
+	// requests fail fast with 503 instead of queueing.
+	MaxConcurrent int
+	// RequestTimeout cancels a request's optimization after this long
+	// (<= 0 disables the per-request deadline).
+	RequestTimeout time.Duration
+	// CacheSize is the plan cache capacity in entries.
+	CacheSize int
+	// MaxRows caps the rows returned per query response; the full count is
+	// still reported (0 = unlimited).
+	MaxRows int
+	// LatencyWindow is the number of recent requests kept for percentile
+	// estimates.
+	LatencyWindow int
+}
+
+// DefaultConfig returns the production defaults.
+func DefaultConfig() Config {
+	return Config{
+		MaxConcurrent:  64,
+		RequestTimeout: 5 * time.Second,
+		CacheSize:      1024,
+		MaxRows:        10000,
+		LatencyWindow:  4096,
+	}
+}
+
+// Server serves SELECT traffic from /query (concurrent, plan-cached) and
+// DML/DDL from /exec (serialized through the maintainer so every
+// materialized view stays consistent). See the package comment for the
+// locking model.
+type Server struct {
+	cfg   Config
+	db    *storage.Database
+	sess  *shell.Session // /exec statement handling; guarded by mu (write)
+	opt   *opt.Optimizer
+	cache *PlanCache
+
+	// mu orders queries against writes: /query holds it shared for
+	// optimize+run+encode, /exec holds it exclusively.
+	mu sync.RWMutex
+
+	sem      chan struct{} // admission slots
+	gateMu   sync.Mutex    // guards draining flag vs inflight accounting
+	draining bool
+	inflight sync.WaitGroup
+
+	start      time.Time
+	queries    atomic.Int64
+	execs      atomic.Int64
+	errors     atomic.Int64
+	rejected   atomic.Int64
+	timeouts   atomic.Int64
+	lat        *latencyRecorder
+	optStatsMu sync.Mutex
+	optStats   opt.QueryStats
+}
+
+// New builds a server over the database, assembling the same
+// session stack the interactive shell uses.
+func New(db *storage.Database, cfg Config) *Server {
+	def := DefaultConfig()
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = def.MaxConcurrent
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = def.CacheSize
+	}
+	if cfg.LatencyWindow <= 0 {
+		cfg.LatencyWindow = def.LatencyWindow
+	}
+	sess := shell.NewSession(db)
+	return &Server{
+		cfg:   cfg,
+		db:    db,
+		sess:  sess,
+		opt:   sess.Opt,
+		cache: NewPlanCache(cfg.CacheSize),
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		start: time.Now(),
+		lat:   newLatencyRecorder(cfg.LatencyWindow),
+	}
+}
+
+// Optimizer exposes the server's optimizer (for tests and tooling).
+func (s *Server) Optimizer() *opt.Optimizer { return s.opt }
+
+// Cache exposes the plan cache (for tests and tooling).
+func (s *Server) Cache() *PlanCache { return s.cache }
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /exec", s.handleExec)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// Shutdown stops admitting requests (new ones get 503, /healthz reports
+// draining) and waits for in-flight requests to finish or for ctx to
+// expire.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.gateMu.Lock()
+	s.draining = true
+	s.gateMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// admit reserves an admission slot, or writes a 503 and reports false. The
+// returned release function must be called exactly once.
+func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
+	s.gateMu.Lock()
+	if s.draining {
+		s.gateMu.Unlock()
+		s.rejected.Add(1)
+		writeError(w, http.StatusServiceUnavailable, errors.New("server: shutting down"))
+		return nil, false
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.gateMu.Unlock()
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, errors.New("server: saturated, retry later"))
+		return nil, false
+	}
+	s.inflight.Add(1)
+	s.gateMu.Unlock()
+	return func() {
+		<-s.sem
+		s.inflight.Done()
+	}, true
+}
+
+// QueryRequest is the /query body.
+type QueryRequest struct {
+	SQL string `json:"sql"`
+	// Explain returns the plan instead of executing it.
+	Explain bool `json:"explain,omitempty"`
+}
+
+// QueryResponse is the /query reply. Rows may be truncated to the server's
+// MaxRows; RowCount is always the full result size.
+type QueryResponse struct {
+	Columns       []string `json:"columns,omitempty"`
+	Rows          [][]any  `json:"rows,omitempty"`
+	RowCount      int      `json:"rowCount"`
+	Truncated     bool     `json:"truncated,omitempty"`
+	UsedViews     bool     `json:"usedViews"`
+	Cached        bool     `json:"cached"`
+	Plan          string   `json:"plan,omitempty"`
+	ElapsedMicros int64    `json:"elapsedMicros"`
+}
+
+// ExecRequest is the /exec body.
+type ExecRequest struct {
+	SQL string `json:"sql"`
+}
+
+// ExecResponse is the /exec reply; Message is the statement's shell output.
+type ExecResponse struct {
+	Message string `json:"message"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	var req QueryRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.errors.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	start := time.Now()
+	resp, code, err := s.runQuery(ctx, &req)
+	if err != nil {
+		if code == http.StatusGatewayTimeout {
+			s.timeouts.Add(1)
+		}
+		s.errors.Add(1)
+		writeError(w, code, err)
+		return
+	}
+	elapsed := time.Since(start)
+	resp.ElapsedMicros = elapsed.Microseconds()
+	s.lat.observe(elapsed)
+	s.queries.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// runQuery is the plan-cached SELECT path. The epoch is read before
+// planning so a plan can only be cached under a catalog at least as new as
+// the one it was planned against; DDL bumps the epoch under the write lock,
+// which cannot overlap this read-locked section.
+func (s *Server) runQuery(ctx context.Context, req *QueryRequest) (*QueryResponse, int, error) {
+	if strings.TrimSpace(req.SQL) == "" {
+		return nil, http.StatusBadRequest, errors.New("server: empty sql")
+	}
+	key, err := sqlparser.Fingerprint(req.SQL)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	epoch := s.opt.CatalogEpoch()
+	cp, hit := s.cache.Get(key, epoch)
+	if !hit {
+		st, err := sqlparser.Parse(s.db.Catalog, req.SQL)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		if st.Query == nil || st.ViewName != "" {
+			return nil, http.StatusBadRequest,
+				errors.New("server: /query accepts SELECT statements only; use /exec for DML and DDL")
+		}
+		res, err := s.opt.OptimizeCtx(ctx, st.Query)
+		if err != nil {
+			if isCtxErr(err) {
+				return nil, http.StatusGatewayTimeout, fmt.Errorf("server: optimization timed out: %w", err)
+			}
+			return nil, http.StatusUnprocessableEntity, err
+		}
+		cols := make([]string, len(st.Query.Outputs))
+		for i, oc := range st.Query.Outputs {
+			cols[i] = oc.Name
+			if cols[i] == "" {
+				cols[i] = fmt.Sprintf("col%d", i)
+			}
+		}
+		cp = &CachedPlan{Res: res, Columns: cols}
+		s.cache.Put(key, epoch, cp)
+		s.optStatsMu.Lock()
+		s.optStats.Add(res.Stats)
+		s.optStatsMu.Unlock()
+	}
+	resp := &QueryResponse{
+		Columns:   cp.Columns,
+		UsedViews: cp.Res.UsesView,
+		Cached:    hit,
+	}
+	if req.Explain {
+		resp.Plan = exec.Explain(cp.Res.Plan)
+		return resp, 0, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, http.StatusGatewayTimeout, err
+	}
+	rows, err := cp.Res.Plan.Run(s.db)
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	resp.RowCount = len(rows)
+	limit := len(rows)
+	if s.cfg.MaxRows > 0 && limit > s.cfg.MaxRows {
+		limit = s.cfg.MaxRows
+		resp.Truncated = true
+	}
+	// Encode rows before the read lock is released: scans can return the
+	// table's own row slices, which writers may mutate after we unlock.
+	resp.Rows = make([][]any, limit)
+	for i, row := range rows[:limit] {
+		out := make([]any, len(row))
+		for j, v := range row {
+			out[j] = valueToJSON(v)
+		}
+		resp.Rows[i] = out
+	}
+	return resp, 0, nil
+}
+
+func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	var req ExecRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.errors.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	msg, code, err := s.runExec(&req)
+	if err != nil {
+		s.errors.Add(1)
+		writeError(w, code, err)
+		return
+	}
+	s.execs.Add(1)
+	writeJSON(w, http.StatusOK, &ExecResponse{Message: msg})
+}
+
+// runExec is the serialized DML/DDL path. The whole statement — parse,
+// maintainer work, catalog-stat refresh, and the epoch bump performed by
+// the optimizer's registration paths — happens under the write lock, so no
+// query can observe a half-applied DDL or cache a plan under its epoch.
+func (s *Server) runExec(req *ExecRequest) (string, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, err := sqlparser.Parse(s.db.Catalog, req.SQL)
+	if err != nil {
+		return "", http.StatusBadRequest, err
+	}
+	if st.Insert == nil && st.Delete == nil && st.CreateIndex == nil &&
+		st.ViewName == "" && st.DropViewName == "" {
+		return "", http.StatusBadRequest,
+			errors.New("server: /exec accepts DML and DDL only; use /query for SELECT")
+	}
+	var sb strings.Builder
+	if err := s.sess.Execute(req.SQL, &sb); err != nil {
+		return "", http.StatusUnprocessableEntity, err
+	}
+	return strings.TrimSpace(sb.String()), 0, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.gateMu.Lock()
+	draining := s.draining
+	s.gateMu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// Metrics snapshots the service counters.
+func (s *Server) Metrics() Metrics {
+	qs, n := s.lat.quantiles(0.50, 0.99)
+	s.optStatsMu.Lock()
+	os := s.optStats
+	s.optStatsMu.Unlock()
+	return Metrics{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Queries:       s.queries.Load(),
+		Execs:         s.execs.Load(),
+		Errors:        s.errors.Load(),
+		Rejected:      s.rejected.Load(),
+		Timeouts:      s.timeouts.Load(),
+		Views:         s.opt.NumViews(),
+		CatalogEpoch:  s.opt.CatalogEpoch(),
+		PlanCache:     s.cache.Stats(),
+		Latency: LatencyMetrics{
+			P50Micros: qs[0].Microseconds(),
+			P99Micros: qs[1].Microseconds(),
+			Samples:   n,
+		},
+		Optimizer: OptimizerMetrics{
+			Invocations:         os.Invocations,
+			CandidatesChecked:   os.CandidatesChecked,
+			SubstitutesProduced: os.SubstitutesProduced,
+			ViewMatchMicros:     os.ViewMatchTime.Microseconds(),
+		},
+	}
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
+func valueToJSON(v sqlvalue.Value) any {
+	switch v.Kind() {
+	case sqlvalue.KindNull:
+		return nil
+	case sqlvalue.KindBool:
+		return v.Bool()
+	case sqlvalue.KindInt:
+		return v.Int()
+	case sqlvalue.KindFloat:
+		return v.Float()
+	case sqlvalue.KindString:
+		return v.Str()
+	default: // dates render as 'YYYY-MM-DD'
+		return strings.Trim(v.String(), "'")
+	}
+}
+
+func decodeJSON(r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("server: bad request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}

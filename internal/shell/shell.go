@@ -70,9 +70,20 @@ func (s *Session) Execute(stmt string, w io.Writer) error {
 		return s.execCreateIndex(st.CreateIndex, w)
 	case st.ViewName != "":
 		return s.execCreateView(st, w)
+	case st.DropViewName != "":
+		return s.execDropView(st.DropViewName, w)
 	default:
 		return s.execSelect(st, explain, w)
 	}
+}
+
+func (s *Session) execDropView(name string, w io.Writer) error {
+	if !s.Opt.DropView(name) {
+		return fmt.Errorf("shell: unknown view %q", name)
+	}
+	s.Maint.Drop(name)
+	fmt.Fprintf(w, "dropped view %s\n", name)
+	return nil
 }
 
 func (s *Session) execCreateView(st *sqlparser.Statement, w io.Writer) error {

@@ -170,3 +170,57 @@ func TestSessionAdvise(t *testing.T) {
 		t.Fatalf("expected a rollup recommendation: %s", out)
 	}
 }
+
+func TestSessionDropView(t *testing.T) {
+	s := newSession(t)
+	run(t, s, `create view pq with schemabinding as
+		select l_partkey, count_big(*) as cnt, sum(l_quantity) as qty
+		from lineitem group by l_partkey`)
+	run(t, s, "create unique index pq_idx on pq (l_partkey)")
+	out := run(t, s, "explain select l_partkey, sum(l_quantity) as q from lineitem where l_partkey = 5 group by l_partkey")
+	if !strings.Contains(out, "uses views: true") {
+		t.Fatalf("view not used before drop: %s", out)
+	}
+
+	out = run(t, s, "drop view pq")
+	if !strings.Contains(out, "dropped view pq") {
+		t.Fatalf("drop output: %s", out)
+	}
+	if s.DB.View("pq") != nil {
+		t.Fatal("view still present in storage after drop")
+	}
+	out = run(t, s, "explain select l_partkey, sum(l_quantity) as q from lineitem where l_partkey = 5 group by l_partkey")
+	if strings.Contains(out, "uses views: true") {
+		t.Fatalf("dropped view still used by plans: %s", out)
+	}
+	// The query still runs correctly from the base table.
+	out = run(t, s, "select l_partkey, sum(l_quantity) as q from lineitem where l_partkey = 5 group by l_partkey")
+	if strings.Contains(out, "used materialized views") {
+		t.Fatalf("dropped view answered a query: %s", out)
+	}
+
+	// Dropping again (or dropping an unknown view) errors.
+	runErr(t, s, "drop view pq")
+	runErr(t, s, "drop view ghost")
+}
+
+func TestSessionErrorPaths(t *testing.T) {
+	s := newSession(t)
+	// Malformed SQL never reaches execution.
+	runErr(t, s, "selec t l_partkey from lineitem")
+	runErr(t, s, "select l_partkey from")
+	// Unknown table in every statement kind.
+	runErr(t, s, "select l_partkey from ghost")
+	runErr(t, s, "delete from ghost where l_partkey = 5")
+	runErr(t, s, "insert into ghost values (1)")
+	// DML must target a base table; views (and missing views) are rejected.
+	run(t, s, `create view pq with schemabinding as
+		select l_partkey, count_big(*) as cnt from lineitem group by l_partkey`)
+	runErr(t, s, "insert into pq values (1, 1)")
+	runErr(t, s, "delete from pq where l_partkey = 5")
+	// The session survives every failure above and still answers queries.
+	out := run(t, s, "select l_partkey, count_big(*) as cnt from lineitem where l_partkey = 1 group by l_partkey")
+	if !strings.Contains(out, "used materialized views") {
+		t.Fatalf("session unhealthy after errors: %s", out)
+	}
+}

@@ -1,0 +1,26 @@
+package sqlparser
+
+import (
+	"testing"
+
+	"matview/internal/tpch"
+)
+
+func TestParseDropView(t *testing.T) {
+	cat := tpch.NewCatalog(1)
+	st, err := Parse(cat, "drop view pq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DropViewName != "pq" {
+		t.Fatalf("DropViewName = %q", st.DropViewName)
+	}
+	if st.Query != nil || st.Insert != nil || st.Delete != nil || st.CreateIndex != nil {
+		t.Fatalf("unexpected fields set: %+v", st)
+	}
+	for _, bad := range []string{"drop", "drop view", "drop table pq", "drop view pq extra"} {
+		if _, err := Parse(cat, bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package sqlparser
+
+import "strings"
+
+// Fingerprint computes the shallow-match cache key of a SQL statement, the
+// statement-level analogue of the expression fingerprint of §3.1.2: the
+// statement is lexed, identifiers are hollowed out of the normalized text
+// (replaced by "?"), and the identifiers themselves are appended as an
+// ordered reference list. The pair — hollowed text plus ordered identifier
+// list — identifies the statement up to whitespace, letter case, and
+// comments, exactly like the paper's (text, column-reference list) pair
+// identifies an expression. Constants stay in the text, so statements that
+// differ only in a literal get distinct keys; that is what makes the
+// fingerprint sound as a plan-cache key, since plans embed their constants.
+//
+// Two statements share a fingerprint if and only if they lex to the same
+// token stream, so a cached plan keyed by it can be replayed for any
+// statement that maps to the same key.
+func Fingerprint(src string) (string, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return "", err
+	}
+	var text, refs strings.Builder
+	text.Grow(len(src))
+	for _, t := range toks {
+		switch t.kind {
+		case tokEOF:
+		case tokIdent:
+			text.WriteString("? ")
+			refs.WriteString(t.text)
+			refs.WriteByte(',')
+		case tokString:
+			// Re-quote so a string literal can never forge token boundaries.
+			text.WriteByte('\'')
+			text.WriteString(strings.ReplaceAll(t.text, "'", "''"))
+			text.WriteString("' ")
+		default:
+			text.WriteString(t.text)
+			text.WriteByte(' ')
+		}
+	}
+	text.WriteByte('|')
+	text.WriteString(refs.String())
+	return text.String(), nil
+}

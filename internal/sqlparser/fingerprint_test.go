@@ -1,0 +1,71 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+)
+
+func fp(t *testing.T, sql string) string {
+	t.Helper()
+	key, err := Fingerprint(sql)
+	if err != nil {
+		t.Fatalf("Fingerprint(%q): %v", sql, err)
+	}
+	return key
+}
+
+func TestFingerprintNormalizesWhitespaceAndCase(t *testing.T) {
+	a := fp(t, "select l_partkey from lineitem where l_partkey = 5")
+	b := fp(t, "  SELECT   l_partkey\n\tFROM lineitem -- comment\n WHERE l_partkey=5 ")
+	if a != b {
+		t.Errorf("equivalent statements got different fingerprints:\n%q\n%q", a, b)
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	base := fp(t, "select l_partkey from lineitem where l_partkey = 5")
+	for _, other := range []string{
+		"select l_partkey from lineitem where l_partkey = 6",     // constant
+		"select l_suppkey from lineitem where l_partkey = 5",     // output column
+		"select l_partkey from lineitem where l_suppkey = 5",     // predicate column
+		"select l_partkey from lineitem where l_partkey <= 5",    // operator
+		"select l_partkey from orders where l_partkey = 5",       // table
+		"select l_partkey from lineitem where l_partkey = '5'",   // literal kind
+		"select l_partkey from lineitem where l_partkey = 5.0",   // numeric form
+		"select l_partkey as k from lineitem where l_partkey = 5", // alias
+	} {
+		if fp(t, other) == base {
+			t.Errorf("distinct statement %q collides with base fingerprint", other)
+		}
+	}
+}
+
+func TestFingerprintHollowsIdentifiers(t *testing.T) {
+	key := fp(t, "select l_partkey from lineitem")
+	text, _, ok := strings.Cut(key, "|")
+	if !ok {
+		t.Fatalf("fingerprint missing reference-list separator: %q", key)
+	}
+	if strings.Contains(text, "l_partkey") || strings.Contains(text, "lineitem") {
+		t.Errorf("identifiers not hollowed out of fingerprint text: %q", text)
+	}
+	if !strings.Contains(key, "l_partkey") || !strings.Contains(key, "lineitem") {
+		t.Errorf("identifiers missing from reference list: %q", key)
+	}
+}
+
+func TestFingerprintStringLiteralCannotForgeBoundary(t *testing.T) {
+	// A string literal whose content mimics token separators must not
+	// collide with the structurally different statement it mimics.
+	a := fp(t, "select l_partkey from lineitem where l_shipmode = 'AIR RAIL'")
+	b := fp(t, "select l_partkey from lineitem where l_shipmode = 'AIR' 'RAIL'")
+	if a == b {
+		t.Error("string content forged a token boundary")
+	}
+}
+
+func TestFingerprintLexError(t *testing.T) {
+	if _, err := Fingerprint("select 'unterminated"); err == nil {
+		t.Error("expected lex error")
+	}
+}

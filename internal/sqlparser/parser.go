@@ -20,6 +20,9 @@ type Statement struct {
 	ViewName string
 	Query    *spjg.Query
 
+	// DropViewName is non-empty for DROP VIEW statements.
+	DropViewName string
+
 	Insert      *InsertStatement
 	Delete      *DeleteStatement
 	CreateIndex *CreateIndexStatement
@@ -128,6 +131,17 @@ func (p *parser) parseStatement() (*Statement, error) {
 			return nil, err
 		}
 		return &Statement{Delete: del}, nil
+	}
+	if p.eatKeyword("drop") {
+		if err := p.expectKeyword("view"); err != nil {
+			return nil, err
+		}
+		if !p.at(tokIdent) {
+			return nil, p.errf("expected view name")
+		}
+		name := p.cur().text
+		p.pos++
+		return &Statement{DropViewName: name}, nil
 	}
 	if p.eatKeyword("create") {
 		if p.eatKeyword("index") {

@@ -1,6 +1,6 @@
 # Convenience targets; repro.sh is the full reproduction pipeline.
 
-.PHONY: build test race bench vet repro
+.PHONY: build test race bench vet chaos repro
 
 build:
 	go build ./...
@@ -18,6 +18,11 @@ race:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# chaos runs the fault-injected correctness suite (full-length) under the
+# race detector: concurrent query + DML traffic with faults at every site.
+chaos:
+	go test -race -run 'Chaos' -count=1 -v ./internal/server
 
 repro:
 	./repro.sh

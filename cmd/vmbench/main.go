@@ -8,6 +8,7 @@
 //	vmbench -experiment fig2|fig3|fig4|stats|all [-views N] [-queries N] [-seed S] [-step N]
 //	        [-workers N] [-cpuprofile FILE] [-memprofile FILE]
 //	vmbench -experiment load [-server URL] [-clients N] [-duration D] [-sf F] [-seed S]
+//	        [-fault-rate P]
 //
 // -workers fans each measurement's queries out over N optimizer goroutines
 // (0 = GOMAXPROCS, 1 = serial as in the paper); plan choices and aggregate
@@ -17,7 +18,12 @@
 // The load experiment drives a vmserver instance with concurrent /query
 // traffic and reports throughput, latency percentiles, and the plan-cache
 // hit rate. With no -server URL it starts an in-process server over a fresh
-// TPC-H database on a loopback port first.
+// TPC-H database on a loopback port first. -fault-rate P (in-process only)
+// arms fault injection at every storage and maintenance site with
+// probability P, adds a DML writer to the mix, runs the background repair
+// loop, and additionally reports error rate, repairs, and degraded time —
+// measuring what failures cost in performance while the server keeps
+// answering.
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"matview/internal/faults"
 	"matview/internal/harness"
 	"matview/internal/server"
 	"matview/internal/tpch"
@@ -49,10 +56,11 @@ func main() {
 	clients := flag.Int("clients", 8, "load: concurrent client goroutines")
 	duration := flag.Duration("duration", 3*time.Second, "load: how long to drive traffic")
 	sf := flag.Float64("sf", 0.01, "load: TPC-H scale factor for the in-process server")
+	faultRate := flag.Float64("fault-rate", 0, "load: per-site fault probability for the in-process server (0 disables)")
 	flag.Parse()
 
 	if *experiment == "load" {
-		check(runLoad(*serverURL, *clients, *duration, *sf, *seed))
+		check(runLoad(*serverURL, *clients, *duration, *sf, *seed, *faultRate))
 		return
 	}
 
@@ -170,20 +178,49 @@ func loadStatements() (optional, setup, queries []string) {
 	return optional, setup, queries
 }
 
-func runLoad(url string, clients int, duration time.Duration, sf float64, seed int64) error {
+// loadMutations builds the writer's DML pool: an insert/delete pair over a
+// dedicated part key, so the table returns to its initial state every two
+// statements while every cycle exercises delta maintenance (and, with
+// faults armed, the repair path).
+func loadMutations(orderKey int64) []string {
+	return []string{
+		fmt.Sprintf(`insert into lineitem values
+			(%d, 990, 1, 7, 2.0, 20.0, 0.0, 0.0, 'N', 'O',
+			 DATE '1995-05-05', DATE '1995-05-15', DATE '1995-05-25',
+			 'NONE', 'MAIL', 'loadgen')`, orderKey),
+		"delete from lineitem where l_partkey = 990",
+	}
+}
+
+func runLoad(url string, clients int, duration time.Duration, sf float64, seed int64, faultRate float64) error {
+	var mutations []string
 	if url == "" {
 		fmt.Printf("starting in-process vmserver (sf=%g, seed=%d)...\n", sf, seed)
 		db, err := tpch.NewDatabase(sf, seed)
 		if err != nil {
 			return err
 		}
-		srv := server.New(db, server.Config{})
+		cfg := server.Config{}
+		if faultRate > 0 {
+			cfg.RepairInterval = 50 * time.Millisecond
+		}
+		srv := server.New(db, cfg)
+		if faultRate > 0 {
+			inj := faults.New(seed)
+			inj.AddAll(faults.Rule{Rate: faultRate})
+			srv.SetFaultInjector(inj)
+			mutations = loadMutations(db.Table("orders").Rows[0][tpch.OOrderkey].Int())
+			fmt.Printf("fault injection armed: rate %.2f at every site, repair loop every %v\n",
+				faultRate, cfg.RepairInterval)
+		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return err
 		}
 		go func() { _ = http.Serve(ln, srv.Handler()) }()
 		url = "http://" + ln.Addr().String()
+	} else if faultRate > 0 {
+		return fmt.Errorf("-fault-rate needs the in-process server (drop -server)")
 	}
 	optional, setup, queries := loadStatements()
 	fmt.Printf("driving %s: %d clients, %d query shapes, %v\n", url, clients, len(queries), duration)
@@ -194,6 +231,7 @@ func runLoad(url string, clients int, duration time.Duration, sf float64, seed i
 		SetupOptional: optional,
 		Setup:         setup,
 		Queries:       queries,
+		Mutations:     mutations,
 	})
 	if err != nil {
 		return err
@@ -204,6 +242,12 @@ func runLoad(url string, clients int, duration time.Duration, sf float64, seed i
 	fmt.Printf("latency p50/p99: %v / %v\n", res.P50.Round(time.Microsecond), res.P99.Round(time.Microsecond))
 	fmt.Printf("plan cache:      %d hits, %d misses (%.1f%% hit rate)\n",
 		res.CacheHits, res.CacheMisses, 100*res.CacheHitRate)
+	if faultRate > 0 {
+		fmt.Printf("error rate:      %.2f%% of queries\n", 100*res.ErrorRate)
+		fmt.Printf("mutations:       %d (%d failed and degraded views)\n", res.Mutations, res.MutationErrors)
+		fmt.Printf("repairs:         %d successful rebuilds\n", res.Repairs)
+		fmt.Printf("degraded time:   %v with >=1 non-fresh view\n", res.DegradedTime.Round(time.Millisecond))
+	}
 	return nil
 }
 

@@ -4,13 +4,20 @@
 //
 //	POST /query   {"sql": "select ...", "explain": false}  — plan-cached SELECTs
 //	POST /exec    {"sql": "insert ... | delete ... | create view ... | create index ... | drop view ..."}
-//	GET  /healthz — liveness (503 while draining)
-//	GET  /metrics — counters: queries, plan-cache hit/miss/eviction, latency percentiles, optimizer stats
+//	GET  /healthz — liveness (503 while draining; "degraded" + view lists while any view is non-Fresh)
+//	GET  /metrics — counters: queries, plan-cache hit/miss/eviction, latency percentiles,
+//	                optimizer stats, view-lifecycle census and repair/degraded-time stats
 //
 // Usage:
 //
 //	vmserver [-addr :8080] [-sf 0.01] [-seed 1] [-max-concurrent 64]
 //	         [-timeout 5s] [-cache-size 1024] [-max-rows 10000]
+//	         [-repair-interval 1s] [-fault-rate 0]
+//
+// -repair-interval runs the background repair pass that rebuilds views whose
+// maintenance failed (0 disables it). -fault-rate arms chaos-style fault
+// injection at every storage and maintenance site — useful for demonstrating
+// degraded-mode behavior against a live server, never for production.
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: new requests get 503 while
 // in-flight requests drain (up to 10s).
@@ -26,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"matview/internal/faults"
 	"matview/internal/server"
 	"matview/internal/tpch"
 )
@@ -38,6 +46,8 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request optimization timeout")
 	cacheSize := flag.Int("cache-size", 1024, "plan cache capacity (entries)")
 	maxRows := flag.Int("max-rows", 10000, "max rows returned per query (0 = unlimited)")
+	repairInterval := flag.Duration("repair-interval", time.Second, "background repair pass period for degraded views (0 disables)")
+	faultRate := flag.Float64("fault-rate", 0, "per-site fault injection probability for chaos runs (0 disables)")
 	flag.Parse()
 
 	log.SetPrefix("vmserver: ")
@@ -53,7 +63,14 @@ func main() {
 		RequestTimeout: *timeout,
 		CacheSize:      *cacheSize,
 		MaxRows:        *maxRows,
+		RepairInterval: *repairInterval,
 	})
+	if *faultRate > 0 {
+		inj := faults.New(*seed)
+		inj.AddAll(faults.Rule{Rate: *faultRate})
+		srv.SetFaultInjector(inj)
+		log.Printf("CHAOS: fault injection armed at every site with rate %.2f", *faultRate)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -75,8 +92,8 @@ func main() {
 		}
 	}()
 
-	log.Printf("serving on %s (max-concurrent=%d, timeout=%v, cache-size=%d)",
-		*addr, *maxConcurrent, *timeout, *cacheSize)
+	log.Printf("serving on %s (max-concurrent=%d, timeout=%v, cache-size=%d, repair-interval=%v)",
+		*addr, *maxConcurrent, *timeout, *cacheSize, *repairInterval)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}

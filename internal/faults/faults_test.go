@@ -1,0 +1,130 @@
+package faults_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"matview/internal/faults"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *faults.Injector
+	if err := in.Maybe(faults.SiteMaintainApply); err != nil {
+		t.Fatalf("nil injector injected: %v", err)
+	}
+	if s := in.Stats(); s.Injected != 0 {
+		t.Fatalf("nil injector stats: %+v", s)
+	}
+	if sites := in.SitesSeen(); sites != nil {
+		t.Fatalf("nil injector saw sites: %v", sites)
+	}
+}
+
+func TestRateOneAlwaysFires(t *testing.T) {
+	in := faults.New(1)
+	in.Add(faults.Rule{Site: faults.SiteMaintainApply, Rate: 1})
+	err := in.Maybe(faults.SiteMaintainApply)
+	if err == nil {
+		t.Fatal("rate-1 rule did not fire")
+	}
+	var fe *faults.Error
+	if !errors.As(err, &fe) || fe.Site != faults.SiteMaintainApply {
+		t.Fatalf("wrong error: %v", err)
+	}
+	if !faults.IsInjected(fmt.Errorf("wrapped: %w", err)) {
+		t.Fatal("IsInjected missed a wrapped injection")
+	}
+	// Other sites are untouched.
+	if err := in.Maybe(faults.SiteStorageInsert); err != nil {
+		t.Fatalf("unmatched site fired: %v", err)
+	}
+}
+
+func TestAfterAndLimitWindow(t *testing.T) {
+	in := faults.New(1)
+	in.Add(faults.Rule{Site: "s", Rate: 1, After: 2, Limit: 1})
+	var injected []int
+	for i := 0; i < 6; i++ {
+		if in.Maybe("s") != nil {
+			injected = append(injected, i)
+		}
+	}
+	if len(injected) != 1 || injected[0] != 2 {
+		t.Fatalf("injections at calls %v, want [2]", injected)
+	}
+}
+
+func TestWildcardAndAddAll(t *testing.T) {
+	in := faults.New(1)
+	in.Add(faults.Rule{Site: "*", Rate: 1})
+	for _, site := range faults.AllSites() {
+		if in.Maybe(site) == nil {
+			t.Fatalf("wildcard rule missed site %s", site)
+		}
+	}
+	all := faults.New(1)
+	all.AddAll(faults.Rule{Rate: 1})
+	for _, site := range faults.AllSites() {
+		if all.Maybe(site) == nil {
+			t.Fatalf("AddAll missed site %s", site)
+		}
+	}
+	if got := all.SitesSeen(); len(got) != len(faults.AllSites()) {
+		t.Fatalf("SitesSeen = %v", got)
+	}
+}
+
+func TestPanicRule(t *testing.T) {
+	in := faults.New(1)
+	in.Add(faults.Rule{Site: "p", Rate: 1, Panic: true})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic rule did not panic")
+		}
+		if _, ok := r.(*faults.Error); !ok {
+			t.Fatalf("panicked with %T, want *faults.Error", r)
+		}
+		if s := in.Stats(); s.Panics != 1 || s.Injected != 1 {
+			t.Fatalf("stats after panic: %+v", s)
+		}
+	}()
+	_ = in.Maybe("p")
+}
+
+func TestSetEnabledAndDeterminism(t *testing.T) {
+	in := faults.New(1)
+	in.Add(faults.Rule{Site: "s", Rate: 0.5})
+	in.SetEnabled(false)
+	for i := 0; i < 100; i++ {
+		if in.Maybe("s") != nil {
+			t.Fatal("disabled injector fired")
+		}
+	}
+	in.SetEnabled(true)
+
+	// Same seed + same call sequence = same injection pattern.
+	run := func(seed int64) []bool {
+		in := faults.New(seed)
+		in.Add(faults.Rule{Site: "s", Rate: 0.3})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.Maybe("s") != nil
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	hits := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d diverged across identical seeds", i)
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(a) {
+		t.Fatalf("rate-0.3 rule fired %d/%d times", hits, len(a))
+	}
+}

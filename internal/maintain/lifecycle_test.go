@@ -1,0 +1,382 @@
+package maintain_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"matview/internal/expr"
+	"matview/internal/faults"
+	"matview/internal/maintain"
+	"matview/internal/spjg"
+	"matview/internal/sqlvalue"
+	"matview/internal/storage"
+	"matview/internal/tpch"
+)
+
+// newLifecycleFixture builds a maintainer over a tiny TPC-H database with
+// two single-table views over orders (one SPJ, one aggregation), in
+// registration order spj first.
+func newLifecycleFixture(t *testing.T, seed int64) (*storage.Database, *maintain.Maintainer, *maintain.View, *maintain.View) {
+	t.Helper()
+	db, err := tpch.NewDatabase(0.001, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := db.Catalog
+	m := maintain.New(db)
+	spj := &spjg.Query{
+		Tables: []spjg.TableRef{{Table: cat.Table("orders")}},
+		Where:  expr.NewCmp(expr.GE, expr.Col(0, tpch.OTotalprice), expr.CInt(100000)),
+		Outputs: []spjg.OutputColumn{
+			{Name: "o_orderkey", Expr: expr.Col(0, tpch.OOrderkey)},
+			{Name: "o_totalprice", Expr: expr.Col(0, tpch.OTotalprice)},
+		},
+	}
+	agg := &spjg.Query{
+		Tables:  []spjg.TableRef{{Table: cat.Table("orders")}},
+		GroupBy: []expr.Expr{expr.Col(0, tpch.OCustkey)},
+		Outputs: []spjg.OutputColumn{
+			{Name: "o_custkey", Expr: expr.Col(0, tpch.OCustkey)},
+			{Name: "cnt", Agg: &spjg.Aggregate{Kind: spjg.AggCountStar}},
+			{Name: "total", Agg: &spjg.Aggregate{Kind: spjg.AggSum, Arg: expr.Col(0, tpch.OTotalprice)}},
+		},
+	}
+	vs, err := m.Register("lc_spj", spj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, err := m.Register("lc_agg", agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, m, vs, va
+}
+
+func wantState(t *testing.T, m *maintain.Maintainer, name string, want maintain.State) {
+	t.Helper()
+	got, ok := m.ViewState(name)
+	if !ok {
+		t.Fatalf("view %s has no lifecycle entry", name)
+	}
+	if got != want {
+		t.Fatalf("view %s state = %v, want %v", name, got, want)
+	}
+}
+
+func TestInsertPartialFailureIsolatesTheFailingView(t *testing.T) {
+	db, m, vs, va := newLifecycleFixture(t, 21)
+
+	var transitions []string
+	m.SetStateListener(func(view string, from, to maintain.State) {
+		transitions = append(transitions, view+":"+from.String()+">"+to.String())
+	})
+
+	// Fail exactly the first apply this statement performs — lc_spj, the
+	// first registered view.
+	inj := faults.New(3)
+	inj.Add(faults.Rule{Site: faults.SiteMaintainApply, Rate: 1, Limit: 1})
+	m.SetFaultInjector(inj)
+
+	err := m.Insert("orders", []storage.Row{newOrderRow(db, 8_000_001, 5, 300_000)})
+	var me *maintain.MaintenanceError
+	if !errors.As(err, &me) {
+		t.Fatalf("Insert returned %T (%v), want *MaintenanceError", err, err)
+	}
+	if me.Op != "insert" || me.Table != "orders" || me.Base != nil {
+		t.Fatalf("report header: %+v", me)
+	}
+	if len(me.Failed) != 1 || me.Failed[0].View != "lc_spj" || !faults.IsInjected(me.Failed[0].Err) {
+		t.Fatalf("Failed = %v", me.Failed)
+	}
+	if len(me.Updated) != 1 || me.Updated[0] != "lc_agg" {
+		t.Fatalf("Updated = %v", me.Updated)
+	}
+	if !faults.IsInjected(err) {
+		t.Fatal("errors.As should reach the injected cause through Unwrap")
+	}
+
+	// The failure was recorded before Insert returned: lc_spj is Stale with
+	// the cause retained, lc_agg stayed Fresh and correct.
+	wantState(t, m, "lc_spj", maintain.Stale)
+	wantState(t, m, "lc_agg", maintain.Fresh)
+	if le := m.LastError("lc_spj"); !faults.IsInjected(le) {
+		t.Fatalf("LastError = %v", le)
+	}
+	checkAgainstRecompute(t, db, va)
+	if len(transitions) != 1 || transitions[0] != "lc_spj:fresh>stale" {
+		t.Fatalf("transitions = %v", transitions)
+	}
+
+	// The next statement skips the stale view instead of corrupting it
+	// further, and still maintains the healthy one — but reports no error.
+	if err := m.Insert("orders", []storage.Row{newOrderRow(db, 8_000_002, 6, 400_000)}); err != nil {
+		t.Fatalf("insert with a stale view errored: %v", err)
+	}
+	checkAgainstRecompute(t, db, va)
+
+	// Repair rebuilds the stale view and re-announces freshness.
+	rep := m.Repair()
+	if len(rep.Repaired) != 1 || rep.Repaired[0] != "lc_spj" {
+		t.Fatalf("repair report: %+v", rep)
+	}
+	wantState(t, m, "lc_spj", maintain.Fresh)
+	checkAgainstRecompute(t, db, vs)
+	last := transitions[len(transitions)-1]
+	if last != "lc_spj:rebuilding>fresh" {
+		t.Fatalf("final transition = %v", transitions)
+	}
+
+	st := m.Stats()
+	if st.MaintenanceFailures != 1 || st.RepairSuccesses != 1 || st.RepairAttempts != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestBaseWriteFailureMarksEveryViewStale(t *testing.T) {
+	db, m, vs, va := newLifecycleFixture(t, 22)
+	inj := faults.New(4)
+	// First base-table row lands, the second blows up mid-batch.
+	inj.Add(faults.Rule{Site: faults.SiteStorageInsert, Rate: 1, After: 1})
+	m.SetFaultInjector(inj)
+	db.SetFaultInjector(inj)
+
+	err := m.Insert("orders", []storage.Row{
+		newOrderRow(db, 8_100_001, 7, 150_000),
+		newOrderRow(db, 8_100_002, 7, 150_000),
+	})
+	var me *maintain.MaintenanceError
+	if !errors.As(err, &me) || me.Base == nil {
+		t.Fatalf("want MaintenanceError with Base set, got %v", err)
+	}
+	// Both views saw their deltas applied for the full batch, but the table
+	// holds only a prefix — everything is suspect.
+	wantState(t, m, "lc_spj", maintain.Stale)
+	wantState(t, m, "lc_agg", maintain.Stale)
+
+	inj.SetEnabled(false)
+	rep := m.Repair()
+	if len(rep.Repaired) != 2 {
+		t.Fatalf("repair report: %+v", rep)
+	}
+	checkAgainstRecompute(t, db, vs)
+	checkAgainstRecompute(t, db, va)
+}
+
+func TestRepairBackoffThenQuarantine(t *testing.T) {
+	db, m, _, _ := newLifecycleFixture(t, 23)
+	now := time.Unix(1_000_000, 0)
+	m.SetClock(func() time.Time { return now })
+	m.SetRepairPolicy(maintain.RepairPolicy{
+		MaxAttempts: 3,
+		BackoffBase: time.Second,
+		BackoffMax:  time.Minute,
+		Jitter:      0, // deterministic schedule
+	})
+
+	inj := faults.New(5)
+	inj.Add(faults.Rule{Site: faults.SiteMaintainMergeAgg, Rate: 1, Limit: 1})
+	inj.Add(faults.Rule{Site: faults.SiteMaintainRecompute, Rate: 1})
+	m.SetFaultInjector(inj)
+
+	if err := m.Insert("orders", []storage.Row{newOrderRow(db, 8_200_001, 9, 100)}); err == nil {
+		t.Fatal("fault did not surface")
+	}
+	wantState(t, m, "lc_agg", maintain.Stale)
+
+	// Attempt 1 fails; the view backs off.
+	rep := m.Repair()
+	if len(rep.Failed) != 1 || rep.Failed[0].View != "lc_agg" {
+		t.Fatalf("attempt 1 report: %+v", rep)
+	}
+	// Before the backoff elapses the view only waits.
+	rep = m.Repair()
+	if len(rep.Waiting) != 1 || len(rep.Failed)+len(rep.Quarantined) != 0 {
+		t.Fatalf("backoff not honored: %+v", rep)
+	}
+
+	// Attempt 2 after the backoff: fails again, deeper backoff.
+	now = now.Add(2 * time.Second)
+	rep = m.Repair()
+	if len(rep.Failed) != 1 {
+		t.Fatalf("attempt 2 report: %+v", rep)
+	}
+	// Attempt 3 exhausts the budget: quarantined.
+	now = now.Add(time.Minute)
+	rep = m.Repair()
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0] != "lc_agg" {
+		t.Fatalf("attempt 3 report: %+v", rep)
+	}
+	wantState(t, m, "lc_agg", maintain.Quarantined)
+
+	// Quarantine is terminal for the automatic loop...
+	now = now.Add(time.Hour)
+	if rep := m.Repair(); len(rep.Repaired)+len(rep.Failed)+len(rep.Waiting) != 0 {
+		t.Fatalf("quarantined view re-entered repair: %+v", rep)
+	}
+	// ...DML skips it...
+	if err := m.Insert("orders", []storage.Row{newOrderRow(db, 8_200_002, 9, 100)}); err != nil {
+		t.Fatalf("insert with quarantined view errored: %v", err)
+	}
+	wantState(t, m, "lc_agg", maintain.Quarantined)
+	// ...and reviving it takes an operator.
+	if err := m.RepairView("lc_agg", false); err == nil {
+		t.Fatal("quarantined repair without force succeeded")
+	}
+	inj.SetEnabled(false)
+	if err := m.RepairView("lc_agg", true); err != nil {
+		t.Fatalf("forced repair: %v", err)
+	}
+	wantState(t, m, "lc_agg", maintain.Fresh)
+
+	st := m.Stats()
+	if st.Quarantines != 1 || st.RepairFailures != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Degraded <= 0 {
+		t.Fatalf("degraded time not accounted: %v", st.Degraded)
+	}
+}
+
+func TestPanicDuringMaintenanceDegradesOneView(t *testing.T) {
+	db, m, _, va := newLifecycleFixture(t, 24)
+	inj := faults.New(6)
+	inj.Add(faults.Rule{Site: faults.SiteMaintainMergeAgg, Rate: 1, Limit: 1, Panic: true})
+	m.SetFaultInjector(inj)
+
+	err := m.Insert("orders", []storage.Row{newOrderRow(db, 8_300_001, 11, 100)})
+	var me *maintain.MaintenanceError
+	if !errors.As(err, &me) {
+		t.Fatalf("panic was not converted to a MaintenanceError: %v", err)
+	}
+	if len(me.Failed) != 1 || me.Failed[0].View != "lc_agg" {
+		t.Fatalf("Failed = %v", me.Failed)
+	}
+	wantState(t, m, "lc_agg", maintain.Stale)
+	wantState(t, m, "lc_spj", maintain.Fresh)
+
+	if rep := m.Repair(); len(rep.Repaired) != 1 {
+		t.Fatalf("repair: %+v", rep)
+	}
+	checkAgainstRecompute(t, db, va)
+}
+
+// TestSelfJoinRecomputeLifecycle covers the recompute fallback directly: a
+// fault during the post-insert recompute degrades the self-join view, and
+// the next successful recompute (via DML, not Repair) heals it.
+func TestSelfJoinRecomputeLifecycle(t *testing.T) {
+	db, err := tpch.NewDatabase(0.001, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := db.Catalog
+	m := maintain.New(db)
+	def := &spjg.Query{
+		Tables: []spjg.TableRef{
+			{Table: cat.Table("nation"), Alias: "a"},
+			{Table: cat.Table("nation"), Alias: "b"},
+		},
+		Where: expr.Eq(expr.Col(0, tpch.NRegionkey), expr.Col(1, tpch.NRegionkey)),
+		Outputs: []spjg.OutputColumn{
+			{Name: "a_name", Expr: expr.Col(0, tpch.NName)},
+			{Name: "b_name", Expr: expr.Col(1, tpch.NName)},
+		},
+	}
+	v, err := m.Register("lc_pairs", def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.New(7)
+	inj.Add(faults.Rule{Site: faults.SiteMaintainRecompute, Rate: 1, Limit: 1})
+	m.SetFaultInjector(inj)
+
+	row := storage.Row{
+		sqlvalue.NewInt(30), sqlvalue.NewString("NATION_30"),
+		sqlvalue.NewInt(1), sqlvalue.NewString("lifecycle"),
+	}
+	err = m.Insert("nation", []storage.Row{row})
+	var me *maintain.MaintenanceError
+	if !errors.As(err, &me) || len(me.Failed) != 1 || me.Failed[0].View != "lc_pairs" {
+		t.Fatalf("recompute fault not reported: %v", err)
+	}
+	wantState(t, m, "lc_pairs", maintain.Stale)
+
+	// The next insert recomputes from scratch anyway — the self-join path
+	// heals the view without waiting for Repair.
+	row2 := storage.Row{
+		sqlvalue.NewInt(31), sqlvalue.NewString("NATION_31"),
+		sqlvalue.NewInt(1), sqlvalue.NewString("lifecycle"),
+	}
+	if err := m.Insert("nation", []storage.Row{row2}); err != nil {
+		t.Fatal(err)
+	}
+	wantState(t, m, "lc_pairs", maintain.Fresh)
+	checkAgainstRecompute(t, db, v)
+}
+
+// TestDeleteToZeroRemovesGroups exercises the delete-to-zero aggregation
+// path directly: several groups reach COUNT_BIG = 0 in one delta while a
+// surviving group is decremented in place.
+func TestDeleteToZeroRemovesGroups(t *testing.T) {
+	db, m, _, va := newLifecycleFixture(t, 26)
+	const custA, custB, custC = 910_001, 910_002, 910_003
+	var batch []storage.Row
+	key := int64(8_400_000)
+	for _, cust := range []int64{custA, custA, custB, custC, custC, custC} {
+		key++
+		batch = append(batch, newOrderRow(db, key, cust, 1000))
+	}
+	if err := m.Insert("orders", batch); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstRecompute(t, db, va)
+
+	// Delete all of A and B, and two of C's three orders, in one statement.
+	n, err := m.Delete("orders", func(r storage.Row) bool {
+		k := r[tpch.OOrderkey].Int()
+		return k > 8_400_000 && k <= 8_400_005
+	})
+	if err != nil || n != 5 {
+		t.Fatalf("deleted %d (%v), want 5", n, err)
+	}
+	mv := db.View("lc_agg")
+	var foundC bool
+	for _, r := range mv.Rows {
+		switch r[0].Int() {
+		case custA, custB:
+			t.Fatalf("group %d survived delete-to-zero", r[0].Int())
+		case custC:
+			foundC = true
+			if r[1].Int() != 1 || r[2].Float() != 1000 {
+				t.Fatalf("group C = %v, want cnt 1 total 1000", r)
+			}
+		}
+	}
+	if !foundC {
+		t.Fatal("surviving group C removed")
+	}
+	checkAgainstRecompute(t, db, va)
+	wantState(t, m, "lc_agg", maintain.Fresh)
+}
+
+func TestDropClearsLifecycle(t *testing.T) {
+	db, m, _, _ := newLifecycleFixture(t, 27)
+	inj := faults.New(8)
+	inj.Add(faults.Rule{Site: faults.SiteMaintainApply, Rate: 1})
+	m.SetFaultInjector(inj)
+	if err := m.Insert("orders", []storage.Row{newOrderRow(db, 8_500_001, 13, 200_000)}); err == nil {
+		t.Fatal("fault did not surface")
+	}
+	if got := m.ViewsInState(maintain.Stale); len(got) != 2 {
+		t.Fatalf("stale views = %v", got)
+	}
+	if !m.Drop("lc_spj") || !m.Drop("lc_agg") {
+		t.Fatal("drop failed")
+	}
+	if got := m.ViewsInState(maintain.Stale); len(got) != 0 {
+		t.Fatalf("lifecycle survived drop: %v", got)
+	}
+	if _, ok := m.ViewState("lc_spj"); ok {
+		t.Fatal("dropped view still has a lifecycle entry")
+	}
+}

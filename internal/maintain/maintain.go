@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"matview/internal/exec"
+	"matview/internal/faults"
 	"matview/internal/spjg"
 	"matview/internal/sqlvalue"
 	"matview/internal/storage"
@@ -38,16 +39,28 @@ type View struct {
 	sumArgs []int // parallel to sumPos; index into Def.Outputs
 }
 
-// Maintainer tracks a set of materialized views and applies base-table
-// changes to them.
+// Maintainer tracks a set of materialized views, applies base-table changes
+// to them, and runs each view's health lifecycle (see State): a view whose
+// maintenance fails is marked Stale before the statement returns, repaired
+// by Repair with backoff, and Quarantined if repairs keep failing.
+//
+// Insert, Delete, Repair, Register, and Drop must be externally serialized
+// (the server runs them under its exclusive lock); the lifecycle ledger —
+// ViewState, Stats, ViewsInState — may be read concurrently.
 type Maintainer struct {
 	db    *storage.Database
 	views []*View
+
+	// faults guards the maintainer's own mutation sites; nil outside chaos
+	// runs.
+	faults *faults.Injector
+
+	lc *lifecycle
 }
 
 // New returns a maintainer over the database.
 func New(db *storage.Database) *Maintainer {
-	return &Maintainer{db: db}
+	return &Maintainer{db: db, lc: newLifecycle()}
 }
 
 // Register materializes the view (if not already stored) and starts
@@ -83,6 +96,7 @@ func (m *Maintainer) Register(name string, def *spjg.Query) (*View, error) {
 		}
 	}
 	m.views = append(m.views, v)
+	m.lc.register(name)
 	return v, nil
 }
 
@@ -96,6 +110,7 @@ func (m *Maintainer) Drop(name string) bool {
 		if v.Name == name {
 			m.views = append(m.views[:i], m.views[i+1:]...)
 			m.db.DropView(name)
+			m.lc.drop(name)
 			return true
 		}
 	}
@@ -114,57 +129,86 @@ func instancesOf(def *spjg.Query, table string) int {
 }
 
 // Insert appends rows to a base table and incrementally maintains every
-// registered view.
+// registered view. A per-view failure does not abort the statement: the
+// failing view is marked Stale before Insert returns, the remaining views
+// are still maintained, and the returned *MaintenanceError names exactly
+// which views were updated, failed, or skipped (non-Fresh views are not
+// touched; Repair owns them).
 func (m *Maintainer) Insert(table string, rows []storage.Row) error {
 	t := m.db.Table(table)
 	if t == nil {
 		return fmt.Errorf("maintain: unknown table %q", table)
 	}
+	rep := &MaintenanceError{Op: "insert", Table: table}
 	// Deltas are computed against the pre-insert state of the other tables
 	// and Δ for the changed one; since only `table` changes, evaluation order
 	// relative to the base insert is irrelevant for single-instance views.
+	var selfJoin []*View
 	for _, v := range m.views {
 		switch instancesOf(v.Def, table) {
 		case 0:
 			continue
 		case 1:
-			delta, err := exec.RunQuery(m.db.Shadow(table, rows), v.Def)
-			if err != nil {
-				return fmt.Errorf("maintain: delta for %s: %w", v.Name, err)
+			if st, _ := m.ViewState(v.Name); st != Fresh {
+				rep.Skipped = append(rep.Skipped, v.Name)
+				continue
 			}
-			if err := m.apply(v, delta, +1); err != nil {
-				return err
+			if err := m.applyDelta(v, table, rows, +1); err != nil {
+				m.failView(v.Name, err)
+				rep.Failed = append(rep.Failed, ViewError{v.Name, err})
+			} else {
+				rep.Updated = append(rep.Updated, v.Name)
 			}
 		default:
 			// Self-join views are recomputed after the base insert below.
+			selfJoin = append(selfJoin, v)
 		}
 	}
-	for _, r := range rows {
-		if err := t.Insert(r); err != nil {
-			return err
-		}
-	}
-	// Self-join views: full recompute now that the base table changed.
-	for _, v := range m.views {
-		if instancesOf(v.Def, table) > 1 {
-			if err := m.recompute(v); err != nil {
+	if err := guard(func() error {
+		for _, r := range rows {
+			if err := t.Insert(r); err != nil {
 				return err
 			}
 		}
+		return nil
+	}); err != nil {
+		// The table now holds a prefix of the batch while the deltas above
+		// assumed all of it: every view over the table is suspect.
+		m.failAll(table, fmt.Errorf("maintain: base insert into %s failed mid-batch: %w", table, err))
+		rep.Base = err
+		return rep
 	}
-	return nil
+	// Self-join views: full recompute now that the base table changed. A
+	// successful recompute also heals a Stale view; only Quarantined views
+	// wait for an operator.
+	for _, v := range selfJoin {
+		m.recomputeInPlace(v, rep)
+	}
+	return rep.orNil()
 }
 
 // Delete removes the base-table rows satisfying pred and incrementally
-// maintains every registered view. It returns the number of deleted rows.
+// maintains every registered view, with the same partial-failure contract as
+// Insert. It returns the number of deleted rows.
 func (m *Maintainer) Delete(table string, pred func(storage.Row) bool) (int, error) {
 	t := m.db.Table(table)
 	if t == nil {
 		return 0, fmt.Errorf("maintain: unknown table %q", table)
 	}
-	deleted, err := t.DeleteWhere(pred)
+	rep := &MaintenanceError{Op: "delete", Table: table}
+	var deleted []storage.Row
+	err := guard(func() error {
+		var derr error
+		deleted, derr = t.DeleteWhere(pred)
+		return derr
+	})
 	if err != nil {
-		return 0, err
+		// DeleteWhere may have replaced the row heap before an index rebuild
+		// failed; the views still reflect the pre-delete table either way,
+		// so mark everything over this table Stale.
+		m.failAll(table, fmt.Errorf("maintain: base delete from %s failed: %w", table, err))
+		rep.Base = err
+		return 0, rep
 	}
 	if len(deleted) == 0 {
 		return 0, nil
@@ -174,26 +218,74 @@ func (m *Maintainer) Delete(table string, pred func(storage.Row) bool) (int, err
 		case 0:
 			continue
 		case 1:
+			if st, _ := m.ViewState(v.Name); st != Fresh {
+				rep.Skipped = append(rep.Skipped, v.Name)
+				continue
+			}
 			// Other tables are unchanged, so Q(T ← Δ) after the base delete
 			// equals the delta of the view.
-			delta, err := exec.RunQuery(m.db.Shadow(table, deleted), v.Def)
-			if err != nil {
-				return 0, fmt.Errorf("maintain: delta for %s: %w", v.Name, err)
-			}
-			if err := m.apply(v, delta, -1); err != nil {
-				return 0, err
+			if err := m.applyDelta(v, table, deleted, -1); err != nil {
+				m.failView(v.Name, err)
+				rep.Failed = append(rep.Failed, ViewError{v.Name, err})
+			} else {
+				rep.Updated = append(rep.Updated, v.Name)
 			}
 		default:
-			if err := m.recompute(v); err != nil {
-				return 0, err
-			}
+			m.recomputeInPlace(v, rep)
 		}
 	}
-	return len(deleted), nil
+	return len(deleted), rep.orNil()
 }
 
-// recompute rebuilds a view from scratch (self-join fallback).
+// applyDelta evaluates the view's delta query against the changed rows and
+// folds it into the stored view, converting panics into errors so one broken
+// view cannot unwind the whole statement.
+func (m *Maintainer) applyDelta(v *View, table string, rows []storage.Row, sign int64) error {
+	return guard(func() error {
+		if err := m.faults.Maybe(faults.SiteMaintainDelta); err != nil {
+			return fmt.Errorf("maintain: delta for %s: %w", v.Name, err)
+		}
+		delta, err := exec.RunQuery(m.db.Shadow(table, rows), v.Def)
+		if err != nil {
+			return fmt.Errorf("maintain: delta for %s: %w", v.Name, err)
+		}
+		return m.apply(v, delta, sign)
+	})
+}
+
+// recomputeInPlace is the self-join maintenance path: rebuild the view from
+// the post-change database, recording the outcome in rep and the lifecycle.
+func (m *Maintainer) recomputeInPlace(v *View, rep *MaintenanceError) {
+	if st, _ := m.ViewState(v.Name); st == Quarantined {
+		rep.Skipped = append(rep.Skipped, v.Name)
+		return
+	}
+	if err := guard(func() error { return m.recompute(v) }); err != nil {
+		m.failView(v.Name, err)
+		rep.Failed = append(rep.Failed, ViewError{v.Name, err})
+		return
+	}
+	if st, _ := m.ViewState(v.Name); st != Fresh {
+		_, notify := m.lc.transition(v.Name, Fresh, nil)
+		notify()
+	}
+	rep.Updated = append(rep.Updated, v.Name)
+}
+
+// failAll marks every view referencing table as Stale (base-write failure).
+func (m *Maintainer) failAll(table string, cause error) {
+	for _, v := range m.views {
+		if instancesOf(v.Def, table) > 0 {
+			m.failView(v.Name, cause)
+		}
+	}
+}
+
+// recompute rebuilds a view from scratch (self-join fallback and Repair).
 func (m *Maintainer) recompute(v *View) error {
+	if err := m.faults.Maybe(faults.SiteMaintainRecompute); err != nil {
+		return fmt.Errorf("maintain: recompute %s: %w", v.Name, err)
+	}
 	_, err := exec.Materialize(m.db, v.Name, v.Def)
 	return err
 }
@@ -201,6 +293,9 @@ func (m *Maintainer) recompute(v *View) error {
 // apply merges delta rows into the stored view. sign is +1 for inserts and
 // -1 for deletes.
 func (m *Maintainer) apply(v *View, delta []storage.Row, sign int64) error {
+	if err := m.faults.Maybe(faults.SiteMaintainApply); err != nil {
+		return fmt.Errorf("maintain: apply to %s: %w", v.Name, err)
+	}
 	mv := m.db.View(v.Name)
 	if mv == nil {
 		return fmt.Errorf("maintain: view %s not materialized", v.Name)
@@ -265,6 +360,9 @@ func bagSubtract(mv *storage.MaterializedView, delta []storage.Row, name string)
 // add (or subtract); groups reaching count zero are removed — the §2
 // incremental-deletion rule that COUNT_BIG exists for.
 func (m *Maintainer) mergeAgg(v *View, mv *storage.MaterializedView, delta []storage.Row, sign int64) error {
+	if err := m.faults.Maybe(faults.SiteMaintainMergeAgg); err != nil {
+		return fmt.Errorf("maintain: merge into %s: %w", v.Name, err)
+	}
 	index := make(map[string]int, len(mv.Rows))
 	for i, r := range mv.Rows {
 		index[rowKey(r, v.keyPos)] = i

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -103,6 +104,7 @@ type Optimizer struct {
 	tree        *filtertree.Tree
 	viewRows    map[int]float64 // estimated materialized cardinality by view ID
 	viewIndexes map[int][][]int // declared secondary indexes by view ID
+	unhealthy   map[string]bool // views excluded from matching (stale/quarantined)
 	nextID      int
 
 	// qkPool recycles QueryKeys values across matchViews invocations so the
@@ -119,12 +121,13 @@ type Optimizer struct {
 // NewOptimizer returns an optimizer over the catalog.
 func NewOptimizer(cat *catalog.Catalog, opts Options) *Optimizer {
 	return &Optimizer{
-		cat:      cat,
-		matcher:  core.NewMatcher(cat, opts.Match),
-		opts:     opts,
-		byName:   map[string]*core.View{},
-		tree:     filtertree.New(),
-		viewRows: map[int]float64{},
+		cat:       cat,
+		matcher:   core.NewMatcher(cat, opts.Match),
+		opts:      opts,
+		byName:    map[string]*core.View{},
+		tree:      filtertree.New(),
+		viewRows:  map[int]float64{},
+		unhealthy: map[string]bool{},
 	}
 }
 
@@ -197,6 +200,7 @@ func (o *Optimizer) DropView(name string) bool {
 	o.tree.Delete(v)
 	delete(o.viewRows, v.ID)
 	delete(o.viewIndexes, v.ID)
+	delete(o.unhealthy, name)
 	for i, w := range o.views {
 		if w.ID == v.ID {
 			o.views = append(o.views[:i], o.views[i+1:]...)
@@ -218,9 +222,51 @@ func (o *Optimizer) SetViewRowCount(name string, rows int64) {
 	}
 }
 
+// SetViewHealth includes or excludes a view from matching. The maintenance
+// layer calls it on every lifecycle transition: a view whose maintenance
+// failed is excluded until repaired, so the optimizer degrades to base-table
+// plans instead of reading stale rows. A real change bumps the catalog
+// epoch, which invalidates every cached plan that might embed the view (and,
+// on recovery, every base-table plan a Fresh view could now beat). Health
+// for an unregistered name is remembered harmlessly and cleared by DropView.
+func (o *Optimizer) SetViewHealth(name string, healthy bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if healthy == !o.unhealthy[name] {
+		return
+	}
+	if healthy {
+		delete(o.unhealthy, name)
+	} else {
+		o.unhealthy[name] = true
+	}
+	o.epoch.Add(1)
+}
+
+// ViewHealthy reports whether a view is eligible for matching.
+func (o *Optimizer) ViewHealthy(name string) bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return !o.unhealthy[name]
+}
+
+// UnhealthyViews returns the names currently excluded from matching, sorted.
+func (o *Optimizer) UnhealthyViews() []string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	out := make([]string, 0, len(o.unhealthy))
+	for name := range o.unhealthy {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // matchViews is the view-matching transformation rule: find candidate views
 // (through the filter tree or by scanning all descriptions), run the matching
 // tests on each, and return the substitutes. Instrumentation mirrors §5.
+// Non-Fresh views (SetViewHealth) are filtered out before the matching tests
+// so a degraded view can never appear in a plan.
 func (o *Optimizer) matchViews(q *spjg.Query, stats *QueryStats) []*core.Substitute {
 	if !o.opts.UseViews || len(o.views) == 0 {
 		return nil
@@ -242,6 +288,9 @@ func (o *Optimizer) matchViews(q *spjg.Query, stats *QueryStats) []*core.Substit
 	stats.CandidatesChecked += int64(len(cands))
 	var subs []*core.Substitute
 	for _, v := range cands {
+		if len(o.unhealthy) > 0 && o.unhealthy[v.Name] {
+			continue
+		}
 		if sub := o.matcher.Match(q, v); sub != nil {
 			stats.SubstitutesProduced++
 			if !o.opts.NoSubstitutes {

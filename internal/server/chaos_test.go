@@ -1,0 +1,384 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"matview/internal/exec"
+	"matview/internal/faults"
+	"matview/internal/maintain"
+	"matview/internal/sqlparser"
+	"matview/internal/storage"
+	"matview/internal/tpch"
+)
+
+// TestServerDegradedLifecycle is the deterministic end-to-end walk through
+// the lifecycle: a fault during maintenance turns the statement into a 422,
+// the view goes Stale, /healthz reports degraded, queries fall back to
+// base-table plans (still correct, never from the stale cache), and Repair
+// restores view matching.
+func TestServerDegradedLifecycle(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	execStmt(t, ts, `create view pq with schemabinding as
+		select l_partkey, count_big(*) as cnt, sum(l_quantity) as qty
+		from lineitem group by l_partkey`)
+	sql := "select l_partkey, sum(l_quantity) as qty from lineitem where l_partkey = 5 group by l_partkey"
+	if qr := query(t, ts, sql); !qr.UsedViews {
+		t.Fatal("fresh view not matched")
+	}
+
+	inj := faults.New(11)
+	inj.Add(faults.Rule{Site: faults.SiteMaintainMergeAgg, Rate: 1, Limit: 1})
+	srv.SetFaultInjector(inj)
+
+	okey := srv.db.Table("orders").Rows[0][tpch.OOrderkey].Int()
+	ins := fmt.Sprintf(`insert into lineitem values
+		(%d, 5, 1, 7, 5.0, 100.0, 0.0, 0.0, 'N', 'O',
+		 DATE '1995-05-05', DATE '1995-05-15', DATE '1995-05-25',
+		 'NONE', 'MAIL', 'degraded test')`, okey)
+	code, body := postReq(t, ts, "/exec", &ExecRequest{SQL: ins})
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("faulted insert: status %d: %s", code, body)
+	}
+	if !strings.Contains(string(body), "pq") {
+		t.Fatalf("error does not name the stale view: %s", body)
+	}
+
+	// The base row landed even though view maintenance failed: queries must
+	// see it via base-table plans, not the stale view, not a cached plan.
+	hr := healthz(t, ts)
+	if hr.Status != "degraded" || len(hr.Stale) != 1 || hr.Stale[0] != "pq" {
+		t.Fatalf("healthz = %+v", hr)
+	}
+	qr := query(t, ts, sql)
+	if qr.Cached {
+		t.Fatal("stale-epoch plan served from the cache")
+	}
+	if qr.UsedViews {
+		t.Fatal("plan uses a stale view")
+	}
+	if got, want := normRows(t, qr.Rows), referenceRows(t, srv.db, sql); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("degraded answer wrong: got %v want %v", got, want)
+	}
+	m := srv.Metrics()
+	if m.Maintenance.StaleViews != 1 || m.Maintenance.MaintenanceFailures != 1 {
+		t.Fatalf("maintenance metrics: %+v", m.Maintenance)
+	}
+
+	// Recovery: repair rebuilds the view, health returns to ok, and the next
+	// query re-plans (epoch bumped again) and matches the view.
+	inj.SetEnabled(false)
+	rep := srv.Repair()
+	if len(rep.Repaired) != 1 || rep.Repaired[0] != "pq" {
+		t.Fatalf("repair report: %+v", rep)
+	}
+	if hr := healthz(t, ts); hr.Status != "ok" {
+		t.Fatalf("healthz after repair = %+v", hr)
+	}
+	qr = query(t, ts, sql)
+	if qr.Cached {
+		t.Fatal("recovery did not invalidate the cached fallback plan")
+	}
+	if !qr.UsedViews {
+		t.Fatal("repaired view not matched")
+	}
+	if got, want := normRows(t, qr.Rows), referenceRows(t, srv.db, sql); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("post-repair answer wrong: got %v want %v", got, want)
+	}
+	if m := srv.Metrics(); m.Maintenance.FreshViews != 1 || m.Maintenance.RepairSuccesses != 1 {
+		t.Fatalf("post-repair metrics: %+v", m.Maintenance)
+	}
+}
+
+// TestStoragePanicIsContained injects a panic in the storage layer during a
+// base write: the maintainer converts it to a MaintenanceError (422, views
+// Stale) instead of letting it unwind the handler.
+func TestStoragePanicIsContained(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	execStmt(t, ts, `create view pq with schemabinding as
+		select l_partkey, count_big(*) as cnt, sum(l_quantity) as qty
+		from lineitem group by l_partkey`)
+	inj := faults.New(12)
+	inj.Add(faults.Rule{Site: faults.SiteStorageInsert, Rate: 1, Limit: 1, Panic: true})
+	srv.SetFaultInjector(inj)
+
+	okey := srv.db.Table("orders").Rows[0][tpch.OOrderkey].Int()
+	ins := fmt.Sprintf(`insert into lineitem values
+		(%d, 6, 1, 7, 5.0, 100.0, 0.0, 0.0, 'N', 'O',
+		 DATE '1995-05-05', DATE '1995-05-15', DATE '1995-05-25',
+		 'NONE', 'MAIL', 'panic test')`, okey)
+	code, body := postReq(t, ts, "/exec", &ExecRequest{SQL: ins})
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("panicking insert: status %d: %s", code, body)
+	}
+	if m := srv.Metrics(); m.PanicsTotal != 0 {
+		t.Fatalf("panic escaped to the middleware: %+v", m)
+	}
+	if st, _ := srv.Maintainer().ViewState("pq"); st != maintain.Stale {
+		t.Fatalf("view state after base-write panic = %v, want stale", st)
+	}
+
+	inj.SetEnabled(false)
+	if rep := srv.Repair(); len(rep.Repaired) != 1 {
+		t.Fatalf("repair: %+v", rep)
+	}
+	sql := "select l_partkey, sum(l_quantity) as qty from lineitem where l_partkey = 6 group by l_partkey"
+	qr := query(t, ts, sql)
+	if got, want := normRows(t, qr.Rows), referenceRows(t, srv.db, sql); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("post-repair answer wrong: got %v want %v", got, want)
+	}
+}
+
+// TestPanicRecoveryMiddleware exercises the outermost wrapper directly: a
+// handler panic becomes a 500 JSON error and a panics_total tick, and the
+// server keeps serving.
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	h := srv.recoverPanics(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/query", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "internal panic: kaboom") {
+		t.Fatalf("body = %q", rec.Body.String())
+	}
+	if m := srv.Metrics(); m.PanicsTotal != 1 || m.Errors != 1 {
+		t.Fatalf("metrics after panic: panics=%d errors=%d", m.PanicsTotal, m.Errors)
+	}
+	// The real stack is unaffected.
+	if qr := query(t, ts, "select l_partkey from lineitem where l_partkey = 1"); qr.RowCount < 0 {
+		t.Fatal("server dead after panic")
+	}
+}
+
+func healthz(t *testing.T, ts *httptest.Server) *HealthResponse {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hr HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	return &hr
+}
+
+// chaosReference evaluates sql with the naive evaluator; goroutine-safe
+// (returns errors instead of calling into testing.T).
+func chaosReference(db *storage.Database, sql string) ([]string, error) {
+	q, err := sqlparser.ParseQuery(db.Catalog, sql)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := exec.RunQuery(db, q)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		row := make([]any, len(r))
+		for j, v := range r {
+			row[j] = valueToJSON(v)
+		}
+		b, err := json.Marshal(row)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = string(b)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func chaosNorm(rows [][]any) ([]string, error) {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		b, err := json.Marshal(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = string(b)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// TestChaosQueriesStayCorrect is the capstone: concurrent query and DML
+// traffic with faults armed at every injection site (including panics at a
+// maintenance site). The invariant is the paper's contract under failure —
+// faults may cost performance (views degrade, plans fall back) but never
+// correctness: every 200 response must equal the reference evaluator's
+// answer, and after the storm every view repairs back to Fresh.
+//
+// The test-side RWMutex mirrors the deployment contract the server already
+// documents (DML serialized, queries concurrent): writers and repairs hold
+// it exclusively, readers run /query and the reference evaluator under the
+// shared side so the comparison is made against an unmoving database.
+func TestChaosQueriesStayCorrect(t *testing.T) {
+	db := newTestDB(t)
+	srv := New(db, Config{MaxConcurrent: 64})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	for _, s := range []string{
+		`create view pq with schemabinding as
+			select l_partkey, count_big(*) as cnt, sum(l_quantity) as qty
+			from lineitem group by l_partkey`,
+		`create view oc with schemabinding as
+			select o_custkey, count_big(*) as cnt, sum(o_totalprice) as total
+			from orders group by o_custkey`,
+	} {
+		execStmt(t, ts, s)
+	}
+
+	inj := faults.New(1234)
+	inj.AddAll(faults.Rule{Rate: 0.08})
+	inj.Add(faults.Rule{Site: faults.SiteMaintainApply, Rate: 0.05, Panic: true})
+	srv.SetFaultInjector(inj)
+
+	queries := []string{
+		"select l_partkey, sum(l_quantity) as qty from lineitem where l_partkey = 950 group by l_partkey",
+		"select l_partkey, count_big(*) as cnt from lineitem where l_partkey <= 5 group by l_partkey",
+		"select o_custkey, sum(o_totalprice) as total from orders where o_custkey = 1 group by o_custkey",
+		"select l_orderkey, l_quantity from lineitem where l_partkey = 951",
+	}
+	okey := db.Table("orders").Rows[0][tpch.OOrderkey].Int()
+
+	iters := 60
+	if testing.Short() {
+		iters = 15
+	}
+
+	var gate sync.RWMutex
+	var wg sync.WaitGroup
+	errs := make(chan error, 256)
+
+	for wID := 0; wID < 2; wID++ {
+		wg.Add(1)
+		go func(wID int) {
+			defer wg.Done()
+			part := 950 + wID
+			for i := 0; i < iters; i++ {
+				var sql string
+				if i%2 == 0 {
+					sql = fmt.Sprintf(`insert into lineitem values
+						(%d, %d, 1, 7, 2.0, 20.0, 0.0, 0.0, 'N', 'O',
+						 DATE '1995-05-05', DATE '1995-05-15', DATE '1995-05-25',
+						 'NONE', 'MAIL', 'chaos')`, okey, part)
+				} else {
+					sql = fmt.Sprintf("delete from lineitem where l_partkey = %d", part)
+				}
+				gate.Lock()
+				code, body := postHelper(ts, "/exec", &ExecRequest{SQL: sql})
+				// 200 = clean, 422 = fault surfaced as an error (views now
+				// Stale), 500 = a panic the middleware absorbed. Anything
+				// else is a routing or availability bug.
+				if code != http.StatusOK && code != http.StatusUnprocessableEntity && code != http.StatusInternalServerError {
+					errs <- fmt.Errorf("exec %q: status %d: %s", sql, code, body)
+				}
+				if i%5 == 4 {
+					srv.Repair()
+				}
+				gate.Unlock()
+			}
+		}(wID)
+	}
+
+	for rID := 0; rID < 4; rID++ {
+		wg.Add(1)
+		go func(rID int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				sql := queries[(rID+i)%len(queries)]
+				gate.RLock()
+				code, body := postHelper(ts, "/query", &QueryRequest{SQL: sql})
+				if code != http.StatusOK {
+					gate.RUnlock()
+					errs <- fmt.Errorf("query %q: status %d: %s", sql, code, body)
+					return
+				}
+				var qr QueryResponse
+				if err := json.Unmarshal(body, &qr); err != nil {
+					gate.RUnlock()
+					errs <- err
+					return
+				}
+				want, werr := chaosReference(db, sql)
+				gate.RUnlock()
+				if werr != nil {
+					errs <- werr
+					return
+				}
+				got, gerr := chaosNorm(qr.Rows)
+				if gerr != nil {
+					errs <- gerr
+					return
+				}
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					errs <- fmt.Errorf("chaos divergence on %q: got %v want %v", sql, got, want)
+					return
+				}
+			}
+		}(rID)
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if st := inj.Stats(); st.Injected == 0 {
+		t.Fatal("chaos run injected no faults; the test proved nothing")
+	} else {
+		t.Logf("faults: %v", inj)
+	}
+
+	// The storm is over: disable faults and repair whatever is left,
+	// force-releasing any quarantined view.
+	inj.SetEnabled(false)
+	m := srv.Maintainer()
+	for _, st := range []maintain.State{maintain.Stale, maintain.Quarantined} {
+		for _, name := range m.ViewsInState(st) {
+			if err := m.RepairView(name, true); err != nil {
+				t.Fatalf("final repair of %s: %v", name, err)
+			}
+		}
+	}
+	db.RefreshStats()
+	for _, st := range []maintain.State{maintain.Stale, maintain.Rebuilding, maintain.Quarantined} {
+		if got := m.ViewsInState(st); len(got) != 0 {
+			t.Fatalf("views still %v after final repair: %v", st, got)
+		}
+	}
+	if hr := healthz(t, ts); hr.Status != "ok" {
+		t.Fatalf("healthz after recovery = %+v", hr)
+	}
+
+	// Fully healed: answers still match, and views are matchable again.
+	usedView := false
+	for _, sql := range queries {
+		qr := query(t, ts, sql)
+		got := normRows(t, qr.Rows)
+		want := referenceRows(t, db, sql)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("post-chaos divergence on %q: got %v want %v", sql, got, want)
+		}
+		usedView = usedView || qr.UsedViews
+	}
+	if !usedView {
+		t.Error("no query matched a view after recovery")
+	}
+	t.Logf("maintenance metrics: %+v", srv.Metrics().Maintenance)
+}

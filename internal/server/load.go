@@ -31,6 +31,15 @@ type LoadOptions struct {
 	// Queries is the SELECT pool; each client walks it round-robin from a
 	// distinct offset.
 	Queries []string
+	// Mutations is an optional DML pool cycled by one writer goroutine for
+	// the whole run, driving view maintenance (and, under fault injection,
+	// repairs) concurrently with the query traffic. A 422 — maintenance
+	// partially failed, views degraded — counts as a MutationError; the run
+	// keeps going, which is the point.
+	Mutations []string
+	// MutationPause is the writer's pause between statements (default 1ms)
+	// so the serialized /exec path cannot starve queries of the server lock.
+	MutationPause time.Duration
 }
 
 // LoadResult summarizes a load run. Cache counters are the server-side
@@ -47,6 +56,18 @@ type LoadResult struct {
 	CacheHits    int64
 	CacheMisses  int64
 	CacheHitRate float64 // hits / (hits+misses), 0 when idle
+
+	// ErrorRate is Errors / Requests over the query traffic.
+	ErrorRate float64
+	// Mutations / MutationErrors count the writer goroutine's statements
+	// (zero unless LoadOptions.Mutations is set).
+	Mutations      int64
+	MutationErrors int64
+	// Repairs is the server-side delta of successful view repairs over the
+	// run; DegradedTime is how much longer the server spent with at least
+	// one non-Fresh view.
+	Repairs      int64
+	DegradedTime time.Duration
 }
 
 // RunLoad drives the server with concurrent /query traffic and reports
@@ -81,11 +102,31 @@ func RunLoad(opts LoadOptions) (*LoadResult, error) {
 
 	var (
 		requests, errCount, rejected atomic.Int64
+		mutations, mutErrs           atomic.Int64
 		wg                           sync.WaitGroup
 	)
 	latencies := make([][]time.Duration, opts.Clients)
 	deadline := time.Now().Add(opts.Duration)
 	start := time.Now()
+	if len(opts.Mutations) > 0 {
+		pause := opts.MutationPause
+		if pause <= 0 {
+			pause = time.Millisecond
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				stmt := opts.Mutations[i%len(opts.Mutations)]
+				code, err := postJSONCode(client, opts.URL+"/exec", &ExecRequest{SQL: stmt})
+				mutations.Add(1)
+				if err != nil || code != http.StatusOK {
+					mutErrs.Add(1)
+				}
+				time.Sleep(pause)
+			}
+		}()
+	}
 	for c := 0; c < opts.Clients; c++ {
 		wg.Add(1)
 		go func(c int) {
@@ -116,16 +157,24 @@ func RunLoad(opts LoadOptions) (*LoadResult, error) {
 		return nil, err
 	}
 	res := &LoadResult{
-		Requests:    requests.Load(),
-		Errors:      errCount.Load(),
-		Rejected:    rejected.Load(),
-		Elapsed:     elapsed,
-		QPS:         float64(requests.Load()) / elapsed.Seconds(),
-		CacheHits:   after.PlanCache.Hits - before.PlanCache.Hits,
-		CacheMisses: after.PlanCache.Misses - before.PlanCache.Misses,
+		Requests:       requests.Load(),
+		Errors:         errCount.Load(),
+		Rejected:       rejected.Load(),
+		Elapsed:        elapsed,
+		QPS:            float64(requests.Load()) / elapsed.Seconds(),
+		CacheHits:      after.PlanCache.Hits - before.PlanCache.Hits,
+		CacheMisses:    after.PlanCache.Misses - before.PlanCache.Misses,
+		Mutations:      mutations.Load(),
+		MutationErrors: mutErrs.Load(),
+		Repairs:        after.Maintenance.RepairSuccesses - before.Maintenance.RepairSuccesses,
+		DegradedTime: time.Duration(
+			(after.Maintenance.DegradedSeconds - before.Maintenance.DegradedSeconds) * float64(time.Second)),
 	}
 	if total := res.CacheHits + res.CacheMisses; total > 0 {
 		res.CacheHitRate = float64(res.CacheHits) / float64(total)
+	}
+	if res.Requests > 0 {
+		res.ErrorRate = float64(res.Errors) / float64(res.Requests)
 	}
 	var all []time.Duration
 	for _, ls := range latencies {

@@ -81,17 +81,36 @@ type LatencyMetrics struct {
 	Samples   int   `json:"samples"`
 }
 
+// MaintenanceMetrics reports the view-lifecycle census and repair activity:
+// how many views sit in each state, how often maintenance degraded one, and
+// how the repair loop is doing. degraded_seconds is the cumulative time at
+// least one view was non-Fresh (queries fell back to base-table plans).
+type MaintenanceMetrics struct {
+	FreshViews          int     `json:"fresh_views"`
+	StaleViews          int     `json:"stale_views"`
+	RebuildingViews     int     `json:"rebuilding_views"`
+	QuarantinedViews    int     `json:"quarantined_views"`
+	MaintenanceFailures int64   `json:"maintenance_failures"`
+	RepairAttempts      int64   `json:"repair_attempts"`
+	RepairSuccesses     int64   `json:"repair_successes"`
+	RepairFailures      int64   `json:"repair_failures"`
+	Quarantines         int64   `json:"quarantines"`
+	DegradedSeconds     float64 `json:"degraded_seconds"`
+}
+
 // Metrics is the /metrics response.
 type Metrics struct {
-	UptimeSeconds float64          `json:"uptime_seconds"`
-	Queries       int64            `json:"queries"`
-	Execs         int64            `json:"execs"`
-	Errors        int64            `json:"errors"`
-	Rejected      int64            `json:"rejected"`
-	Timeouts      int64            `json:"timeouts"`
-	Views         int              `json:"views"`
-	CatalogEpoch  uint64           `json:"catalog_epoch"`
-	PlanCache     CacheStats       `json:"plan_cache"`
-	Latency       LatencyMetrics   `json:"latency"`
-	Optimizer     OptimizerMetrics `json:"optimizer"`
+	UptimeSeconds float64            `json:"uptime_seconds"`
+	Queries       int64              `json:"queries"`
+	Execs         int64              `json:"execs"`
+	Errors        int64              `json:"errors"`
+	Rejected      int64              `json:"rejected"`
+	Timeouts      int64              `json:"timeouts"`
+	PanicsTotal   int64              `json:"panics_total"`
+	Views         int                `json:"views"`
+	CatalogEpoch  uint64             `json:"catalog_epoch"`
+	PlanCache     CacheStats         `json:"plan_cache"`
+	Maintenance   MaintenanceMetrics `json:"maintenance"`
+	Latency       LatencyMetrics     `json:"latency"`
+	Optimizer     OptimizerMetrics   `json:"optimizer"`
 }

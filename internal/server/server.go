@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"matview/internal/exec"
+	"matview/internal/faults"
+	"matview/internal/maintain"
 	"matview/internal/opt"
 	"matview/internal/shell"
 	"matview/internal/sqlparser"
@@ -35,6 +37,10 @@ type Config struct {
 	// LatencyWindow is the number of recent requests kept for percentile
 	// estimates.
 	LatencyWindow int
+	// RepairInterval runs the maintainer's Repair pass in the background
+	// this often, rebuilding views that failed maintenance (0 disables the
+	// loop; Repair can still be invoked explicitly).
+	RepairInterval time.Duration
 }
 
 // DefaultConfig returns the production defaults.
@@ -68,12 +74,17 @@ type Server struct {
 	draining bool
 	inflight sync.WaitGroup
 
+	stopRepair chan struct{} // closes the background repair loop
+	stopOnce   sync.Once
+	repairWG   sync.WaitGroup
+
 	start      time.Time
 	queries    atomic.Int64
 	execs      atomic.Int64
 	errors     atomic.Int64
 	rejected   atomic.Int64
 	timeouts   atomic.Int64
+	panics     atomic.Int64
 	lat        *latencyRecorder
 	optStatsMu sync.Mutex
 	optStats   opt.QueryStats
@@ -93,16 +104,58 @@ func New(db *storage.Database, cfg Config) *Server {
 		cfg.LatencyWindow = def.LatencyWindow
 	}
 	sess := shell.NewSession(db)
-	return &Server{
-		cfg:   cfg,
-		db:    db,
-		sess:  sess,
-		opt:   sess.Opt,
-		cache: NewPlanCache(cfg.CacheSize),
-		sem:   make(chan struct{}, cfg.MaxConcurrent),
-		start: time.Now(),
-		lat:   newLatencyRecorder(cfg.LatencyWindow),
+	s := &Server{
+		cfg:        cfg,
+		db:         db,
+		sess:       sess,
+		opt:        sess.Opt,
+		cache:      NewPlanCache(cfg.CacheSize),
+		sem:        make(chan struct{}, cfg.MaxConcurrent),
+		stopRepair: make(chan struct{}),
+		start:      time.Now(),
+		lat:        newLatencyRecorder(cfg.LatencyWindow),
 	}
+	if cfg.RepairInterval > 0 {
+		s.repairWG.Add(1)
+		go s.repairLoop(cfg.RepairInterval)
+	}
+	return s
+}
+
+// repairLoop periodically rebuilds views that failed maintenance, under the
+// same exclusive lock DML uses, until Shutdown.
+func (s *Server) repairLoop(interval time.Duration) {
+	defer s.repairWG.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopRepair:
+			return
+		case <-t.C:
+			s.Repair()
+		}
+	}
+}
+
+// Repair runs one maintenance-repair pass (also used by the background
+// loop). It serializes against queries and DML exactly like /exec.
+func (s *Server) Repair() maintain.RepairReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep := s.sess.Maint.Repair()
+	s.db.RefreshStats()
+	return rep
+}
+
+// Maintainer exposes the view maintainer (for tests and tooling).
+func (s *Server) Maintainer() *maintain.Maintainer { return s.sess.Maint }
+
+// SetFaultInjector arms fault injection across the whole stack — storage
+// writes and maintenance sites. Call it before serving traffic.
+func (s *Server) SetFaultInjector(in *faults.Injector) {
+	s.db.SetFaultInjector(in)
+	s.sess.Maint.SetFaultInjector(in)
 }
 
 // Optimizer exposes the server's optimizer (for tests and tooling).
@@ -111,26 +164,48 @@ func (s *Server) Optimizer() *opt.Optimizer { return s.opt }
 // Cache exposes the plan cache (for tests and tooling).
 func (s *Server) Cache() *PlanCache { return s.cache }
 
-// Handler returns the service's HTTP routes.
+// Handler returns the service's HTTP routes, wrapped in panic recovery: a
+// panic anywhere in planning or execution (the expr/sqlvalue fast paths
+// panic on type confusion) becomes a 500 JSON response and a panics_total
+// tick instead of a dead process.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("POST /exec", s.handleExec)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	return s.recoverPanics(mux)
+}
+
+// recoverPanics is the outermost middleware. Recovery is best-effort about
+// the response (if the handler already wrote headers the 500 cannot be
+// sent), but the process always survives and the panic is always counted.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.panics.Add(1)
+				s.errors.Add(1)
+				writeError(w, http.StatusInternalServerError,
+					fmt.Errorf("server: internal panic: %v", rec))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // Shutdown stops admitting requests (new ones get 503, /healthz reports
-// draining) and waits for in-flight requests to finish or for ctx to
-// expire.
+// draining), stops the background repair loop, and waits for in-flight
+// requests to finish or for ctx to expire.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.gateMu.Lock()
 	s.draining = true
 	s.gateMu.Unlock()
+	s.stopOnce.Do(func() { close(s.stopRepair) })
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
+		s.repairWG.Wait()
 		close(done)
 	}()
 	select {
@@ -362,15 +437,37 @@ func (s *Server) runExec(req *ExecRequest) (string, int, error) {
 	return strings.TrimSpace(sb.String()), 0, nil
 }
 
+// HealthResponse is the /healthz body. Status is "ok", "degraded" (some
+// views are not Fresh — queries still succeed, answered from base tables),
+// or "draining". Degraded responses list the afflicted views.
+type HealthResponse struct {
+	Status      string   `json:"status"`
+	Stale       []string `json:"stale,omitempty"`
+	Rebuilding  []string `json:"rebuilding,omitempty"`
+	Quarantined []string `json:"quarantined,omitempty"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.gateMu.Lock()
 	draining := s.draining
 	s.gateMu.Unlock()
 	if draining {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		writeJSON(w, http.StatusServiceUnavailable, &HealthResponse{Status: "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	h := &HealthResponse{
+		Status:      "ok",
+		Stale:       s.sess.Maint.ViewsInState(maintain.Stale),
+		Rebuilding:  s.sess.Maint.ViewsInState(maintain.Rebuilding),
+		Quarantined: s.sess.Maint.ViewsInState(maintain.Quarantined),
+	}
+	if len(h.Stale)+len(h.Rebuilding)+len(h.Quarantined) > 0 {
+		// Still 200: the service answers every query correctly, just not
+		// always from views. Load balancers should not eject a degraded
+		// replica; operators should watch the repair metrics.
+		h.Status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -383,6 +480,7 @@ func (s *Server) Metrics() Metrics {
 	s.optStatsMu.Lock()
 	os := s.optStats
 	s.optStatsMu.Unlock()
+	ms := s.sess.Maint.Stats()
 	return Metrics{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Queries:       s.queries.Load(),
@@ -390,9 +488,22 @@ func (s *Server) Metrics() Metrics {
 		Errors:        s.errors.Load(),
 		Rejected:      s.rejected.Load(),
 		Timeouts:      s.timeouts.Load(),
+		PanicsTotal:   s.panics.Load(),
 		Views:         s.opt.NumViews(),
 		CatalogEpoch:  s.opt.CatalogEpoch(),
 		PlanCache:     s.cache.Stats(),
+		Maintenance: MaintenanceMetrics{
+			FreshViews:          ms.Fresh,
+			StaleViews:          ms.Stale,
+			RebuildingViews:     ms.Rebuilding,
+			QuarantinedViews:    ms.Quarantined,
+			MaintenanceFailures: ms.MaintenanceFailures,
+			RepairAttempts:      ms.RepairAttempts,
+			RepairSuccesses:     ms.RepairSuccesses,
+			RepairFailures:      ms.RepairFailures,
+			Quarantines:         ms.Quarantines,
+			DegradedSeconds:     ms.Degraded.Seconds(),
+		},
 		Latency: LatencyMetrics{
 			P50Micros: qs[0].Microseconds(),
 			P99Micros: qs[1].Microseconds(),

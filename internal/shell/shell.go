@@ -39,14 +39,21 @@ type Session struct {
 	history []*spjg.Query
 }
 
-// NewSession builds a session with default options.
+// NewSession builds a session with default options. The maintainer's view
+// lifecycle is wired to the optimizer: any view leaving (or re-entering)
+// Fresh flips its matching eligibility and bumps the catalog epoch, so plans
+// cached against the old health are never served.
 func NewSession(db *storage.Database) *Session {
-	return &Session{
+	s := &Session{
 		DB:      db,
 		Opt:     opt.NewOptimizer(db.Catalog, opt.DefaultOptions()),
 		Maint:   maintain.New(db),
 		MaxRows: 25,
 	}
+	s.Maint.SetStateListener(func(view string, from, to maintain.State) {
+		s.Opt.SetViewHealth(view, to == maintain.Fresh)
+	})
+	return s
 }
 
 // Execute runs one statement (without trailing semicolon) and writes its
@@ -156,10 +163,13 @@ func (s *Session) execInsert(ins *sqlparser.InsertStatement, w io.Writer) error 
 	for i, r := range ins.Rows {
 		rows[i] = storage.Row(r)
 	}
-	if err := s.Maint.Insert(ins.Table, rows); err != nil {
+	// A MaintenanceError means the statement partially applied (base rows
+	// and/or some views); refresh stats before surfacing it.
+	err := s.Maint.Insert(ins.Table, rows)
+	s.DB.RefreshStats()
+	if err != nil {
 		return err
 	}
-	s.DB.RefreshStats()
 	fmt.Fprintf(w, "inserted %d row(s) into %s (views maintained)\n", len(rows), ins.Table)
 	return nil
 }
@@ -178,10 +188,10 @@ func (s *Session) execDelete(del *sqlparser.DeleteStatement, w io.Writer) error 
 		}
 	}
 	n, err := s.Maint.Delete(del.Table, pred)
+	s.DB.RefreshStats()
 	if err != nil {
 		return err
 	}
-	s.DB.RefreshStats()
 	fmt.Fprintf(w, "deleted %d row(s) from %s (views maintained)\n", n, del.Table)
 	return nil
 }
@@ -254,7 +264,11 @@ func (s *Session) Meta(cmd string, w io.Writer) bool {
 			if mv := s.DB.View(v.Name); mv != nil {
 				rows = mv.RowCount
 			}
-			fmt.Fprintf(w, "  %-20s %8d rows   %s\n", v.Name, rows, v.Def.String())
+			state := maintain.Fresh
+			if st, ok := s.Maint.ViewState(v.Name); ok {
+				state = st
+			}
+			fmt.Fprintf(w, "  %-20s %8d rows  %-11s %s\n", v.Name, rows, state, v.Def.String())
 		}
 		if s.Opt.NumViews() == 0 {
 			fmt.Fprintln(w, "  (no materialized views)")

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"matview/internal/catalog"
+	"matview/internal/faults"
 	"matview/internal/sqlvalue"
 )
 
@@ -31,6 +32,9 @@ type Table struct {
 
 	// indexes by a canonical column-list key.
 	indexes map[string]*Index
+
+	// faults guards the table's mutations; nil outside chaos runs.
+	faults *faults.Injector
 }
 
 // Index is a hash index over a column list. Unique indexes reject duplicate
@@ -63,6 +67,9 @@ func rowKey(r Row, cols []int) string {
 
 // Insert appends a row (which must have the right arity) and updates indexes.
 func (t *Table) Insert(r Row) error {
+	if err := t.faults.Maybe(faults.SiteStorageInsert); err != nil {
+		return err
+	}
 	if len(r) != len(t.Meta.Columns) {
 		return fmt.Errorf("storage: row arity %d != %d columns of %s",
 			len(r), len(t.Meta.Columns), t.Meta.Name)
@@ -131,6 +138,7 @@ type MaterializedView struct {
 	RowCount int64 // convenience mirror of len(Rows)
 
 	indexes map[string]*Index
+	faults  *faults.Injector
 }
 
 // BuildIndex creates (or rebuilds) a hash index over the view's output
@@ -160,8 +168,12 @@ func (mv *MaterializedView) LookupIndex(cols []int) *Index {
 }
 
 // RebuildIndexes refreshes every index after the view's rows changed (e.g.
-// incremental maintenance).
+// incremental maintenance). An injected fault here models the torn-write
+// window: rows already merged, indexes not yet consistent.
 func (mv *MaterializedView) RebuildIndexes() error {
+	if err := mv.faults.Maybe(faults.SiteStorageRebuild); err != nil {
+		return err
+	}
 	for key, idx := range mv.indexes {
 		rebuilt, err := mv.BuildIndex(idx.Cols, idx.Unique)
 		if err != nil {
@@ -177,6 +189,21 @@ type Database struct {
 	Catalog *catalog.Catalog
 	tables  map[string]*Table
 	views   map[string]*MaterializedView
+	faults  *faults.Injector
+}
+
+// SetFaultInjector arms (or, with nil, disarms) fault injection on every
+// mutation site in the database: table inserts and deletes, and
+// materialized-view index rebuilds. Existing tables and views pick up the
+// injector immediately; views materialized later inherit it through PutView.
+func (db *Database) SetFaultInjector(in *faults.Injector) {
+	db.faults = in
+	for _, t := range db.tables {
+		t.faults = in
+	}
+	for _, mv := range db.views {
+		mv.faults = in
+	}
 }
 
 // NewDatabase creates empty storage for every table in the catalog.
@@ -195,7 +222,7 @@ func (db *Database) Table(name string) *Table { return db.tables[name] }
 // on a previous materialization of the same view are rebuilt over the new
 // rows.
 func (db *Database) PutView(name string, numCols int, rows []Row) *MaterializedView {
-	mv := &MaterializedView{Name: name, NumCols: numCols, Rows: rows, RowCount: int64(len(rows))}
+	mv := &MaterializedView{Name: name, NumCols: numCols, Rows: rows, RowCount: int64(len(rows)), faults: db.faults}
 	if prev, ok := db.views[name]; ok {
 		for _, idx := range prev.indexes {
 			// A failing unique rebuild is a definition-level inconsistency;
@@ -222,6 +249,9 @@ func (db *Database) DropView(name string) bool {
 // DeleteWhere removes every row satisfying pred, returning the deleted rows.
 // Indexes are rebuilt afterwards.
 func (t *Table) DeleteWhere(pred func(Row) bool) ([]Row, error) {
+	if err := t.faults.Maybe(faults.SiteStorageDelete); err != nil {
+		return nil, err
+	}
 	var kept, deleted []Row
 	for _, r := range t.Rows {
 		if pred(r) {
@@ -249,7 +279,7 @@ func (t *Table) DeleteWhere(pred func(Row) bool) ([]Row, error) {
 // the standard trick for evaluating a view's delta query Q(T ← Δ) during
 // incremental maintenance.
 func (db *Database) Shadow(table string, rows []Row) *Database {
-	out := &Database{Catalog: db.Catalog, tables: map[string]*Table{}, views: db.views}
+	out := &Database{Catalog: db.Catalog, tables: map[string]*Table{}, views: db.views, faults: db.faults}
 	for name, t := range db.tables {
 		if name == table {
 			out.tables[name] = &Table{Meta: t.Meta, Rows: rows}

@@ -16,8 +16,12 @@ test:
 race:
 	go test -race ./...
 
+# bench runs every benchmark (no tests) with allocation stats; repeat with
+# `make bench COUNT=10` and feed the output to benchstat to compare runs.
+# EXEC_BENCH_SF shrinks the BenchmarkExec* TPC-H scale factor for quick passes.
+COUNT ?= 1
 bench:
-	go test -bench=. -benchmem ./...
+	go test -run '^$$' -bench . -benchmem -count $(COUNT) ./...
 
 # chaos runs the fault-injected correctness suite (full-length) under the
 # race detector: concurrent query + DML traffic with faults at every site.

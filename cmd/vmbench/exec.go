@@ -1,0 +1,151 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"matview/internal/exec"
+	"matview/internal/expr"
+	"matview/internal/spjg"
+	"matview/internal/storage"
+	"matview/internal/tpch"
+)
+
+// The exec experiment measures raw plan execution on TPC-H data: each plan
+// runs through the row-at-a-time reference interpreter (the seed executor)
+// and the batched engine at several worker counts, and the report shows
+// wall-clock per run plus the speedup over the reference. The plan shapes
+// mirror the BenchmarkExec* suite in internal/exec so the two report the
+// same workloads.
+
+// execCase is one benchmark plan over the TPC-H database.
+type execCase struct {
+	name  string
+	build func(db *storage.Database) exec.Node
+}
+
+func execCases() []execCase {
+	return []execCase{
+		{"scan", func(db *storage.Database) exec.Node {
+			n := len(db.Catalog.Table("lineitem").Columns)
+			return &exec.Project{
+				In:    &exec.TableScan{Table: "lineitem", NCols: n},
+				Exprs: []expr.Expr{expr.Col(0, tpch.LOrderkey), expr.Col(0, tpch.LQuantity)},
+			}
+		}},
+		{"filter-scan", func(db *storage.Database) exec.Node {
+			n := len(db.Catalog.Table("lineitem").Columns)
+			discountBand := expr.NewCmp(expr.LE,
+				expr.Func{Name: "ABS", Args: []expr.Expr{
+					expr.NewArith(expr.Sub, expr.Col(0, tpch.LDiscount), expr.CFloat(0.05)),
+				}},
+				expr.CFloat(0.01))
+			return &exec.TableScan{
+				Table: "lineitem",
+				NCols: n,
+				Filter: expr.NewAnd(
+					discountBand,
+					expr.NewCmp(expr.LT, expr.Col(0, tpch.LQuantity), expr.CInt(10)),
+				),
+			}
+		}},
+		{"join3", func(db *storage.Database) exec.Node {
+			no := len(db.Catalog.Table("orders").Columns)
+			nc := len(db.Catalog.Table("customer").Columns)
+			nl := len(db.Catalog.Table("lineitem").Columns)
+			oc := &exec.HashJoin{
+				L: &exec.TableScan{Table: "orders", NCols: no,
+					Filter: expr.NewCmp(expr.GT, expr.Col(0, tpch.OTotalprice), expr.CFloat(570000))},
+				R:     &exec.TableScan{Table: "customer", NCols: nc},
+				LCols: []int{tpch.OCustkey},
+				RCols: []int{tpch.CCustkey},
+			}
+			return &exec.HashJoin{
+				L:     oc,
+				R:     &exec.TableScan{Table: "lineitem", NCols: nl},
+				LCols: []int{tpch.OOrderkey},
+				RCols: []int{tpch.LOrderkey},
+			}
+		}},
+		{"group-agg-join", func(db *storage.Database) exec.Node {
+			np := len(db.Catalog.Table("part").Columns)
+			nl := len(db.Catalog.Table("lineitem").Columns)
+			join := &exec.HashJoin{
+				L:     &exec.TableScan{Table: "part", NCols: np},
+				R:     &exec.TableScan{Table: "lineitem", NCols: nl},
+				LCols: []int{tpch.PPartkey},
+				RCols: []int{tpch.LPartkey},
+			}
+			return &exec.HashAgg{
+				In:      join,
+				GroupBy: []expr.Expr{expr.Col(0, tpch.PBrand)},
+				Aggs: []exec.AggSpec{
+					{Num: exec.SimpleAgg{Kind: spjg.AggCountStar}},
+					{Num: exec.SimpleAgg{Kind: spjg.AggSum, Arg: expr.Col(0, np+tpch.LQuantity)}},
+					{Num: exec.SimpleAgg{Kind: spjg.AggAvg, Arg: expr.Col(0, np+tpch.LExtendedprice)}},
+				},
+			}
+		}},
+	}
+}
+
+// timeExec runs exe `runs` times (after one untimed warmup) and returns the
+// best wall-clock time and the row count.
+func timeExec(runs int, exe func() ([]storage.Row, error)) (time.Duration, int, error) {
+	rows, err := exe()
+	if err != nil {
+		return 0, 0, err
+	}
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		rows, err = exe()
+		if err != nil {
+			return 0, 0, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best, len(rows), nil
+}
+
+// runExec drives the exec experiment: every case through the reference
+// interpreter and the engine at each worker count.
+func runExec(w io.Writer, sf float64, seed int64, workerCounts []int, runs int) error {
+	fmt.Fprintf(w, "generating TPC-H SF %g (seed %d)...\n", sf, seed)
+	db, err := tpch.NewDatabase(sf, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%d lineitem rows; best of %d runs per executor\n\n",
+		len(db.Table("lineitem").Rows), runs)
+	fmt.Fprintf(w, "%-16s %-12s %12s %10s %9s\n", "plan", "executor", "time", "rows", "speedup")
+	for _, c := range execCases() {
+		plan := c.build(db)
+		ref, rows, err := timeExec(runs, func() ([]storage.Row, error) {
+			return exec.RunReference(db, plan)
+		})
+		if err != nil {
+			return fmt.Errorf("%s: reference: %w", c.name, err)
+		}
+		fmt.Fprintf(w, "%-16s %-12s %12v %10d %9s\n", c.name, "seed", ref.Round(time.Microsecond), rows, "1.00x")
+		for _, wk := range workerCounts {
+			eng := &exec.Engine{Workers: wk}
+			d, erows, err := timeExec(runs, func() ([]storage.Row, error) {
+				return eng.Run(db, plan)
+			})
+			if err != nil {
+				return fmt.Errorf("%s: engine w=%d: %w", c.name, wk, err)
+			}
+			if erows != rows {
+				return fmt.Errorf("%s: engine w=%d returned %d rows, reference %d", c.name, wk, erows, rows)
+			}
+			fmt.Fprintf(w, "%-16s %-12s %12v %10d %8.2fx\n",
+				c.name, fmt.Sprintf("engine-w%d", wk), d.Round(time.Microsecond), erows,
+				float64(ref)/float64(d))
+		}
+	}
+	return nil
+}

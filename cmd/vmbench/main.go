@@ -9,6 +9,12 @@
 //	        [-workers N] [-cpuprofile FILE] [-memprofile FILE]
 //	vmbench -experiment load [-server URL] [-clients N] [-duration D] [-sf F] [-seed S]
 //	        [-fault-rate P]
+//	vmbench -experiment exec [-sf F] [-seed S] [-workers N]
+//
+// The exec experiment benchmarks raw plan execution (no optimizer): each
+// BenchmarkExec* plan shape runs through the seed row-at-a-time interpreter
+// and the batched engine at worker counts 1 and N, reporting wall-clock and
+// speedup. -sf sets the TPC-H scale factor (default 0.05 here).
 //
 // -workers fans each measurement's queries out over N optimizer goroutines
 // (0 = GOMAXPROCS, 1 = serial as in the paper); plan choices and aggregate
@@ -43,7 +49,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "fig2, fig3, fig4, stats, or all")
+	experiment := flag.String("experiment", "all", "fig2, fig3, fig4, stats, load, exec, or all")
 	views := flag.Int("views", 1000, "maximum number of materialized views")
 	queries := flag.Int("queries", 1000, "number of queries per measurement")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -61,6 +67,24 @@ func main() {
 
 	if *experiment == "load" {
 		check(runLoad(*serverURL, *clients, *duration, *sf, *seed, *faultRate))
+		return
+	}
+	if *experiment == "exec" {
+		execSF := 0.05 // big enough that per-row costs dominate generation
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "sf" {
+				execSF = *sf
+			}
+		})
+		wk := *workers
+		if wk <= 1 {
+			wk = runtime.GOMAXPROCS(0)
+		}
+		counts := []int{1}
+		if wk > 1 {
+			counts = append(counts, wk)
+		}
+		check(runExec(os.Stdout, execSF, *seed, counts, 3))
 		return
 	}
 

@@ -1,0 +1,849 @@
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"matview/internal/expr"
+	"matview/internal/spjg"
+	"matview/internal/sqlvalue"
+	"matview/internal/storage"
+)
+
+// Engine executes plan trees batch-at-a-time with morsel-driven parallelism.
+//
+// A plan is decomposed into pipelines at its breakers (hash-join builds and
+// hash aggregation). Each pipeline streams fixed-size batches of rows from a
+// source slice through a chain of compiled operator stages — filter,
+// project, hash-join probe, nested-loop — into a sink. The source is split
+// into morsels (one batch each) claimed by workers off a shared atomic
+// counter; every worker owns a private stage chain (scratch batches, row
+// slabs, partial aggregation state), so the hot loop is synchronization-free.
+// Shared read-only state — compiled expressions, finished join build tables,
+// the inner relation of a nested-loop join — is built once and read by all
+// workers.
+//
+// Output is deterministic and identical to RunReference for every plan:
+// collected rows are ordered by (morsel, position), hash-join match lists are
+// kept in build-input order, and merged aggregation groups are emitted in
+// global first-seen order.
+type Engine struct {
+	// Workers caps the number of goroutines per pipeline. 0 (or negative)
+	// selects GOMAXPROCS. Small inputs use fewer workers — never more than
+	// one per morsel — and a single-worker pipeline runs inline without
+	// spawning goroutines, which keeps tiny maintainer delta queries cheap.
+	Workers int
+	// BatchSize is the number of rows per batch/morsel (default 1024).
+	BatchSize int
+}
+
+// DefaultEngine is the engine behind Node.Run.
+var DefaultEngine = &Engine{}
+
+const defaultBatchSize = 1024
+
+func (e *Engine) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (e *Engine) batchSize() int {
+	if e.BatchSize > 0 {
+		return e.BatchSize
+	}
+	return defaultBatchSize
+}
+
+// Run executes the plan and returns its full output. The returned slice is
+// freshly allocated — never a storage-owned row slice — so results remain
+// valid after the database read lock is released (unlike the historical
+// RunReference behavior for unfiltered scans).
+func (e *Engine) Run(db *storage.Database, plan Node) ([]storage.Row, error) {
+	return e.materialize(db, plan)
+}
+
+// materialize fully evaluates a subtree, used at the plan root and at
+// pipeline breakers.
+func (e *Engine) materialize(db *storage.Database, n Node) ([]storage.Row, error) {
+	if a, ok := n.(*HashAgg); ok {
+		return e.runAgg(db, a)
+	}
+	src, specs, err := e.stream(db, n)
+	if err != nil {
+		return nil, err
+	}
+	var col *collector
+	if _, err := e.runPipeline(src, specs, func(nm int) morselSink {
+		if col == nil {
+			col = &collector{buckets: make([][]storage.Row, nm)}
+		}
+		return &collectorSink{c: col}
+	}); err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, b := range col.buckets {
+		total += len(b)
+	}
+	out := make([]storage.Row, 0, total)
+	for _, b := range col.buckets {
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+// stream decomposes a subtree into the current pipeline: a source row slice
+// and the ordered stage specs to stream it through. Pipeline breakers below
+// n (join builds, aggregations, nested-loop inner sides) are fully executed
+// here, before the caller starts the pipeline.
+func (e *Engine) stream(db *storage.Database, n Node) ([]storage.Row, []stageSpec, error) {
+	switch t := n.(type) {
+	case *TableScan:
+		tb := db.Table(t.Table)
+		if tb == nil {
+			return nil, nil, fmt.Errorf("exec: unknown table %q", t.Table)
+		}
+		var specs []stageSpec
+		if t.Filter != nil {
+			specs = append(specs, &filterSpec{pred: expr.CompilePredicate(t.Filter)})
+		}
+		return tb.Rows, specs, nil
+	case *ViewScan:
+		v := db.View(t.View)
+		if v == nil {
+			return nil, nil, fmt.Errorf("exec: view %q not materialized", t.View)
+		}
+		rows := v.Rows
+		if len(t.EqCols) > 0 {
+			rows = seekView(v, t.EqCols, t.EqVals)
+		}
+		var specs []stageSpec
+		if t.Filter != nil {
+			specs = append(specs, &filterSpec{pred: expr.CompilePredicate(t.Filter)})
+		}
+		return rows, specs, nil
+	case *Filter:
+		rows, specs, err := e.stream(db, t.In)
+		if err != nil {
+			return nil, nil, err
+		}
+		return rows, append(specs, &filterSpec{pred: expr.CompilePredicate(t.Pred)}), nil
+	case *Project:
+		rows, specs, err := e.stream(db, t.In)
+		if err != nil {
+			return nil, nil, err
+		}
+		return rows, append(specs, &projectSpec{exprs: compileAll(t.Exprs)}), nil
+	case *HashJoin:
+		build, err := e.buildJoin(db, t)
+		if err != nil {
+			return nil, nil, err
+		}
+		rows, specs, err := e.stream(db, t.R)
+		if err != nil {
+			return nil, nil, err
+		}
+		spec := &probeSpec{build: build, cols: t.RCols, batch: e.batchSize()}
+		if t.Residual != nil {
+			spec.residual = expr.CompilePredicate(t.Residual)
+		}
+		return rows, append(specs, spec), nil
+	case *NestedLoopJoin:
+		// The inner (right) relation is materialized once, in order, and
+		// shared read-only by all workers streaming the outer side.
+		inner, err := e.materialize(db, t.R)
+		if err != nil {
+			return nil, nil, err
+		}
+		rows, specs, err := e.stream(db, t.L)
+		if err != nil {
+			return nil, nil, err
+		}
+		spec := &nestedLoopSpec{inner: inner, batch: e.batchSize()}
+		if t.Pred != nil {
+			spec.pred = expr.CompilePredicate(t.Pred)
+		}
+		return rows, append(specs, spec), nil
+	case *HashAgg:
+		rows, err := e.runAgg(db, t)
+		if err != nil {
+			return nil, nil, err
+		}
+		return rows, nil, nil
+	default:
+		return nil, nil, fmt.Errorf("exec: engine cannot execute %T", n)
+	}
+}
+
+func compileAll(es []expr.Expr) []expr.Compiled {
+	out := make([]expr.Compiled, len(es))
+	for i, ex := range es {
+		out[i] = expr.Compile(ex)
+	}
+	return out
+}
+
+// seekView resolves a point lookup on a view: via a secondary index when one
+// exists, otherwise by scanning with key equality.
+func seekView(v *storage.MaterializedView, eqCols []int, eqVals []sqlvalue.Value) []storage.Row {
+	if idx := v.LookupIndex(eqCols); idx != nil {
+		var rows []storage.Row
+		for _, ord := range idx.Probe(eqVals) {
+			rows = append(rows, v.Rows[ord])
+		}
+		return rows
+	}
+	var rows []storage.Row
+	for _, r := range v.Rows {
+		match := true
+		for i, c := range eqCols {
+			if !sqlvalue.Identical(r[c], eqVals[i]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			rows = append(rows, r)
+		}
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline machinery
+
+// pusher consumes one batch of rows. The input slice (and its backing array)
+// is only valid during the call: downstream stages must copy row headers
+// they retain. The rows themselves are immutable.
+type pusher interface {
+	push(in []storage.Row) error
+}
+
+// morselSink terminates a worker's stage chain. begin is called before each
+// morsel with the morsel's global sequence number, which sinks use to keep
+// output deterministic (collector buckets, first-seen ordinals).
+type morselSink interface {
+	pusher
+	begin(seq int)
+}
+
+// stageSpec holds the shared, read-only state of one operator (compiled
+// expressions, build tables) and makes per-worker stage instances that own
+// all mutable scratch.
+type stageSpec interface {
+	make(next pusher) pusher
+}
+
+// runPipeline streams src through the stage specs: one sink and one stage
+// chain per worker, morsels claimed off a shared counter. mkSink is called
+// serially (before workers start), once per worker, with the morsel count.
+// Worker panics are re-raised on the calling goroutine.
+func (e *Engine) runPipeline(src []storage.Row, specs []stageSpec, mkSink func(numMorsels int) morselSink) ([]morselSink, error) {
+	bs := e.batchSize()
+	nm := (len(src) + bs - 1) / bs
+	w := e.workers()
+	if w > nm {
+		w = nm
+	}
+	if w < 1 {
+		w = 1
+	}
+	sinks := make([]morselSink, w)
+	chains := make([]pusher, w)
+	for i := range sinks {
+		sinks[i] = mkSink(nm)
+		var p pusher = sinks[i]
+		for s := len(specs) - 1; s >= 0; s-- {
+			p = specs[s].make(p)
+		}
+		chains[i] = p
+	}
+	morsel := func(wi, seq int) error {
+		lo := seq * bs
+		hi := min(lo+bs, len(src))
+		sinks[wi].begin(seq)
+		return chains[wi].push(src[lo:hi])
+	}
+	if w == 1 {
+		// Inline serial path: no goroutines for small inputs or Workers=1.
+		for seq := 0; seq < nm; seq++ {
+			if err := morsel(0, seq); err != nil {
+				return nil, err
+			}
+		}
+		return sinks, nil
+	}
+	var (
+		next  atomic.Int64
+		abort atomic.Bool
+		mu    sync.Mutex
+		first error
+		pval  any
+		wg    sync.WaitGroup
+	)
+	fail := func(err error, p any) {
+		mu.Lock()
+		if first == nil && pval == nil {
+			first, pval = err, p
+		}
+		mu.Unlock()
+		abort.Store(true)
+	}
+	for wi := 0; wi < w; wi++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					fail(nil, p)
+				}
+			}()
+			for !abort.Load() {
+				seq := int(next.Add(1) - 1)
+				if seq >= nm {
+					return
+				}
+				if err := morsel(wi, seq); err != nil {
+					fail(err, nil)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if pval != nil {
+		panic(pval)
+	}
+	if first != nil {
+		return nil, first
+	}
+	return sinks, nil
+}
+
+// rowAlloc hands out output rows carved from chunked value slabs, so an
+// operator emitting N rows performs O(N·width/slab) allocations instead of
+// N. Slabs are never recycled: emitted rows stay valid forever.
+type rowAlloc struct {
+	buf []sqlvalue.Value
+}
+
+const rowAllocSlab = 4096
+
+func (a *rowAlloc) row(w int) storage.Row {
+	if len(a.buf) < w {
+		n := rowAllocSlab
+		if n < w {
+			n = w
+		}
+		a.buf = make([]sqlvalue.Value, n)
+	}
+	r := a.buf[:w:w]
+	a.buf = a.buf[w:]
+	return storage.Row(r)
+}
+
+// appendRowKey appends the composite hash key of the given columns, or
+// reports false if any is NULL (NULL join keys never match). The encoding —
+// Value.Key bytes joined by 0x1f — matches the reference evaluator's.
+func appendRowKey(dst []byte, r storage.Row, cols []int) ([]byte, bool) {
+	for _, c := range cols {
+		if r[c].IsNull() {
+			return dst, false
+		}
+		dst = r[c].AppendKey(dst)
+		dst = append(dst, '\x1f')
+	}
+	return dst, true
+}
+
+// ---------------------------------------------------------------------------
+// Stages
+
+type filterSpec struct {
+	pred expr.CompiledPredicate
+}
+
+func (s *filterSpec) make(next pusher) pusher {
+	return &filterStage{pred: s.pred, next: next}
+}
+
+type filterStage struct {
+	pred    expr.CompiledPredicate
+	next    pusher
+	scratch []storage.Row
+}
+
+func (f *filterStage) push(in []storage.Row) error {
+	out := f.scratch[:0]
+	for _, r := range in {
+		ok, err := f.pred(r)
+		if err != nil {
+			return err
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	f.scratch = out
+	if len(out) == 0 {
+		return nil
+	}
+	return f.next.push(out)
+}
+
+type projectSpec struct {
+	exprs []expr.Compiled
+}
+
+func (s *projectSpec) make(next pusher) pusher {
+	return &projectStage{exprs: s.exprs, next: next}
+}
+
+type projectStage struct {
+	exprs   []expr.Compiled
+	next    pusher
+	alloc   rowAlloc
+	scratch []storage.Row
+}
+
+func (p *projectStage) push(in []storage.Row) error {
+	out := p.scratch[:0]
+	for _, r := range in {
+		nr := p.alloc.row(len(p.exprs))
+		for c, ex := range p.exprs {
+			v, err := ex(r)
+			if err != nil {
+				return err
+			}
+			nr[c] = v
+		}
+		out = append(out, nr)
+	}
+	p.scratch = out
+	if len(out) == 0 {
+		return nil
+	}
+	return p.next.push(out)
+}
+
+// joinBuild is a finished, immutable hash-join build table shared by all
+// probe workers: key → left rows in build-input order.
+type joinBuild struct {
+	idx   map[string]int32
+	lists [][]storage.Row
+}
+
+type probeSpec struct {
+	build    *joinBuild
+	cols     []int // key columns in the probe row
+	residual expr.CompiledPredicate
+	batch    int
+}
+
+func (s *probeSpec) make(next pusher) pusher {
+	return &probeStage{spec: s, next: next}
+}
+
+type probeStage struct {
+	spec    *probeSpec
+	next    pusher
+	alloc   rowAlloc
+	keyBuf  []byte
+	scratch []storage.Row
+}
+
+func (p *probeStage) push(in []storage.Row) error {
+	s := p.spec
+	out := p.scratch[:0]
+	defer func() { p.scratch = out[:0] }()
+	for _, rr := range in {
+		key, ok := appendRowKey(p.keyBuf[:0], rr, s.cols)
+		p.keyBuf = key[:0]
+		if !ok {
+			continue
+		}
+		li, ok := s.build.idx[string(key)]
+		if !ok {
+			continue
+		}
+		for _, lr := range s.build.lists[li] {
+			joined := p.alloc.row(len(lr) + len(rr))
+			copy(joined, lr)
+			copy(joined[len(lr):], rr)
+			if s.residual != nil {
+				pass, err := s.residual(joined)
+				if err != nil {
+					return err
+				}
+				if !pass {
+					continue
+				}
+			}
+			out = append(out, joined)
+			if len(out) >= s.batch {
+				if err := p.next.push(out); err != nil {
+					return err
+				}
+				out = out[:0]
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return p.next.push(out)
+}
+
+type nestedLoopSpec struct {
+	inner []storage.Row
+	pred  expr.CompiledPredicate
+	batch int
+}
+
+func (s *nestedLoopSpec) make(next pusher) pusher {
+	return &nestedLoopStage{spec: s, next: next}
+}
+
+type nestedLoopStage struct {
+	spec    *nestedLoopSpec
+	next    pusher
+	alloc   rowAlloc
+	scratch []storage.Row
+}
+
+func (n *nestedLoopStage) push(in []storage.Row) error {
+	s := n.spec
+	out := n.scratch[:0]
+	defer func() { n.scratch = out[:0] }()
+	for _, lr := range in {
+		for _, rr := range s.inner {
+			joined := n.alloc.row(len(lr) + len(rr))
+			copy(joined, lr)
+			copy(joined[len(lr):], rr)
+			if s.pred != nil {
+				pass, err := s.pred(joined)
+				if err != nil {
+					return err
+				}
+				if !pass {
+					continue
+				}
+			}
+			out = append(out, joined)
+			if len(out) >= s.batch {
+				if err := n.next.push(out); err != nil {
+					return err
+				}
+				out = out[:0]
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return n.next.push(out)
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+
+// collector gathers pipeline output rows bucketed by morsel sequence number,
+// so concatenating buckets reproduces the serial (reference) output order.
+// Each bucket is written by exactly the worker that owns the morsel.
+type collector struct {
+	buckets [][]storage.Row
+}
+
+type collectorSink struct {
+	c   *collector
+	cur int
+}
+
+func (s *collectorSink) begin(seq int) { s.cur = seq }
+
+func (s *collectorSink) push(in []storage.Row) error {
+	s.c.buckets[s.cur] = append(s.c.buckets[s.cur], in...)
+	return nil
+}
+
+// ordinal builds a global row ordinal from a morsel sequence number and a
+// within-morsel counter. Morsels are batch-sized at the source, so counters
+// stay far below 2³² except under extreme join fan-out; ordering only
+// degrades (never corrupts) in that case.
+func ordinal(seq int, ctr int64) int64 { return int64(seq)<<32 | ctr }
+
+// buildSink accumulates one worker's shard of a hash-join build table,
+// tagging every entry with its global ordinal so the merged per-key lists
+// can be restored to build-input order.
+type buildSink struct {
+	cols    []int
+	idx     map[string]int32
+	lists   [][]buildEntry
+	keyBuf  []byte
+	ordBase int64
+	ctr     int64
+}
+
+type buildEntry struct {
+	row storage.Row
+	ord int64
+}
+
+func (b *buildSink) begin(seq int) {
+	b.ordBase = ordinal(seq, 0)
+	b.ctr = 0
+}
+
+func (b *buildSink) push(in []storage.Row) error {
+	for _, r := range in {
+		ord := b.ordBase | b.ctr
+		b.ctr++
+		key, ok := appendRowKey(b.keyBuf[:0], r, b.cols)
+		b.keyBuf = key[:0]
+		if !ok {
+			continue
+		}
+		if li, ok := b.idx[string(key)]; ok {
+			b.lists[li] = append(b.lists[li], buildEntry{r, ord})
+		} else {
+			b.idx[string(key)] = int32(len(b.lists))
+			b.lists = append(b.lists, []buildEntry{{r, ord}})
+		}
+	}
+	return nil
+}
+
+// buildJoin executes the build side of a hash join as its own pipeline and
+// merges the per-worker shards into one immutable table.
+func (e *Engine) buildJoin(db *storage.Database, j *HashJoin) (*joinBuild, error) {
+	src, specs, err := e.stream(db, j.L)
+	if err != nil {
+		return nil, err
+	}
+	sinks, err := e.runPipeline(src, specs, func(int) morselSink {
+		return &buildSink{cols: j.LCols, idx: make(map[string]int32)}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(sinks) == 1 {
+		// Single shard: entries are already in ordinal order.
+		b := sinks[0].(*buildSink)
+		out := &joinBuild{idx: b.idx, lists: make([][]storage.Row, len(b.lists))}
+		for i, es := range b.lists {
+			rows := make([]storage.Row, len(es))
+			for k, en := range es {
+				rows[k] = en.row
+			}
+			out.lists[i] = rows
+		}
+		return out, nil
+	}
+	idx := make(map[string]int32)
+	var merged [][]buildEntry
+	for _, s := range sinks {
+		b := s.(*buildSink)
+		for k, li := range b.idx {
+			if gi, ok := idx[k]; ok {
+				merged[gi] = append(merged[gi], b.lists[li]...)
+			} else {
+				idx[k] = int32(len(merged))
+				merged = append(merged, b.lists[li])
+			}
+		}
+	}
+	out := &joinBuild{idx: idx, lists: make([][]storage.Row, len(merged))}
+	for i, es := range merged {
+		sort.Slice(es, func(a, b int) bool { return es[a].ord < es[b].ord })
+		rows := make([]storage.Row, len(es))
+		for k, en := range es {
+			rows[k] = en.row
+		}
+		out.lists[i] = rows
+	}
+	return out, nil
+}
+
+// aggShared is the read-only compiled form of a HashAgg, shared by all
+// worker sinks.
+type aggShared struct {
+	spec    *HashAgg
+	groupBy []expr.Compiled
+	numArgs []expr.Compiled // nil entry for COUNT(*)
+	denArgs []expr.Compiled // nil entry when no Den (or Den is COUNT(*))
+}
+
+func newAggShared(a *HashAgg) *aggShared {
+	sh := &aggShared{
+		spec:    a,
+		groupBy: compileAll(a.GroupBy),
+		numArgs: make([]expr.Compiled, len(a.Aggs)),
+		denArgs: make([]expr.Compiled, len(a.Aggs)),
+	}
+	for i, spec := range a.Aggs {
+		if spec.Num.Kind != spjg.AggCountStar && spec.Num.Arg != nil {
+			sh.numArgs[i] = expr.Compile(spec.Num.Arg)
+		}
+		if spec.Den != nil && spec.Den.Kind != spjg.AggCountStar && spec.Den.Arg != nil {
+			sh.denArgs[i] = expr.Compile(spec.Den.Arg)
+		}
+	}
+	return sh
+}
+
+// aggPartial is one group's per-worker partial state.
+type aggPartial struct {
+	keys storage.Row
+	ord  int64 // global ordinal of the group's first input row in this shard
+	num  []aggState
+	den  []aggState
+}
+
+// aggSink accumulates one worker's partial aggregation.
+type aggSink struct {
+	sh      *aggShared
+	idx     map[string]int32
+	groups  []*aggPartial
+	keyBuf  []byte
+	keyVals []sqlvalue.Value
+	ordBase int64
+	ctr     int64
+}
+
+func newAggSink(sh *aggShared) *aggSink {
+	return &aggSink{
+		sh:      sh,
+		idx:     make(map[string]int32),
+		keyVals: make([]sqlvalue.Value, len(sh.groupBy)),
+	}
+}
+
+func (s *aggSink) begin(seq int) {
+	s.ordBase = ordinal(seq, 0)
+	s.ctr = 0
+}
+
+func (s *aggSink) push(in []storage.Row) error {
+	sh := s.sh
+	aggs := sh.spec.Aggs
+	for _, r := range in {
+		ord := s.ordBase | s.ctr
+		s.ctr++
+		key := s.keyBuf[:0]
+		for i, g := range sh.groupBy {
+			v, err := g(r)
+			if err != nil {
+				s.keyBuf = key[:0]
+				return err
+			}
+			s.keyVals[i] = v
+			key = v.AppendKey(key)
+			key = append(key, '\x1f')
+		}
+		s.keyBuf = key[:0]
+		var grp *aggPartial
+		if li, ok := s.idx[string(key)]; ok {
+			grp = s.groups[li]
+		} else {
+			keys := make(storage.Row, len(s.keyVals))
+			copy(keys, s.keyVals)
+			// Workers claim morsels off a shared increasing counter, so this
+			// shard sees ordinals in increasing order: the first occurrence
+			// is the shard's minimum.
+			grp = &aggPartial{keys: keys, ord: ord, num: make([]aggState, len(aggs)), den: make([]aggState, len(aggs))}
+			s.idx[string(key)] = int32(len(s.groups))
+			s.groups = append(s.groups, grp)
+		}
+		for i := range aggs {
+			st := &grp.num[i]
+			st.count++
+			if arg := sh.numArgs[i]; arg != nil {
+				v, err := arg(r)
+				if err != nil {
+					return err
+				}
+				if err := st.accumulate(v); err != nil {
+					return err
+				}
+			}
+			if aggs[i].Den != nil {
+				dst := &grp.den[i]
+				dst.count++
+				if arg := sh.denArgs[i]; arg != nil {
+					v, err := arg(r)
+					if err != nil {
+						return err
+					}
+					if err := dst.accumulate(v); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// runAgg executes a HashAgg: the input pipeline feeds per-worker partial
+// states, merged here in global first-seen order to match the reference
+// evaluator's output exactly.
+func (e *Engine) runAgg(db *storage.Database, a *HashAgg) ([]storage.Row, error) {
+	src, specs, err := e.stream(db, a.In)
+	if err != nil {
+		return nil, err
+	}
+	sh := newAggShared(a)
+	sinks, err := e.runPipeline(src, specs, func(int) morselSink { return newAggSink(sh) })
+	if err != nil {
+		return nil, err
+	}
+	var (
+		idx    = make(map[string]int32)
+		merged []*aggPartial
+	)
+	if len(sinks) == 1 {
+		merged = sinks[0].(*aggSink).groups
+		sinks = nil
+	}
+	for _, s := range sinks {
+		as := s.(*aggSink)
+		for k, li := range as.idx {
+			g := as.groups[li]
+			if gi, ok := idx[k]; ok {
+				t := merged[gi]
+				if g.ord < t.ord {
+					t.ord = g.ord
+				}
+				for i := range t.num {
+					if err := t.num[i].merge(&g.num[i]); err != nil {
+						return nil, err
+					}
+					if err := t.den[i].merge(&g.den[i]); err != nil {
+						return nil, err
+					}
+				}
+			} else {
+				idx[k] = int32(len(merged))
+				merged = append(merged, g)
+			}
+		}
+	}
+	if len(a.GroupBy) == 0 && len(merged) == 0 {
+		return []storage.Row{scalarEmptyAggRow(a.Aggs)}, nil
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].ord < merged[j].ord })
+	out := make([]storage.Row, 0, len(merged))
+	for _, g := range merged {
+		row, err := finishAggRow(g.keys, g.num, g.den, a.Aggs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

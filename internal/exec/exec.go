@@ -1,8 +1,18 @@
-// Package exec is the row-at-a-time execution engine. It runs physical plan
-// trees produced by the optimizer (or assembled directly), evaluates SPJG
-// queries naively for reference, and executes view substitutes — which is how
-// materialized views are populated and how tests verify that a substitute
-// returns exactly the rows of the original query.
+// Package exec is the execution engine. It runs physical plan trees produced
+// by the optimizer (or assembled directly): scans, hash/nested-loop joins,
+// filters, projections, and hash aggregation over SPJG queries and view
+// substitutes — which is how materialized views are populated and how tests
+// verify that a substitute returns exactly the rows of the original query.
+//
+// Plans execute through two evaluators with identical semantics:
+//
+//   - Engine (the default behind Node.Run) compiles expressions once per
+//     operator, streams fixed-size row batches between operators, and runs
+//     scans, join probes, and aggregation in parallel over morsels.
+//   - RunReference is the original row-at-a-time interpreter, kept as the
+//     semantic baseline for equivalence tests and benchmarks.
+//
+// Both produce rows in the same deterministic order.
 package exec
 
 import (
@@ -29,15 +39,6 @@ type Node interface {
 	Children() []Node
 }
 
-func bindRow(r storage.Row) expr.Binding {
-	return func(c expr.ColRef) sqlvalue.Value {
-		if c.Tab != 0 || c.Col < 0 || c.Col >= len(r) {
-			return sqlvalue.Null
-		}
-		return r[c.Col]
-	}
-}
-
 // TableScan reads a base table, applying an optional filter over the table's
 // columns.
 type TableScan struct {
@@ -48,24 +49,7 @@ type TableScan struct {
 
 // Run implements Node.
 func (s *TableScan) Run(db *storage.Database) ([]storage.Row, error) {
-	t := db.Table(s.Table)
-	if t == nil {
-		return nil, fmt.Errorf("exec: unknown table %q", s.Table)
-	}
-	if s.Filter == nil {
-		return t.Rows, nil
-	}
-	var out []storage.Row
-	for _, r := range t.Rows {
-		ok, err := expr.EvalPredicate(s.Filter, bindRow(r))
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			out = append(out, r)
-		}
-	}
-	return out, nil
+	return DefaultEngine.Run(db, s)
 }
 
 // Width implements Node.
@@ -99,51 +83,7 @@ type ViewScan struct {
 
 // Run implements Node.
 func (s *ViewScan) Run(db *storage.Database) ([]storage.Row, error) {
-	v := db.View(s.View)
-	if v == nil {
-		return nil, fmt.Errorf("exec: view %q not materialized", s.View)
-	}
-	emit := func(rows []storage.Row) ([]storage.Row, error) {
-		if s.Filter == nil {
-			return rows, nil
-		}
-		var out []storage.Row
-		for _, r := range rows {
-			ok, err := expr.EvalPredicate(s.Filter, bindRow(r))
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				out = append(out, r)
-			}
-		}
-		return out, nil
-	}
-	if len(s.EqCols) == 0 {
-		return emit(v.Rows)
-	}
-	if idx := v.LookupIndex(s.EqCols); idx != nil {
-		var rows []storage.Row
-		for _, ord := range idx.Probe(s.EqVals) {
-			rows = append(rows, v.Rows[ord])
-		}
-		return emit(rows)
-	}
-	// No index built: evaluate the equalities as a scan predicate.
-	var rows []storage.Row
-	for _, r := range v.Rows {
-		match := true
-		for i, c := range s.EqCols {
-			if !sqlvalue.Identical(r[c], s.EqVals[i]) {
-				match = false
-				break
-			}
-		}
-		if match {
-			rows = append(rows, r)
-		}
-	}
-	return emit(rows)
+	return DefaultEngine.Run(db, s)
 }
 
 // Width implements Node.
@@ -176,54 +116,7 @@ type HashJoin struct {
 
 // Run implements Node.
 func (j *HashJoin) Run(db *storage.Database) ([]storage.Row, error) {
-	lrows, err := j.L.Run(db)
-	if err != nil {
-		return nil, err
-	}
-	rrows, err := j.R.Run(db)
-	if err != nil {
-		return nil, err
-	}
-	key := func(r storage.Row, cols []int) (string, bool) {
-		var sb strings.Builder
-		for _, c := range cols {
-			if r[c].IsNull() {
-				return "", false
-			}
-			sb.WriteString(r[c].Key())
-			sb.WriteByte('\x1f')
-		}
-		return sb.String(), true
-	}
-	ht := make(map[string][]storage.Row, len(lrows))
-	for _, lr := range lrows {
-		if k, ok := key(lr, j.LCols); ok {
-			ht[k] = append(ht[k], lr)
-		}
-	}
-	var out []storage.Row
-	for _, rr := range rrows {
-		k, ok := key(rr, j.RCols)
-		if !ok {
-			continue
-		}
-		for _, lr := range ht[k] {
-			joined := make(storage.Row, 0, len(lr)+len(rr))
-			joined = append(joined, lr...)
-			joined = append(joined, rr...)
-			if j.Residual != nil {
-				pass, err := expr.EvalPredicate(j.Residual, bindRow(joined))
-				if err != nil {
-					return nil, err
-				}
-				if !pass {
-					continue
-				}
-			}
-			out = append(out, joined)
-		}
-	}
-	return out, nil
+	return DefaultEngine.Run(db, j)
 }
 
 // Width implements Node.
@@ -246,33 +139,7 @@ type NestedLoopJoin struct {
 
 // Run implements Node.
 func (j *NestedLoopJoin) Run(db *storage.Database) ([]storage.Row, error) {
-	lrows, err := j.L.Run(db)
-	if err != nil {
-		return nil, err
-	}
-	rrows, err := j.R.Run(db)
-	if err != nil {
-		return nil, err
-	}
-	var out []storage.Row
-	for _, lr := range lrows {
-		for _, rr := range rrows {
-			joined := make(storage.Row, 0, len(lr)+len(rr))
-			joined = append(joined, lr...)
-			joined = append(joined, rr...)
-			if j.Pred != nil {
-				pass, err := expr.EvalPredicate(j.Pred, bindRow(joined))
-				if err != nil {
-					return nil, err
-				}
-				if !pass {
-					continue
-				}
-			}
-			out = append(out, joined)
-		}
-	}
-	return out, nil
+	return DefaultEngine.Run(db, j)
 }
 
 // Width implements Node.
@@ -292,21 +159,7 @@ type Filter struct {
 
 // Run implements Node.
 func (f *Filter) Run(db *storage.Database) ([]storage.Row, error) {
-	rows, err := f.In.Run(db)
-	if err != nil {
-		return nil, err
-	}
-	var out []storage.Row
-	for _, r := range rows {
-		ok, err := expr.EvalPredicate(f.Pred, bindRow(r))
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			out = append(out, r)
-		}
-	}
-	return out, nil
+	return DefaultEngine.Run(db, f)
 }
 
 // Width implements Node.
@@ -326,24 +179,7 @@ type Project struct {
 
 // Run implements Node.
 func (p *Project) Run(db *storage.Database) ([]storage.Row, error) {
-	rows, err := p.In.Run(db)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]storage.Row, len(rows))
-	for i, r := range rows {
-		bind := bindRow(r)
-		nr := make(storage.Row, len(p.Exprs))
-		for c, e := range p.Exprs {
-			v, err := expr.Eval(e, bind)
-			if err != nil {
-				return nil, err
-			}
-			nr[c] = v
-		}
-		out[i] = nr
-	}
-	return out, nil
+	return DefaultEngine.Run(db, p)
 }
 
 // Width implements Node.
@@ -378,7 +214,25 @@ type HashAgg struct {
 	Aggs    []AggSpec
 }
 
-// aggState accumulates one SimpleAgg.
+// Run implements Node.
+func (a *HashAgg) Run(db *storage.Database) ([]storage.Row, error) {
+	return DefaultEngine.Run(db, a)
+}
+
+// Width implements Node.
+func (a *HashAgg) Width() int { return len(a.GroupBy) + len(a.Aggs) }
+
+// Describe implements Node.
+func (a *HashAgg) Describe() string {
+	return fmt.Sprintf("HashAgg(%d keys, %d aggs)", len(a.GroupBy), len(a.Aggs))
+}
+
+// Children implements Node.
+func (a *HashAgg) Children() []Node { return []Node{a.In} }
+
+// aggState accumulates one SimpleAgg. COUNT counts every input row (so AVG =
+// SUM/count divides by the row count, per §3.3); SUM skips NULLs and stays
+// NULL until the first non-null input.
 type aggState struct {
 	count int64
 	sum   sqlvalue.Value // running sum; Null until first non-null input
@@ -393,6 +247,12 @@ func (st *aggState) add(kind spjg.AggKind, arg expr.Expr, bind expr.Binding) err
 	if err != nil {
 		return err
 	}
+	return st.accumulate(v)
+}
+
+// accumulate folds one already-evaluated argument value into the running sum
+// (NULL contributes nothing). The caller has already bumped count.
+func (st *aggState) accumulate(v sqlvalue.Value) error {
 	if v.IsNull() {
 		return nil
 	}
@@ -406,6 +266,12 @@ func (st *aggState) add(kind spjg.AggKind, arg expr.Expr, bind expr.Binding) err
 	}
 	st.sum = s
 	return nil
+}
+
+// merge folds another partial state (from a different worker) into st.
+func (st *aggState) merge(o *aggState) error {
+	st.count += o.count
+	return st.accumulate(o.sum)
 }
 
 func (st *aggState) result(kind spjg.AggKind) sqlvalue.Value {
@@ -428,99 +294,6 @@ func (st *aggState) result(kind spjg.AggKind) sqlvalue.Value {
 		return sqlvalue.Null
 	}
 }
-
-// Run implements Node.
-func (a *HashAgg) Run(db *storage.Database) ([]storage.Row, error) {
-	rows, err := a.In.Run(db)
-	if err != nil {
-		return nil, err
-	}
-	type group struct {
-		keys storage.Row
-		num  []aggState
-		den  []aggState
-	}
-	groups := map[string]*group{}
-	var order []string
-	for _, r := range rows {
-		bind := bindRow(r)
-		keys := make(storage.Row, len(a.GroupBy))
-		var kb strings.Builder
-		for i, g := range a.GroupBy {
-			v, err := expr.Eval(g, bind)
-			if err != nil {
-				return nil, err
-			}
-			keys[i] = v
-			kb.WriteString(v.Key())
-			kb.WriteByte('\x1f')
-		}
-		k := kb.String()
-		grp, ok := groups[k]
-		if !ok {
-			grp = &group{keys: keys, num: make([]aggState, len(a.Aggs)), den: make([]aggState, len(a.Aggs))}
-			groups[k] = grp
-			order = append(order, k)
-		}
-		for i, spec := range a.Aggs {
-			if err := grp.num[i].add(spec.Num.Kind, spec.Num.Arg, bind); err != nil {
-				return nil, err
-			}
-			if spec.Den != nil {
-				if err := grp.den[i].add(spec.Den.Kind, spec.Den.Arg, bind); err != nil {
-					return nil, err
-				}
-			}
-		}
-	}
-	if len(a.GroupBy) == 0 && len(groups) == 0 {
-		// Scalar aggregation over empty input: one row.
-		out := make(storage.Row, len(a.Aggs))
-		for i, spec := range a.Aggs {
-			st := aggState{sum: sqlvalue.Null}
-			out[i] = st.result(spec.Num.Kind)
-			if spec.Den != nil {
-				out[i] = sqlvalue.Null
-			}
-		}
-		return []storage.Row{out}, nil
-	}
-	result := make([]storage.Row, 0, len(groups))
-	for _, k := range order {
-		grp := groups[k]
-		row := make(storage.Row, 0, len(a.GroupBy)+len(a.Aggs))
-		row = append(row, grp.keys...)
-		for i, spec := range a.Aggs {
-			v := grp.num[i].result(spec.Num.Kind)
-			if spec.Den != nil {
-				d := grp.den[i].result(spec.Den.Kind)
-				if v.IsNull() || d.IsNull() {
-					v = sqlvalue.Null
-				} else {
-					q, err := sqlvalue.Div(v, d)
-					if err != nil {
-						return nil, err
-					}
-					v = q
-				}
-			}
-			row = append(row, v)
-		}
-		result = append(result, row)
-	}
-	return result, nil
-}
-
-// Width implements Node.
-func (a *HashAgg) Width() int { return len(a.GroupBy) + len(a.Aggs) }
-
-// Describe implements Node.
-func (a *HashAgg) Describe() string {
-	return fmt.Sprintf("HashAgg(%d keys, %d aggs)", len(a.GroupBy), len(a.Aggs))
-}
-
-// Children implements Node.
-func (a *HashAgg) Children() []Node { return []Node{a.In} }
 
 // Explain renders a plan tree as indented text.
 func Explain(n Node) string {

@@ -16,6 +16,12 @@ import (
 // substitute is executed both ways over generated TPC-H data, and the row
 // bags must agree. A single disagreement means the matching tests of §3
 // accepted an unsound rewrite.
+//
+// Every plan additionally runs through both evaluators — the row-at-a-time
+// reference interpreter and the batched engine with parallel workers and a
+// deliberately tiny batch size (maximum morsel interleaving) — so the same
+// suite that proves rewrites sound also proves the engines equivalent over
+// the fuzzed query space.
 func TestRandomWorkloadEquivalence(t *testing.T) {
 	const (
 		numViews   = 60
@@ -56,6 +62,27 @@ func TestRandomWorkloadEquivalence(t *testing.T) {
 		views = append(views, mview{v, i})
 	}
 
+	// Workers > 1 with a tiny batch size forces many morsels even on the
+	// small fuzz tables, so parallel merge paths genuinely execute.
+	engine := &exec.Engine{Workers: 4, BatchSize: 16}
+	// bothEngines runs one plan through the reference interpreter and the
+	// batched engine and requires bag-equal output.
+	bothEngines := func(plan exec.Node, what string) []storage.Row {
+		ref, err := exec.RunReference(db, plan)
+		if err != nil {
+			t.Fatalf("%s: reference: %v", what, err)
+		}
+		eng, err := engine.Run(db, plan)
+		if err != nil {
+			t.Fatalf("%s: engine: %v", what, err)
+		}
+		if !exec.SameRows(ref, eng) {
+			t.Fatalf("%s: engines disagree (%d vs %d rows)\nplan:\n%s",
+				what, len(ref), len(eng), exec.Explain(plan))
+		}
+		return ref
+	}
+
 	matched, verified := 0, 0
 	for qi := 0; qi < numQueries; qi++ {
 		q := gen.Query(qi)
@@ -71,17 +98,15 @@ func TestRandomWorkloadEquivalence(t *testing.T) {
 			}
 			matched++
 			if !haveWant {
-				rows, err := exec.RunQuery(db, q)
+				plan, err := exec.BuildReferencePlan(q)
 				if err != nil {
 					t.Fatalf("query %d: %v", qi, err)
 				}
-				want = rows
+				want = bothEngines(plan, fmt.Sprintf("query %d", qi))
 				haveWant = true
 			}
-			got, err := exec.RunSubstitute(db, sub)
-			if err != nil {
-				t.Fatalf("query %d via view %s: %v\nsubstitute: %s", qi, mv.v.Name, err, sub)
-			}
+			got := bothEngines(exec.BuildSubstitutePlan(sub),
+				fmt.Sprintf("query %d via view %s", qi, mv.v.Name))
 			if !exec.SameRows(got, want) {
 				t.Fatalf("query %d via view %s: results differ (%d vs %d rows)\nquery: %s\nview: %s\nsubstitute: %s",
 					qi, mv.v.Name, len(got), len(want), q.String(), mv.v.Def.String(), sub)

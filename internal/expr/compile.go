@@ -1,0 +1,293 @@
+package expr
+
+import (
+	"fmt"
+
+	"matview/internal/sqlvalue"
+)
+
+// Compiled is a compiled scalar expression. Compilation resolves column
+// offsets and folds constant subtrees once, so evaluation over a row is a
+// closure call instead of a tree walk with a per-row Binding allocation.
+// Compiled closures capture only immutable state and are safe for concurrent
+// use from multiple goroutines.
+//
+// Column references follow the executor's flat-row convention: Tab must be 0
+// and Col indexes the row directly; any other reference evaluates to NULL,
+// exactly like the interpreter's row binding.
+type Compiled func(row []sqlvalue.Value) (sqlvalue.Value, error)
+
+// CompiledPredicate is a compiled predicate: NULL (unknown) counts as not
+// qualifying, per SQL semantics, and a non-boolean result is an error —
+// the same contract as EvalPredicate.
+type CompiledPredicate func(row []sqlvalue.Value) (bool, error)
+
+// nullBinding backs constant folding: an expression without column
+// references never consults it.
+func nullBinding(ColRef) sqlvalue.Value { return sqlvalue.Null }
+
+// constant returns a closure yielding a fixed value.
+func constant(v sqlvalue.Value) Compiled {
+	return func([]sqlvalue.Value) (sqlvalue.Value, error) { return v, nil }
+}
+
+// Compile translates e into a Compiled evaluator with the exact semantics of
+// Eval (three-valued logic, NULL propagation, runtime errors on type misuse).
+func Compile(e Expr) Compiled {
+	if c, ok := e.(Const); ok {
+		return constant(c.Val)
+	}
+	// Constant folding: a subtree without column references evaluates once at
+	// compile time. Subtrees that error are left dynamic so the error still
+	// surfaces at run time, as the interpreter would report it.
+	if _, ok := e.(Column); !ok && len(Columns(e)) == 0 {
+		if v, err := Eval(e, nullBinding); err == nil {
+			return constant(v)
+		}
+	}
+	switch n := e.(type) {
+	case Column:
+		tab, col := n.Ref.Tab, n.Ref.Col
+		if tab != 0 || col < 0 {
+			return constant(sqlvalue.Null)
+		}
+		return func(row []sqlvalue.Value) (sqlvalue.Value, error) {
+			if col >= len(row) {
+				return sqlvalue.Null, nil
+			}
+			return row[col], nil
+		}
+	case Cmp:
+		op := n.Op
+		// Hot shapes: column-vs-constant and column-vs-column comparisons
+		// skip the generic sub-closure calls entirely.
+		if lc, lok := n.L.(Column); lok && lc.Ref.Tab == 0 && lc.Ref.Col >= 0 {
+			col := lc.Ref.Col
+			if rc, rok := n.R.(Const); rok {
+				rv := rc.Val
+				return func(row []sqlvalue.Value) (sqlvalue.Value, error) {
+					if col >= len(row) {
+						return sqlvalue.Null, nil
+					}
+					c, ok := sqlvalue.Compare(row[col], rv)
+					if !ok {
+						return sqlvalue.Null, nil
+					}
+					return sqlvalue.NewBool(cmpSatisfies(op, c)), nil
+				}
+			}
+			if rc, rok := n.R.(Column); rok && rc.Ref.Tab == 0 && rc.Ref.Col >= 0 {
+				rcol := rc.Ref.Col
+				return func(row []sqlvalue.Value) (sqlvalue.Value, error) {
+					if col >= len(row) || rcol >= len(row) {
+						return sqlvalue.Null, nil
+					}
+					c, ok := sqlvalue.Compare(row[col], row[rcol])
+					if !ok {
+						return sqlvalue.Null, nil
+					}
+					return sqlvalue.NewBool(cmpSatisfies(op, c)), nil
+				}
+			}
+		}
+		l, r := Compile(n.L), Compile(n.R)
+		return func(row []sqlvalue.Value) (sqlvalue.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return sqlvalue.Null, err
+			}
+			rv, err := r(row)
+			if err != nil {
+				return sqlvalue.Null, err
+			}
+			c, ok := sqlvalue.Compare(lv, rv)
+			if !ok {
+				return sqlvalue.Null, nil
+			}
+			return sqlvalue.NewBool(cmpSatisfies(op, c)), nil
+		}
+	case Arith:
+		var fn func(a, b sqlvalue.Value) (sqlvalue.Value, error)
+		switch n.Op {
+		case Add:
+			fn = sqlvalue.Add
+		case Sub:
+			fn = sqlvalue.Sub
+		case Mul:
+			fn = sqlvalue.Mul
+		case Div:
+			fn = sqlvalue.Div
+		default:
+			op := n.Op
+			fn = func(a, b sqlvalue.Value) (sqlvalue.Value, error) {
+				return sqlvalue.Null, fmt.Errorf("expr: unknown arith op %v", op)
+			}
+		}
+		l, r := Compile(n.L), Compile(n.R)
+		return func(row []sqlvalue.Value) (sqlvalue.Value, error) {
+			lv, err := l(row)
+			if err != nil {
+				return sqlvalue.Null, err
+			}
+			rv, err := r(row)
+			if err != nil {
+				return sqlvalue.Null, err
+			}
+			return fn(lv, rv)
+		}
+	case Neg:
+		c := Compile(n.E)
+		return func(row []sqlvalue.Value) (sqlvalue.Value, error) {
+			v, err := c(row)
+			if err != nil {
+				return sqlvalue.Null, err
+			}
+			return sqlvalue.Neg(v)
+		}
+	case Not:
+		c := Compile(n.E)
+		return func(row []sqlvalue.Value) (sqlvalue.Value, error) {
+			v, err := c(row)
+			if err != nil {
+				return sqlvalue.Null, err
+			}
+			if v.IsNull() {
+				return sqlvalue.Null, nil
+			}
+			return sqlvalue.NewBool(!v.Bool()), nil
+		}
+	case And:
+		args := compileAll(n.Args)
+		return func(row []sqlvalue.Value) (sqlvalue.Value, error) {
+			sawNull := false
+			for _, a := range args {
+				v, err := a(row)
+				if err != nil {
+					return sqlvalue.Null, err
+				}
+				if v.IsNull() {
+					sawNull = true
+				} else if !v.Bool() {
+					return sqlvalue.NewBool(false), nil
+				}
+			}
+			if sawNull {
+				return sqlvalue.Null, nil
+			}
+			return sqlvalue.NewBool(true), nil
+		}
+	case Or:
+		args := compileAll(n.Args)
+		return func(row []sqlvalue.Value) (sqlvalue.Value, error) {
+			sawNull := false
+			for _, a := range args {
+				v, err := a(row)
+				if err != nil {
+					return sqlvalue.Null, err
+				}
+				if v.IsNull() {
+					sawNull = true
+				} else if v.Bool() {
+					return sqlvalue.NewBool(true), nil
+				}
+			}
+			if sawNull {
+				return sqlvalue.Null, nil
+			}
+			return sqlvalue.NewBool(false), nil
+		}
+	case Like:
+		s, p := Compile(n.E), Compile(n.Pattern)
+		return func(row []sqlvalue.Value) (sqlvalue.Value, error) {
+			sv, err := s(row)
+			if err != nil {
+				return sqlvalue.Null, err
+			}
+			pv, err := p(row)
+			if err != nil {
+				return sqlvalue.Null, err
+			}
+			m, ok := sqlvalue.Like(sv, pv)
+			if !ok {
+				return sqlvalue.Null, nil
+			}
+			return sqlvalue.NewBool(m), nil
+		}
+	case IsNull:
+		c := Compile(n.E)
+		negate := n.Negate
+		return func(row []sqlvalue.Value) (sqlvalue.Value, error) {
+			v, err := c(row)
+			if err != nil {
+				return sqlvalue.Null, err
+			}
+			return sqlvalue.NewBool(v.IsNull() != negate), nil
+		}
+	case Func:
+		name := n.Name
+		args := compileAll(n.Args)
+		// Known unary functions compile to a direct call, skipping the
+		// per-row argument-slice allocation the interpreter pays.
+		if len(args) == 1 {
+			var fn func(sqlvalue.Value) (sqlvalue.Value, error)
+			switch name {
+			case "ABS", "abs":
+				fn = absValue
+			case "UPPER", "upper":
+				fn = upperValue
+			}
+			if fn != nil {
+				a := args[0]
+				return func(row []sqlvalue.Value) (sqlvalue.Value, error) {
+					v, err := a(row)
+					if err != nil {
+						return sqlvalue.Null, err
+					}
+					return fn(v)
+				}
+			}
+		}
+		return func(row []sqlvalue.Value) (sqlvalue.Value, error) {
+			vals := make([]sqlvalue.Value, len(args))
+			for i, a := range args {
+				v, err := a(row)
+				if err != nil {
+					return sqlvalue.Null, err
+				}
+				vals[i] = v
+			}
+			return applyFunc(name, vals)
+		}
+	default:
+		return func([]sqlvalue.Value) (sqlvalue.Value, error) {
+			return sqlvalue.Null, fmt.Errorf("expr: cannot evaluate %T", e)
+		}
+	}
+}
+
+func compileAll(es []Expr) []Compiled {
+	out := make([]Compiled, len(es))
+	for i, e := range es {
+		out[i] = Compile(e)
+	}
+	return out
+}
+
+// CompilePredicate compiles a predicate expression with EvalPredicate's
+// semantics: NULL is not satisfied, non-boolean results are errors.
+func CompilePredicate(e Expr) CompiledPredicate {
+	c := Compile(e)
+	return func(row []sqlvalue.Value) (bool, error) {
+		v, err := c(row)
+		if err != nil {
+			return false, err
+		}
+		if v.IsNull() {
+			return false, nil
+		}
+		if v.Kind() != sqlvalue.KindBool {
+			return false, fmt.Errorf("expr: predicate evaluated to %s", v.Kind())
+		}
+		return v.Bool(), nil
+	}
+}

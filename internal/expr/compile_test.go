@@ -1,0 +1,206 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"matview/internal/sqlvalue"
+)
+
+// rowBinding adapts a flat row to the Binding the interpreter uses, with the
+// executor's convention: Tab must be 0 and Col must be in range, else NULL.
+func rowBinding(row []sqlvalue.Value) Binding {
+	return func(c ColRef) sqlvalue.Value {
+		if c.Tab != 0 || c.Col < 0 || c.Col >= len(row) {
+			return sqlvalue.Null
+		}
+		return row[c.Col]
+	}
+}
+
+func randRow(r *rand.Rand) []sqlvalue.Value {
+	row := make([]sqlvalue.Value, 4)
+	for i := range row {
+		switch r.Intn(10) {
+		case 0:
+			row[i] = sqlvalue.Null
+		case 1:
+			row[i] = sqlvalue.NewFloat(float64(r.Intn(10)) / 2)
+		case 2:
+			row[i] = sqlvalue.NewString([]string{"alpha", "beta", "Gamma", ""}[r.Intn(4)])
+		default:
+			row[i] = sqlvalue.NewInt(int64(r.Intn(10)))
+		}
+	}
+	return row
+}
+
+// randScalarTree extends randTree's predicate shapes with scalar-valued
+// nodes — arithmetic, negation, functions, LIKE — including combinations
+// that error at run time (arithmetic over strings), so compiled evaluation
+// must reproduce errors too.
+func randScalarTree(r *rand.Rand, depth int) Expr {
+	if depth <= 0 || r.Intn(4) == 0 {
+		switch r.Intn(4) {
+		case 0:
+			return Col(0, r.Intn(5)) // one past randRow's width: exercises bounds
+		case 1:
+			return CInt(int64(r.Intn(10)))
+		case 2:
+			return CFloat(float64(r.Intn(10)) / 2)
+		default:
+			return C(sqlvalue.NewString([]string{"alpha", "be%", "_amma"}[r.Intn(3)]))
+		}
+	}
+	switch r.Intn(6) {
+	case 0:
+		return NewArith(ArithOp(r.Intn(4)), randScalarTree(r, depth-1), randScalarTree(r, depth-1))
+	case 1:
+		return Neg{E: randScalarTree(r, depth-1)}
+	case 2:
+		// UPPER panics on non-string input (a Value.Str contract the parser's
+		// type checking normally upholds), so the random generator sticks to
+		// ABS and an unknown name; UPPER parity is covered separately below.
+		return Func{Name: []string{"ABS", "NOPE"}[r.Intn(2)], Args: []Expr{randScalarTree(r, depth-1)}}
+	case 3:
+		return Like{E: randScalarTree(r, depth-1), Pattern: randScalarTree(r, depth-1)}
+	case 4:
+		return NewCmp(CmpOp(r.Intn(6)), randScalarTree(r, depth-1), randScalarTree(r, depth-1))
+	default:
+		return IsNull{E: randScalarTree(r, depth-1), Negate: r.Intn(2) == 0}
+	}
+}
+
+func assertCompiledParity(t *testing.T, trial int, e Expr, row []sqlvalue.Value) {
+	t.Helper()
+	c := Compile(e)
+	got, gotErr := c(row)
+	want, wantErr := Eval(e, rowBinding(row))
+	if (gotErr == nil) != (wantErr == nil) {
+		t.Fatalf("trial %d: error mismatch compiled=%v eval=%v\nexpr: %s",
+			trial, gotErr, wantErr, Render(e, PositionalResolver))
+	}
+	if gotErr == nil && !sqlvalue.Identical(got, want) {
+		t.Fatalf("trial %d: compiled=%v eval=%v\nexpr: %s",
+			trial, got, want, Render(e, PositionalResolver))
+	}
+}
+
+// TestCompileMatchesEvalPredicates: compiled evaluation of random predicate
+// trees (three-valued logic, NULLs) must agree with the interpreter.
+func TestCompileMatchesEvalPredicates(t *testing.T) {
+	r := rand.New(rand.NewSource(4001))
+	for trial := 0; trial < 500; trial++ {
+		e := randTree(r, 3)
+		for b := 0; b < 10; b++ {
+			assertCompiledParity(t, trial, e, randRow(r))
+		}
+	}
+}
+
+// TestCompileMatchesEvalScalars: scalar trees, including shapes whose
+// evaluation errors (arithmetic over strings, unknown functions) — the
+// compiled form must produce the same value or the same error outcome.
+func TestCompileMatchesEvalScalars(t *testing.T) {
+	r := rand.New(rand.NewSource(4002))
+	for trial := 0; trial < 800; trial++ {
+		e := randScalarTree(r, 3)
+		for b := 0; b < 8; b++ {
+			assertCompiledParity(t, trial, e, randRow(r))
+		}
+	}
+}
+
+// TestCompilePredicateMatchesEvalPredicate: the predicate wrapper must agree
+// with EvalPredicate, including NULL→false and non-boolean errors.
+func TestCompilePredicateMatchesEvalPredicate(t *testing.T) {
+	r := rand.New(rand.NewSource(4003))
+	exprs := make([]Expr, 0, 400)
+	for i := 0; i < 200; i++ {
+		exprs = append(exprs, randTree(r, 3), randScalarTree(r, 2))
+	}
+	for trial, e := range exprs {
+		p := CompilePredicate(e)
+		for b := 0; b < 8; b++ {
+			row := randRow(r)
+			got, gotErr := p(row)
+			want, wantErr := EvalPredicate(e, rowBinding(row))
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("trial %d: error mismatch compiled=%v eval=%v\nexpr: %s",
+					trial, gotErr, wantErr, Render(e, PositionalResolver))
+			}
+			if gotErr == nil && got != want {
+				t.Fatalf("trial %d: compiled=%v eval=%v\nexpr: %s",
+					trial, got, want, Render(e, PositionalResolver))
+			}
+		}
+	}
+}
+
+// TestCompileColumnConventions: out-of-range columns and non-zero table
+// indexes evaluate to NULL, matching the executor's row binding.
+func TestCompileColumnConventions(t *testing.T) {
+	row := []sqlvalue.Value{sqlvalue.NewInt(7)}
+	for _, tc := range []struct {
+		name string
+		e    Expr
+		want sqlvalue.Value
+	}{
+		{"in-range", Col(0, 0), sqlvalue.NewInt(7)},
+		{"past-end", Col(0, 3), sqlvalue.Null},
+		{"foreign-table", Col(1, 0), sqlvalue.Null},
+		{"negative", Col(0, -1), sqlvalue.Null},
+	} {
+		v, err := Compile(tc.e)(row)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !sqlvalue.Identical(v, tc.want) {
+			t.Fatalf("%s: got %v want %v", tc.name, v, tc.want)
+		}
+	}
+}
+
+// TestCompileConstantFolding: constant subtrees fold at compile time, and
+// constant subtrees that error (arithmetic on strings) keep erroring at run
+// time rather than at compile time.
+func TestCompileConstantFolding(t *testing.T) {
+	folded := NewArith(Add, CInt(2), NewArith(Mul, CInt(3), CInt(4)))
+	v, err := Compile(folded)(nil)
+	if err != nil || v.Int() != 14 {
+		t.Fatalf("folded constant: v=%v err=%v", v, err)
+	}
+
+	bad := NewArith(Add, CInt(1), C(sqlvalue.NewString("x")))
+	if _, err := Compile(bad)(nil); err == nil {
+		t.Fatal("expected runtime error from constant arithmetic over a string")
+	}
+	if _, wantErr := Eval(bad, rowBinding(nil)); wantErr == nil {
+		t.Fatal("interpreter should error too")
+	}
+
+	// Division by zero yields NULL (not an error) in both forms.
+	dz := NewArith(Div, CInt(1), CInt(0))
+	v, err = Compile(dz)(nil)
+	if err != nil || !v.IsNull() {
+		t.Fatalf("1/0: v=%v err=%v", v, err)
+	}
+}
+
+// TestCompileUpper: UPPER over string columns and NULL, against well-typed
+// rows (UPPER's argument must be a string or NULL; see Value.Str).
+func TestCompileUpper(t *testing.T) {
+	e := Func{Name: "UPPER", Args: []Expr{Col(0, 0)}}
+	c := Compile(e)
+	for _, row := range [][]sqlvalue.Value{
+		{sqlvalue.NewString("mixedCase")},
+		{sqlvalue.NewString("")},
+		{sqlvalue.Null},
+	} {
+		assertCompiledParity(t, 0, e, row)
+	}
+	v, err := c([]sqlvalue.Value{sqlvalue.NewString("abc")})
+	if err != nil || v.Str() != "ABC" {
+		t.Fatalf("UPPER: v=%v err=%v", v, err)
+	}
+}

@@ -159,40 +159,53 @@ func evalFunc(f Func, bind Binding) (sqlvalue.Value, error) {
 		}
 		args[i] = v
 	}
-	switch name := f.Name; name {
+	return applyFunc(f.Name, args)
+}
+
+// applyFunc applies a scalar function to already-evaluated arguments; shared
+// by the interpreter and the compiler.
+func applyFunc(name string, args []sqlvalue.Value) (sqlvalue.Value, error) {
+	switch name {
 	case "ABS", "abs":
 		if len(args) != 1 {
 			return sqlvalue.Null, fmt.Errorf("expr: ABS takes 1 argument")
 		}
-		v := args[0]
-		if v.IsNull() {
-			return sqlvalue.Null, nil
-		}
-		switch v.Kind() {
-		case sqlvalue.KindInt:
-			if v.Int() < 0 {
-				return sqlvalue.NewInt(-v.Int()), nil
-			}
-			return v, nil
-		case sqlvalue.KindFloat:
-			if v.Float() < 0 {
-				return sqlvalue.NewFloat(-v.Float()), nil
-			}
-			return v, nil
-		default:
-			return sqlvalue.Null, fmt.Errorf("expr: ABS on %s", v.Kind())
-		}
+		return absValue(args[0])
 	case "UPPER", "upper":
 		if len(args) != 1 {
 			return sqlvalue.Null, fmt.Errorf("expr: UPPER takes 1 argument")
 		}
-		if args[0].IsNull() {
-			return sqlvalue.Null, nil
-		}
-		return sqlvalue.NewString(upperASCII(args[0].Str())), nil
+		return upperValue(args[0])
 	default:
-		return sqlvalue.Null, fmt.Errorf("expr: unknown function %q", f.Name)
+		return sqlvalue.Null, fmt.Errorf("expr: unknown function %q", name)
 	}
+}
+
+func absValue(v sqlvalue.Value) (sqlvalue.Value, error) {
+	if v.IsNull() {
+		return sqlvalue.Null, nil
+	}
+	switch v.Kind() {
+	case sqlvalue.KindInt:
+		if v.Int() < 0 {
+			return sqlvalue.NewInt(-v.Int()), nil
+		}
+		return v, nil
+	case sqlvalue.KindFloat:
+		if v.Float() < 0 {
+			return sqlvalue.NewFloat(-v.Float()), nil
+		}
+		return v, nil
+	default:
+		return sqlvalue.Null, fmt.Errorf("expr: ABS on %s", v.Kind())
+	}
+}
+
+func upperValue(v sqlvalue.Value) (sqlvalue.Value, error) {
+	if v.IsNull() {
+		return sqlvalue.Null, nil
+	}
+	return sqlvalue.NewString(upperASCII(v.Str())), nil
 }
 
 func upperASCII(s string) string {

@@ -16,7 +16,6 @@ package maintain
 
 import (
 	"fmt"
-	"strings"
 
 	"matview/internal/exec"
 	"matview/internal/faults"
@@ -317,13 +316,16 @@ func (m *Maintainer) apply(v *View, delta []storage.Row, sign int64) error {
 	return mv.RebuildIndexes()
 }
 
-func rowKey(r storage.Row, cols []int) string {
-	var sb strings.Builder
+// appendRowKey appends the composite group/row key of the given columns to
+// buf — Value.AppendKey bytes joined by 0x1f. Callers reuse buf across rows
+// and look maps up with string(buf), which Go performs without allocating,
+// so keying a stored view's rows costs no per-column string garbage.
+func appendRowKey(buf []byte, r storage.Row, cols []int) []byte {
 	for _, c := range cols {
-		sb.WriteString(r[c].Key())
-		sb.WriteByte('\x1f')
+		buf = r[c].AppendKey(buf)
+		buf = append(buf, '\x1f')
 	}
-	return sb.String()
+	return buf
 }
 
 // bagSubtract removes one stored occurrence per delta row (bag semantics).
@@ -334,14 +336,16 @@ func bagSubtract(mv *storage.MaterializedView, delta []storage.Row, name string)
 	for i := range cols {
 		cols[i] = i
 	}
+	var buf []byte
 	for _, d := range delta {
-		toRemove[rowKey(d, cols)]++
+		buf = appendRowKey(buf[:0], d, cols)
+		toRemove[string(buf)]++
 	}
 	kept := mv.Rows[:0:0]
 	for _, r := range mv.Rows {
-		k := rowKey(r, cols)
-		if toRemove[k] > 0 {
-			toRemove[k]--
+		buf = appendRowKey(buf[:0], r, cols)
+		if n, ok := toRemove[string(buf)]; ok && n > 0 {
+			toRemove[string(buf)] = n - 1
 			continue
 		}
 		kept = append(kept, r)
@@ -364,12 +368,15 @@ func (m *Maintainer) mergeAgg(v *View, mv *storage.MaterializedView, delta []sto
 		return fmt.Errorf("maintain: merge into %s: %w", v.Name, err)
 	}
 	index := make(map[string]int, len(mv.Rows))
+	var buf []byte
 	for i, r := range mv.Rows {
-		index[rowKey(r, v.keyPos)] = i
+		buf = appendRowKey(buf[:0], r, v.keyPos)
+		index[string(buf)] = i
 	}
 	removed := map[int]bool{}
 	for _, d := range delta {
-		k := rowKey(d, v.keyPos)
+		buf = appendRowKey(buf[:0], d, v.keyPos)
+		k := string(buf)
 		i, ok := index[k]
 		if !ok {
 			if sign < 0 {

@@ -379,8 +379,10 @@ func (s *Server) runQuery(ctx context.Context, req *QueryRequest) (*QueryRespons
 		limit = s.cfg.MaxRows
 		resp.Truncated = true
 	}
-	// Encode rows before the read lock is released: scans can return the
-	// table's own row slices, which writers may mutate after we unlock.
+	// Encode rows before the read lock is released. Node.Run snapshots the
+	// result slice (never the table's own row slice), but the individual row
+	// backing arrays are still shared with storage, so encoding stays under
+	// the lock rather than trusting every writer to clone before mutating.
 	resp.Rows = make([][]any, limit)
 	for i, row := range rows[:limit] {
 		out := make([]any, len(row))

@@ -177,13 +177,11 @@ func (s *Session) execInsert(ins *sqlparser.InsertStatement, w io.Writer) error 
 func (s *Session) execDelete(del *sqlparser.DeleteStatement, w io.Writer) error {
 	pred := func(storage.Row) bool { return true }
 	if del.Where != nil {
+		// Compile the WHERE clause once; the predicate then runs per row
+		// without rebuilding a binding closure or walking the expression tree.
+		where := expr.CompilePredicate(del.Where)
 		pred = func(r storage.Row) bool {
-			ok, err := expr.EvalPredicate(del.Where, func(c expr.ColRef) sqlvalue.Value {
-				if c.Tab != 0 || c.Col < 0 || c.Col >= len(r) {
-					return sqlvalue.Null
-				}
-				return r[c.Col]
-			})
+			ok, err := where(r)
 			return err == nil && ok
 		}
 	}

@@ -237,22 +237,29 @@ func Identical(a, b Value) bool {
 // a.Key() == b.Key() for values of the same kind family. Used by hash joins
 // and hash aggregation.
 func (v Value) Key() string {
+	return string(v.AppendKey(nil))
+}
+
+// AppendKey appends the value's hash key (the same bytes Key returns) to dst
+// and returns the extended slice. Hot paths that build composite keys use
+// this with a reused buffer to avoid the per-value string allocation.
+func (v Value) AppendKey(dst []byte) []byte {
 	switch v.kind {
 	case KindNull:
-		return "\x00N"
+		return append(dst, '\x00', 'N')
 	case KindBool, KindInt, KindDate:
-		return "\x01" + strconv.FormatInt(v.i, 10)
+		return strconv.AppendInt(append(dst, '\x01'), v.i, 10)
 	case KindFloat:
 		if v.f == math.Trunc(v.f) && math.Abs(v.f) < 1e15 {
 			// Integral floats share keys with ints so mixed-type join
 			// columns group correctly.
-			return "\x01" + strconv.FormatInt(int64(v.f), 10)
+			return strconv.AppendInt(append(dst, '\x01'), int64(v.f), 10)
 		}
-		return "\x02" + strconv.FormatFloat(v.f, 'b', -1, 64)
+		return strconv.AppendFloat(append(dst, '\x02'), v.f, 'b', -1, 64)
 	case KindString:
-		return "\x03" + v.s
+		return append(append(dst, '\x03'), v.s...)
 	default:
-		return "\x04"
+		return append(dst, '\x04')
 	}
 }
 

@@ -294,3 +294,29 @@ func TestArithNullPropagation(t *testing.T) {
 		}
 	}
 }
+
+// TestAppendKeyMatchesKey: AppendKey must produce exactly the bytes Key
+// returns, for every kind family, and extend dst rather than replace it.
+func TestAppendKeyMatchesKey(t *testing.T) {
+	vals := []Value{
+		Null,
+		NewBool(true), NewBool(false),
+		NewInt(0), NewInt(-42), NewInt(1 << 60),
+		NewFloat(0), NewFloat(2.5), NewFloat(-3), NewFloat(1e18), NewFloat(7),
+		NewString(""), NewString("abc"), NewString("a\x00b"),
+		NewDateYMD(1995, 5, 5),
+	}
+	for _, v := range vals {
+		if got := string(v.AppendKey(nil)); got != v.Key() {
+			t.Fatalf("AppendKey(%v) = %q, Key = %q", v, got, v.Key())
+		}
+		pre := []byte("pfx")
+		if got := string(v.AppendKey(pre)); got != "pfx"+v.Key() {
+			t.Fatalf("AppendKey with prefix = %q", got)
+		}
+	}
+	// Integral float and int share a key; fractional floats do not.
+	if string(NewFloat(7).AppendKey(nil)) != string(NewInt(7).AppendKey(nil)) {
+		t.Fatal("integral float key must match int key")
+	}
+}

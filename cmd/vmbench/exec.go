@@ -120,8 +120,8 @@ func runExec(w io.Writer, sf float64, seed int64, workerCounts []int, runs int) 
 		return err
 	}
 	fmt.Fprintf(w, "%d lineitem rows; best of %d runs per executor\n\n",
-		len(db.Table("lineitem").Rows), runs)
-	fmt.Fprintf(w, "%-16s %-12s %12s %10s %9s\n", "plan", "executor", "time", "rows", "speedup")
+		db.Table("lineitem").NumRows(), runs)
+	fmt.Fprintf(w, "%-16s %-12s %12s %10s %9s %11s\n", "plan", "executor", "time", "rows", "speedup", "blk-skip")
 	for _, c := range execCases() {
 		plan := c.build(db)
 		ref, rows, err := timeExec(runs, func() ([]storage.Row, error) {
@@ -130,9 +130,10 @@ func runExec(w io.Writer, sf float64, seed int64, workerCounts []int, runs int) 
 		if err != nil {
 			return fmt.Errorf("%s: reference: %w", c.name, err)
 		}
-		fmt.Fprintf(w, "%-16s %-12s %12v %10d %9s\n", c.name, "seed", ref.Round(time.Microsecond), rows, "1.00x")
+		fmt.Fprintf(w, "%-16s %-12s %12v %10d %9s %11s\n", c.name, "seed", ref.Round(time.Microsecond), rows, "1.00x", "-")
 		for _, wk := range workerCounts {
 			eng := &exec.Engine{Workers: wk}
+			exec.ResetScanStats()
 			d, erows, err := timeExec(runs, func() ([]storage.Row, error) {
 				return eng.Run(db, plan)
 			})
@@ -142,9 +143,12 @@ func runExec(w io.Writer, sf float64, seed int64, workerCounts []int, runs int) 
 			if erows != rows {
 				return fmt.Errorf("%s: engine w=%d returned %d rows, reference %d", c.name, wk, erows, rows)
 			}
-			fmt.Fprintf(w, "%-16s %-12s %12v %10d %8.2fx\n",
+			// The scan counters cover the warmup plus every timed run; the
+			// skip rate is a ratio, so the repetition cancels out.
+			st := exec.ReadScanStats()
+			fmt.Fprintf(w, "%-16s %-12s %12v %10d %8.2fx %10.1f%%\n",
 				c.name, fmt.Sprintf("engine-w%d", wk), d.Round(time.Microsecond), erows,
-				float64(ref)/float64(d))
+				float64(ref)/float64(d), 100*st.SkipRate())
 		}
 	}
 	return nil

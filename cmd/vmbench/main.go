@@ -233,7 +233,7 @@ func runLoad(url string, clients int, duration time.Duration, sf float64, seed i
 			inj := faults.New(seed)
 			inj.AddAll(faults.Rule{Rate: faultRate})
 			srv.SetFaultInjector(inj)
-			mutations = loadMutations(db.Table("orders").Rows[0][tpch.OOrderkey].Int())
+			mutations = loadMutations(db.Table("orders").RowAt(0)[tpch.OOrderkey].Int())
 			fmt.Printf("fault injection armed: rate %.2f at every site, repair loop every %v\n",
 				faultRate, cfg.RepairInterval)
 		}
@@ -266,6 +266,8 @@ func runLoad(url string, clients int, duration time.Duration, sf float64, seed i
 	fmt.Printf("latency p50/p99: %v / %v\n", res.P50.Round(time.Microsecond), res.P99.Round(time.Microsecond))
 	fmt.Printf("plan cache:      %d hits, %d misses (%.1f%% hit rate)\n",
 		res.CacheHits, res.CacheMisses, 100*res.CacheHitRate)
+	fmt.Printf("zone maps:       %d blocks scanned, %d skipped (%.1f%% skip rate)\n",
+		res.BlocksScanned, res.BlocksSkipped, 100*res.SkipRate)
 	if faultRate > 0 {
 		fmt.Printf("error rate:      %.2f%% of queries\n", 100*res.ErrorRate)
 		fmt.Printf("mutations:       %d (%d failed and degraded views)\n", res.Mutations, res.MutationErrors)

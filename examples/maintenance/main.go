@@ -43,8 +43,8 @@ func main() {
 	if _, err := o.RegisterView(st.ViewName, st.Query); err != nil {
 		log.Fatal(err)
 	}
-	o.SetViewRowCount(st.ViewName, db.View(st.ViewName).RowCount)
-	fmt.Printf("materialized %s: %d groups\n\n", st.ViewName, db.View(st.ViewName).RowCount)
+	o.SetViewRowCount(st.ViewName, db.View(st.ViewName).RowCount())
+	fmt.Printf("materialized %s: %d groups\n\n", st.ViewName, db.View(st.ViewName).RowCount())
 
 	report := func(label string) {
 		q, err := sqlparser.ParseQuery(cat, `
@@ -114,9 +114,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if !exec.SameRows(db.View(st.ViewName).Rows, fresh) {
+	if !exec.SameRows(db.View(st.ViewName).Rows(), fresh) {
 		log.Fatal("maintained view diverged from recomputation")
 	}
 	fmt.Printf("\nverified: after all churn, %s still equals a full recomputation (%d groups)\n",
-		mv.Name, db.View(st.ViewName).RowCount)
+		mv.Name, db.View(st.ViewName).RowCount())
 }

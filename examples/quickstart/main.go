@@ -43,8 +43,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	o.SetViewRowCount(st.ViewName, mv.RowCount)
-	fmt.Printf("materialized view %q: %d rows\n\n", st.ViewName, mv.RowCount)
+	o.SetViewRowCount(st.ViewName, mv.RowCount())
+	fmt.Printf("materialized view %q: %d rows\n\n", st.ViewName, mv.RowCount())
 
 	// 2. A narrower aggregation query: the optimizer should answer it from
 	// the view with a compensating range predicate (§3.1.2).

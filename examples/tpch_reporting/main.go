@@ -58,8 +58,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		o.SetViewRowCount(st.ViewName, mv.RowCount)
-		fmt.Printf("materialized %-16s %6d rows\n", st.ViewName, mv.RowCount)
+		o.SetViewRowCount(st.ViewName, mv.RowCount())
+		fmt.Printf("materialized %-16s %6d rows\n", st.ViewName, mv.RowCount())
 	}
 	fmt.Println()
 

@@ -1,0 +1,306 @@
+package exec
+
+import (
+	"matview/internal/expr"
+	"matview/internal/spjg"
+	"matview/internal/sqlvalue"
+	"matview/internal/storage"
+)
+
+// Fused aggregation: a HashAgg directly over a columnar scan whose group
+// keys and aggregate arguments are plain columns/constants (or static
+// numeric chains) runs without materializing any input row. Workers walk
+// column blocks — honoring the scan's fused predicate and zone-map skipping
+// — and fold values straight into per-group partial states. SUM/AVG over a
+// typed int or float column takes a tight typed loop (raw array read, raw
+// add); a single never-null int-like group column gets an int64-keyed group
+// map instead of byte-string keys. Shards merge through the same
+// finishAgg path as the generic engine, so output stays byte-identical to
+// RunReference.
+
+// aggGetter reads one aggregate argument for a row ordinal. Exactly one
+// access path is set: gi/gf for typed numeric chains (bool = NULL), em for
+// boxed evaluation. All nil means the aggregate takes no argument (COUNT*).
+type aggGetter struct {
+	gi func(i int) (int64, bool)
+	gf func(i int) (float64, bool)
+	em colEmitter
+}
+
+type fusedAgg struct {
+	ss      *scanSource
+	aggs    []AggSpec
+	keyEmit []colEmitter
+	numGet  []aggGetter
+	denGet  []aggGetter
+	// intKey, when set, reads the single group-by column's raw int64 payload
+	// (never-null int/date/bool column) for map lookup without key encoding.
+	intKey func(i int) int64
+}
+
+// newFusedAgg compiles a fused aggregation over ss, or returns nil when some
+// key or argument is not fusable (the caller falls back to the generic
+// pipeline).
+func newFusedAgg(ss *scanSource, a *HashAgg) *fusedAgg {
+	fa := &fusedAgg{ss: ss, aggs: a.Aggs}
+	fa.keyEmit = make([]colEmitter, len(a.GroupBy))
+	for i, g := range a.GroupBy {
+		em := ss.exprEmitter(g)
+		if em == nil {
+			return nil
+		}
+		fa.keyEmit[i] = em
+	}
+	fa.numGet = make([]aggGetter, len(a.Aggs))
+	fa.denGet = make([]aggGetter, len(a.Aggs))
+	for i, spec := range a.Aggs {
+		if spec.Num.Kind != spjg.AggCountStar && spec.Num.Arg != nil {
+			g, ok := fa.getter(spec.Num.Arg)
+			if !ok {
+				return nil
+			}
+			fa.numGet[i] = g
+		}
+		if spec.Den != nil && spec.Den.Kind != spjg.AggCountStar && spec.Den.Arg != nil {
+			g, ok := fa.getter(spec.Den.Arg)
+			if !ok {
+				return nil
+			}
+			fa.denGet[i] = g
+		}
+	}
+	if len(a.GroupBy) == 1 && !ss.projected {
+		if col, ok := a.GroupBy[0].(expr.Column); ok && col.Ref.Tab == 0 && col.Ref.Col >= 0 && col.Ref.Col < len(ss.cols) {
+			v := ss.cols[col.Ref.Col]
+			switch v.Kind {
+			case sqlvalue.KindInt, sqlvalue.KindDate, sqlvalue.KindBool:
+				if v.Generic == nil && v.Nulls == nil {
+					arr := v.Ints
+					fa.intKey = func(i int) int64 { return arr[i] }
+				}
+			}
+		}
+	}
+	return fa
+}
+
+// getter compiles one aggregate argument. Typed chains are excluded for DATE
+// results: summing dates flips the running sum's kind from DATE to DOUBLE
+// after the first addition, which a raw accumulator would not reproduce.
+func (fa *fusedAgg) getter(arg expr.Expr) (aggGetter, bool) {
+	if !fa.ss.projected {
+		if nc, ok := vecNum(arg, fa.ss.cols, len(fa.ss.cols)); ok && nc.kind != sqlvalue.KindDate {
+			return aggGetter{gi: nc.gi, gf: nc.gf}, true
+		}
+	}
+	if em := fa.ss.exprEmitter(arg); em != nil {
+		return aggGetter{em: em}, true
+	}
+	return aggGetter{}, false
+}
+
+// addIntSum folds a non-null value from an int-kind chain: the running sum
+// is always NULL or BIGINT, so this is exactly accumulate(NewInt(v)).
+func (st *aggState) addIntSum(v int64) {
+	if st.sum.IsNull() {
+		st.sum = sqlvalue.NewInt(v)
+		return
+	}
+	st.sum = sqlvalue.NewInt(st.sum.Int() + v)
+}
+
+// addFloatSum folds a non-null value from a float-kind chain: the running
+// sum is always NULL or DOUBLE, so this is exactly accumulate(NewFloat(v)),
+// including the fold order's floating-point rounding.
+func (st *aggState) addFloatSum(v float64) {
+	if st.sum.IsNull() {
+		st.sum = sqlvalue.NewFloat(v)
+		return
+	}
+	st.sum = sqlvalue.NewFloat(st.sum.Float() + v)
+}
+
+type fusedAggWorker struct {
+	fa      *fusedAgg
+	idx     map[string]int32 // byte-string group keys (nil when intIdx used)
+	intIdx  map[int64]int32
+	groups  []*aggPartial
+	keyBuf  []byte
+	keyVals []sqlvalue.Value
+	sc      scanScratch
+}
+
+func newFusedAggWorker(fa *fusedAgg) *fusedAggWorker {
+	w := &fusedAggWorker{fa: fa, keyVals: make([]sqlvalue.Value, len(fa.keyEmit))}
+	if fa.intKey != nil {
+		w.intIdx = make(map[int64]int32)
+	} else {
+		w.idx = make(map[string]int32)
+	}
+	return w
+}
+
+func (w *fusedAggWorker) morsel(lo, hi, seq int) error {
+	fa := w.fa
+	ss := fa.ss
+	pred := ss.pred
+	ordBase := ordinal(seq, 0)
+	var ctr int64
+	for i := lo; i < hi; {
+		b := i / storage.BlockRows
+		be := (b + 1) * storage.BlockRows
+		if be > hi {
+			be = hi
+		}
+		if ss.skip && ss.skipBlock(b) {
+			scanBlocksSkipped.Add(1)
+			i = be
+			continue
+		}
+		scanBlocksScanned.Add(1)
+		for ; i < be; i++ {
+			if pred != nil {
+				ok, err := pred.eval(i, ss, &w.sc)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+			}
+			ord := ordBase | ctr
+			ctr++
+			grp := w.group(i, ord)
+			if err := w.accumulate(grp, i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (w *fusedAggWorker) group(i int, ord int64) *aggPartial {
+	fa := w.fa
+	if w.intIdx != nil {
+		k := fa.intKey(i)
+		if li, ok := w.intIdx[k]; ok {
+			return w.groups[li]
+		}
+		grp := w.newGroup(i, ord)
+		w.intIdx[k] = int32(len(w.groups))
+		w.groups = append(w.groups, grp)
+		return grp
+	}
+	key := w.keyBuf[:0]
+	for ki, em := range fa.keyEmit {
+		v := em(i)
+		w.keyVals[ki] = v
+		key = v.AppendKey(key)
+		key = append(key, '\x1f')
+	}
+	w.keyBuf = key[:0]
+	if li, ok := w.idx[string(key)]; ok {
+		return w.groups[li]
+	}
+	grp := w.newGroup(i, ord)
+	w.idx[string(key)] = int32(len(w.groups))
+	w.groups = append(w.groups, grp)
+	return grp
+}
+
+func (w *fusedAggWorker) newGroup(i int, ord int64) *aggPartial {
+	fa := w.fa
+	keys := make(storage.Row, len(fa.keyEmit))
+	for ki, em := range fa.keyEmit {
+		keys[ki] = em(i)
+	}
+	return &aggPartial{keys: keys, ord: ord, num: make([]aggState, len(fa.aggs)), den: make([]aggState, len(fa.aggs))}
+}
+
+func (w *fusedAggWorker) accumulate(grp *aggPartial, i int) error {
+	fa := w.fa
+	for s := range fa.aggs {
+		st := &grp.num[s]
+		st.count++
+		if err := applyGetter(st, &fa.numGet[s], i); err != nil {
+			return err
+		}
+		if fa.aggs[s].Den != nil {
+			dst := &grp.den[s]
+			dst.count++
+			if err := applyGetter(dst, &fa.denGet[s], i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func applyGetter(st *aggState, g *aggGetter, i int) error {
+	switch {
+	case g.gi != nil:
+		if v, null := g.gi(i); !null {
+			st.addIntSum(v)
+		}
+	case g.gf != nil:
+		if v, null := g.gf(i); !null {
+			st.addFloatSum(v)
+		}
+	case g.em != nil:
+		return st.accumulate(g.em(i))
+	}
+	return nil
+}
+
+// shard finishes one worker's partial aggregation. The byte-string key index
+// is materialized lazily for int-keyed workers, and only when a multi-shard
+// merge actually needs it.
+func (w *fusedAggWorker) shard(needIdx bool) aggShard {
+	if w.idx == nil && needIdx {
+		idx := make(map[string]int32, len(w.groups))
+		buf := w.keyBuf
+		for gi, g := range w.groups {
+			key := buf[:0]
+			for _, v := range g.keys {
+				key = v.AppendKey(key)
+				key = append(key, '\x1f')
+			}
+			idx[string(key)] = int32(gi)
+			buf = key[:0]
+		}
+		w.keyBuf = buf
+		w.idx = idx
+	}
+	return aggShard{idx: w.idx, groups: w.groups}
+}
+
+// runFusedAgg drives the fused aggregation with the same morsel distribution
+// as runPipeline and merges shards through finishAgg.
+func (e *Engine) runFusedAgg(fa *fusedAgg, a *HashAgg) ([]storage.Row, error) {
+	bs := e.batchSize()
+	n := fa.ss.numRows()
+	nm := (n + bs - 1) / bs
+	w := e.workers()
+	if w > nm {
+		w = nm
+	}
+	if w < 1 {
+		w = 1
+	}
+	workers := make([]*fusedAggWorker, w)
+	for i := range workers {
+		workers[i] = newFusedAggWorker(fa)
+	}
+	if err := forEachMorsel(nm, w, func(wi, seq int) error {
+		lo := seq * bs
+		hi := min(lo+bs, n)
+		return workers[wi].morsel(lo, hi, seq)
+	}); err != nil {
+		return nil, err
+	}
+	shards := make([]aggShard, w)
+	for i, wk := range workers {
+		shards[i] = wk.shard(w > 1)
+	}
+	return finishAgg(shards, a)
+}

@@ -1,0 +1,1011 @@
+package exec
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"matview/internal/expr"
+	"matview/internal/ranges"
+	"matview/internal/sqlvalue"
+	"matview/internal/storage"
+)
+
+// Block-skip counters, package-global so every engine (server, shell,
+// maintainer deltas, benchmarks) feeds the same ledger. A "block" here is a
+// block segment visited by one morsel; with the default 1024-row batch size,
+// morsels align with storage blocks and segments == blocks.
+var (
+	scanBlocksScanned atomic.Int64
+	scanBlocksSkipped atomic.Int64
+)
+
+// ScanStats is a snapshot of the columnar scan counters.
+type ScanStats struct {
+	BlocksScanned int64 `json:"blocks_scanned"`
+	BlocksSkipped int64 `json:"blocks_skipped"`
+}
+
+// SkipRate returns the fraction of visited blocks that zone maps proved
+// irrelevant, in [0,1].
+func (s ScanStats) SkipRate() float64 {
+	total := s.BlocksScanned + s.BlocksSkipped
+	if total == 0 {
+		return 0
+	}
+	return float64(s.BlocksSkipped) / float64(total)
+}
+
+// ReadScanStats returns the cumulative block counters.
+func ReadScanStats() ScanStats {
+	return ScanStats{
+		BlocksScanned: scanBlocksScanned.Load(),
+		BlocksSkipped: scanBlocksSkipped.Load(),
+	}
+}
+
+// ResetScanStats zeroes the block counters (benchmarks and tests).
+func ResetScanStats() {
+	scanBlocksScanned.Store(0)
+	scanBlocksSkipped.Store(0)
+}
+
+// rowSource is the head of a pipeline: a range of row ordinals that morsels
+// are cut from. scanSource reads column blocks directly; sliceSource wraps
+// already-materialized rows (view seeks, aggregation outputs).
+type rowSource interface {
+	numRows() int
+	// morsel returns the qualifying rows of ordinals [lo,hi). The returned
+	// slice is only valid until the worker's next morsel call (its backing
+	// array is per-worker scratch), but the rows themselves are durable.
+	morsel(lo, hi int, sc *scanScratch) ([]storage.Row, error)
+}
+
+type sliceSource []storage.Row
+
+func (s sliceSource) numRows() int { return len(s) }
+
+func (s sliceSource) morsel(lo, hi int, _ *scanScratch) ([]storage.Row, error) {
+	return s[lo:hi], nil
+}
+
+// scanScratch is one worker's private scan state: the row-slab allocator
+// (emitted rows are durable — slabs are never recycled), the reusable morsel
+// output slice, and the gather row used when a non-vectorizable predicate
+// conjunct needs a materialized row.
+type scanScratch struct {
+	alloc  rowAlloc
+	rows   []storage.Row
+	gather storage.Row
+}
+
+// colEmitter produces the boxed value of one output column for row ordinal i.
+type colEmitter func(i int) sqlvalue.Value
+
+func nullEmitter(int) sqlvalue.Value { return sqlvalue.Null }
+
+// makeEmitter builds the emitter reading a column's physical arrays.
+func makeEmitter(v storage.ColView) colEmitter {
+	if v.Generic != nil {
+		g := v.Generic
+		return func(i int) sqlvalue.Value { return g[i] }
+	}
+	nulls := v.Nulls
+	switch v.Kind {
+	case sqlvalue.KindInt:
+		a := v.Ints
+		if nulls == nil {
+			return func(i int) sqlvalue.Value { return sqlvalue.NewInt(a[i]) }
+		}
+		return func(i int) sqlvalue.Value {
+			if bitSet(nulls, i) {
+				return sqlvalue.Null
+			}
+			return sqlvalue.NewInt(a[i])
+		}
+	case sqlvalue.KindDate:
+		a := v.Ints
+		if nulls == nil {
+			return func(i int) sqlvalue.Value { return sqlvalue.NewDate(a[i]) }
+		}
+		return func(i int) sqlvalue.Value {
+			if bitSet(nulls, i) {
+				return sqlvalue.Null
+			}
+			return sqlvalue.NewDate(a[i])
+		}
+	case sqlvalue.KindBool:
+		a := v.Ints
+		if nulls == nil {
+			return func(i int) sqlvalue.Value { return sqlvalue.NewBool(a[i] != 0) }
+		}
+		return func(i int) sqlvalue.Value {
+			if bitSet(nulls, i) {
+				return sqlvalue.Null
+			}
+			return sqlvalue.NewBool(a[i] != 0)
+		}
+	case sqlvalue.KindFloat:
+		a := v.Floats
+		if nulls == nil {
+			return func(i int) sqlvalue.Value { return sqlvalue.NewFloat(a[i]) }
+		}
+		return func(i int) sqlvalue.Value {
+			if bitSet(nulls, i) {
+				return sqlvalue.Null
+			}
+			return sqlvalue.NewFloat(a[i])
+		}
+	case sqlvalue.KindString:
+		a := v.Strs
+		if nulls == nil {
+			return func(i int) sqlvalue.Value { return sqlvalue.NewString(a[i]) }
+		}
+		return func(i int) sqlvalue.Value {
+			if bitSet(nulls, i) {
+				return sqlvalue.Null
+			}
+			return sqlvalue.NewString(a[i])
+		}
+	default: // KindNull: the column has only ever held NULL
+		return nullEmitter
+	}
+}
+
+func bitSet(bm []uint64, i int) bool {
+	w := i >> 6
+	return w < len(bm) && bm[w]&(1<<(uint(i)&63)) != 0
+}
+
+// scanSource streams a table or view scan straight out of column blocks:
+// the fused filter runs against column arrays (vectorized conjuncts read
+// typed payloads; only non-vectorizable conjuncts see a gathered row), zone
+// maps skip whole blocks when the predicate cannot hold there, and only
+// qualifying rows are materialized — one emitter call per output column.
+type scanSource struct {
+	store   *storage.ColumnStore
+	cols    []storage.ColView
+	colEmit []colEmitter // per storage column, for gather and default output
+	emit    []colEmitter // output columns (differs after projection fusion)
+	width   int
+	pred    *scanPred
+	skip    bool // consult zone maps (pred is safe and yields constraints)
+
+	projected bool
+}
+
+func newScanSource(store *storage.ColumnStore, filter expr.Expr, e *Engine) *scanSource {
+	ncols := store.NumCols()
+	s := &scanSource{store: store, width: ncols}
+	s.cols = make([]storage.ColView, ncols)
+	s.colEmit = make([]colEmitter, ncols)
+	for c := 0; c < ncols; c++ {
+		s.cols[c] = store.Col(c)
+		s.colEmit[c] = makeEmitter(s.cols[c])
+	}
+	s.emit = s.colEmit
+	if filter != nil {
+		s.pred = compileScanPred(filter, s.cols, ncols)
+		s.skip = s.pred.safe && len(s.pred.zones) > 0 && !e.DisableZoneSkip
+	}
+	return s
+}
+
+// exprEmitter returns an emitter for a Column or Const expression over the
+// scan's OUTPUT columns, or nil for any other shape.
+func (s *scanSource) exprEmitter(ex expr.Expr) colEmitter {
+	switch n := ex.(type) {
+	case expr.Column:
+		if n.Ref.Tab != 0 || n.Ref.Col < 0 || n.Ref.Col >= len(s.emit) {
+			return nullEmitter
+		}
+		return s.emit[n.Ref.Col]
+	case expr.Const:
+		v := n.Val
+		return func(int) sqlvalue.Value { return v }
+	}
+	return nil
+}
+
+// projectable reports whether every projection expression is a plain column
+// reference or constant, i.e. the projection can fuse into the scan.
+func projectable(exprs []expr.Expr) bool {
+	for _, ex := range exprs {
+		switch ex.(type) {
+		case expr.Column, expr.Const:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// setProjection fuses a column/constant projection into the scan: output
+// rows are emitted at projection width with no intermediate full-width row.
+func (s *scanSource) setProjection(exprs []expr.Expr) {
+	emit := make([]colEmitter, len(exprs))
+	for j, ex := range exprs {
+		emit[j] = s.exprEmitter(ex)
+	}
+	s.emit = emit
+	s.width = len(exprs)
+	s.projected = true
+}
+
+func (s *scanSource) numRows() int { return s.store.Len() }
+
+func (s *scanSource) morsel(lo, hi int, sc *scanScratch) ([]storage.Row, error) {
+	out := sc.rows[:0]
+	pred := s.pred
+	for i := lo; i < hi; {
+		b := i / storage.BlockRows
+		be := (b + 1) * storage.BlockRows
+		if be > hi {
+			be = hi
+		}
+		if s.skip && s.skipBlock(b) {
+			scanBlocksSkipped.Add(1)
+			i = be
+			continue
+		}
+		scanBlocksScanned.Add(1)
+		for ; i < be; i++ {
+			if pred != nil {
+				ok, err := pred.eval(i, s, sc)
+				if err != nil {
+					sc.rows = out
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			r := sc.alloc.row(s.width)
+			for c, em := range s.emit {
+				r[c] = em(i)
+			}
+			out = append(out, r)
+		}
+	}
+	sc.rows = out
+	return out, nil
+}
+
+// skipBlock reports whether block b provably contains no qualifying row:
+// some predicate conjunct constrains a column to an interval set that does
+// not overlap the block's [Min,Max] zone (or the block is all-NULL on that
+// column). Only consulted when every conjunct is provably error- and
+// panic-free, so skipping can never suppress a runtime error the reference
+// evaluator would surface.
+func (s *scanSource) skipBlock(b int) bool {
+	for k := range s.pred.zones {
+		zc := &s.pred.zones[k]
+		z := s.store.Zone(zc.col, b)
+		if !z.Tracked {
+			continue
+		}
+		if !z.HasNonNull {
+			// Every value is NULL: no comparison against the column holds.
+			return true
+		}
+		blockRange := ranges.Range{
+			Lo: ranges.Bound{Set: true, Val: z.Min},
+			Hi: ranges.Bound{Set: true, Val: z.Max},
+		}
+		overlap := false
+		for _, p := range zc.set.Parts() {
+			if p.Overlaps(blockRange) {
+				overlap = true
+				break
+			}
+		}
+		if !overlap {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Scan predicate compilation
+
+// Three-valued logic results of a vectorized conjunct.
+const (
+	triFalse uint8 = iota
+	triTrue
+	triNull
+)
+
+// triFn evaluates one conjunct against row ordinal i.
+type triFn func(i int) uint8
+
+// conjunct is one top-level AND term of a scan filter. Vectorized conjuncts
+// (vec) read column arrays directly; the rest fall back to the compiled
+// row-expression (gen) over a gathered row.
+type conjunct struct {
+	vec   triFn
+	gen   expr.Compiled
+	inAnd bool // part of an AND: non-bool results panic like compiled And
+}
+
+// zoneConstraint is the interval set a column must intersect for any row of
+// a block to qualify.
+type zoneConstraint struct {
+	col int
+	set ranges.IntervalSet
+}
+
+type scanPred struct {
+	conj  []conjunct
+	zones []zoneConstraint
+	safe  bool // every conjunct provably error- and panic-free
+}
+
+// eval applies the predicate to row i with the exact three-valued-logic,
+// error, and panic behavior of expr.CompilePredicate over the same filter:
+// conjuncts evaluate in original order, FALSE short-circuits, NULL does not.
+func (p *scanPred) eval(i int, s *scanSource, sc *scanScratch) (bool, error) {
+	sawNull := false
+	gathered := false
+	for k := range p.conj {
+		cj := &p.conj[k]
+		if cj.vec != nil {
+			switch cj.vec(i) {
+			case triFalse:
+				return false, nil
+			case triNull:
+				sawNull = true
+			}
+			continue
+		}
+		if !gathered {
+			if sc.gather == nil {
+				sc.gather = make(storage.Row, len(s.colEmit))
+			}
+			for c, em := range s.colEmit {
+				sc.gather[c] = em(i)
+			}
+			gathered = true
+		}
+		v, err := cj.gen(sc.gather)
+		if err != nil {
+			return false, err
+		}
+		if v.IsNull() {
+			sawNull = true
+			continue
+		}
+		if v.Kind() != sqlvalue.KindBool {
+			if cj.inAnd {
+				// The compiled And calls Bool() on every non-NULL argument;
+				// reproduce its panic exactly.
+				_ = v.Bool()
+			}
+			return false, fmt.Errorf("expr: predicate evaluated to %s", v.Kind())
+		}
+		if !v.Bool() {
+			return false, nil
+		}
+	}
+	if sawNull {
+		return false, nil
+	}
+	return true, nil
+}
+
+// compileScanPred decomposes filter into top-level conjuncts, vectorizes the
+// ones it can, classifies safety for zone skipping, and extracts per-column
+// interval constraints.
+func compileScanPred(filter expr.Expr, cols []storage.ColView, ncols int) *scanPred {
+	parts := []expr.Expr{filter}
+	isAnd := false
+	if a, ok := filter.(expr.And); ok {
+		parts = a.Args
+		isAnd = true
+	}
+	p := &scanPred{safe: true}
+	for _, part := range parts {
+		cj := conjunct{inAnd: isAnd}
+		if vec, ok := vecPredicate(part, cols, ncols); ok {
+			cj.vec = vec
+		} else {
+			cj.gen = expr.Compile(part)
+		}
+		if !predSafe(part, cols, ncols) {
+			p.safe = false
+		}
+		p.conj = append(p.conj, cj)
+	}
+	if p.safe {
+		p.zones = zoneConstraints(parts, ncols)
+	}
+	return p
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized conjuncts
+
+// Static value classes of a comparison side.
+const (
+	classNone uint8 = iota // not statically classifiable (or may error)
+	classNum               // numeric chain: Int, Date, or Float result kind
+	classStr               // string column or constant
+	classNull              // constant NULL (invalid or all-NULL column)
+)
+
+// numChain is a compiled arithmetic chain with a statically known result
+// kind. Chains are error- and panic-free by construction: columns are typed,
+// constants numeric, and only operations that cannot fail on numeric inputs
+// are admitted (division by zero yields NULL, as sqlvalue.Div does).
+type numChain struct {
+	kind sqlvalue.Kind // KindInt, KindDate, or KindFloat
+	gi   func(i int) (int64, bool)   // non-float chains; bool = NULL
+	gf   func(i int) (float64, bool) // float chains
+}
+
+func (n numChain) float() func(i int) (float64, bool) {
+	if n.gf != nil {
+		return n.gf
+	}
+	gi := n.gi
+	return func(i int) (float64, bool) {
+		v, null := gi(i)
+		return float64(v), null
+	}
+}
+
+// vecNum compiles e into a numeric chain when its result kind is static.
+func vecNum(e expr.Expr, cols []storage.ColView, ncols int) (numChain, bool) {
+	switch n := e.(type) {
+	case expr.Const:
+		switch n.Val.Kind() {
+		case sqlvalue.KindInt:
+			c := n.Val.Int()
+			return numChain{kind: sqlvalue.KindInt, gi: func(int) (int64, bool) { return c, false }}, true
+		case sqlvalue.KindDate:
+			c := n.Val.DateDays()
+			return numChain{kind: sqlvalue.KindDate, gi: func(int) (int64, bool) { return c, false }}, true
+		case sqlvalue.KindFloat:
+			c := n.Val.Float()
+			return numChain{kind: sqlvalue.KindFloat, gf: func(int) (float64, bool) { return c, false }}, true
+		}
+		return numChain{}, false
+	case expr.Column:
+		if n.Ref.Tab != 0 || n.Ref.Col < 0 || n.Ref.Col >= ncols {
+			return numChain{}, false // binds to NULL; handled by classNull
+		}
+		v := cols[n.Ref.Col]
+		if v.Generic != nil {
+			return numChain{}, false
+		}
+		nulls := v.Nulls
+		switch v.Kind {
+		case sqlvalue.KindInt, sqlvalue.KindDate:
+			a := v.Ints
+			if nulls == nil {
+				return numChain{kind: v.Kind, gi: func(i int) (int64, bool) { return a[i], false }}, true
+			}
+			return numChain{kind: v.Kind, gi: func(i int) (int64, bool) {
+				if bitSet(nulls, i) {
+					return 0, true
+				}
+				return a[i], false
+			}}, true
+		case sqlvalue.KindFloat:
+			a := v.Floats
+			if nulls == nil {
+				return numChain{kind: sqlvalue.KindFloat, gf: func(i int) (float64, bool) { return a[i], false }}, true
+			}
+			return numChain{kind: sqlvalue.KindFloat, gf: func(i int) (float64, bool) {
+				if bitSet(nulls, i) {
+					return 0, true
+				}
+				return a[i], false
+			}}, true
+		}
+		return numChain{}, false
+	case expr.Arith:
+		l, ok := vecNum(n.L, cols, ncols)
+		if !ok {
+			return numChain{}, false
+		}
+		r, ok := vecNum(n.R, cols, ncols)
+		if !ok {
+			return numChain{}, false
+		}
+		// sqlvalue.arith: Int op Int stays integral except division; any
+		// Date or Float operand promotes the whole operation to float.
+		if l.kind == sqlvalue.KindInt && r.kind == sqlvalue.KindInt && n.Op != expr.Div {
+			li, ri := l.gi, r.gi
+			var gi func(i int) (int64, bool)
+			switch n.Op {
+			case expr.Add:
+				gi = func(i int) (int64, bool) {
+					a, an := li(i)
+					if an {
+						return 0, true
+					}
+					b, bn := ri(i)
+					if bn {
+						return 0, true
+					}
+					return a + b, false
+				}
+			case expr.Sub:
+				gi = func(i int) (int64, bool) {
+					a, an := li(i)
+					if an {
+						return 0, true
+					}
+					b, bn := ri(i)
+					if bn {
+						return 0, true
+					}
+					return a - b, false
+				}
+			case expr.Mul:
+				gi = func(i int) (int64, bool) {
+					a, an := li(i)
+					if an {
+						return 0, true
+					}
+					b, bn := ri(i)
+					if bn {
+						return 0, true
+					}
+					return a * b, false
+				}
+			default:
+				return numChain{}, false
+			}
+			return numChain{kind: sqlvalue.KindInt, gi: gi}, true
+		}
+		lf, rf := l.float(), r.float()
+		var gf func(i int) (float64, bool)
+		switch n.Op {
+		case expr.Add:
+			gf = func(i int) (float64, bool) {
+				a, an := lf(i)
+				if an {
+					return 0, true
+				}
+				b, bn := rf(i)
+				if bn {
+					return 0, true
+				}
+				return a + b, false
+			}
+		case expr.Sub:
+			gf = func(i int) (float64, bool) {
+				a, an := lf(i)
+				if an {
+					return 0, true
+				}
+				b, bn := rf(i)
+				if bn {
+					return 0, true
+				}
+				return a - b, false
+			}
+		case expr.Mul:
+			gf = func(i int) (float64, bool) {
+				a, an := lf(i)
+				if an {
+					return 0, true
+				}
+				b, bn := rf(i)
+				if bn {
+					return 0, true
+				}
+				return a * b, false
+			}
+		case expr.Div:
+			gf = func(i int) (float64, bool) {
+				a, an := lf(i)
+				if an {
+					return 0, true
+				}
+				b, bn := rf(i)
+				if bn || b == 0 {
+					return 0, true // division by zero yields NULL
+				}
+				return a / b, false
+			}
+		default:
+			return numChain{}, false
+		}
+		return numChain{kind: sqlvalue.KindFloat, gf: gf}, true
+	case expr.Neg:
+		a, ok := vecNum(n.E, cols, ncols)
+		// sqlvalue.Neg errors on DATE, so a Date chain is not negatable.
+		if !ok || a.kind == sqlvalue.KindDate {
+			return numChain{}, false
+		}
+		if a.kind == sqlvalue.KindInt {
+			gi := a.gi
+			return numChain{kind: sqlvalue.KindInt, gi: func(i int) (int64, bool) {
+				v, null := gi(i)
+				return -v, null
+			}}, true
+		}
+		gf := a.gf
+		return numChain{kind: sqlvalue.KindFloat, gf: func(i int) (float64, bool) {
+			v, null := gf(i)
+			return -v, null
+		}}, true
+	case expr.Func:
+		if (n.Name != "ABS" && n.Name != "abs") || len(n.Args) != 1 {
+			return numChain{}, false
+		}
+		a, ok := vecNum(n.Args[0], cols, ncols)
+		// absValue errors on DATE.
+		if !ok || a.kind == sqlvalue.KindDate {
+			return numChain{}, false
+		}
+		if a.kind == sqlvalue.KindInt {
+			gi := a.gi
+			return numChain{kind: sqlvalue.KindInt, gi: func(i int) (int64, bool) {
+				v, null := gi(i)
+				if v < 0 {
+					v = -v
+				}
+				return v, null
+			}}, true
+		}
+		gf := a.gf
+		return numChain{kind: sqlvalue.KindFloat, gf: func(i int) (float64, bool) {
+			v, null := gf(i)
+			// Match absValue: only strictly negative values are negated, so
+			// ABS(-0.0) stays -0.0 and rendering is byte-identical.
+			if v < 0 {
+				v = -v
+			}
+			return v, null
+		}}, true
+	}
+	return numChain{}, false
+}
+
+// vecStr compiles e into a string getter when it is a string column or
+// constant; bool result = NULL.
+func vecStr(e expr.Expr, cols []storage.ColView, ncols int) (func(i int) (string, bool), bool) {
+	switch n := e.(type) {
+	case expr.Const:
+		if n.Val.Kind() == sqlvalue.KindString {
+			s := n.Val.Str()
+			return func(int) (string, bool) { return s, false }, true
+		}
+		return nil, false
+	case expr.Column:
+		if n.Ref.Tab != 0 || n.Ref.Col < 0 || n.Ref.Col >= ncols {
+			return nil, false
+		}
+		v := cols[n.Ref.Col]
+		if v.Generic != nil || v.Kind != sqlvalue.KindString {
+			return nil, false
+		}
+		a := v.Strs
+		nulls := v.Nulls
+		if nulls == nil {
+			return func(i int) (string, bool) { return a[i], false }, true
+		}
+		return func(i int) (string, bool) {
+			if bitSet(nulls, i) {
+				return "", true
+			}
+			return a[i], false
+		}, true
+	}
+	return nil, false
+}
+
+// sideClass classifies one comparison side for vectorization.
+func sideClass(e expr.Expr, cols []storage.ColView, ncols int) uint8 {
+	switch n := e.(type) {
+	case expr.Const:
+		if n.Val.IsNull() {
+			return classNull
+		}
+	case expr.Column:
+		if n.Ref.Tab != 0 || n.Ref.Col < 0 || n.Ref.Col >= ncols {
+			return classNull // binds to NULL
+		}
+		v := cols[n.Ref.Col]
+		if v.Generic == nil && v.Kind == sqlvalue.KindNull {
+			return classNull // column has only ever held NULL
+		}
+	}
+	if _, ok := vecNum(e, cols, ncols); ok {
+		return classNum
+	}
+	if _, ok := vecStr(e, cols, ncols); ok {
+		return classStr
+	}
+	return classNone
+}
+
+func triOf(b bool) uint8 {
+	if b {
+		return triTrue
+	}
+	return triFalse
+}
+
+// cmpSatisfied mirrors expr's cmpSatisfies.
+func cmpSatisfied(op expr.CmpOp, cmp int) bool {
+	switch op {
+	case expr.EQ:
+		return cmp == 0
+	case expr.NE:
+		return cmp != 0
+	case expr.LT:
+		return cmp < 0
+	case expr.LE:
+		return cmp <= 0
+	case expr.GT:
+		return cmp > 0
+	case expr.GE:
+		return cmp >= 0
+	}
+	return false
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// vecPredicate vectorizes a conjunct when possible: comparisons over static
+// numeric/string chains and IS [NOT] NULL over a column.
+func vecPredicate(e expr.Expr, cols []storage.ColView, ncols int) (triFn, bool) {
+	switch n := e.(type) {
+	case expr.Cmp:
+		return vecCmp(n, cols, ncols)
+	case expr.IsNull:
+		col, ok := n.E.(expr.Column)
+		if !ok {
+			return nil, false
+		}
+		negate := n.Negate
+		if col.Ref.Tab != 0 || col.Ref.Col < 0 || col.Ref.Col >= ncols {
+			// The reference binds this to NULL: IS NULL is constantly true.
+			res := triOf(!negate)
+			return func(int) uint8 { return res }, true
+		}
+		v := cols[col.Ref.Col]
+		if negate {
+			return func(i int) uint8 { return triOf(!v.IsNull(i)) }, true
+		}
+		return func(i int) uint8 { return triOf(v.IsNull(i)) }, true
+	}
+	return nil, false
+}
+
+func vecCmp(n expr.Cmp, cols []storage.ColView, ncols int) (triFn, bool) {
+	op := n.Op
+	lc := sideClass(n.L, cols, ncols)
+	if lc == classNone {
+		return nil, false
+	}
+	rc := sideClass(n.R, cols, ncols)
+	if rc == classNone {
+		return nil, false
+	}
+	// A NULL side, or statically incomparable kinds, make the comparison
+	// constantly NULL (sqlvalue.Compare never errors).
+	if lc == classNull || rc == classNull || lc != rc {
+		return func(int) uint8 { return triNull }, true
+	}
+	if lc == classStr {
+		ls, _ := vecStr(n.L, cols, ncols)
+		rs, _ := vecStr(n.R, cols, ncols)
+		return func(i int) uint8 {
+			a, an := ls(i)
+			if an {
+				return triNull
+			}
+			b, bn := rs(i)
+			if bn {
+				return triNull
+			}
+			return triOf(cmpSatisfied(op, stringsCompare(a, b)))
+		}, true
+	}
+	ln, _ := vecNum(n.L, cols, ncols)
+	rn, _ := vecNum(n.R, cols, ncols)
+	// sqlvalue.Compare compares two non-float numerics on their integral
+	// payloads (avoiding float rounding on big keys); any float side makes
+	// it a float comparison.
+	if ln.kind != sqlvalue.KindFloat && rn.kind != sqlvalue.KindFloat {
+		li, ri := ln.gi, rn.gi
+		return func(i int) uint8 {
+			a, an := li(i)
+			if an {
+				return triNull
+			}
+			b, bn := ri(i)
+			if bn {
+				return triNull
+			}
+			return triOf(cmpSatisfied(op, cmpInt(a, b)))
+		}, true
+	}
+	lf, rf := ln.float(), rn.float()
+	return func(i int) uint8 {
+		a, an := lf(i)
+		if an {
+			return triNull
+		}
+		b, bn := rf(i)
+		if bn {
+			return triNull
+		}
+		return triOf(cmpSatisfied(op, cmpFloat(a, b)))
+	}, true
+}
+
+func stringsCompare(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// Skip safety and zone constraints
+
+// isLeaf reports whether e is a bare column reference or constant — shapes
+// whose evaluation can never error or panic.
+func isLeaf(e expr.Expr) bool {
+	switch e.(type) {
+	case expr.Column, expr.Const:
+		return true
+	}
+	return false
+}
+
+// sideSafe reports whether a comparison side is provably error- and
+// panic-free: a leaf (Compare never errors on any value pair) or a static
+// numeric chain.
+func sideSafe(e expr.Expr, cols []storage.ColView, ncols int) bool {
+	if isLeaf(e) {
+		return true
+	}
+	_, ok := vecNum(e, cols, ncols)
+	return ok
+}
+
+// predSafe reports whether evaluating e can neither error nor panic and
+// always yields a boolean or NULL — the precondition for zone skipping: a
+// skipped block must not suppress a runtime failure the reference evaluator
+// would surface, and AND/OR/NOT over e must not hit a non-bool panic.
+func predSafe(e expr.Expr, cols []storage.ColView, ncols int) bool {
+	switch n := e.(type) {
+	case expr.Const:
+		k := n.Val.Kind()
+		return k == sqlvalue.KindBool || k == sqlvalue.KindNull
+	case expr.Cmp:
+		return sideSafe(n.L, cols, ncols) && sideSafe(n.R, cols, ncols)
+	case expr.IsNull:
+		return isLeaf(n.E)
+	case expr.Like:
+		return isLeaf(n.E) && isLeaf(n.Pattern)
+	case expr.Not:
+		return predSafe(n.E, cols, ncols)
+	case expr.And:
+		for _, a := range n.Args {
+			if !predSafe(a, cols, ncols) {
+				return false
+			}
+		}
+		return true
+	case expr.Or:
+		for _, a := range n.Args {
+			if !predSafe(a, cols, ncols) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// colCmpConst matches a conjunct of shape col⊙const (or const⊙col, flipped)
+// over an in-range column.
+func colCmpConst(e expr.Expr, ncols int) (int, expr.CmpOp, sqlvalue.Value, bool) {
+	c, ok := e.(expr.Cmp)
+	if !ok {
+		return 0, 0, sqlvalue.Null, false
+	}
+	if col, ok := c.L.(expr.Column); ok && col.Ref.Tab == 0 && col.Ref.Col >= 0 && col.Ref.Col < ncols {
+		if cst, ok := c.R.(expr.Const); ok {
+			return col.Ref.Col, c.Op, cst.Val, true
+		}
+	}
+	if col, ok := c.R.(expr.Column); ok && col.Ref.Tab == 0 && col.Ref.Col >= 0 && col.Ref.Col < ncols {
+		if cst, ok := c.L.(expr.Const); ok {
+			return col.Ref.Col, c.Op.Flip(), cst.Val, true
+		}
+	}
+	return 0, 0, sqlvalue.Null, false
+}
+
+// conjunctConstraint extracts the interval set a single conjunct imposes on
+// one column: col⊙const directly, or an OR of col⊙const terms over the same
+// column (IN-list shape) as the union of their ranges. NE contributes
+// nothing (its complement is not an interval).
+func conjunctConstraint(e expr.Expr, ncols int) (int, ranges.IntervalSet, bool) {
+	if col, op, val, ok := colCmpConst(e, ncols); ok && op != expr.NE {
+		if r, applied := ranges.Universal().Apply(op, val); applied {
+			return col, ranges.NewIntervalSet(r), true
+		}
+		return 0, ranges.IntervalSet{}, false
+	}
+	or, ok := e.(expr.Or)
+	if !ok {
+		return 0, ranges.IntervalSet{}, false
+	}
+	colSeen := -1
+	set := ranges.NewIntervalSet()
+	for _, arg := range or.Args {
+		col, op, val, ok := colCmpConst(arg, ncols)
+		if !ok || op == expr.NE {
+			return 0, ranges.IntervalSet{}, false
+		}
+		if colSeen < 0 {
+			colSeen = col
+		} else if col != colSeen {
+			return 0, ranges.IntervalSet{}, false
+		}
+		r, applied := ranges.Universal().Apply(op, val)
+		if !applied {
+			return 0, ranges.IntervalSet{}, false
+		}
+		set = set.Add(r)
+	}
+	if colSeen < 0 {
+		return 0, ranges.IntervalSet{}, false
+	}
+	return colSeen, set, true
+}
+
+// zoneConstraints intersects the constraints all conjuncts impose, per
+// column, ordered by column for determinism.
+func zoneConstraints(parts []expr.Expr, ncols int) []zoneConstraint {
+	perCol := map[int]ranges.IntervalSet{}
+	var order []int
+	for _, part := range parts {
+		col, set, ok := conjunctConstraint(part, ncols)
+		if !ok {
+			continue
+		}
+		if prev, seen := perCol[col]; seen {
+			perCol[col] = prev.IntersectSet(set)
+		} else {
+			perCol[col] = set
+			order = append(order, col)
+		}
+	}
+	out := make([]zoneConstraint, 0, len(order))
+	for _, col := range order {
+		out = append(out, zoneConstraint{col: col, set: perCol[col]})
+	}
+	return out
+}

@@ -1,0 +1,255 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"matview/internal/catalog"
+	"matview/internal/expr"
+	"matview/internal/sqlvalue"
+	"matview/internal/storage"
+)
+
+// zoneDB builds a table spanning several blocks with a monotone key column
+// (so zone maps are maximally selective), a modular column (so zones overlap
+// everywhere and skipping never fires), and a nullable string column.
+func zoneDB(t *testing.T, n int) *storage.Database {
+	t.Helper()
+	c := catalog.New()
+	if err := c.Add(&catalog.Table{
+		Name: "events",
+		Columns: []catalog.Column{
+			{Name: "seq", Type: sqlvalue.KindInt, NotNull: true},
+			{Name: "bucket", Type: sqlvalue.KindInt, NotNull: true},
+			{Name: "tag", Type: sqlvalue.KindString},
+		},
+		PrimaryKey: []int{0},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewDatabase(c)
+	tags := []sqlvalue.Value{
+		sqlvalue.NewString("alpha"), sqlvalue.NewString("beta"), sqlvalue.Null,
+	}
+	for i := 0; i < n; i++ {
+		if err := db.Table("events").Insert(storage.Row{
+			sqlvalue.NewInt(int64(i)),
+			sqlvalue.NewInt(int64(i % 97)),
+			tags[i%len(tags)],
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// TestZoneSkipEquivalence: for predicates of every shape the zone-skip
+// compiler understands, a skipping engine, a non-skipping engine, and the
+// reference evaluator must produce byte-identical output — and for the
+// selective predicates the skipping engine must actually have skipped blocks.
+func TestZoneSkipEquivalence(t *testing.T) {
+	n := 5*storage.BlockRows + 123 // 6 blocks, last one ragged
+	db := zoneDB(t, n)
+	seq := expr.Col(0, 0)
+	bucket := expr.Col(0, 1)
+	tag := expr.Col(0, 2)
+
+	cases := []struct {
+		name      string
+		pred      expr.Expr
+		wantSkips bool
+	}{
+		{"lt-first-block", expr.NewCmp(expr.LT, seq, expr.CInt(10)), true},
+		{"gt-last-block", expr.NewCmp(expr.GT, seq, expr.CInt(int64(n-5))), true},
+		{"between", expr.And{Args: []expr.Expr{
+			expr.NewCmp(expr.GE, seq, expr.CInt(2048)),
+			expr.NewCmp(expr.LE, seq, expr.CInt(2100)),
+		}}, true},
+		{"eq-point", expr.NewCmp(expr.EQ, seq, expr.CInt(3000)), true},
+		{"or-points", expr.Or{Args: []expr.Expr{
+			expr.NewCmp(expr.EQ, seq, expr.CInt(5)),
+			expr.NewCmp(expr.EQ, seq, expr.CInt(int64(n-7))),
+		}}, true},
+		{"contradiction", expr.And{Args: []expr.Expr{
+			expr.NewCmp(expr.LT, seq, expr.CInt(100)),
+			expr.NewCmp(expr.GT, seq, expr.CInt(200)),
+		}}, true},
+		{"overlapping-zones", expr.NewCmp(expr.EQ, bucket, expr.CInt(42)), false},
+		{"incomparable-const", expr.NewCmp(expr.EQ, seq, expr.C(sqlvalue.NewString("x"))), true},
+		{"null-aware", expr.Not{E: expr.IsNull{E: tag}}, false},
+		{"mixed", expr.And{Args: []expr.Expr{
+			expr.NewCmp(expr.LT, seq, expr.CInt(int64(storage.BlockRows))),
+			expr.NewCmp(expr.NE, tag, expr.C(sqlvalue.NewString("beta"))),
+		}}, true},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plan := &TableScan{Table: "events", NCols: 3, Filter: tc.pred}
+			want, err := RunReference(db, plan)
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			for _, workers := range []int{1, 4} {
+				// Include batch sizes that do not divide BlockRows, so
+				// morsels straddle block boundaries.
+				for _, bs := range []int{100, 1500, 1024} {
+					skip := &Engine{Workers: workers, BatchSize: bs}
+					noskip := &Engine{Workers: workers, BatchSize: bs, DisableZoneSkip: true}
+
+					ResetScanStats()
+					got, err := skip.Run(db, plan)
+					if err != nil {
+						t.Fatalf("w=%d bs=%d: %v", workers, bs, err)
+					}
+					stats := ReadScanStats()
+					if !rowsExactlyEqual(got, want) {
+						t.Fatalf("w=%d bs=%d: skipping engine differs from reference", workers, bs)
+					}
+					gotNS, err := noskip.Run(db, plan)
+					if err != nil {
+						t.Fatalf("w=%d bs=%d noskip: %v", workers, bs, err)
+					}
+					if !rowsExactlyEqual(gotNS, want) {
+						t.Fatalf("w=%d bs=%d: non-skipping engine differs from reference", workers, bs)
+					}
+					if tc.wantSkips && stats.BlocksSkipped == 0 {
+						t.Fatalf("w=%d bs=%d: expected block skips, stats=%+v", workers, bs, stats)
+					}
+					if !tc.wantSkips && stats.BlocksSkipped != 0 {
+						t.Fatalf("w=%d bs=%d: unexpected block skips, stats=%+v", workers, bs, stats)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestZoneSkipStatsAccounting: an unfiltered scan never skips, and the
+// scanned+skipped totals for a selective scan cover every block exactly once
+// per morsel-segment pass.
+func TestZoneSkipStatsAccounting(t *testing.T) {
+	n := 4 * storage.BlockRows
+	db := zoneDB(t, n)
+	e := &Engine{Workers: 1, BatchSize: storage.BlockRows}
+
+	ResetScanStats()
+	if _, err := e.Run(db, &TableScan{Table: "events", NCols: 3}); err != nil {
+		t.Fatal(err)
+	}
+	st := ReadScanStats()
+	if st.BlocksSkipped != 0 || st.BlocksScanned != 4 {
+		t.Fatalf("unfiltered scan stats = %+v", st)
+	}
+	if st.SkipRate() != 0 {
+		t.Fatalf("skip rate = %v", st.SkipRate())
+	}
+
+	ResetScanStats()
+	plan := &TableScan{Table: "events", NCols: 3,
+		Filter: expr.NewCmp(expr.LT, expr.Col(0, 0), expr.CInt(10))}
+	if _, err := e.Run(db, plan); err != nil {
+		t.Fatal(err)
+	}
+	st = ReadScanStats()
+	if st.BlocksScanned != 1 || st.BlocksSkipped != 3 {
+		t.Fatalf("selective scan stats = %+v", st)
+	}
+	if r := st.SkipRate(); r != 0.75 {
+		t.Fatalf("skip rate = %v", r)
+	}
+}
+
+// TestViewSeekSnapshot is the regression test for the index-ordinal view-scan
+// path: rows returned through an EqCols seek must be materialized copies, not
+// aliases into the view's storage that later maintenance would overwrite.
+func TestViewSeekSnapshot(t *testing.T) {
+	db := smallDB(t)
+	v := db.PutView("mv_seek", 2, []storage.Row{
+		{sqlvalue.NewInt(1), sqlvalue.NewString("one")},
+		{sqlvalue.NewInt(2), sqlvalue.NewString("two")},
+		{sqlvalue.NewInt(2), sqlvalue.NewString("deux")},
+	})
+	if _, err := v.BuildIndex([]int{0}, false); err != nil {
+		t.Fatal(err)
+	}
+	plan := &ViewScan{View: "mv_seek", NCols: 2,
+		EqCols: []int{0}, EqVals: storage.Row{sqlvalue.NewInt(2)}}
+
+	for _, e := range []*Engine{
+		{Workers: 1, BatchSize: 1024},
+		{Workers: 4, BatchSize: 1},
+	} {
+		rows, err := e.Run(db, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 2 || rows[0][1].Str() != "two" || rows[1][1].Str() != "deux" {
+			t.Fatalf("seek returned %v", rows)
+		}
+		// Mutate the view in place the way incremental maintenance does.
+		v.SetRow(1, storage.Row{sqlvalue.NewInt(2), sqlvalue.NewString("CLOBBERED")})
+		if rows[0][1].Str() != "two" {
+			t.Fatal("seek result aliased view storage: mutation leaked into prior result")
+		}
+		// Restore for the next engine config.
+		v.SetRow(1, storage.Row{sqlvalue.NewInt(2), sqlvalue.NewString("two")})
+	}
+}
+
+// TestZoneSkipNeverHidesErrors: a conjunction whose first conjunct is
+// vectorized-false everywhere and whose second conjunct would error must not
+// error (ordered short-circuit), while the reverse order must error — and
+// both engines must agree with the reference in both orders.
+func TestZoneSkipNeverHidesErrors(t *testing.T) {
+	db := zoneDB(t, 2*storage.BlockRows)
+	alwaysFalse := expr.NewCmp(expr.LT, expr.Col(0, 0), expr.CInt(-1))
+	// LIKE over an integer column errors in this dialect.
+	bad := expr.Like{E: expr.Col(0, 0), Pattern: expr.C(sqlvalue.NewString("x%"))}
+
+	for name, pred := range map[string]expr.Expr{
+		"false-then-error": expr.And{Args: []expr.Expr{alwaysFalse, bad}},
+		"error-then-false": expr.And{Args: []expr.Expr{bad, alwaysFalse}},
+	} {
+		plan := &TableScan{Table: "events", NCols: 3, Filter: pred}
+		want, refErr := RunReference(db, plan)
+		for _, e := range []*Engine{
+			{Workers: 1, BatchSize: 1024},
+			{Workers: 4, BatchSize: 100},
+			{Workers: 1, BatchSize: 1024, DisableZoneSkip: true},
+		} {
+			got, err := e.Run(db, plan)
+			if (err == nil) != (refErr == nil) {
+				t.Fatalf("%s: engine err %v, reference err %v", name, err, refErr)
+			}
+			if err != nil {
+				if !strings.Contains(err.Error(), "LIKE") && err.Error() != refErr.Error() {
+					t.Fatalf("%s: error %q vs reference %q", name, err, refErr)
+				}
+				continue
+			}
+			if !rowsExactlyEqual(got, want) {
+				t.Fatalf("%s: rows differ", name)
+			}
+		}
+	}
+}
+
+// TestDisableZoneSkipFlag: with the flag set, no blocks are ever skipped even
+// under a maximally selective predicate.
+func TestDisableZoneSkipFlag(t *testing.T) {
+	db := zoneDB(t, 3*storage.BlockRows)
+	e := &Engine{Workers: 1, BatchSize: 1024, DisableZoneSkip: true}
+	ResetScanStats()
+	plan := &TableScan{Table: "events", NCols: 3,
+		Filter: expr.NewCmp(expr.EQ, expr.Col(0, 0), expr.CInt(1))}
+	if _, err := e.Run(db, plan); err != nil {
+		t.Fatal(err)
+	}
+	if st := ReadScanStats(); st.BlocksSkipped != 0 || st.BlocksScanned != 3 {
+		t.Fatalf("stats with skip disabled = %+v", st)
+	}
+}

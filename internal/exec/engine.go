@@ -17,14 +17,17 @@ import (
 //
 // A plan is decomposed into pipelines at its breakers (hash-join builds and
 // hash aggregation). Each pipeline streams fixed-size batches of rows from a
-// source slice through a chain of compiled operator stages — filter,
-// project, hash-join probe, nested-loop — into a sink. The source is split
-// into morsels (one batch each) claimed by workers off a shared atomic
-// counter; every worker owns a private stage chain (scratch batches, row
-// slabs, partial aggregation state), so the hot loop is synchronization-free.
-// Shared read-only state — compiled expressions, finished join build tables,
-// the inner relation of a nested-loop join — is built once and read by all
-// workers.
+// row source through a chain of compiled operator stages — filter, project,
+// hash-join probe, nested-loop — into a sink. Table and view scans are
+// columnar sources: they read typed column blocks directly, evaluate fused
+// filter conjuncts against column arrays, consult per-block zone maps to
+// skip blocks the predicate cannot match, and materialize only qualifying
+// rows (see colscan.go). The source range is split into morsels (one batch
+// each) claimed by workers off a shared atomic counter; every worker owns a
+// private stage chain (scratch batches, row slabs, partial aggregation
+// state), so the hot loop is synchronization-free. Shared read-only state —
+// compiled expressions, finished join build tables, the inner relation of a
+// nested-loop join — is built once and read by all workers.
 //
 // Output is deterministic and identical to RunReference for every plan:
 // collected rows are ordered by (morsel, position), hash-join match lists are
@@ -36,8 +39,12 @@ type Engine struct {
 	// one per morsel — and a single-worker pipeline runs inline without
 	// spawning goroutines, which keeps tiny maintainer delta queries cheap.
 	Workers int
-	// BatchSize is the number of rows per batch/morsel (default 1024).
+	// BatchSize is the number of rows per batch/morsel (default 1024,
+	// matching storage.BlockRows so morsels align with zone-map blocks).
 	BatchSize int
+	// DisableZoneSkip turns off zone-map block skipping (scans read every
+	// block). Used by tests to compare skipping against exhaustive scans.
+	DisableZoneSkip bool
 }
 
 // DefaultEngine is the engine behind Node.Run.
@@ -59,10 +66,9 @@ func (e *Engine) batchSize() int {
 	return defaultBatchSize
 }
 
-// Run executes the plan and returns its full output. The returned slice is
-// freshly allocated — never a storage-owned row slice — so results remain
-// valid after the database read lock is released (unlike the historical
-// RunReference behavior for unfiltered scans).
+// Run executes the plan and returns its full output. The returned rows are
+// freshly materialized — never aliases of storage-owned memory — so results
+// remain valid after the database read lock is released.
 func (e *Engine) Run(db *storage.Database, plan Node) ([]storage.Row, error) {
 	return e.materialize(db, plan)
 }
@@ -97,54 +103,56 @@ func (e *Engine) materialize(db *storage.Database, n Node) ([]storage.Row, error
 	return out, nil
 }
 
-// stream decomposes a subtree into the current pipeline: a source row slice
-// and the ordered stage specs to stream it through. Pipeline breakers below
-// n (join builds, aggregations, nested-loop inner sides) are fully executed
-// here, before the caller starts the pipeline.
-func (e *Engine) stream(db *storage.Database, n Node) ([]storage.Row, []stageSpec, error) {
+// stream decomposes a subtree into the current pipeline: a row source and
+// the ordered stage specs to stream it through. Pipeline breakers below n
+// (join builds, aggregations, nested-loop inner sides) are fully executed
+// here, before the caller starts the pipeline. Scan filters fuse into the
+// columnar source, and a Project of plain columns/constants over a bare scan
+// fuses into the scan's output emitters.
+func (e *Engine) stream(db *storage.Database, n Node) (rowSource, []stageSpec, error) {
 	switch t := n.(type) {
 	case *TableScan:
 		tb := db.Table(t.Table)
 		if tb == nil {
 			return nil, nil, fmt.Errorf("exec: unknown table %q", t.Table)
 		}
-		var specs []stageSpec
-		if t.Filter != nil {
-			specs = append(specs, &filterSpec{pred: expr.CompilePredicate(t.Filter)})
-		}
-		return tb.Rows, specs, nil
+		return newScanSource(tb.Store(), t.Filter, e), nil, nil
 	case *ViewScan:
 		v := db.View(t.View)
 		if v == nil {
 			return nil, nil, fmt.Errorf("exec: view %q not materialized", t.View)
 		}
-		rows := v.Rows
 		if len(t.EqCols) > 0 {
-			rows = seekView(v, t.EqCols, t.EqVals)
+			rows := seekView(v, t.EqCols, t.EqVals)
+			var specs []stageSpec
+			if t.Filter != nil {
+				specs = append(specs, &filterSpec{pred: expr.CompilePredicate(t.Filter)})
+			}
+			return sliceSource(rows), specs, nil
 		}
-		var specs []stageSpec
-		if t.Filter != nil {
-			specs = append(specs, &filterSpec{pred: expr.CompilePredicate(t.Filter)})
-		}
-		return rows, specs, nil
+		return newScanSource(v.Store(), t.Filter, e), nil, nil
 	case *Filter:
-		rows, specs, err := e.stream(db, t.In)
+		src, specs, err := e.stream(db, t.In)
 		if err != nil {
 			return nil, nil, err
 		}
-		return rows, append(specs, &filterSpec{pred: expr.CompilePredicate(t.Pred)}), nil
+		return src, append(specs, &filterSpec{pred: expr.CompilePredicate(t.Pred)}), nil
 	case *Project:
-		rows, specs, err := e.stream(db, t.In)
+		src, specs, err := e.stream(db, t.In)
 		if err != nil {
 			return nil, nil, err
 		}
-		return rows, append(specs, &projectSpec{exprs: compileAll(t.Exprs)}), nil
+		if ss, ok := src.(*scanSource); ok && len(specs) == 0 && !ss.projected && projectable(t.Exprs) {
+			ss.setProjection(t.Exprs)
+			return ss, nil, nil
+		}
+		return src, append(specs, &projectSpec{exprs: compileAll(t.Exprs)}), nil
 	case *HashJoin:
 		build, err := e.buildJoin(db, t)
 		if err != nil {
 			return nil, nil, err
 		}
-		rows, specs, err := e.stream(db, t.R)
+		src, specs, err := e.stream(db, t.R)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -152,7 +160,7 @@ func (e *Engine) stream(db *storage.Database, n Node) ([]storage.Row, []stageSpe
 		if t.Residual != nil {
 			spec.residual = expr.CompilePredicate(t.Residual)
 		}
-		return rows, append(specs, spec), nil
+		return src, append(specs, spec), nil
 	case *NestedLoopJoin:
 		// The inner (right) relation is materialized once, in order, and
 		// shared read-only by all workers streaming the outer side.
@@ -160,7 +168,7 @@ func (e *Engine) stream(db *storage.Database, n Node) ([]storage.Row, []stageSpe
 		if err != nil {
 			return nil, nil, err
 		}
-		rows, specs, err := e.stream(db, t.L)
+		src, specs, err := e.stream(db, t.L)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -168,13 +176,13 @@ func (e *Engine) stream(db *storage.Database, n Node) ([]storage.Row, []stageSpe
 		if t.Pred != nil {
 			spec.pred = expr.CompilePredicate(t.Pred)
 		}
-		return rows, append(specs, spec), nil
+		return src, append(specs, spec), nil
 	case *HashAgg:
 		rows, err := e.runAgg(db, t)
 		if err != nil {
 			return nil, nil, err
 		}
-		return rows, nil, nil
+		return sliceSource(rows), nil, nil
 	default:
 		return nil, nil, fmt.Errorf("exec: engine cannot execute %T", n)
 	}
@@ -189,26 +197,30 @@ func compileAll(es []expr.Expr) []expr.Compiled {
 }
 
 // seekView resolves a point lookup on a view: via a secondary index when one
-// exists, otherwise by scanning with key equality.
+// exists, otherwise by scanning with key equality. Matching rows are
+// materialized fresh from the column store — never aliases of view storage —
+// so results stay stable if the view is maintained after the lookup.
 func seekView(v *storage.MaterializedView, eqCols []int, eqVals []sqlvalue.Value) []storage.Row {
+	st := v.Store()
 	if idx := v.LookupIndex(eqCols); idx != nil {
 		var rows []storage.Row
 		for _, ord := range idx.Probe(eqVals) {
-			rows = append(rows, v.Rows[ord])
+			rows = append(rows, st.RowAt(ord))
 		}
 		return rows
 	}
 	var rows []storage.Row
-	for _, r := range v.Rows {
+	n := st.Len()
+	for i := 0; i < n; i++ {
 		match := true
-		for i, c := range eqCols {
-			if !sqlvalue.Identical(r[c], eqVals[i]) {
+		for k, c := range eqCols {
+			if !sqlvalue.Identical(st.Value(i, c), eqVals[k]) {
 				match = false
 				break
 			}
 		}
 		if match {
-			rows = append(rows, r)
+			rows = append(rows, st.RowAt(i))
 		}
 	}
 	return rows
@@ -239,44 +251,18 @@ type stageSpec interface {
 	make(next pusher) pusher
 }
 
-// runPipeline streams src through the stage specs: one sink and one stage
-// chain per worker, morsels claimed off a shared counter. mkSink is called
-// serially (before workers start), once per worker, with the morsel count.
-// Worker panics are re-raised on the calling goroutine.
-func (e *Engine) runPipeline(src []storage.Row, specs []stageSpec, mkSink func(numMorsels int) morselSink) ([]morselSink, error) {
-	bs := e.batchSize()
-	nm := (len(src) + bs - 1) / bs
-	w := e.workers()
-	if w > nm {
-		w = nm
-	}
-	if w < 1 {
-		w = 1
-	}
-	sinks := make([]morselSink, w)
-	chains := make([]pusher, w)
-	for i := range sinks {
-		sinks[i] = mkSink(nm)
-		var p pusher = sinks[i]
-		for s := len(specs) - 1; s >= 0; s-- {
-			p = specs[s].make(p)
-		}
-		chains[i] = p
-	}
-	morsel := func(wi, seq int) error {
-		lo := seq * bs
-		hi := min(lo+bs, len(src))
-		sinks[wi].begin(seq)
-		return chains[wi].push(src[lo:hi])
-	}
+// forEachMorsel distributes morsel sequence numbers [0, nm) across w
+// workers, calling body(worker, seq) once per morsel. A single worker runs
+// inline without goroutines. Worker panics are re-raised on the calling
+// goroutine; the first error aborts remaining morsels.
+func forEachMorsel(nm, w int, body func(wi, seq int) error) error {
 	if w == 1 {
-		// Inline serial path: no goroutines for small inputs or Workers=1.
 		for seq := 0; seq < nm; seq++ {
-			if err := morsel(0, seq); err != nil {
-				return nil, err
+			if err := body(0, seq); err != nil {
+				return err
 			}
 		}
-		return sinks, nil
+		return nil
 	}
 	var (
 		next  atomic.Int64
@@ -308,7 +294,7 @@ func (e *Engine) runPipeline(src []storage.Row, specs []stageSpec, mkSink func(n
 				if seq >= nm {
 					return
 				}
-				if err := morsel(wi, seq); err != nil {
+				if err := body(wi, seq); err != nil {
 					fail(err, nil)
 					return
 				}
@@ -319,8 +305,49 @@ func (e *Engine) runPipeline(src []storage.Row, specs []stageSpec, mkSink func(n
 	if pval != nil {
 		panic(pval)
 	}
-	if first != nil {
-		return nil, first
+	return first
+}
+
+// runPipeline streams src through the stage specs: one sink and one stage
+// chain per worker, morsels claimed off a shared counter. mkSink is called
+// serially (before workers start), once per worker, with the morsel count.
+func (e *Engine) runPipeline(src rowSource, specs []stageSpec, mkSink func(numMorsels int) morselSink) ([]morselSink, error) {
+	bs := e.batchSize()
+	n := src.numRows()
+	nm := (n + bs - 1) / bs
+	w := e.workers()
+	if w > nm {
+		w = nm
+	}
+	if w < 1 {
+		w = 1
+	}
+	sinks := make([]morselSink, w)
+	chains := make([]pusher, w)
+	scratch := make([]scanScratch, w)
+	for i := range sinks {
+		sinks[i] = mkSink(nm)
+		var p pusher = sinks[i]
+		for s := len(specs) - 1; s >= 0; s-- {
+			p = specs[s].make(p)
+		}
+		chains[i] = p
+	}
+	err := forEachMorsel(nm, w, func(wi, seq int) error {
+		lo := seq * bs
+		hi := min(lo+bs, n)
+		sinks[wi].begin(seq)
+		rows, err := src.morsel(lo, hi, &scratch[wi])
+		if err != nil {
+			return err
+		}
+		if len(rows) == 0 {
+			return nil
+		}
+		return chains[wi].push(rows)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return sinks, nil
 }
@@ -789,47 +816,41 @@ func (s *aggSink) push(in []storage.Row) error {
 	return nil
 }
 
-// runAgg executes a HashAgg: the input pipeline feeds per-worker partial
-// states, merged here in global first-seen order to match the reference
-// evaluator's output exactly.
-func (e *Engine) runAgg(db *storage.Database, a *HashAgg) ([]storage.Row, error) {
-	src, specs, err := e.stream(db, a.In)
-	if err != nil {
-		return nil, err
-	}
-	sh := newAggShared(a)
-	sinks, err := e.runPipeline(src, specs, func(int) morselSink { return newAggSink(sh) })
-	if err != nil {
-		return nil, err
-	}
-	var (
-		idx    = make(map[string]int32)
-		merged []*aggPartial
-	)
-	if len(sinks) == 1 {
-		merged = sinks[0].(*aggSink).groups
-		sinks = nil
-	}
-	for _, s := range sinks {
-		as := s.(*aggSink)
-		for k, li := range as.idx {
-			g := as.groups[li]
-			if gi, ok := idx[k]; ok {
-				t := merged[gi]
-				if g.ord < t.ord {
-					t.ord = g.ord
-				}
-				for i := range t.num {
-					if err := t.num[i].merge(&g.num[i]); err != nil {
-						return nil, err
+// aggShard is one worker's finished partial aggregation: groups in
+// first-seen order plus the key index used to merge shards.
+type aggShard struct {
+	idx    map[string]int32
+	groups []*aggPartial
+}
+
+// finishAgg merges per-worker shards in global first-seen order and renders
+// the final rows, matching the reference evaluator's output exactly.
+func finishAgg(shards []aggShard, a *HashAgg) ([]storage.Row, error) {
+	var merged []*aggPartial
+	if len(shards) == 1 {
+		merged = shards[0].groups
+	} else {
+		idx := make(map[string]int32)
+		for _, sh := range shards {
+			for k, li := range sh.idx {
+				g := sh.groups[li]
+				if gi, ok := idx[k]; ok {
+					t := merged[gi]
+					if g.ord < t.ord {
+						t.ord = g.ord
 					}
-					if err := t.den[i].merge(&g.den[i]); err != nil {
-						return nil, err
+					for i := range t.num {
+						if err := t.num[i].merge(&g.num[i]); err != nil {
+							return nil, err
+						}
+						if err := t.den[i].merge(&g.den[i]); err != nil {
+							return nil, err
+						}
 					}
+				} else {
+					idx[k] = int32(len(merged))
+					merged = append(merged, g)
 				}
-			} else {
-				idx[k] = int32(len(merged))
-				merged = append(merged, g)
 			}
 		}
 	}
@@ -846,4 +867,33 @@ func (e *Engine) runAgg(db *storage.Database, a *HashAgg) ([]storage.Row, error)
 		out = append(out, row)
 	}
 	return out, nil
+}
+
+// runAgg executes a HashAgg: the input pipeline feeds per-worker partial
+// states, merged in global first-seen order to match the reference
+// evaluator's output exactly. Aggregations directly over a columnar scan
+// with column/constant keys and arguments run fused (colagg.go): group keys
+// and aggregate inputs are read straight out of column blocks with no
+// intermediate row materialization.
+func (e *Engine) runAgg(db *storage.Database, a *HashAgg) ([]storage.Row, error) {
+	src, specs, err := e.stream(db, a.In)
+	if err != nil {
+		return nil, err
+	}
+	if ss, ok := src.(*scanSource); ok && len(specs) == 0 {
+		if fa := newFusedAgg(ss, a); fa != nil {
+			return e.runFusedAgg(fa, a)
+		}
+	}
+	sh := newAggShared(a)
+	sinks, err := e.runPipeline(src, specs, func(int) morselSink { return newAggSink(sh) })
+	if err != nil {
+		return nil, err
+	}
+	shards := make([]aggShard, len(sinks))
+	for i, s := range sinks {
+		as := s.(*aggSink)
+		shards[i] = aggShard{idx: as.idx, groups: as.groups}
+	}
+	return finishAgg(shards, a)
 }

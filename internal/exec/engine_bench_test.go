@@ -121,8 +121,11 @@ func groupAggJoinPlan(db *storage.Database) exec.Node {
 func benchPlan(b *testing.B, build func(*storage.Database) exec.Node) {
 	db := execBenchDB(b)
 	plan := build(db)
-	run := func(b *testing.B, exe func() ([]storage.Row, error)) {
+	run := func(b *testing.B, exe func() ([]storage.Row, error), scanStats bool) {
 		b.ReportAllocs()
+		if scanStats {
+			exec.ResetScanStats()
+		}
 		b.ResetTimer()
 		var rows []storage.Row
 		for i := 0; i < b.N; i++ {
@@ -135,15 +138,22 @@ func benchPlan(b *testing.B, build func(*storage.Database) exec.Node) {
 		b.StopTimer()
 		if b.N > 0 {
 			b.ReportMetric(float64(len(rows)), "rows")
+			if scanStats {
+				// Per-op block counters: how many 1024-row blocks one run
+				// scanned versus pruned via zone maps.
+				st := exec.ReadScanStats()
+				b.ReportMetric(float64(st.BlocksScanned)/float64(b.N), "blk-scanned/op")
+				b.ReportMetric(float64(st.BlocksSkipped)/float64(b.N), "blk-skipped/op")
+			}
 		}
 	}
 	b.Run("seed", func(b *testing.B) {
-		run(b, func() ([]storage.Row, error) { return exec.RunReference(db, plan) })
+		run(b, func() ([]storage.Row, error) { return exec.RunReference(db, plan) }, false)
 	})
 	for _, w := range []int{1, 4} {
 		b.Run(fmt.Sprintf("engine-w%d", w), func(b *testing.B) {
 			eng := &exec.Engine{Workers: w}
-			run(b, func() ([]storage.Row, error) { return eng.Run(db, plan) })
+			run(b, func() ([]storage.Row, error) { return eng.Run(db, plan) }, true)
 		})
 	}
 }

@@ -370,8 +370,8 @@ func TestMaterializeAndViewScan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if mv.RowCount != 4 {
-		t.Fatalf("materialized %d rows, want 4", mv.RowCount)
+	if mv.RowCount() != 4 {
+		t.Fatalf("materialized %d rows, want 4", mv.RowCount())
 	}
 	scan := &ViewScan{View: "highpaid", NCols: 2,
 		Filter: expr.NewCmp(expr.GE, expr.Col(0, 1), expr.CInt(400))}

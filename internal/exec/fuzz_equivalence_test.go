@@ -65,8 +65,13 @@ func TestRandomWorkloadEquivalence(t *testing.T) {
 	// Workers > 1 with a tiny batch size forces many morsels even on the
 	// small fuzz tables, so parallel merge paths genuinely execute.
 	engine := &exec.Engine{Workers: 4, BatchSize: 16}
+	// noskip is the same engine with zone-map block skipping turned off: any
+	// disagreement between the two legs means a zone map pruned a block that
+	// held a qualifying row.
+	noskip := &exec.Engine{Workers: 4, BatchSize: 16, DisableZoneSkip: true}
 	// bothEngines runs one plan through the reference interpreter and the
-	// batched engine and requires bag-equal output.
+	// batched engine (with and without zone skipping) and requires bag-equal
+	// output from all three.
 	bothEngines := func(plan exec.Node, what string) []storage.Row {
 		ref, err := exec.RunReference(db, plan)
 		if err != nil {
@@ -79,6 +84,14 @@ func TestRandomWorkloadEquivalence(t *testing.T) {
 		if !exec.SameRows(ref, eng) {
 			t.Fatalf("%s: engines disagree (%d vs %d rows)\nplan:\n%s",
 				what, len(ref), len(eng), exec.Explain(plan))
+		}
+		ns, err := noskip.Run(db, plan)
+		if err != nil {
+			t.Fatalf("%s: engine(noskip): %v", what, err)
+		}
+		if !exec.SameRows(ref, ns) {
+			t.Fatalf("%s: zone skipping changed results (%d vs %d rows)\nplan:\n%s",
+				what, len(ref), len(ns), exec.Explain(plan))
 		}
 		return ref
 	}

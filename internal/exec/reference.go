@@ -12,13 +12,11 @@ import (
 // RunReference executes a plan with the original row-at-a-time evaluator:
 // every operator fully materializes its output, expressions are interpreted
 // through a per-row Binding closure, and execution is single-threaded. It is
-// kept verbatim as the semantic baseline the batched engine is checked
-// against (equivalence and fuzz suites run every plan through both) and as
-// the "before" side of the BenchmarkExec* comparisons.
-//
-// Unlike Engine.Run, an unfiltered scan returns the storage-owned row slice
-// itself — the historical aliasing behavior. Callers that outlive the
-// database read lock must use Node.Run, which snapshots.
+// kept as the semantic baseline the batched engine is checked against
+// (equivalence and fuzz suites run every plan through both) and as the
+// "before" side of the BenchmarkExec* comparisons. Scans materialize rows
+// out of the column store via Rows()/RowAt(), paying the row-at-a-time
+// boxing cost the columnar engine avoids.
 func RunReference(db *storage.Database, n Node) ([]storage.Row, error) {
 	switch t := n.(type) {
 	case *TableScan:
@@ -56,10 +54,10 @@ func refTableScan(db *storage.Database, s *TableScan) ([]storage.Row, error) {
 		return nil, fmt.Errorf("exec: unknown table %q", s.Table)
 	}
 	if s.Filter == nil {
-		return t.Rows, nil
+		return t.Rows(), nil
 	}
 	var out []storage.Row
-	for _, r := range t.Rows {
+	for _, r := range t.Rows() {
 		ok, err := expr.EvalPredicate(s.Filter, bindRow(r))
 		if err != nil {
 			return nil, err
@@ -93,18 +91,19 @@ func refViewScan(db *storage.Database, s *ViewScan) ([]storage.Row, error) {
 		return out, nil
 	}
 	if len(s.EqCols) == 0 {
-		return emit(v.Rows)
+		return emit(v.Rows())
 	}
+	st := v.Store()
 	if idx := v.LookupIndex(s.EqCols); idx != nil {
 		var rows []storage.Row
 		for _, ord := range idx.Probe(s.EqVals) {
-			rows = append(rows, v.Rows[ord])
+			rows = append(rows, st.RowAt(ord))
 		}
 		return emit(rows)
 	}
 	// No index built: evaluate the equalities as a scan predicate.
 	var rows []storage.Row
-	for _, r := range v.Rows {
+	for _, r := range v.Rows() {
 		match := true
 		for i, c := range s.EqCols {
 			if !sqlvalue.Identical(r[c], s.EqVals[i]) {

@@ -341,7 +341,7 @@ func TestDeleteToZeroRemovesGroups(t *testing.T) {
 	}
 	mv := db.View("lc_agg")
 	var foundC bool
-	for _, r := range mv.Rows {
+	for _, r := range mv.Rows() {
 		switch r[0].Int() {
 		case custA, custB:
 			t.Fatalf("group %d survived delete-to-zero", r[0].Int())

@@ -301,8 +301,7 @@ func (m *Maintainer) apply(v *View, delta []storage.Row, sign int64) error {
 	}
 	if !v.isAgg {
 		if sign > 0 {
-			mv.Rows = append(mv.Rows, delta...)
-			mv.RowCount = int64(len(mv.Rows))
+			mv.Append(delta)
 			return mv.RebuildIndexes()
 		}
 		if err := bagSubtract(mv, delta, v.Name); err != nil {
@@ -341,22 +340,22 @@ func bagSubtract(mv *storage.MaterializedView, delta []storage.Row, name string)
 		buf = appendRowKey(buf[:0], d, cols)
 		toRemove[string(buf)]++
 	}
-	kept := mv.Rows[:0:0]
-	for _, r := range mv.Rows {
-		buf = appendRowKey(buf[:0], r, cols)
-		if n, ok := toRemove[string(buf)]; ok && n > 0 {
-			toRemove[string(buf)] = n - 1
-			continue
-		}
-		kept = append(kept, r)
-	}
-	for k, n := range toRemove {
-		if n > 0 {
-			return fmt.Errorf("maintain: view %s: delta removed %d unmatched row(s) (key %q)", name, n, k)
+	st := mv.Store()
+	n := st.Len()
+	drop := make([]bool, n)
+	for i := 0; i < n; i++ {
+		buf = st.AppendRowKey(buf[:0], i, cols)
+		if c, ok := toRemove[string(buf)]; ok && c > 0 {
+			toRemove[string(buf)] = c - 1
+			drop[i] = true
 		}
 	}
-	mv.Rows = kept
-	mv.RowCount = int64(len(kept))
+	for k, c := range toRemove {
+		if c > 0 {
+			return fmt.Errorf("maintain: view %s: delta removed %d unmatched row(s) (key %q)", name, c, k)
+		}
+	}
+	mv.Compact(func(i int) bool { return !drop[i] })
 	return nil
 }
 
@@ -367,10 +366,12 @@ func (m *Maintainer) mergeAgg(v *View, mv *storage.MaterializedView, delta []sto
 	if err := m.faults.Maybe(faults.SiteMaintainMergeAgg); err != nil {
 		return fmt.Errorf("maintain: merge into %s: %w", v.Name, err)
 	}
-	index := make(map[string]int, len(mv.Rows))
+	st := mv.Store()
+	n := st.Len()
+	index := make(map[string]int, n)
 	var buf []byte
-	for i, r := range mv.Rows {
-		buf = appendRowKey(buf[:0], r, v.keyPos)
+	for i := 0; i < n; i++ {
+		buf = st.AppendRowKey(buf[:0], i, v.keyPos)
 		index[string(buf)] = i
 	}
 	removed := map[int]bool{}
@@ -382,11 +383,13 @@ func (m *Maintainer) mergeAgg(v *View, mv *storage.MaterializedView, delta []sto
 			if sign < 0 {
 				return fmt.Errorf("maintain: view %s: delete delta for unknown group", v.Name)
 			}
-			mv.Rows = append(mv.Rows, d.Clone())
-			index[k] = len(mv.Rows) - 1
+			mv.Append([]storage.Row{d})
+			index[k] = mv.NumRows() - 1
 			continue
 		}
-		row := mv.Rows[i]
+		// RowAt materializes a fresh row, so mutating it before SetRow never
+		// aliases stored data.
+		row := st.RowAt(i)
 		newCnt := row[v.cntPos].Int() + sign*d[v.cntPos].Int()
 		if newCnt < 0 {
 			return fmt.Errorf("maintain: view %s: group count went negative", v.Name)
@@ -396,27 +399,19 @@ func (m *Maintainer) mergeAgg(v *View, mv *storage.MaterializedView, delta []sto
 			delete(index, k)
 			continue
 		}
-		nr := row.Clone()
-		nr[v.cntPos] = sqlvalue.NewInt(newCnt)
+		row[v.cntPos] = sqlvalue.NewInt(newCnt)
 		for _, sp := range v.sumPos {
 			merged, err := mergeSum(row[sp], d[sp], sign)
 			if err != nil {
 				return fmt.Errorf("maintain: view %s: %w", v.Name, err)
 			}
-			nr[sp] = merged
+			row[sp] = merged
 		}
-		mv.Rows[i] = nr
+		mv.SetRow(i, row)
 	}
 	if len(removed) > 0 {
-		kept := mv.Rows[:0:0]
-		for i, r := range mv.Rows {
-			if !removed[i] {
-				kept = append(kept, r)
-			}
-		}
-		mv.Rows = kept
+		mv.Compact(func(i int) bool { return !removed[i] })
 	}
-	mv.RowCount = int64(len(mv.Rows))
 	return nil
 }
 

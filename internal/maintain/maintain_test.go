@@ -26,9 +26,9 @@ func checkAgainstRecompute(t *testing.T, db *storage.Database, v *maintain.View)
 	if stored == nil {
 		t.Fatalf("view %s missing", v.Name)
 	}
-	if !exec.SameRows(stored.Rows, fresh) {
+	if !exec.SameRows(stored.Rows(), fresh) {
 		t.Fatalf("view %s diverged: stored %d rows, recompute %d rows",
-			v.Name, len(stored.Rows), len(fresh))
+			v.Name, stored.NumRows(), len(fresh))
 	}
 }
 
@@ -66,7 +66,7 @@ func TestSPJViewMaintenance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	before := db.View("big_orders").RowCount
+	before := db.View("big_orders").RowCount()
 
 	// Insert: one row above the threshold, one below.
 	err = m.Insert("orders", []storage.Row{
@@ -76,7 +76,7 @@ func TestSPJViewMaintenance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := db.View("big_orders").RowCount; got != before+1 {
+	if got := db.View("big_orders").RowCount(); got != before+1 {
 		t.Fatalf("after insert: %d rows, want %d", got, before+1)
 	}
 	checkAgainstRecompute(t, db, v)
@@ -88,7 +88,7 @@ func TestSPJViewMaintenance(t *testing.T) {
 	if err != nil || n != 2 {
 		t.Fatalf("deleted %d (%v), want 2", n, err)
 	}
-	if got := db.View("big_orders").RowCount; got != before {
+	if got := db.View("big_orders").RowCount(); got != before {
 		t.Fatalf("after delete: %d rows, want %d", got, before)
 	}
 	checkAgainstRecompute(t, db, v)
@@ -114,7 +114,7 @@ func TestAggViewMaintenanceCountBig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	groupsBefore := db.View("cust_totals").RowCount
+	groupsBefore := db.View("cust_totals").RowCount()
 
 	// Insert three orders for a brand-new customer key (group birth) and two
 	// for an existing one (group update).
@@ -129,13 +129,13 @@ func TestAggViewMaintenanceCountBig(t *testing.T) {
 	if err := m.Insert("orders", rows); err != nil {
 		t.Fatal(err)
 	}
-	if got := db.View("cust_totals").RowCount; got != groupsBefore+1 {
+	if got := db.View("cust_totals").RowCount(); got != groupsBefore+1 {
 		t.Fatalf("groups after insert = %d, want %d", got, groupsBefore+1)
 	}
 	checkAgainstRecompute(t, db, v)
 	// The new group's count and sum are exact.
 	var fresh storage.Row
-	for _, r := range db.View("cust_totals").Rows {
+	for _, r := range db.View("cust_totals").Rows() {
 		if r[0].Int() == freshCust {
 			fresh = r
 			break
@@ -161,12 +161,12 @@ func TestAggViewMaintenanceCountBig(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	for _, r := range db.View("cust_totals").Rows {
+	for _, r := range db.View("cust_totals").Rows() {
 		if r[0].Int() == freshCust {
 			t.Fatal("empty group not removed when count reached zero")
 		}
 	}
-	if got := db.View("cust_totals").RowCount; got != groupsBefore {
+	if got := db.View("cust_totals").RowCount(); got != groupsBefore {
 		t.Fatalf("groups after full delete = %d, want %d", got, groupsBefore)
 	}
 	checkAgainstRecompute(t, db, v)
@@ -207,8 +207,8 @@ func TestJoinViewMaintenance(t *testing.T) {
 	checkAgainstRecompute(t, db, v)
 
 	// Insert lineitems for an existing order.
-	okey := db.Table("orders").Rows[0][tpch.OOrderkey]
-	li := db.Table("lineitem").Rows[0].Clone()
+	okey := db.Table("orders").RowAt(0)[tpch.OOrderkey]
+	li := db.Table("lineitem").RowAt(0).Clone()
 	li[tpch.LOrderkey] = okey
 	li[tpch.LLinenumber] = sqlvalue.NewInt(7)
 	if err := m.Insert("lineitem", []storage.Row{li}); err != nil {

@@ -42,7 +42,7 @@ func TestOptimizerRandomWorkload(t *testing.T) {
 		if err != nil {
 			t.Fatalf("materialize view %d: %v", i, err)
 		}
-		o.SetViewRowCount(name, mv.RowCount)
+		o.SetViewRowCount(name, mv.RowCount())
 		registered++
 	}
 

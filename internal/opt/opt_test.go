@@ -99,7 +99,7 @@ func TestOptimizeUsesMatchingView(t *testing.T) {
 	if _, err := exec.Materialize(db(t), "li_orders", vdef); err != nil {
 		t.Fatal(err)
 	}
-	o.SetViewRowCount("li_orders", db(t).View("li_orders").RowCount)
+	o.SetViewRowCount("li_orders", db(t).View("li_orders").RowCount())
 
 	res := runAndCompare(t, o, joinQuery(t))
 	if !res.UsesView {
@@ -257,7 +257,7 @@ func TestSubexpressionViewUse(t *testing.T) {
 	if _, err := exec.Materialize(db(t), "lo", vdef); err != nil {
 		t.Fatal(err)
 	}
-	o.SetViewRowCount("lo", db(t).View("lo").RowCount)
+	o.SetViewRowCount("lo", db(t).View("lo").RowCount())
 
 	q := &spjg.Query{
 		Tables: []spjg.TableRef{tr(t, "lineitem"), tr(t, "orders"), tr(t, "part")},
@@ -297,7 +297,7 @@ func TestAggregationQueryOptimization(t *testing.T) {
 	if _, err := exec.Materialize(db(t), "psq", vdef); err != nil {
 		t.Fatal(err)
 	}
-	o.SetViewRowCount("psq", db(t).View("psq").RowCount)
+	o.SetViewRowCount("psq", db(t).View("psq").RowCount())
 
 	q := &spjg.Query{
 		Tables:  []spjg.TableRef{tr(t, "lineitem")},
@@ -353,7 +353,7 @@ func TestExample4EndToEnd(t *testing.T) {
 		if _, err := exec.Materialize(db(t), "v4", v4def); err != nil {
 			t.Fatal(err)
 		}
-		o.SetViewRowCount("v4", db(t).View("v4").RowCount)
+		o.SetViewRowCount("v4", db(t).View("v4").RowCount())
 		return runAndCompare(t, o, query)
 	}
 

@@ -31,7 +31,7 @@ func indexedViewSetup(t *testing.T) *Optimizer {
 	if err != nil {
 		t.Fatal(err)
 	}
-	o.SetViewRowCount("part_qty", mv.RowCount)
+	o.SetViewRowCount("part_qty", mv.RowCount())
 	if err := o.RegisterViewIndex("part_qty", []int{0}); err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestViewSeekCheaperThanScan(t *testing.T) {
 	if _, err := noIdx.RegisterView("part_qty", vdef); err != nil {
 		t.Fatal(err)
 	}
-	noIdx.SetViewRowCount("part_qty", db(t).View("part_qty").RowCount)
+	noIdx.SetViewRowCount("part_qty", db(t).View("part_qty").RowCount())
 	plain, err := noIdx.Optimize(q)
 	if err != nil {
 		t.Fatal(err)
@@ -130,7 +130,7 @@ func TestViewSeekWithoutStorageIndexStillCorrect(t *testing.T) {
 	if _, err := exec.Materialize(db(t), "ordv", vdef); err != nil {
 		t.Fatal(err)
 	}
-	o.SetViewRowCount("ordv", db(t).View("ordv").RowCount)
+	o.SetViewRowCount("ordv", db(t).View("ordv").RowCount())
 	if err := o.RegisterViewIndex("ordv", []int{1}); err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +179,7 @@ func TestSeekAccessCompositeIndex(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	o.SetViewRowCount("psv", mv.RowCount)
+	o.SetViewRowCount("psv", mv.RowCount())
 	if err := o.RegisterViewIndex("psv", []int{0, 1}); err != nil {
 		t.Fatal(err)
 	}

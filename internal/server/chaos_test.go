@@ -37,7 +37,7 @@ func TestServerDegradedLifecycle(t *testing.T) {
 	inj.Add(faults.Rule{Site: faults.SiteMaintainMergeAgg, Rate: 1, Limit: 1})
 	srv.SetFaultInjector(inj)
 
-	okey := srv.db.Table("orders").Rows[0][tpch.OOrderkey].Int()
+	okey := srv.db.Table("orders").RowAt(0)[tpch.OOrderkey].Int()
 	ins := fmt.Sprintf(`insert into lineitem values
 		(%d, 5, 1, 7, 5.0, 100.0, 0.0, 0.0, 'N', 'O',
 		 DATE '1995-05-05', DATE '1995-05-15', DATE '1995-05-25',
@@ -108,7 +108,7 @@ func TestStoragePanicIsContained(t *testing.T) {
 	inj.Add(faults.Rule{Site: faults.SiteStorageInsert, Rate: 1, Limit: 1, Panic: true})
 	srv.SetFaultInjector(inj)
 
-	okey := srv.db.Table("orders").Rows[0][tpch.OOrderkey].Int()
+	okey := srv.db.Table("orders").RowAt(0)[tpch.OOrderkey].Int()
 	ins := fmt.Sprintf(`insert into lineitem values
 		(%d, 6, 1, 7, 5.0, 100.0, 0.0, 0.0, 'N', 'O',
 		 DATE '1995-05-05', DATE '1995-05-15', DATE '1995-05-25',
@@ -253,7 +253,7 @@ func TestChaosQueriesStayCorrect(t *testing.T) {
 		"select o_custkey, sum(o_totalprice) as total from orders where o_custkey = 1 group by o_custkey",
 		"select l_orderkey, l_quantity from lineitem where l_partkey = 951",
 	}
-	okey := db.Table("orders").Rows[0][tpch.OOrderkey].Int()
+	okey := db.Table("orders").RowAt(0)[tpch.OOrderkey].Int()
 
 	iters := 60
 	if testing.Short() {

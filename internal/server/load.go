@@ -68,6 +68,13 @@ type LoadResult struct {
 	// one non-Fresh view.
 	Repairs      int64
 	DegradedTime time.Duration
+
+	// BlocksScanned / BlocksSkipped are server-side deltas of the columnar
+	// scan counters over the run; SkipRate is skipped / (scanned+skipped),
+	// the fraction of storage blocks zone maps pruned without reading.
+	BlocksScanned int64
+	BlocksSkipped int64
+	SkipRate      float64
 }
 
 // RunLoad drives the server with concurrent /query traffic and reports
@@ -172,6 +179,11 @@ func RunLoad(opts LoadOptions) (*LoadResult, error) {
 	}
 	if total := res.CacheHits + res.CacheMisses; total > 0 {
 		res.CacheHitRate = float64(res.CacheHits) / float64(total)
+	}
+	res.BlocksScanned = after.Exec.BlocksScanned - before.Exec.BlocksScanned
+	res.BlocksSkipped = after.Exec.BlocksSkipped - before.Exec.BlocksSkipped
+	if total := res.BlocksScanned + res.BlocksSkipped; total > 0 {
+		res.SkipRate = float64(res.BlocksSkipped) / float64(total)
 	}
 	if res.Requests > 0 {
 		res.ErrorRate = float64(res.Errors) / float64(res.Requests)

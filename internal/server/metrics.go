@@ -98,6 +98,15 @@ type MaintenanceMetrics struct {
 	DegradedSeconds     float64 `json:"degraded_seconds"`
 }
 
+// ExecMetrics reports zone-map effectiveness for the columnar scan path:
+// how many storage blocks predicates allowed the engine to skip outright
+// versus how many it had to scan. Counters are process-wide and cumulative.
+type ExecMetrics struct {
+	BlocksScanned int64   `json:"blocks_scanned"`
+	BlocksSkipped int64   `json:"blocks_skipped"`
+	SkipRate      float64 `json:"skip_rate"`
+}
+
 // Metrics is the /metrics response.
 type Metrics struct {
 	UptimeSeconds float64            `json:"uptime_seconds"`
@@ -110,6 +119,7 @@ type Metrics struct {
 	Views         int                `json:"views"`
 	CatalogEpoch  uint64             `json:"catalog_epoch"`
 	PlanCache     CacheStats         `json:"plan_cache"`
+	Exec          ExecMetrics        `json:"exec"`
 	Maintenance   MaintenanceMetrics `json:"maintenance"`
 	Latency       LatencyMetrics     `json:"latency"`
 	Optimizer     OptimizerMetrics   `json:"optimizer"`

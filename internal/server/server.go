@@ -483,6 +483,7 @@ func (s *Server) Metrics() Metrics {
 	os := s.optStats
 	s.optStatsMu.Unlock()
 	ms := s.sess.Maint.Stats()
+	ss := exec.ReadScanStats()
 	return Metrics{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Queries:       s.queries.Load(),
@@ -494,6 +495,11 @@ func (s *Server) Metrics() Metrics {
 		Views:         s.opt.NumViews(),
 		CatalogEpoch:  s.opt.CatalogEpoch(),
 		PlanCache:     s.cache.Stats(),
+		Exec: ExecMetrics{
+			BlocksScanned: ss.BlocksScanned,
+			BlocksSkipped: ss.BlocksSkipped,
+			SkipRate:      ss.SkipRate(),
+		},
 		Maintenance: MaintenanceMetrics{
 			FreshViews:          ms.Fresh,
 			StaleViews:          ms.Stale,

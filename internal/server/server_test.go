@@ -256,7 +256,7 @@ func TestDMLKeepsCachedPlansCorrect(t *testing.T) {
 	// DML does not bump the epoch — the plan stays cached — but incremental
 	// maintenance keeps the view's contents current, so the cached plan
 	// returns the new row.
-	okey := srv.db.Table("orders").Rows[0][tpch.OOrderkey].Int()
+	okey := srv.db.Table("orders").RowAt(0)[tpch.OOrderkey].Int()
 	execStmt(t, ts, fmt.Sprintf(`insert into lineitem values
 		(%d, 777, 1, 7, 5.0, 100.0, 0.0, 0.0, 'N', 'O',
 		 DATE '1995-05-05', DATE '1995-05-15', DATE '1995-05-25',
@@ -437,7 +437,7 @@ func TestConcurrentTraffic(t *testing.T) {
 		"select l_partkey, sum(l_quantity) as qty from lineitem where l_partkey = %d group by l_partkey",
 		"select o_custkey, sum(o_totalprice) as total from orders where o_custkey = %d group by o_custkey",
 	}
-	okey := srv.db.Table("orders").Rows[0][tpch.OOrderkey].Int()
+	okey := srv.db.Table("orders").RowAt(0)[tpch.OOrderkey].Int()
 
 	var wg sync.WaitGroup
 	errs := make(chan error, 64)

@@ -102,8 +102,8 @@ func (s *Session) execCreateView(st *sqlparser.Statement, w io.Writer) error {
 		return err
 	}
 	mv := s.DB.View(st.ViewName)
-	s.Opt.SetViewRowCount(st.ViewName, mv.RowCount)
-	fmt.Fprintf(w, "materialized view %s: %d rows\n", st.ViewName, mv.RowCount)
+	s.Opt.SetViewRowCount(st.ViewName, mv.RowCount())
+	fmt.Fprintf(w, "materialized view %s: %d rows\n", st.ViewName, mv.RowCount())
 	return nil
 }
 
@@ -260,7 +260,7 @@ func (s *Session) Meta(cmd string, w io.Writer) bool {
 		for _, v := range s.Opt.Views() {
 			rows := int64(-1)
 			if mv := s.DB.View(v.Name); mv != nil {
-				rows = mv.RowCount
+				rows = mv.RowCount()
 			}
 			state := maintain.Fresh
 			if st, ok := s.Maint.ViewState(v.Name); ok {

@@ -71,8 +71,8 @@ func TestSessionEndToEnd(t *testing.T) {
 
 	// DML with maintenance: insert lineitems for an existing order; the view
 	// must absorb them.
-	before := s.DB.View("pq").RowCount
-	okey := s.DB.Table("orders").Rows[0][tpch.OOrderkey].Int()
+	before := s.DB.View("pq").RowCount()
+	okey := s.DB.Table("orders").RowAt(0)[tpch.OOrderkey].Int()
 	out = run(t, s, sprintf(`insert into lineitem values
 		(%d, 777, 1, 7, 5.0, 100.0, 0.0, 0.0, 'N', 'O',
 		 DATE '1995-05-05', DATE '1995-05-15', DATE '1995-05-25',

@@ -1,0 +1,612 @@
+// Column-major storage. A ColumnStore holds one typed array per column —
+// int64 for BIGINT/DATE/BOOLEAN payloads, float64 for DOUBLE, Go strings for
+// VARCHAR — plus a null bitmap, instead of a heap of materialized Row slices.
+// Rows are organized into fixed-size blocks of BlockRows rows (aligned with
+// the execution engine's batch size); every block carries a per-column
+// min/max zone map maintained eagerly at mutation time, which lets scans
+// prove "no row in this block can satisfy the predicate" and skip the block
+// without touching its values.
+//
+// Columns adapt to the data: a column's physical kind is fixed by the first
+// non-NULL value stored in it. If a later value arrives with a different
+// kind, the column degrades to a boxed []sqlvalue.Value representation
+// (generic), which keeps correctness for schema-less view outputs at the
+// cost of the typed fast paths; its zone maps become untracked. Deleting
+// rows compacts the store, which re-types columns whose surviving values are
+// homogeneous again.
+package storage
+
+import (
+	"matview/internal/sqlvalue"
+)
+
+// BlockRows is the number of rows per storage block. It matches the
+// engine's default batch size so a default morsel covers exactly one block.
+const BlockRows = 1024
+
+// Zone is the per-block, per-column statistics record. Min and Max bound the
+// non-NULL values in the block (meaningful only when HasNonNull). Tracked is
+// false when the block's statistics cannot be trusted — the column is
+// degraded or held incomparable values — in which case scans must read the
+// block.
+type Zone struct {
+	Min, Max   sqlvalue.Value
+	HasNull    bool
+	HasNonNull bool
+	Tracked    bool
+}
+
+// column is one column of a ColumnStore.
+type column struct {
+	kind    sqlvalue.Kind // KindNull until the first non-NULL value fixes it
+	ints    []int64       // payloads for KindInt, KindDate, KindBool
+	floats  []float64     // payloads for KindFloat
+	strs    []string      // payloads for KindString
+	nulls   []uint64      // null bitmap; may be shorter than the row count
+	generic []sqlvalue.Value
+	zones   []Zone
+}
+
+func bitSet(bm []uint64, i int) bool {
+	w := i >> 6
+	return w < len(bm) && bm[w]&(1<<(uint(i)&63)) != 0
+}
+
+func (c *column) isNull(i int) bool {
+	if c.generic != nil {
+		return c.generic[i].IsNull()
+	}
+	return bitSet(c.nulls, i)
+}
+
+func (c *column) setNull(i int) {
+	w := i >> 6
+	for len(c.nulls) <= w {
+		c.nulls = append(c.nulls, 0)
+	}
+	c.nulls[w] |= 1 << (uint(i) & 63)
+}
+
+func (c *column) clearNull(i int) {
+	if w := i >> 6; w < len(c.nulls) {
+		c.nulls[w] &^= 1 << (uint(i) & 63)
+	}
+}
+
+func (c *column) value(i int) sqlvalue.Value {
+	if c.generic != nil {
+		return c.generic[i]
+	}
+	if bitSet(c.nulls, i) {
+		return sqlvalue.Null
+	}
+	switch c.kind {
+	case sqlvalue.KindInt:
+		return sqlvalue.NewInt(c.ints[i])
+	case sqlvalue.KindDate:
+		return sqlvalue.NewDate(c.ints[i])
+	case sqlvalue.KindBool:
+		return sqlvalue.NewBool(c.ints[i] != 0)
+	case sqlvalue.KindFloat:
+		return sqlvalue.NewFloat(c.floats[i])
+	case sqlvalue.KindString:
+		return sqlvalue.NewString(c.strs[i])
+	default: // KindNull: every value stored so far was NULL
+		return sqlvalue.Null
+	}
+}
+
+// adopt fixes the column's kind, backfilling the typed array with zero
+// payloads for the n existing (all-NULL) rows.
+func (c *column) adopt(k sqlvalue.Kind, n int) {
+	c.kind = k
+	switch k {
+	case sqlvalue.KindInt, sqlvalue.KindDate, sqlvalue.KindBool:
+		c.ints = make([]int64, n)
+	case sqlvalue.KindFloat:
+		c.floats = make([]float64, n)
+	case sqlvalue.KindString:
+		c.strs = make([]string, n)
+	}
+}
+
+// degrade boxes the column's n values into a generic slice and invalidates
+// its zone maps.
+func (c *column) degrade(n int) {
+	g := make([]sqlvalue.Value, n)
+	for i := range g {
+		g[i] = c.value(i)
+	}
+	c.generic = g
+	c.ints, c.floats, c.strs, c.nulls = nil, nil, nil, nil
+	for b := range c.zones {
+		c.zones[b] = Zone{}
+	}
+}
+
+func (c *column) appendZero() {
+	switch c.kind {
+	case sqlvalue.KindInt, sqlvalue.KindDate, sqlvalue.KindBool:
+		c.ints = append(c.ints, 0)
+	case sqlvalue.KindFloat:
+		c.floats = append(c.floats, 0)
+	case sqlvalue.KindString:
+		c.strs = append(c.strs, "")
+	}
+}
+
+func (c *column) setPayload(i int, v sqlvalue.Value) {
+	switch c.kind {
+	case sqlvalue.KindInt:
+		c.ints[i] = v.Int()
+	case sqlvalue.KindDate:
+		c.ints[i] = v.DateDays()
+	case sqlvalue.KindBool:
+		if v.Bool() {
+			c.ints[i] = 1
+		} else {
+			c.ints[i] = 0
+		}
+	case sqlvalue.KindFloat:
+		c.floats[i] = v.Float()
+	case sqlvalue.KindString:
+		c.strs[i] = v.Str()
+	}
+}
+
+// append stores v at ordinal n (the current length).
+func (c *column) append(v sqlvalue.Value, n int) {
+	if c.generic != nil {
+		c.generic = append(c.generic, v)
+		return
+	}
+	if v.IsNull() {
+		c.setNull(n)
+		c.appendZero()
+		return
+	}
+	if k := v.Kind(); c.kind == sqlvalue.KindNull {
+		c.adopt(k, n)
+	} else if c.kind != k {
+		c.degrade(n)
+		c.generic = append(c.generic, v)
+		return
+	}
+	c.appendZero()
+	c.setPayload(n, v)
+}
+
+// set overwrites the value at ordinal i; n is the store's row count.
+func (c *column) set(i int, v sqlvalue.Value, n int) {
+	if c.generic != nil {
+		c.generic[i] = v
+		return
+	}
+	if v.IsNull() {
+		c.setNull(i)
+		return
+	}
+	if k := v.Kind(); c.kind == sqlvalue.KindNull {
+		c.adopt(k, n)
+	} else if c.kind != k {
+		c.degrade(n)
+		c.generic[i] = v
+		return
+	}
+	c.clearNull(i)
+	c.setPayload(i, v)
+}
+
+// foldZone folds one value into a block's statistics.
+func foldZone(z *Zone, v sqlvalue.Value) {
+	if v.IsNull() {
+		z.HasNull = true
+		return
+	}
+	if !z.HasNonNull {
+		z.Min, z.Max, z.HasNonNull = v, v, true
+		return
+	}
+	if cmp, ok := sqlvalue.Compare(v, z.Min); ok {
+		if cmp < 0 {
+			z.Min = v
+		}
+	} else {
+		z.Tracked = false
+		return
+	}
+	if cmp, ok := sqlvalue.Compare(v, z.Max); ok {
+		if cmp > 0 {
+			z.Max = v
+		}
+	} else {
+		z.Tracked = false
+	}
+}
+
+// ColView is a read-only view of one column's physical arrays, handed to the
+// execution engine so scans and compiled predicates can read payloads
+// directly. Exactly one of the typed slices is populated (per Kind) unless
+// Generic is non-nil, which overrides everything else. Nulls may be shorter
+// than the row count: an out-of-range word means "no NULLs there".
+type ColView struct {
+	Kind    sqlvalue.Kind
+	Ints    []int64
+	Floats  []float64
+	Strs    []string
+	Nulls   []uint64
+	Generic []sqlvalue.Value
+}
+
+// IsNull reports whether row i of the column is NULL.
+func (v ColView) IsNull(i int) bool {
+	if v.Generic != nil {
+		return v.Generic[i].IsNull()
+	}
+	return bitSet(v.Nulls, i)
+}
+
+// Value boxes row i of the column as a sqlvalue.Value.
+func (v ColView) Value(i int) sqlvalue.Value {
+	if v.Generic != nil {
+		return v.Generic[i]
+	}
+	if bitSet(v.Nulls, i) {
+		return sqlvalue.Null
+	}
+	switch v.Kind {
+	case sqlvalue.KindInt:
+		return sqlvalue.NewInt(v.Ints[i])
+	case sqlvalue.KindDate:
+		return sqlvalue.NewDate(v.Ints[i])
+	case sqlvalue.KindBool:
+		return sqlvalue.NewBool(v.Ints[i] != 0)
+	case sqlvalue.KindFloat:
+		return sqlvalue.NewFloat(v.Floats[i])
+	case sqlvalue.KindString:
+		return sqlvalue.NewString(v.Strs[i])
+	default:
+		return sqlvalue.Null
+	}
+}
+
+// ColumnStore is column-major row storage: a fixed number of columns, each
+// an adaptive typed array with a null bitmap and per-block zone maps.
+type ColumnStore struct {
+	n    int
+	cols []column
+}
+
+// NewColumnStore returns an empty store with ncols columns.
+func NewColumnStore(ncols int) *ColumnStore {
+	return &ColumnStore{cols: make([]column, ncols)}
+}
+
+// Len returns the number of rows.
+func (cs *ColumnStore) Len() int { return cs.n }
+
+// NumCols returns the number of columns.
+func (cs *ColumnStore) NumCols() int { return len(cs.cols) }
+
+// NumBlocks returns the number of (possibly partial) blocks.
+func (cs *ColumnStore) NumBlocks() int { return (cs.n + BlockRows - 1) / BlockRows }
+
+// Zone returns the zone map of column c in block b.
+func (cs *ColumnStore) Zone(c, b int) Zone { return cs.cols[c].zones[b] }
+
+// Col returns a read-only view of column c's physical arrays.
+func (cs *ColumnStore) Col(c int) ColView {
+	col := &cs.cols[c]
+	return ColView{
+		Kind:    col.kind,
+		Ints:    col.ints,
+		Floats:  col.floats,
+		Strs:    col.strs,
+		Nulls:   col.nulls,
+		Generic: col.generic,
+	}
+}
+
+// Value boxes the value at (row i, column c).
+func (cs *ColumnStore) Value(i, c int) sqlvalue.Value { return cs.cols[c].value(i) }
+
+// AppendRow appends one row; r must have NumCols values. Values are copied
+// out of r, so the caller keeps ownership of the slice. Zone maps of the
+// last block are updated incrementally.
+func (cs *ColumnStore) AppendRow(r Row) {
+	n := cs.n
+	b := n / BlockRows
+	for c := range cs.cols {
+		col := &cs.cols[c]
+		col.append(r[c], n)
+		if b == len(col.zones) {
+			col.zones = append(col.zones, Zone{Tracked: col.generic == nil})
+		}
+		if z := &col.zones[b]; z.Tracked {
+			if col.generic != nil {
+				z.Tracked = false
+			} else {
+				foldZone(z, r[c])
+			}
+		}
+	}
+	cs.n = n + 1
+}
+
+// SetRow overwrites row i in place and recomputes the affected block's zone
+// maps.
+func (cs *ColumnStore) SetRow(i int, r Row) {
+	for c := range cs.cols {
+		cs.cols[c].set(i, r[c], cs.n)
+	}
+	b := i / BlockRows
+	for c := range cs.cols {
+		cs.recomputeZone(c, b)
+	}
+}
+
+// recomputeZone rebuilds the zone map of column c, block b, from the stored
+// values. Typed columns use direct payload loops; min/max updates via </>
+// replicate sqlvalue.Compare exactly (including NaN never displacing a
+// bound), and a typed column's values all share one kind, so its zone stays
+// Tracked.
+func (cs *ColumnStore) recomputeZone(c, b int) {
+	col := &cs.cols[c]
+	if b >= len(col.zones) {
+		return
+	}
+	if col.generic != nil {
+		col.zones[b] = Zone{}
+		return
+	}
+	lo, hi := b*BlockRows, (b+1)*BlockRows
+	if hi > cs.n {
+		hi = cs.n
+	}
+	z := Zone{Tracked: true}
+	switch col.kind {
+	case sqlvalue.KindInt, sqlvalue.KindDate, sqlvalue.KindBool:
+		var mn, mx int64
+		for i := lo; i < hi; i++ {
+			if bitSet(col.nulls, i) {
+				z.HasNull = true
+				continue
+			}
+			v := col.ints[i]
+			if !z.HasNonNull {
+				mn, mx, z.HasNonNull = v, v, true
+			} else if v < mn {
+				mn = v
+			} else if v > mx {
+				mx = v
+			}
+		}
+		if z.HasNonNull {
+			switch col.kind {
+			case sqlvalue.KindInt:
+				z.Min, z.Max = sqlvalue.NewInt(mn), sqlvalue.NewInt(mx)
+			case sqlvalue.KindDate:
+				z.Min, z.Max = sqlvalue.NewDate(mn), sqlvalue.NewDate(mx)
+			default:
+				z.Min, z.Max = sqlvalue.NewBool(mn != 0), sqlvalue.NewBool(mx != 0)
+			}
+		}
+	case sqlvalue.KindFloat:
+		var mn, mx float64
+		for i := lo; i < hi; i++ {
+			if bitSet(col.nulls, i) {
+				z.HasNull = true
+				continue
+			}
+			v := col.floats[i]
+			if !z.HasNonNull {
+				mn, mx, z.HasNonNull = v, v, true
+			} else {
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+		}
+		if z.HasNonNull {
+			z.Min, z.Max = sqlvalue.NewFloat(mn), sqlvalue.NewFloat(mx)
+		}
+	case sqlvalue.KindString:
+		var mn, mx string
+		for i := lo; i < hi; i++ {
+			if bitSet(col.nulls, i) {
+				z.HasNull = true
+				continue
+			}
+			v := col.strs[i]
+			if !z.HasNonNull {
+				mn, mx, z.HasNonNull = v, v, true
+			} else if v < mn {
+				mn = v
+			} else if v > mx {
+				mx = v
+			}
+		}
+		if z.HasNonNull {
+			z.Min, z.Max = sqlvalue.NewString(mn), sqlvalue.NewString(mx)
+		}
+	default: // KindNull: every value stored so far is NULL
+		z.HasNull = hi > lo
+	}
+	col.zones[b] = z
+}
+
+// Compact rewrites the store keeping only rows for which keep returns true,
+// returning the number of rows removed. Typed columns move surviving
+// payloads in place (no boxing); a column degraded by mixed kinds re-appends
+// its survivors, re-typing itself if they are homogeneous. All zone maps are
+// rebuilt. When keep accepts every row the store is left untouched.
+func (cs *ColumnStore) Compact(keep func(i int) bool) int {
+	n := cs.n
+	keepRow := make([]bool, n)
+	kept, first := 0, n
+	for i := 0; i < n; i++ {
+		if keep(i) {
+			keepRow[i] = true
+			kept++
+		} else if first == n {
+			first = i
+		}
+	}
+	if kept == n {
+		return 0
+	}
+	retyped := make([]bool, len(cs.cols))
+	for c := range cs.cols {
+		col := &cs.cols[c]
+		if col.generic != nil {
+			retyped[c] = true
+			fresh := column{}
+			w := 0
+			for i := 0; i < n; i++ {
+				if keepRow[i] {
+					fresh.append(col.generic[i], w)
+					w++
+				}
+			}
+			cs.cols[c] = fresh
+			continue
+		}
+		var nulls []uint64
+		if len(col.nulls) > 0 {
+			nulls = make([]uint64, (kept+63)/64)
+		}
+		w := 0
+		mark := func(i int) {
+			if nulls != nil && bitSet(col.nulls, i) {
+				nulls[w>>6] |= 1 << (uint(w) & 63)
+			}
+		}
+		switch col.kind {
+		case sqlvalue.KindInt, sqlvalue.KindDate, sqlvalue.KindBool:
+			for i := 0; i < n; i++ {
+				if keepRow[i] {
+					col.ints[w] = col.ints[i]
+					mark(i)
+					w++
+				}
+			}
+			col.ints = col.ints[:kept]
+		case sqlvalue.KindFloat:
+			for i := 0; i < n; i++ {
+				if keepRow[i] {
+					col.floats[w] = col.floats[i]
+					mark(i)
+					w++
+				}
+			}
+			col.floats = col.floats[:kept]
+		case sqlvalue.KindString:
+			for i := 0; i < n; i++ {
+				if keepRow[i] {
+					col.strs[w] = col.strs[i]
+					mark(i)
+					w++
+				}
+			}
+			for j := kept; j < n; j++ {
+				col.strs[j] = "" // release dropped strings to the GC
+			}
+			col.strs = col.strs[:kept]
+		default: // KindNull: only the bitmap exists
+			for i := 0; i < n; i++ {
+				if keepRow[i] {
+					mark(i)
+					w++
+				}
+			}
+		}
+		col.nulls = nulls
+	}
+	removed := n - kept
+	cs.n = kept
+	nb := cs.NumBlocks()
+	// Blocks wholly before the first removed row keep their ordinals and
+	// values, so their zones carry over — unless the column was rebuilt from
+	// a degraded representation, whose old zones were untracked.
+	pb := first / BlockRows
+	if pb > nb {
+		pb = nb
+	}
+	for c := range cs.cols {
+		col := &cs.cols[c]
+		start := 0
+		old := col.zones
+		col.zones = make([]Zone, nb)
+		if !retyped[c] {
+			if start = pb; start > len(old) {
+				start = len(old)
+			}
+			copy(col.zones[:start], old[:start])
+		}
+		for b := start; b < nb; b++ {
+			cs.recomputeZone(c, b)
+		}
+	}
+	return removed
+}
+
+// MaterializeInto fills dst (length NumCols) with row i's values.
+func (cs *ColumnStore) MaterializeInto(dst Row, i int) {
+	for c := range cs.cols {
+		dst[c] = cs.cols[c].value(i)
+	}
+}
+
+// RowAt materializes row i as a freshly allocated Row.
+func (cs *ColumnStore) RowAt(i int) Row {
+	r := make(Row, len(cs.cols))
+	cs.MaterializeInto(r, i)
+	return r
+}
+
+// Rows materializes every row. The result is freshly allocated (rows are
+// carved from chunked slabs); mutating the store afterwards does not affect
+// it. Column-major storage makes this the slow path — scans should read
+// columns through Col instead.
+func (cs *ColumnStore) Rows() []Row {
+	ncols := len(cs.cols)
+	out := make([]Row, cs.n)
+	if ncols == 0 {
+		for i := range out {
+			out[i] = Row{}
+		}
+		return out
+	}
+	const chunk = 1024
+	for base := 0; base < cs.n; base += chunk {
+		m := cs.n - base
+		if m > chunk {
+			m = chunk
+		}
+		slab := make([]sqlvalue.Value, m*ncols)
+		for k := 0; k < m; k++ {
+			out[base+k] = Row(slab[k*ncols : (k+1)*ncols : (k+1)*ncols])
+		}
+	}
+	for c := range cs.cols {
+		col := &cs.cols[c]
+		for i := 0; i < cs.n; i++ {
+			out[i][c] = col.value(i)
+		}
+	}
+	return out
+}
+
+// AppendRowKey appends the composite hash key of the given columns of row i
+// — Value.AppendKey bytes joined by 0x1f, the same layout used everywhere a
+// row key is built — and returns the extended buffer.
+func (cs *ColumnStore) AppendRowKey(dst []byte, i int, cols []int) []byte {
+	for _, c := range cols {
+		dst = cs.cols[c].value(i).AppendKey(dst)
+		dst = append(dst, '\x1f')
+	}
+	return dst
+}

@@ -1,0 +1,212 @@
+package storage
+
+import (
+	"testing"
+
+	"matview/internal/sqlvalue"
+)
+
+// mkStore builds a 2-column store (int-ish key, string payload) from a value
+// generator: gen(i) returns the row for ordinal i.
+func mkStore(n int, gen func(i int) Row) *ColumnStore {
+	var ncols int
+	if n > 0 {
+		ncols = len(gen(0))
+	}
+	cs := NewColumnStore(ncols)
+	for i := 0; i < n; i++ {
+		cs.AppendRow(gen(i))
+	}
+	return cs
+}
+
+// TestColumnarNullsAtBlockBoundary plants NULLs on both sides of a block
+// boundary and checks the bitmap, boxed values, and per-block zone flags.
+func TestColumnarNullsAtBlockBoundary(t *testing.T) {
+	n := BlockRows + 8
+	nullAt := map[int]bool{
+		0:             true,
+		BlockRows - 1: true, // last row of block 0
+		BlockRows:     true, // first row of block 1
+		n - 1:         true,
+	}
+	cs := mkStore(n, func(i int) Row {
+		if nullAt[i] {
+			return Row{sqlvalue.Null, sqlvalue.NewString("x")}
+		}
+		return Row{sqlvalue.NewInt(int64(i)), sqlvalue.NewString("x")}
+	})
+	if cs.NumBlocks() != 2 {
+		t.Fatalf("blocks = %d", cs.NumBlocks())
+	}
+	col := cs.Col(0)
+	for i := 0; i < n; i++ {
+		if col.IsNull(i) != nullAt[i] {
+			t.Fatalf("IsNull(%d) = %v", i, col.IsNull(i))
+		}
+		want := sqlvalue.Null
+		if !nullAt[i] {
+			want = sqlvalue.NewInt(int64(i))
+		}
+		if !sqlvalue.Identical(cs.Value(i, 0), want) {
+			t.Fatalf("Value(%d) = %s", i, cs.Value(i, 0))
+		}
+	}
+	for b := 0; b < 2; b++ {
+		z := cs.Zone(0, b)
+		if !z.Tracked || !z.HasNull || !z.HasNonNull {
+			t.Fatalf("block %d zone = %+v", b, z)
+		}
+	}
+	// Zone bounds exclude the NULLs.
+	if z := cs.Zone(0, 0); z.Min.Int() != 1 || z.Max.Int() != int64(BlockRows-2) {
+		t.Fatalf("block 0 zone = [%s, %s]", z.Min, z.Max)
+	}
+	if z := cs.Zone(0, 1); z.Min.Int() != int64(BlockRows+1) || z.Max.Int() != int64(n-2) {
+		t.Fatalf("block 1 zone = [%s, %s]", z.Min, z.Max)
+	}
+	// Rows() must reproduce the NULLs at the same ordinals.
+	rows := cs.Rows()
+	if len(rows) != n || !rows[BlockRows][0].IsNull() || rows[BlockRows+1][0].Int() != int64(BlockRows+1) {
+		t.Fatal("Rows() lost boundary NULLs")
+	}
+}
+
+// TestColumnarAllNullBlock: a block whose column never sees a non-null value
+// reports HasNonNull=false — the zone-skip fast path for fully-deleted data.
+func TestColumnarAllNullBlock(t *testing.T) {
+	cs := mkStore(BlockRows+4, func(i int) Row {
+		if i < BlockRows {
+			return Row{sqlvalue.Null}
+		}
+		return Row{sqlvalue.NewInt(int64(i))}
+	})
+	if z := cs.Zone(0, 0); !z.Tracked || z.HasNonNull || !z.HasNull {
+		t.Fatalf("all-null block zone = %+v", z)
+	}
+	if z := cs.Zone(0, 1); !z.HasNonNull || z.HasNull {
+		t.Fatalf("tail block zone = %+v", z)
+	}
+}
+
+// TestColumnarCompact deletes a scattered subset spanning block boundaries
+// and verifies survivor order, zone rebuild, and block count shrinkage.
+func TestColumnarCompact(t *testing.T) {
+	n := 2*BlockRows + 100
+	cs := mkStore(n, func(i int) Row {
+		return Row{sqlvalue.NewInt(int64(i)), sqlvalue.NewString("p")}
+	})
+	// Drop all even ordinals: every block is partially invalidated.
+	kept := cs.Compact(func(i int) bool { return i%2 == 1 })
+	wantKept := n / 2
+	if kept != wantKept || cs.Len() != wantKept {
+		t.Fatalf("kept %d (len %d), want %d", kept, cs.Len(), wantKept)
+	}
+	if cs.NumBlocks() != (wantKept+BlockRows-1)/BlockRows {
+		t.Fatalf("blocks = %d after compact", cs.NumBlocks())
+	}
+	for i := 0; i < wantKept; i++ {
+		if got := cs.Value(i, 0).Int(); got != int64(2*i+1) {
+			t.Fatalf("row %d = %d, want %d", i, got, 2*i+1)
+		}
+	}
+	// Zones reflect the surviving values.
+	if z := cs.Zone(0, 0); z.Min.Int() != 1 || z.Max.Int() != int64(2*BlockRows-1) {
+		t.Fatalf("rebuilt zone 0 = [%s, %s]", z.Min, z.Max)
+	}
+	// Compacting everything away leaves an empty store.
+	cs.Compact(func(int) bool { return false })
+	if cs.Len() != 0 || cs.NumBlocks() != 0 || len(cs.Rows()) != 0 {
+		t.Fatal("compact-to-empty failed")
+	}
+}
+
+// TestColumnarEmpty: zero-row stores answer every aggregate query shape
+// without panicking.
+func TestColumnarEmpty(t *testing.T) {
+	cs := NewColumnStore(3)
+	if cs.Len() != 0 || cs.NumBlocks() != 0 {
+		t.Fatal("empty store not empty")
+	}
+	if rows := cs.Rows(); len(rows) != 0 {
+		t.Fatalf("Rows() = %d", len(rows))
+	}
+	if n := cs.Compact(func(int) bool { return true }); n != 0 {
+		t.Fatalf("compact empty = %d", n)
+	}
+}
+
+// TestColumnarDegradeAndRetype: a column that sees mixed kinds degrades to
+// generic storage (zones untracked, values preserved); compacting away the
+// offending rows re-types it and zones come back.
+func TestColumnarDegradeAndRetype(t *testing.T) {
+	cs := NewColumnStore(1)
+	for i := 0; i < 10; i++ {
+		cs.AppendRow(Row{sqlvalue.NewInt(int64(i))})
+	}
+	cs.AppendRow(Row{sqlvalue.NewString("rogue")})
+	cs.AppendRow(Row{sqlvalue.NewInt(99)})
+
+	if z := cs.Zone(0, 0); z.Tracked {
+		t.Fatalf("degraded column still tracked: %+v", z)
+	}
+	if v := cs.Col(0); v.Generic == nil {
+		t.Fatal("column did not degrade to generic storage")
+	}
+	if got := cs.Value(10, 0); got.Kind() != sqlvalue.KindString || got.Str() != "rogue" {
+		t.Fatalf("degraded value = %s", got)
+	}
+	if got := cs.Value(11, 0).Int(); got != 99 {
+		t.Fatalf("post-degrade int = %d", got)
+	}
+
+	cs.Compact(func(i int) bool { return i != 10 })
+	if v := cs.Col(0); v.Generic != nil || v.Kind != sqlvalue.KindInt {
+		t.Fatalf("compact did not re-type: kind=%s generic=%v", v.Kind, v.Generic != nil)
+	}
+	if z := cs.Zone(0, 0); !z.Tracked || z.Min.Int() != 0 || z.Max.Int() != 99 {
+		t.Fatalf("re-typed zone = %+v", z)
+	}
+}
+
+// TestColumnarSetRowRecomputesZones: in-place updates (the aggregation
+// maintenance path) must keep the touched block's zones exact, not merely
+// widened.
+func TestColumnarSetRowRecomputesZones(t *testing.T) {
+	cs := mkStore(BlockRows+10, func(i int) Row {
+		return Row{sqlvalue.NewInt(int64(i % 100))}
+	})
+	cs.SetRow(5, Row{sqlvalue.NewInt(5000)})
+	if z := cs.Zone(0, 0); z.Max.Int() != 5000 {
+		t.Fatalf("zone max after raise = %s", z.Max)
+	}
+	cs.SetRow(5, Row{sqlvalue.NewInt(5)})
+	if z := cs.Zone(0, 0); z.Max.Int() != 99 {
+		t.Fatalf("zone max after lower = %s (stale zone not recomputed)", z.Max)
+	}
+	cs.SetRow(BlockRows+1, Row{sqlvalue.Null})
+	z := cs.Zone(0, 1)
+	if !z.HasNull {
+		t.Fatalf("zone after null set = %+v", z)
+	}
+	if !cs.Col(0).IsNull(BlockRows + 1) {
+		t.Fatal("SetRow(NULL) not reflected in bitmap")
+	}
+}
+
+// TestColumnarAppendRowKey: the store-side keying must produce exactly the
+// bytes of Value.AppendKey joined by 0x1f, including for NULLs and strings.
+func TestColumnarAppendRowKey(t *testing.T) {
+	cs := NewColumnStore(3)
+	r := Row{sqlvalue.NewInt(-7), sqlvalue.Null, sqlvalue.NewString("a\x1fb")}
+	cs.AppendRow(r)
+	var want []byte
+	for _, c := range []int{0, 1, 2} {
+		want = r[c].AppendKey(want)
+		want = append(want, '\x1f')
+	}
+	got := cs.AppendRowKey(nil, 0, []int{0, 1, 2})
+	if string(got) != string(want) {
+		t.Fatalf("AppendRowKey = %q, want %q", got, want)
+	}
+}

@@ -1,14 +1,15 @@
-// Package storage provides the in-memory storage engine: heap tables of
-// rows, hash indexes (the moral equivalent of SQL Server's unique clustered
-// index on a materialized view, §2), and materialized-view storage. The
-// view-matching algorithm itself never reads rows; storage exists so the
-// executor can run both original queries and substitutes and so tests can
-// verify that substitutes return identical results.
+// Package storage provides the in-memory storage engine: column-major
+// tables with per-block zone maps (see columnar.go), hash indexes (the moral
+// equivalent of SQL Server's unique clustered index on a materialized view,
+// §2), and materialized-view storage. The view-matching algorithm itself
+// never reads rows; storage exists so the executor can run both original
+// queries and substitutes and so tests can verify that substitutes return
+// identical results.
 package storage
 
 import (
 	"fmt"
-	"strings"
+	"strconv"
 
 	"matview/internal/catalog"
 	"matview/internal/faults"
@@ -25,10 +26,11 @@ func (r Row) Clone() Row {
 	return out
 }
 
-// Table is a heap of rows conforming to a catalog table.
+// Table is a base table stored column-major.
 type Table struct {
 	Meta *catalog.Table
-	Rows []Row
+
+	cols *ColumnStore
 
 	// indexes by a canonical column-list key.
 	indexes map[string]*Index
@@ -36,6 +38,23 @@ type Table struct {
 	// faults guards the table's mutations; nil outside chaos runs.
 	faults *faults.Injector
 }
+
+func newTable(meta *catalog.Table) *Table {
+	return &Table{Meta: meta, cols: NewColumnStore(len(meta.Columns))}
+}
+
+// Store returns the table's column store for direct columnar access.
+func (t *Table) Store() *ColumnStore { return t.cols }
+
+// NumRows returns the number of stored rows.
+func (t *Table) NumRows() int { return t.cols.Len() }
+
+// Rows materializes every row (freshly allocated). The executor's scans read
+// columns directly; this is for tests, tools, and the reference evaluator.
+func (t *Table) Rows() []Row { return t.cols.Rows() }
+
+// RowAt materializes row i as a fresh Row.
+func (t *Table) RowAt(i int) Row { return t.cols.RowAt(i) }
 
 // Index is a hash index over a column list. Unique indexes reject duplicate
 // keys at build time.
@@ -46,26 +65,30 @@ type Index struct {
 }
 
 func indexKey(cols []int) string {
-	var sb strings.Builder
+	buf := make([]byte, 0, 3*len(cols))
 	for i, c := range cols {
 		if i > 0 {
-			sb.WriteByte(',')
+			buf = append(buf, ',')
 		}
-		fmt.Fprintf(&sb, "%d", c)
+		buf = strconv.AppendInt(buf, int64(c), 10)
 	}
-	return sb.String()
+	return string(buf)
 }
 
-func rowKey(r Row, cols []int) string {
-	var sb strings.Builder
+// appendKeyVals appends the composite hash key of the given columns of r:
+// Value.AppendKey bytes joined by 0x1f. Callers reuse the buffer across rows
+// and look maps up with string(buf), which Go performs without allocating.
+func appendKeyVals(dst []byte, r Row, cols []int) []byte {
 	for _, c := range cols {
-		sb.WriteString(r[c].Key())
-		sb.WriteByte('\x1f')
+		dst = r[c].AppendKey(dst)
+		dst = append(dst, '\x1f')
 	}
-	return sb.String()
+	return dst
 }
 
-// Insert appends a row (which must have the right arity) and updates indexes.
+// Insert appends a row (which must have the right arity) and updates
+// indexes. Unique violations are detected before anything is written, so a
+// failed insert leaves both the column store and every index untouched.
 func (t *Table) Insert(r Row) error {
 	if err := t.faults.Maybe(faults.SiteStorageInsert); err != nil {
 		return err
@@ -79,28 +102,44 @@ func (t *Table) Insert(r Row) error {
 			return fmt.Errorf("storage: NULL in NOT NULL column %s.%s", t.Meta.Name, col.Name)
 		}
 	}
-	ord := len(t.Rows)
-	t.Rows = append(t.Rows, r)
+	var buf []byte
 	for _, idx := range t.indexes {
-		k := rowKey(r, idx.Cols)
-		if idx.Unique && len(idx.m[k]) > 0 {
-			t.Rows = t.Rows[:ord]
+		if !idx.Unique {
+			continue
+		}
+		buf = appendKeyVals(buf[:0], r, idx.Cols)
+		if len(idx.m[string(buf)]) > 0 {
 			return fmt.Errorf("storage: duplicate key in unique index on %s", t.Meta.Name)
 		}
-		idx.m[k] = append(idx.m[k], ord)
+	}
+	ord := t.cols.Len()
+	t.cols.AppendRow(r)
+	for _, idx := range t.indexes {
+		buf = appendKeyVals(buf[:0], r, idx.Cols)
+		idx.m[string(buf)] = append(idx.m[string(buf)], ord)
 	}
 	return nil
 }
 
+// buildIndexOn builds a hash index over cols of a column store.
+func buildIndexOn(cs *ColumnStore, cols []int, unique bool, what string) (*Index, error) {
+	idx := &Index{Cols: append([]int(nil), cols...), Unique: unique, m: map[string][]int{}}
+	var buf []byte
+	for ord := 0; ord < cs.Len(); ord++ {
+		buf = cs.AppendRowKey(buf[:0], ord, cols)
+		if unique && len(idx.m[string(buf)]) > 0 {
+			return nil, fmt.Errorf("storage: duplicate key building unique index on %s", what)
+		}
+		idx.m[string(buf)] = append(idx.m[string(buf)], ord)
+	}
+	return idx, nil
+}
+
 // BuildIndex creates (or rebuilds) a hash index over cols.
 func (t *Table) BuildIndex(cols []int, unique bool) (*Index, error) {
-	idx := &Index{Cols: append([]int(nil), cols...), Unique: unique, m: map[string][]int{}}
-	for ord, r := range t.Rows {
-		k := rowKey(r, cols)
-		if unique && len(idx.m[k]) > 0 {
-			return nil, fmt.Errorf("storage: duplicate key building unique index on %s", t.Meta.Name)
-		}
-		idx.m[k] = append(idx.m[k], ord)
+	idx, err := buildIndexOn(t.cols, cols, unique, t.Meta.Name)
+	if err != nil {
+		return nil, err
 	}
 	if t.indexes == nil {
 		t.indexes = map[string]*Index{}
@@ -119,12 +158,13 @@ func (t *Table) LookupIndex(cols []int) *Index {
 
 // Probe returns the ordinals of rows whose cols equal the given values.
 func (idx *Index) Probe(vals Row) []int {
-	var sb strings.Builder
+	var arr [48]byte
+	buf := arr[:0]
 	for _, v := range vals {
-		sb.WriteString(v.Key())
-		sb.WriteByte('\x1f')
+		buf = v.AppendKey(buf)
+		buf = append(buf, '\x1f')
 	}
-	return idx.m[sb.String()]
+	return idx.m[string(buf)]
 }
 
 // MaterializedView stores the materialized rows of a view: one column per
@@ -132,25 +172,50 @@ func (idx *Index) Probe(vals Row) []int {
 // materializes an indexed view (§2). Secondary indexes over output columns
 // can be added, mirroring SQL Server's CREATE INDEX on a view (Example 1).
 type MaterializedView struct {
-	Name     string
-	NumCols  int
-	Rows     []Row
-	RowCount int64 // convenience mirror of len(Rows)
+	Name    string
+	NumCols int
 
+	cols    *ColumnStore
 	indexes map[string]*Index
 	faults  *faults.Injector
 }
 
+// Store returns the view's column store for direct columnar access.
+func (mv *MaterializedView) Store() *ColumnStore { return mv.cols }
+
+// NumRows returns the number of materialized rows.
+func (mv *MaterializedView) NumRows() int { return mv.cols.Len() }
+
+// RowCount returns the number of materialized rows as an int64 (the shape
+// cost models and stats want).
+func (mv *MaterializedView) RowCount() int64 { return int64(mv.cols.Len()) }
+
+// Rows materializes every row (freshly allocated).
+func (mv *MaterializedView) Rows() []Row { return mv.cols.Rows() }
+
+// RowAt materializes row i as a fresh Row.
+func (mv *MaterializedView) RowAt(i int) Row { return mv.cols.RowAt(i) }
+
+// Append appends delta rows to the view. Indexes are NOT rebuilt here;
+// maintenance calls RebuildIndexes explicitly after all row changes.
+func (mv *MaterializedView) Append(rows []Row) {
+	for _, r := range rows {
+		mv.cols.AppendRow(r)
+	}
+}
+
+// SetRow overwrites row i in place (incremental aggregate maintenance).
+func (mv *MaterializedView) SetRow(i int, r Row) { mv.cols.SetRow(i, r) }
+
+// Compact removes the rows keep rejects, returning how many were removed.
+func (mv *MaterializedView) Compact(keep func(i int) bool) int { return mv.cols.Compact(keep) }
+
 // BuildIndex creates (or rebuilds) a hash index over the view's output
 // columns.
 func (mv *MaterializedView) BuildIndex(cols []int, unique bool) (*Index, error) {
-	idx := &Index{Cols: append([]int(nil), cols...), Unique: unique, m: map[string][]int{}}
-	for ord, r := range mv.Rows {
-		k := rowKey(r, cols)
-		if unique && len(idx.m[k]) > 0 {
-			return nil, fmt.Errorf("storage: duplicate key building unique index on view %s", mv.Name)
-		}
-		idx.m[k] = append(idx.m[k], ord)
+	idx, err := buildIndexOn(mv.cols, cols, unique, "view "+mv.Name)
+	if err != nil {
+		return nil, err
 	}
 	if mv.indexes == nil {
 		mv.indexes = map[string]*Index{}
@@ -210,7 +275,7 @@ func (db *Database) SetFaultInjector(in *faults.Injector) {
 func NewDatabase(cat *catalog.Catalog) *Database {
 	db := &Database{Catalog: cat, tables: map[string]*Table{}, views: map[string]*MaterializedView{}}
 	for _, t := range cat.Tables() {
-		db.tables[t.Name] = &Table{Meta: t}
+		db.tables[t.Name] = newTable(t)
 	}
 	return db
 }
@@ -222,7 +287,11 @@ func (db *Database) Table(name string) *Table { return db.tables[name] }
 // on a previous materialization of the same view are rebuilt over the new
 // rows.
 func (db *Database) PutView(name string, numCols int, rows []Row) *MaterializedView {
-	mv := &MaterializedView{Name: name, NumCols: numCols, Rows: rows, RowCount: int64(len(rows)), faults: db.faults}
+	cs := NewColumnStore(numCols)
+	for _, r := range rows {
+		cs.AppendRow(r)
+	}
+	mv := &MaterializedView{Name: name, NumCols: numCols, cols: cs, faults: db.faults}
 	if prev, ok := db.views[name]; ok {
 		for _, idx := range prev.indexes {
 			// A failing unique rebuild is a definition-level inconsistency;
@@ -252,18 +321,21 @@ func (t *Table) DeleteWhere(pred func(Row) bool) ([]Row, error) {
 	if err := t.faults.Maybe(faults.SiteStorageDelete); err != nil {
 		return nil, err
 	}
-	var kept, deleted []Row
-	for _, r := range t.Rows {
-		if pred(r) {
-			deleted = append(deleted, r)
-		} else {
-			kept = append(kept, r)
+	n := t.cols.Len()
+	var deleted []Row
+	drop := make([]bool, n)
+	scratch := make(Row, t.cols.NumCols())
+	for i := 0; i < n; i++ {
+		t.cols.MaterializeInto(scratch, i)
+		if pred(scratch) {
+			drop[i] = true
+			deleted = append(deleted, scratch.Clone())
 		}
 	}
 	if len(deleted) == 0 {
 		return nil, nil
 	}
-	t.Rows = kept
+	t.cols.Compact(func(i int) bool { return !drop[i] })
 	for key, idx := range t.indexes {
 		rebuilt, err := t.BuildIndex(idx.Cols, idx.Unique)
 		if err != nil {
@@ -282,7 +354,11 @@ func (db *Database) Shadow(table string, rows []Row) *Database {
 	out := &Database{Catalog: db.Catalog, tables: map[string]*Table{}, views: db.views, faults: db.faults}
 	for name, t := range db.tables {
 		if name == table {
-			out.tables[name] = &Table{Meta: t.Meta, Rows: rows}
+			st := newTable(t.Meta)
+			for _, r := range rows {
+				st.cols.AppendRow(r)
+			}
+			out.tables[name] = st
 		} else {
 			out.tables[name] = t
 		}
@@ -294,6 +370,6 @@ func (db *Database) Shadow(table string, rows []Row) *Database {
 // so the cost model sees actual sizes after loading.
 func (db *Database) RefreshStats() {
 	for name, t := range db.tables {
-		db.Catalog.Table(name).RowCount = int64(len(t.Rows))
+		db.Catalog.Table(name).RowCount = int64(t.cols.Len())
 	}
 }

@@ -39,8 +39,8 @@ func TestInsertAndArity(t *testing.T) {
 	if err := tb.Insert(Row{sqlvalue.NewInt(2), sqlvalue.NewInt(10), sqlvalue.Null}); err != nil {
 		t.Fatalf("NULL in nullable column rejected: %v", err)
 	}
-	if len(tb.Rows) != 2 {
-		t.Fatalf("rows = %d", len(tb.Rows))
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d", tb.NumRows())
 	}
 }
 
@@ -67,8 +67,8 @@ func TestUniqueIndex(t *testing.T) {
 		t.Fatal("duplicate key accepted by unique index")
 	}
 	// Failed insert must not leave the row behind.
-	if len(tb.Rows) != 3 {
-		t.Fatalf("rows after failed insert = %d", len(tb.Rows))
+	if tb.NumRows() != 3 {
+		t.Fatalf("rows after failed insert = %d", tb.NumRows())
 	}
 	// Building a unique index over duplicate data fails.
 	if _, err := tb.BuildIndex([]int{1}, true); err == nil {
@@ -108,7 +108,7 @@ func TestIndexMaintainedOnInsert(t *testing.T) {
 func TestViews(t *testing.T) {
 	db := NewDatabase(testCatalog(t))
 	mv := db.PutView("v", 2, []Row{{sqlvalue.NewInt(1), sqlvalue.NewInt(2)}})
-	if db.View("v") != mv || mv.RowCount != 1 || mv.NumCols != 2 {
+	if db.View("v") != mv || mv.RowCount() != 1 || mv.NumCols != 2 {
 		t.Fatal("view storage broken")
 	}
 	if db.View("missing") != nil {
@@ -159,7 +159,7 @@ func TestViewIndexes(t *testing.T) {
 		t.Fatal("LookupIndex wrong")
 	}
 	// Mutate rows then rebuild: the index must see the change.
-	mv.Rows = append(mv.Rows, Row{sqlvalue.NewInt(3), sqlvalue.NewInt(30)})
+	mv.Append([]Row{{sqlvalue.NewInt(3), sqlvalue.NewInt(30)}})
 	if err := mv.RebuildIndexes(); err != nil {
 		t.Fatal(err)
 	}
@@ -191,8 +191,8 @@ func TestDeleteWhere(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(deleted) != 3 || len(tb.Rows) != 3 {
-		t.Fatalf("deleted %d, kept %d", len(deleted), len(tb.Rows))
+	if len(deleted) != 3 || tb.NumRows() != 3 {
+		t.Fatalf("deleted %d, kept %d", len(deleted), tb.NumRows())
 	}
 	// Index rebuilt: deleted keys gone, survivors probe correctly.
 	idx := tb.LookupIndex([]int{0})
@@ -216,11 +216,11 @@ func TestShadow(t *testing.T) {
 	}
 	shadowRows := []Row{{sqlvalue.NewInt(99), sqlvalue.NewInt(9), sqlvalue.Null}}
 	sh := db.Shadow("t", shadowRows)
-	if len(sh.Table("t").Rows) != 1 || sh.Table("t").Rows[0][0].Int() != 99 {
+	if sh.Table("t").NumRows() != 1 || sh.Table("t").RowAt(0)[0].Int() != 99 {
 		t.Fatal("shadow table wrong")
 	}
 	// The original is untouched and views are shared.
-	if len(db.Table("t").Rows) != 1 || db.Table("t").Rows[0][0].Int() != 1 {
+	if db.Table("t").NumRows() != 1 || db.Table("t").RowAt(0)[0].Int() != 1 {
 		t.Fatal("shadow mutated the original")
 	}
 	db.PutView("v", 1, nil)

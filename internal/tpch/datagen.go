@@ -161,11 +161,11 @@ func Generate(db *storage.Database, seed int64) error {
 	flags := []string{"R", "A", "N"}
 	instr := []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
 	// Suppliers valid for a part (to respect the composite partsupp FK).
-	psTable := db.Table("partsupp")
+	ps := db.Table("partsupp").Store()
 	suppliersOf := map[int64][]int64{}
-	for _, row := range psTable.Rows {
-		p := row[PsPartkey].Int()
-		suppliersOf[p] = append(suppliersOf[p], row[PsSuppkey].Int())
+	for i := 0; i < ps.Len(); i++ {
+		p := ps.Value(i, PsPartkey).Int()
+		suppliersOf[p] = append(suppliersOf[p], ps.Value(i, PsSuppkey).Int())
 	}
 	perOrder := nL / nO
 	if perOrder < 1 {

@@ -64,14 +64,14 @@ func TestGenerateReferentialIntegrity(t *testing.T) {
 		for _, fk := range tbl.Foreign {
 			parent := db.Table(fk.RefTable)
 			keys := map[string]bool{}
-			for _, pr := range parent.Rows {
+			for _, pr := range parent.Rows() {
 				k := ""
 				for _, c := range fk.RefColumns {
 					k += pr[c].Key() + "|"
 				}
 				keys[k] = true
 			}
-			for ri, cr := range st.Rows {
+			for ri, cr := range st.Rows() {
 				k := ""
 				null := false
 				for _, c := range fk.Columns {
@@ -118,7 +118,7 @@ func TestGenerateStatsWithinBounds(t *testing.T) {
 			if col.Min.IsNull() || col.Max.IsNull() {
 				continue
 			}
-			for ri, r := range st.Rows {
+			for ri, r := range st.Rows() {
 				v := r[ci]
 				if v.IsNull() {
 					continue
@@ -146,7 +146,7 @@ func TestGenerateDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"lineitem", "orders", "part"} {
-		ra, rb := a.Table(name).Rows, b.Table(name).Rows
+		ra, rb := a.Table(name).Rows(), b.Table(name).Rows()
 		if len(ra) != len(rb) {
 			t.Fatalf("%s: %d vs %d rows", name, len(ra), len(rb))
 		}
@@ -162,16 +162,16 @@ func TestGenerateDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(c.Table("orders").Rows) == 0 {
+	if len(c.Table("orders").Rows()) == 0 {
 		t.Fatal("empty generation")
 	}
 	sameAsA := true
-	for i, r := range c.Table("orders").Rows {
-		if i >= len(a.Table("orders").Rows) {
+	for i, r := range c.Table("orders").Rows() {
+		if i >= len(a.Table("orders").Rows()) {
 			break
 		}
 		for col := range r {
-			if !sqlvalue.Identical(r[col], a.Table("orders").Rows[i][col]) {
+			if !sqlvalue.Identical(r[col], a.Table("orders").Rows()[i][col]) {
 				sameAsA = false
 				break
 			}
@@ -190,8 +190,8 @@ func TestRefreshStatsRan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := db.Catalog.Table("lineitem").RowCount; got != int64(len(db.Table("lineitem").Rows)) {
-		t.Errorf("RowCount %d != stored %d", got, len(db.Table("lineitem").Rows))
+	if got := db.Catalog.Table("lineitem").RowCount; got != int64(len(db.Table("lineitem").Rows())) {
+		t.Errorf("RowCount %d != stored %d", got, len(db.Table("lineitem").Rows()))
 	}
 }
 
@@ -204,7 +204,7 @@ func TestNotNullRespected(t *testing.T) {
 	// produced no NULLs in NOT NULL columns; spot-check a nullable column
 	// can hold data too.
 	var comments int
-	for _, r := range db.Table("lineitem").Rows {
+	for _, r := range db.Table("lineitem").Rows() {
 		if !r[LComment].IsNull() {
 			comments++
 		}

@@ -1,20 +1,32 @@
 // Command vmadvisor demonstrates the view-design side of the paper's problem
-// triple (§1): it generates (or takes) a query workload, derives candidate
-// materialized views from the queries' SPJG shapes, evaluates each candidate
-// with the real optimizer and cost model, and greedily recommends a set under
-// a storage budget.
+// triple (§1): it takes a query workload — synthetic, or mined from a live
+// server — derives candidate materialized views from the queries' SPJG
+// shapes, evaluates each candidate with the real optimizer and cost model,
+// and recommends a set under a storage budget (greedy seed refined by local
+// search).
 //
 //	vmadvisor [-queries 20] [-views 5] [-budget 0] [-seed 1]
+//	vmadvisor -workload FILE [-views 5] [-budget 0]
+//
+// -workload replaces the generated workload with a recorded fingerprint
+// histogram: either the GET /autopilot response of a running vmserver or a
+// bare JSON array of its "workload" entries. Each entry's SQL is re-parsed
+// against the catalog and weighted by its decayed frequency, so the
+// recommendation reflects what the server is actually being asked, not a
+// synthetic guess.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"matview/internal/advisor"
+	"matview/internal/autopilot"
+	"matview/internal/catalog"
 	"matview/internal/opt"
-	"matview/internal/spjg"
+	"matview/internal/sqlparser"
 	"matview/internal/tpch"
 	"matview/internal/workload"
 )
@@ -25,22 +37,36 @@ func main() {
 	budget := flag.Float64("budget", 0, "total estimated view rows allowed (0 = unlimited)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	sf := flag.Float64("sf", 0.5, "TPC-H scale factor for statistics")
+	workloadFile := flag.String("workload", "", "recorded workload file (GET /autopilot dump or bare entry array); replaces the generated workload")
+	moves := flag.Int("local-search", 64, "local-search evaluation budget (0 disables refinement)")
 	flag.Parse()
 
 	cat := tpch.NewCatalog(*sf)
-	gen := workload.New(cat, workload.DefaultConfig(*seed))
-	var queries []*spjg.Query
-	for i := 0; len(queries) < *nQueries; i++ {
-		q := gen.Query(i)
-		if q.Validate() == nil {
-			queries = append(queries, q)
+	var wl []advisor.WeightedQuery
+	if *workloadFile != "" {
+		var err error
+		wl, err = loadRecordedWorkload(cat, *workloadFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vmadvisor:", err)
+			os.Exit(1)
 		}
+		fmt.Printf("workload: %d recorded statement shapes from %s (SF %g statistics)\n\n",
+			len(wl), *workloadFile, *sf)
+	} else {
+		gen := workload.New(cat, workload.DefaultConfig(*seed))
+		for i := 0; len(wl) < *nQueries; i++ {
+			q := gen.Query(i)
+			if q.Validate() == nil {
+				wl = append(wl, advisor.WeightedQuery{Query: q, Weight: 1})
+			}
+		}
+		fmt.Printf("workload: %d generated queries (seed %d, SF %g)\n\n", len(wl), *seed, *sf)
 	}
-	fmt.Printf("workload: %d generated queries (seed %d, SF %g)\n\n", len(queries), *seed, *sf)
 
-	recs, err := advisor.Recommend(cat, queries, advisor.Config{
-		MaxViews:  *maxViews,
-		RowBudget: *budget,
+	recs, err := advisor.RecommendWorkload(cat, wl, advisor.Config{
+		MaxViews:         *maxViews,
+		RowBudget:        *budget,
+		LocalSearchMoves: *moves,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vmadvisor:", err)
@@ -60,7 +86,7 @@ func main() {
 		totalRows += r.Rows
 	}
 
-	// Show the before/after workload cost.
+	// Show the before/after workload cost, weighted like the selection was.
 	base := opt.NewOptimizer(cat, opt.DefaultOptions())
 	with := opt.NewOptimizer(cat, opt.DefaultOptions())
 	for _, r := range recs {
@@ -70,23 +96,61 @@ func main() {
 		}
 	}
 	baseCost, withCost, usingViews := 0.0, 0.0, 0
-	for _, q := range queries {
-		rb, err := base.Optimize(q)
+	for _, wq := range wl {
+		rb, err := base.Optimize(wq.Query)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "vmadvisor:", err)
 			os.Exit(1)
 		}
-		rw, err := with.Optimize(q)
+		rw, err := with.Optimize(wq.Query)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "vmadvisor:", err)
 			os.Exit(1)
 		}
-		baseCost += rb.Cost
-		withCost += rw.Cost
+		baseCost += wq.Weight * rb.Cost
+		withCost += wq.Weight * rw.Cost
 		if rw.UsesView {
 			usingViews++
 		}
 	}
 	fmt.Printf("workload cost: %.0f -> %.0f (%.1fx); %d/%d plans now use views; %.0f view rows stored\n",
-		baseCost, withCost, baseCost/withCost, usingViews, len(queries), totalRows)
+		baseCost, withCost, baseCost/withCost, usingViews, len(wl), totalRows)
+}
+
+// loadRecordedWorkload reads a recorded fingerprint histogram and re-parses
+// each entry's SQL against the catalog. Entries that fail to parse (e.g. a
+// shape outside the supported grammar) are reported and skipped, not fatal:
+// a live histogram legitimately mixes parsable and exotic statements.
+func loadRecordedWorkload(cat *catalog.Catalog, path string) ([]advisor.WeightedQuery, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []autopilot.WorkloadEntry
+	// Accept the full GET /autopilot response or a bare entry array.
+	var status struct {
+		Workload []autopilot.WorkloadEntry `json:"workload"`
+	}
+	if err := json.Unmarshal(data, &status); err == nil && len(status.Workload) > 0 {
+		entries = status.Workload
+	} else if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("%s: not a recorded workload (expected /autopilot dump or entry array): %w", path, err)
+	}
+	var wl []advisor.WeightedQuery
+	for _, e := range entries {
+		q, err := sqlparser.ParseQuery(cat, e.SQL)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vmadvisor: skipping %q: %v\n", e.SQL, err)
+			continue
+		}
+		w := e.Weight
+		if w <= 0 {
+			w = float64(e.Count)
+		}
+		wl = append(wl, advisor.WeightedQuery{Query: q, Weight: w})
+	}
+	if len(wl) == 0 {
+		return nil, fmt.Errorf("%s: no parsable statements in recorded workload", path)
+	}
+	return wl, nil
 }

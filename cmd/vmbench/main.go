@@ -10,6 +10,8 @@
 //	vmbench -experiment load [-server URL] [-clients N] [-duration D] [-sf F] [-seed S]
 //	        [-fault-rate P]
 //	vmbench -experiment exec [-sf F] [-seed S] [-workers N]
+//	vmbench -experiment advisor [-sf F] [-seed S] [-clients N] [-phase-a D] [-phase-b D]
+//	        [-out FILE]
 //
 // The exec experiment benchmarks raw plan execution (no optimizer): each
 // BenchmarkExec* plan shape runs through the seed row-at-a-time interpreter
@@ -49,7 +51,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "fig2, fig3, fig4, stats, load, exec, or all")
+	experiment := flag.String("experiment", "all", "fig2, fig3, fig4, stats, load, exec, advisor, or all")
 	views := flag.Int("views", 1000, "maximum number of materialized views")
 	queries := flag.Int("queries", 1000, "number of queries per measurement")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -63,10 +65,17 @@ func main() {
 	duration := flag.Duration("duration", 3*time.Second, "load: how long to drive traffic")
 	sf := flag.Float64("sf", 0.01, "load: TPC-H scale factor for the in-process server")
 	faultRate := flag.Float64("fault-rate", 0, "load: per-site fault probability for the in-process server (0 disables)")
+	phaseA := flag.Duration("phase-a", 8*time.Second, "advisor: pre-shift phase duration")
+	phaseB := flag.Duration("phase-b", 16*time.Second, "advisor: post-shift phase duration")
+	outFile := flag.String("out", "", "advisor: write the JSON report to this file")
 	flag.Parse()
 
 	if *experiment == "load" {
 		check(runLoad(*serverURL, *clients, *duration, *sf, *seed, *faultRate))
+		return
+	}
+	if *experiment == "advisor" {
+		check(runAdvisor(*sf, *seed, *clients, *phaseA, *phaseB, *outFile))
 		return
 	}
 	if *experiment == "exec" {

@@ -13,11 +13,20 @@
 //	vmserver [-addr :8080] [-sf 0.01] [-seed 1] [-max-concurrent 64]
 //	         [-timeout 5s] [-cache-size 1024] [-max-rows 10000]
 //	         [-repair-interval 1s] [-fault-rate 0]
+//	         [-autopilot] [-autopilot-interval 5s] [-autopilot-views 4]
+//	         [-autopilot-budget 0]
 //
 // -repair-interval runs the background repair pass that rebuilds views whose
 // maintenance failed (0 disables it). -fault-rate arms chaos-style fault
 // injection at every storage and maintenance site — useful for demonstrating
 // degraded-mode behavior against a live server, never for production.
+//
+// -autopilot turns on the closed-loop view controller: the server mines the
+// live query stream into a decayed fingerprint histogram, periodically
+// re-plans the materialized-view set with the advisor under the given
+// budget, and creates/drops views in the background through the maintenance
+// lifecycle. GET /autopilot reports the controller state and mined workload;
+// POST /autopilot {"enabled": false} is the kill switch (capture continues).
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: new requests get 503 while
 // in-flight requests drain (up to 10s).
@@ -33,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"matview/internal/autopilot"
 	"matview/internal/faults"
 	"matview/internal/server"
 	"matview/internal/tpch"
@@ -48,6 +58,10 @@ func main() {
 	maxRows := flag.Int("max-rows", 10000, "max rows returned per query (0 = unlimited)")
 	repairInterval := flag.Duration("repair-interval", time.Second, "background repair pass period for degraded views (0 disables)")
 	faultRate := flag.Float64("fault-rate", 0, "per-site fault injection probability for chaos runs (0 disables)")
+	pilot := flag.Bool("autopilot", false, "run the closed-loop view autopilot")
+	pilotInterval := flag.Duration("autopilot-interval", 5*time.Second, "autopilot control-cycle period")
+	pilotViews := flag.Int("autopilot-views", 4, "autopilot: max managed views")
+	pilotBudget := flag.Float64("autopilot-budget", 0, "autopilot: total stored-row budget for managed views (0 = unbounded)")
 	flag.Parse()
 
 	log.SetPrefix("vmserver: ")
@@ -58,13 +72,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := server.New(db, server.Config{
+	cfg := server.Config{
 		MaxConcurrent:  *maxConcurrent,
 		RequestTimeout: *timeout,
 		CacheSize:      *cacheSize,
 		MaxRows:        *maxRows,
 		RepairInterval: *repairInterval,
-	})
+	}
+	if *pilot {
+		cfg.Autopilot = &autopilot.Config{
+			Interval:  *pilotInterval,
+			MaxViews:  *pilotViews,
+			RowBudget: *pilotBudget,
+		}
+		log.Printf("autopilot armed: interval=%v, max views=%d, row budget=%g",
+			*pilotInterval, *pilotViews, *pilotBudget)
+	}
+	srv := server.New(db, cfg)
 	if *faultRate > 0 {
 		inj := faults.New(*seed)
 		inj.AddAll(faults.Rule{Rate: *faultRate})

@@ -33,19 +33,56 @@ type Candidate struct {
 	Queries []int
 }
 
+// WeightedQuery is one workload entry with its observed (possibly decayed)
+// frequency. The autopilot feeds the mined histogram in this form so a query
+// seen a thousand times counts a thousand times more than a one-off.
+type WeightedQuery struct {
+	Query  *spjg.Query
+	Weight float64
+}
+
 // Config bounds the recommendation.
 type Config struct {
 	// MaxViews caps the number of recommended views (default 5).
 	MaxViews int
 	// RowBudget caps the summed estimated cardinality of recommended views
-	// (0 = unbounded).
+	// (0 = unbounded). Existing views do not count against it.
 	RowBudget float64
 	// Options configures the evaluation optimizer (zero value: defaults).
 	Options *opt.Options
+	// Existing views are registered during every evaluation but are never
+	// selected, swapped out, or charged to the budget — the baseline the
+	// recommendation must beat (e.g. operator-created views on a live
+	// server whose managed set the autopilot is re-planning).
+	Existing []Candidate
+	// LocalSearchMoves bounds the local-search refinement that runs after
+	// the greedy pass (0 disables it): starting from the greedy set, drop /
+	// swap / add moves are tried in deterministic order and the first
+	// improving move is taken, until no move improves the objective or this
+	// many candidate sets have been evaluated. This is the refinement of
+	// Anderson & Sasaki: greedy per-row ranking can wedge on many tiny
+	// per-constant views where one shared rollup and a swap would win.
+	LocalSearchMoves int
+	// RowPenalty charges the objective this much per stored row of the
+	// selected set during local search, standing in for maintenance and
+	// storage cost so "materialize everything" never looks free.
+	RowPenalty float64
 }
 
 // Recommend proposes materialized views for the workload, in selection order.
 func Recommend(cat *catalog.Catalog, workload []*spjg.Query, cfg Config) ([]Candidate, error) {
+	wl := make([]WeightedQuery, len(workload))
+	for i, q := range workload {
+		wl[i] = WeightedQuery{Query: q, Weight: 1}
+	}
+	return RecommendWorkload(cat, wl, cfg)
+}
+
+// RecommendWorkload is Recommend over a frequency-weighted workload: the
+// greedy selection ranks candidates by weighted cost reduction per stored
+// row, and the optional local-search pass refines the greedy set under the
+// same weighted objective.
+func RecommendWorkload(cat *catalog.Catalog, wl []WeightedQuery, cfg Config) ([]Candidate, error) {
 	if cfg.MaxViews == 0 {
 		cfg.MaxViews = 5
 	}
@@ -54,48 +91,82 @@ func Recommend(cat *catalog.Catalog, workload []*spjg.Query, cfg Config) ([]Cand
 		options = *cfg.Options
 	}
 
-	for i, q := range workload {
-		if err := q.Validate(); err != nil {
+	for i, wq := range wl {
+		if err := wq.Query.Validate(); err != nil {
 			return nil, fmt.Errorf("advisor: workload query %d: %w", i, err)
+		}
+		if wl[i].Weight <= 0 {
+			wl[i].Weight = 1
 		}
 	}
 
-	cands := generate(workload)
+	queries := make([]*spjg.Query, len(wl))
+	for i, wq := range wl {
+		queries[i] = wq.Query
+	}
+	cands := generate(queries)
+	// Never re-propose a view the caller already has.
+	if len(cfg.Existing) > 0 {
+		have := map[string]bool{}
+		for _, ex := range cfg.Existing {
+			have[Signature(ex.Def)] = true
+		}
+		kept := cands[:0]
+		for _, c := range cands {
+			if !have[Signature(c.Def)] {
+				kept = append(kept, c)
+			}
+		}
+		cands = kept
+	}
 	if len(cands) == 0 {
 		return nil, nil
 	}
 
-	// Baseline costs with the currently selected set (empty at first).
+	// Greedy phase: repeatedly take the candidate with the best weighted
+	// marginal benefit per stored row, re-evaluating against the set so far.
 	var selected []Candidate
+	pool := append([]Candidate(nil), cands...)
 	usedRows := 0.0
-	for len(selected) < cfg.MaxViews && len(cands) > 0 {
-		base, err := workloadCosts(cat, options, workload, selected)
+	for len(selected) < cfg.MaxViews && len(pool) > 0 {
+		base, err := workloadCosts(cat, options, wl, cfg.Existing, selected)
 		if err != nil {
 			return nil, err
 		}
 		bestIdx := -1
 		var best Candidate
-		for ci, cand := range cands {
+		for ci, cand := range pool {
 			if cfg.RowBudget > 0 && usedRows+cand.Rows > cfg.RowBudget {
 				continue
 			}
-			withCand, err := workloadCosts(cat, options, workload, append(selected[:len(selected):len(selected)], cand))
+			withCand, err := workloadCosts(cat, options, wl, cfg.Existing,
+				append(selected[:len(selected):len(selected)], cand))
 			if err != nil {
 				return nil, err
 			}
 			benefit := 0.0
 			var improved []int
-			for qi := range workload {
+			for qi := range wl {
 				if d := base[qi] - withCand[qi]; d > 1e-9 {
-					benefit += d
+					benefit += wl[qi].Weight * d
 					improved = append(improved, qi)
 				}
 			}
 			cand.Benefit = benefit
 			cand.Queries = improved
-			// Prefer higher benefit per stored row, then higher benefit.
-			if benefit > 0 && (bestIdx < 0 || perRow(cand) > perRow(best) ||
-				(perRow(cand) == perRow(best) && cand.Benefit > best.Benefit)) {
+			// Under a row budget, rank by benefit per stored row (knapsack
+			// style); with unbounded storage, by plain weighted benefit — a
+			// rollup serving the whole workload must beat a one-row view
+			// serving a single query.
+			better := func(a, b Candidate) bool {
+				if cfg.RowBudget > 0 {
+					return perRow(a) > perRow(b) ||
+						(perRow(a) == perRow(b) && a.Benefit > b.Benefit)
+				}
+				return a.Benefit > b.Benefit ||
+					(a.Benefit == b.Benefit && perRow(a) > perRow(b))
+			}
+			if benefit > 0 && (bestIdx < 0 || better(cand, best)) {
 				bestIdx = ci
 				best = cand
 			}
@@ -105,7 +176,149 @@ func Recommend(cat *catalog.Catalog, workload []*spjg.Query, cfg Config) ([]Cand
 		}
 		selected = append(selected, best)
 		usedRows += best.Rows
-		cands = append(cands[:bestIdx], cands[bestIdx+1:]...)
+		pool = append(pool[:bestIdx], pool[bestIdx+1:]...)
+	}
+
+	if cfg.LocalSearchMoves > 0 {
+		var err error
+		selected, err = localSearch(cat, options, wl, cfg, selected, cands)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return annotate(cat, options, wl, cfg.Existing, selected)
+}
+
+// localSearch hill-climbs from the greedy set: drop, swap, and add moves in
+// deterministic order, first improving move taken, bounded by
+// cfg.LocalSearchMoves objective evaluations. The objective is the weighted
+// workload cost plus RowPenalty per stored row, so a move must buy more
+// cost reduction than its storage costs.
+func localSearch(cat *catalog.Catalog, options opt.Options, wl []WeightedQuery,
+	cfg Config, selected, cands []Candidate) ([]Candidate, error) {
+	evals := 0
+	objective := func(set []Candidate) (float64, error) {
+		evals++
+		costs, err := workloadCosts(cat, options, wl, cfg.Existing, set)
+		if err != nil {
+			return 0, err
+		}
+		obj := 0.0
+		for qi := range wl {
+			obj += wl[qi].Weight * costs[qi]
+		}
+		for _, c := range set {
+			obj += cfg.RowPenalty * c.Rows
+		}
+		return obj, nil
+	}
+	rowsOf := func(set []Candidate) float64 {
+		sum := 0.0
+		for _, c := range set {
+			sum += c.Rows
+		}
+		return sum
+	}
+	feasible := func(set []Candidate) bool {
+		if len(set) > cfg.MaxViews {
+			return false
+		}
+		return cfg.RowBudget <= 0 || rowsOf(set) <= cfg.RowBudget
+	}
+	inSet := func(set []Candidate, c Candidate) bool {
+		sig := Signature(c.Def)
+		for _, s := range set {
+			if Signature(s.Def) == sig {
+				return true
+			}
+		}
+		return false
+	}
+
+	cur := append([]Candidate(nil), selected...)
+	curObj, err := objective(cur)
+	if err != nil {
+		return nil, err
+	}
+	improved := true
+	for improved && evals < cfg.LocalSearchMoves {
+		improved = false
+		// Moves are generated lazily so an improving early move skips the
+		// cost of evaluating the rest of the neighbourhood this round.
+		type move struct{ next []Candidate }
+		var moves []move
+		for i := range cur {
+			drop := append(append([]Candidate{}, cur[:i]...), cur[i+1:]...)
+			moves = append(moves, move{next: drop})
+		}
+		for i := range cur {
+			for _, cand := range cands {
+				if inSet(cur, cand) {
+					continue
+				}
+				swap := append(append([]Candidate{}, cur[:i]...), cur[i+1:]...)
+				swap = append(swap, cand)
+				moves = append(moves, move{next: swap})
+			}
+		}
+		for _, cand := range cands {
+			if inSet(cur, cand) {
+				continue
+			}
+			moves = append(moves, move{next: append(append([]Candidate{}, cur...), cand)})
+		}
+		for _, m := range moves {
+			if evals >= cfg.LocalSearchMoves {
+				break
+			}
+			if !feasible(m.next) {
+				continue
+			}
+			obj, err := objective(m.next)
+			if err != nil {
+				return nil, err
+			}
+			// Require a relative improvement: micro-wins (swapping between
+			// near-identical tiny views) would otherwise churn the set every
+			// run without moving the objective.
+			if obj < curObj-max(1e-9, 1e-3*curObj) {
+				cur, curObj = m.next, obj
+				improved = true
+				break
+			}
+		}
+	}
+	return cur, nil
+}
+
+// annotate recomputes each selected view's marginal benefit against the
+// final set (leave-one-out), so Benefit and Queries describe the returned
+// selection rather than the greedy iteration that first picked the view.
+func annotate(cat *catalog.Catalog, options opt.Options, wl []WeightedQuery,
+	existing, selected []Candidate) ([]Candidate, error) {
+	if len(selected) == 0 {
+		return selected, nil
+	}
+	full, err := workloadCosts(cat, options, wl, existing, selected)
+	if err != nil {
+		return nil, err
+	}
+	for i := range selected {
+		rest := append(append([]Candidate{}, selected[:i]...), selected[i+1:]...)
+		without, err := workloadCosts(cat, options, wl, existing, rest)
+		if err != nil {
+			return nil, err
+		}
+		benefit := 0.0
+		var improved []int
+		for qi := range wl {
+			if d := without[qi] - full[qi]; d > 1e-9 {
+				benefit += wl[qi].Weight * d
+				improved = append(improved, qi)
+			}
+		}
+		selected[i].Benefit = benefit
+		selected[i].Queries = improved
 	}
 	return selected, nil
 }
@@ -118,19 +331,25 @@ func perRow(c Candidate) float64 {
 	return c.Benefit / rows
 }
 
-// workloadCosts optimizes the workload with the given views registered and
-// returns the per-query estimated costs.
+// workloadCosts optimizes the workload with the existing and candidate views
+// registered and returns the per-query estimated costs (unweighted; callers
+// apply weights).
 func workloadCosts(cat *catalog.Catalog, options opt.Options,
-	workload []*spjg.Query, views []Candidate) ([]float64, error) {
+	wl []WeightedQuery, existing, views []Candidate) ([]float64, error) {
 	o := opt.NewOptimizer(cat, options)
+	for _, v := range existing {
+		if _, err := o.RegisterView(v.Name, v.Def); err != nil {
+			return nil, fmt.Errorf("advisor: registering existing %s: %w", v.Name, err)
+		}
+	}
 	for _, v := range views {
 		if _, err := o.RegisterView(v.Name, v.Def); err != nil {
 			return nil, fmt.Errorf("advisor: registering %s: %w", v.Name, err)
 		}
 	}
-	out := make([]float64, len(workload))
-	for i, q := range workload {
-		res, err := o.Optimize(q)
+	out := make([]float64, len(wl))
+	for i, wq := range wl {
+		res, err := o.Optimize(wq.Query)
 		if err != nil {
 			return nil, fmt.Errorf("advisor: optimizing query %d: %w", i, err)
 		}
@@ -141,8 +360,9 @@ func workloadCosts(cat *catalog.Catalog, options opt.Options,
 
 // generate derives deduplicated candidates from the workload queries: the
 // query itself as an indexable view, its SPJ core with join predicates only
-// (serving sibling queries with different selections), and for aggregation
-// queries the unfiltered rollup grouped on the query's grouping columns.
+// (serving sibling queries with different selections), for aggregation
+// queries the unfiltered rollup grouped on the query's grouping columns, and
+// merged rollups shared across queries with a common join skeleton.
 func generate(workload []*spjg.Query) []Candidate {
 	var out []Candidate
 	seen := map[string]bool{}
@@ -150,7 +370,7 @@ func generate(workload []*spjg.Query) []Candidate {
 		if def == nil || def.ValidateAsView() != nil {
 			return
 		}
-		sig := signature(def)
+		sig := Signature(def)
 		if seen[sig] {
 			return
 		}
@@ -166,8 +386,136 @@ func generate(workload []*spjg.Query) []Candidate {
 		add(spjCore(q))
 		add(unfilteredRollup(q))
 	}
+	for _, def := range mergedRollups(workload) {
+		add(def)
+	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Rows < out[j].Rows })
 	return out
+}
+
+// mergedRollups exploits common subexpressions across the workload (Mistry
+// et al.): aggregation queries sharing the same table sequence and join
+// skeleton collapse into one rollup grouped on the union of their grouping
+// expressions, carrying the union of their sums — a single view the matcher
+// can roll up to serve every member (rollup compensation needs the view's
+// grouping to be a superset of each query's, §3.3).
+func mergedRollups(workload []*spjg.Query) []*spjg.Query {
+	type group struct {
+		defs []*spjg.Query
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, q := range workload {
+		def := unfilteredRollup(q)
+		if def == nil || def.ValidateAsView() != nil {
+			continue
+		}
+		key := joinSkeletonKey(def)
+		g, ok := groups[key]
+		if !ok {
+			g = &group{}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.defs = append(g.defs, def)
+	}
+	var out []*spjg.Query
+	for _, key := range order {
+		defs := groups[key].defs
+		if len(defs) < 2 {
+			continue
+		}
+		if merged := mergeRollupDefs(defs); merged != nil {
+			out = append(out, merged)
+		}
+	}
+	return out
+}
+
+// joinSkeletonKey identifies a rollup's shared core: the ordered table
+// sequence (so column references align across members) plus the join-only
+// WHERE fingerprint.
+func joinSkeletonKey(def *spjg.Query) string {
+	s := ""
+	for _, t := range def.Tables {
+		s += t.Table.Name + ","
+	}
+	s += "|"
+	if def.Where != nil {
+		fp := expr.NewFingerprint(expr.Normalize(def.Where))
+		s += fp.Text + colsKey(fp.Cols)
+	}
+	return s
+}
+
+// mergeRollupDefs unions the grouping expressions and sum aggregates of
+// rollups over the same join skeleton into one shared view definition.
+func mergeRollupDefs(defs []*spjg.Query) *spjg.Query {
+	base := defs[0]
+	merged := &spjg.Query{
+		Tables:     base.Tables,
+		Where:      base.Where,
+		HasGroupBy: true,
+	}
+	groupSeen := map[string]bool{}
+	sumSeen := map[string]bool{}
+	names := map[string]bool{}
+	uniqueName := func(n string) string {
+		if n == "" {
+			n = "c"
+		}
+		name := n
+		for i := 2; names[name]; i++ {
+			name = fmt.Sprintf("%s_%d", n, i)
+		}
+		names[name] = true
+		return name
+	}
+	for _, def := range defs {
+		for _, g := range def.GroupBy {
+			fp := expr.NewFingerprint(expr.Normalize(g))
+			key := fp.Text + colsKey(fp.Cols)
+			if groupSeen[key] {
+				continue
+			}
+			groupSeen[key] = true
+			merged.GroupBy = append(merged.GroupBy, g)
+			name := ""
+			if col, ok := g.(expr.Column); ok {
+				name = base.Tables[col.Ref.Tab].Table.Columns[col.Ref.Col].Name
+			}
+			if name == "" {
+				name = fmt.Sprintf("g%d", len(merged.GroupBy)-1)
+			}
+			merged.Outputs = append(merged.Outputs, spjg.OutputColumn{
+				Name: uniqueName(name), Expr: g,
+			})
+		}
+	}
+	merged.Outputs = append(merged.Outputs, spjg.OutputColumn{
+		Name: uniqueName("cnt"), Agg: &spjg.Aggregate{Kind: spjg.AggCountStar},
+	})
+	for _, def := range defs {
+		for _, o := range def.Outputs {
+			if o.Agg == nil || o.Agg.Kind != spjg.AggSum {
+				continue
+			}
+			fp := expr.NewFingerprint(expr.Normalize(o.Agg.Arg))
+			key := fp.Text + colsKey(fp.Cols)
+			if sumSeen[key] {
+				continue
+			}
+			sumSeen[key] = true
+			merged.Outputs = append(merged.Outputs, spjg.OutputColumn{
+				Name: uniqueName(o.Name),
+				Agg:  &spjg.Aggregate{Kind: spjg.AggSum, Arg: o.Agg.Arg},
+			})
+		}
+	}
+	if merged.ValidateAsView() != nil {
+		return nil
+	}
+	return merged
 }
 
 // asView turns a query into an indexable-view definition: aggregation
@@ -305,8 +653,11 @@ func referencedCols(q *spjg.Query) []expr.ColRef {
 	return out
 }
 
-// signature canonically identifies a candidate definition for deduplication.
-func signature(def *spjg.Query) string {
+// Signature canonically identifies a view definition: same signature, same
+// view up to output naming. The advisor deduplicates candidates with it and
+// the autopilot controller diffs its managed set against a fresh
+// recommendation with it.
+func Signature(def *spjg.Query) string {
 	s := ""
 	for _, t := range def.SourceTableMultiset() {
 		s += t + ","
@@ -317,22 +668,35 @@ func signature(def *spjg.Query) string {
 		s += fp.Text + colsKey(fp.Cols)
 	}
 	s += "|"
+	// Outputs and grouping are sets: two definitions that differ only in
+	// column order (e.g. a merged rollup vs the equivalent single-query
+	// rollup) must collapse to one signature.
+	var outs []string
 	for _, o := range def.Outputs {
 		switch {
 		case o.Expr != nil:
 			fp := expr.NewFingerprint(expr.Normalize(o.Expr))
-			s += fp.Text + colsKey(fp.Cols) + ";"
+			outs = append(outs, fp.Text+colsKey(fp.Cols))
 		case o.Agg != nil && o.Agg.Arg != nil:
 			fp := expr.NewFingerprint(expr.Normalize(o.Agg.Arg))
-			s += o.Agg.Kind.String() + fp.Text + colsKey(fp.Cols) + ";"
+			outs = append(outs, o.Agg.Kind.String()+fp.Text+colsKey(fp.Cols))
 		case o.Agg != nil:
-			s += "COUNT;"
+			outs = append(outs, "COUNT")
 		}
 	}
+	sort.Strings(outs)
+	for _, o := range outs {
+		s += o + ";"
+	}
 	s += "|"
+	var groups []string
 	for _, g := range def.GroupBy {
 		fp := expr.NewFingerprint(expr.Normalize(g))
-		s += fp.Text + colsKey(fp.Cols) + ";"
+		groups = append(groups, fp.Text+colsKey(fp.Cols))
+	}
+	sort.Strings(groups)
+	for _, g := range groups {
+		s += g + ";"
 	}
 	return s
 }

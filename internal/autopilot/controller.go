@@ -1,0 +1,453 @@
+package autopilot
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"matview/internal/advisor"
+	"matview/internal/catalog"
+	"matview/internal/spjg"
+)
+
+// ViewInfo describes one view registered on the server, as seen by the
+// controller during selection.
+type ViewInfo struct {
+	Name string
+	Def  *spjg.Query
+	Rows float64
+}
+
+// Actuator is the server surface the controller drives. The server
+// implements it; the controller never reaches into server internals, so
+// tests can substitute a fake.
+type Actuator interface {
+	// EvaluateSelection runs fn under the server's shared (query) lock with
+	// the current catalog and registered views. Holding the lock keeps the
+	// advisor's cost evaluations consistent: DML's catalog-stat refresh and
+	// DDL cannot interleave with the costing.
+	EvaluateSelection(fn func(cat *catalog.Catalog, views []ViewInfo))
+	// CreateView builds and installs a view in the background through the
+	// maintainer lifecycle (Rebuilding while building, Fresh once
+	// installed); traffic never matches it half-built.
+	CreateView(name string, def *spjg.Query) error
+	// DropView removes a view from the optimizer and maintainer.
+	DropView(name string) error
+	// ViewUsage snapshots the cumulative times each view was chosen by the
+	// matcher for an executed plan.
+	ViewUsage() map[string]int64
+}
+
+// Config tunes the controller. Zero fields take defaults.
+type Config struct {
+	// Interval between control cycles (default 5s).
+	Interval time.Duration
+	// MaxViews caps the managed view set (default 4).
+	MaxViews int
+	// RowBudget caps the summed estimated rows of managed views
+	// (0 = unbounded).
+	RowBudget float64
+	// RowPenalty is the advisor's per-row storage charge during local
+	// search (default 0.01).
+	RowPenalty float64
+	// TopK is how many histogram entries feed each selection (default 16).
+	TopK int
+	// MinSamples is how many recorded statements must accumulate before
+	// the first selection runs (default 32).
+	MinSamples int64
+	// LocalSearchMoves bounds the advisor's local-search refinement
+	// (default 24 evaluations).
+	LocalSearchMoves int
+	// MinCreateShare gates actuation: a recommended view is created only if
+	// its marginal benefit is at least this fraction of the whole
+	// selection's benefit (default 0.02, negative disables). Marginal wins —
+	// a one-row view shaving the last few cost units off a query a rollup
+	// already serves — are not worth a catalog epoch bump and a build.
+	MinCreateShare float64
+	// CreateAfterHits is the creation-side hysteresis: a recommended view
+	// is actuated only after appearing in this many consecutive selections
+	// (default 1 — immediate). Around a workload shift the selection
+	// flickers at the top-K boundary; requiring consecutive hits keeps a
+	// one-cycle blip from triggering a build.
+	CreateAfterHits int
+	// DropAfterMisses is the hysteresis threshold: a managed view is
+	// dropped only after the advisor has left it out of this many
+	// consecutive selections (default 2), so one noisy cycle cannot churn
+	// the view set.
+	DropAfterMisses int
+	// MaxChangesPerCycle rate-limits actuation: at most this many creates
+	// plus drops per cycle (default 2).
+	MaxChangesPerCycle int
+	// NamePrefix prefixes managed view names (default "auto_"); operator
+	// views never collide and are never dropped.
+	NamePrefix string
+	// Recorder bounds the workload histogram.
+	Recorder RecorderConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 5 * time.Second
+	}
+	if c.MaxViews <= 0 {
+		c.MaxViews = 4
+	}
+	if c.RowPenalty <= 0 {
+		c.RowPenalty = 0.01
+	}
+	if c.TopK <= 0 {
+		c.TopK = 16
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 32
+	}
+	if c.LocalSearchMoves <= 0 {
+		c.LocalSearchMoves = 24
+	}
+	if c.MinCreateShare == 0 {
+		c.MinCreateShare = 0.02
+	}
+	if c.CreateAfterHits <= 0 {
+		c.CreateAfterHits = 1
+	}
+	if c.DropAfterMisses <= 0 {
+		c.DropAfterMisses = 2
+	}
+	if c.MaxChangesPerCycle <= 0 {
+		c.MaxChangesPerCycle = 2
+	}
+	if c.NamePrefix == "" {
+		c.NamePrefix = "auto_"
+	}
+	return c
+}
+
+// managedView is one view the controller created and owns.
+type managedView struct {
+	name    string
+	sig     string
+	def     *spjg.Query
+	rows    float64
+	strikes int
+}
+
+// Controller is the background control loop: every Interval it snapshots
+// the recorder, re-plans the managed view set with the advisor, and diffs
+// the recommendation against what it owns — creating winners through the
+// lifecycle and dropping persistent losers. A kill switch pauses actuation
+// (capture continues); every cycle is panic-contained like the repair loop.
+type Controller struct {
+	cfg     Config
+	rec     *Recorder
+	act     Actuator
+	enabled atomic.Bool
+
+	mu        sync.Mutex // guards managed, pending, lastUsage, seq across Cycle/Status
+	managed   map[string]*managedView
+	pending   map[string]int // signature -> consecutive selections (create hysteresis)
+	lastUsage map[string]int64
+	seq       int
+
+	cycles  atomic.Int64
+	creates atomic.Int64
+	drops   atomic.Int64
+	errs    atomic.Int64
+	panics  atomic.Int64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewController builds a controller over the actuator. It starts enabled
+// but idle; call Start to run the loop, or Cycle directly (tests,
+// single-step tooling).
+func NewController(act Actuator, cfg Config) *Controller {
+	c := &Controller{
+		cfg:       cfg.withDefaults(),
+		rec:       NewRecorder(cfg.Recorder),
+		act:       act,
+		managed:   make(map[string]*managedView),
+		pending:   make(map[string]int),
+		lastUsage: make(map[string]int64),
+		stop:      make(chan struct{}),
+	}
+	c.enabled.Store(true)
+	return c
+}
+
+// Recorder returns the controller's workload recorder (the server's capture
+// hook records into it).
+func (c *Controller) Recorder() *Recorder { return c.rec }
+
+// SetEnabled flips the kill switch. Disabled means no selection and no
+// actuation; workload capture keeps running so re-enabling has a warm
+// histogram.
+func (c *Controller) SetEnabled(on bool) { c.enabled.Store(on) }
+
+// Enabled reports the kill-switch state.
+func (c *Controller) Enabled() bool { return c.enabled.Load() }
+
+// Start launches the background loop.
+func (c *Controller) Start() {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		t := time.NewTicker(c.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-t.C:
+				c.Cycle()
+			}
+		}
+	}()
+}
+
+// Stop shuts the loop down and waits for an in-flight cycle.
+func (c *Controller) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}
+
+// Cycle runs one control iteration. Safe to call concurrently with traffic;
+// a panic anywhere in selection or actuation is contained and counted, the
+// next cycle starts clean.
+func (c *Controller) Cycle() {
+	defer func() {
+		if r := recover(); r != nil {
+			c.panics.Add(1)
+		}
+	}()
+	if !c.enabled.Load() {
+		return
+	}
+	if c.rec.Stats().Recorded < c.cfg.MinSamples {
+		return
+	}
+	// Rank the histogram by decayed frequency × measured execution cost, not
+	// frequency alone: after a workload shift the new, expensive shapes must
+	// displace yesterday's cheap-but-frequent ones from the selection window
+	// immediately, not after their weights decay past each other.
+	snap := c.rec.Snapshot(0)
+	priority := func(e WorkloadEntry) float64 { return e.Weight * (1 + e.ExecMicros) }
+	sort.Slice(snap, func(i, j int) bool {
+		pi, pj := priority(snap[i]), priority(snap[j])
+		if pi != pj {
+			return pi > pj
+		}
+		return snap[i].Fingerprint < snap[j].Fingerprint
+	})
+	if len(snap) > c.cfg.TopK {
+		snap = snap[:c.cfg.TopK]
+	}
+	var wl []advisor.WeightedQuery
+	for _, e := range snap {
+		if e.Query == nil {
+			continue // never parsed in this process; skip
+		}
+		wl = append(wl, advisor.WeightedQuery{Query: e.Query, Weight: e.Weight})
+	}
+	if len(wl) == 0 {
+		return
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	// Selection under the server's shared lock: existing operator views are
+	// the baseline, managed views are up for re-planning.
+	var recs []advisor.Candidate
+	var recErr error
+	liveNames := map[string]bool{}
+	c.act.EvaluateSelection(func(cat *catalog.Catalog, views []ViewInfo) {
+		var existing []advisor.Candidate
+		for _, v := range views {
+			liveNames[v.Name] = true
+			if _, mine := c.managed[v.Name]; mine {
+				continue
+			}
+			existing = append(existing, advisor.Candidate{Name: v.Name, Def: v.Def, Rows: v.Rows})
+		}
+		recs, recErr = advisor.RecommendWorkload(cat, wl, advisor.Config{
+			MaxViews:         c.cfg.MaxViews,
+			RowBudget:        c.cfg.RowBudget,
+			RowPenalty:       c.cfg.RowPenalty,
+			LocalSearchMoves: c.cfg.LocalSearchMoves,
+			Existing:         existing,
+		})
+	})
+	c.cycles.Add(1)
+	if recErr != nil {
+		c.errs.Add(1)
+		return
+	}
+
+	// Reconcile the managed map with reality: a view dropped out from under
+	// us (operator DROP VIEW) is forgotten, not re-dropped.
+	for name := range c.managed {
+		if !liveNames[name] {
+			delete(c.managed, name)
+		}
+	}
+
+	// Drop marginal recommendations before diffing: not worth actuating.
+	if c.cfg.MinCreateShare > 0 {
+		total := 0.0
+		for _, r := range recs {
+			total += r.Benefit
+		}
+		kept := recs[:0]
+		for _, r := range recs {
+			if r.Benefit >= c.cfg.MinCreateShare*total {
+				kept = append(kept, r)
+			}
+		}
+		recs = kept
+	}
+
+	target := map[string]advisor.Candidate{}
+	for _, r := range recs {
+		target[advisor.Signature(r.Def)] = r
+	}
+	usage := c.act.ViewUsage()
+
+	changes := 0
+	// Hysteresis drops first: strikes accumulate while the advisor leaves a
+	// managed view out of the selection; presence resets them.
+	for name, mv := range c.managed {
+		if _, wanted := target[mv.sig]; wanted {
+			mv.strikes = 0
+			continue
+		}
+		mv.strikes++
+		if mv.strikes >= c.cfg.DropAfterMisses && changes < c.cfg.MaxChangesPerCycle {
+			if err := c.act.DropView(name); err != nil {
+				c.errs.Add(1)
+				continue
+			}
+			delete(c.managed, name)
+			delete(c.lastUsage, name)
+			c.drops.Add(1)
+			changes++
+		}
+	}
+	// Creates for recommended views we don't own yet, once the
+	// recommendation has persisted CreateAfterHits consecutive cycles.
+	have := map[string]bool{}
+	for _, mv := range c.managed {
+		have[mv.sig] = true
+	}
+	for _, r := range recs {
+		sig := advisor.Signature(r.Def)
+		if have[sig] {
+			delete(c.pending, sig)
+			continue
+		}
+		c.pending[sig]++
+		if c.pending[sig] < c.cfg.CreateAfterHits || changes >= c.cfg.MaxChangesPerCycle {
+			continue // not confirmed yet, or rate-limited: keep the streak
+		}
+		name := c.nextName(liveNames)
+		if err := c.act.CreateView(name, r.Def); err != nil {
+			c.errs.Add(1)
+			continue
+		}
+		delete(c.pending, sig)
+		c.managed[name] = &managedView{name: name, sig: sig, def: r.Def, rows: r.Rows}
+		have[sig] = true
+		liveNames[name] = true
+		c.creates.Add(1)
+		changes++
+	}
+	// A signature that fell out of the selection loses its streak.
+	for sig := range c.pending {
+		if _, ok := target[sig]; !ok {
+			delete(c.pending, sig)
+		}
+	}
+	for name := range c.managed {
+		c.lastUsage[name] = usage[name]
+	}
+}
+
+// nextName allocates the next managed view name, skipping any name already
+// registered on the server.
+func (c *Controller) nextName(taken map[string]bool) string {
+	for {
+		c.seq++
+		name := fmt.Sprintf("%s%d", c.cfg.NamePrefix, c.seq)
+		if !taken[name] && c.managed[name] == nil {
+			return name
+		}
+	}
+}
+
+// ManagedStatus describes one managed view in Status.
+type ManagedStatus struct {
+	Name string `json:"name"`
+	SQL  string `json:"sql"`
+	// Strikes is how many consecutive selections have excluded the view;
+	// at DropAfterMisses it is dropped.
+	Strikes int   `json:"strikes"`
+	Usage   int64 `json:"usage"`
+}
+
+// Status is the /autopilot snapshot.
+type Status struct {
+	Enabled bool  `json:"enabled"`
+	Cycles  int64 `json:"cycles"`
+	Creates int64 `json:"creates"`
+	Drops   int64 `json:"drops"`
+	Errors  int64 `json:"errors"`
+	Panics  int64 `json:"panics"`
+
+	Managed  []ManagedStatus `json:"managed"`
+	Recorder RecorderStats   `json:"recorder"`
+	Workload []WorkloadEntry `json:"workload"`
+}
+
+// Status snapshots the controller for the /autopilot endpoint. topWorkload
+// bounds the embedded histogram dump (0 returns everything, negative omits
+// the dump — the /metrics summary path).
+func (c *Controller) Status(topWorkload int) Status {
+	usage := c.act.ViewUsage()
+	c.mu.Lock()
+	managed := make([]ManagedStatus, 0, len(c.managed))
+	for name, mv := range c.managed {
+		managed = append(managed, ManagedStatus{
+			Name:    name,
+			SQL:     mv.def.String(),
+			Strikes: mv.strikes,
+			Usage:   usage[name],
+		})
+	}
+	c.mu.Unlock()
+	sortManaged(managed)
+	st := Status{
+		Enabled:  c.enabled.Load(),
+		Cycles:   c.cycles.Load(),
+		Creates:  c.creates.Load(),
+		Drops:    c.drops.Load(),
+		Errors:   c.errs.Load(),
+		Panics:   c.panics.Load(),
+		Managed:  managed,
+		Recorder: c.rec.Stats(),
+	}
+	if topWorkload >= 0 {
+		st.Workload = c.rec.Snapshot(topWorkload)
+	}
+	return st
+}
+
+func sortManaged(ms []ManagedStatus) {
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && ms[j].Name < ms[j-1].Name; j-- {
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+}

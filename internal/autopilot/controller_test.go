@@ -1,0 +1,403 @@
+package autopilot
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"matview/internal/catalog"
+	"matview/internal/spjg"
+	"matview/internal/sqlparser"
+	"matview/internal/tpch"
+)
+
+// fakeActuator implements Actuator over a bare catalog: creates and drops
+// mutate an in-memory view map, and the test can inject errors or panics.
+type fakeActuator struct {
+	cat *catalog.Catalog
+
+	mu          sync.Mutex
+	views       map[string]*spjg.Query
+	usage       map[string]int64
+	creates     []string
+	dropped     []string
+	createErr   error
+	createPanic bool
+}
+
+func newFakeActuator() *fakeActuator {
+	return &fakeActuator{
+		cat:   tpch.NewCatalog(0.01),
+		views: map[string]*spjg.Query{},
+		usage: map[string]int64{},
+	}
+}
+
+func (f *fakeActuator) EvaluateSelection(fn func(cat *catalog.Catalog, views []ViewInfo)) {
+	f.mu.Lock()
+	var infos []ViewInfo
+	for n, d := range f.views {
+		infos = append(infos, ViewInfo{Name: n, Def: d})
+	}
+	f.mu.Unlock()
+	fn(f.cat, infos)
+}
+
+func (f *fakeActuator) CreateView(name string, def *spjg.Query) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.createPanic {
+		panic("actuator exploded")
+	}
+	if f.createErr != nil {
+		return f.createErr
+	}
+	f.views[name] = def
+	f.creates = append(f.creates, name)
+	return nil
+}
+
+func (f *fakeActuator) DropView(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.views[name]; !ok {
+		return errors.New("unknown view")
+	}
+	delete(f.views, name)
+	f.dropped = append(f.dropped, name)
+	return nil
+}
+
+func (f *fakeActuator) ViewUsage() map[string]int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := map[string]int64{}
+	for k, v := range f.usage {
+		out[k] = v
+	}
+	return out
+}
+
+func (f *fakeActuator) viewSQLs() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []string
+	for _, d := range f.views {
+		out = append(out, d.String())
+	}
+	return out
+}
+
+func mustParse(t *testing.T, cat *catalog.Catalog, sql string) *spjg.Query {
+	t.Helper()
+	q, err := sqlparser.ParseQuery(cat, sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	return q
+}
+
+// feedPartkey records a batch of partkey point-rollup shapes — the workload
+// whose best single view is the unfiltered lineitem/partkey rollup.
+func feedPartkey(t *testing.T, c *Controller, cat *catalog.Catalog, reps int) {
+	t.Helper()
+	for i := 0; i < reps; i++ {
+		for k := 1; k <= 6; k++ {
+			sql := "select l_partkey, sum(l_quantity) as qty from lineitem where l_partkey = " +
+				string(rune('0'+k)) + " group by l_partkey"
+			c.Recorder().Record(sql, sql, mustParse(t, cat, sql), 60000, 3*time.Millisecond)
+		}
+	}
+}
+
+func feedCustkey(t *testing.T, c *Controller, cat *catalog.Catalog, reps int) {
+	t.Helper()
+	for i := 0; i < reps; i++ {
+		for k := 1; k <= 6; k++ {
+			sql := "select o_custkey, sum(o_totalprice) as total from orders where o_custkey = " +
+				string(rune('0'+k)) + " group by o_custkey"
+			c.Recorder().Record(sql, sql, mustParse(t, cat, sql), 30000, 2*time.Millisecond)
+		}
+	}
+}
+
+func testConfig() Config {
+	return Config{
+		MaxViews:           2,
+		TopK:               12,
+		MinSamples:         6,
+		LocalSearchMoves:   48,
+		CreateAfterHits:    1,
+		DropAfterMisses:    2,
+		MaxChangesPerCycle: 2,
+		Recorder:           RecorderConfig{HalfLife: 10 * time.Second},
+	}
+}
+
+// TestControllerCreatesFromWorkload: a mined point-rollup workload must lead
+// the controller to create the shared rollup view, not one view per query.
+func TestControllerCreatesFromWorkload(t *testing.T) {
+	act := newFakeActuator()
+	c := NewController(act, testConfig())
+	feedPartkey(t, c, act.cat, 4)
+	c.Cycle()
+	st := c.Status(0)
+	if st.Creates == 0 || len(st.Managed) == 0 {
+		t.Fatalf("no view created: %+v", st)
+	}
+	found := false
+	for _, sql := range act.viewSQLs() {
+		if strings.Contains(sql, "GROUP BY lineitem.l_partkey") && !strings.Contains(sql, "WHERE") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected the unfiltered partkey rollup, got %v", act.viewSQLs())
+	}
+	// A repeat cycle with the same workload must be a no-op: same signature
+	// is already owned.
+	before := len(act.creates)
+	c.Cycle()
+	if len(act.creates) != before {
+		t.Fatalf("stable workload churned the view set: %v", act.creates)
+	}
+}
+
+// TestControllerMinSamples: no actuation before the histogram has seen
+// enough statements to be worth planning from.
+func TestControllerMinSamples(t *testing.T) {
+	act := newFakeActuator()
+	cfg := testConfig()
+	cfg.MinSamples = 1000
+	c := NewController(act, cfg)
+	feedPartkey(t, c, act.cat, 4) // 24 records < 1000
+	c.Cycle()
+	if st := c.Status(0); st.Creates != 0 {
+		t.Fatalf("created below MinSamples: %+v", st)
+	}
+}
+
+// TestControllerCreateHysteresis: with CreateAfterHits=3 the same
+// recommendation must persist three consecutive cycles before actuation.
+func TestControllerCreateHysteresis(t *testing.T) {
+	act := newFakeActuator()
+	cfg := testConfig()
+	cfg.CreateAfterHits = 3
+	c := NewController(act, cfg)
+	feedPartkey(t, c, act.cat, 4)
+	c.Cycle()
+	c.Cycle()
+	if len(act.creates) != 0 {
+		t.Fatalf("created before the streak confirmed: %v", act.creates)
+	}
+	c.Cycle()
+	if len(act.creates) == 0 {
+		t.Fatal("confirmed recommendation not actuated")
+	}
+}
+
+// TestControllerDropHysteresis: once the workload shifts, the stale view is
+// dropped only after DropAfterMisses consecutive selections exclude it.
+func TestControllerDropHysteresis(t *testing.T) {
+	act := newFakeActuator()
+	now := time.Unix(0, 0)
+	cfg := testConfig()
+	cfg.MaxViews = 1
+	c := NewController(act, cfg)
+	c.Recorder().SetClock(func() time.Time { return now })
+
+	feedPartkey(t, c, act.cat, 4)
+	c.Cycle()
+	if len(act.creates) != 1 {
+		t.Fatalf("creates = %v", act.creates)
+	}
+
+	// Shift: partkey weights decay to dust, custkey shapes take over.
+	now = now.Add(200 * time.Second)
+	feedCustkey(t, c, act.cat, 4)
+
+	c.Cycle() // miss 1: strikes=1, nothing dropped yet
+	if len(act.dropped) != 0 {
+		t.Fatalf("dropped after one miss: %v", act.dropped)
+	}
+	// The replacement may already be created while the stale view serves out
+	// its strikes; what matters is the strike is visible and nothing dropped.
+	staleStrikes := -1
+	for _, m := range c.Status(0).Managed {
+		if m.Name == act.creates[0] {
+			staleStrikes = m.Strikes
+		}
+	}
+	if staleStrikes != 1 {
+		t.Fatalf("stale view strikes = %d, want 1", staleStrikes)
+	}
+	c.Cycle() // miss 2: drop fires, and the custkey rollup replaces it
+	if len(act.dropped) != 1 {
+		t.Fatalf("dropped = %v, want the stale partkey view", act.dropped)
+	}
+	found := false
+	for _, sql := range act.viewSQLs() {
+		if strings.Contains(sql, "GROUP BY orders.o_custkey") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("shifted workload's rollup missing: %v", act.viewSQLs())
+	}
+}
+
+// TestControllerRateLimit: MaxChangesPerCycle bounds actuations per cycle
+// while the pending streaks survive the deferral.
+func TestControllerRateLimit(t *testing.T) {
+	act := newFakeActuator()
+	cfg := testConfig()
+	cfg.MaxChangesPerCycle = 1
+	c := NewController(act, cfg)
+	feedPartkey(t, c, act.cat, 4)
+	feedCustkey(t, c, act.cat, 4)
+	c.Cycle()
+	if len(act.creates) != 1 {
+		t.Fatalf("cycle 1 creates = %v, want exactly 1", act.creates)
+	}
+	c.Cycle()
+	if len(act.creates) != 2 {
+		t.Fatalf("cycle 2 creates = %v, want 2 total", act.creates)
+	}
+}
+
+// TestControllerKillSwitch: disabled means no selection and no actuation,
+// but capture keeps running; re-enabling picks up the warm histogram.
+func TestControllerKillSwitch(t *testing.T) {
+	act := newFakeActuator()
+	c := NewController(act, testConfig())
+	c.SetEnabled(false)
+	feedPartkey(t, c, act.cat, 4)
+	c.Cycle()
+	st := c.Status(0)
+	if st.Cycles != 0 || st.Creates != 0 {
+		t.Fatalf("disabled controller acted: %+v", st)
+	}
+	if st.Recorder.Recorded == 0 {
+		t.Fatal("kill switch stopped capture too")
+	}
+	c.SetEnabled(true)
+	c.Cycle()
+	if st := c.Status(0); st.Creates == 0 {
+		t.Fatalf("re-enabled controller ignored the warm histogram: %+v", st)
+	}
+}
+
+// TestControllerPanicContainment: a panicking actuator costs one cycle, not
+// the process; the next cycle proceeds normally.
+func TestControllerPanicContainment(t *testing.T) {
+	act := newFakeActuator()
+	c := NewController(act, testConfig())
+	feedPartkey(t, c, act.cat, 4)
+	act.createPanic = true
+	c.Cycle()
+	if st := c.Status(0); st.Panics != 1 {
+		t.Fatalf("panic not contained/counted: %+v", st)
+	}
+	act.createPanic = false
+	c.Cycle()
+	if st := c.Status(0); st.Creates == 0 {
+		t.Fatalf("controller dead after panic: %+v", st)
+	}
+}
+
+// TestControllerCreateErrorCounted: a failing create is an error tick and a
+// retry next cycle, not a phantom managed view.
+func TestControllerCreateErrorCounted(t *testing.T) {
+	act := newFakeActuator()
+	c := NewController(act, testConfig())
+	feedPartkey(t, c, act.cat, 4)
+	act.createErr = errors.New("disk full")
+	c.Cycle()
+	st := c.Status(0)
+	if st.Errors == 0 || len(st.Managed) != 0 {
+		t.Fatalf("failed create mishandled: %+v", st)
+	}
+	act.createErr = nil
+	c.Cycle()
+	if st := c.Status(0); len(st.Managed) == 0 {
+		t.Fatalf("create not retried after error: %+v", st)
+	}
+}
+
+// TestControllerExistingViewIsBaseline: an operator view that already covers
+// the workload means the advisor has nothing to add — the controller must
+// not duplicate it (and must never drop it).
+func TestControllerExistingViewIsBaseline(t *testing.T) {
+	act := newFakeActuator()
+	rollup := mustParse(t, act.cat,
+		"select l_partkey, count_big(*) as cnt, sum(l_quantity) as qty from lineitem group by l_partkey")
+	act.views["operator_pq"] = rollup
+	c := NewController(act, testConfig())
+	feedPartkey(t, c, act.cat, 4)
+	c.Cycle()
+	c.Cycle()
+	c.Cycle()
+	for _, sql := range act.viewSQLs() {
+		if strings.Contains(sql, "GROUP BY lineitem.l_partkey") && len(act.creates) > 0 {
+			for _, name := range act.creates {
+				if d := act.views[name]; d != nil && strings.Contains(d.String(), "GROUP BY lineitem.l_partkey") && !strings.Contains(d.String(), "WHERE") {
+					t.Fatalf("duplicated the operator view as %s", name)
+				}
+			}
+		}
+		_ = sql
+	}
+	if len(act.dropped) != 0 {
+		t.Fatalf("operator view dropped: %v", act.dropped)
+	}
+	if _, ok := act.views["operator_pq"]; !ok {
+		t.Fatal("operator view gone")
+	}
+}
+
+// TestControllerOperatorDropReconciled: a managed view dropped behind the
+// controller's back is forgotten, not re-dropped.
+func TestControllerOperatorDropReconciled(t *testing.T) {
+	act := newFakeActuator()
+	c := NewController(act, testConfig())
+	feedPartkey(t, c, act.cat, 4)
+	c.Cycle()
+	if len(act.creates) != 1 {
+		t.Fatalf("creates = %v", act.creates)
+	}
+	name := act.creates[0]
+	act.mu.Lock()
+	delete(act.views, name) // operator DROP VIEW out-of-band
+	act.mu.Unlock()
+	c.Cycle()
+	if len(act.dropped) != 0 {
+		t.Fatalf("re-dropped a vanished view: %v", act.dropped)
+	}
+	for _, m := range c.Status(0).Managed {
+		if m.Name == name {
+			t.Fatalf("vanished view still managed: %+v", m)
+		}
+	}
+}
+
+// TestControllerStartStop: the background loop runs cycles on its own and
+// Stop is clean and idempotent.
+func TestControllerStartStop(t *testing.T) {
+	act := newFakeActuator()
+	cfg := testConfig()
+	cfg.Interval = 5 * time.Millisecond
+	c := NewController(act, cfg)
+	feedPartkey(t, c, act.cat, 4)
+	c.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Status(0).Creates == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background loop never actuated")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	c.Stop()
+	c.Stop() // idempotent
+}

@@ -1,0 +1,126 @@
+package autopilot
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRecorderBoundedMemory pushes a million distinct fingerprints through a
+// tiny recorder: memory must stay bounded at 2*MaxEntries, and a fingerprint
+// that keeps recurring must survive every pruning pass while the one-shot
+// noise around it is evicted.
+func TestRecorderBoundedMemory(t *testing.T) {
+	r := NewRecorder(RecorderConfig{MaxEntries: 64, HalfLife: time.Hour})
+	base := time.Unix(0, 0)
+	r.SetClock(func() time.Time { return base })
+
+	const distinct = 1_000_000
+	for i := 0; i < distinct; i++ {
+		r.Record(fmt.Sprintf("noise-%d", i), "select noise", nil, 1, time.Millisecond)
+		if i%100 == 0 {
+			r.Record("hot", "select hot", nil, 1, time.Millisecond)
+		}
+	}
+	st := r.Stats()
+	if st.Entries > 2*64 {
+		t.Fatalf("entries = %d, want <= %d", st.Entries, 2*64)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions under 1M distinct fingerprints")
+	}
+	if st.Recorded != distinct+distinct/100 {
+		t.Fatalf("recorded = %d", st.Recorded)
+	}
+	snap := r.Snapshot(1)
+	if len(snap) != 1 || snap[0].Fingerprint != "hot" {
+		t.Fatalf("hot entry lost: top = %+v", snap)
+	}
+	if snap[0].Count != distinct/100 {
+		t.Fatalf("hot count = %d, want %d", snap[0].Count, distinct/100)
+	}
+}
+
+// TestRecorderDecay checks the half-life math against a fake clock: a weight
+// halves per half-life, recording adds one on top of the decayed value, and
+// snapshot ordering follows the decayed weights, not the raw counts.
+func TestRecorderDecay(t *testing.T) {
+	r := NewRecorder(RecorderConfig{MaxEntries: 16, HalfLife: 10 * time.Second})
+	now := time.Unix(1000, 0)
+	r.SetClock(func() time.Time { return now })
+
+	for i := 0; i < 4; i++ {
+		r.Record("old", "select old", nil, 10, time.Millisecond)
+	}
+	if w := r.Snapshot(0)[0].Weight; math.Abs(w-4) > 1e-9 {
+		t.Fatalf("fresh weight = %g, want 4", w)
+	}
+
+	now = now.Add(10 * time.Second) // one half-life
+	if w := r.Snapshot(0)[0].Weight; math.Abs(w-2) > 1e-9 {
+		t.Fatalf("weight after one half-life = %g, want 2", w)
+	}
+
+	// Three fresh recordings (weight 3) must outrank the decayed 2.
+	for i := 0; i < 3; i++ {
+		r.Record("new", "select new", nil, 10, time.Millisecond)
+	}
+	snap := r.Snapshot(0)
+	if snap[0].Fingerprint != "new" || snap[1].Fingerprint != "old" {
+		t.Fatalf("order = %s, %s; want new, old", snap[0].Fingerprint, snap[1].Fingerprint)
+	}
+	if snap[1].Count != 4 {
+		t.Fatalf("decay must not touch counts: %d", snap[1].Count)
+	}
+
+	// Recording after decay stacks on the decayed weight: 2*2^(-1) + 1 = 2.
+	now = now.Add(10 * time.Second)
+	r.Record("old", "select old", nil, 10, time.Millisecond)
+	for _, e := range r.Snapshot(0) {
+		if e.Fingerprint == "old" && math.Abs(e.Weight-2) > 1e-9 {
+			t.Fatalf("stacked weight = %g, want 2", e.Weight)
+		}
+	}
+}
+
+// TestRecorderEWMA checks the cost estimates converge smoothly instead of
+// jumping to the latest sample.
+func TestRecorderEWMA(t *testing.T) {
+	r := NewRecorder(RecorderConfig{})
+	r.Record("q", "select q", nil, 100, 100*time.Microsecond)
+	r.Record("q", "select q", nil, 0, 0)
+	e := r.Snapshot(0)[0]
+	if math.Abs(e.CostEstimate-70) > 1e-9 {
+		t.Fatalf("cost EWMA = %g, want 70", e.CostEstimate)
+	}
+	if math.Abs(e.ExecMicros-70) > 1e-9 {
+		t.Fatalf("exec EWMA = %g, want 70", e.ExecMicros)
+	}
+}
+
+// TestRecorderConcurrent hammers Record and Snapshot from many goroutines;
+// run with -race this proves the locking, and the total must come out exact.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(RecorderConfig{MaxEntries: 128, HalfLife: time.Minute})
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Record(fmt.Sprintf("fp-%d", (w*perWorker+i)%500), "select x", nil, 1, time.Microsecond)
+				if i%100 == 0 {
+					r.Snapshot(10)
+					r.Stats()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Stats().Recorded; got != workers*perWorker {
+		t.Fatalf("recorded = %d, want %d", got, workers*perWorker)
+	}
+}

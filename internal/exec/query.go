@@ -171,6 +171,29 @@ func RunQuery(db *storage.Database, q *spjg.Query) ([]storage.Row, error) {
 	return plan.Run(db)
 }
 
+// ViewsReferenced walks a plan and returns the names of the materialized
+// views it scans, deduplicated in first-visit order. The server uses it to
+// attribute executions to views for the per-view usage counters.
+func ViewsReferenced(n Node) []string {
+	var out []string
+	seen := map[string]bool{}
+	var walk func(Node)
+	walk = func(n Node) {
+		if n == nil {
+			return
+		}
+		if vs, ok := n.(*ViewScan); ok && !seen[vs.View] {
+			seen[vs.View] = true
+			out = append(out, vs.View)
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
 // Materialize evaluates a view definition and stores its rows, making the
 // view available to ViewScan. It returns the stored view.
 func Materialize(db *storage.Database, name string, def *spjg.Query) (*storage.MaterializedView, error) {

@@ -1,0 +1,99 @@
+package maintain
+
+import (
+	"fmt"
+
+	"matview/internal/exec"
+	"matview/internal/faults"
+	"matview/internal/spjg"
+	"matview/internal/storage"
+)
+
+// Deferred registration is the autopilot's create path: the view enters the
+// ledger as Rebuilding with no stored rows, its contents are computed
+// read-only (concurrently with query traffic), and the rows are installed in
+// a separate step under the caller's exclusive lock. Until installation the
+// view is invisible to the optimizer (it is registered there only after
+// InstallDeferred) and skipped by Insert/Delete (non-Fresh views are never
+// delta-maintained), so traffic can never match or read a half-built view.
+
+// RegisterDeferred starts maintaining a view without materializing it. The
+// view enters the lifecycle as Rebuilding; call BuildDeferred and then
+// InstallDeferred to bring it Fresh, or FailDeferred to quarantine it.
+// Like Register, it must be externally serialized with other maintenance.
+func (m *Maintainer) RegisterDeferred(name string, def *spjg.Query) (*View, error) {
+	if err := def.ValidateAsView(); err != nil {
+		return nil, err
+	}
+	for _, v := range m.views {
+		if v.Name == name {
+			return nil, fmt.Errorf("maintain: duplicate view %q", name)
+		}
+	}
+	v := &View{Name: name, Def: def, isAgg: def.IsAggregate(), cntPos: -1}
+	if v.isAgg {
+		for i, o := range def.Outputs {
+			switch {
+			case o.Expr != nil:
+				v.keyPos = append(v.keyPos, i)
+			case o.Agg != nil && o.Agg.Kind == spjg.AggCountStar:
+				v.cntPos = i
+			case o.Agg != nil && o.Agg.Kind == spjg.AggSum:
+				v.sumPos = append(v.sumPos, i)
+				v.sumArgs = append(v.sumArgs, i)
+			default:
+				return nil, fmt.Errorf("maintain: view %s: unsupported aggregate", name)
+			}
+		}
+		if v.cntPos < 0 {
+			return nil, fmt.Errorf("maintain: view %s lacks COUNT_BIG(*)", name)
+		}
+	}
+	m.views = append(m.views, v)
+	m.lc.registerState(name, Rebuilding)
+	return v, nil
+}
+
+// BuildDeferred computes the view's rows without touching storage. It is
+// read-only over the database, so callers may run it under a shared lock
+// concurrently with query traffic; the rows are only valid for installation
+// while the database has not changed since (the server checks its data
+// epoch). Panics become errors, and the recompute fault site fires here so
+// chaos suites can break builds mid-flight.
+func (m *Maintainer) BuildDeferred(v *View) (rows []storage.Row, err error) {
+	err = guard(func() error {
+		if ferr := m.faults.Maybe(faults.SiteMaintainRecompute); ferr != nil {
+			return fmt.Errorf("maintain: deferred build of %s: %w", v.Name, ferr)
+		}
+		var rerr error
+		rows, rerr = exec.RunQuery(m.db, v.Def)
+		return rerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// InstallDeferred stores the built rows and brings the view Fresh. The
+// caller must hold its exclusive lock (PutView swaps storage state) and must
+// have verified the rows are not stale.
+func (m *Maintainer) InstallDeferred(v *View, rows []storage.Row) error {
+	return guard(func() error {
+		m.db.PutView(v.Name, len(v.Def.Outputs), rows)
+		_, notify := m.lc.transition(v.Name, Fresh, nil)
+		notify()
+		return nil
+	})
+}
+
+// FailDeferred quarantines a view whose deferred build failed: it stays
+// registered (and visible on /healthz as quarantined) but has no stored
+// rows and is never matched, until an operator or the controller drops it.
+func (m *Maintainer) FailDeferred(name string, cause error) {
+	m.lc.mu.Lock()
+	m.lc.stats.Quarantines++
+	m.lc.mu.Unlock()
+	_, notify := m.lc.transition(name, Quarantined, cause)
+	notify()
+}

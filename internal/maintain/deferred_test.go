@@ -1,0 +1,149 @@
+package maintain_test
+
+import (
+	"testing"
+
+	"matview/internal/faults"
+	"matview/internal/maintain"
+	"matview/internal/sqlparser"
+	"matview/internal/storage"
+	"matview/internal/tpch"
+)
+
+func deferredFixture(t *testing.T) (*storage.Database, *maintain.Maintainer, *maintain.View) {
+	t.Helper()
+	db, err := tpch.NewDatabase(0.001, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := maintain.New(db)
+	def, err := sqlparser.ParseQuery(db.Catalog,
+		`select o_custkey, count_big(*) as cnt, sum(o_totalprice) as total
+		 from orders group by o_custkey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.RegisterDeferred("def_oc", def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, m, v
+}
+
+// TestDeferredLifecycle walks the happy path: Rebuilding on registration
+// (no stored rows, DML skips it), Fresh with correct contents after
+// Build+Install.
+func TestDeferredLifecycle(t *testing.T) {
+	db, m, v := deferredFixture(t)
+
+	if st, ok := m.ViewState("def_oc"); !ok || st != maintain.Rebuilding {
+		t.Fatalf("state after RegisterDeferred = %v, want Rebuilding", st)
+	}
+	if db.View("def_oc") != nil {
+		t.Fatal("deferred view has stored rows before install")
+	}
+
+	// DML while Rebuilding: the base write lands, the half-built view is
+	// skipped (nothing to maintain), and the statement succeeds.
+	if err := m.Insert("orders", []storage.Row{newOrderRow(db, 999901, 42, 1234.5)}); err != nil {
+		t.Fatalf("insert while rebuilding: %v", err)
+	}
+	if st, _ := m.ViewState("def_oc"); st != maintain.Rebuilding {
+		t.Fatalf("state after DML = %v, want still Rebuilding", st)
+	}
+
+	rows, err := m.BuildDeferred(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InstallDeferred(v, rows); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := m.ViewState("def_oc"); st != maintain.Fresh {
+		t.Fatalf("state after install = %v, want Fresh", st)
+	}
+	// The build ran after the insert, so contents include it and match a
+	// fresh recompute exactly.
+	checkAgainstRecompute(t, db, v)
+
+	// Now that it is Fresh, incremental maintenance covers it like any
+	// registered view.
+	if err := m.Insert("orders", []storage.Row{newOrderRow(db, 999902, 42, 99.5)}); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstRecompute(t, db, v)
+}
+
+// TestDeferredBuildFault: a fault during the deferred build surfaces as an
+// error; FailDeferred quarantines the view and counts it.
+func TestDeferredBuildFault(t *testing.T) {
+	_, m, v := deferredFixture(t)
+	inj := faults.New(3)
+	inj.Add(faults.Rule{Site: faults.SiteMaintainRecompute, Rate: 1, Limit: 1})
+	m.SetFaultInjector(inj)
+
+	if _, err := m.BuildDeferred(v); err == nil {
+		t.Fatal("faulted build reported success")
+	} else {
+		m.FailDeferred("def_oc", err)
+	}
+	if st, _ := m.ViewState("def_oc"); st != maintain.Quarantined {
+		t.Fatalf("state after failed build = %v, want Quarantined", st)
+	}
+	if got := m.Stats().Quarantines; got != 1 {
+		t.Fatalf("quarantines = %d, want 1", got)
+	}
+
+	// The clean retry path: the injector is spent, rebuild and install.
+	rows, err := m.BuildDeferred(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InstallDeferred(v, rows); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := m.ViewState("def_oc"); st != maintain.Fresh {
+		t.Fatalf("state after retry = %v, want Fresh", st)
+	}
+}
+
+// TestDeferredBuildPanicContained: a panic inside the build is converted to
+// an error by the guard, not propagated.
+func TestDeferredBuildPanicContained(t *testing.T) {
+	_, m, v := deferredFixture(t)
+	inj := faults.New(4)
+	inj.Add(faults.Rule{Site: faults.SiteMaintainRecompute, Rate: 1, Limit: 1, Panic: true})
+	m.SetFaultInjector(inj)
+	if _, err := m.BuildDeferred(v); err == nil {
+		t.Fatal("panicking build reported success")
+	}
+}
+
+// TestDeferredDuplicateName: deferred registration respects the namespace.
+func TestDeferredDuplicateName(t *testing.T) {
+	db, m, _ := deferredFixture(t)
+	def, err := sqlparser.ParseQuery(db.Catalog,
+		"select o_custkey, count_big(*) as cnt from orders group by o_custkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RegisterDeferred("def_oc", def); err == nil {
+		t.Fatal("duplicate deferred name accepted")
+	}
+}
+
+// TestDeferredDropWhileRebuilding: a deferred view can be dropped before it
+// is ever installed (the controller's error path) without leaving ledger
+// residue.
+func TestDeferredDropWhileRebuilding(t *testing.T) {
+	db, m, _ := deferredFixture(t)
+	if !m.Drop("def_oc") {
+		t.Fatal("drop of deferred view failed")
+	}
+	if _, ok := m.ViewState("def_oc"); ok {
+		t.Fatal("dropped view still in lifecycle ledger")
+	}
+	if db.View("def_oc") != nil {
+		t.Fatal("dropped view left rows behind")
+	}
+}

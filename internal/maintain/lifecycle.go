@@ -352,6 +352,16 @@ func (lc *lifecycle) register(name string) {
 	lc.health[name] = &viewHealth{state: Fresh}
 }
 
+// registerState initializes a ledger entry in an arbitrary state (deferred
+// registration starts views at Rebuilding), opening the degraded stopwatch
+// if the state is non-Fresh.
+func (lc *lifecycle) registerState(name string, st State) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	lc.health[name] = &viewHealth{state: st}
+	lc.accountTransition(Fresh, st)
+}
+
 // drop removes a view from the ledger, closing its degraded window.
 func (lc *lifecycle) drop(name string) {
 	lc.mu.Lock()

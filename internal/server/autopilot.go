@@ -1,0 +1,208 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+
+	"matview/internal/autopilot"
+	"matview/internal/catalog"
+	"matview/internal/maintain"
+	"matview/internal/spjg"
+	"matview/internal/storage"
+)
+
+// This file is the server side of the autopilot loop: the Actuator the
+// controller drives, the background-create path that brings views up
+// Rebuilding→Fresh without blocking traffic, and the /autopilot endpoints.
+//
+// Background creation and the data epoch: a deferred build computes the
+// view's rows under the shared lock, concurrently with queries — but DML
+// may land between the build and the install, which would install rows
+// computed against a database that no longer exists. Every successful /exec
+// bumps dataEpoch; the install takes the write lock, rechecks the epoch,
+// and retries the build if it moved. After a few racy attempts the final
+// build runs entirely under the write lock, which cannot race.
+
+// EvaluateSelection implements autopilot.Actuator: it runs fn under the
+// shared lock with the current catalog and registered-view snapshot, so the
+// advisor's costing cannot race DML's catalog-stat refresh or DDL.
+func (s *Server) EvaluateSelection(fn func(cat *catalog.Catalog, views []autopilot.ViewInfo)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var infos []autopilot.ViewInfo
+	for _, v := range s.opt.Views() {
+		rows := 0.0
+		if mv := s.db.View(v.Name); mv != nil {
+			rows = float64(mv.NumRows())
+		}
+		infos = append(infos, autopilot.ViewInfo{Name: v.Name, Def: v.Def, Rows: rows})
+	}
+	fn(s.db.Catalog, infos)
+}
+
+// CreateView implements autopilot.Actuator: build the view in the
+// background and install it atomically. Traffic can never match the view
+// half-built: it enters the optimizer only in the same write-locked section
+// that stores its rows and marks it Fresh.
+func (s *Server) CreateView(name string, def *spjg.Query) error {
+	s.mu.Lock()
+	v, err := s.sess.Maint.RegisterDeferred(name, def)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	const buildAttempts = 3
+	for attempt := 0; attempt < buildAttempts; attempt++ {
+		epoch := s.dataEpoch.Load()
+		s.mu.RLock()
+		rows, berr := s.sess.Maint.BuildDeferred(v)
+		s.mu.RUnlock()
+		if berr != nil {
+			s.sess.Maint.FailDeferred(name, berr)
+			return berr
+		}
+		s.mu.Lock()
+		if s.dataEpoch.Load() != epoch {
+			// DML landed between build and install; the rows are stale.
+			s.mu.Unlock()
+			continue
+		}
+		err := s.installDeferredLocked(v, name, def, rows)
+		s.mu.Unlock()
+		return err
+	}
+	// Writes keep landing; give up on optimistic builds and do the last one
+	// under the write lock, where nothing can interleave.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rows, berr := s.sess.Maint.BuildDeferred(v)
+	if berr != nil {
+		s.sess.Maint.FailDeferred(name, berr)
+		return berr
+	}
+	return s.installDeferredLocked(v, name, def, rows)
+}
+
+// installDeferredLocked registers the view with the optimizer and installs
+// its rows; the caller holds the write lock, so both catalog-epoch bumps
+// (registration and row count) land before any query can re-plan.
+func (s *Server) installDeferredLocked(v *maintain.View, name string, def *spjg.Query, rows []storage.Row) error {
+	if _, err := s.opt.RegisterView(name, def); err != nil {
+		s.sess.Maint.FailDeferred(name, err)
+		return err
+	}
+	if err := s.sess.Maint.InstallDeferred(v, rows); err != nil {
+		s.opt.DropView(name)
+		s.sess.Maint.FailDeferred(name, err)
+		return err
+	}
+	s.opt.SetViewRowCount(name, int64(len(rows)))
+	return nil
+}
+
+// DropView implements autopilot.Actuator: remove the view from the
+// optimizer (epoch bump invalidates any cached plan embedding it) and the
+// maintainer/storage, under the write lock.
+func (s *Server) DropView(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inOpt := s.opt.DropView(name)
+	inMaint := s.sess.Maint.Drop(name)
+	if !inOpt && !inMaint {
+		return fmt.Errorf("server: unknown view %q", name)
+	}
+	s.viewUseMu.Lock()
+	delete(s.viewUse, name)
+	s.viewUseMu.Unlock()
+	return nil
+}
+
+// ViewUsage implements autopilot.Actuator: a snapshot of how many executed
+// plans scanned each view since it was registered.
+func (s *Server) ViewUsage() map[string]int64 {
+	s.viewUseMu.Lock()
+	defer s.viewUseMu.Unlock()
+	out := make(map[string]int64, len(s.viewUse))
+	for k, v := range s.viewUse {
+		out[k] = v
+	}
+	return out
+}
+
+// noteViewUse attributes one execution to each view the plan scanned.
+func (s *Server) noteViewUse(views []string) {
+	if len(views) == 0 {
+		return
+	}
+	s.viewUseMu.Lock()
+	for _, v := range views {
+		s.viewUse[v]++
+	}
+	s.viewUseMu.Unlock()
+}
+
+// Autopilot exposes the controller (nil when the server runs without one);
+// tests and tooling drive Cycle through it.
+func (s *Server) Autopilot() *autopilot.Controller { return s.pilot }
+
+// autopilotToggle is the POST /autopilot body: the kill switch.
+type autopilotToggle struct {
+	Enabled bool `json:"enabled"`
+}
+
+func (s *Server) handleAutopilotGet(w http.ResponseWriter, r *http.Request) {
+	if s.pilot == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("server: autopilot not configured"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.pilot.Status(32))
+}
+
+func (s *Server) handleAutopilotPost(w http.ResponseWriter, r *http.Request) {
+	if s.pilot == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("server: autopilot not configured"))
+		return
+	}
+	var req autopilotToggle
+	if err := decodeJSON(r, &req); err != nil {
+		s.errors.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.pilot.SetEnabled(req.Enabled)
+	writeJSON(w, http.StatusOK, map[string]bool{"enabled": s.pilot.Enabled()})
+}
+
+// AutopilotMetrics is the /metrics summary of the control loop.
+type AutopilotMetrics struct {
+	Enabled      bool  `json:"enabled"`
+	Cycles       int64 `json:"cycles"`
+	Creates      int64 `json:"creates"`
+	Drops        int64 `json:"drops"`
+	Errors       int64 `json:"errors"`
+	Panics       int64 `json:"panics"`
+	ManagedViews int   `json:"managed_views"`
+
+	RecorderEntries   int   `json:"recorder_entries"`
+	RecorderEvictions int64 `json:"recorder_evictions"`
+	Recorded          int64 `json:"recorded"`
+}
+
+func (s *Server) autopilotMetrics() *AutopilotMetrics {
+	if s.pilot == nil {
+		return nil
+	}
+	st := s.pilot.Status(-1)
+	return &AutopilotMetrics{
+		Enabled:           st.Enabled,
+		Cycles:            st.Cycles,
+		Creates:           st.Creates,
+		Drops:             st.Drops,
+		Errors:            st.Errors,
+		Panics:            st.Panics,
+		ManagedViews:      len(st.Managed),
+		RecorderEntries:   st.Recorder.Entries,
+		RecorderEvictions: st.Recorder.Evictions,
+		Recorded:          st.Recorder.Recorded,
+	}
+}

@@ -123,4 +123,11 @@ type Metrics struct {
 	Maintenance   MaintenanceMetrics `json:"maintenance"`
 	Latency       LatencyMetrics     `json:"latency"`
 	Optimizer     OptimizerMetrics   `json:"optimizer"`
+	// ViewUsage counts, per registered view, how many executed plans
+	// scanned it — the matcher actually choosing the view, not merely the
+	// view existing. The autopilot's drop decisions read these; operators
+	// use them to spot dead views.
+	ViewUsage map[string]int64 `json:"view_usage,omitempty"`
+	// Autopilot summarizes the control loop (nil when not configured).
+	Autopilot *AutopilotMetrics `json:"autopilot,omitempty"`
 }

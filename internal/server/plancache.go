@@ -26,6 +26,9 @@ import (
 type CachedPlan struct {
 	Res     *opt.Result
 	Columns []string
+	// Views names the materialized views the plan scans, precomputed so
+	// per-view usage accounting on the hit path costs no plan walk.
+	Views []string
 }
 
 // CacheStats is a point-in-time snapshot of plan-cache counters.

@@ -11,11 +11,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"matview/internal/autopilot"
 	"matview/internal/exec"
 	"matview/internal/faults"
 	"matview/internal/maintain"
 	"matview/internal/opt"
 	"matview/internal/shell"
+	"matview/internal/spjg"
 	"matview/internal/sqlparser"
 	"matview/internal/sqlvalue"
 	"matview/internal/storage"
@@ -41,6 +43,11 @@ type Config struct {
 	// this often, rebuilding views that failed maintenance (0 disables the
 	// loop; Repair can still be invoked explicitly).
 	RepairInterval time.Duration
+	// Autopilot, when non-nil, runs the closed-loop view controller: the
+	// query stream is mined into a decayed histogram (capture always runs),
+	// and the controller periodically re-plans the managed view set and
+	// creates/drops views through the maintenance lifecycle.
+	Autopilot *autopilot.Config
 }
 
 // DefaultConfig returns the production defaults.
@@ -78,6 +85,19 @@ type Server struct {
 	stopOnce   sync.Once
 	repairWG   sync.WaitGroup
 
+	// dataEpoch advances on every successful /exec; the background view
+	// builder uses it to detect DML that raced a deferred build.
+	dataEpoch atomic.Uint64
+
+	// pilot is the autopilot controller; always constructed (so capture and
+	// the /autopilot endpoint work on any server), its loop started only
+	// when Config.Autopilot is set.
+	pilot     *autopilot.Controller
+	pilotLoop bool
+
+	viewUseMu sync.Mutex
+	viewUse   map[string]int64 // per-view matched-execution counters
+
 	start      time.Time
 	queries    atomic.Int64
 	execs      atomic.Int64
@@ -114,6 +134,16 @@ func New(db *storage.Database, cfg Config) *Server {
 		stopRepair: make(chan struct{}),
 		start:      time.Now(),
 		lat:        newLatencyRecorder(cfg.LatencyWindow),
+		viewUse:    map[string]int64{},
+	}
+	pcfg := autopilot.Config{}
+	if cfg.Autopilot != nil {
+		pcfg = *cfg.Autopilot
+	}
+	s.pilot = autopilot.NewController(s, pcfg)
+	if cfg.Autopilot != nil {
+		s.pilot.Start()
+		s.pilotLoop = true
 	}
 	if cfg.RepairInterval > 0 {
 		s.repairWG.Add(1)
@@ -174,6 +204,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /exec", s.handleExec)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /autopilot", s.handleAutopilotGet)
+	mux.HandleFunc("POST /autopilot", s.handleAutopilotPost)
 	return s.recoverPanics(mux)
 }
 
@@ -204,6 +236,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.stopOnce.Do(func() { close(s.stopRepair) })
 	done := make(chan struct{})
 	go func() {
+		if s.pilotLoop {
+			s.pilot.Stop()
+		}
 		s.inflight.Wait()
 		s.repairWG.Wait()
 		close(done)
@@ -328,6 +363,7 @@ func (s *Server) runQuery(ctx context.Context, req *QueryRequest) (*QueryRespons
 	defer s.mu.RUnlock()
 	epoch := s.opt.CatalogEpoch()
 	cp, hit := s.cache.Get(key, epoch)
+	var parsed *spjg.Query // set on misses; the recorder keeps the first one
 	if !hit {
 		st, err := sqlparser.Parse(s.db.Catalog, req.SQL)
 		if err != nil {
@@ -351,7 +387,8 @@ func (s *Server) runQuery(ctx context.Context, req *QueryRequest) (*QueryRespons
 				cols[i] = fmt.Sprintf("col%d", i)
 			}
 		}
-		cp = &CachedPlan{Res: res, Columns: cols}
+		parsed = st.Query
+		cp = &CachedPlan{Res: res, Columns: cols, Views: exec.ViewsReferenced(res.Plan)}
 		s.cache.Put(key, epoch, cp)
 		s.optStatsMu.Lock()
 		s.optStats.Add(res.Stats)
@@ -369,10 +406,16 @@ func (s *Server) runQuery(ctx context.Context, req *QueryRequest) (*QueryRespons
 	if err := ctx.Err(); err != nil {
 		return nil, http.StatusGatewayTimeout, err
 	}
+	execStart := time.Now()
 	rows, err := cp.Res.Plan.Run(s.db)
 	if err != nil {
 		return nil, http.StatusInternalServerError, err
 	}
+	// Capture hook: every executed statement feeds the usage counters and
+	// the autopilot's workload histogram (cache hits record with a nil
+	// parse; the entry keeps its first parsed representative).
+	s.noteViewUse(cp.Views)
+	s.pilot.Recorder().Record(key, req.SQL, parsed, cp.Res.Cost, time.Since(execStart))
 	resp.RowCount = len(rows)
 	limit := len(rows)
 	if s.cfg.MaxRows > 0 && limit > s.cfg.MaxRows {
@@ -436,6 +479,9 @@ func (s *Server) runExec(req *ExecRequest) (string, int, error) {
 	if err := s.sess.Execute(req.SQL, &sb); err != nil {
 		return "", http.StatusUnprocessableEntity, err
 	}
+	// Any successful DML/DDL may have changed table contents; deferred view
+	// builds snapshot this epoch to detect the race.
+	s.dataEpoch.Add(1)
 	return strings.TrimSpace(sb.String()), 0, nil
 }
 
@@ -523,6 +569,8 @@ func (s *Server) Metrics() Metrics {
 			SubstitutesProduced: os.SubstitutesProduced,
 			ViewMatchMicros:     os.ViewMatchTime.Microseconds(),
 		},
+		ViewUsage: s.ViewUsage(),
+		Autopilot: s.autopilotMetrics(),
 	}
 }
 

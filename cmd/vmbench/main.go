@@ -242,7 +242,9 @@ func runLoad(url string, clients int, duration time.Duration, sf float64, seed i
 			inj := faults.New(seed)
 			inj.AddAll(faults.Rule{Rate: faultRate})
 			srv.SetFaultInjector(inj)
-			mutations = loadMutations(db.Table("orders").RowAt(0)[tpch.OOrderkey].Int())
+			snap := db.Snapshot()
+			mutations = loadMutations(snap.TableData("orders").RowAt(0)[tpch.OOrderkey].Int())
+			snap.Release()
 			fmt.Printf("fault injection armed: rate %.2f at every site, repair loop every %v\n",
 				faultRate, cfg.RepairInterval)
 		}

@@ -69,13 +69,13 @@ func (e *Engine) batchSize() int {
 // Run executes the plan and returns its full output. The returned rows are
 // freshly materialized — never aliases of storage-owned memory — so results
 // remain valid after the database read lock is released.
-func (e *Engine) Run(db *storage.Database, plan Node) ([]storage.Row, error) {
+func (e *Engine) Run(db storage.Reader, plan Node) ([]storage.Row, error) {
 	return e.materialize(db, plan)
 }
 
 // materialize fully evaluates a subtree, used at the plan root and at
 // pipeline breakers.
-func (e *Engine) materialize(db *storage.Database, n Node) ([]storage.Row, error) {
+func (e *Engine) materialize(db storage.Reader, n Node) ([]storage.Row, error) {
 	if a, ok := n.(*HashAgg); ok {
 		return e.runAgg(db, a)
 	}
@@ -109,16 +109,16 @@ func (e *Engine) materialize(db *storage.Database, n Node) ([]storage.Row, error
 // here, before the caller starts the pipeline. Scan filters fuse into the
 // columnar source, and a Project of plain columns/constants over a bare scan
 // fuses into the scan's output emitters.
-func (e *Engine) stream(db *storage.Database, n Node) (rowSource, []stageSpec, error) {
+func (e *Engine) stream(db storage.Reader, n Node) (rowSource, []stageSpec, error) {
 	switch t := n.(type) {
 	case *TableScan:
-		tb := db.Table(t.Table)
+		tb := db.TableData(t.Table)
 		if tb == nil {
 			return nil, nil, fmt.Errorf("exec: unknown table %q", t.Table)
 		}
 		return newScanSource(tb.Store(), t.Filter, e), nil, nil
 	case *ViewScan:
-		v := db.View(t.View)
+		v := db.ViewData(t.View)
 		if v == nil {
 			return nil, nil, fmt.Errorf("exec: view %q not materialized", t.View)
 		}
@@ -200,7 +200,7 @@ func compileAll(es []expr.Expr) []expr.Compiled {
 // exists, otherwise by scanning with key equality. Matching rows are
 // materialized fresh from the column store — never aliases of view storage —
 // so results stay stable if the view is maintained after the lookup.
-func seekView(v *storage.MaterializedView, eqCols []int, eqVals []sqlvalue.Value) []storage.Row {
+func seekView(v *storage.ViewData, eqCols []int, eqVals []sqlvalue.Value) []storage.Row {
 	st := v.Store()
 	if idx := v.LookupIndex(eqCols); idx != nil {
 		var rows []storage.Row
@@ -647,7 +647,7 @@ func (b *buildSink) push(in []storage.Row) error {
 
 // buildJoin executes the build side of a hash join as its own pipeline and
 // merges the per-worker shards into one immutable table.
-func (e *Engine) buildJoin(db *storage.Database, j *HashJoin) (*joinBuild, error) {
+func (e *Engine) buildJoin(db storage.Reader, j *HashJoin) (*joinBuild, error) {
 	src, specs, err := e.stream(db, j.L)
 	if err != nil {
 		return nil, err
@@ -875,7 +875,7 @@ func finishAgg(shards []aggShard, a *HashAgg) ([]storage.Row, error) {
 // with column/constant keys and arguments run fused (colagg.go): group keys
 // and aggregate inputs are read straight out of column blocks with no
 // intermediate row materialization.
-func (e *Engine) runAgg(db *storage.Database, a *HashAgg) ([]storage.Row, error) {
+func (e *Engine) runAgg(db storage.Reader, a *HashAgg) ([]storage.Row, error) {
 	src, specs, err := e.stream(db, a.In)
 	if err != nil {
 		return nil, err

@@ -247,7 +247,7 @@ func TestEngineUnknownNode(t *testing.T) {
 
 type unknownNode struct{}
 
-func (unknownNode) Run(*storage.Database) ([]storage.Row, error) { return nil, nil }
+func (unknownNode) Run(storage.Reader) ([]storage.Row, error)    { return nil, nil }
 func (unknownNode) Width() int                                   { return 0 }
 func (unknownNode) Describe() string                             { return "unknown" }
 func (unknownNode) Children() []Node                             { return nil }

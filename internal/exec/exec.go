@@ -30,7 +30,7 @@ import (
 // Expressions inside a node reference the node's input row with Tab == 0 and
 // Col == the flat column offset.
 type Node interface {
-	Run(db *storage.Database) ([]storage.Row, error)
+	Run(db storage.Reader) ([]storage.Row, error)
 	// Width is the number of output columns.
 	Width() int
 	// Describe renders one line for EXPLAIN output.
@@ -48,7 +48,7 @@ type TableScan struct {
 }
 
 // Run implements Node.
-func (s *TableScan) Run(db *storage.Database) ([]storage.Row, error) {
+func (s *TableScan) Run(db storage.Reader) ([]storage.Row, error) {
 	return DefaultEngine.Run(db, s)
 }
 
@@ -82,7 +82,7 @@ type ViewScan struct {
 }
 
 // Run implements Node.
-func (s *ViewScan) Run(db *storage.Database) ([]storage.Row, error) {
+func (s *ViewScan) Run(db storage.Reader) ([]storage.Row, error) {
 	return DefaultEngine.Run(db, s)
 }
 
@@ -115,7 +115,7 @@ type HashJoin struct {
 }
 
 // Run implements Node.
-func (j *HashJoin) Run(db *storage.Database) ([]storage.Row, error) {
+func (j *HashJoin) Run(db storage.Reader) ([]storage.Row, error) {
 	return DefaultEngine.Run(db, j)
 }
 
@@ -138,7 +138,7 @@ type NestedLoopJoin struct {
 }
 
 // Run implements Node.
-func (j *NestedLoopJoin) Run(db *storage.Database) ([]storage.Row, error) {
+func (j *NestedLoopJoin) Run(db storage.Reader) ([]storage.Row, error) {
 	return DefaultEngine.Run(db, j)
 }
 
@@ -158,7 +158,7 @@ type Filter struct {
 }
 
 // Run implements Node.
-func (f *Filter) Run(db *storage.Database) ([]storage.Row, error) {
+func (f *Filter) Run(db storage.Reader) ([]storage.Row, error) {
 	return DefaultEngine.Run(db, f)
 }
 
@@ -178,7 +178,7 @@ type Project struct {
 }
 
 // Run implements Node.
-func (p *Project) Run(db *storage.Database) ([]storage.Row, error) {
+func (p *Project) Run(db storage.Reader) ([]storage.Row, error) {
 	return DefaultEngine.Run(db, p)
 }
 
@@ -215,7 +215,7 @@ type HashAgg struct {
 }
 
 // Run implements Node.
-func (a *HashAgg) Run(db *storage.Database) ([]storage.Row, error) {
+func (a *HashAgg) Run(db storage.Reader) ([]storage.Row, error) {
 	return DefaultEngine.Run(db, a)
 }
 

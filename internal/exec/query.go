@@ -163,7 +163,7 @@ func BuildReferencePlan(q *spjg.Query) (Node, error) {
 }
 
 // RunQuery evaluates a normalized SPJG query with the reference plan.
-func RunQuery(db *storage.Database, q *spjg.Query) ([]storage.Row, error) {
+func RunQuery(db storage.Reader, q *spjg.Query) ([]storage.Row, error) {
 	plan, err := BuildReferencePlan(q)
 	if err != nil {
 		return nil, err
@@ -307,6 +307,6 @@ func BuildSubstitutePlanWithScan(sub *core.Substitute, scan *ViewScan) Node {
 }
 
 // RunSubstitute evaluates a substitute against the materialized view.
-func RunSubstitute(db *storage.Database, sub *core.Substitute) ([]storage.Row, error) {
+func RunSubstitute(db storage.Reader, sub *core.Substitute) ([]storage.Row, error) {
 	return BuildSubstitutePlan(sub).Run(db)
 }

@@ -17,7 +17,7 @@ import (
 // "before" side of the BenchmarkExec* comparisons. Scans materialize rows
 // out of the column store via Rows()/RowAt(), paying the row-at-a-time
 // boxing cost the columnar engine avoids.
-func RunReference(db *storage.Database, n Node) ([]storage.Row, error) {
+func RunReference(db storage.Reader, n Node) ([]storage.Row, error) {
 	switch t := n.(type) {
 	case *TableScan:
 		return refTableScan(db, t)
@@ -48,8 +48,8 @@ func bindRow(r storage.Row) expr.Binding {
 	}
 }
 
-func refTableScan(db *storage.Database, s *TableScan) ([]storage.Row, error) {
-	t := db.Table(s.Table)
+func refTableScan(db storage.Reader, s *TableScan) ([]storage.Row, error) {
+	t := db.TableData(s.Table)
 	if t == nil {
 		return nil, fmt.Errorf("exec: unknown table %q", s.Table)
 	}
@@ -69,8 +69,8 @@ func refTableScan(db *storage.Database, s *TableScan) ([]storage.Row, error) {
 	return out, nil
 }
 
-func refViewScan(db *storage.Database, s *ViewScan) ([]storage.Row, error) {
-	v := db.View(s.View)
+func refViewScan(db storage.Reader, s *ViewScan) ([]storage.Row, error) {
+	v := db.ViewData(s.View)
 	if v == nil {
 		return nil, fmt.Errorf("exec: view %q not materialized", s.View)
 	}
@@ -118,7 +118,7 @@ func refViewScan(db *storage.Database, s *ViewScan) ([]storage.Row, error) {
 	return emit(rows)
 }
 
-func refHashJoin(db *storage.Database, j *HashJoin) ([]storage.Row, error) {
+func refHashJoin(db storage.Reader, j *HashJoin) ([]storage.Row, error) {
 	lrows, err := RunReference(db, j.L)
 	if err != nil {
 		return nil, err
@@ -169,7 +169,7 @@ func refHashJoin(db *storage.Database, j *HashJoin) ([]storage.Row, error) {
 	return out, nil
 }
 
-func refNestedLoopJoin(db *storage.Database, j *NestedLoopJoin) ([]storage.Row, error) {
+func refNestedLoopJoin(db storage.Reader, j *NestedLoopJoin) ([]storage.Row, error) {
 	lrows, err := RunReference(db, j.L)
 	if err != nil {
 		return nil, err
@@ -199,7 +199,7 @@ func refNestedLoopJoin(db *storage.Database, j *NestedLoopJoin) ([]storage.Row, 
 	return out, nil
 }
 
-func refFilter(db *storage.Database, f *Filter) ([]storage.Row, error) {
+func refFilter(db storage.Reader, f *Filter) ([]storage.Row, error) {
 	rows, err := RunReference(db, f.In)
 	if err != nil {
 		return nil, err
@@ -217,7 +217,7 @@ func refFilter(db *storage.Database, f *Filter) ([]storage.Row, error) {
 	return out, nil
 }
 
-func refProject(db *storage.Database, p *Project) ([]storage.Row, error) {
+func refProject(db storage.Reader, p *Project) ([]storage.Row, error) {
 	rows, err := RunReference(db, p.In)
 	if err != nil {
 		return nil, err
@@ -238,7 +238,7 @@ func refProject(db *storage.Database, p *Project) ([]storage.Row, error) {
 	return out, nil
 }
 
-func refHashAgg(db *storage.Database, a *HashAgg) ([]storage.Row, error) {
+func refHashAgg(db storage.Reader, a *HashAgg) ([]storage.Row, error) {
 	rows, err := RunReference(db, a.In)
 	if err != nil {
 		return nil, err

@@ -54,8 +54,9 @@ func (m *Maintainer) RegisterDeferred(name string, def *spjg.Query) (*View, erro
 	return v, nil
 }
 
-// BuildDeferred computes the view's rows without touching storage. It is
-// read-only over the database, so callers may run it under a shared lock
+// BuildDeferred computes the view's rows without touching storage. It runs
+// against a pinned snapshot of the committed epoch, so it never observes
+// concurrent DML mid-statement and callers may run it under a shared lock
 // concurrently with query traffic; the rows are only valid for installation
 // while the database has not changed since (the server checks its data
 // epoch). Panics become errors, and the recompute fault site fires here so
@@ -65,8 +66,10 @@ func (m *Maintainer) BuildDeferred(v *View) (rows []storage.Row, err error) {
 		if ferr := m.faults.Maybe(faults.SiteMaintainRecompute); ferr != nil {
 			return fmt.Errorf("maintain: deferred build of %s: %w", v.Name, ferr)
 		}
+		snap := m.db.Snapshot()
+		defer snap.Release()
 		var rerr error
-		rows, rerr = exec.RunQuery(m.db, v.Def)
+		rows, rerr = exec.RunQuery(snap, v.Def)
 		return rerr
 	})
 	if err != nil {
@@ -81,6 +84,9 @@ func (m *Maintainer) BuildDeferred(v *View) (rows []storage.Row, err error) {
 func (m *Maintainer) InstallDeferred(v *View, rows []storage.Row) error {
 	return guard(func() error {
 		m.db.PutView(v.Name, len(v.Def.Outputs), rows)
+		// One atomic publish: the view appears in the committed epoch fully
+		// built, never partially installed.
+		m.db.Commit()
 		_, notify := m.lc.transition(v.Name, Fresh, nil)
 		notify()
 		return nil

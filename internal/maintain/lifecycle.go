@@ -60,11 +60,12 @@ type ViewError struct {
 func (e ViewError) Error() string { return e.View + ": " + e.Err.Error() }
 
 // MaintenanceError reports exactly what a partially failed Insert or Delete
-// did: which views were brought up to date, which failed (and are now Stale),
-// and which were skipped because they were already non-Fresh when the
-// statement arrived. If Base is non-nil the base-table write itself failed
-// part-way and every view over the table — including the ones listed in
-// Updated — has been marked Stale, since their deltas assumed the full batch.
+// did: which views were brought up to date, which failed (rolled back to
+// their committed contents and now Stale), and which were skipped because
+// they were already non-Fresh when the statement arrived. If Base is non-nil
+// the base-table write itself failed and the whole statement was aborted:
+// the table was rolled back to the committed epoch, no view was touched, and
+// the epoch did not advance.
 type MaintenanceError struct {
 	Op    string // "insert" or "delete"
 	Table string
@@ -513,8 +514,15 @@ func (m *Maintainer) repairOne(v *View) error {
 	m.lc.mu.Unlock()
 	err := guard(func() error { return m.recompute(v) })
 	if err != nil {
+		// A failed recompute must not leave a torn view behind: restore the
+		// committed contents (stale but consistent) before reporting failure.
+		m.db.RollbackView(v.Name)
 		return err
 	}
+	// Publish the repaired contents as a new epoch before announcing Fresh,
+	// so the optimizer can only match the view once snapshots see the rebuilt
+	// rows.
+	m.db.Commit()
 	m.lc.mu.Lock()
 	m.lc.stats.RepairSuccesses++
 	m.lc.mu.Unlock()

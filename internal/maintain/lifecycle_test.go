@@ -133,7 +133,7 @@ func TestInsertPartialFailureIsolatesTheFailingView(t *testing.T) {
 	}
 }
 
-func TestBaseWriteFailureMarksEveryViewStale(t *testing.T) {
+func TestBaseWriteFailureAbortsStatement(t *testing.T) {
 	db, m, vs, va := newLifecycleFixture(t, 22)
 	inj := faults.New(4)
 	// First base-table row lands, the second blows up mid-batch.
@@ -141,6 +141,8 @@ func TestBaseWriteFailureMarksEveryViewStale(t *testing.T) {
 	m.SetFaultInjector(inj)
 	db.SetFaultInjector(inj)
 
+	before := db.Table("orders").NumRows()
+	epochBefore := db.Epoch()
 	err := m.Insert("orders", []storage.Row{
 		newOrderRow(db, 8_100_001, 7, 150_000),
 		newOrderRow(db, 8_100_002, 7, 150_000),
@@ -149,15 +151,32 @@ func TestBaseWriteFailureMarksEveryViewStale(t *testing.T) {
 	if !errors.As(err, &me) || me.Base == nil {
 		t.Fatalf("want MaintenanceError with Base set, got %v", err)
 	}
-	// Both views saw their deltas applied for the full batch, but the table
-	// holds only a prefix — everything is suspect.
-	wantState(t, m, "lc_spj", maintain.Stale)
-	wantState(t, m, "lc_agg", maintain.Stale)
+	if len(me.Updated) != 0 {
+		t.Fatalf("aborted statement reported updated views: %+v", me)
+	}
+	// The statement aborted atomically: the partial batch was rolled back,
+	// no view was touched, and the epoch did not advance.
+	if got := db.Table("orders").NumRows(); got != before {
+		t.Fatalf("orders rows = %d after aborted insert, want %d", got, before)
+	}
+	if got := db.Epoch(); got != epochBefore {
+		t.Fatalf("epoch advanced to %d across an aborted statement, want %d", got, epochBefore)
+	}
+	wantState(t, m, "lc_spj", maintain.Fresh)
+	wantState(t, m, "lc_agg", maintain.Fresh)
+	checkAgainstRecompute(t, db, vs)
+	checkAgainstRecompute(t, db, va)
 
+	// With the fault disarmed the same statement applies cleanly.
 	inj.SetEnabled(false)
-	rep := m.Repair()
-	if len(rep.Repaired) != 2 {
-		t.Fatalf("repair report: %+v", rep)
+	if err := m.Insert("orders", []storage.Row{
+		newOrderRow(db, 8_100_001, 7, 150_000),
+		newOrderRow(db, 8_100_002, 7, 150_000),
+	}); err != nil {
+		t.Fatalf("retry after rollback: %v", err)
+	}
+	if got := db.Table("orders").NumRows(); got != before+2 {
+		t.Fatalf("orders rows = %d after retry, want %d", got, before+2)
 	}
 	checkAgainstRecompute(t, db, vs)
 	checkAgainstRecompute(t, db, va)

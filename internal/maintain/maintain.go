@@ -91,11 +91,16 @@ func (m *Maintainer) Register(name string, def *spjg.Query) (*View, error) {
 	}
 	if m.db.View(name) == nil {
 		if _, err := exec.Materialize(m.db, name, def); err != nil {
+			m.db.RollbackView(name)
 			return nil, err
 		}
 	}
 	m.views = append(m.views, v)
 	m.lc.register(name)
+	// Publish the materialization so the committed epoch always contains
+	// every registered view (RollbackView relies on that to distinguish
+	// "restore committed contents" from "drop a never-committed view").
+	m.db.Commit()
 	return v, nil
 }
 
@@ -109,6 +114,7 @@ func (m *Maintainer) Drop(name string) bool {
 		if v.Name == name {
 			m.views = append(m.views[:i], m.views[i+1:]...)
 			m.db.DropView(name)
+			m.db.Commit()
 			m.lc.drop(name)
 			return true
 		}
@@ -128,20 +134,38 @@ func instancesOf(def *spjg.Query, table string) int {
 }
 
 // Insert appends rows to a base table and incrementally maintains every
-// registered view. A per-view failure does not abort the statement: the
-// failing view is marked Stale before Insert returns, the remaining views
-// are still maintained, and the returned *MaintenanceError names exactly
-// which views were updated, failed, or skipped (non-Fresh views are not
-// touched; Repair owns them).
+// registered view, as one snapshot-to-snapshot commit: deltas are computed
+// read-only against the committed epoch, the base write and every successful
+// per-view apply are published together as the next epoch, and failures roll
+// the affected object back to its committed contents. Concretely:
+//
+//   - A base-write failure aborts the whole statement. The table head is
+//     rolled back, no view is touched, and the epoch does not advance — the
+//     returned *MaintenanceError has Base set and nothing in Updated.
+//   - A per-view failure does not abort the statement: the failing view is
+//     rolled back to its committed (pre-statement) contents — consistent but
+//     stale, never torn — and marked Stale before Insert returns; the
+//     remaining views and the base write still commit.
+//
+// Non-Fresh views are not touched (Repair owns them); the returned error
+// names exactly which views were updated, failed, or skipped.
 func (m *Maintainer) Insert(table string, rows []storage.Row) error {
 	t := m.db.Table(table)
 	if t == nil {
 		return fmt.Errorf("maintain: unknown table %q", table)
 	}
 	rep := &MaintenanceError{Op: "insert", Table: table}
-	// Deltas are computed against the pre-insert state of the other tables
-	// and Δ for the changed one; since only `table` changes, evaluation order
-	// relative to the base insert is irrelevant for single-instance views.
+	// Phase 1 — read-only: compute each eligible single-instance view's delta
+	// Q(T ← Δ) against the pre-insert state. Only `table` changes, so
+	// evaluation order relative to the base write is irrelevant for these
+	// views. Nothing is marked Stale yet: if the base write below aborts, a
+	// view whose delta merely failed to compute is still consistent.
+	type pending struct {
+		v     *View
+		delta []storage.Row
+	}
+	var pendings []pending
+	var computeFailed []ViewError
 	var selfJoin []*View
 	for _, v := range m.views {
 		switch instancesOf(v.Def, table) {
@@ -152,17 +176,20 @@ func (m *Maintainer) Insert(table string, rows []storage.Row) error {
 				rep.Skipped = append(rep.Skipped, v.Name)
 				continue
 			}
-			if err := m.applyDelta(v, table, rows, +1); err != nil {
-				m.failView(v.Name, err)
-				rep.Failed = append(rep.Failed, ViewError{v.Name, err})
-			} else {
-				rep.Updated = append(rep.Updated, v.Name)
+			delta, err := m.computeDelta(v, table, rows)
+			if err != nil {
+				computeFailed = append(computeFailed, ViewError{v.Name, err})
+				continue
 			}
+			pendings = append(pendings, pending{v, delta})
 		default:
 			// Self-join views are recomputed after the base insert below.
 			selfJoin = append(selfJoin, v)
 		}
 	}
+	// Phase 2 — base write. Failure aborts the statement: the table head is
+	// rolled back to the committed epoch, so a mid-batch failure cannot
+	// persist a prefix of the batch, and every view stays consistent.
 	if err := guard(func() error {
 		for _, r := range rows {
 			if err := t.Insert(r); err != nil {
@@ -171,24 +198,44 @@ func (m *Maintainer) Insert(table string, rows []storage.Row) error {
 		}
 		return nil
 	}); err != nil {
-		// The table now holds a prefix of the batch while the deltas above
-		// assumed all of it: every view over the table is suspect.
-		m.failAll(table, fmt.Errorf("maintain: base insert into %s failed mid-batch: %w", table, err))
-		rep.Base = err
+		m.db.RollbackTable(table)
+		rep.Base = fmt.Errorf("maintain: base insert into %s failed: %w", table, err)
 		return rep
 	}
-	// Self-join views: full recompute now that the base table changed. A
+	// Phase 3 — apply deltas. A failing view rolls back to its committed
+	// contents and goes Stale; the statement carries on.
+	for _, f := range computeFailed {
+		m.failView(f.View, f.Err)
+		rep.Failed = append(rep.Failed, f)
+	}
+	for _, p := range pendings {
+		if err := m.applyGuarded(p.v, p.delta, +1); err != nil {
+			m.db.RollbackView(p.v.Name)
+			m.failView(p.v.Name, err)
+			rep.Failed = append(rep.Failed, ViewError{p.v.Name, err})
+		} else {
+			rep.Updated = append(rep.Updated, p.v.Name)
+		}
+	}
+	// Phase 4 — self-join views: full recompute from the post-insert head. A
 	// successful recompute also heals a Stale view; only Quarantined views
 	// wait for an operator.
 	for _, v := range selfJoin {
 		m.recomputeInPlace(v, rep)
 	}
+	// Phase 5 — publish the base write and every successful view update as
+	// one new epoch. Snapshots pinned before this instant keep reading the
+	// previous epoch in full.
+	m.db.Commit()
 	return rep.orNil()
 }
 
 // Delete removes the base-table rows satisfying pred and incrementally
-// maintains every registered view, with the same partial-failure contract as
-// Insert. It returns the number of deleted rows.
+// maintains every registered view, with the same transactional contract as
+// Insert: a base-write failure rolls the table back and aborts the statement
+// with no view touched; a per-view failure rolls that view back to its
+// committed contents and marks it Stale; everything that succeeded publishes
+// as one new epoch. It returns the number of deleted rows.
 func (m *Maintainer) Delete(table string, pred func(storage.Row) bool) (int, error) {
 	t := m.db.Table(table)
 	if t == nil {
@@ -202,11 +249,11 @@ func (m *Maintainer) Delete(table string, pred func(storage.Row) bool) (int, err
 		return derr
 	})
 	if err != nil {
-		// DeleteWhere may have replaced the row heap before an index rebuild
-		// failed; the views still reflect the pre-delete table either way,
-		// so mark everything over this table Stale.
-		m.failAll(table, fmt.Errorf("maintain: base delete from %s failed: %w", table, err))
-		rep.Base = err
+		// DeleteWhere may have compacted the rows before an index rebuild
+		// failed; rolling the table back to the committed epoch restores both
+		// rows and indexes, so the views stay consistent with it.
+		m.db.RollbackTable(table)
+		rep.Base = fmt.Errorf("maintain: base delete from %s failed: %w", table, err)
 		return 0, rep
 	}
 	if len(deleted) == 0 {
@@ -223,9 +270,14 @@ func (m *Maintainer) Delete(table string, pred func(storage.Row) bool) (int, err
 			}
 			// Other tables are unchanged, so Q(T ← Δ) after the base delete
 			// equals the delta of the view.
-			if err := m.applyDelta(v, table, deleted, -1); err != nil {
-				m.failView(v.Name, err)
-				rep.Failed = append(rep.Failed, ViewError{v.Name, err})
+			delta, derr := m.computeDelta(v, table, deleted)
+			if derr == nil {
+				derr = m.applyGuarded(v, delta, -1)
+			}
+			if derr != nil {
+				m.db.RollbackView(v.Name)
+				m.failView(v.Name, derr)
+				rep.Failed = append(rep.Failed, ViewError{v.Name, derr})
 			} else {
 				rep.Updated = append(rep.Updated, v.Name)
 			}
@@ -233,33 +285,47 @@ func (m *Maintainer) Delete(table string, pred func(storage.Row) bool) (int, err
 			m.recomputeInPlace(v, rep)
 		}
 	}
+	m.db.Commit()
 	return len(deleted), rep.orNil()
 }
 
-// applyDelta evaluates the view's delta query against the changed rows and
-// folds it into the stored view, converting panics into errors so one broken
-// view cannot unwind the whole statement.
-func (m *Maintainer) applyDelta(v *View, table string, rows []storage.Row, sign int64) error {
-	return guard(func() error {
-		if err := m.faults.Maybe(faults.SiteMaintainDelta); err != nil {
-			return fmt.Errorf("maintain: delta for %s: %w", v.Name, err)
+// computeDelta evaluates the view's delta query Q(T ← Δ) against the changed
+// rows, read-only over a zero-copy overlay of the database. Panics become
+// errors so one broken view cannot unwind the whole statement.
+func (m *Maintainer) computeDelta(v *View, table string, rows []storage.Row) (delta []storage.Row, err error) {
+	err = guard(func() error {
+		if ferr := m.faults.Maybe(faults.SiteMaintainDelta); ferr != nil {
+			return fmt.Errorf("maintain: delta for %s: %w", v.Name, ferr)
 		}
-		delta, err := exec.RunQuery(m.db.Shadow(table, rows), v.Def)
-		if err != nil {
-			return fmt.Errorf("maintain: delta for %s: %w", v.Name, err)
+		var rerr error
+		delta, rerr = exec.RunQuery(storage.NewOverlay(m.db, table, rows), v.Def)
+		if rerr != nil {
+			return fmt.Errorf("maintain: delta for %s: %w", v.Name, rerr)
 		}
-		return m.apply(v, delta, sign)
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	return delta, nil
+}
+
+// applyGuarded folds a computed delta into the stored view with panics
+// converted to errors. On error the caller rolls the view back.
+func (m *Maintainer) applyGuarded(v *View, delta []storage.Row, sign int64) error {
+	return guard(func() error { return m.apply(v, delta, sign) })
 }
 
 // recomputeInPlace is the self-join maintenance path: rebuild the view from
 // the post-change database, recording the outcome in rep and the lifecycle.
+// A failed recompute rolls the view back to its committed contents.
 func (m *Maintainer) recomputeInPlace(v *View, rep *MaintenanceError) {
 	if st, _ := m.ViewState(v.Name); st == Quarantined {
 		rep.Skipped = append(rep.Skipped, v.Name)
 		return
 	}
 	if err := guard(func() error { return m.recompute(v) }); err != nil {
+		m.db.RollbackView(v.Name)
 		m.failView(v.Name, err)
 		rep.Failed = append(rep.Failed, ViewError{v.Name, err})
 		return
@@ -269,15 +335,6 @@ func (m *Maintainer) recomputeInPlace(v *View, rep *MaintenanceError) {
 		notify()
 	}
 	rep.Updated = append(rep.Updated, v.Name)
-}
-
-// failAll marks every view referencing table as Stale (base-write failure).
-func (m *Maintainer) failAll(table string, cause error) {
-	for _, v := range m.views {
-		if instancesOf(v.Def, table) > 0 {
-			m.failView(v.Name, cause)
-		}
-	}
 }
 
 // recompute rebuilds a view from scratch (self-join fallback and Repair).

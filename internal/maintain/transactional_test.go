@@ -1,0 +1,128 @@
+package maintain_test
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"matview/internal/exec"
+	"matview/internal/faults"
+	"matview/internal/maintain"
+	"matview/internal/storage"
+)
+
+// snapViewRows serializes a view's full contents as read through the given
+// reader (live head or pinned snapshot) with the reference evaluator, for
+// byte-level comparison.
+func snapViewRows(t *testing.T, r storage.Reader, view string, ncols int) string {
+	t.Helper()
+	rows, err := exec.RunReference(r, &exec.ViewScan{View: view, NCols: ncols})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]string, len(rows))
+	for i, row := range rows {
+		out[i] = make([]string, len(row))
+		for j, v := range row {
+			out[i][j] = v.String()
+		}
+	}
+	b, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestMaintenanceIsSnapshotTransactional is the tentpole invariant: view
+// maintenance is a snapshot-to-snapshot commit. A statement computed against
+// epoch N publishes as epoch N+1; a fault during a view apply leaves readers
+// pinned on epoch N byte-identical to what they saw before the statement,
+// and a fault during the base write leaves the epoch itself unchanged (the
+// whole statement rolls back).
+func TestMaintenanceIsSnapshotTransactional(t *testing.T) {
+	db, m, vs, va := newLifecycleFixture(t, 33)
+
+	snap := db.Snapshot()
+	defer snap.Release()
+	epoch0 := snap.Epoch()
+	spjBefore := snapViewRows(t, snap, vs.Name, len(vs.Def.Outputs))
+	aggBefore := snapViewRows(t, snap, va.Name, len(va.Def.Outputs))
+	ordersBefore := db.Table("orders").NumRows()
+
+	// 1. View-apply failure: the base row commits (epoch advances), the
+	// failing view is rolled back to its epoch-N contents — consistent but
+	// stale, never torn — and the pinned snapshot is untouched.
+	inj := faults.New(7)
+	inj.Add(faults.Rule{Site: faults.SiteMaintainApply, Rate: 1, Limit: 1})
+	m.SetFaultInjector(inj)
+	db.SetFaultInjector(inj)
+	err := m.Insert("orders", []storage.Row{newOrderRow(db, 9_000_001, 3, 500_000)})
+	var me *maintain.MaintenanceError
+	if err == nil {
+		t.Fatal("faulted insert succeeded")
+	}
+	if !errors.As(err, &me) || me.Base != nil {
+		t.Fatalf("want view-apply MaintenanceError with nil Base, got %v", err)
+	}
+	if got := db.Epoch(); got != epoch0+1 {
+		t.Fatalf("epoch after applied-with-stale-view statement = %d, want %d", got, epoch0+1)
+	}
+	if got := snapViewRows(t, snap, vs.Name, len(vs.Def.Outputs)); got != spjBefore {
+		t.Fatalf("pinned snapshot's %s changed under maintenance failure", vs.Name)
+	}
+	if got := snapViewRows(t, snap, va.Name, len(va.Def.Outputs)); got != aggBefore {
+		t.Fatalf("pinned snapshot's %s changed under maintenance failure", va.Name)
+	}
+	if got := snap.TableData("orders").NumRows(); got != ordersBefore {
+		t.Fatalf("pinned snapshot's orders grew: %d, want %d", got, ordersBefore)
+	}
+	// The failing view's HEAD content equals its committed epoch-N content:
+	// rolled back whole, not torn mid-apply.
+	if got := snapViewRows(t, db, vs.Name, len(vs.Def.Outputs)); got != spjBefore {
+		t.Fatalf("stale view's head content is torn")
+	}
+	wantState(t, m, vs.Name, maintain.Stale)
+
+	// 2. Base-write failure: the entire statement aborts; the epoch does not
+	// advance and no view (not even the healthy one) is touched.
+	inj.Add(faults.Rule{Site: faults.SiteStorageInsert, Rate: 1, Limit: 1})
+	epochMid := db.Epoch()
+	aggMid := snapViewRows(t, db, va.Name, len(va.Def.Outputs))
+	err = m.Insert("orders", []storage.Row{newOrderRow(db, 9_000_002, 4, 600_000)})
+	if !errors.As(err, &me) || me.Base == nil {
+		t.Fatalf("want base MaintenanceError, got %v", err)
+	}
+	if got := db.Epoch(); got != epochMid {
+		t.Fatalf("aborted statement advanced the epoch: %d -> %d", epochMid, got)
+	}
+	if got := snapViewRows(t, db, va.Name, len(va.Def.Outputs)); got != aggMid {
+		t.Fatal("aborted statement touched a view")
+	}
+
+	// 3. Success: compute at snapshot N, publish as N+1, and only then do
+	// fresh snapshots observe the statement.
+	inj.SetEnabled(false)
+	preSnap := db.Snapshot()
+	defer preSnap.Release()
+	if err := m.Insert("orders", []storage.Row{newOrderRow(db, 9_000_003, 5, 700_000)}); err != nil {
+		t.Fatalf("clean insert: %v", err)
+	}
+	if got := db.Epoch(); got != preSnap.Epoch()+1 {
+		t.Fatalf("epoch after clean insert = %d, want %d", got, preSnap.Epoch()+1)
+	}
+	if got := preSnap.TableData("orders").NumRows(); got != ordersBefore+1 {
+		t.Fatalf("pre-statement snapshot rows = %d, want %d", got, ordersBefore+1)
+	}
+	post := db.Snapshot()
+	defer post.Release()
+	if got := post.TableData("orders").NumRows(); got != ordersBefore+2 {
+		t.Fatalf("post-statement snapshot rows = %d, want %d", got, ordersBefore+2)
+	}
+	checkAgainstRecompute(t, db, va)
+
+	// And the very first snapshot still reads epoch N, byte-identical.
+	if got := snapViewRows(t, snap, va.Name, len(va.Def.Outputs)); got != aggBefore {
+		t.Fatal("original snapshot drifted across the whole sequence")
+	}
+}

@@ -29,11 +29,14 @@ import (
 func (s *Server) EvaluateSelection(fn func(cat *catalog.Catalog, views []autopilot.ViewInfo)) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	// View sizes come from the committed epoch, like every other read.
+	snap := s.db.Snapshot()
+	defer snap.Release()
 	var infos []autopilot.ViewInfo
 	for _, v := range s.opt.Views() {
 		rows := 0.0
-		if mv := s.db.View(v.Name); mv != nil {
-			rows = float64(mv.NumRows())
+		if vd := snap.ViewData(v.Name); vd != nil {
+			rows = float64(vd.NumRows())
 		}
 		infos = append(infos, autopilot.ViewInfo{Name: v.Name, Def: v.Def, Rows: rows})
 	}

@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"sort"
@@ -13,6 +14,7 @@ import (
 	"matview/internal/exec"
 	"matview/internal/faults"
 	"matview/internal/maintain"
+	"matview/internal/shell"
 	"matview/internal/sqlparser"
 	"matview/internal/storage"
 	"matview/internal/tpch"
@@ -97,8 +99,11 @@ func TestServerDegradedLifecycle(t *testing.T) {
 }
 
 // TestStoragePanicIsContained injects a panic in the storage layer during a
-// base write: the maintainer converts it to a MaintenanceError (422, views
-// Stale) instead of letting it unwind the handler.
+// base write: the maintainer converts it into an aborted statement (422,
+// applied=false) instead of letting it unwind the handler. Under the MVCC
+// commit protocol the abort is total — the base table rolls back, every view
+// stays Fresh, and the storage epoch does not advance, so readers on the
+// prior snapshot never saw a thing.
 func TestStoragePanicIsContained(t *testing.T) {
 	srv, ts := newTestServer(t, Config{})
 	execStmt(t, ts, `create view pq with schemabinding as
@@ -108,6 +113,8 @@ func TestStoragePanicIsContained(t *testing.T) {
 	inj.Add(faults.Rule{Site: faults.SiteStorageInsert, Rate: 1, Limit: 1, Panic: true})
 	srv.SetFaultInjector(inj)
 
+	rowsBefore := srv.db.Table("lineitem").NumRows()
+	epochBefore := srv.db.Epoch()
 	okey := srv.db.Table("orders").RowAt(0)[tpch.OOrderkey].Int()
 	ins := fmt.Sprintf(`insert into lineitem values
 		(%d, 6, 1, 7, 5.0, 100.0, 0.0, 0.0, 'N', 'O',
@@ -117,21 +124,34 @@ func TestStoragePanicIsContained(t *testing.T) {
 	if code != http.StatusUnprocessableEntity {
 		t.Fatalf("panicking insert: status %d: %s", code, body)
 	}
+	var er errorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Applied {
+		t.Fatalf("aborted statement reported applied: %s", body)
+	}
 	if m := srv.Metrics(); m.PanicsTotal != 0 {
 		t.Fatalf("panic escaped to the middleware: %+v", m)
 	}
-	if st, _ := srv.Maintainer().ViewState("pq"); st != maintain.Stale {
-		t.Fatalf("view state after base-write panic = %v, want stale", st)
+	if st, _ := srv.Maintainer().ViewState("pq"); st != maintain.Fresh {
+		t.Fatalf("view state after aborted base write = %v, want fresh", st)
+	}
+	if got := srv.db.Table("lineitem").NumRows(); got != rowsBefore {
+		t.Fatalf("base table after abort: %d rows, want %d (rollback failed)", got, rowsBefore)
+	}
+	if got := srv.db.Epoch(); got != epochBefore {
+		t.Fatalf("epoch advanced across an aborted statement: %d -> %d", epochBefore, got)
 	}
 
+	// The fault is spent; the identical statement now succeeds, views
+	// maintain incrementally, and queries see the row.
 	inj.SetEnabled(false)
-	if rep := srv.Repair(); len(rep.Repaired) != 1 {
-		t.Fatalf("repair: %+v", rep)
-	}
+	execStmt(t, ts, ins)
 	sql := "select l_partkey, sum(l_quantity) as qty from lineitem where l_partkey = 6 group by l_partkey"
 	qr := query(t, ts, sql)
 	if got, want := normRows(t, qr.Rows), referenceRows(t, srv.db, sql); fmt.Sprint(got) != fmt.Sprint(want) {
-		t.Fatalf("post-repair answer wrong: got %v want %v", got, want)
+		t.Fatalf("post-retry answer wrong: got %v want %v", got, want)
 	}
 }
 
@@ -214,17 +234,31 @@ func chaosNorm(rows [][]any) ([]string, error) {
 	return out, nil
 }
 
+// chaosMutation is one committed /exec statement: the SQL and the storage
+// epoch its commit published. Aborted statements (applied=false) never make
+// the history.
+type chaosMutation struct {
+	epoch uint64
+	sql   string
+}
+
+// chaosObservation is one /query response: the SQL, the epoch snapshot it
+// executed against, and the normalized rows it returned.
+type chaosObservation struct {
+	epoch uint64
+	sql   string
+	got   []string
+}
+
 // TestChaosQueriesStayCorrect is the capstone: concurrent query and DML
 // traffic with faults armed at every injection site (including panics at a
-// maintenance site). The invariant is the paper's contract under failure —
-// faults may cost performance (views degrade, plans fall back) but never
-// correctness: every 200 response must equal the reference evaluator's
-// answer, and after the storm every view repairs back to Fresh.
-//
-// The test-side RWMutex mirrors the deployment contract the server already
-// documents (DML serialized, queries concurrent): writers and repairs hold
-// it exclusively, readers run /query and the reference evaluator under the
-// shared side so the comparison is made against an unmoving database.
+// maintenance site) and no quiescing — readers and writers overlap freely,
+// with no test-side gate. The invariant is snapshot serializability: every
+// /query response carries the storage epoch it executed against, every
+// /exec response carries the epoch it committed (and whether the base
+// mutation applied), and after the storm each recorded response must equal
+// the reference evaluator's answer over the committed mutation history up
+// to exactly that epoch, replayed on a pristine copy of the dataset.
 func TestChaosQueriesStayCorrect(t *testing.T) {
 	db := newTestDB(t)
 	srv := New(db, Config{MaxConcurrent: 64})
@@ -260,10 +294,15 @@ func TestChaosQueriesStayCorrect(t *testing.T) {
 		iters = 15
 	}
 
-	var gate sync.RWMutex
 	var wg sync.WaitGroup
 	errs := make(chan error, 256)
+	var mutMu sync.Mutex
+	var muts []chaosMutation
+	var obsMu sync.Mutex
+	var obs []chaosObservation
 
+	// Writers target disjoint part keys, so the only cross-writer ordering
+	// that matters is the epoch order the server assigns.
 	for wID := 0; wID < 2; wID++ {
 		wg.Add(1)
 		go func(wID int) {
@@ -279,18 +318,41 @@ func TestChaosQueriesStayCorrect(t *testing.T) {
 				} else {
 					sql = fmt.Sprintf("delete from lineitem where l_partkey = %d", part)
 				}
-				gate.Lock()
 				code, body := postHelper(ts, "/exec", &ExecRequest{SQL: sql})
-				// 200 = clean, 422 = fault surfaced as an error (views now
-				// Stale), 500 = a panic the middleware absorbed. Anything
-				// else is a routing or availability bug.
-				if code != http.StatusOK && code != http.StatusUnprocessableEntity && code != http.StatusInternalServerError {
+				var epoch uint64
+				var applied bool
+				switch code {
+				case http.StatusOK:
+					var er ExecResponse
+					if err := json.Unmarshal(body, &er); err != nil {
+						errs <- err
+						return
+					}
+					epoch, applied = er.Epoch, true
+				case http.StatusUnprocessableEntity:
+					// A fault surfaced as a MaintenanceError: Applied says
+					// whether the base mutation committed (views went Stale)
+					// or the whole statement aborted.
+					var er errorResponse
+					if err := json.Unmarshal(body, &er); err != nil {
+						errs <- err
+						return
+					}
+					epoch, applied = er.Epoch, er.Applied
+				default:
+					// Every maintainer phase is guarded; anything but a
+					// clean 200 or a maintenance 422 is a protocol bug.
 					errs <- fmt.Errorf("exec %q: status %d: %s", sql, code, body)
+					return
+				}
+				if applied {
+					mutMu.Lock()
+					muts = append(muts, chaosMutation{epoch: epoch, sql: sql})
+					mutMu.Unlock()
 				}
 				if i%5 == 4 {
 					srv.Repair()
 				}
-				gate.Unlock()
 			}
 		}(wID)
 	}
@@ -301,23 +363,14 @@ func TestChaosQueriesStayCorrect(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < iters; i++ {
 				sql := queries[(rID+i)%len(queries)]
-				gate.RLock()
 				code, body := postHelper(ts, "/query", &QueryRequest{SQL: sql})
 				if code != http.StatusOK {
-					gate.RUnlock()
 					errs <- fmt.Errorf("query %q: status %d: %s", sql, code, body)
 					return
 				}
 				var qr QueryResponse
 				if err := json.Unmarshal(body, &qr); err != nil {
-					gate.RUnlock()
 					errs <- err
-					return
-				}
-				want, werr := chaosReference(db, sql)
-				gate.RUnlock()
-				if werr != nil {
-					errs <- werr
 					return
 				}
 				got, gerr := chaosNorm(qr.Rows)
@@ -325,10 +378,9 @@ func TestChaosQueriesStayCorrect(t *testing.T) {
 					errs <- gerr
 					return
 				}
-				if fmt.Sprint(got) != fmt.Sprint(want) {
-					errs <- fmt.Errorf("chaos divergence on %q: got %v want %v", sql, got, want)
-					return
-				}
+				obsMu.Lock()
+				obs = append(obs, chaosObservation{epoch: qr.Epoch, sql: sql, got: got})
+				obsMu.Unlock()
 			}
 		}(rID)
 	}
@@ -338,12 +390,46 @@ func TestChaosQueriesStayCorrect(t *testing.T) {
 	for err := range errs {
 		t.Error(err)
 	}
+	if t.Failed() {
+		t.FailNow()
+	}
 
 	if st := inj.Stats(); st.Injected == 0 {
 		t.Fatal("chaos run injected no faults; the test proved nothing")
 	} else {
 		t.Logf("faults: %v", inj)
 	}
+
+	// Serializability replay: rebuild the pristine dataset, apply the
+	// committed mutations in epoch order, and check every recorded query
+	// against the reference evaluator at exactly its epoch. Epochs are
+	// assigned under the server's write lock, so they totally order the
+	// committed history; a response pinned at epoch E must see every
+	// mutation committed at or before E and none after.
+	replayDB, err := tpch.NewDatabase(0.001, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := shell.NewSession(replayDB)
+	sort.SliceStable(muts, func(i, j int) bool { return muts[i].epoch < muts[j].epoch })
+	sort.SliceStable(obs, func(i, j int) bool { return obs[i].epoch < obs[j].epoch })
+	k := 0
+	for _, o := range obs {
+		for k < len(muts) && muts[k].epoch <= o.epoch {
+			if err := replay.Execute(muts[k].sql, io.Discard); err != nil {
+				t.Fatalf("replaying %q: %v", muts[k].sql, err)
+			}
+			k++
+		}
+		want, werr := chaosReference(replayDB, o.sql)
+		if werr != nil {
+			t.Fatal(werr)
+		}
+		if fmt.Sprint(o.got) != fmt.Sprint(want) {
+			t.Fatalf("snapshot divergence at epoch %d on %q: got %v want %v", o.epoch, o.sql, o.got, want)
+		}
+	}
+	t.Logf("replayed %d committed mutations against %d query observations", len(muts), len(obs))
 
 	// The storm is over: disable faults and repair whatever is left,
 	// force-releasing any quarantined view.

@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"matview/internal/storage"
 )
 
 // latencyRecorder keeps a sliding window of request latencies for
@@ -123,6 +125,9 @@ type Metrics struct {
 	Maintenance   MaintenanceMetrics `json:"maintenance"`
 	Latency       LatencyMetrics     `json:"latency"`
 	Optimizer     OptimizerMetrics   `json:"optimizer"`
+	// Storage reports the MVCC version chain: current epoch, pinned readers,
+	// retained superseded versions, and GC reclamation counters.
+	Storage storage.MVCCStats `json:"storage"`
 	// ViewUsage counts, per registered view, how many executed plans
 	// scanned it — the matcher actually choosing the view, not merely the
 	// view existing. The autopilot's drop decisions read these; operators

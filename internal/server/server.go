@@ -43,6 +43,13 @@ type Config struct {
 	// this often, rebuilding views that failed maintenance (0 disables the
 	// loop; Repair can still be invoked explicitly).
 	RepairInterval time.Duration
+	// GCInterval runs the storage version GC this often, reclaiming
+	// superseded epoch versions once their readers drain (0 = default 1s).
+	GCInterval time.Duration
+	// SnapshotMaxAge is the leaked-snapshot deadline: a reader pinning a
+	// superseded epoch longer than this is logged and the version released
+	// from accounting instead of retained forever (0 = default 1m).
+	SnapshotMaxAge time.Duration
 	// Autopilot, when non-nil, runs the closed-loop view controller: the
 	// query stream is mined into a decayed histogram (capture always runs),
 	// and the controller periodically re-plans the managed view set and
@@ -72,8 +79,10 @@ type Server struct {
 	opt   *opt.Optimizer
 	cache *PlanCache
 
-	// mu orders queries against writes: /query holds it shared for
-	// optimize+run+encode, /exec holds it exclusively.
+	// mu orders planning against writes: /query holds it shared only for
+	// plan-cache lookup, optimization, and snapshot acquisition; execution
+	// and row encoding run lock-free against the pinned epoch snapshot.
+	// /exec holds it exclusively for the whole statement.
 	mu sync.RWMutex
 
 	sem      chan struct{} // admission slots
@@ -84,6 +93,7 @@ type Server struct {
 	stopRepair chan struct{} // closes the background repair loop
 	stopOnce   sync.Once
 	repairWG   sync.WaitGroup
+	stopGC     func() // stops the storage version GC loop
 
 	// dataEpoch advances on every successful /exec; the background view
 	// builder uses it to detect DML that raced a deferred build.
@@ -123,7 +133,15 @@ func New(db *storage.Database, cfg Config) *Server {
 	if cfg.LatencyWindow <= 0 {
 		cfg.LatencyWindow = def.LatencyWindow
 	}
+	if cfg.GCInterval <= 0 {
+		cfg.GCInterval = time.Second
+	}
+	if cfg.SnapshotMaxAge <= 0 {
+		cfg.SnapshotMaxAge = time.Minute
+	}
 	sess := shell.NewSession(db)
+	// Publish any pre-loaded state so the first snapshot readers see it.
+	db.Commit()
 	s := &Server{
 		cfg:        cfg,
 		db:         db,
@@ -149,6 +167,7 @@ func New(db *storage.Database, cfg Config) *Server {
 		s.repairWG.Add(1)
 		go s.repairLoop(cfg.RepairInterval)
 	}
+	s.stopGC = db.StartVersionGC(cfg.GCInterval, cfg.SnapshotMaxAge)
 	return s
 }
 
@@ -241,6 +260,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		s.inflight.Wait()
 		s.repairWG.Wait()
+		s.stopGC()
 		close(done)
 	}()
 	select {
@@ -296,6 +316,9 @@ type QueryResponse struct {
 	Cached        bool     `json:"cached"`
 	Plan          string   `json:"plan,omitempty"`
 	ElapsedMicros int64    `json:"elapsedMicros"`
+	// Epoch is the storage epoch the query executed against; all rows are a
+	// consistent snapshot of exactly that committed state.
+	Epoch uint64 `json:"epoch"`
 }
 
 // ExecRequest is the /exec body.
@@ -303,13 +326,21 @@ type ExecRequest struct {
 	SQL string `json:"sql"`
 }
 
-// ExecResponse is the /exec reply; Message is the statement's shell output.
+// ExecResponse is the /exec reply; Message is the statement's shell output
+// and Epoch the storage epoch after the statement committed.
 type ExecResponse struct {
 	Message string `json:"message"`
+	Epoch   uint64 `json:"epoch"`
 }
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Epoch/Applied are set on /exec failures: Epoch is the storage epoch
+	// after the statement, Applied reports whether the base-table mutation
+	// took effect (view maintenance may still have failed — the statement
+	// aborts entirely only when the base write itself fails).
+	Epoch   uint64 `json:"epoch,omitempty"`
+	Applied bool   `json:"applied,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -347,38 +378,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// runQuery is the plan-cached SELECT path. The epoch is read before
-// planning so a plan can only be cached under a catalog at least as new as
-// the one it was planned against; DDL bumps the epoch under the write lock,
-// which cannot overlap this read-locked section.
-func (s *Server) runQuery(ctx context.Context, req *QueryRequest) (*QueryResponse, int, error) {
-	if strings.TrimSpace(req.SQL) == "" {
-		return nil, http.StatusBadRequest, errors.New("server: empty sql")
-	}
-	key, err := sqlparser.Fingerprint(req.SQL)
-	if err != nil {
-		return nil, http.StatusBadRequest, err
-	}
+// planQuery is the read-locked half of /query: plan-cache lookup,
+// parse+optimize on a miss, and acquisition of the epoch snapshot the caller
+// executes against. The catalog epoch is read before planning so a plan can
+// only be cached under a catalog at least as new as the one it was planned
+// against; DDL bumps that epoch under the write lock, which cannot overlap
+// this read-locked section. The storage snapshot is likewise pinned before
+// the lock is released, so it reflects a committed state no older than the
+// plan's catalog.
+func (s *Server) planQuery(ctx context.Context, key string, req *QueryRequest) (cp *CachedPlan, parsed *spjg.Query, hit bool, snap *storage.Snapshot, code int, err error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	epoch := s.opt.CatalogEpoch()
-	cp, hit := s.cache.Get(key, epoch)
-	var parsed *spjg.Query // set on misses; the recorder keeps the first one
+	cp, hit = s.cache.Get(key, epoch)
 	if !hit {
 		st, err := sqlparser.Parse(s.db.Catalog, req.SQL)
 		if err != nil {
-			return nil, http.StatusBadRequest, err
+			return nil, nil, false, nil, http.StatusBadRequest, err
 		}
 		if st.Query == nil || st.ViewName != "" {
-			return nil, http.StatusBadRequest,
+			return nil, nil, false, nil, http.StatusBadRequest,
 				errors.New("server: /query accepts SELECT statements only; use /exec for DML and DDL")
 		}
 		res, err := s.opt.OptimizeCtx(ctx, st.Query)
 		if err != nil {
 			if isCtxErr(err) {
-				return nil, http.StatusGatewayTimeout, fmt.Errorf("server: optimization timed out: %w", err)
+				return nil, nil, false, nil, http.StatusGatewayTimeout, fmt.Errorf("server: optimization timed out: %w", err)
 			}
-			return nil, http.StatusUnprocessableEntity, err
+			return nil, nil, false, nil, http.StatusUnprocessableEntity, err
 		}
 		cols := make([]string, len(st.Query.Outputs))
 		for i, oc := range st.Query.Outputs {
@@ -394,10 +421,30 @@ func (s *Server) runQuery(ctx context.Context, req *QueryRequest) (*QueryRespons
 		s.optStats.Add(res.Stats)
 		s.optStatsMu.Unlock()
 	}
+	return cp, parsed, hit, s.db.Snapshot(), 0, nil
+}
+
+// runQuery is the plan-cached SELECT path. Only planning and snapshot
+// acquisition hold the shared lock; execution and row encoding run against
+// the pinned, immutable epoch snapshot and never block or observe /exec.
+func (s *Server) runQuery(ctx context.Context, req *QueryRequest) (*QueryResponse, int, error) {
+	if strings.TrimSpace(req.SQL) == "" {
+		return nil, http.StatusBadRequest, errors.New("server: empty sql")
+	}
+	key, err := sqlparser.Fingerprint(req.SQL)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	cp, parsed, hit, snap, code, err := s.planQuery(ctx, key, req)
+	if err != nil {
+		return nil, code, err
+	}
+	defer snap.Release()
 	resp := &QueryResponse{
 		Columns:   cp.Columns,
 		UsedViews: cp.Res.UsesView,
 		Cached:    hit,
+		Epoch:     snap.Epoch(),
 	}
 	if req.Explain {
 		resp.Plan = exec.Explain(cp.Res.Plan)
@@ -407,7 +454,7 @@ func (s *Server) runQuery(ctx context.Context, req *QueryRequest) (*QueryRespons
 		return nil, http.StatusGatewayTimeout, err
 	}
 	execStart := time.Now()
-	rows, err := cp.Res.Plan.Run(s.db)
+	rows, err := cp.Res.Plan.Run(snap)
 	if err != nil {
 		return nil, http.StatusInternalServerError, err
 	}
@@ -422,10 +469,9 @@ func (s *Server) runQuery(ctx context.Context, req *QueryRequest) (*QueryRespons
 		limit = s.cfg.MaxRows
 		resp.Truncated = true
 	}
-	// Encode rows before the read lock is released. Node.Run snapshots the
-	// result slice (never the table's own row slice), but the individual row
-	// backing arrays are still shared with storage, so encoding stays under
-	// the lock rather than trusting every writer to clone before mutating.
+	// Encoding runs outside the lock: the snapshot's column arrays are
+	// frozen (copy-on-write), so concurrent DML can never mutate the values
+	// these rows alias.
 	resp.Rows = make([][]any, limit)
 	for i, row := range rows[:limit] {
 		out := make([]any, len(row))
@@ -449,40 +495,49 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	msg, code, err := s.runExec(&req)
+	msg, epoch, applied, code, err := s.runExec(&req)
 	if err != nil {
 		s.errors.Add(1)
-		writeError(w, code, err)
+		writeJSON(w, code, errorResponse{Error: err.Error(), Epoch: epoch, Applied: applied})
 		return
 	}
 	s.execs.Add(1)
-	writeJSON(w, http.StatusOK, &ExecResponse{Message: msg})
+	writeJSON(w, http.StatusOK, &ExecResponse{Message: msg, Epoch: epoch})
 }
 
 // runExec is the serialized DML/DDL path. The whole statement — parse,
 // maintainer work, catalog-stat refresh, and the epoch bump performed by
 // the optimizer's registration paths — happens under the write lock, so no
 // query can observe a half-applied DDL or cache a plan under its epoch.
-func (s *Server) runExec(req *ExecRequest) (string, int, error) {
+// The returned storage epoch is read after the statement (under the same
+// lock), and applied reports whether the base-table mutation committed:
+// true on success and on maintenance errors whose Base is nil (views went
+// stale but the DML landed); false when the statement aborted entirely.
+func (s *Server) runExec(req *ExecRequest) (msg string, epoch uint64, applied bool, code int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st, err := sqlparser.Parse(s.db.Catalog, req.SQL)
 	if err != nil {
-		return "", http.StatusBadRequest, err
+		return "", s.db.Epoch(), false, http.StatusBadRequest, err
 	}
 	if st.Insert == nil && st.Delete == nil && st.CreateIndex == nil &&
 		st.ViewName == "" && st.DropViewName == "" {
-		return "", http.StatusBadRequest,
+		return "", s.db.Epoch(), false, http.StatusBadRequest,
 			errors.New("server: /exec accepts DML and DDL only; use /query for SELECT")
 	}
 	var sb strings.Builder
 	if err := s.sess.Execute(req.SQL, &sb); err != nil {
-		return "", http.StatusUnprocessableEntity, err
+		var merr *maintain.MaintenanceError
+		applied = errors.As(err, &merr) && merr.Base == nil
+		if applied {
+			s.dataEpoch.Add(1)
+		}
+		return "", s.db.Epoch(), applied, http.StatusUnprocessableEntity, err
 	}
 	// Any successful DML/DDL may have changed table contents; deferred view
 	// builds snapshot this epoch to detect the race.
 	s.dataEpoch.Add(1)
-	return strings.TrimSpace(sb.String()), 0, nil
+	return strings.TrimSpace(sb.String()), s.db.Epoch(), true, 0, nil
 }
 
 // HealthResponse is the /healthz body. Status is "ok", "degraded" (some
@@ -490,6 +545,7 @@ func (s *Server) runExec(req *ExecRequest) (string, int, error) {
 // or "draining". Degraded responses list the afflicted views.
 type HealthResponse struct {
 	Status      string   `json:"status"`
+	Epoch       uint64   `json:"epoch"`
 	Stale       []string `json:"stale,omitempty"`
 	Rebuilding  []string `json:"rebuilding,omitempty"`
 	Quarantined []string `json:"quarantined,omitempty"`
@@ -505,6 +561,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	h := &HealthResponse{
 		Status:      "ok",
+		Epoch:       s.db.Epoch(),
 		Stale:       s.sess.Maint.ViewsInState(maintain.Stale),
 		Rebuilding:  s.sess.Maint.ViewsInState(maintain.Rebuilding),
 		Quarantined: s.sess.Maint.ViewsInState(maintain.Quarantined),
@@ -569,6 +626,7 @@ func (s *Server) Metrics() Metrics {
 			SubstitutesProduced: os.SubstitutesProduced,
 			ViewMatchMicros:     os.ViewMatchTime.Microseconds(),
 		},
+		Storage:   s.db.MVCCStats(),
 		ViewUsage: s.ViewUsage(),
 		Autopilot: s.autopilotMetrics(),
 	}

@@ -135,6 +135,9 @@ func (s *Session) execCreateIndex(ci *sqlparser.CreateIndexStatement, w io.Write
 		if _, err := mv.BuildIndex(ords, ci.Unique); err != nil {
 			return err
 		}
+		// Publish the new index as a committed epoch so snapshot readers can
+		// probe it.
+		s.DB.Commit()
 		fmt.Fprintf(w, "created index %s on view %s%v\n", ci.Name, ci.Target, ci.Columns)
 		return nil
 	}
@@ -154,6 +157,7 @@ func (s *Session) execCreateIndex(ci *sqlparser.CreateIndexStatement, w io.Write
 	if _, err := t.BuildIndex(ords, ci.Unique); err != nil {
 		return err
 	}
+	s.DB.Commit()
 	fmt.Fprintf(w, "created index %s on table %s%v\n", ci.Name, ci.Target, ci.Columns)
 	return nil
 }
@@ -207,7 +211,12 @@ func (s *Session) execSelect(st *sqlparser.Statement, explain bool, w io.Writer)
 		return nil
 	}
 	t0 := time.Now()
-	rows, err := res.Plan.Run(s.DB)
+	// Execute against an epoch snapshot — the same read path the server
+	// uses — so a SELECT never observes a half-applied statement even if a
+	// concurrent writer shares the database.
+	snap := s.DB.Snapshot()
+	rows, err := res.Plan.Run(snap)
+	snap.Release()
 	if err != nil {
 		return err
 	}

@@ -37,6 +37,14 @@ type Zone struct {
 }
 
 // column is one column of a ColumnStore.
+//
+// The shared* flags implement the store's immutable-prefix discipline for
+// MVCC snapshots (see Freeze): when an array is marked shared, some frozen
+// version references the same backing memory, so any in-place write at an
+// index a frozen reader could touch must clone the array first (the ensure*
+// helpers). Appends beyond the frozen length never need a clone — they write
+// memory no bounded reader can reach (and a reallocating append leaves the
+// frozen array behind entirely).
 type column struct {
 	kind    sqlvalue.Kind // KindNull until the first non-NULL value fixes it
 	ints    []int64       // payloads for KindInt, KindDate, KindBool
@@ -45,6 +53,45 @@ type column struct {
 	nulls   []uint64      // null bitmap; may be shorter than the row count
 	generic []sqlvalue.Value
 	zones   []Zone
+
+	sharedPayload bool // ints/floats/strs/generic referenced by a frozen version
+	sharedNulls   bool
+	sharedZones   bool
+}
+
+// ensureNulls clones the null bitmap before an in-place word write.
+func (c *column) ensureNulls() {
+	if c.sharedNulls {
+		c.nulls = append([]uint64(nil), c.nulls...)
+		c.sharedNulls = false
+	}
+}
+
+// ensureZones clones the zone array before an in-place zone write.
+func (c *column) ensureZones() {
+	if c.sharedZones {
+		c.zones = append([]Zone(nil), c.zones...)
+		c.sharedZones = false
+	}
+}
+
+// ensurePayload clones the payload array before an in-place element write.
+func (c *column) ensurePayload() {
+	if !c.sharedPayload {
+		return
+	}
+	if c.generic != nil {
+		c.generic = append([]sqlvalue.Value(nil), c.generic...)
+	}
+	switch c.kind {
+	case sqlvalue.KindInt, sqlvalue.KindDate, sqlvalue.KindBool:
+		c.ints = append([]int64(nil), c.ints...)
+	case sqlvalue.KindFloat:
+		c.floats = append([]float64(nil), c.floats...)
+	case sqlvalue.KindString:
+		c.strs = append([]string(nil), c.strs...)
+	}
+	c.sharedPayload = false
 }
 
 func bitSet(bm []uint64, i int) bool {
@@ -61,14 +108,21 @@ func (c *column) isNull(i int) bool {
 
 func (c *column) setNull(i int) {
 	w := i >> 6
-	for len(c.nulls) <= w {
-		c.nulls = append(c.nulls, 0)
+	if w < len(c.nulls) {
+		// In-place OR into a word frozen readers may cover.
+		c.ensureNulls()
+	} else {
+		// Growing the bitmap only touches words past every frozen length.
+		for len(c.nulls) <= w {
+			c.nulls = append(c.nulls, 0)
+		}
 	}
 	c.nulls[w] |= 1 << (uint(i) & 63)
 }
 
 func (c *column) clearNull(i int) {
 	if w := i >> 6; w < len(c.nulls) {
+		c.ensureNulls()
 		c.nulls[w] &^= 1 << (uint(i) & 63)
 	}
 }
@@ -100,6 +154,7 @@ func (c *column) value(i int) sqlvalue.Value {
 // payloads for the n existing (all-NULL) rows.
 func (c *column) adopt(k sqlvalue.Kind, n int) {
 	c.kind = k
+	c.sharedPayload = false // the typed array below is freshly allocated
 	switch k {
 	case sqlvalue.KindInt, sqlvalue.KindDate, sqlvalue.KindBool:
 		c.ints = make([]int64, n)
@@ -119,9 +174,11 @@ func (c *column) degrade(n int) {
 	}
 	c.generic = g
 	c.ints, c.floats, c.strs, c.nulls = nil, nil, nil, nil
-	for b := range c.zones {
-		c.zones[b] = Zone{}
-	}
+	c.sharedPayload, c.sharedNulls = false, false
+	// A fresh all-zero zone array doubles as "untracked everywhere" and
+	// avoids clearing zones a frozen version still reads.
+	c.zones = make([]Zone, len(c.zones))
+	c.sharedZones = false
 }
 
 func (c *column) appendZero() {
@@ -179,6 +236,7 @@ func (c *column) append(v sqlvalue.Value, n int) {
 // set overwrites the value at ordinal i; n is the store's row count.
 func (c *column) set(i int, v sqlvalue.Value, n int) {
 	if c.generic != nil {
+		c.ensurePayload()
 		c.generic[i] = v
 		return
 	}
@@ -194,6 +252,7 @@ func (c *column) set(i int, v sqlvalue.Value, n int) {
 		return
 	}
 	c.clearNull(i)
+	c.ensurePayload()
 	c.setPayload(i, v)
 }
 
@@ -321,6 +380,10 @@ func (cs *ColumnStore) AppendRow(r Row) {
 		col.append(r[c], n)
 		if b == len(col.zones) {
 			col.zones = append(col.zones, Zone{Tracked: col.generic == nil})
+		} else {
+			// Folding into the last block's zone mutates an element frozen
+			// readers cover.
+			col.ensureZones()
 		}
 		if z := &col.zones[b]; z.Tracked {
 			if col.generic != nil {
@@ -355,6 +418,7 @@ func (cs *ColumnStore) recomputeZone(c, b int) {
 	if b >= len(col.zones) {
 		return
 	}
+	col.ensureZones()
 	if col.generic != nil {
 		col.zones[b] = Zone{}
 		return
@@ -474,6 +538,10 @@ func (cs *ColumnStore) Compact(keep func(i int) bool) int {
 			cs.cols[c] = fresh
 			continue
 		}
+		// Surviving payloads are moved in place; clone first if a frozen
+		// version still reads this array. The bitmap and zones are rebuilt
+		// into fresh allocations below, so they need no clone.
+		col.ensurePayload()
 		var nulls []uint64
 		if len(col.nulls) > 0 {
 			nulls = make([]uint64, (kept+63)/64)
@@ -524,6 +592,7 @@ func (cs *ColumnStore) Compact(keep func(i int) bool) int {
 			}
 		}
 		col.nulls = nulls
+		col.sharedNulls = false
 	}
 	removed := n - kept
 	cs.n = kept
@@ -540,6 +609,7 @@ func (cs *ColumnStore) Compact(keep func(i int) bool) int {
 		start := 0
 		old := col.zones
 		col.zones = make([]Zone, nb)
+		col.sharedZones = false
 		if !retyped[c] {
 			if start = pb; start > len(old) {
 				start = len(old)
@@ -598,6 +668,28 @@ func (cs *ColumnStore) Rows() []Row {
 		}
 	}
 	return out
+}
+
+// Freeze returns a copy of the store's column headers pinned at the current
+// row count — O(NumCols), no payload copying. Both the receiver and the copy
+// mark every array shared afterwards, so the next in-place mutation through
+// either clones first (copy-on-write): readers of the copy see exactly the
+// rows present at the freeze, forever, while the receiver remains mutable.
+// Appends after a freeze are always safe without cloning because they only
+// touch memory beyond the copy's pinned lengths.
+//
+// Freeze is also the thaw direction: calling it on an immutable version's
+// store yields a mutable store sharing (and protecting) the same arrays,
+// which is how rollback restores a table or view head from the last
+// published version.
+func (cs *ColumnStore) Freeze() *ColumnStore {
+	for c := range cs.cols {
+		col := &cs.cols[c]
+		col.sharedPayload, col.sharedNulls, col.sharedZones = true, true, true
+	}
+	f := &ColumnStore{n: cs.n, cols: make([]column, len(cs.cols))}
+	copy(f.cols, cs.cols)
+	return f
 }
 
 // AppendRowKey appends the composite hash key of the given columns of row i

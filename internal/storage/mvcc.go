@@ -1,0 +1,446 @@
+// Epoch-snapshot MVCC. The database publishes an immutable version of every
+// table and view at each Commit; readers pin a version with Snapshot() —
+// three atomic operations, no locks — and run entire queries against it
+// while writers keep mutating the live head. Immutability is array-granular
+// copy-on-write (see column's shared* flags in columnar.go): publishing a
+// version is O(tables × columns) header copying, never payload copying, and
+// a failed statement rolls the head back to the published version so an
+// epoch is only ever observed fully applied.
+//
+// Version lifecycle:
+//
+//	head --Commit--> epoch N (current) --Commit--> epoch N+1, N retained
+//	retained, readers drain to 0 --RunVersionGC--> reclaimed
+//	retained, reader leaked past maxAge --RunVersionGC--> logged + released
+package storage
+
+import (
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"matview/internal/catalog"
+)
+
+// Reader is the executor's read surface: the live head (*Database), a pinned
+// epoch (*Snapshot), or a what-if overlay (*Overlay) all satisfy it, so a
+// plan runs identically against any of them.
+type Reader interface {
+	// TableData returns the named table's data at this reader's point in
+	// time, or nil.
+	TableData(name string) *TableData
+	// ViewData returns the named materialized view's data, or nil.
+	ViewData(name string) *ViewData
+}
+
+// TableData is one table's contents at one point in time. Instances handed
+// out by Snapshots are immutable; instances from the live *Database alias
+// the head and are only safe under the caller's usual serialization.
+type TableData struct {
+	Meta *catalog.Table
+
+	store   *ColumnStore
+	indexes map[string]*Index
+}
+
+// Store returns the column store for direct columnar access.
+func (d *TableData) Store() *ColumnStore { return d.store }
+
+// NumRows returns the number of rows.
+func (d *TableData) NumRows() int { return d.store.Len() }
+
+// Rows materializes every row (freshly allocated).
+func (d *TableData) Rows() []Row { return d.store.Rows() }
+
+// RowAt materializes row i as a fresh Row.
+func (d *TableData) RowAt(i int) Row { return d.store.RowAt(i) }
+
+// LookupIndex returns the index on exactly cols, or nil.
+func (d *TableData) LookupIndex(cols []int) *Index {
+	if d.indexes == nil {
+		return nil
+	}
+	return d.indexes[indexKey(cols)]
+}
+
+// ViewData is one materialized view's contents at one point in time.
+type ViewData struct {
+	Name    string
+	NumCols int
+
+	store   *ColumnStore
+	indexes map[string]*Index
+}
+
+// Store returns the column store for direct columnar access.
+func (d *ViewData) Store() *ColumnStore { return d.store }
+
+// NumRows returns the number of rows.
+func (d *ViewData) NumRows() int { return d.store.Len() }
+
+// Rows materializes every row (freshly allocated).
+func (d *ViewData) Rows() []Row { return d.store.Rows() }
+
+// RowAt materializes row i as a fresh Row.
+func (d *ViewData) RowAt(i int) Row { return d.store.RowAt(i) }
+
+// LookupIndex returns the index on exactly cols, or nil.
+func (d *ViewData) LookupIndex(cols []int) *Index {
+	if d.indexes == nil {
+		return nil
+	}
+	return d.indexes[indexKey(cols)]
+}
+
+// dbVersion is one published, immutable epoch.
+type dbVersion struct {
+	epoch  uint64
+	tables map[string]*TableData
+	views  map[string]*ViewData
+
+	readers      atomic.Int64
+	supersededAt time.Time // set (under verMu) when a newer epoch publishes
+}
+
+// Snapshot pins one epoch. Every read through it — scans, index probes,
+// RowAt — sees exactly the state published by that epoch's Commit,
+// regardless of concurrent DML or view maintenance. Release it when done so
+// version GC can reclaim superseded epochs.
+type Snapshot struct {
+	v        *dbVersion
+	released atomic.Bool
+}
+
+// Epoch returns the pinned epoch number.
+func (s *Snapshot) Epoch() uint64 { return s.v.epoch }
+
+// TableData implements Reader against the pinned epoch.
+func (s *Snapshot) TableData(name string) *TableData { return s.v.tables[name] }
+
+// ViewData implements Reader against the pinned epoch.
+func (s *Snapshot) ViewData(name string) *ViewData { return s.v.views[name] }
+
+// Release unpins the epoch. Idempotent; double release is safe.
+func (s *Snapshot) Release() {
+	if s.released.CompareAndSwap(false, true) {
+		s.v.readers.Add(-1)
+	}
+}
+
+// Snapshot returns a handle pinned to the most recently committed epoch.
+// Acquisition is O(1) and lock-free: load the current version pointer, bump
+// its reader count, and re-check the pointer (retrying the rare race with a
+// concurrent publish). Uncommitted head mutations are invisible to it.
+func (db *Database) Snapshot() *Snapshot {
+	for {
+		v := db.cur.Load()
+		v.readers.Add(1)
+		if db.cur.Load() == v {
+			return &Snapshot{v: v}
+		}
+		v.readers.Add(-1)
+	}
+}
+
+// Epoch returns the most recently committed epoch number.
+func (db *Database) Epoch() uint64 { return db.cur.Load().epoch }
+
+// TableData implements Reader over the live head.
+func (db *Database) TableData(name string) *TableData {
+	t := db.tables[name]
+	if t == nil {
+		return nil
+	}
+	return &TableData{Meta: t.Meta, store: t.cols, indexes: t.indexes}
+}
+
+// ViewData implements Reader over the live head.
+func (db *Database) ViewData(name string) *ViewData {
+	mv := db.views[name]
+	if mv == nil {
+		return nil
+	}
+	return &ViewData{Name: mv.Name, NumCols: mv.NumCols, store: mv.cols, indexes: mv.indexes}
+}
+
+// shareIndexes marks every index's bucket map as shared with a published
+// version and returns an independent map of independent *Index structs over
+// the same buckets. The head keeps its structs (cloning a bucket map on its
+// next insert); the returned structs are immutable by convention.
+func shareIndexes(in map[string]*Index) map[string]*Index {
+	if in == nil {
+		return nil
+	}
+	out := make(map[string]*Index, len(in))
+	for k, idx := range in {
+		idx.shared = true
+		out[k] = &Index{Cols: idx.Cols, Unique: idx.Unique, m: idx.m, shared: true}
+	}
+	return out
+}
+
+// freeze publishes the table's current contents as an immutable TableData.
+func (t *Table) freeze() *TableData {
+	return &TableData{Meta: t.Meta, store: t.cols.Freeze(), indexes: shareIndexes(t.indexes)}
+}
+
+// freeze publishes the view's current contents as an immutable ViewData.
+func (mv *MaterializedView) freeze() *ViewData {
+	return &ViewData{Name: mv.Name, NumCols: mv.NumCols, store: mv.cols.Freeze(), indexes: shareIndexes(mv.indexes)}
+}
+
+// initVersions publishes epoch 0 (NewDatabase calls it once).
+func (db *Database) initVersions() {
+	v := &dbVersion{epoch: 0, tables: make(map[string]*TableData, len(db.tables)), views: map[string]*ViewData{}}
+	for name, t := range db.tables {
+		v.tables[name] = t.freeze()
+		t.dirty = false
+	}
+	db.cur.Store(v)
+}
+
+// Commit publishes every uncommitted head mutation as the next epoch, in one
+// atomic pointer swap: a snapshot acquired at any instant sees either all of
+// the statement's effects or none. With nothing dirty it is a no-op. It
+// returns the current epoch and must be serialized with other mutations
+// (the maintainer and server already are).
+func (db *Database) Commit() uint64 {
+	prev := db.cur.Load()
+	tablesChanged := false
+	for _, t := range db.tables {
+		if t.dirty {
+			tablesChanged = true
+			break
+		}
+	}
+	viewsChanged := db.viewSetChanged
+	if !viewsChanged {
+		for _, mv := range db.views {
+			if mv.dirty {
+				viewsChanged = true
+				break
+			}
+		}
+	}
+	if !tablesChanged && !viewsChanged {
+		return prev.epoch
+	}
+	tables := prev.tables
+	if tablesChanged {
+		tables = make(map[string]*TableData, len(db.tables))
+		for name, td := range prev.tables {
+			tables[name] = td
+		}
+		for name, t := range db.tables {
+			if t.dirty {
+				tables[name] = t.freeze()
+				t.dirty = false
+			}
+		}
+	}
+	views := prev.views
+	if viewsChanged {
+		views = make(map[string]*ViewData, len(db.views))
+		for name, mv := range db.views {
+			if mv.dirty {
+				views[name] = mv.freeze()
+				mv.dirty = false
+			} else if pv, ok := prev.views[name]; ok {
+				views[name] = pv
+			} else {
+				views[name] = mv.freeze()
+			}
+		}
+		db.viewSetChanged = false
+	}
+	next := &dbVersion{epoch: prev.epoch + 1, tables: tables, views: views}
+	db.verMu.Lock()
+	prev.supersededAt = time.Now()
+	db.retained = append(db.retained, prev)
+	db.cur.Store(next)
+	db.verMu.Unlock()
+	return next.epoch
+}
+
+// RollbackTable restores the named table's head to the last committed
+// version, discarding every uncommitted mutation to it. Restoration is
+// header copying only — the head re-adopts the published arrays under
+// copy-on-write.
+func (db *Database) RollbackTable(name string) {
+	t := db.tables[name]
+	td := db.cur.Load().tables[name]
+	if t == nil || td == nil {
+		return
+	}
+	t.cols = td.store.Freeze()
+	t.indexes = shareIndexes(td.indexes)
+	t.dirty = false
+}
+
+// RollbackView restores the named view's head to the last committed version.
+// A view that did not exist at the last commit is dropped outright.
+func (db *Database) RollbackView(name string) {
+	vd := db.cur.Load().views[name]
+	if vd == nil {
+		if _, ok := db.views[name]; ok {
+			delete(db.views, name)
+			db.viewSetChanged = true
+		}
+		return
+	}
+	db.views[name] = &MaterializedView{
+		Name:    name,
+		NumCols: vd.NumCols,
+		cols:    vd.store.Freeze(),
+		indexes: shareIndexes(vd.indexes),
+		faults:  db.faults,
+	}
+}
+
+// MVCCStats is a point-in-time summary of the version machinery, exposed on
+// /metrics.
+type MVCCStats struct {
+	// Epoch is the most recently committed epoch.
+	Epoch uint64 `json:"epoch"`
+	// ActiveReaders counts snapshots currently pinned (any epoch).
+	ActiveReaders int64 `json:"active_readers"`
+	// RetainedVersions counts superseded epochs not yet reclaimed.
+	RetainedVersions int `json:"retained_versions"`
+	// OldestSnapshotAgeSeconds is how long the oldest still-pinned superseded
+	// epoch has been superseded (0 when none).
+	OldestSnapshotAgeSeconds float64 `json:"oldest_snapshot_age_seconds"`
+	// VersionsReclaimed counts versions dropped after their readers drained.
+	VersionsReclaimed uint64 `json:"versions_reclaimed"`
+	// SnapshotsLeaked counts versions force-released by the leak guard.
+	SnapshotsLeaked uint64 `json:"snapshots_leaked"`
+}
+
+// MVCCStats snapshots the version counters.
+func (db *Database) MVCCStats() MVCCStats {
+	cur := db.cur.Load()
+	st := MVCCStats{
+		Epoch:             cur.epoch,
+		ActiveReaders:     cur.readers.Load(),
+		VersionsReclaimed: db.reclaimed.Load(),
+		SnapshotsLeaked:   db.leaked.Load(),
+	}
+	now := time.Now()
+	db.verMu.Lock()
+	st.RetainedVersions = len(db.retained)
+	for _, v := range db.retained {
+		r := v.readers.Load()
+		st.ActiveReaders += r
+		if r > 0 {
+			if age := now.Sub(v.supersededAt).Seconds(); age > st.OldestSnapshotAgeSeconds {
+				st.OldestSnapshotAgeSeconds = age
+			}
+		}
+	}
+	db.verMu.Unlock()
+	return st
+}
+
+// RunVersionGC sweeps superseded versions once. Versions are reclaimed
+// oldest-first and only while every older version has drained: a reader
+// pinning an old epoch blocks reclamation of everything newer until it
+// advances (or releases), which keeps the retained list an honest picture of
+// what the oldest reader can still reach. A version pinned longer than
+// maxAge (0 disables the guard) is treated as leaked: logged, counted, and
+// dropped from the retained list — its reader keeps a perfectly valid
+// snapshot via its own reference, but the store stops accounting for it.
+// It returns how many versions were reclaimed and how many were leaked.
+func (db *Database) RunVersionGC(now time.Time, maxAge time.Duration) (reclaimed, leaked int) {
+	db.verMu.Lock()
+	defer db.verMu.Unlock()
+	kept := db.retained[:0]
+	blocked := false
+	for _, v := range db.retained {
+		if blocked {
+			kept = append(kept, v)
+			continue
+		}
+		if v.readers.Load() == 0 {
+			reclaimed++
+			continue
+		}
+		if maxAge > 0 && now.Sub(v.supersededAt) > maxAge {
+			log.Printf("storage: leaked snapshot on epoch %d (%d reader(s), superseded %v ago); releasing the version",
+				v.epoch, v.readers.Load(), now.Sub(v.supersededAt).Round(time.Millisecond))
+			leaked++
+			continue
+		}
+		blocked = true
+		kept = append(kept, v)
+	}
+	// Zero the dropped tail so reclaimed versions are not kept alive by the
+	// retained slice's backing array.
+	for i := len(kept); i < len(db.retained); i++ {
+		db.retained[i] = nil
+	}
+	db.retained = kept
+	db.reclaimed.Add(uint64(reclaimed))
+	db.leaked.Add(uint64(leaked))
+	return reclaimed, leaked
+}
+
+// StartVersionGC runs RunVersionGC every interval with the given leak
+// deadline until the returned stop function is called.
+func (db *Database) StartVersionGC(interval, maxAge time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-t.C:
+				db.RunVersionGC(now, maxAge)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
+}
+
+// Overlay is a zero-copy what-if reader: it reads exactly like base except
+// that one table is replaced by a transient table holding only the given
+// rows — the standard trick for evaluating a view's delta query Q(T ← Δ)
+// during incremental maintenance, without copying the table map or touching
+// the head. base may be the live database or a pinned snapshot.
+type Overlay struct {
+	base Reader
+	name string
+	data *TableData
+}
+
+// NewOverlay builds an overlay replacing the named table with rows. The
+// table must exist in base.
+func NewOverlay(base Reader, table string, rows []Row) *Overlay {
+	td := base.TableData(table)
+	cs := NewColumnStore(len(td.Meta.Columns))
+	for _, r := range rows {
+		cs.AppendRow(r)
+	}
+	return &Overlay{base: base, name: table, data: &TableData{Meta: td.Meta, store: cs}}
+}
+
+// TableData implements Reader.
+func (o *Overlay) TableData(name string) *TableData {
+	if name == o.name {
+		return o.data
+	}
+	return o.base.TableData(name)
+}
+
+// ViewData implements Reader.
+func (o *Overlay) ViewData(name string) *ViewData { return o.base.ViewData(name) }

@@ -10,6 +10,8 @@ package storage
 import (
 	"fmt"
 	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"matview/internal/catalog"
 	"matview/internal/faults"
@@ -34,6 +36,9 @@ type Table struct {
 
 	// indexes by a canonical column-list key.
 	indexes map[string]*Index
+
+	// dirty marks uncommitted mutations since the last published epoch.
+	dirty bool
 
 	// faults guards the table's mutations; nil outside chaos runs.
 	faults *faults.Injector
@@ -62,6 +67,24 @@ type Index struct {
 	Cols   []int
 	Unique bool
 	m      map[string][]int // key → row ordinals
+
+	// shared marks m as reachable from a published snapshot version; the
+	// first post-publish insert clones the map (bucket slices stay shared —
+	// appending beyond a published bucket's length writes fresh locations).
+	shared bool
+}
+
+// ensureOwned clones the bucket map if a published version still reads it.
+func (idx *Index) ensureOwned() {
+	if !idx.shared {
+		return
+	}
+	m := make(map[string][]int, len(idx.m))
+	for k, v := range idx.m {
+		m[k] = v
+	}
+	idx.m = m
+	idx.shared = false
 }
 
 func indexKey(cols []int) string {
@@ -115,9 +138,11 @@ func (t *Table) Insert(r Row) error {
 	ord := t.cols.Len()
 	t.cols.AppendRow(r)
 	for _, idx := range t.indexes {
+		idx.ensureOwned()
 		buf = appendKeyVals(buf[:0], r, idx.Cols)
 		idx.m[string(buf)] = append(idx.m[string(buf)], ord)
 	}
+	t.dirty = true
 	return nil
 }
 
@@ -145,6 +170,7 @@ func (t *Table) BuildIndex(cols []int, unique bool) (*Index, error) {
 		t.indexes = map[string]*Index{}
 	}
 	t.indexes[indexKey(cols)] = idx
+	t.dirty = true
 	return idx, nil
 }
 
@@ -177,7 +203,11 @@ type MaterializedView struct {
 
 	cols    *ColumnStore
 	indexes map[string]*Index
-	faults  *faults.Injector
+
+	// dirty marks uncommitted mutations since the last published epoch.
+	dirty bool
+
+	faults *faults.Injector
 }
 
 // Store returns the view's column store for direct columnar access.
@@ -202,13 +232,21 @@ func (mv *MaterializedView) Append(rows []Row) {
 	for _, r := range rows {
 		mv.cols.AppendRow(r)
 	}
+	mv.dirty = true
 }
 
-// SetRow overwrites row i in place (incremental aggregate maintenance).
-func (mv *MaterializedView) SetRow(i int, r Row) { mv.cols.SetRow(i, r) }
+// SetRow overwrites row i (incremental aggregate maintenance). The write is
+// copy-on-write against published snapshot versions.
+func (mv *MaterializedView) SetRow(i int, r Row) {
+	mv.cols.SetRow(i, r)
+	mv.dirty = true
+}
 
 // Compact removes the rows keep rejects, returning how many were removed.
-func (mv *MaterializedView) Compact(keep func(i int) bool) int { return mv.cols.Compact(keep) }
+func (mv *MaterializedView) Compact(keep func(i int) bool) int {
+	mv.dirty = true
+	return mv.cols.Compact(keep)
+}
 
 // BuildIndex creates (or rebuilds) a hash index over the view's output
 // columns.
@@ -221,6 +259,7 @@ func (mv *MaterializedView) BuildIndex(cols []int, unique bool) (*Index, error) 
 		mv.indexes = map[string]*Index{}
 	}
 	mv.indexes[indexKey(cols)] = idx
+	mv.dirty = true
 	return idx, nil
 }
 
@@ -249,12 +288,29 @@ func (mv *MaterializedView) RebuildIndexes() error {
 	return nil
 }
 
-// Database is a catalog plus table and view storage.
+// Database is a catalog plus table and view storage. The tables/views maps
+// and their contents are the mutable head; readers that must not observe
+// in-flight mutations pin an epoch with Snapshot() (see mvcc.go). Mutations
+// and Commit/Rollback calls must be serialized by the caller (the maintainer
+// and server already are); snapshot reads need no coordination.
 type Database struct {
 	Catalog *catalog.Catalog
 	tables  map[string]*Table
 	views   map[string]*MaterializedView
 	faults  *faults.Injector
+
+	// cur is the most recently committed version; Snapshot() pins it.
+	cur atomic.Pointer[dbVersion]
+	// viewSetChanged marks an uncommitted PutView/DropView (the view *set*
+	// differs from the published one, not just some view's rows).
+	viewSetChanged bool
+
+	// verMu guards retained and version publication ordering.
+	verMu    sync.Mutex
+	retained []*dbVersion
+
+	reclaimed atomic.Uint64
+	leaked    atomic.Uint64
 }
 
 // SetFaultInjector arms (or, with nil, disarms) fault injection on every
@@ -277,6 +333,7 @@ func NewDatabase(cat *catalog.Catalog) *Database {
 	for _, t := range cat.Tables() {
 		db.tables[t.Name] = newTable(t)
 	}
+	db.initVersions()
 	return db
 }
 
@@ -299,7 +356,9 @@ func (db *Database) PutView(name string, numCols int, rows []Row) *MaterializedV
 			_, _ = mv.BuildIndex(idx.Cols, idx.Unique)
 		}
 	}
+	mv.dirty = true
 	db.views[name] = mv
+	db.viewSetChanged = true
 	return mv
 }
 
@@ -312,6 +371,7 @@ func (db *Database) DropView(name string) bool {
 		return false
 	}
 	delete(db.views, name)
+	db.viewSetChanged = true
 	return true
 }
 
@@ -335,6 +395,7 @@ func (t *Table) DeleteWhere(pred func(Row) bool) ([]Row, error) {
 	if len(deleted) == 0 {
 		return nil, nil
 	}
+	t.dirty = true
 	t.cols.Compact(func(i int) bool { return !drop[i] })
 	for key, idx := range t.indexes {
 		rebuilt, err := t.BuildIndex(idx.Cols, idx.Unique)
@@ -344,26 +405,6 @@ func (t *Table) DeleteWhere(pred func(Row) bool) ([]Row, error) {
 		t.indexes[key] = rebuilt
 	}
 	return deleted, nil
-}
-
-// Shadow returns a database that shares every table and view with db except
-// that the named table is replaced by a transient table holding only rows —
-// the standard trick for evaluating a view's delta query Q(T ← Δ) during
-// incremental maintenance.
-func (db *Database) Shadow(table string, rows []Row) *Database {
-	out := &Database{Catalog: db.Catalog, tables: map[string]*Table{}, views: db.views, faults: db.faults}
-	for name, t := range db.tables {
-		if name == table {
-			st := newTable(t.Meta)
-			for _, r := range rows {
-				st.cols.AppendRow(r)
-			}
-			out.tables[name] = st
-		} else {
-			out.tables[name] = t
-		}
-	}
-	return out
 }
 
 // RefreshStats updates each catalog table's RowCount to the stored row count,

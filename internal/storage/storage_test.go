@@ -7,7 +7,7 @@ import (
 	"matview/internal/sqlvalue"
 )
 
-func testCatalog(t *testing.T) *catalog.Catalog {
+func testCatalog(t testing.TB) *catalog.Catalog {
 	t.Helper()
 	c := catalog.New()
 	if err := c.Add(&catalog.Table{
@@ -208,23 +208,34 @@ func TestDeleteWhere(t *testing.T) {
 	}
 }
 
-func TestShadow(t *testing.T) {
+func TestOverlay(t *testing.T) {
 	db := NewDatabase(testCatalog(t))
 	tb := db.Table("t")
 	if err := tb.Insert(Row{sqlvalue.NewInt(1), sqlvalue.NewInt(0), sqlvalue.Null}); err != nil {
 		t.Fatal(err)
 	}
-	shadowRows := []Row{{sqlvalue.NewInt(99), sqlvalue.NewInt(9), sqlvalue.Null}}
-	sh := db.Shadow("t", shadowRows)
-	if sh.Table("t").NumRows() != 1 || sh.Table("t").RowAt(0)[0].Int() != 99 {
-		t.Fatal("shadow table wrong")
+	overlayRows := []Row{{sqlvalue.NewInt(99), sqlvalue.NewInt(9), sqlvalue.Null}}
+	ov := NewOverlay(db, "t", overlayRows)
+	if ov.TableData("t").NumRows() != 1 || ov.TableData("t").RowAt(0)[0].Int() != 99 {
+		t.Fatal("overlay table wrong")
 	}
 	// The original is untouched and views are shared.
 	if db.Table("t").NumRows() != 1 || db.Table("t").RowAt(0)[0].Int() != 1 {
-		t.Fatal("shadow mutated the original")
+		t.Fatal("overlay mutated the original")
 	}
 	db.PutView("v", 1, nil)
-	if sh.View("v") == nil {
-		t.Fatal("shadow must share views")
+	if ov.ViewData("v") == nil {
+		t.Fatal("overlay must share views")
+	}
+	// Overlaying a snapshot pins the other tables at the snapshot's epoch.
+	db.Commit()
+	snap := db.Snapshot()
+	defer snap.Release()
+	sv := NewOverlay(snap, "t", overlayRows)
+	if err := tb.Insert(Row{sqlvalue.NewInt(2), sqlvalue.NewInt(0), sqlvalue.Null}); err != nil {
+		t.Fatal(err)
+	}
+	if sv.TableData("t").NumRows() != 1 || sv.TableData("t").RowAt(0)[0].Int() != 99 {
+		t.Fatal("snapshot overlay table wrong")
 	}
 }

@@ -211,6 +211,8 @@ func Generate(db *storage.Database, seed int64) error {
 	}
 
 	db.RefreshStats()
+	// Publish the loaded data as a committed epoch so snapshot readers see it.
+	db.Commit()
 	return nil
 }
 

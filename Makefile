@@ -1,6 +1,6 @@
 # Convenience targets; repro.sh is the full reproduction pipeline.
 
-.PHONY: build test race bench vet chaos repro
+.PHONY: build test race bench vet chaos recover repro
 
 build:
 	go build ./...
@@ -27,6 +27,13 @@ bench:
 # race detector: concurrent query + DML traffic with faults at every site.
 chaos:
 	go test -race -run 'Chaos' -count=1 -v ./internal/server
+
+# recover runs the durability suite under the race detector: WAL framing,
+# the crash kill matrix, torn tails, fsync poisoning, checkpoint faults,
+# and server-level recovery gating.
+recover:
+	go test -race -count=1 -v ./internal/wal
+	go test -race -run 'Recovering|Durable|InMemoryServerHasNoWAL' -count=1 -v ./internal/server
 
 repro:
 	./repro.sh

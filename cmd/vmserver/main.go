@@ -15,6 +15,15 @@
 //	         [-repair-interval 1s] [-fault-rate 0]
 //	         [-autopilot] [-autopilot-interval 5s] [-autopilot-views 4]
 //	         [-autopilot-budget 0]
+//	         [-data-dir ""] [-checkpoint-interval 30s]
+//
+// -data-dir makes the server durable: committed statements are WAL-logged and
+// fsync'd before their epochs publish, checkpoints are written every
+// -checkpoint-interval, and startup recovers checkpoint+log instead of
+// regenerating TPC-H data (first boot in an empty directory still generates
+// it). The socket opens before recovery: /healthz answers 503 "recovering"
+// until replay completes, then traffic flows. With the flag unset the server
+// is pure in-memory, exactly as before.
 //
 // -repair-interval runs the background repair pass that rebuilds views whose
 // maintenance failed (0 disables it). -fault-rate arms chaos-style fault
@@ -43,9 +52,12 @@ import (
 	"time"
 
 	"matview/internal/autopilot"
+	"matview/internal/catalog"
 	"matview/internal/faults"
 	"matview/internal/server"
+	"matview/internal/storage"
 	"matview/internal/tpch"
+	"matview/internal/wal"
 )
 
 func main() {
@@ -62,22 +74,21 @@ func main() {
 	pilotInterval := flag.Duration("autopilot-interval", 5*time.Second, "autopilot control-cycle period")
 	pilotViews := flag.Int("autopilot-views", 4, "autopilot: max managed views")
 	pilotBudget := flag.Float64("autopilot-budget", 0, "autopilot: total stored-row budget for managed views (0 = unbounded)")
+	dataDir := flag.String("data-dir", "", "durable storage directory (WAL + checkpoints); empty = in-memory")
+	ckptInterval := flag.Duration("checkpoint-interval", 30*time.Second, "background checkpoint period for durable servers")
 	flag.Parse()
 
 	log.SetPrefix("vmserver: ")
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 
-	log.Printf("generating TPC-H database (sf=%g, seed=%d)...", *sf, *seed)
-	db, err := tpch.NewDatabase(*sf, *seed)
-	if err != nil {
-		log.Fatal(err)
-	}
 	cfg := server.Config{
-		MaxConcurrent:  *maxConcurrent,
-		RequestTimeout: *timeout,
-		CacheSize:      *cacheSize,
-		MaxRows:        *maxRows,
-		RepairInterval: *repairInterval,
+		MaxConcurrent:      *maxConcurrent,
+		RequestTimeout:     *timeout,
+		CacheSize:          *cacheSize,
+		MaxRows:            *maxRows,
+		RepairInterval:     *repairInterval,
+		DataDir:            *dataDir,
+		CheckpointInterval: *ckptInterval,
 	}
 	if *pilot {
 		cfg.Autopilot = &autopilot.Config{
@@ -88,12 +99,54 @@ func main() {
 		log.Printf("autopilot armed: interval=%v, max views=%d, row budget=%g",
 			*pilotInterval, *pilotViews, *pilotBudget)
 	}
-	srv := server.New(db, cfg)
+
+	var inj *faults.Injector
 	if *faultRate > 0 {
-		inj := faults.New(*seed)
+		inj = faults.New(*seed)
 		inj.AddAll(faults.Rule{Rate: *faultRate})
-		srv.SetFaultInjector(inj)
-		log.Printf("CHAOS: fault injection armed at every site with rate %.2f", *faultRate)
+	}
+
+	var srv *server.Server
+	if *dataDir != "" {
+		// Durable startup: open the socket first so orchestrators see
+		// "recovering" instead of connection-refused, recover in the
+		// background, then open the gate.
+		srv = server.NewRecovering(cfg)
+		go func() {
+			log.Printf("recovering from %s...", *dataDir)
+			res, err := wal.Open(*dataDir, wal.Options{
+				NewCatalog: func() *catalog.Catalog { return tpch.NewCatalog(*sf) },
+				Bootstrap: func() (*storage.Database, error) {
+					log.Printf("empty data dir: generating TPC-H database (sf=%g, seed=%d)...", *sf, *seed)
+					return tpch.NewDatabase(*sf, *seed)
+				},
+				Injector: inj,
+			})
+			if err != nil {
+				log.Fatalf("recovery failed: %v", err)
+			}
+			srv.Adopt(res)
+			if inj != nil {
+				// Storage/maintenance sites arm only after recovery; the WAL
+				// sites were armed through wal.Options.
+				srv.SetFaultInjector(inj)
+				log.Printf("CHAOS: fault injection armed at every site with rate %.2f", *faultRate)
+			}
+			log.Printf("recovered in %.3fs: checkpoint epoch %d, %d record(s) replayed, %d torn dropped, now at epoch %d",
+				res.Recovery.DurationSeconds, res.Recovery.CheckpointEpoch,
+				res.Recovery.ReplayedRecords, res.Recovery.TornRecordsDropped, res.Recovery.FinalEpoch)
+		}()
+	} else {
+		log.Printf("generating TPC-H database (sf=%g, seed=%d)...", *sf, *seed)
+		db, err := tpch.NewDatabase(*sf, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv = server.New(db, cfg)
+		if inj != nil {
+			srv.SetFaultInjector(inj)
+			log.Printf("CHAOS: fault injection armed at every site with rate %.2f", *faultRate)
+		}
 	}
 	httpSrv := &http.Server{
 		Addr:              *addr,

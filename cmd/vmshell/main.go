@@ -8,6 +8,11 @@
 //   - DELETE FROM t [WHERE ...]       (incremental view maintenance)
 //
 // Meta commands: \views, \stats, \quit. Statements end with ';'.
+//
+// With -data-dir the session is durable: statements are WAL-logged before
+// they commit, startup recovers checkpoint+log from the directory (first run
+// generates TPC-H data), and quitting cleanly writes a final checkpoint so
+// the next start replays nothing.
 package main
 
 import (
@@ -17,22 +22,51 @@ import (
 	"os"
 	"strings"
 
+	"matview/internal/catalog"
 	"matview/internal/shell"
+	"matview/internal/storage"
 	"matview/internal/tpch"
+	"matview/internal/wal"
 )
 
 func main() {
 	sf := flag.Float64("sf", 0.001, "TPC-H scale factor for generated data")
 	seed := flag.Int64("seed", 42, "data generator seed")
+	dataDir := flag.String("data-dir", "", "durable storage directory (WAL + checkpoints); empty = in-memory")
 	flag.Parse()
 
-	fmt.Printf("loading TPC-H data at SF %g (seed %d)...\n", *sf, *seed)
-	db, err := tpch.NewDatabase(*sf, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	var s *shell.Session
+	var mgr *wal.Manager
+	if *dataDir != "" {
+		fmt.Printf("recovering from %s (TPC-H SF %g, seed %d on first run)...\n", *dataDir, *sf, *seed)
+		res, err := wal.Open(*dataDir, wal.Options{
+			NewCatalog: func() *catalog.Catalog { return tpch.NewCatalog(*sf) },
+			Bootstrap:  func() (*storage.Database, error) { return tpch.NewDatabase(*sf, *seed) },
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		s, mgr = res.Session, res.Manager
+		fmt.Printf("recovered in %.3fs: %d record(s) replayed, epoch %d\n",
+			res.Recovery.DurationSeconds, res.Recovery.ReplayedRecords, res.Recovery.FinalEpoch)
+		defer func() {
+			// Clean exit: checkpoint the final state so the next start
+			// recovers it without replaying the log.
+			if err := mgr.Checkpoint(wal.GatherSpec(s.DB, s)); err != nil {
+				fmt.Fprintln(os.Stderr, "final checkpoint:", err)
+			}
+			_ = mgr.Close()
+		}()
+	} else {
+		fmt.Printf("loading TPC-H data at SF %g (seed %d)...\n", *sf, *seed)
+		db, err := tpch.NewDatabase(*sf, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		s = shell.NewSession(db)
 	}
-	s := shell.NewSession(db)
 
 	fmt.Println("ready. end statements with ';'. try: select l_partkey, sum(l_quantity) as q from lineitem group by l_partkey;")
 	sc := bufio.NewScanner(os.Stdin)

@@ -42,6 +42,21 @@ const (
 	SiteMaintainMergeAgg = "maintain.merge-agg"
 	// SiteMaintainRecompute guards the full recompute fallback and Repair.
 	SiteMaintainRecompute = "maintain.recompute"
+	// SiteWALAppend guards the WAL record write. An injected fault here
+	// models a short write: a prefix of the frame reaches the file (a real
+	// torn tail on disk) and the statement fails before fsync.
+	SiteWALAppend = "wal.append"
+	// SiteWALSync guards the WAL fsync — the classic "disk said no" failure
+	// after the bytes were handed to the kernel.
+	SiteWALSync = "wal.fsync"
+	// SiteWALCheckpointWrite guards checkpoint serialization: a fault leaves
+	// a partial temp file behind and the checkpoint is abandoned before the
+	// atomic rename, so recovery never sees it.
+	SiteWALCheckpointWrite = "wal.checkpoint.write"
+	// SiteWALCheckpointRename guards the atomic rename that publishes a
+	// checkpoint — the crash window between a fully fsync'd temp file and
+	// its appearance under the live name.
+	SiteWALCheckpointRename = "wal.checkpoint.rename"
 )
 
 // AllSites returns every registered injection site.
@@ -54,6 +69,10 @@ func AllSites() []string {
 		SiteMaintainApply,
 		SiteMaintainMergeAgg,
 		SiteMaintainRecompute,
+		SiteWALAppend,
+		SiteWALSync,
+		SiteWALCheckpointWrite,
+		SiteWALCheckpointRename,
 	}
 }
 

@@ -85,8 +85,12 @@ func (m *Maintainer) InstallDeferred(v *View, rows []storage.Row) error {
 	return guard(func() error {
 		m.db.PutView(v.Name, len(v.Def.Outputs), rows)
 		// One atomic publish: the view appears in the committed epoch fully
-		// built, never partially installed.
-		m.db.Commit()
+		// built, never partially installed. A commit failure drops the
+		// never-committed rows again; the caller quarantines the view.
+		if _, err := m.db.CommitDurable(); err != nil {
+			m.db.RollbackView(v.Name)
+			return fmt.Errorf("maintain: commit of deferred view %s failed: %w", v.Name, err)
+		}
 		_, notify := m.lc.transition(v.Name, Fresh, nil)
 		notify()
 		return nil

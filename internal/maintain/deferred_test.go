@@ -137,8 +137,8 @@ func TestDeferredDuplicateName(t *testing.T) {
 // residue.
 func TestDeferredDropWhileRebuilding(t *testing.T) {
 	db, m, _ := deferredFixture(t)
-	if !m.Drop("def_oc") {
-		t.Fatal("drop of deferred view failed")
+	if ok, err := m.Drop("def_oc"); !ok || err != nil {
+		t.Fatalf("drop of deferred view failed: %v %v", ok, err)
 	}
 	if _, ok := m.ViewState("def_oc"); ok {
 		t.Fatal("dropped view still in lifecycle ledger")

@@ -503,6 +503,16 @@ func (m *Maintainer) RepairView(name string, force bool) error {
 	return nil
 }
 
+// RestoreHealth seeds a view's lifecycle state without running maintenance.
+// Crash recovery uses it to re-impose the health a checkpoint recorded: a
+// view that was Stale or Quarantined when the checkpoint was cut must come
+// back untrusted, not silently Fresh. The listener fires so the optimizer's
+// matching eligibility tracks the restored state.
+func (m *Maintainer) RestoreHealth(name string, st State) {
+	_, notify := m.lc.transition(name, st, nil)
+	notify()
+}
+
 // repairOne runs one guarded recompute: Stale/Quarantined → Rebuilding →
 // Fresh on success. On failure the caller decides between backoff and
 // quarantine.
@@ -521,8 +531,12 @@ func (m *Maintainer) repairOne(v *View) error {
 	}
 	// Publish the repaired contents as a new epoch before announcing Fresh,
 	// so the optimizer can only match the view once snapshots see the rebuilt
-	// rows.
-	m.db.Commit()
+	// rows. A commit failure counts as a failed repair: restore the committed
+	// contents and let the caller apply backoff.
+	if _, cerr := m.db.CommitDurable(); cerr != nil {
+		m.db.RollbackView(v.Name)
+		return cerr
+	}
 	m.lc.mu.Lock()
 	m.lc.stats.RepairSuccesses++
 	m.lc.mu.Unlock()

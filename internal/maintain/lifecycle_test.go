@@ -389,8 +389,10 @@ func TestDropClearsLifecycle(t *testing.T) {
 	if got := m.ViewsInState(maintain.Stale); len(got) != 2 {
 		t.Fatalf("stale views = %v", got)
 	}
-	if !m.Drop("lc_spj") || !m.Drop("lc_agg") {
-		t.Fatal("drop failed")
+	ok1, err1 := m.Drop("lc_spj")
+	ok2, err2 := m.Drop("lc_agg")
+	if !ok1 || !ok2 || err1 != nil || err2 != nil {
+		t.Fatalf("drop failed: %v %v %v %v", ok1, err1, ok2, err2)
 	}
 	if got := m.ViewsInState(maintain.Stale); len(got) != 0 {
 		t.Fatalf("lifecycle survived drop: %v", got)

@@ -100,7 +100,12 @@ func (m *Maintainer) Register(name string, def *spjg.Query) (*View, error) {
 	// Publish the materialization so the committed epoch always contains
 	// every registered view (RollbackView relies on that to distinguish
 	// "restore committed contents" from "drop a never-committed view").
-	m.db.Commit()
+	if _, err := m.db.CommitDurable(); err != nil {
+		m.db.RollbackView(name)
+		m.views = m.views[:len(m.views)-1]
+		m.lc.drop(name)
+		return nil, fmt.Errorf("maintain: commit of view %s failed: %w", name, err)
+	}
 	return v, nil
 }
 
@@ -108,18 +113,24 @@ func (m *Maintainer) Register(name string, def *spjg.Query) (*View, error) {
 func (m *Maintainer) Views() []*View { return m.views }
 
 // Drop stops maintaining a view and removes its materialized rows from
-// storage; it reports whether the view was registered.
-func (m *Maintainer) Drop(name string) bool {
+// storage; it reports whether the view was registered. A commit failure
+// (durable servers whose WAL refused the drop record) restores the view —
+// storage, registration, and ledger entry — and returns the error.
+func (m *Maintainer) Drop(name string) (bool, error) {
 	for i, v := range m.views {
 		if v.Name == name {
 			m.views = append(m.views[:i], m.views[i+1:]...)
 			m.db.DropView(name)
-			m.db.Commit()
+			if _, err := m.db.CommitDurable(); err != nil {
+				m.db.RollbackView(name)
+				m.views = append(m.views, v)
+				return true, fmt.Errorf("maintain: commit of drop view %s failed: %w", name, err)
+			}
 			m.lc.drop(name)
-			return true
+			return true, nil
 		}
 	}
-	return false
+	return false, nil
 }
 
 // instancesOf counts how many times the view references the table.
@@ -225,8 +236,21 @@ func (m *Maintainer) Insert(table string, rows []storage.Row) error {
 	}
 	// Phase 5 — publish the base write and every successful view update as
 	// one new epoch. Snapshots pinned before this instant keep reading the
-	// previous epoch in full.
-	m.db.Commit()
+	// previous epoch in full. A commit failure (the WAL refused the record)
+	// aborts the statement: base and views roll back to the committed epoch,
+	// and every view this statement touched is marked Stale — a rolled-back
+	// self-join recompute may have healed a Stale view in the ledger, so the
+	// restored (pre-statement) contents cannot be trusted as Fresh.
+	if _, err := m.db.CommitDurable(); err != nil {
+		m.db.RollbackTable(table)
+		for _, name := range rep.Updated {
+			m.db.RollbackView(name)
+			m.failView(name, err)
+		}
+		rep.Updated = nil
+		rep.Base = fmt.Errorf("maintain: commit of insert into %s failed: %w", table, err)
+		return rep
+	}
 	return rep.orNil()
 }
 
@@ -285,7 +309,16 @@ func (m *Maintainer) Delete(table string, pred func(storage.Row) bool) (int, err
 			m.recomputeInPlace(v, rep)
 		}
 	}
-	m.db.Commit()
+	if _, err := m.db.CommitDurable(); err != nil {
+		m.db.RollbackTable(table)
+		for _, name := range rep.Updated {
+			m.db.RollbackView(name)
+			m.failView(name, err)
+		}
+		rep.Updated = nil
+		rep.Base = fmt.Errorf("maintain: commit of delete from %s failed: %w", table, err)
+		return 0, rep
+	}
 	return len(deleted), rep.orNil()
 }
 

@@ -90,6 +90,14 @@ func (s *Server) CreateView(name string, def *spjg.Query) error {
 // its rows; the caller holds the write lock, so both catalog-epoch bumps
 // (registration and row count) land before any query can re-plan.
 func (s *Server) installDeferredLocked(v *maintain.View, name string, def *spjg.Query, rows []storage.Row) error {
+	if s.dur != nil {
+		// The autopilot creates views outside /exec, so durability needs a
+		// synthesized statement: replay re-runs it as an ordinary CREATE VIEW
+		// (materializing synchronously), which produces the same contents the
+		// deferred build installed here.
+		s.dur.Stage("create view " + name + " with schemabinding as " + def.String())
+		defer s.dur.Unstage()
+	}
 	if _, err := s.opt.RegisterView(name, def); err != nil {
 		s.sess.Maint.FailDeferred(name, err)
 		return err
@@ -109,8 +117,23 @@ func (s *Server) installDeferredLocked(v *maintain.View, name string, def *spjg.
 func (s *Server) DropView(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	v := s.opt.ViewByName(name)
+	if s.dur != nil {
+		// Durable servers log the drop as a synthesized statement so replay
+		// removes the view exactly where the live server did.
+		s.dur.Stage("drop view " + name)
+		defer s.dur.Unstage()
+	}
 	inOpt := s.opt.DropView(name)
-	inMaint := s.sess.Maint.Drop(name)
+	inMaint, err := s.sess.Maint.Drop(name)
+	if err != nil {
+		// The drop never committed; the maintainer kept the view — restore
+		// the optimizer registration to match.
+		if v != nil {
+			_, _ = s.opt.RegisterView(name, v.Def)
+		}
+		return err
+	}
 	if !inOpt && !inMaint {
 		return fmt.Errorf("server: unknown view %q", name)
 	}

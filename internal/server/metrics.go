@@ -109,6 +109,26 @@ type ExecMetrics struct {
 	SkipRate      float64 `json:"skip_rate"`
 }
 
+// WALMetrics reports the durability layer (durable servers only): log
+// traffic, checkpoint cadence, the sticky failure if the log is poisoned,
+// and what the startup recovery had to do.
+type WALMetrics struct {
+	BytesAppended      int64   `json:"bytes_appended"`
+	RecordsAppended    int64   `json:"records_appended"`
+	Fsyncs             int64   `json:"fsyncs"`
+	Segments           int     `json:"segments"`
+	Failed             string  `json:"failed,omitempty"`
+	Checkpoints        int64   `json:"checkpoints"`
+	CheckpointFailures int64   `json:"checkpoint_failures"`
+	CheckpointEpoch    uint64  `json:"checkpoint_epoch"`
+	CheckpointAgeSecs  float64 `json:"checkpoint_age_seconds"`
+
+	RecoveryCheckpointEpoch uint64  `json:"recovery_checkpoint_epoch"`
+	RecoveryReplayedRecords int     `json:"recovery_replayed_records"`
+	RecoveryTornDropped     int     `json:"recovery_torn_records_dropped"`
+	RecoverySeconds         float64 `json:"recovery_seconds"`
+}
+
 // Metrics is the /metrics response.
 type Metrics struct {
 	UptimeSeconds float64            `json:"uptime_seconds"`
@@ -135,4 +155,6 @@ type Metrics struct {
 	ViewUsage map[string]int64 `json:"view_usage,omitempty"`
 	// Autopilot summarizes the control loop (nil when not configured).
 	Autopilot *AutopilotMetrics `json:"autopilot,omitempty"`
+	// WAL summarizes the durability layer (nil on in-memory servers).
+	WAL *WALMetrics `json:"wal,omitempty"`
 }

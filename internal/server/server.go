@@ -21,6 +21,7 @@ import (
 	"matview/internal/sqlparser"
 	"matview/internal/sqlvalue"
 	"matview/internal/storage"
+	"matview/internal/wal"
 )
 
 // Config tunes the service. Zero fields take the DefaultConfig values.
@@ -55,6 +56,16 @@ type Config struct {
 	// and the controller periodically re-plans the managed view set and
 	// creates/drops views through the maintenance lifecycle.
 	Autopilot *autopilot.Config
+	// DataDir, when non-empty, makes the server durable: committed statements
+	// are written to a WAL in this directory before their epochs publish, and
+	// startup recovers from the newest checkpoint plus the log tail. Empty
+	// keeps the historical pure in-memory behavior.
+	DataDir string
+	// CheckpointInterval is how often the background checkpointer serializes
+	// a pinned snapshot and truncates the log (durable servers only;
+	// 0 = default 30s, negative disables the loop — shutdown still writes a
+	// final checkpoint).
+	CheckpointInterval time.Duration
 }
 
 // DefaultConfig returns the production defaults.
@@ -105,6 +116,14 @@ type Server struct {
 	pilot     *autopilot.Controller
 	pilotLoop bool
 
+	// dur is the durability manager (nil on in-memory servers). ready gates
+	// every endpoint except /healthz: a recovering server already listens —
+	// so orchestrators see "recovering", not connection-refused — but serves
+	// no data until Adopt installs the recovered stack.
+	dur     *wal.Manager
+	ready   atomic.Bool
+	readyAt time.Time
+
 	viewUseMu sync.Mutex
 	viewUse   map[string]int64 // per-view matched-execution counters
 
@@ -123,6 +142,20 @@ type Server struct {
 // New builds a server over the database, assembling the same
 // session stack the interactive shell uses.
 func New(db *storage.Database, cfg Config) *Server {
+	s := NewRecovering(cfg)
+	sess := shell.NewSession(db)
+	// Publish any pre-loaded state so the first snapshot readers see it.
+	db.Commit()
+	s.adopt(db, sess, nil)
+	return s
+}
+
+// NewRecovering builds a server with no database yet: its handler answers
+// /healthz with 503 "recovering" and refuses every other endpoint until
+// Adopt installs a recovered stack. Open the listening socket against this
+// server, run recovery, then Adopt — orchestrators observe a replica that is
+// up but not ready, rather than connection-refused, for the whole replay.
+func NewRecovering(cfg Config) *Server {
 	def := DefaultConfig()
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = def.MaxConcurrent
@@ -139,14 +172,11 @@ func New(db *storage.Database, cfg Config) *Server {
 	if cfg.SnapshotMaxAge <= 0 {
 		cfg.SnapshotMaxAge = time.Minute
 	}
-	sess := shell.NewSession(db)
-	// Publish any pre-loaded state so the first snapshot readers see it.
-	db.Commit()
-	s := &Server{
+	if cfg.CheckpointInterval == 0 {
+		cfg.CheckpointInterval = 30 * time.Second
+	}
+	return &Server{
 		cfg:        cfg,
-		db:         db,
-		sess:       sess,
-		opt:        sess.Opt,
 		cache:      NewPlanCache(cfg.CacheSize),
 		sem:        make(chan struct{}, cfg.MaxConcurrent),
 		stopRepair: make(chan struct{}),
@@ -154,21 +184,49 @@ func New(db *storage.Database, cfg Config) *Server {
 		lat:        newLatencyRecorder(cfg.LatencyWindow),
 		viewUse:    map[string]int64{},
 	}
+}
+
+// Adopt completes a NewRecovering server with the stack wal.Open recovered
+// and opens the gate. It must be called exactly once, before Shutdown.
+func (s *Server) Adopt(res *wal.OpenResult) {
+	s.adopt(res.DB, res.Session, res.Manager)
+}
+
+// adopt wires the engine stack into the server, starts the background loops,
+// and marks the server ready.
+func (s *Server) adopt(db *storage.Database, sess *shell.Session, dur *wal.Manager) {
+	s.db = db
+	s.sess = sess
+	s.opt = sess.Opt
+	s.dur = dur
 	pcfg := autopilot.Config{}
-	if cfg.Autopilot != nil {
-		pcfg = *cfg.Autopilot
+	if s.cfg.Autopilot != nil {
+		pcfg = *s.cfg.Autopilot
 	}
 	s.pilot = autopilot.NewController(s, pcfg)
-	if cfg.Autopilot != nil {
+	if s.cfg.Autopilot != nil {
 		s.pilot.Start()
 		s.pilotLoop = true
 	}
-	if cfg.RepairInterval > 0 {
+	if s.cfg.RepairInterval > 0 {
 		s.repairWG.Add(1)
-		go s.repairLoop(cfg.RepairInterval)
+		go s.repairLoop(s.cfg.RepairInterval)
 	}
-	s.stopGC = db.StartVersionGC(cfg.GCInterval, cfg.SnapshotMaxAge)
-	return s
+	s.stopGC = db.StartVersionGC(s.cfg.GCInterval, s.cfg.SnapshotMaxAge)
+	if dur != nil {
+		dur.StartCheckpointLoop(s.cfg.CheckpointInterval, s.gatherSpec)
+	}
+	s.readyAt = time.Now()
+	s.ready.Store(true)
+}
+
+// gatherSpec pins a checkpointable snapshot under the shared lock, which
+// excludes /exec's write lock — so no commit is in flight at the pin and the
+// snapshot plus view metadata are mutually consistent.
+func (s *Server) gatherSpec() wal.CheckpointSpec {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return wal.GatherSpec(s.db, s.sess)
 }
 
 // repairLoop periodically rebuilds views that failed maintenance, under the
@@ -225,7 +283,21 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /autopilot", s.handleAutopilotGet)
 	mux.HandleFunc("POST /autopilot", s.handleAutopilotPost)
-	return s.recoverPanics(mux)
+	return s.recoverPanics(s.gateRecovering(mux))
+}
+
+// gateRecovering refuses every endpoint except /healthz until recovery
+// completes: the rest of the server dereferences the adopted stack, which
+// does not exist yet, and half-recovered data must never be served.
+func (s *Server) gateRecovering(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() && r.URL.Path != "/healthz" {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, errors.New("server: recovering, not ready"))
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // recoverPanics is the outermost middleware. Recovery is best-effort about
@@ -246,26 +318,40 @@ func (s *Server) recoverPanics(next http.Handler) http.Handler {
 }
 
 // Shutdown stops admitting requests (new ones get 503, /healthz reports
-// draining), stops the background repair loop, and waits for in-flight
-// requests to finish or for ctx to expire.
+// draining), stops the background loops, and waits for in-flight requests to
+// finish or for ctx to expire. Durable servers then write a final checkpoint
+// and close the log, so a clean restart recovers from the checkpoint alone
+// and replays zero records.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.gateMu.Lock()
 	s.draining = true
 	s.gateMu.Unlock()
 	s.stopOnce.Do(func() { close(s.stopRepair) })
 	done := make(chan struct{})
+	var durErr error
 	go func() {
 		if s.pilotLoop {
 			s.pilot.Stop()
 		}
 		s.inflight.Wait()
 		s.repairWG.Wait()
-		s.stopGC()
+		if s.stopGC != nil {
+			s.stopGC()
+		}
+		if s.dur != nil {
+			// Every writer has drained, so this snapshot is the final state;
+			// a checkpoint failure is reported but not fatal — the WAL still
+			// holds every committed statement for the next recovery.
+			durErr = s.dur.Checkpoint(s.gatherSpec())
+			if cerr := s.dur.Close(); durErr == nil {
+				durErr = cerr
+			}
+		}
 		close(done)
 	}()
 	select {
 	case <-done:
-		return nil
+		return durErr
 	case <-ctx.Done():
 		return ctx.Err()
 	}
@@ -540,18 +626,33 @@ func (s *Server) runExec(req *ExecRequest) (msg string, epoch uint64, applied bo
 	return strings.TrimSpace(sb.String()), s.db.Epoch(), true, 0, nil
 }
 
-// HealthResponse is the /healthz body. Status is "ok", "degraded" (some
-// views are not Fresh — queries still succeed, answered from base tables),
-// or "draining". Degraded responses list the afflicted views.
+// HealthResponse is the /healthz body. Status is "recovering" (startup
+// replay in progress; 503 so load balancers hold traffic), "ok", "degraded"
+// (some views are not Fresh — queries still succeed, answered from base
+// tables), or "draining". Degraded responses list the afflicted views;
+// durable servers also report what the startup recovery did and whether the
+// WAL has failed (read-only until restart).
 type HealthResponse struct {
 	Status      string   `json:"status"`
 	Epoch       uint64   `json:"epoch"`
 	Stale       []string `json:"stale,omitempty"`
 	Rebuilding  []string `json:"rebuilding,omitempty"`
 	Quarantined []string `json:"quarantined,omitempty"`
+	// RecoverySeconds/RecoveryReplayed describe the last startup recovery
+	// (durable servers, once ready).
+	RecoverySeconds  float64 `json:"recovery_seconds,omitempty"`
+	RecoveryReplayed int     `json:"recovery_replayed_records,omitempty"`
+	// WALFailed carries the sticky log failure, if any: commits are refused
+	// (reads still work) until the process restarts and recovers.
+	WALFailed string `json:"wal_failed,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, &HealthResponse{Status: "recovering"})
+		return
+	}
 	s.gateMu.Lock()
 	draining := s.draining
 	s.gateMu.Unlock()
@@ -565,6 +666,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Stale:       s.sess.Maint.ViewsInState(maintain.Stale),
 		Rebuilding:  s.sess.Maint.ViewsInState(maintain.Rebuilding),
 		Quarantined: s.sess.Maint.ViewsInState(maintain.Quarantined),
+	}
+	if s.dur != nil {
+		rec := s.dur.Recovery()
+		h.RecoverySeconds = rec.DurationSeconds
+		h.RecoveryReplayed = rec.ReplayedRecords
+		if err := s.dur.Failed(); err != nil {
+			h.WALFailed = err.Error()
+			h.Status = "degraded"
+		}
 	}
 	if len(h.Stale)+len(h.Rebuilding)+len(h.Quarantined) > 0 {
 		// Still 200: the service answers every query correctly, just not
@@ -629,6 +739,31 @@ func (s *Server) Metrics() Metrics {
 		Storage:   s.db.MVCCStats(),
 		ViewUsage: s.ViewUsage(),
 		Autopilot: s.autopilotMetrics(),
+		WAL:       s.walMetrics(),
+	}
+}
+
+// walMetrics maps the durability manager's stats into the /metrics shape
+// (nil on in-memory servers).
+func (s *Server) walMetrics() *WALMetrics {
+	if s.dur == nil {
+		return nil
+	}
+	ws := s.dur.StatsSnapshot()
+	return &WALMetrics{
+		BytesAppended:           ws.Bytes,
+		RecordsAppended:         ws.Records,
+		Fsyncs:                  ws.Fsyncs,
+		Segments:                ws.Segments,
+		Failed:                  ws.Failed,
+		Checkpoints:             ws.Checkpoints,
+		CheckpointFailures:      ws.CheckpointFailures,
+		CheckpointEpoch:         ws.CheckpointEpoch,
+		CheckpointAgeSecs:       ws.CheckpointAgeSeconds,
+		RecoveryCheckpointEpoch: ws.Recovery.CheckpointEpoch,
+		RecoveryReplayedRecords: ws.Recovery.ReplayedRecords,
+		RecoveryTornDropped:     ws.Recovery.TornRecordsDropped,
+		RecoverySeconds:         ws.Recovery.DurationSeconds,
 	}
 }
 

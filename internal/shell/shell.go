@@ -23,11 +23,27 @@ import (
 	"matview/internal/storage"
 )
 
+// Stager is the durability hook a WAL layer installs on the session: every
+// mutation statement is staged before it runs, so the storage commit hook
+// can append exactly the statements that reach Commit — an aborted statement
+// is unstaged without ever touching the log.
+type Stager interface {
+	// Stage records the statement text about to execute.
+	Stage(sql string)
+	// Unstage clears the staged statement (deferred; runs whether the
+	// statement committed, aborted, or never reached Commit).
+	Unstage()
+}
+
 // Session is one interactive session over a database.
 type Session struct {
 	DB    *storage.Database
 	Opt   *opt.Optimizer
 	Maint *maintain.Maintainer
+
+	// Dur, when non-nil, receives every mutation statement before execution
+	// (see Stager). The WAL manager implements it.
+	Dur Stager
 
 	// Stats accumulates view-matching statistics across queries.
 	Stats opt.QueryStats
@@ -68,6 +84,14 @@ func (s *Session) Execute(stmt string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if s.Dur != nil && (st.Insert != nil || st.Delete != nil || st.CreateIndex != nil ||
+		st.ViewName != "" || st.DropViewName != "") {
+		// Stage the statement text so the commit hook logs it durably before
+		// the epoch publishes; Unstage clears it on every exit path, so an
+		// aborted statement never reaches the WAL.
+		s.Dur.Stage(stmt)
+		defer s.Dur.Unstage()
+	}
 	switch {
 	case st.Insert != nil:
 		return s.execInsert(st.Insert, w)
@@ -85,10 +109,17 @@ func (s *Session) Execute(stmt string, w io.Writer) error {
 }
 
 func (s *Session) execDropView(name string, w io.Writer) error {
-	if !s.Opt.DropView(name) {
+	v := s.Opt.ViewByName(name)
+	if v == nil || !s.Opt.DropView(name) {
 		return fmt.Errorf("shell: unknown view %q", name)
 	}
-	s.Maint.Drop(name)
+	if _, err := s.Maint.Drop(name); err != nil {
+		// The drop did not commit (durable servers: the WAL refused the
+		// record); the maintainer restored the stored rows, so restore the
+		// optimizer registration too and surface the failure.
+		_, _ = s.Opt.RegisterView(name, v.Def)
+		return err
+	}
 	fmt.Fprintf(w, "dropped view %s\n", name)
 	return nil
 }
@@ -137,7 +168,10 @@ func (s *Session) execCreateIndex(ci *sqlparser.CreateIndexStatement, w io.Write
 		}
 		// Publish the new index as a committed epoch so snapshot readers can
 		// probe it.
-		s.DB.Commit()
+		if _, err := s.DB.CommitDurable(); err != nil {
+			s.DB.RollbackView(ci.Target)
+			return fmt.Errorf("shell: commit of index on view %s failed: %w", ci.Target, err)
+		}
 		fmt.Fprintf(w, "created index %s on view %s%v\n", ci.Name, ci.Target, ci.Columns)
 		return nil
 	}
@@ -157,7 +191,10 @@ func (s *Session) execCreateIndex(ci *sqlparser.CreateIndexStatement, w io.Write
 	if _, err := t.BuildIndex(ords, ci.Unique); err != nil {
 		return err
 	}
-	s.DB.Commit()
+	if _, err := s.DB.CommitDurable(); err != nil {
+		s.DB.RollbackTable(ci.Target)
+		return fmt.Errorf("shell: commit of index on table %s failed: %w", ci.Target, err)
+	}
 	fmt.Fprintf(w, "created index %s on table %s%v\n", ci.Name, ci.Target, ci.Columns)
 	return nil
 }

@@ -16,6 +16,7 @@ package storage
 
 import (
 	"log"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -93,6 +94,37 @@ func (d *ViewData) LookupIndex(cols []int) *Index {
 	return d.indexes[indexKey(cols)]
 }
 
+// IndexDef describes one hash index declaratively — enough for a checkpoint
+// to rebuild it on recovery.
+type IndexDef struct {
+	Cols   []int
+	Unique bool
+}
+
+// indexDefsOf extracts the defs of an index map in deterministic order.
+func indexDefsOf(in map[string]*Index) []IndexDef {
+	if len(in) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(in))
+	for k := range in {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]IndexDef, 0, len(keys))
+	for _, k := range keys {
+		idx := in[k]
+		out = append(out, IndexDef{Cols: append([]int(nil), idx.Cols...), Unique: idx.Unique})
+	}
+	return out
+}
+
+// IndexDefs returns the table's index definitions in deterministic order.
+func (d *TableData) IndexDefs() []IndexDef { return indexDefsOf(d.indexes) }
+
+// IndexDefs returns the view's index definitions in deterministic order.
+func (d *ViewData) IndexDefs() []IndexDef { return indexDefsOf(d.indexes) }
+
 // dbVersion is one published, immutable epoch.
 type dbVersion struct {
 	epoch  uint64
@@ -120,6 +152,27 @@ func (s *Snapshot) TableData(name string) *TableData { return s.v.tables[name] }
 
 // ViewData implements Reader against the pinned epoch.
 func (s *Snapshot) ViewData(name string) *ViewData { return s.v.views[name] }
+
+// Tables returns the sorted names of every table in the pinned epoch.
+func (s *Snapshot) Tables() []string {
+	out := make([]string, 0, len(s.v.tables))
+	for name := range s.v.tables {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Views returns the sorted names of every materialized view in the pinned
+// epoch.
+func (s *Snapshot) Views() []string {
+	out := make([]string, 0, len(s.v.views))
+	for name := range s.v.views {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // Release unpins the epoch. Idempotent; double release is safe.
 func (s *Snapshot) Release() {
@@ -205,7 +258,23 @@ func (db *Database) initVersions() {
 // the statement's effects or none. With nothing dirty it is a no-op. It
 // returns the current epoch and must be serialized with other mutations
 // (the maintainer and server already are).
+//
+// With a commit hook installed (durable servers), a hook failure silently
+// keeps the epoch unpublished; durability-aware callers use CommitDurable
+// and roll the head back on error.
 func (db *Database) Commit() uint64 {
+	epoch, _ := db.CommitDurable()
+	return epoch
+}
+
+// CommitDurable is Commit with the durability contract surfaced: the commit
+// hook (the WAL append+fsync) runs after the next version is assembled but
+// before the pointer swap, so a statement is on stable storage before any
+// snapshot can observe it. On hook failure nothing is published, the head
+// keeps its uncommitted mutations (and its dirty marks), and the previous
+// epoch is returned alongside the error; callers restore consistency with
+// RollbackTable/RollbackView.
+func (db *Database) CommitDurable() (uint64, error) {
 	prev := db.cur.Load()
 	tablesChanged := false
 	for _, t := range db.tables {
@@ -224,9 +293,14 @@ func (db *Database) Commit() uint64 {
 		}
 	}
 	if !tablesChanged && !viewsChanged {
-		return prev.epoch
+		return prev.epoch, nil
 	}
+	// Assemble the next version without clearing dirty marks yet: freezing is
+	// side-effect-safe (it only marks arrays copy-on-write), but the dirty
+	// state must survive a hook failure so a retry or rollback still sees
+	// which objects diverge from the published epoch.
 	tables := prev.tables
+	var frozenTables []*Table
 	if tablesChanged {
 		tables = make(map[string]*TableData, len(db.tables))
 		for name, td := range prev.tables {
@@ -235,32 +309,58 @@ func (db *Database) Commit() uint64 {
 		for name, t := range db.tables {
 			if t.dirty {
 				tables[name] = t.freeze()
-				t.dirty = false
+				frozenTables = append(frozenTables, t)
 			}
 		}
 	}
 	views := prev.views
+	var frozenViews []*MaterializedView
 	if viewsChanged {
 		views = make(map[string]*ViewData, len(db.views))
 		for name, mv := range db.views {
 			if mv.dirty {
 				views[name] = mv.freeze()
-				mv.dirty = false
+				frozenViews = append(frozenViews, mv)
 			} else if pv, ok := prev.views[name]; ok {
 				views[name] = pv
 			} else {
 				views[name] = mv.freeze()
 			}
 		}
-		db.viewSetChanged = false
 	}
 	next := &dbVersion{epoch: prev.epoch + 1, tables: tables, views: views}
+	if db.commitHook != nil {
+		if err := db.commitHook(next.epoch); err != nil {
+			return prev.epoch, err
+		}
+	}
+	for _, t := range frozenTables {
+		t.dirty = false
+	}
+	for _, mv := range frozenViews {
+		mv.dirty = false
+	}
+	if viewsChanged {
+		db.viewSetChanged = false
+	}
 	db.verMu.Lock()
 	prev.supersededAt = time.Now()
 	db.retained = append(db.retained, prev)
 	db.cur.Store(next)
 	db.verMu.Unlock()
-	return next.epoch
+	return next.epoch, nil
+}
+
+// ForceEpoch overwrites the current version's epoch number. Crash recovery
+// uses it to realign the rebuilt database with the epoch recorded in the WAL
+// (replay re-commits statements one at a time, but repair/GC epochs that
+// published without a log record leave numbering gaps). It must only be
+// called while no snapshots are pinned and no commit is in flight — i.e.
+// single-threaded recovery.
+func (db *Database) ForceEpoch(e uint64) {
+	db.verMu.Lock()
+	db.cur.Load().epoch = e
+	db.verMu.Unlock()
 }
 
 // RollbackTable restores the named table's head to the last committed

@@ -309,9 +309,22 @@ type Database struct {
 	verMu    sync.Mutex
 	retained []*dbVersion
 
+	// commitHook, when set, runs inside Commit after the next version is
+	// assembled but before it is published; a non-nil error aborts the
+	// publish. The WAL installs it to make statements durable before they
+	// become visible.
+	commitHook func(epoch uint64) error
+
 	reclaimed atomic.Uint64
 	leaked    atomic.Uint64
 }
+
+// SetCommitHook installs (or, with nil, removes) the pre-publish commit hook.
+// The hook runs on the committer's goroutine with the next epoch number; if
+// it returns an error the epoch is not published and the head keeps its
+// uncommitted mutations (callers roll them back). Must be called while no
+// commit is in flight.
+func (db *Database) SetCommitHook(fn func(epoch uint64) error) { db.commitHook = fn }
 
 // SetFaultInjector arms (or, with nil, disarms) fault injection on every
 // mutation site in the database: table inserts and deletes, and

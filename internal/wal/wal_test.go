@@ -1,0 +1,480 @@
+package wal_test
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"matview/internal/catalog"
+	"matview/internal/faults"
+	"matview/internal/maintain"
+	"matview/internal/shell"
+	"matview/internal/storage"
+	"matview/internal/tpch"
+	"matview/internal/wal"
+)
+
+const (
+	testSF   = 0.001
+	testSeed = int64(42)
+)
+
+func testOptions(inj *faults.Injector) wal.Options {
+	return wal.Options{
+		NewCatalog: func() *catalog.Catalog { return tpch.NewCatalog(testSF) },
+		Bootstrap:  func() (*storage.Database, error) { return tpch.NewDatabase(testSF, testSeed) },
+		Injector:   inj,
+	}
+}
+
+func openDir(t *testing.T, dir string, inj *faults.Injector) *wal.OpenResult {
+	t.Helper()
+	res, err := wal.Open(dir, testOptions(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func mustExec(t *testing.T, sess *shell.Session, sql string) {
+	t.Helper()
+	if err := sess.Execute(sql, io.Discard); err != nil {
+		t.Fatalf("exec %q: %v", sql, err)
+	}
+}
+
+// dumpState renders the committed epoch plus every table and view row — the
+// byte-identical comparison the acceptance criteria call for. Row order is
+// deterministic because recovery replays statements through the same
+// execution path the reference run uses.
+func dumpState(db *storage.Database) string {
+	var b strings.Builder
+	snap := db.Snapshot()
+	defer snap.Release()
+	fmt.Fprintf(&b, "epoch %d\n", snap.Epoch())
+	writeRows := func(rows []storage.Row) {
+		for _, r := range rows {
+			for i, v := range r {
+				if i > 0 {
+					b.WriteByte('|')
+				}
+				b.WriteString(v.String())
+			}
+			b.WriteByte('\n')
+		}
+	}
+	for _, name := range snap.Tables() {
+		td := snap.TableData(name)
+		fmt.Fprintf(&b, "table %s (%d rows, %d indexes)\n", name, td.NumRows(), len(td.IndexDefs()))
+		writeRows(td.Rows())
+	}
+	for _, name := range snap.Views() {
+		vd := snap.ViewData(name)
+		fmt.Fprintf(&b, "view %s (%d rows, %d indexes)\n", name, vd.NumRows(), len(vd.IndexDefs()))
+		writeRows(vd.Rows())
+	}
+	return b.String()
+}
+
+// referenceState bootstraps a pristine database and executes stmts through a
+// fresh session — the ground truth a recovered directory must match exactly.
+func referenceState(t *testing.T, stmts []string) string {
+	t.Helper()
+	db, err := tpch.NewDatabase(testSF, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := shell.NewSession(db)
+	for _, s := range stmts {
+		mustExec(t, sess, s)
+	}
+	return dumpState(db)
+}
+
+// kmStmts is the committed-statement history the kill matrix replays: view
+// DDL, an index, inserts, a delete, a drop — every loggable statement kind.
+var kmStmts = []string{
+	`create view km_oc with schemabinding as select o_custkey, count_big(*) as cnt, sum(o_totalprice) as total from orders group by o_custkey`,
+	`insert into orders values (900001, 1, 'O', 111.50, '1996-01-02', '1-URGENT', 'Clerk#1', 0, 'first')`,
+	`create index km_idx on km_oc (o_custkey)`,
+	`insert into orders values (900002, 7, 'F', 220.25, '1997-03-04', '2-HIGH', 'Clerk#2', 0, 'second')`,
+	`delete from orders where o_custkey = 42`,
+	`drop view km_oc`,
+	`create view km_oc2 with schemabinding as select o_custkey, count_big(*) as cnt from orders group by o_custkey`,
+}
+
+func walFiles(t *testing.T, dir, pattern string) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, pattern))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(files)
+	return files
+}
+
+// TestGenesisOpen: first boot of an empty directory bootstraps, replays
+// nothing, and leaves a genesis checkpoint so the data generator never runs
+// again.
+func TestGenesisOpen(t *testing.T) {
+	dir := t.TempDir()
+	res := openDir(t, dir, nil)
+	defer res.Manager.Close()
+	if res.Recovery.ReplayedRecords != 0 || res.Recovery.TornRecordsDropped != 0 {
+		t.Fatalf("genesis recovery = %+v, want nothing replayed", res.Recovery)
+	}
+	if n := len(walFiles(t, dir, "checkpoint-*.ckpt")); n != 1 {
+		t.Fatalf("genesis left %d checkpoints, want 1", n)
+	}
+	if res.DB.Epoch() == 0 {
+		t.Fatal("bootstrapped database has no committed epoch")
+	}
+}
+
+// TestCleanShutdownZeroReplay: checkpoint-then-close makes the next open
+// replay zero records and reproduce the exact state.
+func TestCleanShutdownZeroReplay(t *testing.T) {
+	dir := t.TempDir()
+	res := openDir(t, dir, nil)
+	for _, s := range kmStmts[:4] {
+		mustExec(t, res.Session, s)
+	}
+	want := dumpState(res.DB)
+	if err := res.Manager.Checkpoint(wal.GatherSpec(res.DB, res.Session)); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Manager.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openDir(t, dir, nil)
+	defer re.Manager.Close()
+	if re.Recovery.ReplayedRecords != 0 {
+		t.Fatalf("clean restart replayed %d records, want 0", re.Recovery.ReplayedRecords)
+	}
+	if got := dumpState(re.DB); got != want {
+		t.Fatalf("recovered state differs from pre-shutdown state:\n got %d bytes\nwant %d bytes", len(got), len(want))
+	}
+	// The recovered stack stays writable and durable.
+	mustExec(t, re.Session, kmStmts[4])
+}
+
+// TestKillMatrix is the crash-recovery acceptance test: for every prefix of
+// the statement history, crash without a checkpoint (the WAL tail carries
+// everything) and verify the recovered state is byte-identical to a
+// reference replay of exactly the committed statements. Closing the file
+// handle without checkpointing models a kill: every acknowledged statement
+// was already fsync'd, and no shutdown-path flushing exists to run.
+func TestKillMatrix(t *testing.T) {
+	for k := 0; k <= len(kmStmts); k++ {
+		t.Run(fmt.Sprintf("crash_after_%d", k), func(t *testing.T) {
+			dir := t.TempDir()
+			res := openDir(t, dir, nil)
+			for _, s := range kmStmts[:k] {
+				mustExec(t, res.Session, s)
+			}
+			res.Manager.Close() // simulated kill: no checkpoint, no flush
+
+			re := openDir(t, dir, nil)
+			defer re.Manager.Close()
+			if re.Recovery.ReplayedRecords != k {
+				t.Fatalf("replayed %d records, want %d", re.Recovery.ReplayedRecords, k)
+			}
+			want := referenceState(t, kmStmts[:k])
+			if got := dumpState(re.DB); got != want {
+				t.Fatalf("recovered state after %d statements differs from reference replay", k)
+			}
+		})
+	}
+}
+
+// TestRecoveryCheckpointMakesSecondRestartClean: a recovery that replayed
+// records checkpoints itself, so crashing again immediately replays nothing.
+func TestRecoveryCheckpointMakesSecondRestartClean(t *testing.T) {
+	dir := t.TempDir()
+	res := openDir(t, dir, nil)
+	for _, s := range kmStmts {
+		mustExec(t, res.Session, s)
+	}
+	res.Manager.Close()
+
+	re1 := openDir(t, dir, nil)
+	if re1.Recovery.ReplayedRecords != len(kmStmts) {
+		t.Fatalf("first recovery replayed %d, want %d", re1.Recovery.ReplayedRecords, len(kmStmts))
+	}
+	want := dumpState(re1.DB)
+	re1.Manager.Close()
+
+	re2 := openDir(t, dir, nil)
+	defer re2.Manager.Close()
+	if re2.Recovery.ReplayedRecords != 0 {
+		t.Fatalf("second recovery replayed %d, want 0", re2.Recovery.ReplayedRecords)
+	}
+	if dumpState(re2.DB) != want {
+		t.Fatal("second recovery diverged from first")
+	}
+}
+
+// TestTornTailDiscarded: garbage after the last record — a crash mid-append —
+// is detected by CRC, dropped, and never applied.
+func TestTornTailDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	res := openDir(t, dir, nil)
+	for _, s := range kmStmts[:3] {
+		mustExec(t, res.Session, s)
+	}
+	res.Manager.Close()
+
+	segs := walFiles(t, dir, "wal-*.log")
+	if len(segs) == 0 {
+		t.Fatal("no log segments")
+	}
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A torn frame: plausible header claiming more payload than exists.
+	if _, err := f.Write([]byte{200, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re := openDir(t, dir, nil)
+	defer re.Manager.Close()
+	if re.Recovery.TornRecordsDropped != 1 {
+		t.Fatalf("torn dropped = %d, want 1", re.Recovery.TornRecordsDropped)
+	}
+	if re.Recovery.ReplayedRecords != 3 {
+		t.Fatalf("replayed %d records, want 3", re.Recovery.ReplayedRecords)
+	}
+	if got, want := dumpState(re.DB), referenceState(t, kmStmts[:3]); got != want {
+		t.Fatal("state after torn-tail recovery differs from reference")
+	}
+}
+
+// TestFsyncFailurePoisonsLog: a failed fsync refuses the commit, and every
+// later commit — even one with nothing staged — is refused too, until a
+// restart recovers from the intact prefix.
+func TestFsyncFailurePoisonsLog(t *testing.T) {
+	dir := t.TempDir()
+	inj := faults.New(11)
+	res := openDir(t, dir, inj)
+	mustExec(t, res.Session, kmStmts[0])
+
+	inj.Add(faults.Rule{Site: faults.SiteWALSync, Rate: 1, Limit: 1})
+	if err := res.Session.Execute(kmStmts[1], io.Discard); err == nil {
+		t.Fatal("statement with failed fsync reported success")
+	}
+	if res.Manager.Failed() == nil {
+		t.Fatal("log not poisoned after fsync failure")
+	}
+	// The injected rule is spent (Limit 1); the refusal below is the sticky
+	// poison, not another injection.
+	if err := res.Session.Execute(kmStmts[3], io.Discard); err == nil {
+		t.Fatal("poisoned log accepted a later statement")
+	}
+	if stats := res.Manager.StatsSnapshot(); stats.Failed == "" {
+		t.Fatal("stats do not report the sticky failure")
+	}
+	res.Manager.Close()
+
+	// The refused statement's frame was fully appended before the fsync
+	// failed, so its durability is unknown — exactly a crash between fsync
+	// and acknowledgment. The live process rolled it back and refused to
+	// acknowledge; recovery finds the intact frame and applies it. Both are
+	// serializable outcomes for an errored statement. The later statement
+	// (refused by the sticky poison before any bytes were written) must NOT
+	// reappear.
+	re := openDir(t, dir, nil)
+	defer re.Manager.Close()
+	if re.Recovery.ReplayedRecords != 2 {
+		t.Fatalf("replayed %d records, want 2", re.Recovery.ReplayedRecords)
+	}
+	if got, want := dumpState(re.DB), referenceState(t, kmStmts[:2]); got != want {
+		t.Fatal("recovery after poisoned log diverged from the durable statement history")
+	}
+}
+
+// TestAppendShortWrite: a fault during append leaves a genuine torn prefix
+// in the file; the statement is refused, and recovery discards the torn
+// record instead of applying half of it.
+func TestAppendShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	inj := faults.New(12)
+	res := openDir(t, dir, inj)
+	mustExec(t, res.Session, kmStmts[0])
+	mustExec(t, res.Session, kmStmts[1])
+
+	inj.Add(faults.Rule{Site: faults.SiteWALAppend, Rate: 1, Limit: 1})
+	if err := res.Session.Execute(kmStmts[3], io.Discard); err == nil {
+		t.Fatal("statement with torn append reported success")
+	}
+	res.Manager.Close()
+
+	re := openDir(t, dir, nil)
+	defer re.Manager.Close()
+	if re.Recovery.TornRecordsDropped != 1 {
+		t.Fatalf("torn dropped = %d, want 1", re.Recovery.TornRecordsDropped)
+	}
+	if got, want := dumpState(re.DB), referenceState(t, kmStmts[:2]); got != want {
+		t.Fatal("state after short-write recovery differs from reference")
+	}
+}
+
+// TestCheckpointWriteFault: a fault while serializing the checkpoint leaves
+// only an ignored temp file; the previous checkpoint stays authoritative,
+// nothing is poisoned, and the next attempt succeeds.
+func TestCheckpointWriteFault(t *testing.T) {
+	dir := t.TempDir()
+	inj := faults.New(13)
+	res := openDir(t, dir, inj)
+	mustExec(t, res.Session, kmStmts[0])
+	mustExec(t, res.Session, kmStmts[1])
+
+	inj.Add(faults.Rule{Site: faults.SiteWALCheckpointWrite, Rate: 1, Limit: 1})
+	if err := res.Manager.Checkpoint(wal.GatherSpec(res.DB, res.Session)); err == nil {
+		t.Fatal("faulted checkpoint write reported success")
+	}
+	if n := len(walFiles(t, dir, "checkpoint-*.ckpt")); n != 1 {
+		t.Fatalf("failed checkpoint changed the published set: %d files, want the genesis 1", n)
+	}
+	// Checkpoint faults never poison the log: commits continue.
+	mustExec(t, res.Session, kmStmts[3])
+	// And the retry (injector spent) succeeds.
+	if err := res.Manager.Checkpoint(wal.GatherSpec(res.DB, res.Session)); err != nil {
+		t.Fatalf("checkpoint retry: %v", err)
+	}
+	res.Manager.Close()
+
+	re := openDir(t, dir, nil)
+	defer re.Manager.Close()
+	if re.Recovery.ReplayedRecords != 0 {
+		t.Fatalf("replayed %d after successful checkpoint, want 0", re.Recovery.ReplayedRecords)
+	}
+	want := referenceState(t, []string{kmStmts[0], kmStmts[1], kmStmts[3]})
+	if got := dumpState(re.DB); got != want {
+		t.Fatal("state after checkpoint-write fault differs from reference")
+	}
+}
+
+// TestCheckpointRenameFault: crash in the window between the fsync'd temp
+// file and its rename — the temp file is left behind and ignored; recovery
+// replays from the previous checkpoint.
+func TestCheckpointRenameFault(t *testing.T) {
+	dir := t.TempDir()
+	inj := faults.New(14)
+	res := openDir(t, dir, inj)
+	mustExec(t, res.Session, kmStmts[0])
+
+	inj.Add(faults.Rule{Site: faults.SiteWALCheckpointRename, Rate: 1, Limit: 1})
+	if err := res.Manager.Checkpoint(wal.GatherSpec(res.DB, res.Session)); err == nil {
+		t.Fatal("faulted checkpoint rename reported success")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "checkpoint.tmp")); err != nil {
+		t.Fatalf("rename fault should leave the temp file: %v", err)
+	}
+	res.Manager.Close() // crash here
+
+	re := openDir(t, dir, nil)
+	defer re.Manager.Close()
+	if re.Recovery.ReplayedRecords != 1 {
+		t.Fatalf("replayed %d records, want 1 (from the pre-checkpoint log)", re.Recovery.ReplayedRecords)
+	}
+	if got, want := dumpState(re.DB), referenceState(t, kmStmts[:1]); got != want {
+		t.Fatal("state after rename fault differs from reference")
+	}
+}
+
+// TestViewHealthSurvivesRestart: a view that degraded before the crash must
+// come back degraded — checkpoints persist lifecycle health, and recovery
+// restores it instead of silently trusting stale contents.
+func TestViewHealthSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	res := openDir(t, dir, nil)
+	mustExec(t, res.Session, kmStmts[0])
+
+	inj := faults.New(15)
+	inj.Add(faults.Rule{Site: faults.SiteMaintainApply, Rate: 1, Limit: 1})
+	res.Session.Maint.SetFaultInjector(inj)
+	err := res.Session.Execute(kmStmts[1], io.Discard)
+	var me *maintain.MaintenanceError
+	if err == nil {
+		t.Fatal("faulted maintenance reported success")
+	} else if !errors.As(err, &me) || me.Base != nil {
+		t.Fatalf("unexpected error shape: %v", err)
+	}
+	st, ok := res.Session.Maint.ViewState("km_oc")
+	if !ok || st == maintain.Fresh {
+		t.Fatalf("view state after faulted maintenance = %v, want degraded", st)
+	}
+	if err := res.Manager.Checkpoint(wal.GatherSpec(res.DB, res.Session)); err != nil {
+		t.Fatal(err)
+	}
+	res.Manager.Close()
+
+	re := openDir(t, dir, nil)
+	defer re.Manager.Close()
+	if re.Recovery.ReplayedRecords != 0 {
+		t.Fatalf("replayed %d records, want 0", re.Recovery.ReplayedRecords)
+	}
+	st2, ok := re.Session.Maint.ViewState("km_oc")
+	if !ok || st2 != st {
+		t.Fatalf("recovered view state = %v, want %v", st2, st)
+	}
+	// Repair still works on the recovered stack: the statement history is on
+	// disk and the view heals from base tables.
+	if rep := re.Session.Maint.Repair(); len(rep.Repaired) == 0 {
+		t.Fatalf("repair on recovered stack fixed nothing: %+v", rep)
+	}
+	if st3, _ := re.Session.Maint.ViewState("km_oc"); st3 != maintain.Fresh {
+		t.Fatalf("view state after repair = %v, want Fresh", st3)
+	}
+}
+
+// TestCheckpointPruning: only the newest two checkpoints are kept.
+func TestCheckpointPruning(t *testing.T) {
+	dir := t.TempDir()
+	res := openDir(t, dir, nil)
+	defer res.Manager.Close()
+	for i, s := range kmStmts[:4] {
+		mustExec(t, res.Session, s)
+		if err := res.Manager.Checkpoint(wal.GatherSpec(res.DB, res.Session)); err != nil {
+			t.Fatalf("checkpoint %d: %v", i, err)
+		}
+	}
+	if n := len(walFiles(t, dir, "checkpoint-*.ckpt")); n != 2 {
+		t.Fatalf("%d checkpoints on disk, want 2", n)
+	}
+}
+
+// TestSegmentTruncation: checkpoints delete sealed segments whose epochs
+// they cover, bounding disk growth.
+func TestSegmentTruncation(t *testing.T) {
+	dir := t.TempDir()
+	res := openDir(t, dir, nil)
+	defer res.Manager.Close()
+	for _, s := range kmStmts[:4] {
+		mustExec(t, res.Session, s)
+	}
+	if err := res.Manager.Checkpoint(wal.GatherSpec(res.DB, res.Session)); err != nil {
+		t.Fatal(err)
+	}
+	segs := walFiles(t, dir, "wal-*.log")
+	if len(segs) != 1 {
+		t.Fatalf("%d segments after covering checkpoint, want 1 (fresh active)", len(segs))
+	}
+	// The surviving active segment must be empty: everything is in the
+	// checkpoint.
+	info, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != 0 {
+		t.Fatalf("active segment has %d bytes after checkpoint, want 0", info.Size())
+	}
+}

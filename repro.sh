@@ -14,6 +14,9 @@ go test ./... 2>&1 | tee test_output.txt
 echo "== race tests (concurrent optimizer / filter tree) =="
 go test -race ./... 2>&1 | tee race_output.txt
 
+echo "== crash recovery (WAL kill matrix, checkpoint faults) =="
+make recover 2>&1 | tee recover_output.txt
+
 echo "== examples =="
 for ex in quickstart tpch_reporting viewcache scalability maintenance; do
     echo "-- examples/$ex"

@@ -1,0 +1,140 @@
+// benchguard compares `go test -bench` output against a committed thresholds
+// file and fails if any guarded benchmark's ns/op exceeds its threshold by
+// more than the configured margin. It is the CI tripwire for the join path:
+// a refactor that silently reverts the late-materialization pipeline to
+// row-at-a-time joins shows up as a multiple-x ns/op jump, far above the
+// margin, while ordinary -benchtime 1x noise stays inside it.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkExecJoin' -benchtime 1x ./internal/exec/ > out.txt
+//	benchguard -thresholds BENCH_thresholds.json out.txt
+//
+// With no file argument the bench output is read from stdin. Every benchmark
+// named in the thresholds file must appear in the input — a guarded bench
+// disappearing (renamed, or erroring before it reports) is itself a failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Thresholds is the committed baseline file. NsPerOp maps a benchmark name
+// (sub-benchmark path included, GOMAXPROCS suffix excluded) to its ns/op
+// ceiling before the margin; a run fails when measured > ceiling*(1+margin%).
+type Thresholds struct {
+	Description string  `json:"description"`
+	ExecBenchSF string  `json:"exec_bench_sf"`
+	MarginPct   float64 `json:"margin_pct"`
+	// NsPerOp baselines carry generous headroom over measured best-case
+	// times because -benchtime 1x takes a single noisy sample.
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+// gomaxprocsSuffix strips the trailing "-N" the bench runner appends, so
+// thresholds are stable across machines with different core counts.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	thrPath := flag.String("thresholds", "BENCH_thresholds.json", "committed thresholds file")
+	flag.Parse()
+	if err := run(*thrPath, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(thrPath string, args []string) error {
+	raw, err := os.ReadFile(thrPath)
+	if err != nil {
+		return err
+	}
+	var thr Thresholds
+	if err := json.Unmarshal(raw, &thr); err != nil {
+		return fmt.Errorf("parsing %s: %w", thrPath, err)
+	}
+	if len(thr.NsPerOp) == 0 {
+		return fmt.Errorf("%s guards no benchmarks", thrPath)
+	}
+	var in io.Reader = os.Stdin
+	if len(args) > 0 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	data, err := io.ReadAll(in)
+	if err != nil {
+		return err
+	}
+	measured, err := parseBench(string(data))
+	if err != nil {
+		return err
+	}
+
+	margin := 1 + thr.MarginPct/100
+	var failures []string
+	for name, base := range thr.NsPerOp {
+		got, ok := measured[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: guarded benchmark missing from input", name))
+			continue
+		}
+		limit := base * margin
+		status := "ok"
+		if got > limit {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.0f ns/op exceeds threshold %.0f ns/op (+%.0f%% margin over baseline %.0f)",
+				name, got, limit, thr.MarginPct, base))
+		}
+		fmt.Printf("%-44s %14.0f ns/op  limit %14.0f  %s\n", name, got, limit, status)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d regression(s):\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// parseBench extracts "Benchmark.../sub-N <iters> <ns> ns/op ..." lines into
+// a name→ns/op map, keeping the slowest sample when a name repeats (-count>1).
+func parseBench(out string) (map[string]float64, error) {
+	res := make(map[string]float64)
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		nsIdx := -1
+		for i, f := range fields {
+			if f == "ns/op" {
+				nsIdx = i
+				break
+			}
+		}
+		if nsIdx < 2 {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[nsIdx-1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing ns/op in %q: %w", line, err)
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		if prev, ok := res[name]; !ok || ns > prev {
+			res[name] = ns
+		}
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found in input")
+	}
+	return res, nil
+}

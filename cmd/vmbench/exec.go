@@ -121,7 +121,8 @@ func runExec(w io.Writer, sf float64, seed int64, workerCounts []int, runs int) 
 	}
 	fmt.Fprintf(w, "%d lineitem rows; best of %d runs per executor\n\n",
 		db.Table("lineitem").NumRows(), runs)
-	fmt.Fprintf(w, "%-16s %-12s %12s %10s %9s %11s\n", "plan", "executor", "time", "rows", "speedup", "blk-skip")
+	fmt.Fprintf(w, "%-16s %-12s %12s %10s %9s %11s %16s %14s\n",
+		"plan", "executor", "time", "rows", "speedup", "blk-skip", "rows-gathered/op", "probe-hit-rate")
 	for _, c := range execCases() {
 		plan := c.build(db)
 		ref, rows, err := timeExec(runs, func() ([]storage.Row, error) {
@@ -130,7 +131,8 @@ func runExec(w io.Writer, sf float64, seed int64, workerCounts []int, runs int) 
 		if err != nil {
 			return fmt.Errorf("%s: reference: %w", c.name, err)
 		}
-		fmt.Fprintf(w, "%-16s %-12s %12v %10d %9s %11s\n", c.name, "seed", ref.Round(time.Microsecond), rows, "1.00x", "-")
+		fmt.Fprintf(w, "%-16s %-12s %12v %10d %9s %11s %16s %14s\n",
+			c.name, "seed", ref.Round(time.Microsecond), rows, "1.00x", "-", "-", "-")
 		for _, wk := range workerCounts {
 			eng := &exec.Engine{Workers: wk}
 			exec.ResetScanStats()
@@ -143,12 +145,18 @@ func runExec(w io.Writer, sf float64, seed int64, workerCounts []int, runs int) 
 			if erows != rows {
 				return fmt.Errorf("%s: engine w=%d returned %d rows, reference %d", c.name, wk, erows, rows)
 			}
-			// The scan counters cover the warmup plus every timed run; the
-			// skip rate is a ratio, so the repetition cancels out.
+			// The scan counters cover the warmup plus every timed run: the
+			// rates are ratios (repetition cancels out), and the per-op
+			// gather count divides by the runs+1 total executions.
 			st := exec.ReadScanStats()
-			fmt.Fprintf(w, "%-16s %-12s %12v %10d %8.2fx %10.1f%%\n",
+			gathered, hitRate := "-", "-"
+			if st.RowsProbed > 0 {
+				gathered = fmt.Sprintf("%d", st.RowsGathered/int64(runs+1))
+				hitRate = fmt.Sprintf("%.1f%%", 100*st.ProbeHitRate())
+			}
+			fmt.Fprintf(w, "%-16s %-12s %12v %10d %8.2fx %10.1f%% %16s %14s\n",
 				c.name, fmt.Sprintf("engine-w%d", wk), d.Round(time.Microsecond), erows,
-				float64(ref)/float64(d), 100*st.SkipRate())
+				float64(ref)/float64(d), 100*st.SkipRate(), gathered, hitRate)
 		}
 	}
 	return nil

@@ -279,6 +279,8 @@ func runLoad(url string, clients int, duration time.Duration, sf float64, seed i
 		res.CacheHits, res.CacheMisses, 100*res.CacheHitRate)
 	fmt.Printf("zone maps:       %d blocks scanned, %d skipped (%.1f%% skip rate)\n",
 		res.BlocksScanned, res.BlocksSkipped, 100*res.SkipRate)
+	fmt.Printf("join pipeline:   %d rids probed, %d matched (%.1f%% hit rate), %d rows gathered\n",
+		res.RowsProbed, res.RowsMatched, 100*res.ProbeHitRate, res.RowsGathered)
 	if faultRate > 0 {
 		fmt.Printf("error rate:      %.2f%% of queries\n", 100*res.ErrorRate)
 		fmt.Printf("mutations:       %d (%d failed and degraded views)\n", res.Mutations, res.MutationErrors)

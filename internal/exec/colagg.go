@@ -304,3 +304,138 @@ func (e *Engine) runFusedAgg(fa *fusedAgg, a *HashAgg) ([]storage.Row, error) {
 	}
 	return finishAgg(shards, a)
 }
+
+// ---------------------------------------------------------------------------
+// Rid-fused aggregation: a HashAgg directly over a late-materialization join
+// pipeline aggregates rid tuples without ever gathering join output rows.
+// Group keys and aggregate arguments are the same compiled expressions the
+// generic aggSink runs — evaluated over a pooled scratch row holding only the
+// columns they reference — so grouping, fold order, error surfacing, and
+// finishAgg merging stay byte-identical to the row path.
+
+// ridAggSink is one worker's partial aggregation over rid tuples. The body
+// of pushRids mirrors aggSink.push exactly, with the row fill replacing the
+// materialized input row.
+type ridAggSink struct {
+	sh      *aggShared
+	eval    ridEval
+	sc      *ridScratch
+	idx     map[string]int32
+	groups  []*aggPartial
+	keyBuf  []byte
+	keyVals []sqlvalue.Value
+	ordBase int64
+	ctr     int64
+}
+
+func newRidAggSink(sh *aggShared, eval ridEval) *ridAggSink {
+	return &ridAggSink{
+		sh:      sh,
+		eval:    eval,
+		sc:      ridScratchPool.Get().(*ridScratch),
+		idx:     make(map[string]int32),
+		keyVals: make([]sqlvalue.Value, len(sh.groupBy)),
+	}
+}
+
+func (s *ridAggSink) release() {
+	if s.sc != nil {
+		ridScratchPool.Put(s.sc)
+		s.sc = nil
+	}
+}
+
+func (s *ridAggSink) begin(seq int) {
+	s.ordBase = ordinal(seq, 0)
+	s.ctr = 0
+}
+
+func (s *ridAggSink) pushRids(in *ridBatch) error {
+	sh := s.sh
+	aggs := sh.spec.Aggs
+	r := s.sc.wideRow(s.eval.width)
+	for k := 0; k < in.n; k++ {
+		ord := s.ordBase | s.ctr
+		s.ctr++
+		s.eval.fill(r, in, k)
+		key := s.keyBuf[:0]
+		for i, g := range sh.groupBy {
+			v, err := g(r)
+			if err != nil {
+				s.keyBuf = key[:0]
+				return err
+			}
+			s.keyVals[i] = v
+			key = v.AppendKey(key)
+			key = append(key, '\x1f')
+		}
+		s.keyBuf = key[:0]
+		var grp *aggPartial
+		if li, ok := s.idx[string(key)]; ok {
+			grp = s.groups[li]
+		} else {
+			keys := make(storage.Row, len(s.keyVals))
+			copy(keys, s.keyVals)
+			grp = &aggPartial{keys: keys, ord: ord, num: make([]aggState, len(aggs)), den: make([]aggState, len(aggs))}
+			s.idx[string(key)] = int32(len(s.groups))
+			s.groups = append(s.groups, grp)
+		}
+		for i := range aggs {
+			st := &grp.num[i]
+			st.count++
+			if arg := sh.numArgs[i]; arg != nil {
+				v, err := arg(r)
+				if err != nil {
+					return err
+				}
+				if err := st.accumulate(v); err != nil {
+					return err
+				}
+			}
+			if aggs[i].Den != nil {
+				dst := &grp.den[i]
+				dst.count++
+				if arg := sh.denArgs[i]; arg != nil {
+					v, err := arg(r)
+					if err != nil {
+						return err
+					}
+					if err := dst.accumulate(v); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// runRidAgg aggregates a rid pipeline's tuples directly, skipping the gather
+// stage entirely: only columns referenced by group keys, aggregate arguments,
+// or residual/filter predicates are ever touched.
+func (e *Engine) runRidAgg(rs *ridRowSource, a *HashAgg) ([]storage.Row, error) {
+	sh := newAggShared(a)
+	refs := make([]expr.Expr, 0, len(a.GroupBy)+2*len(a.Aggs))
+	refs = append(refs, a.GroupBy...)
+	for _, spec := range a.Aggs {
+		if spec.Num.Kind != spjg.AggCountStar && spec.Num.Arg != nil {
+			refs = append(refs, spec.Num.Arg)
+		}
+		if spec.Den != nil && spec.Den.Kind != spjg.AggCountStar && spec.Den.Arg != nil {
+			refs = append(refs, spec.Den.Arg)
+		}
+	}
+	eval := newRidEval(rs.layout, refs...)
+	sinks, err := e.runRidPipeline(rs.src, rs.stages, func(int) ridMorselSink {
+		return newRidAggSink(sh, eval)
+	})
+	if err != nil {
+		return nil, err
+	}
+	shards := make([]aggShard, len(sinks))
+	for i, s := range sinks {
+		as := s.(*ridAggSink)
+		shards[i] = aggShard{idx: as.idx, groups: as.groups}
+	}
+	return finishAgg(shards, a)
+}

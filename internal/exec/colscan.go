@@ -17,12 +17,22 @@ import (
 var (
 	scanBlocksScanned atomic.Int64
 	scanBlocksSkipped atomic.Int64
+	// Late-materialization join counters (gather.go/joinkey.go): probe-side
+	// tuples entering a hash-join probe, tuples whose key found at least one
+	// build match, and rows the gather stage actually materialized. The gap
+	// between probed and gathered is the work late materialization avoids.
+	scanRowsProbed   atomic.Int64
+	scanRowsMatched  atomic.Int64
+	scanRowsGathered atomic.Int64
 )
 
-// ScanStats is a snapshot of the columnar scan counters.
+// ScanStats is a snapshot of the columnar scan and join counters.
 type ScanStats struct {
 	BlocksScanned int64 `json:"blocks_scanned"`
 	BlocksSkipped int64 `json:"blocks_skipped"`
+	RowsProbed    int64 `json:"rows_probed"`
+	RowsMatched   int64 `json:"rows_matched"`
+	RowsGathered  int64 `json:"rows_gathered"`
 }
 
 // SkipRate returns the fraction of visited blocks that zone maps proved
@@ -35,18 +45,33 @@ func (s ScanStats) SkipRate() float64 {
 	return float64(s.BlocksSkipped) / float64(total)
 }
 
-// ReadScanStats returns the cumulative block counters.
+// ProbeHitRate returns the fraction of probe-side tuples whose join key
+// matched at least one build entry, in [0,1].
+func (s ScanStats) ProbeHitRate() float64 {
+	if s.RowsProbed == 0 {
+		return 0
+	}
+	return float64(s.RowsMatched) / float64(s.RowsProbed)
+}
+
+// ReadScanStats returns the cumulative scan and join counters.
 func ReadScanStats() ScanStats {
 	return ScanStats{
 		BlocksScanned: scanBlocksScanned.Load(),
 		BlocksSkipped: scanBlocksSkipped.Load(),
+		RowsProbed:    scanRowsProbed.Load(),
+		RowsMatched:   scanRowsMatched.Load(),
+		RowsGathered:  scanRowsGathered.Load(),
 	}
 }
 
-// ResetScanStats zeroes the block counters (benchmarks and tests).
+// ResetScanStats zeroes the scan and join counters (benchmarks and tests).
 func ResetScanStats() {
 	scanBlocksScanned.Store(0)
 	scanBlocksSkipped.Store(0)
+	scanRowsProbed.Store(0)
+	scanRowsMatched.Store(0)
+	scanRowsGathered.Store(0)
 }
 
 // rowSource is the head of a pipeline: a range of row ordinals that morsels
@@ -70,12 +95,16 @@ func (s sliceSource) morsel(lo, hi int, _ *scanScratch) ([]storage.Row, error) {
 
 // scanScratch is one worker's private scan state: the row-slab allocator
 // (emitted rows are durable — slabs are never recycled), the reusable morsel
-// output slice, and the gather row used when a non-vectorizable predicate
-// conjunct needs a materialized row.
+// output slice, the gather row used when a non-vectorizable predicate
+// conjunct needs a materialized row, the selection-vector buffer for
+// late-materialization sources, and the worker's rid pipeline state when the
+// source is a ridRowSource (gather.go).
 type scanScratch struct {
 	alloc  rowAlloc
 	rows   []storage.Row
 	gather storage.Row
+	rids   []int32
+	rid    *ridWorker
 }
 
 // colEmitter produces the boxed value of one output column for row ordinal i.
@@ -267,6 +296,40 @@ func (s *scanSource) morsel(lo, hi int, sc *scanScratch) ([]storage.Row, error) 
 		}
 	}
 	sc.rows = out
+	return out, nil
+}
+
+// morselRids appends the ordinals of qualifying rows in [lo,hi) to out — the
+// selection-vector form of morsel: the same block loop, zone-map skipping,
+// and fused predicate, but nothing is materialized. Late-materialization join
+// pipelines (gather.go) start here.
+func (s *scanSource) morselRids(lo, hi int, sc *scanScratch, out []int32) ([]int32, error) {
+	pred := s.pred
+	for i := lo; i < hi; {
+		b := i / storage.BlockRows
+		be := (b + 1) * storage.BlockRows
+		if be > hi {
+			be = hi
+		}
+		if s.skip && s.skipBlock(b) {
+			scanBlocksSkipped.Add(1)
+			i = be
+			continue
+		}
+		scanBlocksScanned.Add(1)
+		for ; i < be; i++ {
+			if pred != nil {
+				ok, err := pred.eval(i, s, sc)
+				if err != nil {
+					return out, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			out = append(out, int32(i))
+		}
+	}
 	return out, nil
 }
 

@@ -45,6 +45,14 @@ type Engine struct {
 	// DisableZoneSkip turns off zone-map block skipping (scans read every
 	// block). Used by tests to compare skipping against exhaustive scans.
 	DisableZoneSkip bool
+	// DisableLateMat turns off late-materialization join pipelines (joins
+	// materialize full rows at the scan, the pre-rid path). Used by tests to
+	// compare the two join paths.
+	DisableLateMat bool
+	// DisableTypedKeys forces rid joins onto the boxed sqlvalue.AppendKey
+	// codec even when typed fast paths apply. Used by equivalence tests to
+	// exercise the fallback against the typed paths.
+	DisableTypedKeys bool
 }
 
 // DefaultEngine is the engine behind Node.Run.
@@ -136,6 +144,10 @@ func (e *Engine) stream(db storage.Reader, n Node) (rowSource, []stageSpec, erro
 		if err != nil {
 			return nil, nil, err
 		}
+		if rs, ok := src.(*ridRowSource); ok && len(specs) == 0 && !rs.projected {
+			rs.addFilter(t.Pred)
+			return rs, nil, nil
+		}
 		return src, append(specs, &filterSpec{pred: expr.CompilePredicate(t.Pred)}), nil
 	case *Project:
 		src, specs, err := e.stream(db, t.In)
@@ -146,8 +158,26 @@ func (e *Engine) stream(db storage.Reader, n Node) (rowSource, []stageSpec, erro
 			ss.setProjection(t.Exprs)
 			return ss, nil, nil
 		}
+		if rs, ok := src.(*ridRowSource); ok && len(specs) == 0 && !rs.projected {
+			if projectable(t.Exprs) {
+				rs.setProjection(t.Exprs)
+				return rs, nil, nil
+			}
+			// Non-trivial projection: still narrow the gather to the columns
+			// the projection actually reads before the row stage runs.
+			rs.narrowTo(t.Exprs)
+		}
 		return src, append(specs, &projectSpec{exprs: compileAll(t.Exprs)}), nil
 	case *HashJoin:
+		if !e.DisableLateMat {
+			src, layout, stages, ok, err := e.streamRids(db, t)
+			if err != nil {
+				return nil, nil, err
+			}
+			if ok {
+				return &ridRowSource{e: e, src: src, layout: layout, stages: stages}, nil, nil
+			}
+		}
 		build, err := e.buildJoin(db, t)
 		if err != nil {
 			return nil, nil, err
@@ -322,6 +352,11 @@ func (e *Engine) runPipeline(src rowSource, specs []stageSpec, mkSink func(numMo
 	if w < 1 {
 		w = 1
 	}
+	// Resolve the rid source's gather plan before workers fan out: the lazy
+	// default in gatherSpec() must not race across first morsels.
+	if rs, ok := src.(*ridRowSource); ok {
+		rs.gatherSpec()
+	}
 	sinks := make([]morselSink, w)
 	chains := make([]pusher, w)
 	scratch := make([]scanScratch, w)
@@ -346,6 +381,12 @@ func (e *Engine) runPipeline(src rowSource, specs []stageSpec, mkSink func(numMo
 		}
 		return chains[wi].push(rows)
 	})
+	// Return rid-pipeline scratch to the pool: no worker goroutines remain.
+	for i := range scratch {
+		if scratch[i].rid != nil {
+			scratch[i].rid.release()
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -884,6 +925,12 @@ func (e *Engine) runAgg(db storage.Reader, a *HashAgg) ([]storage.Row, error) {
 		if fa := newFusedAgg(ss, a); fa != nil {
 			return e.runFusedAgg(fa, a)
 		}
+	}
+	if rs, ok := src.(*ridRowSource); ok && len(specs) == 0 && !rs.projected {
+		// Aggregate straight over rid tuples: group keys and aggregate
+		// arguments are evaluated over a scratch row holding only the
+		// columns they reference, and no join output is ever gathered.
+		return e.runRidAgg(rs, a)
 	}
 	sh := newAggShared(a)
 	sinks, err := e.runPipeline(src, specs, func(int) morselSink { return newAggSink(sh) })

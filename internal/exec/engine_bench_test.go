@@ -3,6 +3,7 @@ package exec_test
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
@@ -158,7 +159,45 @@ func benchPlan(b *testing.B, build func(*storage.Database) exec.Node) {
 	}
 }
 
-func BenchmarkExecScan(b *testing.B)         { benchPlan(b, scanPlan) }
-func BenchmarkExecFilterScan(b *testing.B)   { benchPlan(b, filterScanPlan) }
-func BenchmarkExecJoin3Way(b *testing.B)     { benchPlan(b, join3Plan) }
-func BenchmarkExecGroupAggJoin(b *testing.B) { benchPlan(b, groupAggJoinPlan) }
+func BenchmarkExecScan(b *testing.B)       { benchPlan(b, scanPlan) }
+func BenchmarkExecFilterScan(b *testing.B) { benchPlan(b, filterScanPlan) }
+func BenchmarkExecJoin3Way(b *testing.B)   { benchPlan(b, join3Plan) }
+
+func BenchmarkExecGroupAggJoin(b *testing.B) {
+	benchPlan(b, groupAggJoinPlan)
+	// Allocation-parity guard: probe/gather/agg scratch is pooled per worker,
+	// so adding workers must not add per-row allocations — only fixed
+	// per-worker state (sinks, maps, pooled buffers on first use). The w4 run
+	// once allocated ~30% more than w1 because each worker grew private probe
+	// scratch from nothing; with pooling the two must stay within 20% (plus a
+	// fixed per-worker allowance for the extra shards and their merge).
+	b.Run("alloc-parity", func(b *testing.B) {
+		db := execBenchDB(b)
+		plan := groupAggJoinPlan(db)
+		w1 := measureRunAllocs(b, db, plan, 1)
+		w4 := measureRunAllocs(b, db, plan, 4)
+		b.ReportMetric(float64(w1), "w1-allocs")
+		b.ReportMetric(float64(w4), "w4-allocs")
+		if limit := w1+w1/5+20000; w4 > limit {
+			b.Fatalf("w4 allocs %d exceed bound %d (w1=%d): per-worker scratch is not pooled",
+				w4, limit, w1)
+		}
+	})
+}
+
+// measureRunAllocs reports the mallocs of one steady-state engine run (one
+// warm-up run fills the scratch pools and the build/gather slabs' caches).
+func measureRunAllocs(b *testing.B, db *storage.Database, plan exec.Node, workers int) uint64 {
+	b.Helper()
+	eng := &exec.Engine{Workers: workers}
+	if _, err := eng.Run(db, plan); err != nil {
+		b.Fatal(err)
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if _, err := eng.Run(db, plan); err != nil {
+		b.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs
+}

@@ -69,9 +69,15 @@ func TestRandomWorkloadEquivalence(t *testing.T) {
 	// disagreement between the two legs means a zone map pruned a block that
 	// held a qualifying row.
 	noskip := &exec.Engine{Workers: 4, BatchSize: 16, DisableZoneSkip: true}
+	// boxed forces rid joins onto the boxed AppendKey codec, so every fuzzed
+	// join also cross-checks the typed key fast paths against the fallback;
+	// rowjoin disables late materialization entirely, pinning the rid
+	// pipelines against the row-at-a-time join path they replaced.
+	boxed := &exec.Engine{Workers: 4, BatchSize: 16, DisableTypedKeys: true}
+	rowjoin := &exec.Engine{Workers: 4, BatchSize: 16, DisableLateMat: true}
 	// bothEngines runs one plan through the reference interpreter and the
-	// batched engine (with and without zone skipping) and requires bag-equal
-	// output from all three.
+	// batched engine (default, no zone skipping, boxed join keys, and
+	// row-at-a-time joins) and requires bag-equal output from all five.
 	bothEngines := func(plan exec.Node, what string) []storage.Row {
 		ref, err := exec.RunReference(db, plan)
 		if err != nil {
@@ -85,13 +91,17 @@ func TestRandomWorkloadEquivalence(t *testing.T) {
 			t.Fatalf("%s: engines disagree (%d vs %d rows)\nplan:\n%s",
 				what, len(ref), len(eng), exec.Explain(plan))
 		}
-		ns, err := noskip.Run(db, plan)
-		if err != nil {
-			t.Fatalf("%s: engine(noskip): %v", what, err)
-		}
-		if !exec.SameRows(ref, ns) {
-			t.Fatalf("%s: zone skipping changed results (%d vs %d rows)\nplan:\n%s",
-				what, len(ref), len(ns), exec.Explain(plan))
+		for leg, alt := range map[string]*exec.Engine{
+			"noskip": noskip, "boxed-keys": boxed, "row-join": rowjoin,
+		} {
+			got, err := alt.Run(db, plan)
+			if err != nil {
+				t.Fatalf("%s: engine(%s): %v", what, leg, err)
+			}
+			if !exec.SameRows(ref, got) {
+				t.Fatalf("%s: engine(%s) changed results (%d vs %d rows)\nplan:\n%s",
+					what, leg, len(ref), len(got), exec.Explain(plan))
+			}
 		}
 		return ref
 	}

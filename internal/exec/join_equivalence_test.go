@@ -1,0 +1,293 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"matview/internal/catalog"
+	"matview/internal/expr"
+	"matview/internal/spjg"
+	"matview/internal/sqlvalue"
+	"matview/internal/storage"
+)
+
+// joinDB builds a two-table fixture exercising every join-key class the rid
+// path specializes: int, float (integral, fractional, NaN), string, date,
+// bool, a NULL-heavy int key, and a deliberately degraded column (mixed
+// kinds force the Generic overlay, which in turn forces the boxed key
+// fallback). Both tables share the column layout so any column pair can key
+// a join.
+//
+// dim/fact columns: 0 id(int) 1 key_int(int,NULL-heavy) 2 key_float(float)
+// 3 key_str(string) 4 key_date(date) 5 key_bool(bool) 6 key_mixed(degraded)
+// 7 val(int)
+func joinDB(t *testing.T, dimRows, factRows int) *storage.Database {
+	t.Helper()
+	c := catalog.New()
+	for _, name := range []string{"dim", "fact"} {
+		if err := c.Add(&catalog.Table{
+			Name: name,
+			Columns: []catalog.Column{
+				{Name: "id", Type: sqlvalue.KindInt, NotNull: true},
+				{Name: "key_int", Type: sqlvalue.KindInt},
+				{Name: "key_float", Type: sqlvalue.KindFloat},
+				{Name: "key_str", Type: sqlvalue.KindString},
+				{Name: "key_date", Type: sqlvalue.KindDate},
+				{Name: "key_bool", Type: sqlvalue.KindBool},
+				{Name: "key_mixed", Type: sqlvalue.KindInt},
+				{Name: "val", Type: sqlvalue.KindInt, NotNull: true},
+			},
+			PrimaryKey: []int{0},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewDatabase(c)
+	fill := func(table string, n int, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < n; i++ {
+			// NULL-heavy int key: a third of the rows carry no key at all.
+			keyInt := sqlvalue.Null
+			if rng.Intn(3) > 0 {
+				keyInt = sqlvalue.NewInt(int64(rng.Intn(8)))
+			}
+			// Floats cover the integral fast path, genuine fractions, NaN
+			// (which AppendKey collapses to one key, so NaN = NaN matches),
+			// negative zero, and NULL.
+			var keyFloat sqlvalue.Value
+			switch rng.Intn(6) {
+			case 0:
+				keyFloat = sqlvalue.NewFloat(float64(rng.Intn(5))) // integral
+			case 1:
+				keyFloat = sqlvalue.NewFloat(float64(rng.Intn(3)) + 0.5)
+			case 2:
+				keyFloat = sqlvalue.NewFloat(math.NaN())
+			case 3:
+				keyFloat = sqlvalue.NewFloat(math.Copysign(0, -1))
+			case 4:
+				keyFloat = sqlvalue.Null
+			default:
+				keyFloat = sqlvalue.NewFloat(-1.25)
+			}
+			keyStr := sqlvalue.Null
+			if rng.Intn(4) > 0 {
+				keyStr = sqlvalue.NewString(fmt.Sprintf("s%d", rng.Intn(6)))
+			}
+			// key_mixed: declared int, but floats and strings land in it too,
+			// degrading the column to the Generic overlay. Integral floats
+			// must still meet ints across the degraded/typed boundary.
+			var keyMixed sqlvalue.Value
+			switch rng.Intn(5) {
+			case 0:
+				keyMixed = sqlvalue.NewFloat(float64(rng.Intn(4))) // = int key
+			case 1:
+				keyMixed = sqlvalue.NewString(fmt.Sprintf("m%d", rng.Intn(3)))
+			case 2:
+				keyMixed = sqlvalue.Null
+			default:
+				keyMixed = sqlvalue.NewInt(int64(rng.Intn(4)))
+			}
+			row := storage.Row{
+				sqlvalue.NewInt(int64(i)),
+				keyInt,
+				keyFloat,
+				keyStr,
+				sqlvalue.NewDate(int64(19000 + rng.Intn(5))),
+				sqlvalue.NewBool(rng.Intn(2) == 0),
+				keyMixed,
+				sqlvalue.NewInt(int64(rng.Intn(1000))),
+			}
+			if err := db.Table(table).Insert(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	fill("dim", dimRows, 7)
+	fill("fact", factRows, 11)
+	db.RefreshStats()
+	return db
+}
+
+// joinSweepPlans covers the key modes and pipeline shapes of the rid path:
+// every typed codec, the boxed fallback, cross-kind probes, residuals,
+// fused filters, projections (fused and narrowed), multi-join rid tuples,
+// and aggregation directly over rid tuples.
+func joinSweepPlans() map[string]Node {
+	dim := func() Node { return &TableScan{Table: "dim", NCols: 8} }
+	fact := func() Node { return &TableScan{Table: "fact", NCols: 8} }
+	join := func(lc, rc int) *HashJoin {
+		return &HashJoin{L: dim(), R: fact(), LCols: []int{lc}, RCols: []int{rc}}
+	}
+	threeWay := &HashJoin{
+		L: &HashJoin{L: dim(), R: fact(), LCols: []int{1}, RCols: []int{1}},
+		R: dim(),
+		// Left side is dim++fact (16 cols); join its fact key_date to the
+		// outer dim's key_date.
+		LCols: []int{12},
+		RCols: []int{4},
+	}
+	return map[string]Node{
+		"int-null-heavy":  join(1, 1),
+		"float":           join(2, 2),
+		"string":          join(3, 3),
+		"date":            join(4, 4),
+		"bool-fanout":     join(5, 5),
+		"int-vs-float":    join(1, 2),
+		"float-vs-int":    join(2, 1),
+		"str-vs-int-miss": join(3, 1),
+		"multi-int-key": &HashJoin{
+			L: dim(), R: fact(),
+			LCols: []int{1, 4}, RCols: []int{1, 4},
+		},
+		"degraded-boxed": join(6, 6),
+		"typed-vs-degraded": &HashJoin{
+			L: dim(), R: fact(), LCols: []int{1}, RCols: []int{6},
+		},
+		"residual": &HashJoin{
+			L: dim(), R: fact(), LCols: []int{1}, RCols: []int{1},
+			Residual: expr.NewCmp(expr.GT, expr.Col(0, 15), expr.Col(0, 7)),
+		},
+		"filtered-leaves": &HashJoin{
+			L: &TableScan{Table: "dim", NCols: 8,
+				Filter: expr.NewCmp(expr.LT, expr.Col(0, 0), expr.CInt(40))},
+			R: &TableScan{Table: "fact", NCols: 8,
+				Filter: expr.NewCmp(expr.GE, expr.Col(0, 7), expr.CInt(250))},
+			LCols: []int{1}, RCols: []int{1},
+		},
+		"filter-over-join": &Filter{
+			In:   join(1, 1),
+			Pred: expr.NewCmp(expr.NE, expr.Col(0, 7), expr.Col(0, 15)),
+		},
+		"project-fused": &Project{
+			In:    join(1, 1),
+			Exprs: []expr.Expr{expr.Col(0, 0), expr.Col(0, 8), expr.CStr("tag")},
+		},
+		"project-narrowed": &Project{
+			In: join(1, 1),
+			Exprs: []expr.Expr{
+				expr.NewArith(expr.Add, expr.Col(0, 7), expr.Col(0, 15)),
+			},
+		},
+		"three-way": threeWay,
+		"three-way-agg": &HashAgg{
+			In:      threeWay,
+			GroupBy: []expr.Expr{expr.Col(0, 3)},
+			Aggs: []AggSpec{
+				{Num: SimpleAgg{Kind: spjg.AggCountStar}},
+				{Num: SimpleAgg{Kind: spjg.AggSum, Arg: expr.Col(0, 15)}},
+				{Num: SimpleAgg{Kind: spjg.AggAvg, Arg: expr.Col(0, 23)},
+					Den: &SimpleAgg{Kind: spjg.AggCountStar}},
+			},
+		},
+		"join-over-agg": &HashJoin{
+			L: &HashAgg{
+				In:      fact(),
+				GroupBy: []expr.Expr{expr.Col(0, 1)},
+				Aggs:    []AggSpec{{Num: SimpleAgg{Kind: spjg.AggCountStar}}},
+			},
+			R:     fact(),
+			LCols: []int{0},
+			RCols: []int{1},
+		},
+	}
+}
+
+// TestJoinEquivalenceSweep pins the late-materialization join path to the
+// reference evaluator byte-for-byte: every plan shape runs at every worker
+// count × batch size (including non-block-aligned sizes that split selection
+// vectors mid-block) × engine variant (typed keys, boxed-key fallback, and
+// the pre-rid row path), and must reproduce the reference rows in order.
+func TestJoinEquivalenceSweep(t *testing.T) {
+	db := joinDB(t, 80, 400)
+	for name, plan := range joinSweepPlans() {
+		want, err := RunReference(db, plan)
+		if err != nil {
+			t.Fatalf("%s: reference: %v", name, err)
+		}
+		for _, workers := range []int{1, 2, 4} {
+			for _, bs := range []int{1, 3, 7, 64, 1024} {
+				for variant, e := range map[string]*Engine{
+					"typed": {Workers: workers, BatchSize: bs},
+					"boxed": {Workers: workers, BatchSize: bs, DisableTypedKeys: true},
+					"row":   {Workers: workers, BatchSize: bs, DisableLateMat: true},
+				} {
+					got, err := e.Run(db, plan)
+					if err != nil {
+						t.Fatalf("%s %s w=%d bs=%d: %v", name, variant, workers, bs, err)
+					}
+					if !rowsExactlyEqual(got, want) {
+						t.Fatalf("%s %s w=%d bs=%d: output differs (%d vs %d rows)",
+							name, variant, workers, bs, len(got), len(want))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestJoinEquivalenceRandomChains fuzzes multi-join rid-tuple pipelines:
+// random left-deep chains of 2–4 hash joins over random compatible key
+// columns, with random residuals and an optional aggregate on top. Every
+// plan must agree with the reference under both key codecs at a batch size
+// that forces tuples through many selection-vector batches.
+func TestJoinEquivalenceRandomChains(t *testing.T) {
+	db := joinDB(t, 40, 120)
+	rng := rand.New(rand.NewSource(42))
+	keyCols := []int{1, 2, 3, 4, 6} // int, float, string, date, mixed
+	for trial := 0; trial < 32; trial++ {
+		tables := []string{"dim", "fact"}
+		var plan Node = &TableScan{Table: tables[rng.Intn(2)], NCols: 8}
+		width := 8
+		joins := 1 + rng.Intn(3)
+		for j := 0; j < joins; j++ {
+			kc := keyCols[rng.Intn(len(keyCols))]
+			// Key the new join on the same logical column of both sides so
+			// matches actually occur; the left key lands in a random
+			// already-joined relation's copy of that column.
+			loff := rng.Intn(width/8) * 8
+			h := &HashJoin{
+				L:     plan,
+				R:     &TableScan{Table: tables[rng.Intn(2)], NCols: 8},
+				LCols: []int{loff + kc},
+				RCols: []int{kc},
+			}
+			if rng.Intn(3) == 0 {
+				h.Residual = expr.NewCmp(expr.LE, expr.Col(0, loff+7), expr.Col(0, width+7))
+			}
+			plan = h
+			width += 8
+		}
+		if rng.Intn(3) == 0 {
+			plan = &HashAgg{
+				In:      plan,
+				GroupBy: []expr.Expr{expr.Col(0, 3)},
+				Aggs: []AggSpec{
+					{Num: SimpleAgg{Kind: spjg.AggCountStar}},
+					{Num: SimpleAgg{Kind: spjg.AggSum, Arg: expr.Col(0, width - 1)}},
+				},
+			}
+		}
+		want, err := RunReference(db, plan)
+		if err != nil {
+			t.Fatalf("trial %d: reference: %v", trial, err)
+		}
+		for variant, e := range map[string]*Engine{
+			"typed": {Workers: 4, BatchSize: 13},
+			"boxed": {Workers: 4, BatchSize: 13, DisableTypedKeys: true},
+		} {
+			got, err := e.Run(db, plan)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, variant, err)
+			}
+			if !rowsExactlyEqual(got, want) {
+				t.Fatalf("trial %d %s: output differs (%d vs %d rows)\nplan:\n%s",
+					trial, variant, len(got), len(want), Explain(plan))
+			}
+		}
+	}
+}

@@ -1,0 +1,682 @@
+package exec
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+
+	"matview/internal/expr"
+	"matview/internal/sqlvalue"
+	"matview/internal/storage"
+)
+
+// Typed join keys for the late-materialization join path.
+//
+// The equality classes here reproduce sqlvalue.AppendKey exactly, so typed
+// and boxed keying are interchangeable: bools, ints, and dates share one
+// int64 key space (AppendKey encodes all three as decimal ints), integral
+// floats (f == Trunc(f), |f| < 1e15) collapse into that int space, other
+// floats key by their bit pattern with every NaN collapsed to one canonical
+// key (AppendKey formats all NaNs as "NaN"), and strings key by their bytes.
+// NULL never produces a key on either side.
+//
+// The key mode is chosen from the BUILD side's static column kinds only —
+// the build pipeline runs to completion before the probe side is even
+// decomposed, matching the reference evaluator's left-then-right execution
+// order. The probe codec is then compiled into the build's key space: a
+// probe int column under a float-keyed build emits int-space fkeys, a probe
+// string column under an int-keyed build is a constant miss, and generic or
+// row-backed probe columns box the value and classify it at runtime.
+
+type ridKeyMode uint8
+
+const (
+	keyModeBoxed  ridKeyMode = iota // sqlvalue.AppendKey composite (fallback)
+	keyModeInt1                     // single int/date/bool column
+	keyModeFloat1                   // single float column (fkey space)
+	keyModeStr1                     // single string column
+	keyModeIntN                     // multiple int-family columns, 8 bytes each
+)
+
+// fkey is the key space of a float join column: integral floats live in the
+// int space (flt=false, bits=the integer) alongside int/date/bool keys;
+// non-integral floats key by bit pattern with NaN canonicalized.
+type fkey struct {
+	flt  bool
+	bits int64
+}
+
+func intFkey(v int64) fkey { return fkey{bits: v} }
+
+func floatFkey(f float64) fkey {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return fkey{bits: int64(f)}
+	}
+	if math.IsNaN(f) {
+		f = math.NaN()
+	}
+	return fkey{flt: true, bits: int64(math.Float64bits(f))}
+}
+
+// valueIntKey classifies a boxed value into the int key space, reporting
+// false for NULLs and for values outside the class (a miss, not an error).
+func valueIntKey(v sqlvalue.Value) (int64, bool) {
+	switch v.Kind() {
+	case sqlvalue.KindInt:
+		return v.Int(), true
+	case sqlvalue.KindDate:
+		return v.DateDays(), true
+	case sqlvalue.KindBool:
+		if v.Bool() {
+			return 1, true
+		}
+		return 0, true
+	case sqlvalue.KindFloat:
+		f := v.Float()
+		if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+			return int64(f), true
+		}
+		return 0, false
+	default:
+		return 0, false
+	}
+}
+
+func valueFkey(v sqlvalue.Value) (fkey, bool) {
+	switch v.Kind() {
+	case sqlvalue.KindInt:
+		return intFkey(v.Int()), true
+	case sqlvalue.KindDate:
+		return intFkey(v.DateDays()), true
+	case sqlvalue.KindBool:
+		if v.Bool() {
+			return intFkey(1), true
+		}
+		return intFkey(0), true
+	case sqlvalue.KindFloat:
+		return floatFkey(v.Float()), true
+	default:
+		return fkey{}, false
+	}
+}
+
+func valueStrKey(v sqlvalue.Value) (string, bool) {
+	if v.Kind() == sqlvalue.KindString {
+		return v.Str(), true
+	}
+	return "", false
+}
+
+// classifyKeys picks the key mode for a build layout's key columns. Typed
+// modes require store-backed, non-degraded (no Generic overlay) columns.
+func classifyKeys(layout *ridLayout, cols []int, disableTyped bool) ridKeyMode {
+	if disableTyped || len(cols) == 0 {
+		return keyModeBoxed
+	}
+	kinds := make([]sqlvalue.Kind, len(cols))
+	for i, c := range cols {
+		if c < 0 || c >= layout.width() {
+			return keyModeBoxed
+		}
+		rel, local := layout.locate(c)
+		r := layout.rels[rel]
+		if r.store == nil || r.cols[local].Generic != nil {
+			return keyModeBoxed
+		}
+		kinds[i] = r.cols[local].Kind
+	}
+	if len(cols) == 1 {
+		switch kinds[0] {
+		case sqlvalue.KindInt, sqlvalue.KindDate, sqlvalue.KindBool:
+			return keyModeInt1
+		case sqlvalue.KindFloat:
+			return keyModeFloat1
+		case sqlvalue.KindString:
+			return keyModeStr1
+		default: // KindNull: every key is NULL; boxed path skips them all
+			return keyModeBoxed
+		}
+	}
+	for _, k := range kinds {
+		switch k {
+		case sqlvalue.KindInt, sqlvalue.KindDate, sqlvalue.KindBool:
+		default:
+			return keyModeBoxed
+		}
+	}
+	return keyModeIntN
+}
+
+// ---------------------------------------------------------------------------
+// Key getters: column → key-space value, straight off typed arrays
+
+// intKeyGetter reads one column as an int-space key. Typed int-family
+// columns read the array directly; typed float columns apply the integral
+// check; string and never-set columns are constant misses; generic or
+// row-backed columns box and classify per value.
+func intKeyGetter(layout *ridLayout, col int) func(in *ridBatch, k int) (int64, bool) {
+	rel, local := layout.locate(col)
+	r := layout.rels[rel]
+	if r.store != nil && r.cols[local].Generic == nil {
+		v := r.cols[local]
+		switch v.Kind {
+		case sqlvalue.KindInt, sqlvalue.KindDate, sqlvalue.KindBool:
+			a, nulls := v.Ints, v.Nulls
+			if nulls == nil {
+				return func(in *ridBatch, k int) (int64, bool) { return a[in.sel[rel][k]], true }
+			}
+			return func(in *ridBatch, k int) (int64, bool) {
+				rid := in.sel[rel][k]
+				if bitSet(nulls, int(rid)) {
+					return 0, false
+				}
+				return a[rid], true
+			}
+		case sqlvalue.KindFloat:
+			a, nulls := v.Floats, v.Nulls
+			return func(in *ridBatch, k int) (int64, bool) {
+				rid := in.sel[rel][k]
+				if nulls != nil && bitSet(nulls, int(rid)) {
+					return 0, false
+				}
+				f := a[rid]
+				if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+					return int64(f), true
+				}
+				return 0, false
+			}
+		default: // string or all-NULL column: nothing in the int key class
+			return func(*ridBatch, int) (int64, bool) { return 0, false }
+		}
+	}
+	em := r.emitter(local)
+	return func(in *ridBatch, k int) (int64, bool) { return valueIntKey(em(int(in.sel[rel][k]))) }
+}
+
+func fkeyGetter(layout *ridLayout, col int) func(in *ridBatch, k int) (fkey, bool) {
+	rel, local := layout.locate(col)
+	r := layout.rels[rel]
+	if r.store != nil && r.cols[local].Generic == nil {
+		v := r.cols[local]
+		switch v.Kind {
+		case sqlvalue.KindInt, sqlvalue.KindDate, sqlvalue.KindBool:
+			a, nulls := v.Ints, v.Nulls
+			return func(in *ridBatch, k int) (fkey, bool) {
+				rid := in.sel[rel][k]
+				if nulls != nil && bitSet(nulls, int(rid)) {
+					return fkey{}, false
+				}
+				return intFkey(a[rid]), true
+			}
+		case sqlvalue.KindFloat:
+			a, nulls := v.Floats, v.Nulls
+			return func(in *ridBatch, k int) (fkey, bool) {
+				rid := in.sel[rel][k]
+				if nulls != nil && bitSet(nulls, int(rid)) {
+					return fkey{}, false
+				}
+				return floatFkey(a[rid]), true
+			}
+		default:
+			return func(*ridBatch, int) (fkey, bool) { return fkey{}, false }
+		}
+	}
+	em := r.emitter(local)
+	return func(in *ridBatch, k int) (fkey, bool) { return valueFkey(em(int(in.sel[rel][k]))) }
+}
+
+func strKeyGetter(layout *ridLayout, col int) func(in *ridBatch, k int) (string, bool) {
+	rel, local := layout.locate(col)
+	r := layout.rels[rel]
+	if r.store != nil && r.cols[local].Generic == nil {
+		v := r.cols[local]
+		if v.Kind == sqlvalue.KindString {
+			a, nulls := v.Strs, v.Nulls
+			return func(in *ridBatch, k int) (string, bool) {
+				rid := in.sel[rel][k]
+				if nulls != nil && bitSet(nulls, int(rid)) {
+					return "", false
+				}
+				return a[rid], true
+			}
+		}
+		return func(*ridBatch, int) (string, bool) { return "", false }
+	}
+	em := r.emitter(local)
+	return func(in *ridBatch, k int) (string, bool) { return valueStrKey(em(int(in.sel[rel][k]))) }
+}
+
+// ---------------------------------------------------------------------------
+// Key codec
+
+type ridBoxCol struct {
+	rel int
+	em  colEmitter
+}
+
+// ridKeyCodec extracts join keys from rid tuples in a fixed mode. The same
+// constructor serves both sides: the build side passes its own layout, the
+// probe side passes its layout with the build's mode, which compiles the
+// adapters that map probe columns into the build's key space.
+type ridKeyCodec struct {
+	mode ridKeyMode
+	gi   func(in *ridBatch, k int) (int64, bool)
+	gf   func(in *ridBatch, k int) (fkey, bool)
+	gs   func(in *ridBatch, k int) (string, bool)
+	gn   []func(in *ridBatch, k int) (int64, bool)
+	box  []ridBoxCol
+}
+
+func newRidKeyCodec(mode ridKeyMode, layout *ridLayout, cols []int) *ridKeyCodec {
+	c := &ridKeyCodec{mode: mode}
+	switch mode {
+	case keyModeInt1:
+		c.gi = intKeyGetter(layout, cols[0])
+	case keyModeFloat1:
+		c.gf = fkeyGetter(layout, cols[0])
+	case keyModeStr1:
+		c.gs = strKeyGetter(layout, cols[0])
+	case keyModeIntN:
+		for _, col := range cols {
+			c.gn = append(c.gn, intKeyGetter(layout, col))
+		}
+	default:
+		for _, col := range cols {
+			rel, local := layout.locate(col)
+			c.box = append(c.box, ridBoxCol{rel: rel, em: layout.rels[rel].emitter(local)})
+		}
+	}
+	return c
+}
+
+// appendKey serializes a composite key (IntN and boxed modes), reporting
+// false when any component is NULL (or outside the int class for IntN).
+func (c *ridKeyCodec) appendKey(buf []byte, in *ridBatch, k int) ([]byte, bool) {
+	if c.mode == keyModeIntN {
+		var tmp [8]byte
+		for _, g := range c.gn {
+			v, ok := g(in, k)
+			if !ok {
+				return buf, false
+			}
+			binary.LittleEndian.PutUint64(tmp[:], uint64(v))
+			buf = append(buf, tmp[:]...)
+		}
+		return buf, true
+	}
+	for i := range c.box {
+		bc := &c.box[i]
+		v := bc.em(int(in.sel[bc.rel][k]))
+		if v.IsNull() {
+			return buf, false
+		}
+		buf = v.AppendKey(buf)
+		buf = append(buf, '\x1f')
+	}
+	return buf, true
+}
+
+// ---------------------------------------------------------------------------
+// Build side
+
+// ridJoinBuild is a finished, immutable rid-join build table shared by all
+// probe workers: key → flat rid tuples (stride = arity) in build-input order.
+// Exactly one of the index maps is populated, per mode.
+type ridJoinBuild struct {
+	arity  int
+	mode   ridKeyMode
+	intIdx map[int64]int32
+	fltIdx map[fkey]int32
+	strIdx map[string]int32
+	lists  [][]int32
+}
+
+// ridBuildSink accumulates one worker's shard. Ordinals are assigned per
+// input tuple — before the NULL-key check — mirroring buildSink, so merged
+// per-key lists restore to exactly the row path's build-input order.
+type ridBuildSink struct {
+	codec   *ridKeyCodec
+	arity   int
+	intIdx  map[int64]int32
+	fltIdx  map[fkey]int32
+	strIdx  map[string]int32
+	lists   [][]int32
+	ords    [][]int64
+	keyBuf  []byte
+	ordBase int64
+	ctr     int64
+}
+
+func newRidBuildSink(codec *ridKeyCodec, arity int) *ridBuildSink {
+	b := &ridBuildSink{codec: codec, arity: arity}
+	switch codec.mode {
+	case keyModeInt1:
+		b.intIdx = make(map[int64]int32)
+	case keyModeFloat1:
+		b.fltIdx = make(map[fkey]int32)
+	default:
+		b.strIdx = make(map[string]int32)
+	}
+	return b
+}
+
+func (b *ridBuildSink) begin(seq int) {
+	b.ordBase = ordinal(seq, 0)
+	b.ctr = 0
+}
+
+func (b *ridBuildSink) pushRids(in *ridBatch) error {
+	for k := 0; k < in.n; k++ {
+		ord := b.ordBase | b.ctr
+		b.ctr++
+		li, ok := b.slot(in, k)
+		if !ok {
+			continue
+		}
+		if int(li) == len(b.lists) {
+			b.lists = append(b.lists, nil)
+			b.ords = append(b.ords, nil)
+		}
+		for r := 0; r < b.arity; r++ {
+			b.lists[li] = append(b.lists[li], in.sel[r][k])
+		}
+		b.ords[li] = append(b.ords[li], ord)
+	}
+	return nil
+}
+
+// slot finds or allocates the list slot for tuple k's key; false means the
+// key is NULL (the tuple is dropped). A returned slot equal to len(lists)
+// signals a fresh key — the caller appends the new list.
+func (b *ridBuildSink) slot(in *ridBatch, k int) (int32, bool) {
+	switch b.codec.mode {
+	case keyModeInt1:
+		v, ok := b.codec.gi(in, k)
+		if !ok {
+			return 0, false
+		}
+		li, ok := b.intIdx[v]
+		if !ok {
+			li = int32(len(b.lists))
+			b.intIdx[v] = li
+		}
+		return li, true
+	case keyModeFloat1:
+		v, ok := b.codec.gf(in, k)
+		if !ok {
+			return 0, false
+		}
+		li, ok := b.fltIdx[v]
+		if !ok {
+			li = int32(len(b.lists))
+			b.fltIdx[v] = li
+		}
+		return li, true
+	case keyModeStr1:
+		s, ok := b.codec.gs(in, k)
+		if !ok {
+			return 0, false
+		}
+		li, ok := b.strIdx[s]
+		if !ok {
+			li = int32(len(b.lists))
+			b.strIdx[s] = li
+		}
+		return li, true
+	default:
+		key, ok := b.codec.appendKey(b.keyBuf[:0], in, k)
+		b.keyBuf = key[:0]
+		if !ok {
+			return 0, false
+		}
+		li, ok := b.strIdx[string(key)]
+		if !ok {
+			li = int32(len(b.lists))
+			b.strIdx[string(key)] = li
+		}
+		return li, true
+	}
+}
+
+// buildRidJoin executes the build side of a hash join as a rid pipeline and
+// merges the per-worker shards. ok=false means a relation overflowed the rid
+// address space and the caller must fall back to the row path.
+func (e *Engine) buildRidJoin(db storage.Reader, j *HashJoin) (*ridJoinBuild, *ridLayout, bool, error) {
+	src, layout, stages, ok, err := e.streamRids(db, j.L)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if !ok {
+		rows, err := e.materialize(db, j.L)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if len(rows) > maxRid {
+			return nil, nil, false, nil
+		}
+		layout = singleLayout(rowsRel(rows, j.L.Width()))
+		src, stages = rowsRidSource(rows), nil
+	}
+	mode := classifyKeys(layout, j.LCols, e.DisableTypedKeys)
+	codec := newRidKeyCodec(mode, layout, j.LCols)
+	arity := layout.arity()
+	sinks, err := e.runRidPipeline(src, stages, func(int) ridMorselSink {
+		return newRidBuildSink(codec, arity)
+	})
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return mergeRidBuild(sinks, mode, arity), layout, true, nil
+}
+
+func mergeRidShards[K comparable](idx map[K]int32, sinks []ridMorselSink, get func(*ridBuildSink) map[K]int32) ([][]int32, [][]int64) {
+	var lists [][]int32
+	var ords [][]int64
+	for _, s := range sinks {
+		b := s.(*ridBuildSink)
+		for key, li := range get(b) {
+			if gi, ok := idx[key]; ok {
+				lists[gi] = append(lists[gi], b.lists[li]...)
+				ords[gi] = append(ords[gi], b.ords[li]...)
+			} else {
+				idx[key] = int32(len(lists))
+				lists = append(lists, b.lists[li])
+				ords = append(ords, b.ords[li])
+			}
+		}
+	}
+	return lists, ords
+}
+
+func mergeRidBuild(sinks []ridMorselSink, mode ridKeyMode, arity int) *ridJoinBuild {
+	out := &ridJoinBuild{arity: arity, mode: mode}
+	if len(sinks) == 1 {
+		// Single shard: lists are already in ordinal order.
+		b := sinks[0].(*ridBuildSink)
+		out.intIdx, out.fltIdx, out.strIdx, out.lists = b.intIdx, b.fltIdx, b.strIdx, b.lists
+		return out
+	}
+	var lists [][]int32
+	var ords [][]int64
+	switch mode {
+	case keyModeInt1:
+		out.intIdx = make(map[int64]int32)
+		lists, ords = mergeRidShards(out.intIdx, sinks, func(b *ridBuildSink) map[int64]int32 { return b.intIdx })
+	case keyModeFloat1:
+		out.fltIdx = make(map[fkey]int32)
+		lists, ords = mergeRidShards(out.fltIdx, sinks, func(b *ridBuildSink) map[fkey]int32 { return b.fltIdx })
+	default:
+		out.strIdx = make(map[string]int32)
+		lists, ords = mergeRidShards(out.strIdx, sinks, func(b *ridBuildSink) map[string]int32 { return b.strIdx })
+	}
+	for i := range lists {
+		sortRidList(lists[i], ords[i], arity)
+	}
+	out.lists = lists
+	return out
+}
+
+// sortRidList restores one merged per-key list to global ordinal order,
+// permuting stride-sized rid groups in lockstep with their ordinals.
+func sortRidList(rids []int32, ords []int64, arity int) {
+	n := len(ords)
+	if n < 2 {
+		return
+	}
+	sorted := true
+	for i := 1; i < n; i++ {
+		if ords[i] < ords[i-1] {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool { return ords[perm[a]] < ords[perm[b]] })
+	tmp := make([]int32, len(rids))
+	for dst, src := range perm {
+		copy(tmp[dst*arity:(dst+1)*arity], rids[src*arity:(src+1)*arity])
+	}
+	copy(rids, tmp)
+}
+
+// ---------------------------------------------------------------------------
+// Probe side
+
+type ridProbeSpec struct {
+	build    *ridJoinBuild
+	keys     *ridKeyCodec
+	residual expr.CompiledPredicate
+	resEval  ridEval
+	outArity int
+	batch    int
+}
+
+func (s *ridProbeSpec) makeRid(next ridPusher) ridPusher {
+	return &ridProbeStage{spec: s, next: next, sc: ridScratchPool.Get().(*ridScratch)}
+}
+
+// ridProbeStage matches probe tuples against the build table batch-at-a-time
+// and extends each surviving tuple with the matching build entry's rids: the
+// output tuple is (build rels..., probe rels...), matching the row path's
+// left++right concatenation. All scratch is pooled per worker.
+type ridProbeStage struct {
+	spec *ridProbeSpec
+	next ridPusher
+	sc   *ridScratch
+	out  ridBatch
+}
+
+func (p *ridProbeStage) release() {
+	if p.sc != nil {
+		ridScratchPool.Put(p.sc)
+		p.sc = nil
+	}
+}
+
+func (p *ridProbeStage) flush() error {
+	out := &p.out
+	if out.n == 0 {
+		return nil
+	}
+	err := p.next.pushRids(out)
+	for r := range out.sel {
+		out.sel[r] = out.sel[r][:0]
+	}
+	out.n = 0
+	return err
+}
+
+func (p *ridProbeStage) pushRids(in *ridBatch) error {
+	s := p.spec
+	b := s.build
+	ba := b.arity
+	out := &p.out
+	out.sel = p.sc.selVecs(s.outArity)
+	for r := range out.sel {
+		out.sel[r] = out.sel[r][:0]
+	}
+	out.n = 0
+	var row storage.Row
+	if s.residual != nil {
+		row = p.sc.wideRow(s.resEval.width)
+	}
+	matched := 0
+	for k := 0; k < in.n; k++ {
+		li, ok := p.lookup(in, k)
+		if !ok {
+			continue
+		}
+		matched++
+		lst := b.lists[li]
+		for e := 0; e < len(lst); e += ba {
+			ent := lst[e : e+ba]
+			if s.residual != nil {
+				s.resEval.fillJoin(row, ent, in, k, ba)
+				pass, err := s.residual(row)
+				if err != nil {
+					return err
+				}
+				if !pass {
+					continue
+				}
+			}
+			for r := 0; r < ba; r++ {
+				out.sel[r] = append(out.sel[r], ent[r])
+			}
+			for r := ba; r < s.outArity; r++ {
+				out.sel[r] = append(out.sel[r], in.sel[r-ba][k])
+			}
+			out.n++
+			if out.n >= s.batch {
+				if err := p.flush(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	scanRowsProbed.Add(int64(in.n))
+	scanRowsMatched.Add(int64(matched))
+	return p.flush()
+}
+
+func (p *ridProbeStage) lookup(in *ridBatch, k int) (int32, bool) {
+	s := p.spec
+	b := s.build
+	switch b.mode {
+	case keyModeInt1:
+		v, ok := s.keys.gi(in, k)
+		if !ok {
+			return 0, false
+		}
+		li, ok := b.intIdx[v]
+		return li, ok
+	case keyModeFloat1:
+		v, ok := s.keys.gf(in, k)
+		if !ok {
+			return 0, false
+		}
+		li, ok := b.fltIdx[v]
+		return li, ok
+	case keyModeStr1:
+		v, ok := s.keys.gs(in, k)
+		if !ok {
+			return 0, false
+		}
+		li, ok := b.strIdx[v]
+		return li, ok
+	default:
+		key, ok := s.keys.appendKey(p.sc.keyBuf[:0], in, k)
+		p.sc.keyBuf = key[:0]
+		if !ok {
+			return 0, false
+		}
+		li, ok := b.strIdx[string(key)]
+		return li, ok
+	}
+}

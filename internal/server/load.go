@@ -75,6 +75,16 @@ type LoadResult struct {
 	BlocksScanned int64
 	BlocksSkipped int64
 	SkipRate      float64
+
+	// RowsProbed / RowsMatched / RowsGathered are server-side deltas of the
+	// late-materialization join counters over the run: rid tuples probed
+	// against hash-join build tables, probes that found a key match, and
+	// output rows actually gathered (materialized) from column arrays.
+	// ProbeHitRate is matched / probed, 0 when no joins ran.
+	RowsProbed   int64
+	RowsMatched  int64
+	RowsGathered int64
+	ProbeHitRate float64
 }
 
 // RunLoad drives the server with concurrent /query traffic and reports
@@ -184,6 +194,12 @@ func RunLoad(opts LoadOptions) (*LoadResult, error) {
 	res.BlocksSkipped = after.Exec.BlocksSkipped - before.Exec.BlocksSkipped
 	if total := res.BlocksScanned + res.BlocksSkipped; total > 0 {
 		res.SkipRate = float64(res.BlocksSkipped) / float64(total)
+	}
+	res.RowsProbed = after.Exec.RowsProbed - before.Exec.RowsProbed
+	res.RowsMatched = after.Exec.RowsMatched - before.Exec.RowsMatched
+	res.RowsGathered = after.Exec.RowsGathered - before.Exec.RowsGathered
+	if res.RowsProbed > 0 {
+		res.ProbeHitRate = float64(res.RowsMatched) / float64(res.RowsProbed)
 	}
 	if res.Requests > 0 {
 		res.ErrorRate = float64(res.Errors) / float64(res.Requests)

@@ -100,13 +100,20 @@ type MaintenanceMetrics struct {
 	DegradedSeconds     float64 `json:"degraded_seconds"`
 }
 
-// ExecMetrics reports zone-map effectiveness for the columnar scan path:
-// how many storage blocks predicates allowed the engine to skip outright
-// versus how many it had to scan. Counters are process-wide and cumulative.
+// ExecMetrics reports the columnar engine's data-pruning effectiveness:
+// zone-map block skipping on the scan path, and — for late-materialization
+// joins — how many rid tuples were probed, how many found a hash match, and
+// how many output rows were gathered (materialized). A gathered count far
+// below the probed count means the join pipeline discarded most candidates
+// before touching payload columns. Counters are process-wide and cumulative.
 type ExecMetrics struct {
 	BlocksScanned int64   `json:"blocks_scanned"`
 	BlocksSkipped int64   `json:"blocks_skipped"`
 	SkipRate      float64 `json:"skip_rate"`
+	RowsProbed    int64   `json:"rows_probed"`
+	RowsMatched   int64   `json:"rows_matched"`
+	RowsGathered  int64   `json:"rows_gathered"`
+	ProbeHitRate  float64 `json:"probe_hit_rate"`
 }
 
 // WALMetrics reports the durability layer (durable servers only): log

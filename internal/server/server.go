@@ -712,6 +712,10 @@ func (s *Server) Metrics() Metrics {
 			BlocksScanned: ss.BlocksScanned,
 			BlocksSkipped: ss.BlocksSkipped,
 			SkipRate:      ss.SkipRate(),
+			RowsProbed:    ss.RowsProbed,
+			RowsMatched:   ss.RowsMatched,
+			RowsGathered:  ss.RowsGathered,
+			ProbeHitRate:  ss.ProbeHitRate(),
 		},
 		Maintenance: MaintenanceMetrics{
 			FreshViews:          ms.Fresh,

@@ -329,6 +329,90 @@ func (v ColView) Value(i int) sqlvalue.Value {
 	}
 }
 
+// Gather boxes the column's values at the given row ordinals into a strided
+// destination: the value for rids[k] lands in dst[off+k*stride]. It is the
+// execution engine's late-materialization primitive — one typed dispatch per
+// batch instead of one per value. NULL values leave their slot untouched, so
+// callers must hand in zeroed (KindNull) destination slabs.
+func (v ColView) Gather(rids []int32, dst []sqlvalue.Value, off, stride int) {
+	if v.Generic != nil {
+		g := v.Generic
+		for k, rid := range rids {
+			dst[off+k*stride] = g[rid]
+		}
+		return
+	}
+	nulls := v.Nulls
+	switch v.Kind {
+	case sqlvalue.KindInt:
+		a := v.Ints
+		if nulls == nil {
+			for k, rid := range rids {
+				dst[off+k*stride] = sqlvalue.NewInt(a[rid])
+			}
+			return
+		}
+		for k, rid := range rids {
+			if !bitSet(nulls, int(rid)) {
+				dst[off+k*stride] = sqlvalue.NewInt(a[rid])
+			}
+		}
+	case sqlvalue.KindDate:
+		a := v.Ints
+		if nulls == nil {
+			for k, rid := range rids {
+				dst[off+k*stride] = sqlvalue.NewDate(a[rid])
+			}
+			return
+		}
+		for k, rid := range rids {
+			if !bitSet(nulls, int(rid)) {
+				dst[off+k*stride] = sqlvalue.NewDate(a[rid])
+			}
+		}
+	case sqlvalue.KindBool:
+		a := v.Ints
+		if nulls == nil {
+			for k, rid := range rids {
+				dst[off+k*stride] = sqlvalue.NewBool(a[rid] != 0)
+			}
+			return
+		}
+		for k, rid := range rids {
+			if !bitSet(nulls, int(rid)) {
+				dst[off+k*stride] = sqlvalue.NewBool(a[rid] != 0)
+			}
+		}
+	case sqlvalue.KindFloat:
+		a := v.Floats
+		if nulls == nil {
+			for k, rid := range rids {
+				dst[off+k*stride] = sqlvalue.NewFloat(a[rid])
+			}
+			return
+		}
+		for k, rid := range rids {
+			if !bitSet(nulls, int(rid)) {
+				dst[off+k*stride] = sqlvalue.NewFloat(a[rid])
+			}
+		}
+	case sqlvalue.KindString:
+		a := v.Strs
+		if nulls == nil {
+			for k, rid := range rids {
+				dst[off+k*stride] = sqlvalue.NewString(a[rid])
+			}
+			return
+		}
+		for k, rid := range rids {
+			if !bitSet(nulls, int(rid)) {
+				dst[off+k*stride] = sqlvalue.NewString(a[rid])
+			}
+		}
+	}
+	// KindNull columns leave every slot at the zero Value (NULL).
+}
+
 // ColumnStore is column-major row storage: a fixed number of columns, each
 // an adaptive typed array with a null bitmap and per-block zone maps.
 type ColumnStore struct {
